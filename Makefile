@@ -1,0 +1,30 @@
+# Convenience targets for the PH-tree reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-small examples results clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || \
+		$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-small:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --repro-scale small
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) $$f || exit 1; \
+	done
+
+results:
+	$(PYTHON) -m repro.bench -e all -s small -o results
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

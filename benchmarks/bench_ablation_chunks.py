@@ -1,0 +1,25 @@
+"""Ablation -- chunked node bit-strings (paper Outlook, item 1).
+
+Asserts the paper's prediction: for large streams the chunked layout
+updates faster than the monolithic bit-string, and its cost curve grows
+slower.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_chunks(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "ablation_chunks", repro_scale, results_dir
+    )
+    mono = result.get("monolithic")
+    chunked = result.get("chunked(4KiB)")
+    assert mono.xs == chunked.xs
+    # At the largest stream the chunked buffer must win.
+    assert chunked.ys[-1] < mono.ys[-1], (mono.ys, chunked.ys)
+    # And its growth from smallest to largest must be slower.
+    mono_growth = mono.ys[-1] / mono.ys[0]
+    chunked_growth = chunked.ys[-1] / chunked.ys[0]
+    assert chunked_growth < mono_growth

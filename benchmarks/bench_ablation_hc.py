@@ -1,0 +1,27 @@
+"""Ablation -- HC/LHC automatic switching (paper Section 3.2).
+
+Asserts that the automatic mode's modelled space never exceeds the better
+of the two forced modes by more than rounding noise, at any k.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_hc(benchmark, repro_scale, results_dir):
+    results = run_and_report(
+        benchmark, "ablation_hc", repro_scale, results_dir
+    )
+    by_id = {r.exp_id: r for r in results}
+    space = by_id["ablation_hc-space"]
+    auto = space.get("PH[auto]")
+    lhc = space.get("PH[lhc]")
+    hc = space.get("PH[hc]")
+    for i in range(len(auto.xs)):
+        best_forced = min(lhc.ys[i], hc.ys[i])
+        assert auto.ys[i] <= best_forced * 1.05, (
+            auto.xs[i],
+            auto.ys[i],
+            best_forced,
+        )

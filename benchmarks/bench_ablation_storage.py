@@ -1,0 +1,33 @@
+"""Ablation -- storage engines: mutable nodes vs bulk build vs frozen
+bytes.
+
+Asserts the space/speed trade-off DESIGN.md documents: the frozen
+byte-stream is an order of magnitude smaller than the mutable engine's
+real footprint, while the mutable engine answers point queries faster;
+bulk loading produces the same canonical structure (checked by the unit
+tests) at comparable cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_storage(benchmark, repro_scale, results_dir):
+    results = run_and_report(
+        benchmark, "ablation_storage", repro_scale, results_dir
+    )
+    by_id = {r.exp_id: r for r in results}
+    space = by_id["ablation_storage-space"]
+    mutable = space.get("mutable(py)")
+    frozen = space.get("frozen(bytes)")
+    for i in range(len(mutable.xs)):
+        assert frozen.ys[i] * 5 < mutable.ys[i], (
+            frozen.ys[i],
+            mutable.ys[i],
+        )
+    query = by_id["ablation_storage-query"]
+    assert query.get("mutable").ys[-1] < query.get("frozen").ys[-1]
+    build = by_id["ablation_storage-build"]
+    for series in build.series:
+        assert all(y > 0 for y in series.ys)

@@ -1,0 +1,25 @@
+"""Figure 10 -- PH bytes/entry vs k for CLUSTER0.4/0.5/CUBE (Section
+4.3.6).
+
+Asserts the paper's divergence: at high k, CLUSTER0.5 costs clearly more
+per entry than CLUSTER0.4.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig10_space_vs_k(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "fig10", repro_scale, results_dir
+    )
+    c04 = result.get("PH-CLUSTER0.4")
+    c05 = result.get("PH-CLUSTER0.5")
+    assert all(v > 0 for v in c04.ys + c05.ys)
+    # Divergence at the high-k end of the collision regime (k in 5..10).
+    high = [i for i, k in enumerate(c04.xs) if 5 <= k <= 10]
+    assert any(c05.ys[i] > 1.2 * c04.ys[i] for i in high), (
+        c04.ys,
+        c05.ys,
+    )

@@ -1,0 +1,21 @@
+"""Figure 11 -- insertion times vs k on CLUSTER (Section 4.3.7)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig11_insert_vs_k_cluster(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "fig11", repro_scale, results_dir
+    )
+    expected = {
+        "PH-CLUSTER0.4",
+        "PH-CLUSTER0.5",
+        "KD2-CLUSTER0.5",
+        "CB1-CLUSTER0.5",
+        "CB1-CLUSTER0.4",
+    }
+    assert {s.label for s in result.series} == expected
+    for series in result.series:
+        assert all(y > 0 for y in series.ys)

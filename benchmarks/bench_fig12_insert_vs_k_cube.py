@@ -1,0 +1,22 @@
+"""Figure 12 -- insertion times vs k on CUBE (Section 4.3.7).
+
+Asserts the paper's CB-tree shape: CB1 insertion cost grows with k
+(binary-trie depth is k*w), ending above its low-k cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig12_insert_vs_k_cube(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "fig12", repro_scale, results_dir
+    )
+    assert {s.label for s in result.series} == {
+        "PH-CUBE",
+        "KD2-CUBE",
+        "CB1-CUBE",
+    }
+    cb = result.get("CB1-CUBE")
+    assert cb.ys[-1] > cb.ys[0], cb.ys  # linear growth in k

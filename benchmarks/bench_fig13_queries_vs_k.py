@@ -1,0 +1,28 @@
+"""Figure 13 -- query times vs k (Section 4.3.7).
+
+Three panels: point queries on CLUSTER and CUBE, range queries across
+datasets.  Asserts the paper's CB-vs-PH point-query scaling: the CB tree's
+cost grows with k much faster than the PH-tree's.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig13_queries_vs_k(benchmark, repro_scale, results_dir):
+    results = run_and_report(benchmark, "fig13", repro_scale, results_dir)
+    by_id = {r.exp_id: r for r in results}
+    assert set(by_id) == {"fig13a", "fig13b", "fig13c"}
+    # Panel b: CB1 point queries scale linearly in k; PH stays flatter.
+    cube = by_id["fig13b"]
+    ph = cube.get("PH-CUBE")
+    cb = cube.get("CB1-CUBE")
+    ph_growth = ph.ys[-1] / ph.ys[0]
+    cb_growth = cb.ys[-1] / cb.ys[0]
+    assert cb_growth > ph_growth, (ph.ys, cb.ys)
+    # Panel c values are per returned entry and must be positive/NaN.
+    for series in by_id["fig13c"].series:
+        assert all(y > 0 or math.isnan(y) for y in series.ys)

@@ -1,0 +1,22 @@
+"""Figure 14 -- space vs k on CLUSTER, all structures (Section 4.3.7).
+
+Asserts: PH-CL0.4 stays below KD1 at every k, and even the worst-case
+PH-CL0.5 stays below KD1 (the paper: 'over 15% fewer bytes per entry than
+the KD1 tree').
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig14_space_vs_k_cluster(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "fig14", repro_scale, results_dir
+    )
+    kd1 = result.get("KD1-CLUSTER0.5")
+    c04 = result.get("PH-CLUSTER0.4")
+    c05 = result.get("PH-CLUSTER0.5")
+    for i in range(len(kd1.xs)):
+        assert c04.ys[i] < kd1.ys[i]
+        assert c05.ys[i] < kd1.ys[i]

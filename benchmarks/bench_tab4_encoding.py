@@ -1,0 +1,15 @@
+"""Table 4 -- IEEE Binary64 representations (Section 4.3.6).
+
+A deterministic, exact reproduction: the benchmark asserts bit-for-bit
+equality with the paper's four rows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_tab4_encoding(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(benchmark, "tab4", repro_scale, results_dir)
+    assert "match the paper's Table 4 exactly" in result.text
+    assert "MISMATCH" not in result.text

@@ -1,0 +1,21 @@
+"""Section 4.3.4 -- tree unloading (deletion).
+
+No paper figure exists; the text reports deletion "very similar to tree
+loading, but a bit faster" with PH deletes ~10% faster than inserts.  The
+benchmark regenerates the measurement and sanity-checks that PH deletion
+stays within 2x of insertion per entry (the qualitative claim; exact
+ratios are JVM-specific).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_unload(benchmark, repro_scale, results_dir):
+    (result,) = run_and_report(
+        benchmark, "unload", repro_scale, results_dir
+    )
+    for series in result.series:
+        assert all(y > 0 for y in series.ys)
+    assert any("delete/insert" in note for note in result.notes)

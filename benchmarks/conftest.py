@@ -1,0 +1,54 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper at
+the configurable scale (default ``tiny`` so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; pass ``--repro-scale small`` or
+``medium`` for closer-to-paper sweeps).  The experiment's result tables
+are printed into the pytest report (run with ``-s`` or check the captured
+output) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="tiny",
+        choices=["tiny", "small", "medium", "paper"],
+        help="parameter scale for the paper-reproduction benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_report(benchmark, exp_id, scale, results_dir):
+    """Run one experiment exactly once under pytest-benchmark and persist
+    its report."""
+    from repro.bench.experiments import run_experiment
+
+    results = benchmark.pedantic(
+        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+    )
+    assert results, f"experiment {exp_id} produced no results"
+    text = "\n\n".join(r.format_table() for r in results)
+    print()
+    print(text)
+    (results_dir / f"{exp_id}_{scale}.txt").write_text(text + "\n")
+    return results

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Persistence: bit-stream serialisation of a whole PH-tree.
+
+The PH-tree serialises each node into a tightly packed bit-string (paper
+Section 3.4).  This example stores a tree to disk, restores it, and
+demonstrates the structural *canonicity* that makes the format useful for
+content-addressed storage: the bytes depend only on the key set, never on
+the construction history.
+
+Run:  python examples/persistence.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import PHTree
+from repro.core.serialize import (
+    U64ValueCodec,
+    deserialize_tree,
+    serialize_tree,
+)
+
+
+def main() -> None:
+    rng = random.Random(99)
+    tree = PHTree(dims=3, width=32)
+    for i in range(20_000):
+        key = tuple(rng.randrange(1 << 32) for _ in range(3))
+        tree.put(key, i)  # u64 payloads survive the round trip
+
+    data = serialize_tree(tree, U64ValueCodec)
+    flat_bytes = len(tree) * 3 * 8
+    print(f"entries:             {len(tree)}")
+    print(f"serialised size:     {len(data)} bytes")
+    print(f"flat double[] size:  {flat_bytes} bytes")
+    print(f"compression ratio:   {flat_bytes / len(data):.2f}x "
+          f"(before values; prefix sharing at work)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "tree.pht"
+        path.write_bytes(data)
+        print(f"wrote {path.name} ({path.stat().st_size} bytes)")
+
+        restored = deserialize_tree(path.read_bytes(), U64ValueCodec)
+        assert len(restored) == len(tree)
+        assert dict(restored.items()) == dict(tree.items())
+        restored.check_invariants()
+        print("restored tree: identical content, invariants hold")
+
+    # Canonical bytes: reinsert the same keys in a shuffled order.
+    entries = list(tree.items())
+    rng.shuffle(entries)
+    shuffled = PHTree(dims=3, width=32)
+    for key, value in entries:
+        shuffled.put(key, value)
+    assert serialize_tree(shuffled, U64ValueCodec) == data
+    print("canonical form: shuffled construction -> identical bytes")
+    print("(the tree structure is determined only by the data, paper §3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro -- full Python reproduction of "The PH-tree: a space-efficient
+storage structure and multi-dimensional index" (Zäschke, Zimmerli, Norrie;
+SIGMOD 2014).
+
+Public API highlights:
+
+- :class:`repro.PHTree` -- the integer-keyed k-dimensional PH-tree.
+- :class:`repro.PHTreeF` -- the floating-point facade (IEEE-754 sortable
+  encoding, Section 3.3 of the paper).
+- :mod:`repro.baselines` -- the comparison structures of the paper's
+  evaluation (two kD-trees, two critical-bit trees, naive arrays).
+- :mod:`repro.datasets` -- CUBE, CLUSTER and the TIGER/Line substitute.
+- :mod:`repro.memory` -- the JVM-style memory model reproducing the
+  bytes-per-entry measurements.
+- :mod:`repro.bench` -- the experiment harness regenerating every table
+  and figure of the paper's Section 4.
+"""
+
+from repro.core import (
+    FrozenPHTree,
+    PHTree,
+    PHTreeF,
+    PHTreeMultiMap,
+    PHTreeSolidF,
+    SynchronizedPHTree,
+    TreeStats,
+    bulk_load,
+    collect_stats,
+    freeze,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrozenPHTree",
+    "PHTree",
+    "PHTreeF",
+    "PHTreeMultiMap",
+    "PHTreeSolidF",
+    "SynchronizedPHTree",
+    "TreeStats",
+    "bulk_load",
+    "collect_stats",
+    "freeze",
+    "__version__",
+]

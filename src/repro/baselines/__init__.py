@@ -1,0 +1,46 @@
+"""Comparison structures of the paper's evaluation (Section 4.1).
+
+The paper benchmarks the PH-tree against two freely available kD-tree
+implementations (KD1, KD2), two critical-bit trees over bit-interleaved
+keys (CB1, CB2) and two naive storage layouts (``double[]``, ``object[]``).
+The original libraries are Java; this package re-implements each algorithm
+from scratch in Python with the same structural behaviour:
+
+- :class:`repro.baselines.kdtree.KDTree` (KD1) -- classic pointer-based
+  kD-tree with lazy deletion,
+- :class:`repro.baselines.kdtree_bucket.BucketKDTree` (KD2) -- bucketed
+  kD-tree with median splits,
+- :class:`repro.baselines.critbit.CritBitTree` (CB1) -- crit-bit tree over
+  Morton-interleaved keys,
+- :class:`repro.baselines.patricia.PatriciaTrie` (CB2) -- PATRICIA trie
+  with explicit skipped-prefix storage, also over interleaved keys,
+- :class:`repro.baselines.naive.PlainArray` / ``ObjectArray`` -- the
+  un-indexed reference layouts,
+- :class:`repro.baselines.adapter.PHTreeIndex` -- the PH-tree wrapped in
+  the same :class:`~repro.baselines.interface.SpatialIndex` interface so
+  the benchmark harness treats all structures uniformly.
+"""
+
+from repro.baselines.adapter import PHTreeIndex
+from repro.baselines.critbit import CritBitTree
+from repro.baselines.interface import SpatialIndex, make_index
+from repro.baselines.kdtree import KDTree
+from repro.baselines.kdtree_bucket import BucketKDTree
+from repro.baselines.naive import ObjectArray, PlainArray
+from repro.baselines.patricia import PatriciaTrie
+from repro.baselines.quadtree import QuadTree
+from repro.baselines.rtree import RTree
+
+__all__ = [
+    "BucketKDTree",
+    "CritBitTree",
+    "KDTree",
+    "ObjectArray",
+    "PHTreeIndex",
+    "PatriciaTrie",
+    "PlainArray",
+    "QuadTree",
+    "RTree",
+    "SpatialIndex",
+    "make_index",
+]

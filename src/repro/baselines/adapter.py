@@ -1,0 +1,122 @@
+"""The PH-tree behind the common :class:`SpatialIndex` interface.
+
+Wraps :class:`repro.core.phtree_float.PHTreeF` so the benchmark harness can
+drive the PH-tree exactly like the baselines.  The memory accounting
+follows the Java implementation's node layout (paper Section 3.4):
+
+- one node object holding two packed int fields (``post_len``,
+  ``infix_len``) and two references (bit-string, sub-node array),
+- one ``byte[]`` with the node's serialised bit-string -- infix, slot
+  flags/addresses and postfixes, each value occupying exactly the bits it
+  needs,
+- one ``Object[]`` holding the sub-node references (value references are
+  only charged when the tree actually stores values).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex
+from repro.core.hypercube import SLOT_FLAG_BITS
+from repro.core.node import Node
+from repro.core.phtree import PHTree
+from repro.core.phtree_float import PHTreeF
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["PHTreeIndex", "phtree_memory_bytes"]
+
+Point = Tuple[float, ...]
+
+
+def _node_bit_string_bits(node: Node, k: int, value_bits: int) -> int:
+    """Bits of one node's serialised ``byte[]`` (excluding JVM refs)."""
+    n_sub, n_post = node.slot_counts()
+    payload = node.post_len * k + value_bits
+    if node.container.is_hc:
+        return (1 << k) * (SLOT_FLAG_BITS + payload)
+    return (n_sub + n_post) * (k + SLOT_FLAG_BITS) + n_post * payload
+
+
+def phtree_memory_bytes(
+    tree: PHTree,
+    model: Optional[JvmMemoryModel] = None,
+    with_values: bool = False,
+) -> int:
+    """Heap footprint of a PH-tree under the JVM object model."""
+    model = model or JvmMemoryModel.compressed_oops()
+    k = tree.dims
+    value_bits = 0
+    total = 0
+    node_obj = model.object_bytes(refs=2, ints=2)
+    for node in tree.nodes():
+        n_sub, n_post = node.slot_counts()
+        bits = node.infix_len * k + _node_bit_string_bits(
+            node, k, value_bits
+        )
+        total += node_obj + model.byte_array_for_bits(bits)
+        ref_slots = n_sub + (n_post if with_values else 0)
+        if ref_slots:
+            total += model.array_bytes("ref", ref_slots)
+    return total
+
+
+class PHTreeIndex(SpatialIndex):
+    """PH-tree over float points, conforming to the benchmark interface.
+
+    >>> idx = PHTreeIndex(dims=2)
+    >>> idx.put((0.5, 0.5), "x")
+    >>> idx.contains((0.5, 0.5))
+    True
+    """
+
+    name = "PH"
+
+    def __init__(
+        self,
+        dims: int,
+        hc_mode: str = "auto",
+        hc_hysteresis: float = 0.0,
+    ) -> None:
+        super().__init__(dims)
+        self._tree = PHTreeF(
+            dims=dims, hc_mode=hc_mode, hc_hysteresis=hc_hysteresis
+        )
+        self._stores_values = False
+
+    @property
+    def tree(self) -> PHTreeF:
+        """The wrapped float PH-tree."""
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        if value is not None:
+            self._stores_values = True
+        return self._tree.put(point, value)
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        return self._tree.get(point, default)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self._tree.contains(point)
+
+    def remove(self, point: Sequence[float]) -> Any:
+        return self._tree.remove(point)
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        return self._tree.query(box_min, box_max)
+
+    def knn(
+        self, point: Sequence[float], n: int = 1
+    ) -> List[Tuple[Point, Any]]:
+        return self._tree.knn(point, n)
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        return phtree_memory_bytes(
+            self._tree.int_tree, model, with_values=self._stores_values
+        )

@@ -1,0 +1,331 @@
+"""CB1: crit-bit tree over Morton-interleaved keys.
+
+Re-implementation of the first critical-bit tree used by the paper
+(Section 4.1, "CB1").  To store k-dimensional entries, the k coordinate
+values of each entry are converted with the IEEE-754 sortable encoding and
+interleaved into a single ``k * 64``-bit string (paper references [13, 17]);
+the crit-bit tree then manages these bit-strings.
+
+The structure is the classic Bernstein crit-bit / Morrison PATRICIA shape:
+inner nodes store only the index of the first bit at which their two
+subtrees differ (no prefixes), leaves store the full key.  Consequences the
+paper points out and that this implementation shares:
+
+- point lookups must walk up to ``k * w`` levels and finish with a full key
+  comparison at the leaf,
+- range queries degenerate towards full scans because subtrees carry no
+  prefix information to prune on ("resulted in nearly full scans
+  approaching O(n)", Section 4.3.3); the implementation walks every leaf
+  and filters.
+
+Bit indices are MSB-first over the interleaved code: index 0 is the most
+significant bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.baselines.interface import SpatialIndex
+from repro.encoding.ieee import decode_point, encode_point
+from repro.encoding.interleave import deinterleave, interleave
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["CritBitTree"]
+
+Point = Tuple[float, ...]
+_WIDTH = 64
+
+
+class _Leaf:
+    __slots__ = ("code", "point", "value")
+
+    def __init__(self, code: int, point: Point, value: Any) -> None:
+        self.code = code
+        self.point = point
+        self.value = value
+
+
+class _Inner:
+    __slots__ = ("bit", "left", "right")
+
+    def __init__(
+        self,
+        bit: int,
+        left: Union["_Inner", _Leaf],
+        right: Union["_Inner", _Leaf],
+    ) -> None:
+        self.bit = bit
+        self.left = left
+        self.right = right
+
+
+_NodeT = Union[_Inner, _Leaf]
+
+
+class CritBitTree(SpatialIndex):
+    """Crit-bit tree over interleaved 64-bit-per-dimension keys (CB1).
+
+    >>> tree = CritBitTree(dims=2)
+    >>> tree.put((0.25, 0.75), "a")
+    >>> tree.get((0.25, 0.75))
+    'a'
+    """
+
+    name = "CB1"
+
+    def __init__(self, dims: int) -> None:
+        super().__init__(dims)
+        self._root: Optional[_NodeT] = None
+        self._size = 0
+        self._total_bits = dims * _WIDTH
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- encoding -------------------------------------------------------------
+
+    def _encode(self, point: Sequence[float]) -> Tuple[Point, int]:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        return point, interleave(encode_point(point), _WIDTH)
+
+    def _bit(self, code: int, index: int) -> int:
+        # Index 0 is the MSB of the interleaved code.
+        return (code >> (self._total_bits - 1 - index)) & 1
+
+    # -- updates ---------------------------------------------------------------
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point, code = self._encode(point)
+        if self._root is None:
+            self._root = _Leaf(code, point, value)
+            self._size = 1
+            return None
+        # Phase 1: walk to the nearest leaf.
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.right if self._bit(code, node.bit) else node.left
+        if node.code == code:
+            previous = node.value
+            node.value = value
+            return previous
+        diff = node.code ^ code
+        crit = self._total_bits - diff.bit_length()
+        # Phase 2: re-descend to the insertion point: the first edge whose
+        # target is a leaf or an inner node testing a bit below `crit`.
+        parent: Optional[_Inner] = None
+        node = self._root
+        while isinstance(node, _Inner) and node.bit < crit:
+            parent = node
+            node = node.right if self._bit(code, node.bit) else node.left
+        leaf = _Leaf(code, point, value)
+        if self._bit(code, crit):
+            inner = _Inner(crit, node, leaf)
+        else:
+            inner = _Inner(crit, leaf, node)
+        if parent is None:
+            self._root = inner
+        elif self._bit(code, parent.bit):
+            parent.right = inner
+        else:
+            parent.left = inner
+        self._size += 1
+        return None
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point, code = self._encode(point)
+        if self._root is None:
+            raise KeyError(f"point not found: {point}")
+        grandparent: Optional[_Inner] = None
+        parent: Optional[_Inner] = None
+        node = self._root
+        while isinstance(node, _Inner):
+            grandparent = parent
+            parent = node
+            node = node.right if self._bit(code, node.bit) else node.left
+        if node.code != code:
+            raise KeyError(f"point not found: {point}")
+        if parent is None:
+            self._root = None
+        else:
+            sibling = (
+                parent.left
+                if self._bit(code, parent.bit)
+                else parent.right
+            )
+            if grandparent is None:
+                self._root = sibling
+            elif grandparent.left is parent:
+                grandparent.left = sibling
+            else:
+                grandparent.right = sibling
+        self._size -= 1
+        return node.value
+
+    # -- lookups -----------------------------------------------------------------
+
+    def _find(self, code: int) -> Optional[_Leaf]:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.right if self._bit(code, node.bit) else node.left
+        if node is not None and node.code == code:
+            return node
+        return None
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        _, code = self._encode(point)
+        leaf = self._find(code)
+        return default if leaf is None else leaf.value
+
+    def contains(self, point: Sequence[float]) -> bool:
+        _, code = self._encode(point)
+        return self._find(code) is not None
+
+    # -- queries --------------------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        """Near-full-scan range query: inner nodes carry no prefix, so the
+        traversal visits every leaf and filters (the behaviour the paper
+        measured for the available CB implementations)."""
+        box_min = tuple(float(v) for v in box_min)
+        box_max = tuple(float(v) for v in box_max)
+        if self._root is None:
+            return
+        stack: List[_NodeT] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                stack.append(node.left)
+                stack.append(node.right)
+                continue
+            inside = True
+            for v, lo, hi in zip(node.point, box_min, box_max):
+                if v < lo or v > hi:
+                    inside = False
+                    break
+            if inside:
+                yield node.point, node.value
+
+    def query_zorder(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        """Range query with z-order skip-scanning (BIGMIN).
+
+        The paper observes that the available CB implementations do
+        near-full scans but that "it is possible to provide more
+        efficient range queries" (§4.3.3).  This is that possibility:
+        scan leaves in code order and, on leaving the box, jump straight
+        to the smallest re-entering code via
+        :func:`repro.encoding.zorder.bigmin`.  Results arrive in
+        z-order.
+        """
+        from repro.encoding.zorder import bigmin
+
+        box_min = tuple(float(v) for v in box_min)
+        box_max = tuple(float(v) for v in box_max)
+        if any(lo > hi for lo, hi in zip(box_min, box_max)):
+            return
+        if self._root is None:
+            return
+        k = self._dims
+        zmin = interleave(encode_point(box_min), _WIDTH)
+        zmax = interleave(encode_point(box_max), _WIDTH)
+        low_codes = encode_point(box_min)
+        high_codes = encode_point(box_max)
+        cursor = zmin
+        while cursor is not None and cursor <= zmax:
+            leaf = self._ceiling(cursor)
+            if leaf is None or leaf.code > zmax:
+                return
+            codes = deinterleave(leaf.code, k, _WIDTH)
+            if all(
+                lo <= c <= hi
+                for c, lo, hi in zip(codes, low_codes, high_codes)
+            ):
+                yield leaf.point, leaf.value
+                cursor = leaf.code + 1
+            else:
+                cursor = bigmin(zmin, zmax, leaf.code, k, _WIDTH)
+
+    def _leftmost(self, node: _NodeT) -> _Leaf:
+        while isinstance(node, _Inner):
+            node = node.left
+        return node
+
+    def _ceiling(self, code: int) -> Optional[_Leaf]:
+        """Smallest leaf with ``leaf.code >= code``, in O(depth).
+
+        Classic two-pass crit-bit successor: descend by ``code``'s bits
+        to a representative leaf, find the most significant bit ``d``
+        where ``code`` diverges from it, then resolve with one more
+        subtree walk.  PATRICIA's skipped-bit property guarantees every
+        leaf below the divergence point shares the representative's bit
+        at ``d``.
+        """
+        node = self._root
+        if node is None:
+            return None
+        path: List[_Inner] = []
+        while isinstance(node, _Inner):
+            path.append(node)
+            node = (
+                node.right if self._bit(code, node.bit) else node.left
+            )
+        leaf: _Leaf = node
+        if leaf.code == code:
+            return leaf
+        diff = leaf.code ^ code
+        d = self._total_bits - diff.bit_length()  # MSB-first index
+        if self._bit(code, d) == 0:
+            # Every key sharing code's prefix above d has a 1 at d (the
+            # trie skipped d on this path), so all of them exceed code:
+            # the answer is the leftmost leaf of the subtree below d.
+            subtree: _NodeT = leaf
+            for inner in path:
+                if inner.bit > d:
+                    subtree = inner
+                    break
+            return self._leftmost(subtree)
+        # code has a 1 at d: every key in that subtree is smaller.  Climb
+        # to the deepest ancestor above d where the descent went left --
+        # its right child holds the successor candidates.
+        for inner in reversed(path):
+            if inner.bit < d and not self._bit(code, inner.bit):
+                return self._leftmost(inner.right)
+        return None
+
+    # -- memory -----------------------------------------------------------------------
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Java layout per entry: a leaf object (key + value refs), the
+        interleaved key as ``long[k]``, and (for all but the first entry)
+        one inner node (bit index int + 2 child refs)."""
+        model = model or JvmMemoryModel.compressed_oops()
+        leaf_bytes = model.object_bytes(refs=2)
+        key_bytes = model.array_bytes("long", self._dims)
+        inner_bytes = model.object_bytes(refs=2, ints=1)
+        n_inner = max(0, self._size - 1)
+        return self._size * (leaf_bytes + key_bytes) + n_inner * inner_bytes
+
+    # -- introspection -------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum leaf depth (bounded by ``k * w``)."""
+        best = 0
+        if self._root is None:
+            return best
+        stack: List[Tuple[_NodeT, int]] = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if isinstance(node, _Inner):
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+            elif depth > best:
+                best = depth
+        return best

@@ -1,0 +1,140 @@
+"""Common interface of all benchmarked index structures.
+
+Every structure in the evaluation -- the PH-tree and all baselines --
+implements :class:`SpatialIndex` over k-dimensional ``float`` points, so
+the benchmark harness is generic.  Structures that operate on integer bit
+strings internally (PH-tree, the two CB trees) apply the IEEE-754 sortable
+conversion of paper Section 3.3 at this boundary.
+
+:func:`make_index` is the factory the harness uses, keyed by the paper's
+structure names (``"PH"``, ``"KD1"``, ``"KD2"``, ``"CB1"``, ``"CB2"``,
+``"d[]"``, ``"o[]"``) plus the two §2-argument baselines this
+reproduction adds (``"RT"`` R-tree, ``"QT"`` plain quadtree).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["SpatialIndex", "make_index", "INDEX_NAMES"]
+
+Point = Tuple[float, ...]
+
+INDEX_NAMES = ("PH", "KD1", "KD2", "CB1", "CB2", "RT", "d[]", "o[]")
+
+
+class SpatialIndex(abc.ABC):
+    """A k-dimensional point index mapping float points to values."""
+
+    #: Short name used in benchmark output (matches the paper's labels).
+    name: str = "?"
+
+    def __init__(self, dims: int) -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self._dims = dims
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions ``k``."""
+        return self._dims
+
+    # -- mandatory operations ------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        """Insert ``point`` (or update its value); return previous value."""
+
+    @abc.abstractmethod
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        """Value stored at ``point`` or ``default``."""
+
+    @abc.abstractmethod
+    def contains(self, point: Sequence[float]) -> bool:
+        """Point query."""
+
+    @abc.abstractmethod
+    def remove(self, point: Sequence[float]) -> Any:
+        """Delete ``point``; raise KeyError when absent."""
+
+    @abc.abstractmethod
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        """Iterate entries in the inclusive box."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored points."""
+
+    @abc.abstractmethod
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Heap footprint of the structure under the JVM memory model."""
+
+    # -- optional operations -------------------------------------------------
+
+    def knn(
+        self, point: Sequence[float], n: int = 1
+    ) -> List[Tuple[Point, Any]]:
+        """``n`` nearest neighbours; structures without native support may
+        raise NotImplementedError."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support kNN queries"
+        )
+
+    def query_all(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> List[Tuple[Point, Any]]:
+        """Materialised :meth:`query` result."""
+        return list(self.query(box_min, box_max))
+
+    def __contains__(self, point: Sequence[float]) -> bool:
+        return self.contains(point)
+
+    def bytes_per_entry(
+        self, model: Optional[JvmMemoryModel] = None
+    ) -> float:
+        """Convenience: :meth:`memory_bytes` divided by entry count."""
+        n = len(self)
+        if n == 0:
+            return 0.0
+        return self.memory_bytes(model) / n
+
+
+def make_index(name: str, dims: int, **kwargs: Any) -> SpatialIndex:
+    """Instantiate a structure by its paper label.
+
+    >>> idx = make_index("PH", dims=2)
+    >>> idx.name
+    'PH'
+    """
+    from repro.baselines.adapter import PHTreeIndex
+    from repro.baselines.critbit import CritBitTree
+    from repro.baselines.kdtree import KDTree
+    from repro.baselines.kdtree_bucket import BucketKDTree
+    from repro.baselines.naive import ObjectArray, PlainArray
+    from repro.baselines.patricia import PatriciaTrie
+    from repro.baselines.quadtree import QuadTree
+    from repro.baselines.rtree import RTree
+
+    factories = {
+        "PH": PHTreeIndex,
+        "KD1": KDTree,
+        "KD2": BucketKDTree,
+        "CB1": CritBitTree,
+        "CB2": PatriciaTrie,
+        "RT": RTree,
+        "QT": QuadTree,
+        "d[]": PlainArray,
+        "o[]": ObjectArray,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {name!r}; one of {sorted(factories)}"
+        ) from None
+    return factory(dims=dims, **kwargs)

@@ -1,0 +1,233 @@
+"""KD1: classic pointer-based kD-tree with lazy deletion.
+
+Re-implementation of the first kD-tree library used by the paper
+(Section 4.1, "KD1"): a textbook Bentley kD-tree where
+
+- the split axis cycles round-robin with tree depth,
+- nodes are created in insertion order (no balancing, so the structure
+  depends on insertion order and can degenerate -- exactly the behaviour
+  the paper contrasts the PH-tree against),
+- deletion is *lazy*: nodes are flagged as deleted and stay in the tree
+  (the levy KDTree strategy), so delete is as fast as a point query but
+  memory is not reclaimed.
+
+Search rule: strictly-less goes left, greater-or-equal goes right.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["KDTree"]
+
+Point = Tuple[float, ...]
+
+
+class _KDNode:
+    """One kD-tree node: a stored point plus two children.
+
+    Mirrors the Java original's layout for the memory model: the node
+    object holds references to a point wrapper, the value, both children,
+    and a deletion flag.
+    """
+
+    __slots__ = ("point", "value", "left", "right", "deleted")
+
+    def __init__(self, point: Point, value: Any) -> None:
+        self.point = point
+        self.value = value
+        self.left: Optional["_KDNode"] = None
+        self.right: Optional["_KDNode"] = None
+        self.deleted = False
+
+
+class KDTree(SpatialIndex):
+    """Classic kD-tree over float points (the paper's KD1).
+
+    >>> tree = KDTree(dims=2)
+    >>> tree.put((0.1, 0.2), "a")
+    >>> tree.contains((0.1, 0.2))
+    True
+    >>> [p for p, _ in tree.query((0.0, 0.0), (1.0, 1.0))]
+    [(0.1, 0.2)]
+    """
+
+    name = "KD1"
+
+    def __init__(self, dims: int) -> None:
+        super().__init__(dims)
+        self._root: Optional[_KDNode] = None
+        self._size = 0
+        self._n_nodes = 0  # includes lazily deleted nodes
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """All allocated nodes, including lazily deleted ones."""
+        return self._n_nodes
+
+    # -- updates ------------------------------------------------------------
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point = self._check(point)
+        if self._root is None:
+            self._root = _KDNode(point, value)
+            self._size = 1
+            self._n_nodes = 1
+            return None
+        node = self._root
+        depth = 0
+        while True:
+            if node.point == point:
+                previous = None if node.deleted else node.value
+                if node.deleted:
+                    node.deleted = False
+                    self._size += 1
+                node.value = value
+                return previous
+            axis = depth % self._dims
+            if point[axis] < node.point[axis]:
+                if node.left is None:
+                    node.left = _KDNode(point, value)
+                    self._size += 1
+                    self._n_nodes += 1
+                    return None
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _KDNode(point, value)
+                    self._size += 1
+                    self._n_nodes += 1
+                    return None
+                node = node.right
+            depth += 1
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point = self._check(point)
+        node = self._find(point)
+        if node is None or node.deleted:
+            raise KeyError(f"point not found: {point}")
+        node.deleted = True
+        self._size -= 1
+        return node.value
+
+    # -- lookups ------------------------------------------------------------
+
+    def _find(self, point: Point) -> Optional[_KDNode]:
+        node = self._root
+        depth = 0
+        while node is not None:
+            if node.point == point:
+                return node
+            axis = depth % self._dims
+            node = (
+                node.left if point[axis] < node.point[axis] else node.right
+            )
+            depth += 1
+        return None
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        node = self._find(self._check(point))
+        if node is None or node.deleted:
+            return default
+        return node.value
+
+    def contains(self, point: Sequence[float]) -> bool:
+        node = self._find(self._check(point))
+        return node is not None and not node.deleted
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        box_min = self._check(box_min)
+        box_max = self._check(box_max)
+        if self._root is None:
+            return
+        stack: List[Tuple[_KDNode, int]] = [(self._root, 0)]
+        k = self._dims
+        while stack:
+            node, depth = stack.pop()
+            axis = depth % k
+            coord = node.point[axis]
+            if not node.deleted and _in_box(node.point, box_min, box_max):
+                yield node.point, node.value
+            if node.left is not None and box_min[axis] < coord:
+                stack.append((node.left, depth + 1))
+            if node.right is not None and box_max[axis] >= coord:
+                stack.append((node.right, depth + 1))
+
+    def knn(
+        self, point: Sequence[float], n: int = 1
+    ) -> List[Tuple[Point, Any]]:
+        """Branch-and-bound nearest neighbours (squared Euclidean)."""
+        point = self._check(point)
+        if self._root is None or n <= 0:
+            return []
+        import heapq
+
+        # Max-heap of the best n candidates: (-distance, counter, node).
+        best: List[Tuple[float, int, _KDNode]] = []
+        counter = [0]
+
+        def visit(node: Optional[_KDNode], depth: int) -> None:
+            if node is None:
+                return
+            axis = depth % self._dims
+            if not node.deleted:
+                d2 = sum(
+                    (a - b) * (a - b) for a, b in zip(point, node.point)
+                )
+                counter[0] += 1
+                if len(best) < n:
+                    heapq.heappush(best, (-d2, counter[0], node))
+                elif d2 < -best[0][0]:
+                    heapq.heapreplace(best, (-d2, counter[0], node))
+            diff = point[axis] - node.point[axis]
+            near, far = (
+                (node.left, node.right)
+                if diff < 0
+                else (node.right, node.left)
+            )
+            visit(near, depth + 1)
+            if len(best) < n or diff * diff < -best[0][0]:
+                visit(far, depth + 1)
+
+        visit(self._root, 0)
+        ordered = sorted(best, key=lambda item: -item[0])
+        return [(node.point, node.value) for _, _, node in ordered]
+
+    # -- memory --------------------------------------------------------------
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Heap usage of the Java layout: per node one _KDNode object
+        (4 refs + deleted flag), one point-wrapper object (1 ref) and one
+        ``double[k]``.  Lazily deleted nodes still count."""
+        model = model or JvmMemoryModel.compressed_oops()
+        node_bytes = model.object_bytes(refs=4, booleans=1)
+        wrapper_bytes = model.object_bytes(refs=1)
+        coords_bytes = model.array_bytes("double", self._dims)
+        return self._n_nodes * (node_bytes + wrapper_bytes + coords_bytes)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check(self, point: Sequence[float]) -> Point:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        return point
+
+
+def _in_box(point: Point, box_min: Point, box_max: Point) -> bool:
+    for v, lo, hi in zip(point, box_min, box_max):
+        if v < lo or v > hi:
+            return False
+    return True

@@ -1,0 +1,263 @@
+"""KD2: pointer-based kD-tree with eager deletion.
+
+Re-implementation of the second kD-tree library used by the paper
+(Section 4.1, "KD2").  Like KD1 it is an insertion-order kD-tree with
+round-robin split axes, but it differs in the ways the paper observed the
+two libraries differing ("each has its own strengths"):
+
+- deletion is *eager*: the removed node is replaced by the minimum of its
+  right subtree along the node's split axis (the textbook kD-tree delete),
+  so memory is reclaimed but deletes are more expensive,
+- nodes carry a little more bookkeeping (an explicit axis field and a
+  cached hash, as the original library's coordinate wrapper does), making
+  the structure slightly larger per entry.
+
+The class name is historical: early revisions bucketed leaves.  The
+benchmark label is "KD2".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["BucketKDTree"]
+
+Point = Tuple[float, ...]
+
+
+class _Node:
+    __slots__ = ("point", "value", "left", "right")
+
+    def __init__(self, point: Point, value: Any) -> None:
+        self.point = point
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class BucketKDTree(SpatialIndex):
+    """kD-tree with eager find-min deletion (the paper's KD2).
+
+    >>> tree = BucketKDTree(dims=2)
+    >>> tree.put((0.3, 0.7), 1)
+    >>> tree.remove((0.3, 0.7))
+    1
+    >>> len(tree)
+    0
+    """
+
+    name = "KD2"
+
+    def __init__(self, dims: int) -> None:
+        super().__init__(dims)
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Number of live nodes (== entry count for this structure)."""
+        return self._size
+
+    # -- updates -------------------------------------------------------------
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point = self._check(point)
+        if self._root is None:
+            self._root = _Node(point, value)
+            self._size = 1
+            return None
+        node = self._root
+        depth = 0
+        while True:
+            if node.point == point:
+                previous = node.value
+                node.value = value
+                return previous
+            axis = depth % self._dims
+            if point[axis] < node.point[axis]:
+                if node.left is None:
+                    node.left = _Node(point, value)
+                    self._size += 1
+                    return None
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _Node(point, value)
+                    self._size += 1
+                    return None
+                node = node.right
+            depth += 1
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point = self._check(point)
+        removed: List[Any] = []
+        self._root = self._delete(self._root, point, 0, removed)
+        if not removed:
+            raise KeyError(f"point not found: {point}")
+        self._size -= 1
+        return removed[0]
+
+    def _delete(
+        self,
+        node: Optional[_Node],
+        point: Point,
+        depth: int,
+        removed: List[Any],
+    ) -> Optional[_Node]:
+        if node is None:
+            return None
+        axis = depth % self._dims
+        if node.point == point:
+            removed.append(node.value)
+            if node.right is not None:
+                successor = self._find_min(node.right, axis, depth + 1)
+                node.point = successor.point
+                node.value = successor.value
+                node.right = self._delete(
+                    node.right, successor.point, depth + 1, []
+                )
+            elif node.left is not None:
+                # No right subtree: pull the left subtree's axis-minimum up
+                # and hang the remainder on the right, preserving the
+                # "left strictly less" invariant.
+                successor = self._find_min(node.left, axis, depth + 1)
+                node.point = successor.point
+                node.value = successor.value
+                node.right = self._delete(
+                    node.left, successor.point, depth + 1, []
+                )
+                node.left = None
+            else:
+                return None
+            return node
+        if point[axis] < node.point[axis]:
+            node.left = self._delete(node.left, point, depth + 1, removed)
+        else:
+            node.right = self._delete(node.right, point, depth + 1, removed)
+        return node
+
+    def _find_min(self, node: _Node, axis: int, depth: int) -> _Node:
+        """Node with the minimal coordinate along ``axis`` in the subtree."""
+        best = node
+        node_axis = depth % self._dims
+        if node.left is not None:
+            candidate = self._find_min(node.left, axis, depth + 1)
+            if candidate.point[axis] < best.point[axis]:
+                best = candidate
+        if node_axis != axis and node.right is not None:
+            candidate = self._find_min(node.right, axis, depth + 1)
+            if candidate.point[axis] < best.point[axis]:
+                best = candidate
+        return best
+
+    # -- lookups -------------------------------------------------------------
+
+    def _find(self, point: Point) -> Optional[_Node]:
+        node = self._root
+        depth = 0
+        while node is not None:
+            if node.point == point:
+                return node
+            axis = depth % self._dims
+            node = (
+                node.left if point[axis] < node.point[axis] else node.right
+            )
+            depth += 1
+        return None
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        node = self._find(self._check(point))
+        return default if node is None else node.value
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self._find(self._check(point)) is not None
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        box_min = self._check(box_min)
+        box_max = self._check(box_max)
+        if self._root is None:
+            return
+        stack: List[Tuple[_Node, int]] = [(self._root, 0)]
+        k = self._dims
+        while stack:
+            node, depth = stack.pop()
+            axis = depth % k
+            coord = node.point[axis]
+            inside = True
+            for v, lo, hi in zip(node.point, box_min, box_max):
+                if v < lo or v > hi:
+                    inside = False
+                    break
+            if inside:
+                yield node.point, node.value
+            if node.left is not None and box_min[axis] < coord:
+                stack.append((node.left, depth + 1))
+            if node.right is not None and box_max[axis] >= coord:
+                stack.append((node.right, depth + 1))
+
+    def knn(
+        self, point: Sequence[float], n: int = 1
+    ) -> List[Tuple[Point, Any]]:
+        """Branch-and-bound nearest neighbours (squared Euclidean)."""
+        point = self._check(point)
+        if self._root is None or n <= 0:
+            return []
+        import heapq
+
+        best: List[Tuple[float, int, _Node]] = []
+        counter = [0]
+
+        def visit(node: Optional[_Node], depth: int) -> None:
+            if node is None:
+                return
+            axis = depth % self._dims
+            d2 = sum((a - b) * (a - b) for a, b in zip(point, node.point))
+            counter[0] += 1
+            if len(best) < n:
+                heapq.heappush(best, (-d2, counter[0], node))
+            elif d2 < -best[0][0]:
+                heapq.heapreplace(best, (-d2, counter[0], node))
+            diff = point[axis] - node.point[axis]
+            near, far = (
+                (node.left, node.right)
+                if diff < 0
+                else (node.right, node.left)
+            )
+            visit(near, depth + 1)
+            if len(best) < n or diff * diff < -best[0][0]:
+                visit(far, depth + 1)
+
+        visit(self._root, 0)
+        ordered = sorted(best, key=lambda item: -item[0])
+        return [(node.point, node.value) for _, _, node in ordered]
+
+    # -- memory ---------------------------------------------------------------
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Java layout: node object (4 refs + axis int), coordinate wrapper
+        with cached hash (1 ref + 1 int), ``double[k]`` coordinates."""
+        model = model or JvmMemoryModel.compressed_oops()
+        node_bytes = model.object_bytes(refs=4, ints=1)
+        wrapper_bytes = model.object_bytes(refs=1, ints=1)
+        coords_bytes = model.array_bytes("double", self._dims)
+        return self._size * (node_bytes + wrapper_bytes + coords_bytes)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check(self, point: Sequence[float]) -> Point:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        return point

@@ -1,0 +1,115 @@
+"""Naive storage layouts: ``double[]`` and ``object[]`` (paper Section
+4.3.5).
+
+The paper reports two un-indexed reference layouts alongside the trees:
+
+- the *plain array*: all coordinates in one flat ``double[]`` of
+  ``k * 8 * n`` bytes,
+- the *object array*: one object per entry with ``k`` double fields, plus
+  an array of references -- ``(k * 8 + 16 + 4) * n`` bytes including
+  alignment.
+
+Both support the full :class:`~repro.baselines.interface.SpatialIndex`
+interface through linear scans, which also makes them the brute-force
+oracles of the test suite.  The reported memory follows the paper's
+formulas exactly (via the JVM model); the Python-side bookkeeping dict is
+an implementation artefact and deliberately not charged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["ObjectArray", "PlainArray"]
+
+Point = Tuple[float, ...]
+
+
+class _ScanIndex(SpatialIndex):
+    """Shared linear-scan implementation of both naive layouts."""
+
+    def __init__(self, dims: int) -> None:
+        super().__init__(dims)
+        self._entries: Dict[Point, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _check(self, point: Sequence[float]) -> Point:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        return point
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point = self._check(point)
+        previous = self._entries.get(point)
+        self._entries[point] = value
+        return previous
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        return self._entries.get(self._check(point), default)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self._check(point) in self._entries
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point = self._check(point)
+        try:
+            return self._entries.pop(point)
+        except KeyError:
+            raise KeyError(f"point not found: {point}") from None
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        box_min = self._check(box_min)
+        box_max = self._check(box_max)
+        for point, value in self._entries.items():
+            inside = True
+            for v, lo, hi in zip(point, box_min, box_max):
+                if v < lo or v > hi:
+                    inside = False
+                    break
+            if inside:
+                yield point, value
+
+    def knn(
+        self, point: Sequence[float], n: int = 1
+    ) -> List[Tuple[Point, Any]]:
+        """Brute-force k nearest neighbours (exact oracle for tests)."""
+        point = self._check(point)
+
+        def d2(candidate: Point) -> float:
+            return sum((a - b) * (a - b) for a, b in zip(point, candidate))
+
+        ordered = sorted(self._entries.items(), key=lambda kv: d2(kv[0]))
+        return ordered[: max(0, n)]
+
+
+class PlainArray(_ScanIndex):
+    """The paper's ``double[]`` layout: one flat coordinate array."""
+
+    name = "d[]"
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        model = model or JvmMemoryModel.compressed_oops()
+        return model.array_bytes("double", self._dims * len(self._entries))
+
+
+class ObjectArray(_ScanIndex):
+    """The paper's ``object[]`` layout: one k-double object per entry plus
+    a reference array."""
+
+    name = "o[]"
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        model = model or JvmMemoryModel.compressed_oops()
+        n = len(self._entries)
+        per_object = model.object_bytes(doubles=self._dims)
+        return per_object * n + model.array_bytes("ref", n)

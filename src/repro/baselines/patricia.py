@@ -1,0 +1,296 @@
+"""CB2: PATRICIA trie with explicit skipped-prefix storage.
+
+Re-implementation of the second critical-bit tree used by the paper
+(Section 4.1, "CB2").  Like CB1 it manages Morton-interleaved bit-strings,
+but it is a *radix* variant: every inner node stores the bit fragment that
+all keys of its subtree share beyond the parent's split point.  That makes
+nodes larger than CB1's (bit-index-only) inner nodes but allows the range
+query to prune subtrees.
+
+Pruning uses a property of MSB-first round-robin interleaving: if a subtree
+fixes the first ``L`` interleaved bits, then padding those bits with zeros
+respectively ones and de-interleaving yields the exact per-dimension
+bounding box of the subtree, for *any* ``L`` (each dimension's bits split
+into a fixed high part and free low part).  The query still has to descend
+one bit layer at a time though -- this is precisely the binary-tree
+handicap versus the PH-tree's 2**k-way nodes that the paper discusses in
+Section 4.3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.baselines.interface import SpatialIndex
+from repro.encoding.ieee import decode_point, encode_point
+from repro.encoding.interleave import interleave
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["PatriciaTrie"]
+
+Point = Tuple[float, ...]
+_WIDTH = 64
+
+
+class _Leaf:
+    __slots__ = ("code", "point", "value")
+
+    def __init__(self, code: int, point: Point, value: Any) -> None:
+        self.code = code
+        self.point = point
+        self.value = value
+
+
+class _Inner:
+    """Inner node owning the ``depth`` most significant interleaved bits.
+
+    ``depth`` is the number of leading bits shared by (and stored for) the
+    whole subtree; the children differ in bit ``depth`` (0 -> left).
+    """
+
+    __slots__ = ("prefix", "depth", "left", "right")
+
+    def __init__(
+        self,
+        prefix: int,
+        depth: int,
+        left: Union["_Inner", _Leaf],
+        right: Union["_Inner", _Leaf],
+    ) -> None:
+        self.prefix = prefix
+        self.depth = depth
+        self.left = left
+        self.right = right
+
+
+_NodeT = Union[_Inner, _Leaf]
+
+
+class PatriciaTrie(SpatialIndex):
+    """PATRICIA trie over interleaved keys with prefix pruning (CB2).
+
+    >>> trie = PatriciaTrie(dims=2)
+    >>> trie.put((0.1, 0.9), "a")
+    >>> trie.put((0.2, 0.8), "b")
+    >>> sorted(p for p, _ in trie.query((0.0, 0.0), (1.0, 1.0)))
+    [(0.1, 0.9), (0.2, 0.8)]
+    """
+
+    name = "CB2"
+
+    def __init__(self, dims: int) -> None:
+        super().__init__(dims)
+        self._root: Optional[_NodeT] = None
+        self._size = 0
+        self._total_bits = dims * _WIDTH
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- encoding ---------------------------------------------------------------
+
+    def _encode(self, point: Sequence[float]) -> Tuple[Point, int]:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        return point, interleave(encode_point(point), _WIDTH)
+
+    def _node_prefix_depth(self, node: _NodeT) -> Tuple[int, int]:
+        """(prefix bits, depth) of a node: leaves own their full code."""
+        if isinstance(node, _Inner):
+            return node.prefix, node.depth
+        return node.code, self._total_bits
+
+    # -- updates ----------------------------------------------------------------
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point, code = self._encode(point)
+        if self._root is None:
+            self._root = _Leaf(code, point, value)
+            self._size = 1
+            return None
+        total = self._total_bits
+        parent: Optional[_Inner] = None
+        on_right = False
+        node = self._root
+        while True:
+            prefix, depth = self._node_prefix_depth(node)
+            # Compare the key's leading `depth` bits with the node prefix.
+            key_prefix = code >> (total - depth) if depth else 0
+            if key_prefix == prefix:
+                if isinstance(node, _Leaf):
+                    previous = node.value
+                    node.value = value
+                    return previous
+                # Full prefix match: descend by the next bit.
+                bit = (code >> (total - 1 - depth)) & 1
+                parent = node
+                on_right = bool(bit)
+                node = node.right if bit else node.left
+                continue
+            # Mismatch inside this node's prefix: split at the first
+            # differing bit.
+            diff = key_prefix ^ prefix
+            mismatch_depth = depth - diff.bit_length()
+            shared = code >> (total - mismatch_depth) if mismatch_depth else 0
+            leaf = _Leaf(code, point, value)
+            bit = (code >> (total - 1 - mismatch_depth)) & 1
+            if bit:
+                split = _Inner(shared, mismatch_depth, node, leaf)
+            else:
+                split = _Inner(shared, mismatch_depth, leaf, node)
+            if parent is None:
+                self._root = split
+            elif on_right:
+                parent.right = split
+            else:
+                parent.left = split
+            self._size += 1
+            return None
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point, code = self._encode(point)
+        if self._root is None:
+            raise KeyError(f"point not found: {point}")
+        total = self._total_bits
+        grandparent: Optional[_Inner] = None
+        gp_on_right = False
+        parent: Optional[_Inner] = None
+        on_right = False
+        node = self._root
+        while isinstance(node, _Inner):
+            key_prefix = code >> (total - node.depth) if node.depth else 0
+            if key_prefix != node.prefix:
+                raise KeyError(f"point not found: {point}")
+            bit = (code >> (total - 1 - node.depth)) & 1
+            grandparent, gp_on_right = parent, on_right
+            parent, on_right = node, bool(bit)
+            node = node.right if bit else node.left
+        if node.code != code:
+            raise KeyError(f"point not found: {point}")
+        if parent is None:
+            self._root = None
+        else:
+            sibling = parent.left if on_right else parent.right
+            if grandparent is None:
+                self._root = sibling
+            elif gp_on_right:
+                grandparent.right = sibling
+            else:
+                grandparent.left = sibling
+        self._size -= 1
+        return node.value
+
+    # -- lookups -------------------------------------------------------------------
+
+    def _find(self, code: int) -> Optional[_Leaf]:
+        total = self._total_bits
+        node = self._root
+        while isinstance(node, _Inner):
+            key_prefix = code >> (total - node.depth) if node.depth else 0
+            if key_prefix != node.prefix:
+                return None
+            bit = (code >> (total - 1 - node.depth)) & 1
+            node = node.right if bit else node.left
+        if node is not None and node.code == code:
+            return node
+        return None
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        _, code = self._encode(point)
+        leaf = self._find(code)
+        return default if leaf is None else leaf.value
+
+    def contains(self, point: Sequence[float]) -> bool:
+        _, code = self._encode(point)
+        return self._find(code) is not None
+
+    # -- queries ----------------------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        """Range query with per-subtree bounding-box pruning."""
+        box_min = tuple(float(v) for v in box_min)
+        box_max = tuple(float(v) for v in box_max)
+        if self._root is None:
+            return
+        total = self._total_bits
+        encoded_min = encode_point(box_min)
+        encoded_max = encode_point(box_max)
+        stack: List[_NodeT] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                inside = True
+                for v, lo, hi in zip(node.point, box_min, box_max):
+                    if v < lo or v > hi:
+                        inside = False
+                        break
+                if inside:
+                    yield node.point, node.value
+                continue
+            if node.depth and not self._subtree_intersects(
+                node.prefix, node.depth, encoded_min, encoded_max
+            ):
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+
+    def _subtree_intersects(
+        self,
+        prefix: int,
+        depth: int,
+        encoded_min: Tuple[int, ...],
+        encoded_max: Tuple[int, ...],
+    ) -> bool:
+        """Bounding box of the subtree vs the encoded query box.
+
+        Pads the fixed prefix with zeros/ones and extracts each dimension's
+        bounds directly from the padded codes.
+        """
+        total = self._total_bits
+        free = total - depth
+        code_lo = prefix << free
+        code_hi = code_lo | ((1 << free) - 1)
+        k = self._dims
+        # Dimension d owns interleaved bit positions d, d+k, d+2k, ...
+        # (from the MSB).  Extract its bounds from the padded codes.
+        for dim in range(k):
+            lo_d = 0
+            hi_d = 0
+            for layer in range(_WIDTH):
+                shift = total - 1 - (layer * k + dim)
+                lo_d = (lo_d << 1) | ((code_lo >> shift) & 1)
+                hi_d = (hi_d << 1) | ((code_hi >> shift) & 1)
+            if hi_d < encoded_min[dim] or lo_d > encoded_max[dim]:
+                return False
+        return True
+
+    # -- memory -------------------------------------------------------------------------
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Java layout: leaves are bare ``long[k]`` key arrays plus a value
+        reference slot; inner nodes store two child refs, the prefix
+        fragment (packed longs) and its length."""
+        model = model or JvmMemoryModel.compressed_oops()
+        key_bytes = model.array_bytes("long", self._dims)
+        total = 0
+        if self._root is None:
+            return 0
+        stack: List[Tuple[_NodeT, int]] = [(self._root, 0)]
+        while stack:
+            node, parent_depth = stack.pop()
+            if isinstance(node, _Leaf):
+                total += key_bytes + model.reference_bytes
+                continue
+            fragment_bits = node.depth - parent_depth
+            fragment_longs = max(1, (fragment_bits + 63) // 64)
+            total += model.object_bytes(
+                refs=2, ints=1, longs=fragment_longs
+            )
+            stack.append((node.left, node.depth + 1))
+            stack.append((node.right, node.depth + 1))
+        return total

@@ -1,0 +1,250 @@
+"""QT: a plain bucket quadtree/octree baseline (Finkel & Bentley 1974,
+the paper's reference [6]).
+
+The PH-tree "is essentially a quadtree that uses hypercubes,
+prefix-sharing and bit-stream storage" (§3).  This baseline is the
+ancestor *without* those three additions: a region quadtree over
+``[0,1)**k``-style domains that splits a bucket into ``2**k`` children at
+the midpoint whenever it overflows.  Comparing it with the PH-tree
+isolates the paper's actual contribution:
+
+- no path compression -> long chains of single-child nodes appear for
+  skewed data (the paper's §2 criticism: quadtrees "tend to require a
+  lot of memory due to their propensity for requiring many and large
+  nodes"),
+- the domain must be known up front and the depth is unbounded for
+  adversarially close points (we stop splitting at ``max_depth`` and let
+  the deepest buckets grow).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["QuadTree"]
+
+Point = Tuple[float, ...]
+
+BUCKET_CAPACITY = 8
+MAX_DEPTH = 64
+
+
+class _Cell:
+    __slots__ = ("centre", "half", "children", "bucket")
+
+    def __init__(self, centre: Point, half: float) -> None:
+        self.centre = centre
+        self.half = half
+        self.children: Optional[List[Optional["_Cell"]]] = None
+        self.bucket: List[Tuple[Point, Any]] = []
+
+    def child_index(self, point: Point) -> int:
+        index = 0
+        for c, v in zip(self.centre, point):
+            index = (index << 1) | (1 if v >= c else 0)
+        return index
+
+    def child_centre(self, index: int) -> Point:
+        k = len(self.centre)
+        quarter = self.half / 2.0
+        return tuple(
+            c + (quarter if (index >> (k - 1 - d)) & 1 else -quarter)
+            for d, c in enumerate(self.centre)
+        )
+
+    def intersects(self, box_min: Point, box_max: Point) -> bool:
+        for c, lo, hi in zip(self.centre, box_min, box_max):
+            if c + self.half < lo or c - self.half > hi:
+                return False
+        return True
+
+
+class QuadTree(SpatialIndex):
+    """Bucket quadtree/octree over a fixed domain (label "QT").
+
+    The domain defaults to the paper's synthetic datasets' ``[0, 1]``
+    cube; pass ``domain=(lo, hi)`` for other data (e.g. TIGER
+    coordinates).
+
+    >>> tree = QuadTree(dims=2)
+    >>> tree.put((0.25, 0.75), "a")
+    >>> tree.get((0.25, 0.75))
+    'a'
+    """
+
+    name = "QT"
+
+    def __init__(
+        self,
+        dims: int,
+        domain: Tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        super().__init__(dims)
+        lo, hi = float(domain[0]), float(domain[1])
+        if not lo < hi:
+            raise ValueError(f"degenerate domain [{lo}, {hi}]")
+        centre = ((lo + hi) / 2.0,) * dims
+        self._root = _Cell(centre, (hi - lo) / 2.0)
+        self._domain = (lo, hi)
+        self._size = 0
+        self._n_cells = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def cell_count(self) -> int:
+        """Number of allocated cells (inner + bucket)."""
+        return self._n_cells
+
+    def _check(self, point: Sequence[float]) -> Point:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        lo, hi = self._domain
+        for v in point:
+            if not lo <= v <= hi:
+                raise ValueError(
+                    f"coordinate {v} outside the domain [{lo}, {hi}]"
+                )
+        return point
+
+    # -- updates ------------------------------------------------------------------
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point = self._check(point)
+        cell = self._root
+        depth = 0
+        while cell.children is not None:
+            index = cell.child_index(point)
+            child = cell.children[index]
+            if child is None:
+                child = _Cell(
+                    cell.child_centre(index), cell.half / 2.0
+                )
+                cell.children[index] = child
+                self._n_cells += 1
+            cell = child
+            depth += 1
+        for i, (stored, _) in enumerate(cell.bucket):
+            if stored == point:
+                previous = cell.bucket[i][1]
+                cell.bucket[i] = (point, value)
+                return previous
+        cell.bucket.append((point, value))
+        self._size += 1
+        if len(cell.bucket) > BUCKET_CAPACITY and depth < MAX_DEPTH:
+            self._split(cell)
+        return None
+
+    def _split(self, cell: _Cell) -> None:
+        cell.children = [None] * (1 << self._dims)
+        overflow = cell.bucket
+        cell.bucket = []
+        for point, value in overflow:
+            index = cell.child_index(point)
+            child = cell.children[index]
+            if child is None:
+                child = _Cell(
+                    cell.child_centre(index), cell.half / 2.0
+                )
+                cell.children[index] = child
+                self._n_cells += 1
+            child.bucket.append((point, value))
+        # A pathological cluster may land entirely in one child; the
+        # child splits lazily on its next overflow insert.
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point = self._check(point)
+        cell = self._root
+        while cell.children is not None:
+            child = cell.children[cell.child_index(point)]
+            if child is None:
+                raise KeyError(f"point not found: {point}")
+            cell = child
+        for i, (stored, value) in enumerate(cell.bucket):
+            if stored == point:
+                cell.bucket.pop(i)
+                self._size -= 1
+                # No merging: like classic quadtrees, empty cells stay.
+                return value
+        raise KeyError(f"point not found: {point}")
+
+    # -- lookups --------------------------------------------------------------------
+
+    def _locate(self, point: Point) -> Optional[Tuple[Point, Any]]:
+        cell = self._root
+        while cell.children is not None:
+            child = cell.children[cell.child_index(point)]
+            if child is None:
+                return None
+            cell = child
+        for stored, value in cell.bucket:
+            if stored == point:
+                return stored, value
+        return None
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        found = self._locate(self._check(point))
+        return default if found is None else found[1]
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self._locate(self._check(point)) is not None
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        box_min = self._check(box_min)
+        box_max = self._check(box_max)
+        stack = [self._root]
+        while stack:
+            cell = stack.pop()
+            if not cell.intersects(box_min, box_max):
+                continue
+            for point, value in cell.bucket:
+                inside = True
+                for v, lo, hi in zip(point, box_min, box_max):
+                    if v < lo or v > hi:
+                        inside = False
+                        break
+                if inside:
+                    yield point, value
+            if cell.children is not None:
+                for child in cell.children:
+                    if child is not None:
+                        stack.append(child)
+
+    # -- memory ------------------------------------------------------------------------
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Java layout: cell object (centre double[k] + half + child
+        array ref + bucket ref), children as a 2**k ref array where
+        split, bucket entries as point double[k] + value ref."""
+        model = model or JvmMemoryModel.compressed_oops()
+        cell_obj = model.object_bytes(refs=2, doubles=1)
+        centre_bytes = model.array_bytes("double", self._dims)
+        point_bytes = model.array_bytes("double", self._dims)
+        child_array = model.array_bytes("ref", 1 << self._dims)
+        total = 0
+        stack = [self._root]
+        while stack:
+            cell = stack.pop()
+            total += cell_obj + centre_bytes
+            if cell.bucket:
+                total += model.array_bytes("ref", len(cell.bucket))
+                total += len(cell.bucket) * (
+                    point_bytes + model.reference_bytes
+                )
+            if cell.children is not None:
+                total += child_array
+                for child in cell.children:
+                    if child is not None:
+                        stack.append(child)
+        return total

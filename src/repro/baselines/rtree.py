@@ -1,0 +1,491 @@
+"""RT: an R-tree baseline (Guttman 1984, the paper's reference [10]).
+
+The paper's related work (§2) argues that SAM structures like the R-tree
+"can also be used to store points by using regions with size 0, but they
+can not compete with PAM structures in this domain".  The paper does not
+benchmark one; we implement it anyway so the claim itself becomes an
+experiment (``ablation_sam``).
+
+This is a textbook main-memory Guttman R-tree in point mode:
+
+- leaf entries hold points (zero-extent rectangles), inner entries hold
+  child nodes with their minimum bounding rectangles (MBRs),
+- inserts descend by least area enlargement and split overflowing nodes
+  with the quadratic split,
+- deletes condense the tree: underfull nodes are dissolved and their
+  entries reinserted,
+- window queries descend every child whose MBR intersects the box; kNN
+  is best-first over MBR distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["RTree"]
+
+Point = Tuple[float, ...]
+
+#: Guttman's M and m: node capacity and minimum fill.
+MAX_ENTRIES = 8
+MIN_ENTRIES = 3
+
+
+class _Rect:
+    """A mutable axis-aligned MBR."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Point, hi: Point) -> None:
+        self.lo = list(lo)
+        self.hi = list(hi)
+
+    @classmethod
+    def of_point(cls, point: Point) -> "_Rect":
+        return cls(point, point)
+
+    def copy(self) -> "_Rect":
+        return _Rect(tuple(self.lo), tuple(self.hi))
+
+    def area(self) -> float:
+        result = 1.0
+        for lo, hi in zip(self.lo, self.hi):
+            result *= hi - lo
+        return result
+
+    def enlarge(self, other: "_Rect") -> None:
+        for d in range(len(self.lo)):
+            if other.lo[d] < self.lo[d]:
+                self.lo[d] = other.lo[d]
+            if other.hi[d] > self.hi[d]:
+                self.hi[d] = other.hi[d]
+
+    def enlarged_area(self, other: "_Rect") -> float:
+        result = 1.0
+        for d in range(len(self.lo)):
+            lo = min(self.lo[d], other.lo[d])
+            hi = max(self.hi[d], other.hi[d])
+            result *= hi - lo
+        return result
+
+    def intersects_box(self, box_min: Point, box_max: Point) -> bool:
+        for d in range(len(self.lo)):
+            if self.hi[d] < box_min[d] or self.lo[d] > box_max[d]:
+                return False
+        return True
+
+    def contains_point(self, point: Point) -> bool:
+        for d, v in enumerate(point):
+            if v < self.lo[d] or v > self.hi[d]:
+                return False
+        return True
+
+    def min_dist2(self, point: Point) -> float:
+        total = 0.0
+        for d, v in enumerate(point):
+            if v < self.lo[d]:
+                delta = self.lo[d] - v
+            elif v > self.hi[d]:
+                delta = v - self.hi[d]
+            else:
+                continue
+            total += delta * delta
+        return total
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "rect")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        # Leaf entries: (point, value); inner entries: _Node children.
+        self.entries: List[Any] = []
+        self.rect: Optional[_Rect] = None
+
+    def recompute_rect(self) -> None:
+        rects = [
+            _Rect.of_point(e[0]) if self.leaf else e.rect
+            for e in self.entries
+        ]
+        if not rects:
+            self.rect = None
+            return
+        rect = rects[0].copy()
+        for other in rects[1:]:
+            rect.enlarge(other)
+        self.rect = rect
+
+
+class RTree(SpatialIndex):
+    """Guttman R-tree over float points (label "RT").
+
+    >>> tree = RTree(dims=2)
+    >>> tree.put((0.1, 0.2), "a")
+    >>> tree.get((0.1, 0.2))
+    'a'
+    """
+
+    name = "RT"
+
+    def __init__(self, dims: int) -> None:
+        super().__init__(dims)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, point: Sequence[float]) -> Point:
+        point = tuple(float(v) for v in point)
+        if len(point) != self._dims:
+            raise ValueError(
+                f"point has {len(point)} dimensions, index has {self._dims}"
+            )
+        return point
+
+    # -- insertion ------------------------------------------------------------
+
+    def put(self, point: Sequence[float], value: Any = None) -> Any:
+        point = self._check(point)
+        existing = self._find_leaf(self._root, point)
+        if existing is not None:
+            node, index = existing
+            previous = node.entries[index][1]
+            node.entries[index] = (point, value)
+            return previous
+        split = self._insert(self._root, point, value)
+        if split is not None:
+            # Root split: grow the tree by one level.
+            old_root = self._root
+            new_root = _Node(leaf=False)
+            new_root.entries = [old_root, split]
+            new_root.recompute_rect()
+            self._root = new_root
+        self._size += 1
+        return None
+
+    def _insert(
+        self, node: _Node, point: Point, value: Any
+    ) -> Optional[_Node]:
+        point_rect = _Rect.of_point(point)
+        if node.rect is None:
+            node.rect = point_rect.copy()
+        else:
+            node.rect.enlarge(point_rect)
+        if node.leaf:
+            node.entries.append((point, value))
+        else:
+            child = self._choose_subtree(node, point_rect)
+            split = self._insert(child, point, value)
+            if split is not None:
+                node.entries.append(split)
+        if len(node.entries) > MAX_ENTRIES:
+            return self._split(node)
+        return None
+
+    def _choose_subtree(self, node: _Node, rect: _Rect) -> _Node:
+        best = None
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        for child in node.entries:
+            area = child.rect.area()
+            enlargement = child.rect.enlarged_area(rect) - area
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best = child
+                best_enlargement = enlargement
+                best_area = area
+        return best
+
+    def _entry_rect(self, node: _Node, entry: Any) -> _Rect:
+        if node.leaf:
+            return _Rect.of_point(entry[0])
+        return entry.rect
+
+    def _split(self, node: _Node) -> _Node:
+        """Guttman quadratic split; returns the new sibling."""
+        entries = node.entries
+        rects = [self._entry_rect(node, e) for e in entries]
+        # Pick the pair wasting the most area as seeds.
+        worst = -float("inf")
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    rects[i].enlarged_area(rects[j])
+                    - rects[i].area()
+                    - rects[j].area()
+                )
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        rect_a = rects[seeds[0]].copy()
+        rect_b = rects[seeds[1]].copy()
+        remaining = [
+            (entries[i], rects[i])
+            for i in range(len(entries))
+            if i not in seeds
+        ]
+        for entry, rect in remaining:
+            grow_a = rect_a.enlarged_area(rect) - rect_a.area()
+            grow_b = rect_b.enlarged_area(rect) - rect_b.area()
+            need_a = MIN_ENTRIES - len(group_a)
+            need_b = MIN_ENTRIES - len(group_b)
+            unassigned = (
+                len(entries) - len(group_a) - len(group_b)
+            )
+            if need_a >= unassigned:
+                target, target_rect = group_a, rect_a
+            elif need_b >= unassigned:
+                target, target_rect = group_b, rect_b
+            elif grow_a < grow_b or (
+                grow_a == grow_b and rect_a.area() <= rect_b.area()
+            ):
+                target, target_rect = group_a, rect_a
+            else:
+                target, target_rect = group_b, rect_b
+            target.append(entry)
+            target_rect.enlarge(rect)
+        node.entries = group_a
+        node.recompute_rect()
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        sibling.recompute_rect()
+        return sibling
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _find_leaf(
+        self, node: _Node, point: Point
+    ) -> Optional[Tuple[_Node, int]]:
+        if node.rect is None or not node.rect.contains_point(point):
+            return None
+        if node.leaf:
+            for index, (stored, _) in enumerate(node.entries):
+                if stored == point:
+                    return node, index
+            return None
+        for child in node.entries:
+            found = self._find_leaf(child, point)
+            if found is not None:
+                return found
+        return None
+
+    def get(self, point: Sequence[float], default: Any = None) -> Any:
+        found = self._find_leaf(self._root, self._check(point))
+        if found is None:
+            return default
+        node, index = found
+        return node.entries[index][1]
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self._find_leaf(self._root, self._check(point)) is not None
+
+    # -- deletion -------------------------------------------------------------------
+
+    def remove(self, point: Sequence[float]) -> Any:
+        point = self._check(point)
+        removed: List[Any] = []
+        orphans: List[Tuple[Point, Any]] = []
+        self._delete(self._root, point, removed, orphans)
+        if not removed:
+            raise KeyError(f"point not found: {point}")
+        self._size -= 1
+        # Shrink a root that lost its children.
+        if not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0]
+        if not self._root.entries:
+            self._root = _Node(leaf=True)
+        for orphan_point, orphan_value in orphans:
+            split = self._insert(self._root, orphan_point, orphan_value)
+            if split is not None:
+                old_root = self._root
+                new_root = _Node(leaf=False)
+                new_root.entries = [old_root, split]
+                new_root.recompute_rect()
+                self._root = new_root
+        return removed[0]
+
+    def _delete(
+        self,
+        node: _Node,
+        point: Point,
+        removed: List[Any],
+        orphans: List[Tuple[Point, Any]],
+    ) -> bool:
+        """Returns True when ``node`` itself should be dissolved."""
+        if node.rect is None or not node.rect.contains_point(point):
+            return False
+        if node.leaf:
+            for index, (stored, value) in enumerate(node.entries):
+                if stored == point:
+                    removed.append(value)
+                    node.entries.pop(index)
+                    node.recompute_rect()
+                    return (
+                        node is not self._root
+                        and len(node.entries) < MIN_ENTRIES
+                    )
+            return False
+        for child_index, child in enumerate(node.entries):
+            dissolve = self._delete(child, point, removed, orphans)
+            if removed:
+                if dissolve:
+                    node.entries.pop(child_index)
+                    orphans.extend(self._collect_points(child))
+                node.recompute_rect()
+                return (
+                    node is not self._root
+                    and len(node.entries) < MIN_ENTRIES
+                )
+        return False
+
+    def _collect_points(self, node: _Node) -> List[Tuple[Point, Any]]:
+        if node.leaf:
+            return list(node.entries)
+        result = []
+        for child in node.entries:
+            result.extend(self._collect_points(child))
+        return result
+
+    # -- queries ------------------------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Iterator[Tuple[Point, Any]]:
+        box_min = self._check(box_min)
+        box_max = self._check(box_max)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not node.rect.intersects_box(
+                box_min, box_max
+            ):
+                continue
+            if node.leaf:
+                for point, value in node.entries:
+                    inside = True
+                    for v, lo, hi in zip(point, box_min, box_max):
+                        if v < lo or v > hi:
+                            inside = False
+                            break
+                    if inside:
+                        yield point, value
+            else:
+                stack.extend(node.entries)
+
+    def knn(
+        self, point: Sequence[float], n: int = 1
+    ) -> List[Tuple[Point, Any]]:
+        point = self._check(point)
+        if self._size == 0 or n <= 0:
+            return []
+        tiebreak = itertools.count()
+        heap: List[Tuple[float, int, Any, bool]] = []
+        if self._root.rect is not None:
+            heap.append(
+                (self._root.rect.min_dist2(point), next(tiebreak),
+                 self._root, False)
+            )
+        results: List[Tuple[Point, Any]] = []
+        while heap and len(results) < n:
+            dist, _, item, is_entry = heapq.heappop(heap)
+            if is_entry:
+                results.append(item)
+                continue
+            node: _Node = item
+            if node.leaf:
+                for entry in node.entries:
+                    d2 = sum(
+                        (a - b) * (a - b)
+                        for a, b in zip(point, entry[0])
+                    )
+                    heapq.heappush(
+                        heap, (d2, next(tiebreak), entry, True)
+                    )
+            else:
+                for child in node.entries:
+                    if child.rect is not None:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child.rect.min_dist2(point),
+                                next(tiebreak),
+                                child,
+                                False,
+                            ),
+                        )
+        return results
+
+    # -- memory ----------------------------------------------------------------------------
+
+    def memory_bytes(self, model: Optional[JvmMemoryModel] = None) -> int:
+        """Java layout: node object (flag + entry-array ref + rect ref),
+        MBR as two double[k], entry array of refs; leaf entries as
+        point double[k] + value ref."""
+        model = model or JvmMemoryModel.compressed_oops()
+        node_obj = model.object_bytes(refs=2, booleans=1)
+        rect_bytes = model.object_bytes(refs=2) + 2 * model.array_bytes(
+            "double", self._dims
+        )
+        point_bytes = model.array_bytes("double", self._dims)
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += node_obj + rect_bytes
+            total += model.array_bytes("ref", len(node.entries))
+            if node.leaf:
+                total += len(node.entries) * (
+                    point_bytes + model.reference_bytes
+                )
+            else:
+                stack.extend(node.entries)
+        return total
+
+    # -- validation -----------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """R-tree invariants: MBRs cover their subtrees, fill bounds."""
+        count = self._check_node(self._root, is_root=True)
+        if count != self._size:
+            raise AssertionError(
+                f"size bookkeeping off: counted {count}, "
+                f"stored {self._size}"
+            )
+
+    def _check_node(self, node: _Node, is_root: bool = False) -> int:
+        if not node.entries:
+            if not is_root:
+                raise AssertionError("empty non-root node")
+            return 0
+        if not is_root and not (
+            MIN_ENTRIES <= len(node.entries) <= MAX_ENTRIES
+        ):
+            raise AssertionError(
+                f"node fill {len(node.entries)} outside "
+                f"[{MIN_ENTRIES}, {MAX_ENTRIES}]"
+            )
+        if node.leaf:
+            for point, _ in node.entries:
+                if not node.rect.contains_point(point):
+                    raise AssertionError("leaf MBR misses a point")
+            return len(node.entries)
+        total = 0
+        for child in node.entries:
+            for d in range(self._dims):
+                if (
+                    child.rect.lo[d] < node.rect.lo[d]
+                    or child.rect.hi[d] > node.rect.hi[d]
+                ):
+                    raise AssertionError("child MBR escapes parent MBR")
+            total += self._check_node(child)
+        return total

@@ -1,0 +1,20 @@
+"""Benchmark harness regenerating every table and figure of the paper's
+Section 4.
+
+Layout:
+
+- :mod:`repro.bench.timing` -- wall-clock measurement helpers (the paper's
+  metrics: µs per inserted entry, µs per query, µs per returned entry).
+- :mod:`repro.bench.runner` -- generic experiment drivers (n-sweeps and
+  k-sweeps over datasets and structures).
+- :mod:`repro.bench.scales` -- the ``tiny`` / ``small`` / ``medium`` /
+  ``paper`` parameter scales (Python is 50-100x slower per operation than
+  the paper's JVM testbed; the default scales shrink n while preserving
+  sweep shapes -- see DESIGN.md).
+- :mod:`repro.bench.experiments` -- one module per paper table/figure.
+- :mod:`repro.bench.cli` -- ``python -m repro.bench --experiment fig7``.
+"""
+
+from repro.bench.runner import ExperimentResult, Series
+
+__all__ = ["ExperimentResult", "Series"]

@@ -1,0 +1,109 @@
+"""Command-line entry point for the benchmark harness.
+
+Examples::
+
+    python -m repro.bench --list
+    python -m repro.bench --experiment fig7 --scale small
+    python -m repro.bench --experiment all --scale tiny --out results/
+
+One text report per experiment is printed to stdout; with ``--out`` each
+result is additionally written as ``<exp_id>.txt`` and ``<exp_id>.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.experiments import REGISTRY, run_experiment
+from repro.bench.scales import SCALES
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phtree-bench",
+        description=(
+            "Regenerate the tables and figures of 'The PH-tree' "
+            "(SIGMOD 2014)."
+        ),
+    )
+    parser.add_argument(
+        "--experiment",
+        "-e",
+        default="all",
+        help=(
+            "experiment id ('all' or one of: "
+            + ", ".join(sorted(REGISTRY))
+            + ")"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        "-s",
+        default="small",
+        choices=sorted(SCALES),
+        help="parameter scale (default: small)",
+    )
+    parser.add_argument(
+        "--out",
+        "-o",
+        type=Path,
+        default=None,
+        help="directory for per-experiment .txt/.csv reports",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the benchmark CLI; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    if args.list:
+        for exp_id in sorted(REGISTRY):
+            doc = sys.modules[REGISTRY[exp_id].__module__].__doc__ or ""
+            first_line = doc.strip().splitlines()[0] if doc else ""
+            print(f"{exp_id:>16s}  {first_line}")
+        return 0
+    if args.experiment == "all":
+        exp_ids = sorted(REGISTRY)
+    else:
+        exp_ids = [args.experiment]
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for exp_id in exp_ids:
+        started = time.perf_counter()
+        try:
+            results = run_experiment(exp_id, args.scale)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        for result in results:
+            print(result.format_table())
+            print()
+            if args.out is not None:
+                txt = args.out / f"{result.exp_id}.txt"
+                txt.write_text(result.format_table() + "\n")
+                csv = args.out / f"{result.exp_id}.csv"
+                csv.write_text(result.to_csv())
+                if getattr(result, "series", None):
+                    from repro.bench.plotting import render_chart
+
+                    chart = args.out / f"{result.exp_id}.chart.txt"
+                    chart.write_text(render_chart(result) + "\n")
+        print(f"[{exp_id} done in {elapsed:.1f}s, scale={args.scale}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Compare two benchmark result directories.
+
+``python -m repro.bench.compare results_before results_after`` loads the
+per-experiment CSV files two harness runs produced (``--out`` directories
+of :mod:`repro.bench.cli`) and prints per-series ratios -- the tool to
+answer "did my change make fig9 faster?" or "how do tiny and small scale
+shapes compare?".
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["compare_directories", "load_csv_series", "main"]
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+def load_csv_series(path: Path) -> Series:
+    """Parse one harness CSV into {series label: [(x, y), ...]}."""
+    lines = path.read_text().strip().splitlines()
+    if not lines:
+        return {}
+    header = lines[0].split(",")
+    if len(header) < 2:
+        return {}
+    labels = header[1:]
+    series: Series = {label: [] for label in labels}
+    for line in lines[1:]:
+        parts = line.split(",")
+        if len(parts) != len(header):
+            continue
+        try:
+            x = float(parts[0])
+        except ValueError:
+            continue
+        for label, cell in zip(labels, parts[1:]):
+            try:
+                y = float(cell)
+            except ValueError:
+                y = float("nan")
+            series[label].append((x, y))
+    return series
+
+
+def _geometric_mean_ratio(
+    before: List[Tuple[float, float]],
+    after: List[Tuple[float, float]],
+) -> Optional[float]:
+    """Geometric mean of after/before at shared x positions."""
+    before_by_x = {x: y for x, y in before}
+    logs = []
+    for x, y_after in after:
+        y_before = before_by_x.get(x)
+        if (
+            y_before is None
+            or y_before <= 0
+            or y_after <= 0
+            or math.isnan(y_before)
+            or math.isnan(y_after)
+        ):
+            continue
+        logs.append(math.log(y_after / y_before))
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
+def compare_directories(
+    before_dir: Path, after_dir: Path
+) -> List[Tuple[str, str, Optional[float]]]:
+    """Return (experiment, series label, after/before ratio) rows for
+    every CSV present in both directories."""
+    rows: List[Tuple[str, str, Optional[float]]] = []
+    for before_csv in sorted(before_dir.glob("*.csv")):
+        after_csv = after_dir / before_csv.name
+        if not after_csv.exists():
+            continue
+        before = load_csv_series(before_csv)
+        after = load_csv_series(after_csv)
+        exp_id = before_csv.stem
+        for label in before:
+            if label not in after:
+                continue
+            rows.append(
+                (
+                    exp_id,
+                    label,
+                    _geometric_mean_ratio(before[label], after[label]),
+                )
+            )
+    return rows
+
+
+def format_report(
+    rows: List[Tuple[str, str, Optional[float]]],
+    threshold: float = 0.0,
+) -> str:
+    """Human-readable ratio table; ``threshold`` hides |change| below it
+    (e.g. 0.1 hides changes under 10%)."""
+    lines = [f"{'experiment':<24s} {'series':<22s} {'after/before':>12s}"]
+    for exp_id, label, ratio in rows:
+        if ratio is None:
+            rendered = "n/a"
+        else:
+            if threshold and abs(ratio - 1.0) < threshold:
+                continue
+            rendered = f"{ratio:.3f}x"
+        lines.append(f"{exp_id:<24s} {label:<22s} {rendered:>12s}")
+    if len(lines) == 1:
+        lines.append("(no overlapping data)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the comparison CLI; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Compare two harness result directories.",
+    )
+    parser.add_argument("before", type=Path)
+    parser.add_argument("after", type=Path)
+    parser.add_argument(
+        "--threshold",
+        "-t",
+        type=float,
+        default=0.0,
+        help="hide changes smaller than this fraction (e.g. 0.1)",
+    )
+    args = parser.parse_args(argv)
+    for directory in (args.before, args.after):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory",
+                  file=sys.stderr)
+            return 2
+    rows = compare_directories(args.before, args.after)
+    print(format_report(rows, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

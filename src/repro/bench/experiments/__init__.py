@@ -1,0 +1,68 @@
+"""One module per paper table/figure.
+
+Each experiment module exposes ``EXP_ID`` and a ``run(scale_name)``
+function returning a list of result objects (each with ``exp_id``,
+``format_table()`` and ``to_csv()``).  :data:`REGISTRY` maps experiment ids
+to their run functions; :func:`run_experiment` dispatches by id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.experiments import (
+    ablation_chunks,
+    ablation_hc,
+    ablation_masks,
+    ablation_sam,
+    ablation_storage,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    tab1,
+    tab2,
+    tab3,
+    tab4,
+    unload,
+)
+
+__all__ = ["REGISTRY", "run_experiment"]
+
+REGISTRY: Dict[str, Callable[[str], list]] = {
+    "ablation_chunks": ablation_chunks.run,
+    "ablation_sam": ablation_sam.run,
+    "ablation_storage": ablation_storage.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "unload": unload.run,
+    "tab1": tab1.run,
+    "tab2": tab2.run,
+    "tab3": tab3.run,
+    "tab4": tab4.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "ablation_hc": ablation_hc.run,
+    "ablation_masks": ablation_masks.run,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "small") -> List[object]:
+    """Run one experiment by id at the given scale."""
+    try:
+        runner = REGISTRY[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; one of {sorted(REGISTRY)}"
+        ) from None
+    return runner(scale)

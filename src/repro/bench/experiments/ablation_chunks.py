@@ -1,0 +1,79 @@
+"""Ablation: monolithic vs chunked node bit-strings (paper Outlook 1).
+
+The paper predicts that splitting node bit-strings into chunks improves
+update performance ("all node-data is stored in a single bit-string which
+makes insert and delete operations slow for k > 8").  This experiment
+measures the primitive that dominates LHC updates -- a mid-stream bit
+insert followed by a removal -- on a monolithic
+:class:`~repro.encoding.bitbuffer.BitBuffer` versus a
+:class:`~repro.encoding.chunked.ChunkedBitBuffer`, for growing stream
+sizes (a stand-in for growing node sizes at high k).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.bench.runner import ExperimentResult, Series
+from repro.bench.scales import get_scale
+from repro.bench.timing import time_callable, us_per_op
+from repro.encoding.bitbuffer import BitBuffer
+from repro.encoding.chunked import ChunkedBitBuffer
+
+EXP_ID = "ablation_chunks"
+
+_OPS = 300
+
+
+def _filled(buffer, n_bits: int):
+    rng = random.Random(1)
+    remaining = n_bits
+    while remaining > 0:
+        width = min(32, remaining)
+        buffer.append(rng.randrange(1 << width), width)
+        remaining -= width
+    return buffer
+
+
+def _update_cost(buffer, n_bits: int, seed: int) -> float:
+    rng = random.Random(seed)
+
+    def run() -> None:
+        for _ in range(_OPS):
+            pos = rng.randrange(n_bits)
+            buffer.insert(pos, 0b1011, 4)
+            buffer.remove(pos, 4)
+
+    seconds, _ = time_callable(run)
+    return us_per_op(seconds, _OPS)
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    # Stream sizes: what one node's bit-string reaches as k grows
+    # (k * w bits per postfix, hundreds of postfixes).
+    sizes = [1 << e for e in (10, 13, 16, 19)]
+    if scale.name == "tiny":
+        # Keep the largest size: that is where the asymptotic difference
+        # (O(stream) vs O(chunk)) separates reliably.
+        sizes = [1 << 13, 1 << 16, 1 << 19]
+    result = ExperimentResult(
+        exp_id="ablation_chunks",
+        title="mid-stream insert+remove cost: monolithic vs chunked",
+        x_label="stream bits",
+        y_label="us per insert+remove pair",
+    )
+    mono = Series(label="monolithic")
+    chunked = Series(label="chunked(4KiB)")
+    for n_bits in sizes:
+        mono_buf = _filled(BitBuffer(), n_bits)
+        mono.add(n_bits, _update_cost(mono_buf, n_bits, seed=2))
+        chunk_buf = _filled(ChunkedBitBuffer(), n_bits)
+        chunked.add(n_bits, _update_cost(chunk_buf, n_bits, seed=2))
+    result.series.extend([mono, chunked])
+    result.notes.append(
+        "expect: monolithic cost grows with stream size, chunked stays "
+        "bounded by the 4KiB chunk (the paper's Outlook-1 prediction)"
+    )
+    return [result]

@@ -1,0 +1,81 @@
+"""Ablation: HC/LHC representation switching (paper Section 3.2).
+
+The PH-tree's automatic per-node choice between the flat 2**k hypercube
+array (HC) and the sorted linear table (LHC) is one of its central design
+decisions.  This ablation loads the same dataset with the switching forced
+to one representation:
+
+- ``auto``  -- the paper's behaviour (pick whichever is smaller),
+- ``lhc``   -- always linear (a pure PATRICIA-quadtree),
+- ``hc``    -- always the flat array (a classic quadtree; memory explodes
+  with k).
+
+Reported per mode: load time, point-query time and modelled bytes/entry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import (
+    ExperimentResult,
+    Series,
+    load_index,
+    time_callable,
+    us_per_op,
+)
+from repro.bench.scales import get_scale
+from repro.datasets import make_dataset
+from repro.workloads import data_bounds, make_point_queries
+
+EXP_ID = "ablation_hc"
+_MODES = ("auto", "lhc", "hc")
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    k_values = [k for k in scale.k_sweep_perf if k <= 8]
+    load_result = ExperimentResult(
+        exp_id="ablation_hc-load",
+        title="HC/LHC ablation: load time vs k (CUBE)",
+        x_label="k",
+        y_label="us per inserted entry",
+    )
+    query_result = ExperimentResult(
+        exp_id="ablation_hc-query",
+        title="HC/LHC ablation: point query time vs k (CUBE)",
+        x_label="k",
+        y_label="us per point query",
+    )
+    space_result = ExperimentResult(
+        exp_id="ablation_hc-space",
+        title="HC/LHC ablation: bytes/entry vs k (CUBE)",
+        x_label="k",
+        y_label="bytes per entry",
+    )
+    for mode in _MODES:
+        load_series = Series(label=f"PH[{mode}]")
+        query_series = Series(label=f"PH[{mode}]")
+        space_series = Series(label=f"PH[{mode}]")
+        for k in k_values:
+            points = make_dataset("CUBE", scale.n_fixed, k)
+            index, seconds = load_index("PH", k, points, hc_mode=mode)
+            load_series.add(k, us_per_op(seconds, len(points)))
+            queries = make_point_queries(
+                points, scale.n_point_queries, data_bounds(points), seed=1
+            )
+
+            def run_queries() -> None:
+                for q in queries:
+                    index.contains(q)
+
+            q_seconds, _ = time_callable(run_queries)
+            query_series.add(k, us_per_op(q_seconds, len(queries)))
+            space_series.add(k, index.bytes_per_entry())
+        load_result.series.append(load_series)
+        query_result.series.append(query_series)
+        space_result.series.append(space_series)
+    space_result.notes.append(
+        "auto should never exceed the better of the two forced modes"
+    )
+    return [load_result, query_result, space_result]

@@ -1,0 +1,80 @@
+"""Ablation: mask-guided range-query iteration (paper Section 3.5).
+
+The paper's ``m_L``/``m_U`` masks restrict the hypercube addresses a range
+query visits inside each node and let the iterator skip invalid address
+ranges in one operation.  This ablation times the same range-query
+workloads with the masks enabled (paper behaviour) and disabled (visit
+every occupied slot of every intersecting node), plus the CB1 near-full-
+scan as the binary-tree reference point.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import (
+    ExperimentResult,
+    Series,
+    load_index,
+    time_callable,
+    us_per_op,
+)
+from repro.bench.runner import _range_boxes
+from repro.bench.scales import get_scale
+
+EXP_ID = "ablation_masks"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = ExperimentResult(
+        exp_id="ablation_masks",
+        title="range-query mask ablation (us per returned entry)",
+        x_label="k",
+        y_label="us per returned entry",
+    )
+    from repro.datasets import make_dataset
+
+    k_values = [k for k in scale.k_sweep_perf if k <= 8]
+    datasets = ("CUBE", "CLUSTER0.5")
+    for dataset in datasets:
+        masked = Series(label=f"masks-{dataset}")
+        naive = Series(label=f"naive-{dataset}")
+        critbit = Series(label=f"CB1-{dataset}")
+        for k in k_values:
+            points = make_dataset(dataset, scale.n_fixed, k)
+            boxes = _range_boxes(
+                dataset, k, points, scale.n_range_queries, seed=2
+            )
+            index, _ = load_index("PH", k, points)
+            tree = index.tree
+
+            for series, use_masks in ((masked, True), (naive, False)):
+                returned = 0
+
+                def run_queries() -> None:
+                    nonlocal returned
+                    for lo, hi in boxes:
+                        for _ in tree.query(lo, hi, use_masks=use_masks):
+                            returned += 1
+
+                seconds, _ = time_callable(run_queries)
+                series.add(k, us_per_op(seconds, returned))
+
+            cb_index, _ = load_index("CB1", k, points)
+            returned = 0
+
+            def run_cb_queries() -> None:
+                nonlocal returned
+                for lo, hi in boxes:
+                    for _ in cb_index.query(lo, hi):
+                        returned += 1
+
+            seconds, _ = time_callable(run_cb_queries)
+            critbit.add(k, us_per_op(seconds, returned))
+        result.series.extend([masked, naive, critbit])
+    result.notes.append(
+        "CB1 rows document the near-O(n)-scan behaviour the paper reports "
+        "for CB-tree range queries (Section 4.3.3)"
+    )
+    return [result]

@@ -1,0 +1,113 @@
+"""Ablation: the PH-tree vs its relatives the paper only argues about.
+
+Section 2 of the paper makes two comparative claims it never benchmarks:
+
+- SAM structures (R-trees) "can also be used to store points by using
+  regions with size 0" but "can not compete with PAM structures in this
+  domain";
+- plain quadtrees "tend to require a lot of memory due to their
+  propensity for requiring many and large nodes", which the PH-tree
+  counters with prefix sharing and bit-stream nodes.
+
+This experiment turns both claims into measurements: PH, RT (Guttman
+R-tree), QT (bucket quadtree) and KD1 (reference PAM) on the CUBE
+dataset -- load time, point queries, window queries and modelled
+bytes/entry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.interface import make_index
+from repro.bench.runner import ExperimentResult, Series, _range_boxes
+from repro.bench.scales import get_scale
+from repro.bench.timing import time_callable, us_per_op
+from repro.datasets import make_dataset
+from repro.workloads import data_bounds, make_point_queries
+
+EXP_ID = "ablation_sam"
+_STRUCTURES = ("PH", "RT", "QT", "KD1")
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    n_values = list(scale.n_sweep[:4])
+    dims = 3
+    load = ExperimentResult(
+        "ablation_sam-load",
+        "PAM vs SAM vs quadtree: load time (CUBE 3D)",
+        "entries",
+        "us per entry",
+    )
+    point = ExperimentResult(
+        "ablation_sam-point",
+        "PAM vs SAM vs quadtree: point queries (CUBE 3D)",
+        "entries",
+        "us per query",
+    )
+    window = ExperimentResult(
+        "ablation_sam-window",
+        "PAM vs SAM vs quadtree: window queries (CUBE 3D)",
+        "entries",
+        "us per returned entry",
+    )
+    space = ExperimentResult(
+        "ablation_sam-space",
+        "PAM vs SAM vs quadtree: modelled memory (CUBE 3D)",
+        "entries",
+        "bytes per entry",
+    )
+    series = {
+        result.exp_id: {name: Series(label=name) for name in _STRUCTURES}
+        for result in (load, point, window, space)
+    }
+    for n in n_values:
+        points = make_dataset("CUBE", n, dims)
+        queries = make_point_queries(
+            points, scale.n_point_queries, data_bounds(points), seed=1
+        )
+        boxes = _range_boxes("CUBE", dims, points, scale.n_range_queries,
+                             seed=2)
+        for name in _STRUCTURES:
+            index = make_index(name, dims=dims)
+
+            def build() -> None:
+                for p in points:
+                    index.put(p)
+
+            seconds, _ = time_callable(build)
+            series["ablation_sam-load"][name].add(
+                n, us_per_op(seconds, n)
+            )
+
+            def run_points() -> None:
+                for q in queries:
+                    index.contains(q)
+
+            seconds, _ = time_callable(run_points)
+            series["ablation_sam-point"][name].add(
+                n, us_per_op(seconds, len(queries))
+            )
+            returned = 0
+
+            def run_windows() -> None:
+                nonlocal returned
+                for lo, hi in boxes:
+                    for _ in index.query(lo, hi):
+                        returned += 1
+
+            seconds, _ = time_callable(run_windows)
+            series["ablation_sam-window"][name].add(
+                n, us_per_op(seconds, returned)
+            )
+            series["ablation_sam-space"][name].add(
+                n, index.bytes_per_entry()
+            )
+    for result in (load, point, window, space):
+        result.series.extend(series[result.exp_id].values())
+    space.notes.append(
+        "paper §2: R-trees cannot compete with PAMs on points; quadtrees "
+        "need many/large nodes -- both show up as space overheads here"
+    )
+    return [load, point, window, space]

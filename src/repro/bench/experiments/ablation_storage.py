@@ -1,0 +1,105 @@
+"""Ablation: storage engines -- mutable nodes vs bulk build vs frozen
+bytes.
+
+Three ways to hold the same key set:
+
+- the mutable object-node engine (repeated ``put``),
+- the same engine filled by :func:`~repro.core.bulk.bulk_load`,
+- the read-only :class:`~repro.core.frozen.FrozenPHTree` (queries decode
+  the packed byte stream directly).
+
+Reported per engine and n: build time (µs/entry), point-query time
+(µs/query) and real memory (actual bytes for frozen; deep CPython size
+for the object engines).  This quantifies the space/speed trade-off that
+DESIGN.md calls out: the paper's compactness claims attach to the packed
+layout, the object engine buys update speed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, Series
+from repro.bench.scales import get_scale
+from repro.bench.timing import time_callable, us_per_op
+from repro.core import PHTree, bulk_load, freeze
+from repro.core.frozen import FrozenPHTree
+from repro.datasets import make_dataset
+from repro.encoding.ieee import encode_point
+from repro.memory.pysize import index_sizeof
+from repro.workloads import data_bounds, make_point_queries
+
+EXP_ID = "ablation_storage"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    n_values = list(scale.n_sweep[:4])
+    build = ExperimentResult(
+        "ablation_storage-build",
+        "storage engines: build time",
+        "entries",
+        "us per entry",
+    )
+    query = ExperimentResult(
+        "ablation_storage-query",
+        "storage engines: point query time",
+        "entries",
+        "us per query",
+    )
+    space = ExperimentResult(
+        "ablation_storage-space",
+        "storage engines: real memory",
+        "entries",
+        "bytes per entry (actual)",
+    )
+    put_build = Series(label="put-loop")
+    bulk_build = Series(label="bulk_load")
+    put_query = Series(label="mutable")
+    frozen_query = Series(label="frozen")
+    put_space = Series(label="mutable(py)")
+    frozen_space = Series(label="frozen(bytes)")
+
+    for n in n_values:
+        points = make_dataset("CUBE", n, 3)
+        keys = [encode_point(p) for p in points]
+        queries = make_point_queries(
+            points, scale.n_point_queries, data_bounds(points), seed=1
+        )
+        encoded_queries = [encode_point(q) for q in queries]
+
+        def incremental() -> PHTree:
+            tree = PHTree(dims=3, width=64)
+            for key in keys:
+                tree.put(key)
+            return tree
+
+        seconds, tree = time_callable(incremental)
+        put_build.add(n, us_per_op(seconds, n))
+        seconds, _ = time_callable(
+            lambda: bulk_load(((k, None) for k in keys), dims=3)
+        )
+        bulk_build.add(n, us_per_op(seconds, n))
+
+        frozen = FrozenPHTree(freeze(tree))
+
+        def run_queries(target) -> None:
+            contains = target.contains
+            for q in encoded_queries:
+                contains(q)
+
+        seconds, _ = time_callable(lambda: run_queries(tree))
+        put_query.add(n, us_per_op(seconds, len(encoded_queries)))
+        seconds, _ = time_callable(lambda: run_queries(frozen))
+        frozen_query.add(n, us_per_op(seconds, len(encoded_queries)))
+
+        put_space.add(n, index_sizeof(tree) / n)
+        frozen_space.add(n, frozen.memory_bytes() / n)
+
+    build.series.extend([put_build, bulk_build])
+    query.series.extend([put_query, frozen_query])
+    space.series.extend([put_space, frozen_space])
+    space.notes.append(
+        "frozen = actual byte-stream length; mutable = deep CPython size"
+    )
+    return [build, query, space]

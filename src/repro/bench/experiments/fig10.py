@@ -1,0 +1,32 @@
+"""Figure 10: PH-tree bytes per entry for increasing k (Section 4.3.6).
+
+Series: PH on CLUSTER0.4, CLUSTER0.5 and CUBE; n fixed (paper: 10^6).
+Expected shape: CLUSTER0.5 blows up dramatically with k (exponent-boundary
+splits destroy the entry-to-node ratio) while CLUSTER0.4 stays low; CUBE
+sits in between.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_k_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig10"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = run_k_sweep(
+        "fig10",
+        "PH-tree bytes/entry vs k",
+        [("PH", "CLUSTER0.4"), ("PH", "CLUSTER0.5"), ("PH", "CUBE")],
+        scale.k_sweep_space,
+        scale.n_space,
+        metric="bytes_per_entry",
+    )
+    result.notes.append(
+        "expect: CL0.5 rising steeply with k, CL0.4 low/flat, CUBE between"
+    )
+    return [result]

@@ -1,0 +1,35 @@
+"""Figure 11: insertion times vs k, CLUSTER datasets (Section 4.3.7).
+
+Series: PH-CL0.4, PH-CL0.5, KD2-CL0.5, CB1-CL0.5, CB1-CL0.4; n fixed
+(paper: 10^7), k <= 10.  Expected shape: PH scales well until ~k=8, then
+node size starts to hurt updates; CB trees scale linearly with k.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_k_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig11"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = run_k_sweep(
+        "fig11",
+        "insertion vs k, CLUSTER",
+        [
+            ("PH", "CLUSTER0.4"),
+            ("PH", "CLUSTER0.5"),
+            ("KD2", "CLUSTER0.5"),
+            ("CB1", "CLUSTER0.5"),
+            ("CB1", "CLUSTER0.4"),
+        ],
+        scale.k_sweep_perf,
+        scale.n_fixed,
+        metric="insert",
+        repeats=scale.repeats,
+    )
+    return [result]

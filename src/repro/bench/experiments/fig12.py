@@ -1,0 +1,27 @@
+"""Figure 12: insertion times vs k, CUBE dataset (Section 4.3.7).
+
+Series: PH-CU, KD2-CU, CB1-CU; n fixed (paper: 10^7), k <= 10.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_k_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig12"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = run_k_sweep(
+        "fig12",
+        "insertion vs k, CUBE",
+        [("PH", "CUBE"), ("KD2", "CUBE"), ("CB1", "CUBE")],
+        scale.k_sweep_perf,
+        scale.n_fixed,
+        metric="insert",
+        repeats=scale.repeats,
+    )
+    return [result]

@@ -1,0 +1,75 @@
+"""Figure 13: query execution times vs k (Section 4.3.7).
+
+Three panels:
+
+- (a) point queries, CLUSTER: PH-CL0.4, PH-CL0.5, KD2-CL0.5, CB1-CL0.5,
+- (b) point queries, CUBE: PH-CU, KD2-CU, CB1-CU, CB2-CU,
+- (c) range queries: PH-CL0.4, PH-CL0.5, PH-CU, KD2-CU (KD-CL omitted, as
+  in the paper, being orders of magnitude slower).
+
+Expected shapes: point queries roughly k-independent for PH/KD with PH
+fastest; CB scaling linearly in k.  Range queries: PH-CU linear in k
+(LHC-dominated), PH-CL0.4 nearly flat (HC-dominated).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_k_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig13"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    a = run_k_sweep(
+        "fig13a",
+        "point queries vs k, CLUSTER",
+        [
+            ("PH", "CLUSTER0.4"),
+            ("PH", "CLUSTER0.5"),
+            ("KD2", "CLUSTER0.5"),
+            ("CB1", "CLUSTER0.5"),
+        ],
+        scale.k_sweep_space,
+        scale.n_fixed,
+        metric="point_query",
+        n_queries=scale.n_point_queries,
+        repeats=scale.repeats,
+    )
+    b = run_k_sweep(
+        "fig13b",
+        "point queries vs k, CUBE",
+        [
+            ("PH", "CUBE"),
+            ("KD2", "CUBE"),
+            ("CB1", "CUBE"),
+            ("CB2", "CUBE"),
+        ],
+        scale.k_sweep_space,
+        scale.n_fixed,
+        metric="point_query",
+        n_queries=scale.n_point_queries,
+        repeats=scale.repeats,
+    )
+    c = run_k_sweep(
+        "fig13c",
+        "range queries vs k",
+        [
+            ("PH", "CLUSTER0.4"),
+            ("PH", "CLUSTER0.5"),
+            ("PH", "CUBE"),
+            ("KD2", "CUBE"),
+        ],
+        scale.k_sweep_perf,
+        scale.n_fixed,
+        metric="range_query",
+        n_queries=scale.n_range_queries,
+        repeats=scale.repeats,
+    )
+    c.notes.append(
+        "KD-CLUSTER omitted as in the paper (500-1000 us/returned entry)"
+    )
+    return [a, b, c]

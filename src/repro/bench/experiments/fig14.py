@@ -1,0 +1,37 @@
+"""Figure 14: space per entry vs k, CLUSTER datasets (Section 4.3.7).
+
+Series: PH-CL0.4, PH-CL0.5, KD1-CL, CB1, CB2, double[], object[]; n fixed
+(paper: 10^7).  Expected shape: PH dips around k=3..5 (storing 3D-5D
+points can take *less* space per entry than 2D), CL0.5 rises steeply for
+large k but stays below KD1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_k_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig14"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = run_k_sweep(
+        "fig14",
+        "bytes/entry vs k, CLUSTER",
+        [
+            ("PH", "CLUSTER0.4"),
+            ("PH", "CLUSTER0.5"),
+            ("KD1", "CLUSTER0.5"),
+            ("CB1", "CLUSTER0.5"),
+            ("CB2", "CLUSTER0.5"),
+            ("d[]", "CLUSTER0.5"),
+            ("o[]", "CLUSTER0.5"),
+        ],
+        scale.k_sweep_space,
+        scale.n_space,
+        metric="bytes_per_entry",
+    )
+    return [result]

@@ -1,0 +1,35 @@
+"""Figure 15: space per entry vs k, CUBE dataset (Section 4.3.7).
+
+Series: PH-CU, KD1-CU, CB1, CB2, double[], object[]; n fixed (paper:
+10^7).  Expected shape: PH below both kD-trees and both CB trees across
+all k, competitive with object[].
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_k_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig15"
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = run_k_sweep(
+        "fig15",
+        "bytes/entry vs k, CUBE",
+        [
+            ("PH", "CUBE"),
+            ("KD1", "CUBE"),
+            ("CB1", "CUBE"),
+            ("CB2", "CUBE"),
+            ("d[]", "CUBE"),
+            ("o[]", "CUBE"),
+        ],
+        scale.k_sweep_space,
+        scale.n_space,
+        metric="bytes_per_entry",
+    )
+    return [result]

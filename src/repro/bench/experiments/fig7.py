@@ -1,0 +1,40 @@
+"""Figure 7: insertion times per entry (paper Section 4.3.1).
+
+Three panels: (a) the 2D TIGER/Line dataset, (b) the 3D CUBE dataset,
+(c) the 3D CLUSTER dataset; five structures each (PH, KD1, KD2, CB1, CB2).
+
+Paper findings to look for: the PH-tree's per-entry insertion time is
+nearly flat (even *decreasing* on TIGER/CLUSTER thanks to growing prefix
+sharing), while the kD-trees slow down with n.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_insertion_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig7"
+_STRUCTURES = ("PH", "KD1", "KD2", "CB1", "CB2")
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    panels = [
+        ("fig7a", "insertion, 2D TIGER/Line", "TIGER", 2),
+        ("fig7b", "insertion, 3D CUBE", "CUBE", 3),
+        ("fig7c", "insertion, 3D CLUSTER", "CLUSTER0.5", 3),
+    ]
+    return [
+        run_insertion_sweep(
+            exp_id,
+            title,
+            dataset,
+            dims,
+            _STRUCTURES,
+            scale.n_sweep,
+            repeats=scale.repeats,
+        )
+        for exp_id, title, dataset, dims in panels
+    ]

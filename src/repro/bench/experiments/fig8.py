@@ -1,0 +1,39 @@
+"""Figure 8: point query times (paper Section 4.3.2).
+
+1M queries in the paper (scaled here), 50% hitting existing points, 50%
+random coordinates in the allowed range.  Expected shape: PH consistently
+fastest except for very small datasets, with very little degradation as n
+grows; CB trees slowest (binary depth ~ k*w).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_point_query_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig8"
+_STRUCTURES = ("PH", "KD1", "KD2", "CB1", "CB2")
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    panels = [
+        ("fig8a", "point queries, 2D TIGER/Line", "TIGER", 2),
+        ("fig8b", "point queries, 3D CUBE", "CUBE", 3),
+        ("fig8c", "point queries, 3D CLUSTER", "CLUSTER0.5", 3),
+    ]
+    return [
+        run_point_query_sweep(
+            exp_id,
+            title,
+            dataset,
+            dims,
+            _STRUCTURES,
+            scale.n_sweep,
+            scale.n_point_queries,
+            repeats=scale.repeats,
+        )
+        for exp_id, title, dataset, dims in panels
+    ]

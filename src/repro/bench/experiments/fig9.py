@@ -1,0 +1,44 @@
+"""Figure 9: range query times per returned entry (paper Section 4.3.3).
+
+Query shapes per dataset: 1%-of-area boxes (TIGER), 0.1%-of-volume cuboids
+(CUBE), thin x-slabs over the cluster line (CLUSTER).  The paper plots PH,
+KD1 and KD2 only -- CB-tree range queries "resulted in nearly full scans"
+and are omitted there (our CB implementations behave the same; see the
+ablation benchmarks for evidence).
+
+Expected shape: PH an order of magnitude faster on TIGER; on CLUSTER the
+PH-tree gets *faster* with growing n (super-constant behaviour) while
+kD-trees degrade badly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import ExperimentResult, run_range_query_sweep
+from repro.bench.scales import get_scale
+
+EXP_ID = "fig9"
+_STRUCTURES = ("PH", "KD1", "KD2")
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    panels = [
+        ("fig9a", "range queries, 2D TIGER/Line", "TIGER", 2),
+        ("fig9b", "range queries, 3D CUBE", "CUBE", 3),
+        ("fig9c", "range queries, 3D CLUSTER", "CLUSTER0.5", 3),
+    ]
+    return [
+        run_range_query_sweep(
+            exp_id,
+            title,
+            dataset,
+            dims,
+            _STRUCTURES,
+            scale.n_sweep,
+            scale.n_range_queries,
+            repeats=scale.repeats,
+        )
+        for exp_id, title, dataset, dims in panels
+    ]

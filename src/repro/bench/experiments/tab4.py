@@ -1,0 +1,70 @@
+"""Table 4: IEEE Binary64 bit representations around the 0.4/0.5 exponent
+boundary (paper Section 4.3.6).
+
+An exact, deterministic reproduction: the signed 64-bit integers and the
+sign/exponent/fraction bit groups of 0.39999, 0.40000, 0.49999 and 0.50000.
+The point of the table: stepping from 0.49999 to 0.5 flips the *exponent*
+(bit 11/12 from the left), which destroys prefix sharing for data
+straddling 0.5; 0.39999 -> 0.4 only changes fraction bits around position
+25.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import TextResult
+from repro.encoding.ieee import java_double_to_long_bits, raw_bits
+
+EXP_ID = "tab4"
+
+#: The paper's exact rows: float literal -> signed 64-bit integer.
+PAPER_ROWS = {
+    0.39999: 4600877199177713619,
+    0.40000: 4600877379321698714,
+    0.49999: 4602678639028661817,
+    0.50000: 4602678819172646912,
+}
+
+
+def _dotted(bits: str) -> str:
+    """Insert a '.' every 8 bits, as in the paper's rendering."""
+    return ".".join(bits[i:i + 8] for i in range(0, len(bits), 8))
+
+
+def format_row(value: float) -> str:
+    """One table row: float, signed integer, sign/exponent/fraction."""
+    signed = java_double_to_long_bits(value)
+    bits = format(raw_bits(value), "064b")
+    sign, exponent, fraction = bits[0], bits[1:12], bits[12:]
+    return (
+        f"{value:<8g} {signed:>20d}  {sign}  "
+        f"{exponent[:7]}.{exponent[7:]}  {_dotted(fraction)}"
+    )
+
+
+def run(scale_name: str = "small") -> List[TextResult]:
+    del scale_name  # exact computation; scale-independent
+    lines = [
+        f"{'float':<8s} {'signed 64-bit int':>20s}  s  "
+        f"{'exponent':<12s}  fraction"
+    ]
+    mismatches = []
+    for value, expected in PAPER_ROWS.items():
+        lines.append(format_row(value))
+        got = java_double_to_long_bits(value)
+        if got != expected:
+            mismatches.append((value, expected, got))
+    if mismatches:
+        lines.append(f"MISMATCHES vs paper: {mismatches}")
+    else:
+        lines.append(
+            "all four signed integers match the paper's Table 4 exactly"
+        )
+    return [
+        TextResult(
+            "tab4",
+            "IEEE Binary64 representations near the 0.5 exponent boundary",
+            "\n".join(lines),
+        )
+    ]

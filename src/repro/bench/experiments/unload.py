@@ -1,0 +1,56 @@
+"""Section 4.3.4: tree unloading (deletion of all entries).
+
+The paper shows no figure ("due to space limitations") but reports that
+results are "very similar to tree loading, but a bit faster", with the
+PH-tree consistently about 10% faster for deletes than for inserts.  This
+experiment reproduces the measurement and appends the PH insert/delete
+ratio as a note.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import (
+    ExperimentResult,
+    run_insertion_sweep,
+    run_unload_sweep,
+)
+from repro.bench.scales import get_scale
+
+EXP_ID = "unload"
+_STRUCTURES = ("PH", "KD1", "KD2", "CB1", "CB2")
+
+
+def run(scale_name: str = "small") -> List[ExperimentResult]:
+    scale = get_scale(scale_name)
+    result = run_unload_sweep(
+        "unload",
+        "unloading (delete all), 3D CUBE",
+        "CUBE",
+        3,
+        _STRUCTURES,
+        scale.n_sweep,
+        repeats=scale.repeats,
+    )
+    insert = run_insertion_sweep(
+        "unload-ref",
+        "insertion reference",
+        "CUBE",
+        3,
+        ("PH",),
+        scale.n_sweep,
+        repeats=scale.repeats,
+    )
+    delete_ph = result.get("PH")
+    insert_ph = insert.get("PH")
+    ratios = [
+        d / i for d, i in zip(delete_ph.ys, insert_ph.ys) if i > 0
+    ]
+    if ratios:
+        mean_ratio = sum(ratios) / len(ratios)
+        result.notes.append(
+            f"PH delete/insert time ratio: {mean_ratio:.2f} "
+            f"(paper: ~0.9, i.e. deletes ~10% faster)"
+        )
+    return [result]

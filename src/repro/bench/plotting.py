@@ -1,0 +1,117 @@
+"""ASCII line charts for experiment results.
+
+The paper communicates its evaluation through figures; this module gives
+the harness a dependency-free way to do the same in a terminal or a text
+report.  :func:`render_chart` draws an :class:`ExperimentResult`'s series
+on a character canvas with per-series glyphs, linear or log-10 y-scaling
+and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.runner import ExperimentResult, Series
+
+__all__ = ["render_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if not math.isnan(v) and not math.isinf(v)]
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if log_scale:
+        return math.log10(value)
+    return value
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 16,
+    log_y: Optional[bool] = None,
+) -> str:
+    """Render all series of ``result`` as an ASCII chart.
+
+    ``log_y=None`` auto-selects log-10 scaling when the finite y-range
+    spans more than two decades (as several of the paper's figures do).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart needs at least 16x4 characters")
+    points: List[Tuple[Series, List[Tuple[float, float]]]] = []
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for series in result.series:
+        pairs = [
+            (x, y)
+            for x, y in zip(series.xs, series.ys)
+            if not math.isnan(y) and not math.isinf(y)
+        ]
+        points.append((series, pairs))
+        all_x.extend(x for x, _ in pairs)
+        all_y.extend(y for _, y in pairs)
+    if not all_y:
+        return f"{result.title}: (no finite data to plot)"
+    if log_y is None:
+        positive = [y for y in all_y if y > 0]
+        log_y = bool(positive) and (
+            max(positive) / max(min(positive), 1e-300) > 100.0
+        )
+    if log_y:
+        all_y = [y for y in all_y if y > 0]
+        if not all_y:
+            log_y = False
+            all_y = [0.0]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = _transform(min(all_y), log_y)
+    y_hi = _transform(max(all_y), log_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (series, pairs) in enumerate(points):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pairs:
+            if log_y and y <= 0:
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round(
+                (_transform(y, log_y) - y_lo)
+                / (y_hi - y_lo)
+                * (height - 1)
+            )
+            canvas[height - 1 - row][col] = glyph
+
+    scale_note = "log10" if log_y else "linear"
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bottom = 10 ** y_lo if log_y else y_lo
+    lines = [f"{result.title}  [{scale_note} y]"]
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_top:>10.3g} |"
+        elif i == height - 1:
+            label = f"{y_bottom:>10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(
+        " " * 11
+        + "+"
+        + "-" * width
+    )
+    lines.append(
+        " " * 11
+        + f"{x_lo:<12g}{result.x_label:^{max(0, width - 24)}}{x_hi:>12g}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {series.label}"
+        for i, (series, _) in enumerate(points)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

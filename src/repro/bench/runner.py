@@ -1,0 +1,465 @@
+"""Generic experiment drivers: n-sweeps and k-sweeps over datasets and
+structures.
+
+Every driver returns an :class:`ExperimentResult` holding one
+:class:`Series` per (structure, dataset) combination -- exactly the lines
+of the paper's figures -- plus a plain-text table renderer used by the CLI
+and the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import SpatialIndex, make_index
+from repro.bench.timing import time_callable, us_per_op
+from repro.datasets import make_dataset
+from repro.workloads import (
+    data_bounds,
+    make_cluster_boxes,
+    make_point_queries,
+    make_volume_boxes,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "TextResult",
+    "load_index",
+    "run_insertion_sweep",
+    "run_point_query_sweep",
+    "run_range_query_sweep",
+    "run_unload_sweep",
+    "run_k_sweep",
+]
+
+Point = Tuple[float, ...]
+Box = Tuple[Point, Point]
+
+# Deep kD-trees recurse during deletion; datasets loaded in spatial order
+# can degenerate them, so give Python room (the paper's Java testbed has a
+# deep stack too).
+_RECURSION_LIMIT = 1_000_000
+
+
+@dataclass
+class Series:
+    """One line of a figure: y-values over the shared x-axis."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one measurement point."""
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one experiment plus presentation metadata."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def get(self, label: str) -> Series:
+        """Series by label; KeyError when absent."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in {self.exp_id}")
+
+    def format_table(self) -> str:
+        """Render all series as an aligned text table (x-major)."""
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.notes:
+            lines.extend(f"   {note}" for note in self.notes)
+        if not self.series:
+            lines.append("   (no data)")
+            return "\n".join(lines)
+        xs = self.series[0].xs
+        header = [f"{self.x_label:>14s}"] + [
+            f"{s.label:>14s}" for s in self.series
+        ]
+        lines.append(" ".join(header))
+        for i, x in enumerate(xs):
+            row = [f"{x:>14g}"]
+            for s in self.series:
+                y = s.ys[i] if i < len(s.ys) else float("nan")
+                row.append(f"{y:>14.4g}")
+            lines.append(" ".join(row))
+        lines.append(f"   (y = {self.y_label})")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering with one column per series."""
+        header = [self.x_label] + [s.label for s in self.series]
+        rows = [",".join(header)]
+        xs = self.series[0].xs if self.series else []
+        for i, x in enumerate(xs):
+            row = [repr(x)]
+            for s in self.series:
+                y = s.ys[i] if i < len(s.ys) else float("nan")
+                row.append(repr(y))
+            rows.append(",".join(row))
+        return "\n".join(rows) + "\n"
+
+
+@dataclass
+class TextResult:
+    """A pre-rendered experiment result (used by table-shaped outputs
+    that do not fit the series-over-x model, e.g. Tables 1 and 4)."""
+
+    exp_id: str
+    title: str
+    text: str
+
+    def format_table(self) -> str:
+        """Render the pre-formatted text with its experiment header."""
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+    def to_csv(self) -> str:
+        """Pre-rendered results have no tabular CSV; emit the text."""
+        return self.text + "\n"
+
+
+def load_index(
+    name: str, dims: int, points: Sequence[Point], **kwargs: object
+) -> Tuple[SpatialIndex, float]:
+    """Create a structure and load all points; returns (index, seconds)."""
+    sys.setrecursionlimit(_RECURSION_LIMIT)
+    index = make_index(name, dims=dims, **kwargs)
+
+    def load() -> None:
+        put = index.put
+        for point in points:
+            put(point)
+
+    seconds, _ = time_callable(load)
+    return index, seconds
+
+
+def _averaged(
+    measure: Callable[[], float], repeats: int
+) -> float:
+    """Mean of ``repeats`` runs (the paper averages three runs)."""
+    return statistics.fmean(measure() for _ in range(max(1, repeats)))
+
+
+def run_insertion_sweep(
+    exp_id: str,
+    title: str,
+    dataset: str,
+    dims: int,
+    structures: Sequence[str],
+    n_values: Sequence[int],
+    seed: int = 0,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Figure 7 driver: average load time per entry vs n."""
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="entries",
+        y_label="us per inserted entry",
+    )
+    all_points = make_dataset(dataset, max(n_values), dims, seed=seed)
+    for name in structures:
+        series = Series(label=name)
+        for n in n_values:
+            points = all_points[:n]
+
+            def measure() -> float:
+                _, seconds = load_index(name, dims, points)
+                return us_per_op(seconds, n)
+
+            series.add(n, _averaged(measure, repeats))
+        result.series.append(series)
+    return result
+
+
+def run_point_query_sweep(
+    exp_id: str,
+    title: str,
+    dataset: str,
+    dims: int,
+    structures: Sequence[str],
+    n_values: Sequence[int],
+    n_queries: int,
+    seed: int = 0,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Figure 8 driver: point-query time vs n (50/50 hit/random mix)."""
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="entries",
+        y_label="us per point query",
+    )
+    all_points = make_dataset(dataset, max(n_values), dims, seed=seed)
+    bounds = data_bounds(all_points)
+    for name in structures:
+        series = Series(label=name)
+        for n in n_values:
+            points = all_points[:n]
+            queries = make_point_queries(
+                points, n_queries, bounds, seed=seed + 1
+            )
+            index, _ = load_index(name, dims, points)
+
+            def measure() -> float:
+                contains = index.contains
+
+                def run_queries() -> None:
+                    for q in queries:
+                        contains(q)
+
+                seconds, _ = time_callable(run_queries)
+                return us_per_op(seconds, len(queries))
+
+            series.add(n, _averaged(measure, repeats))
+        result.series.append(series)
+    return result
+
+
+def _range_boxes(
+    dataset: str,
+    dims: int,
+    points: Sequence[Point],
+    n_queries: int,
+    seed: int,
+) -> List[Box]:
+    """The paper's per-dataset range-query shapes (Section 4.3.3)."""
+    if dataset == "TIGER":
+        return make_volume_boxes(
+            data_bounds(points), n_queries, 0.01, seed=seed
+        )
+    if dataset == "CUBE":
+        unit = ((0.0,) * dims, (1.0,) * dims)
+        return make_volume_boxes(unit, n_queries, 0.001, seed=seed)
+    if dataset.startswith("CLUSTER"):
+        return make_cluster_boxes(dims, n_queries, seed=seed)
+    raise ValueError(f"no range-query shape defined for {dataset!r}")
+
+
+def run_range_query_sweep(
+    exp_id: str,
+    title: str,
+    dataset: str,
+    dims: int,
+    structures: Sequence[str],
+    n_values: Sequence[int],
+    n_queries: int,
+    seed: int = 0,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Figure 9 driver: range-query time per returned entry vs n."""
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="entries",
+        y_label="us per returned entry",
+    )
+    all_points = make_dataset(dataset, max(n_values), dims, seed=seed)
+    for name in structures:
+        series = Series(label=name)
+        for n in n_values:
+            points = all_points[:n]
+            boxes = _range_boxes(dataset, dims, points, n_queries, seed + 2)
+            index, _ = load_index(name, dims, points)
+
+            def measure() -> float:
+                returned = 0
+
+                def run_queries() -> None:
+                    nonlocal returned
+                    for lo, hi in boxes:
+                        for _ in index.query(lo, hi):
+                            returned += 1
+
+                seconds, _ = time_callable(run_queries)
+                return us_per_op(seconds, returned)
+
+            series.add(n, _averaged(measure, repeats))
+        result.series.append(series)
+    return result
+
+
+def run_unload_sweep(
+    exp_id: str,
+    title: str,
+    dataset: str,
+    dims: int,
+    structures: Sequence[str],
+    n_values: Sequence[int],
+    seed: int = 0,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Section 4.3.4 driver: delete-all time per entry vs n."""
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="entries",
+        y_label="us per deleted entry",
+    )
+    all_points = make_dataset(dataset, max(n_values), dims, seed=seed)
+    for name in structures:
+        series = Series(label=name)
+        for n in n_values:
+            # Deduplicate: deleting a point twice would raise.
+            points = list(dict.fromkeys(all_points[:n]))
+
+            def measure() -> float:
+                index, _ = load_index(name, dims, points)
+                remove = index.remove
+
+                def unload() -> None:
+                    for point in points:
+                        remove(point)
+
+                seconds, _ = time_callable(unload)
+                return us_per_op(seconds, len(points))
+
+            series.add(n, _averaged(measure, repeats))
+        result.series.append(series)
+    return result
+
+
+def run_k_sweep(
+    exp_id: str,
+    title: str,
+    combos: Sequence[Tuple[str, str]],
+    k_values: Sequence[int],
+    n: int,
+    metric: str,
+    n_queries: int = 1000,
+    seed: int = 0,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Figures 10-15 driver: a metric vs dimensionality k.
+
+    ``combos`` are ``(structure, dataset)`` pairs (the paper's figure
+    legends, e.g. ``("PH", "CLUSTER0.4")``).  ``metric`` is one of
+    ``"insert"``, ``"delete"``, ``"point_query"``, ``"range_query"``,
+    ``"bytes_per_entry"``, ``"node_count"``.
+    """
+    y_labels = {
+        "insert": "us per inserted entry",
+        "delete": "us per deleted entry",
+        "point_query": "us per point query",
+        "range_query": "us per returned entry",
+        "bytes_per_entry": "bytes per entry",
+        "node_count": "nodes (PH-tree)",
+    }
+    if metric not in y_labels:
+        raise ValueError(
+            f"unknown metric {metric!r}; one of {sorted(y_labels)}"
+        )
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="k",
+        y_label=y_labels[metric],
+    )
+    for structure, dataset in combos:
+        series = Series(label=f"{structure}-{dataset}")
+        for k in k_values:
+            points = make_dataset(dataset, n, k, seed=seed)
+            series.add(
+                k,
+                _k_sweep_metric(
+                    structure,
+                    dataset,
+                    points,
+                    k,
+                    metric,
+                    n_queries,
+                    seed,
+                    repeats,
+                ),
+            )
+        result.series.append(series)
+    return result
+
+
+def _k_sweep_metric(
+    structure: str,
+    dataset: str,
+    points: Sequence[Point],
+    k: int,
+    metric: str,
+    n_queries: int,
+    seed: int,
+    repeats: int,
+) -> float:
+    if metric == "insert":
+
+        def measure() -> float:
+            _, seconds = load_index(structure, k, points)
+            return us_per_op(seconds, len(points))
+
+        return _averaged(measure, repeats)
+    if metric == "delete":
+        unique = list(dict.fromkeys(points))
+
+        def measure() -> float:
+            index, _ = load_index(structure, k, unique)
+
+            def unload() -> None:
+                for point in unique:
+                    index.remove(point)
+
+            seconds, _ = time_callable(unload)
+            return us_per_op(seconds, len(unique))
+
+        return _averaged(measure, repeats)
+
+    index, _ = load_index(structure, k, points)
+    if metric == "bytes_per_entry":
+        return index.bytes_per_entry()
+    if metric == "node_count":
+        from repro.core import collect_stats
+
+        if structure != "PH":
+            raise ValueError("node_count is a PH-tree metric")
+        return collect_stats(index.tree.int_tree).n_nodes
+    if metric == "point_query":
+        bounds = data_bounds(points)
+        queries = make_point_queries(
+            points, n_queries, bounds, seed=seed + 1
+        )
+
+        def measure() -> float:
+            def run_queries() -> None:
+                for q in queries:
+                    index.contains(q)
+
+            seconds, _ = time_callable(run_queries)
+            return us_per_op(seconds, len(queries))
+
+        return _averaged(measure, repeats)
+    if metric == "range_query":
+        boxes = _range_boxes(dataset, k, points, n_queries, seed + 2)
+
+        def measure() -> float:
+            returned = 0
+
+            def run_queries() -> None:
+                nonlocal returned
+                for lo, hi in boxes:
+                    for _ in index.query(lo, hi):
+                        returned += 1
+
+            seconds, _ = time_callable(run_queries)
+            return us_per_op(seconds, returned)
+
+        return _averaged(measure, repeats)
+    raise AssertionError(f"unhandled metric {metric!r}")

@@ -1,0 +1,101 @@
+"""Benchmark parameter scales.
+
+The paper's runs reach 10^8 entries on a JVM testbed; pure Python pays a
+50-100x constant factor per operation, so the default scales shrink the
+entry counts while keeping the sweep *shapes* (growth trends, crossovers,
+who-beats-whom).  Every experiment accepts a scale name:
+
+- ``tiny``    -- seconds; used by the pytest benchmark suite and CI,
+- ``small``   -- the default for ``python -m repro.bench``; a few minutes,
+- ``medium``  -- tens of minutes; closest practical match to the paper,
+- ``paper``   -- the original sizes (documented; impractical in Python --
+  expect days and tens of GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["SCALES", "Scale", "get_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Parameters shared by all experiments at one scale."""
+
+    name: str
+    #: n values for entry-count sweeps (Figures 7-9, Table 2).
+    n_sweep: Tuple[int, ...]
+    #: fixed n for k-sweeps (Figures 10-15, Table 3).
+    n_fixed: int
+    #: fixed n for the space table (Table 1; paper: >= 5e6).
+    n_space: int
+    #: k values for performance k-sweeps (Figures 11-13; paper: <= 10).
+    k_sweep_perf: Tuple[int, ...]
+    #: k values for space k-sweeps (Figures 10, 14, 15; paper: <= 15).
+    k_sweep_space: Tuple[int, ...]
+    #: number of point queries per measurement (paper: 1e6).
+    n_point_queries: int
+    #: number of range queries per measurement.
+    n_range_queries: int
+    #: measurement repetitions (paper: 3).
+    repeats: int
+
+
+SCALES: Dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny",
+        n_sweep=(300, 600, 1200),
+        n_fixed=800,
+        n_space=1500,
+        k_sweep_perf=(2, 3, 5, 8),
+        k_sweep_space=(2, 3, 5, 10, 15),
+        n_point_queries=300,
+        n_range_queries=20,
+        repeats=1,
+    ),
+    "small": Scale(
+        name="small",
+        n_sweep=(2000, 5000, 10000, 20000, 40000),
+        n_fixed=10000,
+        n_space=40000,
+        k_sweep_perf=(2, 3, 4, 6, 8, 10),
+        k_sweep_space=(2, 3, 5, 10, 15),
+        n_point_queries=2000,
+        n_range_queries=50,
+        repeats=1,
+    ),
+    "medium": Scale(
+        name="medium",
+        n_sweep=(10000, 25000, 50000, 100000, 200000),
+        n_fixed=50000,
+        n_space=200000,
+        k_sweep_perf=(2, 3, 4, 6, 8, 10),
+        k_sweep_space=(2, 3, 5, 10, 15),
+        n_point_queries=10000,
+        n_range_queries=100,
+        repeats=3,
+    ),
+    "paper": Scale(
+        name="paper",
+        n_sweep=(1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000),
+        n_fixed=10_000_000,
+        n_space=10_000_000,
+        k_sweep_perf=(2, 3, 4, 6, 8, 10),
+        k_sweep_space=(2, 3, 5, 10, 15),
+        n_point_queries=1_000_000,
+        n_range_queries=1000,
+        repeats=3,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Scale by name, with a helpful error."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; one of {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,35 @@
+"""Wall-clock measurement helpers.
+
+The paper reports three normalised metrics (Sections 4.3.1-4.3.3):
+
+- loading: total load time divided by the number of entries (µs/entry),
+- point queries: total time divided by the number of queries (µs/query),
+- range queries: total time divided by the number of *returned* entries
+  (µs per returned entry).
+
+All timing uses :func:`time.perf_counter_ns`.  Where the paper runs each
+test three times and reports averages, the drivers accept a ``repeats``
+parameter and do the same.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+__all__ = ["time_callable", "us_per_op"]
+
+
+def time_callable(func: Callable[[], object]) -> Tuple[float, object]:
+    """Run ``func`` once; return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter_ns()
+    result = func()
+    elapsed = time.perf_counter_ns() - start
+    return elapsed / 1e9, result
+
+
+def us_per_op(total_seconds: float, n_ops: int) -> float:
+    """Microseconds per operation; 0 ops yields NaN rather than a crash."""
+    if n_ops <= 0:
+        return float("nan")
+    return total_seconds * 1e6 / n_ops

@@ -1,0 +1,34 @@
+"""The PH-tree core: the paper's primary contribution.
+
+Public entry points:
+
+- :class:`repro.core.phtree.PHTree` -- the integer-keyed k-dimensional
+  PATRICIA-hypercube-tree (Sections 3.1-3.2 of the paper).
+- :class:`repro.core.phtree_float.PHTreeF` -- the floating-point facade that
+  applies the IEEE-754 sortable conversion of Section 3.3.
+- :mod:`repro.core.stats` -- tree statistics (node counts, HC/LHC usage,
+  prefix sharing) backing the paper's space analysis.
+- :mod:`repro.core.serialize` -- per-node bit-stream serialisation.
+"""
+
+from repro.core.bulk import bulk_load
+from repro.core.concurrent import SynchronizedPHTree
+from repro.core.multimap import PHTreeMultiMap
+from repro.core.frozen import FrozenPHTree, freeze
+from repro.core.phtree import PHTree
+from repro.core.phtree_float import PHTreeF
+from repro.core.solid import PHTreeSolidF
+from repro.core.stats import TreeStats, collect_stats
+
+__all__ = [
+    "FrozenPHTree",
+    "PHTree",
+    "PHTreeF",
+    "PHTreeMultiMap",
+    "PHTreeSolidF",
+    "SynchronizedPHTree",
+    "TreeStats",
+    "bulk_load",
+    "collect_stats",
+    "freeze",
+]

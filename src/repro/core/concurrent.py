@@ -1,0 +1,193 @@
+"""Thread-safe PH-tree wrapper (paper Outlook, item 3).
+
+The paper notes that "the fact that at most two nodes are modified with
+each update makes the PH-tree suitable for concurrent access and
+updates".  This module provides the coarse-grained building block: a
+reader/writer-locked facade over any PH-tree-like object.  Multiple
+readers proceed in parallel; writers get exclusivity.  Iterating methods
+(`query`, `items`, ...) are materialised under the read lock so the
+caller never observes a tree mutating underneath an open iterator.
+
+Fine-grained (per-node) locking, which the two-node update property
+enables in a pointer-stable implementation, is outside the scope of this
+reproduction; the interface here is what a downstream user needs for
+correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Sequence, Tuple
+
+__all__ = ["ReadWriteLock", "SynchronizedPHTree"]
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock.
+
+    >>> lock = ReadWriteLock()
+    >>> with lock.read():
+    ...     pass
+    >>> with lock.write():
+    ...     pass
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_done = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Enter shared mode; blocks while a writer is active/waiting."""
+        with self._mutex:
+            while self._writer_active or self._writers_waiting:
+                self._readers_done.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave shared mode."""
+        with self._mutex:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._readers_done.notify_all()
+
+    def acquire_write(self) -> None:
+        """Enter exclusive mode; blocks until all readers leave."""
+        with self._mutex:
+            self._writers_waiting += 1
+            while self._writer_active or self._active_readers:
+                self._readers_done.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave exclusive mode and wake waiting readers/writers."""
+        with self._mutex:
+            self._writer_active = False
+            self._readers_done.notify_all()
+
+    def read(self) -> "_Guard":
+        """Context manager acquiring the lock in shared mode."""
+        return _Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Guard":
+        """Context manager acquiring the lock exclusively."""
+        return _Guard(self.acquire_write, self.release_write)
+
+
+class _Guard:
+    __slots__ = ("_acquire", "_release")
+
+    def __init__(self, acquire, release) -> None:
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self) -> None:
+        self._acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._release()
+
+
+class SynchronizedPHTree:
+    """A PH-tree (integer or float) behind a reader/writer lock.
+
+    Wraps any object exposing the PHTree API.  Read operations
+    (``get``/``contains``/``query``/``knn``/``__len__``) run under the
+    shared lock; mutations (``put``/``remove``/``update_key``/``clear``)
+    run exclusively.  Query results are returned as lists.
+
+    >>> from repro import PHTree
+    >>> tree = SynchronizedPHTree(PHTree(dims=2, width=8))
+    >>> tree.put((1, 2), "a")
+    >>> tree.get((1, 2))
+    'a'
+    """
+
+    def __init__(self, tree: Any) -> None:
+        self._tree = tree
+        self._lock = ReadWriteLock()
+
+    @property
+    def lock(self) -> ReadWriteLock:
+        """The underlying lock, for compound atomic operations."""
+        return self._lock
+
+    @property
+    def unsafe_tree(self) -> Any:
+        """The wrapped tree; caller must hold the lock appropriately."""
+        return self._tree
+
+    # -- mutations (exclusive) -----------------------------------------------
+
+    def put(self, key: Sequence, value: Any = None) -> Any:
+        """Insert/update under the exclusive lock."""
+        with self._lock.write():
+            return self._tree.put(key, value)
+
+    def remove(self, key: Sequence, *args: Any) -> Any:
+        """Delete under the exclusive lock."""
+        with self._lock.write():
+            return self._tree.remove(key, *args)
+
+    def update_key(self, old_key: Sequence, new_key: Sequence) -> None:
+        """Move an entry under the exclusive lock."""
+        with self._lock.write():
+            self._tree.update_key(old_key, new_key)
+
+    def clear(self) -> None:
+        """Remove all entries under the exclusive lock."""
+        with self._lock.write():
+            self._tree.clear()
+
+    def put_all(self, entries: Sequence[Tuple[Sequence, Any]]) -> None:
+        """Bulk insert under a single lock acquisition."""
+        with self._lock.write():
+            for key, value in entries:
+                self._tree.put(key, value)
+
+    # -- reads (shared) --------------------------------------------------------
+
+    def get(self, key: Sequence, default: Any = None) -> Any:
+        """Lookup under the shared lock."""
+        with self._lock.read():
+            return self._tree.get(key, default)
+
+    def contains(self, key: Sequence) -> bool:
+        """Point query under the shared lock."""
+        with self._lock.read():
+            return self._tree.contains(key)
+
+    def __contains__(self, key: Sequence) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        with self._lock.read():
+            return len(self._tree)
+
+    def query(self, box_min: Sequence, box_max: Sequence) -> List:
+        """Materialised window query (safe against concurrent writers)."""
+        with self._lock.read():
+            return list(self._tree.query(box_min, box_max))
+
+    def knn(self, key: Sequence, n: int = 1) -> List:
+        """Nearest neighbours under the shared lock."""
+        with self._lock.read():
+            return self._tree.knn(key, n)
+
+    def items(self) -> List:
+        """Materialised items snapshot under the shared lock."""
+        with self._lock.read():
+            return list(self._tree.items())
+
+    def keys(self) -> List:
+        """Materialised keys snapshot under the shared lock."""
+        with self._lock.read():
+            return list(self._tree.keys())
+
+    def check_invariants(self) -> None:
+        """Structural validation under the shared lock."""
+        with self._lock.read():
+            self._tree.check_invariants()

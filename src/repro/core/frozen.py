@@ -1,0 +1,456 @@
+"""FrozenPHTree: queries straight from the packed byte stream.
+
+The paper argues the PH-tree's bit-stream nodes make it "suitable to be
+used not only as an extension for indexing data, but also as a primary
+storage layout for databases" (Section 1).  This module takes that claim
+literally: :func:`freeze` lays a PH-tree out as one immutable byte string
+(nodes serialised depth-first, each sub-node slot prefixed with its bit
+length so traversal can *skip* subtrees), and :class:`FrozenPHTree`
+answers point and window queries by decoding bits on demand -- no node
+objects, no pointers, memory use exactly ``len(data)`` bytes.
+
+Frozen layout (after the header)::
+
+    node := [post_len: 8] [infix: infix_len * k]
+            [slot count: k+1]
+            ( [address: k] [type: 1] payload )*      -- address-sorted
+    payload(entry)    := [postfix: post_len * k] [value: value_bits]
+    payload(sub-node) := [body length: 32] node
+
+Compared with :mod:`repro.core.serialize` (which optimises for canonical
+compactness), the frozen format spends 32 bits per sub-node to buy
+O(depth) navigation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.node import Node
+from repro.core.phtree import PHTree
+from repro.core.serialize import NoneValueCodec
+from repro.encoding.bitbuffer import BitBuffer, BitReader
+
+__all__ = ["FrozenPHTree", "freeze"]
+
+_MAGIC = b"PHF1"
+_LEN_BITS = 32
+
+
+def freeze(tree: PHTree, value_codec: Any = NoneValueCodec) -> bytes:
+    """Lay ``tree`` out as an immutable, skippable byte stream."""
+    if tree.width > 256:
+        raise ValueError(
+            f"the frozen format stores post_len in 8 bits; "
+            f"width {tree.width} > 256 is not representable"
+        )
+    buf = BitBuffer()
+    if tree.root is not None:
+        _write_node(buf, tree.root, tree.width, tree.dims, value_codec)
+    header = _MAGIC + struct.pack(
+        ">HHQQ", tree.dims, tree.width, len(tree), buf.bit_length
+    )
+    return header + buf.to_bytes()
+
+
+def _write_node(
+    buf: BitBuffer,
+    node: Node,
+    parent_post_len: int,
+    k: int,
+    value_codec: Any,
+) -> None:
+    buf.append(node.post_len, 8)
+    infix_len = parent_post_len - 1 - node.post_len
+    if infix_len:
+        shift = node.post_len + 1
+        mask = (1 << infix_len) - 1
+        for value in node.prefix:
+            buf.append((value >> shift) & mask, infix_len)
+    buf.append(node.num_slots(), k + 1)
+    post_bits = node.post_len
+    post_mask = (1 << post_bits) - 1
+    for address, slot in node.items():
+        buf.append(address, k)
+        if isinstance(slot, Node):
+            buf.append(1, 1)
+            # Reserve the length field, write the child, patch the field.
+            length_pos = buf.bit_length
+            buf.append(0, _LEN_BITS)
+            start = buf.bit_length
+            _write_node(buf, slot, node.post_len, k, value_codec)
+            buf.overwrite(length_pos, buf.bit_length - start, _LEN_BITS)
+        else:
+            buf.append(0, 1)
+            if post_bits:
+                for value in slot.key:
+                    buf.append(value & post_mask, post_bits)
+            buf.append(value_codec.encode(slot.value), value_codec.bits)
+
+
+class FrozenPHTree:
+    """A read-only PH-tree view over :func:`freeze` output.
+
+    Supports point queries, window queries and iteration with the exact
+    semantics of the live tree it was frozen from.  The whole structure
+    is the byte string: ``memory_bytes()`` is ``len(data)``.
+
+    >>> tree = PHTree(dims=2, width=8)
+    >>> tree.put((3, 200), None)
+    >>> frozen = FrozenPHTree(freeze(tree))
+    >>> frozen.contains((3, 200))
+    True
+    >>> len(frozen)
+    1
+    """
+
+    def __init__(
+        self, data: bytes, value_codec: Any = NoneValueCodec
+    ) -> None:
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a frozen PH-tree (bad magic)")
+        offset = len(_MAGIC)
+        if len(data) < offset + struct.calcsize(">HHQQ"):
+            raise ValueError("truncated frozen PH-tree header")
+        self._dims, self._width, self._size, bit_length = (
+            struct.unpack_from(">HHQQ", data, offset)
+        )
+        offset += struct.calcsize(">HHQQ")
+        self._reader = BitReader(data[offset:], bit_length)
+        self._data_len = len(data)
+        self._codec = value_codec
+
+    # -- basics --------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions ``k``."""
+        return self._dims
+
+    @property
+    def width(self) -> int:
+        """Bit width ``w``."""
+        return self._width
+
+    def __len__(self) -> int:
+        return self._size
+
+    def memory_bytes(self) -> int:
+        """Exactly the byte string's length -- the point of freezing."""
+        return self._data_len
+
+    # -- node parsing ----------------------------------------------------------
+
+    def _parse_header(
+        self,
+        pos: int,
+        parent_post_len: int,
+        parent_prefix: Tuple[int, ...],
+        parent_address: int,
+    ) -> Tuple[int, Tuple[int, ...], int, int]:
+        """Decode post_len/prefix/slot-count; return (post_len, prefix,
+        n_slots, pos_after_header)."""
+        reader = self._reader
+        k = self._dims
+        post_len = reader.read(pos, 8)
+        pos += 8
+        infix_len = parent_post_len - 1 - post_len
+        prefix = []
+        shift = post_len + 1
+        for dim in range(k):
+            bit = (parent_address >> (k - 1 - dim)) & 1
+            prefix.append(parent_prefix[dim] | (bit << parent_post_len))
+        if infix_len:
+            for dim in range(k):
+                infix = reader.read(pos, infix_len)
+                pos += infix_len
+                prefix[dim] |= infix << shift
+        n_slots = reader.read(pos, k + 1)
+        pos += k + 1
+        return post_len, tuple(prefix), n_slots, pos
+
+    def _entry_at(
+        self,
+        pos: int,
+        post_len: int,
+        prefix: Tuple[int, ...],
+        address: int,
+    ) -> Tuple[Tuple[int, ...], Any, int]:
+        """Decode one entry payload; returns (key, value, next_pos)."""
+        reader = self._reader
+        k = self._dims
+        key = []
+        for dim in range(k):
+            postfix = reader.read(pos, post_len) if post_len else 0
+            pos += post_len
+            bit = (address >> (k - 1 - dim)) & 1
+            key.append(prefix[dim] | (bit << post_len) | postfix)
+        value = self._codec.decode(reader.read(pos, self._codec.bits))
+        pos += self._codec.bits
+        return tuple(key), value, pos
+
+    # -- point queries -----------------------------------------------------------
+
+    def get(self, key: Sequence[int], default: Any = None) -> Any:
+        """Value stored at ``key`` or ``default``."""
+        found = self._find(tuple(key))
+        return default if found is None else found[1]
+
+    def contains(self, key: Sequence[int]) -> bool:
+        """Point query against the byte stream."""
+        return self._find(tuple(key)) is not None
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        return self.contains(key)
+
+    def _find(self, key: Tuple[int, ...]):
+        if self._size == 0:
+            return None
+        if len(key) != self._dims:
+            raise ValueError(
+                f"key has {len(key)} dimensions, tree has {self._dims}"
+            )
+        reader = self._reader
+        k = self._dims
+        pos = 0
+        parent_post_len = self._width
+        parent_prefix = (0,) * k
+        parent_address = 0
+        while True:
+            post_len, prefix, n_slots, pos = self._parse_header(
+                pos, parent_post_len, parent_prefix, parent_address
+            )
+            shift = post_len + 1
+            for dim in range(k):
+                if (key[dim] >> shift) != (prefix[dim] >> shift):
+                    return None
+            target = 0
+            for value in key:
+                target = (target << 1) | ((value >> post_len) & 1)
+            # Scan the address-sorted slot table, skipping sub-trees.
+            entry_bits = post_len * k + self._codec.bits
+            found_pos = -1
+            for _ in range(n_slots):
+                address = reader.read(pos, k)
+                pos += k
+                is_sub = reader.read(pos, 1)
+                pos += 1
+                if address == target:
+                    if not is_sub:
+                        entry_key, value, _ = self._entry_at(
+                            pos, post_len, prefix, address
+                        )
+                        return (
+                            (entry_key, value)
+                            if entry_key == key
+                            else None
+                        )
+                    found_pos = pos + _LEN_BITS
+                    break
+                if address > target:
+                    return None
+                if is_sub:
+                    pos += _LEN_BITS + reader.read(pos, _LEN_BITS)
+                else:
+                    pos += entry_bits
+            if found_pos < 0:
+                return None
+            parent_post_len = post_len
+            parent_prefix = prefix
+            parent_address = target
+            pos = found_pos
+
+    # -- iteration and window queries ----------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        """Iterate all entries in z-order, decoding lazily."""
+        if self._size == 0:
+            return
+        yield from self._walk(0, self._width, (0,) * self._dims, 0, None)
+
+    def keys(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate all keys in z-order."""
+        for key, _ in self.items():
+            yield key
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return self.keys()
+
+    def query(
+        self, box_min: Sequence[int], box_max: Sequence[int]
+    ) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        """Window query evaluated directly on the byte stream."""
+        box = (tuple(box_min), tuple(box_max))
+        if len(box[0]) != self._dims or len(box[1]) != self._dims:
+            raise ValueError("query box dimensionality mismatch")
+        if any(lo > hi for lo, hi in zip(*box)):
+            return
+        if self._size == 0:
+            return
+        yield from self._walk(
+            0, self._width, (0,) * self._dims, 0, box
+        )
+
+    def _walk(
+        self,
+        pos: int,
+        parent_post_len: int,
+        parent_prefix: Tuple[int, ...],
+        parent_address: int,
+        box: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]],
+    ) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        reader = self._reader
+        k = self._dims
+        post_len, prefix, n_slots, pos = self._parse_header(
+            pos, parent_post_len, parent_prefix, parent_address
+        )
+        if box is not None:
+            free = (1 << (post_len + 1)) - 1
+            for dim, node_lo in enumerate(prefix):
+                if (
+                    box[1][dim] < node_lo
+                    or box[0][dim] > (node_lo | free)
+                ):
+                    return
+        entry_bits = post_len * k + self._codec.bits
+        for _ in range(n_slots):
+            address = reader.read(pos, k)
+            pos += k
+            is_sub = reader.read(pos, 1)
+            pos += 1
+            if is_sub:
+                body = reader.read(pos, _LEN_BITS)
+                pos += _LEN_BITS
+                yield from self._walk(
+                    pos, post_len, prefix, address, box
+                )
+                pos += body
+            else:
+                key, value, next_pos = self._entry_at(
+                    pos, post_len, prefix, address
+                )
+                pos = next_pos
+                if box is None or all(
+                    lo <= v <= hi
+                    for v, lo, hi in zip(key, box[0], box[1])
+                ):
+                    yield key, value
+
+    def count(
+        self, box_min: Sequence[int], box_max: Sequence[int]
+    ) -> int:
+        """Number of entries in the inclusive box."""
+        return sum(1 for _ in self.query(box_min, box_max))
+
+    def knn(
+        self, key: Sequence[int], n: int = 1
+    ) -> List[Tuple[Tuple[int, ...], Any]]:
+        """``n`` nearest entries by Euclidean distance in key space,
+        computed directly on the byte stream (best-first branch and
+        bound over node regions, like the live tree's search)."""
+        import heapq
+        import itertools
+
+        key = tuple(key)
+        if len(key) != self._dims:
+            raise ValueError(
+                f"key has {len(key)} dimensions, tree has {self._dims}"
+            )
+        if n <= 0 or self._size == 0:
+            return []
+
+        def point_dist(candidate: Tuple[int, ...]) -> int:
+            total = 0
+            for q, v in zip(key, candidate):
+                d = q - v
+                total += d * d
+            return total
+
+        def region_dist(prefix: Tuple[int, ...], post_len: int) -> int:
+            free = (1 << (post_len + 1)) - 1
+            total = 0
+            for q, lo in zip(key, prefix):
+                hi = lo | free
+                if q < lo:
+                    d = lo - q
+                elif q > hi:
+                    d = q - hi
+                else:
+                    continue
+                total += d * d
+            return total
+
+        tiebreak = itertools.count()
+        # Heap items: (dist, seq, kind, payload); kind 0 = node (payload
+        # is its parse context), kind 1 = entry (payload is (key, value)).
+        heap: list = [
+            (0, next(tiebreak), 0, (0, self._width, (0,) * self._dims, 0))
+        ]
+        reader = self._reader
+        k = self._dims
+        results: List[Tuple[Tuple[int, ...], Any]] = []
+        while heap and len(results) < n:
+            dist, _, kind, payload = heapq.heappop(heap)
+            if kind == 1:
+                results.append(payload)
+                continue
+            pos, parent_post_len, parent_prefix, parent_address = payload
+            post_len, prefix, n_slots, pos = self._parse_header(
+                pos, parent_post_len, parent_prefix, parent_address
+            )
+            for _ in range(n_slots):
+                address = reader.read(pos, k)
+                pos += k
+                is_sub = reader.read(pos, 1)
+                pos += 1
+                if is_sub:
+                    body = reader.read(pos, _LEN_BITS)
+                    pos += _LEN_BITS
+                    child_context = (pos, post_len, prefix, address)
+                    # Child region: prefix + its address bit; lower-bound
+                    # with the parent-granularity region (child header
+                    # not parsed yet), which is still admissible.
+                    child_prefix = tuple(
+                        p
+                        | (
+                            ((address >> (k - 1 - d)) & 1)
+                            << post_len
+                        )
+                        for d, p in enumerate(prefix)
+                    )
+                    heapq.heappush(
+                        heap,
+                        (
+                            region_dist(child_prefix, post_len - 1)
+                            if post_len
+                            else region_dist(child_prefix, 0),
+                            next(tiebreak),
+                            0,
+                            child_context,
+                        ),
+                    )
+                    pos += body
+                else:
+                    entry_key, value, pos = self._entry_at(
+                        pos, post_len, prefix, address
+                    )
+                    heapq.heappush(
+                        heap,
+                        (
+                            point_dist(entry_key),
+                            next(tiebreak),
+                            1,
+                            (entry_key, value),
+                        ),
+                    )
+        return results
+
+    # -- conversion ---------------------------------------------------------------
+
+    def thaw(self) -> PHTree:
+        """Rebuild a mutable PH-tree with this tree's content."""
+        tree = PHTree(dims=self._dims, width=self._width)
+        for key, value in self.items():
+            tree.put(key, value)
+        return tree

@@ -1,0 +1,295 @@
+"""HC and LHC slot containers (paper Section 3.2, Figure 3).
+
+Each PH-tree node addresses its children through a hypercube of ``2**k``
+slots.  Densely filled nodes store the slots as a flat array (*HC*
+representation: O(1) lookup); sparsely filled nodes store a sorted table of
+``(address, slot)`` pairs (*LHC*, linear representation: O(log n) binary
+search).  The node switches automatically between the two depending on which
+needs fewer bits under the paper's size model (see :func:`hc_bits`,
+:func:`lhc_bits` and :func:`prefer_hc`).
+
+A *slot* is either an :class:`~repro.core.node.Entry` (a postfix, i.e. a
+stored key/value) or a :class:`~repro.core.node.Node` (a sub-node).  The
+containers themselves are agnostic of the slot type.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "HCContainer",
+    "LHCContainer",
+    "REF_BITS",
+    "SLOT_FLAG_BITS",
+    "VALUE_REF_BITS",
+    "hc_bits",
+    "lhc_bits",
+    "max_hc_dimensions",
+    "prefer_hc",
+]
+
+# Size-model constants, matching the paper's Java testbed (64-bit JVM with
+# compressed oops): references are 32 bits, every HC slot carries a 2-bit
+# occupancy flag (empty / postfix / sub-node), every LHC row additionally
+# stores its k-bit hypercube address.
+REF_BITS = 32
+SLOT_FLAG_BITS = 2
+VALUE_REF_BITS = 32
+
+# Above this dimensionality a 2**k slot array would be absurd even when the
+# size model nominally favours it (it cannot for realistic n anyway); the
+# container factory refuses to build HC arrays beyond it.
+_MAX_HC_DIM = 20
+
+
+def max_hc_dimensions() -> int:
+    """Largest dimensionality for which an HC array may be materialised."""
+    return _MAX_HC_DIM
+
+
+def hc_bits(k: int, n_sub: int, n_post: int, postfix_bits: int) -> int:
+    """Size in bits of the HC representation of a node's slot table.
+
+    The paper (Section 3.2): HC has fixed space requirements of O(2**k) bits
+    for sub-nodes and O(lp * 2**k) bits when storing postfixes -- i.e. the
+    flag array and the postfix space are reserved for *every* slot, while
+    sub-node references cost ``REF_BITS`` per actual sub-node.
+
+    ``postfix_bits`` is the per-entry postfix payload ``lp * k`` (plus value
+    reference), identical for all entries of one node.
+    """
+    slots = 1 << k
+    return (
+        slots * SLOT_FLAG_BITS
+        + slots * postfix_bits
+        + n_sub * REF_BITS
+        + n_post * VALUE_REF_BITS
+    )
+
+
+def lhc_bits(k: int, n_sub: int, n_post: int, postfix_bits: int) -> int:
+    """Size in bits of the LHC representation of a node's slot table.
+
+    Every occupied slot stores its k-bit HC address plus a type flag; only
+    occupied postfix slots pay for postfix storage (``O(np * k * lp)`` in
+    the paper's terms).
+    """
+    n = n_sub + n_post
+    return (
+        n * (k + SLOT_FLAG_BITS)
+        + n_post * postfix_bits
+        + n_sub * REF_BITS
+        + n_post * VALUE_REF_BITS
+    )
+
+
+def prefer_hc(
+    k: int,
+    n_sub: int,
+    n_post: int,
+    postfix_bits: int,
+    hysteresis: float = 0.0,
+    currently_hc: bool = False,
+) -> bool:
+    """Decide whether the HC representation needs fewer bits.
+
+    ``hysteresis`` implements the paper's suggested "relaxed switching
+    condition" (Section 3.2): a representation is only abandoned when the
+    other one is smaller by more than ``hysteresis`` (fraction).  With the
+    default 0.0 the decision is a plain size comparison, as in the paper's
+    evaluated implementation.
+    """
+    if k > _MAX_HC_DIM:
+        return False
+    hc = hc_bits(k, n_sub, n_post, postfix_bits)
+    lhc = lhc_bits(k, n_sub, n_post, postfix_bits)
+    if hysteresis <= 0.0:
+        return hc <= lhc
+    if currently_hc:
+        return hc <= lhc * (1.0 + hysteresis)
+    return hc * (1.0 + hysteresis) <= lhc
+
+
+class HCContainer:
+    """Flat ``2**k``-slot array: O(1) access by hypercube address."""
+
+    __slots__ = ("_slots", "_count")
+
+    is_hc = True
+
+    def __init__(self, k: int) -> None:
+        if k > _MAX_HC_DIM:
+            raise ValueError(
+                f"refusing to allocate a 2**{k}-slot HC array "
+                f"(limit is k={_MAX_HC_DIM})"
+            )
+        self._slots: List[Any] = [None] * (1 << k)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def n_slots(self) -> int:
+        """Total slot capacity (``2**k``)."""
+        return len(self._slots)
+
+    def get(self, address: int) -> Any:
+        """Return the slot at ``address`` or None."""
+        return self._slots[address]
+
+    def put(self, address: int, slot: Any) -> Any:
+        """Store ``slot`` at ``address``; return the previous occupant."""
+        if slot is None:
+            raise ValueError("use remove() to clear a slot")
+        previous = self._slots[address]
+        self._slots[address] = slot
+        if previous is None:
+            self._count += 1
+        return previous
+
+    def remove(self, address: int) -> Any:
+        """Clear ``address`` and return what was stored there (or None)."""
+        previous = self._slots[address]
+        if previous is not None:
+            self._slots[address] = None
+            self._count -= 1
+        return previous
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate occupied ``(address, slot)`` pairs in address order."""
+        for address, slot in enumerate(self._slots):
+            if slot is not None:
+                yield address, slot
+
+    def items_in_mask_range(
+        self, mask_lower: int, mask_upper: int
+    ) -> Iterator[Tuple[int, Any]]:
+        """Iterate occupied slots whose address fits the query masks.
+
+        Uses the paper's successor computation to jump between candidate
+        addresses instead of scanning all ``2**k`` slots (Section 3.5).
+        """
+        slots = self._slots
+        address = mask_lower
+        while True:
+            slot = slots[address]
+            if slot is not None:
+                yield address, slot
+            if address >= mask_upper:
+                return
+            address = successor(address, mask_lower, mask_upper)
+
+    def single_item(self) -> Tuple[int, Any]:
+        """Return the only occupied slot; requires ``len(self) == 1``."""
+        if self._count != 1:
+            raise ValueError(f"container holds {self._count} slots, not 1")
+        for address, slot in enumerate(self._slots):
+            if slot is not None:
+                return address, slot
+        raise AssertionError("count/slot bookkeeping out of sync")
+
+
+class LHCContainer:
+    """Sorted linear table of ``(address, slot)`` pairs: O(log n) access."""
+
+    __slots__ = ("_addresses", "_slots")
+
+    is_hc = False
+
+    def __init__(self) -> None:
+        self._addresses: List[int] = []
+        self._slots: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def get(self, address: int) -> Any:
+        """Return the slot at ``address`` or None (binary search)."""
+        i = bisect_left(self._addresses, address)
+        if i < len(self._addresses) and self._addresses[i] == address:
+            return self._slots[i]
+        return None
+
+    def put(self, address: int, slot: Any) -> Any:
+        """Store ``slot`` at ``address``; return the previous occupant."""
+        if slot is None:
+            raise ValueError("use remove() to clear a slot")
+        i = bisect_left(self._addresses, address)
+        if i < len(self._addresses) and self._addresses[i] == address:
+            previous = self._slots[i]
+            self._slots[i] = slot
+            return previous
+        self._addresses.insert(i, address)
+        self._slots.insert(i, slot)
+        return None
+
+    def remove(self, address: int) -> Any:
+        """Remove ``address`` and return what was stored there (or None)."""
+        i = bisect_left(self._addresses, address)
+        if i < len(self._addresses) and self._addresses[i] == address:
+            self._addresses.pop(i)
+            return self._slots.pop(i)
+        return None
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate ``(address, slot)`` pairs in address order."""
+        return iter(zip(self._addresses, self._slots))
+
+    def items_in_mask_range(
+        self, mask_lower: int, mask_upper: int
+    ) -> Iterator[Tuple[int, Any]]:
+        """Iterate stored slots whose address fits the query masks.
+
+        Scans the sorted table from the first address >= ``mask_lower`` and
+        filters with the single-operation mask check of Section 3.5.
+        """
+        addresses = self._addresses
+        start = bisect_left(addresses, mask_lower)
+        for i in range(start, len(addresses)):
+            address = addresses[i]
+            if address > mask_upper:
+                return
+            if (address | mask_lower) == address and (
+                address & mask_upper
+            ) == address:
+                yield address, self._slots[i]
+
+    def single_item(self) -> Tuple[int, Any]:
+        """Return the only stored pair; requires ``len(self) == 1``."""
+        if len(self._addresses) != 1:
+            raise ValueError(
+                f"container holds {len(self._addresses)} slots, not 1"
+            )
+        return self._addresses[0], self._slots[0]
+
+
+def successor(address: int, mask_lower: int, mask_upper: int) -> int:
+    """Smallest valid hypercube address strictly greater than ``address``.
+
+    An address ``h`` is *valid* for the query masks when
+    ``(h | mask_lower) == h and (h & mask_upper) == h`` (Section 3.5).  The
+    computation propagates a carry through the "free" bit positions only:
+    forced-one bits (``mask_lower``) and forced-zero bits (``~mask_upper``)
+    are skipped in a single add.
+
+    The caller must pass a *valid* ``address`` (iteration starts at
+    ``mask_lower``, which is always valid) with ``address < mask_upper``;
+    the result then is the next valid address and is ``<= mask_upper``.
+    """
+    r = (address | ~mask_upper) + 1
+    return (r & mask_upper) | mask_lower
+
+
+def convert_container(
+    source: Any, k: int, to_hc: bool
+) -> Optional[Any]:
+    """Rebuild ``source`` in the other representation; None if no-op."""
+    if to_hc == source.is_hc:
+        return None
+    target: Any = HCContainer(k) if to_hc else LHCContainer()
+    for address, slot in source.items():
+        target.put(address, slot)
+    return target

@@ -1,0 +1,118 @@
+"""k-nearest-neighbour search over a PH-tree.
+
+The paper lists nearest-neighbour support as future work with "an early
+prototype implementation" (Section 5, Outlook item 2); this module provides
+the full feature.  The search is classic best-first branch and bound: a
+priority queue holds nodes keyed by a lower bound of their distance to the
+query (computed from the node's prefix region) and entries keyed by their
+exact distance.  Whenever an entry surfaces before every remaining node, it
+is provably the next-nearest neighbour.
+
+Distances are pluggable so the same engine serves the integer-keyed
+:class:`~repro.core.phtree.PHTree` (exact integer arithmetic, no overflow)
+and the float facade :class:`~repro.core.phtree_float.PHTreeF` (Euclidean
+distance on decoded doubles).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.core.node import Entry, Node
+
+__all__ = [
+    "knn_iter",
+    "squared_euclidean_int",
+    "squared_euclidean_region_int",
+]
+
+PointDistance = Callable[[Sequence[int]], Any]
+RegionDistance = Callable[[Sequence[int], Sequence[int]], Any]
+
+
+def squared_euclidean_int(
+    query: Sequence[int],
+) -> PointDistance:
+    """Exact squared Euclidean distance in integer key space."""
+
+    def distance(key: Sequence[int]) -> int:
+        total = 0
+        for q, v in zip(query, key):
+            d = q - v
+            total += d * d
+        return total
+
+    return distance
+
+
+def squared_euclidean_region_int(
+    query: Sequence[int],
+) -> RegionDistance:
+    """Lower bound of squared Euclidean distance to an axis-aligned box."""
+
+    def distance(lower: Sequence[int], upper: Sequence[int]) -> int:
+        total = 0
+        for q, lo, hi in zip(query, lower, upper):
+            if q < lo:
+                d = lo - q
+            elif q > hi:
+                d = q - hi
+            else:
+                continue
+            total += d * d
+        return total
+
+    return distance
+
+
+def knn_iter(
+    root: Optional[Node],
+    n: int,
+    point_distance: PointDistance,
+    region_distance: RegionDistance,
+) -> Iterator[Tuple[Any, Tuple[int, ...], Any]]:
+    """Yield up to ``n`` entries as ``(distance, key, value)``, nearest
+    first.
+
+    ``point_distance(key)`` must return the exact distance of a stored key;
+    ``region_distance(lower, upper)`` must return a lower bound of the
+    distance to any point in the box ``[lower, upper]``.  Both must be
+    mutually comparable and monotone for the search to be exact.
+    """
+    if n <= 0 or root is None:
+        return
+    tiebreak = itertools.count()
+    lower, upper = root.region()
+    heap: list = [(region_distance(lower, upper), next(tiebreak), root)]
+    produced = 0
+    while heap:
+        dist, _, item = heapq.heappop(heap)
+        if isinstance(item, Node):
+            for _, slot in item.items():
+                if isinstance(slot, Node):
+                    lower, upper = slot.region()
+                    heapq.heappush(
+                        heap,
+                        (
+                            region_distance(lower, upper),
+                            next(tiebreak),
+                            slot,
+                        ),
+                    )
+                else:
+                    heapq.heappush(
+                        heap,
+                        (
+                            point_distance(slot.key),
+                            next(tiebreak),
+                            slot,
+                        ),
+                    )
+        else:
+            entry: Entry = item
+            yield dist, entry.key, entry.value
+            produced += 1
+            if produced >= n:
+                return

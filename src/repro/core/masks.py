@@ -1,0 +1,97 @@
+"""Range-query bit masks (paper Section 3.5).
+
+For a node that is only partly inside the query range, two k-bit masks
+``m_L`` and ``m_U`` encode which hypercube quadrants can possibly intersect
+the query:
+
+- bit ``d`` of ``m_L`` is 0 iff the query's lower bound in dimension ``d``
+  reaches at or below the node's lower region half (otherwise the lower half
+  of dimension ``d`` cannot match and the bit forces a 1),
+- bit ``d`` of ``m_U`` is 1 iff the query's upper bound reaches at or above
+  the node's upper region half.
+
+The masks are simultaneously (a) the minimal and maximal possibly-matching
+HC addresses and (b) a constant-time validity filter: an address ``h`` fits
+iff ``(h | m_L) == h and (h & m_U) == h``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.node import Node
+
+__all__ = [
+    "address_fits",
+    "compute_masks",
+    "key_in_box",
+    "node_intersects_box",
+]
+
+
+def compute_masks(
+    node: Node,
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+) -> Tuple[int, int]:
+    """Return ``(m_L, m_U)`` for ``node`` against the inclusive query box.
+
+    The caller must have established that the node's region intersects the
+    box (see :func:`node_intersects_box`); otherwise the masks are
+    meaningless.
+    """
+    post_len = node.post_len
+    prefix = node.prefix
+    free = (1 << (post_len + 1)) - 1
+    mask_lower = 0
+    mask_upper = 0
+    for dim, node_lo in enumerate(prefix):
+        node_hi = node_lo | free
+        lo = box_min[dim]
+        hi = box_max[dim]
+        # Clamp the query bounds into the node region; after clamping, the
+        # bit at post_len tells which half of this dimension the bound sits
+        # in.  node_lo's bit there is 0 and node_hi's is 1, so clamped
+        # values behave correctly at the extremes.
+        if lo < node_lo:
+            lo = node_lo
+        if hi > node_hi:
+            hi = node_hi
+        mask_lower = (mask_lower << 1) | ((lo >> post_len) & 1)
+        mask_upper = (mask_upper << 1) | ((hi >> post_len) & 1)
+    return mask_lower, mask_upper
+
+
+def address_fits(address: int, mask_lower: int, mask_upper: int) -> bool:
+    """The paper's single-operation slot validity check.
+
+    ``h`` fits iff ``(h|mL) == h && (h&mU) == h``.
+    """
+    return (address | mask_lower) == address and (
+        address & mask_upper
+    ) == address
+
+
+def node_intersects_box(
+    node: Node,
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+) -> bool:
+    """True when the node's region overlaps the inclusive query box."""
+    free = (1 << (node.post_len + 1)) - 1
+    for dim, node_lo in enumerate(node.prefix):
+        if box_max[dim] < node_lo or box_min[dim] > (node_lo | free):
+            return False
+    return True
+
+
+def key_in_box(
+    key: Sequence[int],
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+) -> bool:
+    """Inclusive containment check of a point in the query box."""
+    for dim, value in enumerate(key):
+        if value < box_min[dim] or value > box_max[dim]:
+            return False
+    return True

@@ -1,0 +1,167 @@
+"""PHTreeMultiMap: duplicate keys over a PH-tree.
+
+The paper's tree "currently does not allow duplicates" (§3.6) -- each key
+holds exactly one value.  Real deployments (and the authors' later
+implementations) need several values per point: multiple map features on
+one coordinate, several readings per sensor position.  This wrapper
+stores a small value collection per key inside the tree's value slot,
+keeping every structural property (canonical shape, two-node updates)
+untouched because multiplicity lives entirely in the payload.
+
+Values under one key are kept in insertion order; ``remove`` deletes one
+``(key, value)`` pair, dropping the key once its last value goes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.phtree import PHTree
+
+__all__ = ["PHTreeMultiMap"]
+
+
+class PHTreeMultiMap:
+    """A k-dimensional multimap over integer keys.
+
+    >>> mm = PHTreeMultiMap(dims=2, width=8)
+    >>> mm.put((1, 2), "a")
+    >>> mm.put((1, 2), "b")
+    >>> sorted(mm.get((1, 2)))
+    ['a', 'b']
+    >>> len(mm)
+    2
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        width: "int | Sequence[int]" = 64,
+        hc_mode: str = "auto",
+    ) -> None:
+        self._tree = PHTree(dims=dims, width=width, hc_mode=hc_mode)
+        self._size = 0
+
+    # -- basics ---------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions ``k``."""
+        return self._tree.dims
+
+    @property
+    def tree(self) -> PHTree:
+        """The underlying PH-tree (values are value-lists)."""
+        return self._tree
+
+    def __len__(self) -> int:
+        """Total number of ``(key, value)`` pairs."""
+        return self._size
+
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return len(self._tree)
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        return self.contains(key)
+
+    # -- updates -----------------------------------------------------------------
+
+    def put(self, key: Sequence[int], value: Any = None) -> None:
+        """Add one ``(key, value)`` pair (duplicate values allowed)."""
+        values = self._tree.get(key)
+        if values is None and not self._tree.contains(key):
+            self._tree.put(key, [value])
+        else:
+            values.append(value)
+        self._size += 1
+
+    def remove(self, key: Sequence[int], value: Any) -> bool:
+        """Remove one occurrence of ``(key, value)``; False if absent."""
+        values: Optional[List[Any]] = self._tree.get(key)
+        if values is None and not self._tree.contains(key):
+            return False
+        try:
+            values.remove(value)
+        except ValueError:
+            return False
+        self._size -= 1
+        if not values:
+            self._tree.remove(key)
+        return True
+
+    def remove_key(self, key: Sequence[int]) -> List[Any]:
+        """Remove a key with all its values; returns them ([] if absent)."""
+        values = self._tree.remove(key, default=None)
+        if values is None:
+            return []
+        self._size -= len(values)
+        return values
+
+    def clear(self) -> None:
+        """Remove everything."""
+        self._tree.clear()
+        self._size = 0
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def get(self, key: Sequence[int]) -> List[Any]:
+        """All values stored under ``key`` (a copy; [] if absent)."""
+        values = self._tree.get(key)
+        return list(values) if values is not None else []
+
+    def contains(self, key: Sequence[int]) -> bool:
+        """Does any value exist under ``key``?"""
+        return self._tree.contains(key)
+
+    def count(self, key: Sequence[int]) -> int:
+        """Number of values under ``key``."""
+        values = self._tree.get(key)
+        return len(values) if values is not None else 0
+
+    # -- iteration ----------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        """Iterate every ``(key, value)`` pair (keys in z-order, values
+        in insertion order)."""
+        for key, values in self._tree.items():
+            for value in values:
+                yield key, value
+
+    def keys(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate distinct keys in z-order."""
+        return self._tree.keys()
+
+    def query(
+        self, box_min: Sequence[int], box_max: Sequence[int]
+    ) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        """Window query over all pairs in the inclusive box."""
+        for key, values in self._tree.query(box_min, box_max):
+            for value in values:
+                yield key, value
+
+    def knn(
+        self, key: Sequence[int], n: int = 1
+    ) -> List[Tuple[Tuple[int, ...], Any]]:
+        """The ``n`` nearest ``(key, value)`` pairs (pairs at one key
+        count individually, nearest key first)."""
+        results: List[Tuple[Tuple[int, ...], Any]] = []
+        for found_key, values in self._tree.nearest_iter(key):
+            for value in values:
+                results.append((found_key, value))
+                if len(results) == n:
+                    return results
+        return results
+
+    def check_invariants(self) -> None:
+        """Structural validation plus multiplicity bookkeeping."""
+        self._tree.check_invariants()
+        total = sum(len(values) for _, values in self._tree.items())
+        if total != self._size:
+            raise AssertionError(
+                f"size bookkeeping off: counted {total}, "
+                f"stored {self._size}"
+            )
+        for _, values in self._tree.items():
+            if not values:
+                raise AssertionError("empty value list left behind")

@@ -1,0 +1,228 @@
+"""PH-tree nodes and entries (paper Sections 3.1-3.2).
+
+A node sits at a *postfix length* ``post_len``: the hypercube address of a
+key within the node is formed from bit position ``post_len`` of each of the
+key's ``k`` values; the ``post_len`` lower bits of each value form the
+postfix stored with leaf entries.  The root always sits at
+``post_len == w - 1``.
+
+Every node stores the full shared *prefix* of all keys below it: a k-tuple
+whose bits at positions ``>= post_len + 1`` are meaningful (lower bits are
+zero).  Of that prefix, only the ``infix_len`` bits between the parent's
+address bit and this node's address bit are "owned" by the node (this is
+what gets serialised, and what the space model charges for); the rest is
+implied by the path from the root.  Keeping the full prefix in memory makes
+prefix checks and node-region computations O(k) single-mask operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.core.hypercube import (
+    LHCContainer,
+    convert_container,
+    max_hc_dimensions,
+    prefer_hc,
+)
+
+__all__ = ["Entry", "Node", "hypercube_address"]
+
+
+def hypercube_address(key: Sequence[int], post_len: int) -> int:
+    """Interleave bit position ``post_len`` of every value into an address.
+
+    Dimension 0 contributes the most significant address bit, matching the
+    paper's figures (e.g. the 2D entry ``(0..., 1...)`` lands at address
+    ``01``).
+
+    >>> hypercube_address((0b0001, 0b1000), 3)
+    1
+    """
+    address = 0
+    for value in key:
+        address = (address << 1) | ((value >> post_len) & 1)
+    return address
+
+
+class Entry:
+    """A stored key/value pair -- a *postfix* in the paper's terminology."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: Tuple[int, ...], value: Any = None) -> None:
+        self.key = key
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Entry(key={self.key!r}, value={self.value!r})"
+
+
+class Node:
+    """One PH-tree node: prefix + hypercube (HC or LHC) of slots."""
+
+    __slots__ = (
+        "post_len",
+        "infix_len",
+        "prefix",
+        "container",
+        "_n_sub",
+        "_n_post",
+    )
+
+    def __init__(
+        self,
+        post_len: int,
+        infix_len: int,
+        prefix: Tuple[int, ...],
+    ) -> None:
+        self.post_len = post_len
+        self.infix_len = infix_len
+        self.prefix = prefix
+        self.container: Any = LHCContainer()
+        self._n_sub = 0
+        self._n_post = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def region(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """The axis-aligned region covered by this node, per dimension.
+
+        Returns ``(lower, upper)`` k-tuples: prefix bits are fixed, the
+        ``post_len + 1`` low bits range over all combinations.
+        """
+        free = (1 << (self.post_len + 1)) - 1
+        lower = self.prefix
+        upper = tuple(p | free for p in lower)
+        return lower, upper
+
+    def matches_prefix(self, key: Sequence[int]) -> bool:
+        """True when ``key`` lies inside this node's region."""
+        shift = self.post_len + 1
+        for value, pref in zip(key, self.prefix):
+            if (value >> shift) != (pref >> shift):
+                return False
+        return True
+
+    def prefix_conflict_pos(self, key: Sequence[int]) -> int:
+        """Highest bit position where ``key`` leaves this node's region.
+
+        Returns -1 when the key matches the prefix.  Only positions
+        ``> post_len`` count; lower bits are inside the node anyway.
+        """
+        shift = self.post_len + 1
+        conflict = -1
+        for value, pref in zip(key, self.prefix):
+            diff = (value >> shift) ^ (pref >> shift)
+            if diff:
+                pos = diff.bit_length() - 1 + shift
+                if pos > conflict:
+                    conflict = pos
+        return conflict
+
+    # -- slot access -------------------------------------------------------
+
+    def address_of(self, key: Sequence[int]) -> int:
+        """Hypercube address of ``key`` within this node."""
+        return hypercube_address(key, self.post_len)
+
+    def get_slot(self, address: int) -> Any:
+        """Slot at ``address``: an Entry, a Node, or None."""
+        return self.container.get(address)
+
+    def num_slots(self) -> int:
+        """Number of occupied slots (postfixes + sub-nodes)."""
+        return len(self.container)
+
+    def slot_counts(self) -> Tuple[int, int]:
+        """Return ``(n_sub_nodes, n_postfixes)`` (maintained
+        incrementally)."""
+        return self._n_sub, self._n_post
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate occupied ``(address, slot)`` pairs in address order."""
+        return self.container.items()
+
+    # -- mutation ----------------------------------------------------------
+
+    def put_slot(
+        self,
+        address: int,
+        slot: Any,
+        k: int,
+        hc_mode: str = "auto",
+        hysteresis: float = 0.0,
+    ) -> Any:
+        """Store ``slot`` and re-evaluate the HC/LHC representation."""
+        previous = self.container.put(address, slot)
+        if previous is not None:
+            if isinstance(previous, Node):
+                self._n_sub -= 1
+            else:
+                self._n_post -= 1
+        if isinstance(slot, Node):
+            self._n_sub += 1
+        else:
+            self._n_post += 1
+        self._maybe_switch(k, hc_mode, hysteresis)
+        return previous
+
+    def remove_slot(
+        self,
+        address: int,
+        k: int,
+        hc_mode: str = "auto",
+        hysteresis: float = 0.0,
+    ) -> Any:
+        """Clear ``address`` and re-evaluate the HC/LHC representation."""
+        previous = self.container.remove(address)
+        if previous is not None:
+            if isinstance(previous, Node):
+                self._n_sub -= 1
+            else:
+                self._n_post -= 1
+        self._maybe_switch(k, hc_mode, hysteresis)
+        return previous
+
+    def postfix_payload_bits(self, k: int, value_bits: int = 0) -> int:
+        """Bits one postfix occupies in this node: ``lp * k`` (+ value)."""
+        return self.post_len * k + value_bits
+
+    def _maybe_switch(
+        self, k: int, hc_mode: str, hysteresis: float
+    ) -> None:
+        if hc_mode == "lhc":
+            want_hc = False
+        elif hc_mode == "hc":
+            want_hc = k <= max_hc_dimensions()
+        else:
+            want_hc = prefer_hc(
+                k,
+                self._n_sub,
+                self._n_post,
+                self.postfix_payload_bits(k),
+                hysteresis=hysteresis,
+                currently_hc=self.container.is_hc,
+            )
+        converted = convert_container(self.container, k, want_hc)
+        if converted is not None:
+            self.container = converted
+
+    # -- debugging ---------------------------------------------------------
+
+    def __repr__(self) -> str:
+        kind = "HC" if self.container.is_hc else "LHC"
+        return (
+            f"Node(post_len={self.post_len}, infix_len={self.infix_len}, "
+            f"slots={self.num_slots()}, repr={kind})"
+        )
+
+
+def masked_prefix(key: Sequence[int], post_len: int) -> Tuple[int, ...]:
+    """Return ``key`` with all bits at positions ``<= post_len`` cleared.
+
+    This is the full-prefix tuple for a node at ``post_len`` containing
+    ``key``.
+    """
+    shift = post_len + 1
+    return tuple((value >> shift) << shift for value in key)

@@ -1,0 +1,175 @@
+"""PHTreeSolid: axis-aligned boxes in a PH-tree (SAM on top of PAM).
+
+The paper positions the PH-tree as a point access method and notes that
+space access methods "can also be used to store points by using regions
+with size 0" but not vice versa (§2).  The converse trick -- used by the
+authors' later implementations -- stores each k-dimensional box as one
+*2k-dimensional point* ``(min_1..min_k, max_1..max_k)``.  Box queries
+then become ordinary window queries in the doubled space:
+
+- **intersection** with query box ``[qlo, qhi]``: every stored box with
+  ``min_d <= qhi_d`` and ``max_d >= qlo_d`` -- a window over
+  ``min in [domain_lo, qhi]`` × ``max in [qlo, domain_hi]``;
+- **containment** (stored box inside the query): a window over
+  ``min in [qlo, qhi]`` × ``max in [qlo, qhi]``.
+
+All structural guarantees of the point tree carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.phtree import PHTree
+from repro.encoding.ieee import decode_point, encode_point
+
+__all__ = ["PHTreeSolidF"]
+
+Box = Tuple[Tuple[float, ...], Tuple[float, ...]]
+
+_MISSING = object()
+
+# Encoded-domain extremes (finite doubles).
+_DOMAIN_LO = float("-inf")
+_DOMAIN_HI = float("inf")
+
+
+class PHTreeSolidF:
+    """A k-dimensional box index over float coordinates.
+
+    >>> solid = PHTreeSolidF(dims=2)
+    >>> solid.put((0.0, 0.0), (1.0, 1.0), "unit square")
+    >>> [v for _, _, v in solid.query_intersect((0.5, 0.5), (2.0, 2.0))]
+    ['unit square']
+    >>> [v for _, _, v in solid.query_intersect((2.0, 2.0), (3.0, 3.0))]
+    []
+    """
+
+    def __init__(self, dims: int, hc_mode: str = "auto") -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self._dims = dims
+        self._tree = PHTree(dims=2 * dims, width=64, hc_mode=hc_mode)
+
+    # -- basics ------------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the stored boxes (not of the point tree)."""
+        return self._dims
+
+    @property
+    def point_tree(self) -> PHTree:
+        """The underlying 2k-dimensional point tree."""
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def _encode_box(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> Tuple[int, ...]:
+        box_min = tuple(float(v) for v in box_min)
+        box_max = tuple(float(v) for v in box_max)
+        if len(box_min) != self._dims or len(box_max) != self._dims:
+            raise ValueError(
+                f"box corners must have {self._dims} dimensions"
+            )
+        for lo, hi in zip(box_min, box_max):
+            if lo > hi:
+                raise ValueError(
+                    f"degenerate box: min {lo} above max {hi}"
+                )
+        return encode_point(box_min) + encode_point(box_max)
+
+    @staticmethod
+    def _decode_box(key: Tuple[int, ...]) -> Box:
+        k = len(key) // 2
+        return decode_point(key[:k]), decode_point(key[k:])
+
+    # -- updates -------------------------------------------------------------------
+
+    def put(
+        self,
+        box_min: Sequence[float],
+        box_max: Sequence[float],
+        value: Any = None,
+    ) -> Any:
+        """Insert a box (or update its value); returns the previous
+        value."""
+        return self._tree.put(self._encode_box(box_min, box_max), value)
+
+    def remove(
+        self,
+        box_min: Sequence[float],
+        box_max: Sequence[float],
+        default: Any = _MISSING,
+    ) -> Any:
+        """Delete a box; KeyError when absent unless ``default`` given."""
+        key = self._encode_box(box_min, box_max)
+        if default is _MISSING:
+            return self._tree.remove(key)
+        return self._tree.remove(key, default)
+
+    def contains(
+        self, box_min: Sequence[float], box_max: Sequence[float]
+    ) -> bool:
+        """Exact-match lookup of a stored box."""
+        return self._tree.contains(self._encode_box(box_min, box_max))
+
+    def get(
+        self,
+        box_min: Sequence[float],
+        box_max: Sequence[float],
+        default: Any = None,
+    ) -> Any:
+        """Value of a stored box, or ``default``."""
+        return self._tree.get(self._encode_box(box_min, box_max), default)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Tuple[float, ...],
+                                      Tuple[float, ...], Any]]:
+        """Iterate all boxes as ``(min, max, value)``."""
+        for key, value in self._tree.items():
+            box_min, box_max = self._decode_box(key)
+            yield box_min, box_max, value
+
+    def query_intersect(
+        self, query_min: Sequence[float], query_max: Sequence[float]
+    ) -> Iterator[Tuple[Tuple[float, ...], Tuple[float, ...], Any]]:
+        """All stored boxes intersecting the query box (inclusive
+        touching counts as intersection)."""
+        query_min = tuple(float(v) for v in query_min)
+        query_max = tuple(float(v) for v in query_max)
+        window_lo = encode_point((_DOMAIN_LO,) * self._dims) + (
+            encode_point(query_min)
+        )
+        window_hi = encode_point(query_max) + encode_point(
+            (_DOMAIN_HI,) * self._dims
+        )
+        for key, value in self._tree.query(window_lo, window_hi):
+            box_min, box_max = self._decode_box(key)
+            yield box_min, box_max, value
+
+    def query_contained(
+        self, query_min: Sequence[float], query_max: Sequence[float]
+    ) -> Iterator[Tuple[Tuple[float, ...], Tuple[float, ...], Any]]:
+        """All stored boxes lying entirely inside the query box."""
+        query_min = tuple(float(v) for v in query_min)
+        query_max = tuple(float(v) for v in query_max)
+        window_lo = encode_point(query_min) + encode_point(query_min)
+        window_hi = encode_point(query_max) + encode_point(query_max)
+        for key, value in self._tree.query(window_lo, window_hi):
+            box_min, box_max = self._decode_box(key)
+            yield box_min, box_max, value
+
+    def query_point(
+        self, point: Sequence[float]
+    ) -> Iterator[Tuple[Tuple[float, ...], Tuple[float, ...], Any]]:
+        """All stored boxes covering ``point`` (a stabbing query)."""
+        return self.query_intersect(point, point)
+
+    def check_invariants(self) -> None:
+        """Delegate structural validation to the point tree."""
+        self._tree.check_invariants()

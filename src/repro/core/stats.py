@@ -1,0 +1,114 @@
+"""Tree statistics backing the paper's space analysis (Sections 3.4, 4.3.5,
+Table 3).
+
+:func:`collect_stats` walks a PH-tree once and gathers the quantities the
+paper reasons about: node count, entry-to-node ratio ``r_e/n``, HC vs LHC
+prevalence, depth, prefix-sharing savings and the exact serialised size of
+every node under the paper's bit-stream layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.hypercube import hc_bits, lhc_bits
+from repro.core.node import Node
+from repro.core.phtree import PHTree
+
+__all__ = ["TreeStats", "collect_stats", "node_serialized_bits"]
+
+# Fixed per-node header in the serialised stream: post_len and infix_len,
+# eight bits each (w <= 64 fits comfortably), plus the HC/LHC flag.
+NODE_HEADER_BITS = 8 + 8 + 1
+
+
+def node_serialized_bits(node: Node, k: int, value_bits: int = 0) -> int:
+    """Exact size in bits of one node's serialised image.
+
+    Header + infix (``infix_len * k`` bits, Section 3.4 prefix sharing) +
+    the slot table in whichever representation the node currently uses.
+    """
+    n_sub, n_post = node.slot_counts()
+    payload = node.postfix_payload_bits(k, value_bits)
+    if node.container.is_hc:
+        table = hc_bits(k, n_sub, n_post, payload)
+    else:
+        table = lhc_bits(k, n_sub, n_post, payload)
+    return NODE_HEADER_BITS + node.infix_len * k + table
+
+
+@dataclass
+class TreeStats:
+    """Aggregate statistics of one PH-tree."""
+
+    n_entries: int = 0
+    n_nodes: int = 0
+    n_hc_nodes: int = 0
+    n_lhc_nodes: int = 0
+    max_depth: int = 0
+    total_infix_bits: int = 0
+    total_serialized_bits: int = 0
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
+    node_size_bits: List[int] = field(default_factory=list)
+
+    @property
+    def entry_to_node_ratio(self) -> float:
+        """The paper's ``r_e/n = n / n_node`` (Section 3.4)."""
+        if self.n_nodes == 0:
+            return 0.0
+        return self.n_entries / self.n_nodes
+
+    @property
+    def total_serialized_bytes(self) -> int:
+        """Sum of per-node byte images (each node rounded up separately,
+        as nodes are serialised individually)."""
+        return sum((bits + 7) // 8 for bits in self.node_size_bits)
+
+    @property
+    def serialized_bytes_per_entry(self) -> float:
+        """Serialised bytes divided by entry count."""
+        if self.n_entries == 0:
+            return 0.0
+        return self.total_serialized_bytes / self.n_entries
+
+    @property
+    def hc_fraction(self) -> float:
+        """Fraction of nodes using the HC representation."""
+        if self.n_nodes == 0:
+            return 0.0
+        return self.n_hc_nodes / self.n_nodes
+
+
+def collect_stats(tree: PHTree, value_bits: int = 0) -> TreeStats:
+    """Walk ``tree`` and compute its :class:`TreeStats`.
+
+    ``value_bits`` sets how many bits each entry's value occupies in the
+    serialised image (0 for set semantics, 32 for a JVM value reference).
+    """
+    stats = TreeStats(n_entries=len(tree))
+    root = tree.root
+    if root is None:
+        return stats
+    k = tree.dims
+    stack = [(root, 1)]
+    while stack:
+        node, depth = stack.pop()
+        stats.n_nodes += 1
+        if node.container.is_hc:
+            stats.n_hc_nodes += 1
+        else:
+            stats.n_lhc_nodes += 1
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        stats.depth_histogram[depth] = (
+            stats.depth_histogram.get(depth, 0) + 1
+        )
+        stats.total_infix_bits += node.infix_len * k
+        bits = node_serialized_bits(node, k, value_bits)
+        stats.node_size_bits.append(bits)
+        stats.total_serialized_bits += bits
+        for _, slot in node.items():
+            if isinstance(slot, Node):
+                stack.append((slot, depth + 1))
+    return stats

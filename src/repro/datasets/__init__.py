@@ -1,0 +1,50 @@
+"""Datasets of the paper's evaluation (Section 4.2).
+
+- :func:`repro.datasets.cube.generate_cube` -- the CUBE dataset: uniform
+  points in [0,1)^k.
+- :func:`repro.datasets.cluster.generate_cluster` -- the CLUSTER dataset: a
+  line of evenly spaced tiny clusters along the x-axis, offset 0.5 (or 0.4,
+  Section 4.3.6) in all other dimensions.
+- :func:`repro.datasets.tiger.generate_tiger` -- the substitute for the
+  TIGER/Line 2010 dataset: synthetic county poly-lines over the continental
+  US bounding box (the real 18.4M-point census extract is not available
+  offline; see DESIGN.md for the substitution rationale).
+
+All generators are deterministic given a seed.
+"""
+
+from repro.datasets.cluster import generate_cluster
+from repro.datasets.cube import generate_cube
+from repro.datasets.rng import dedupe_points, make_rng
+from repro.datasets.tiger import generate_tiger
+
+__all__ = [
+    "dedupe_points",
+    "generate_cluster",
+    "generate_cube",
+    "generate_tiger",
+    "make_dataset",
+    "make_rng",
+]
+
+
+def make_dataset(name, n, dims, seed=0):
+    """Dataset factory keyed by the paper's names.
+
+    ``name`` is one of ``"CUBE"``, ``"CLUSTER"`` (offset 0.5),
+    ``"CLUSTER0.4"``, ``"CLUSTER0.5"`` or ``"TIGER"`` (dims forced to 2).
+    """
+    if name == "CUBE":
+        return generate_cube(n, dims, seed=seed)
+    if name in ("CLUSTER", "CLUSTER0.5"):
+        return generate_cluster(n, dims, offset=0.5, seed=seed)
+    if name == "CLUSTER0.4":
+        return generate_cluster(n, dims, offset=0.4, seed=seed)
+    if name == "TIGER":
+        if dims != 2:
+            raise ValueError("the TIGER dataset is two-dimensional")
+        return generate_tiger(n, seed=seed)
+    raise ValueError(
+        f"unknown dataset {name!r}; one of CUBE, CLUSTER, CLUSTER0.4, "
+        f"CLUSTER0.5, TIGER"
+    )

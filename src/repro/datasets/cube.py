@@ -1,0 +1,35 @@
+"""The CUBE dataset (paper Section 4.2, Figure 6a).
+
+Up to 10^8 points distributed uniformly at random in ``[0.0, 1.0)``,
+independently in every dimension, as 64-bit doubles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.datasets.rng import make_rng
+
+__all__ = ["generate_cube"]
+
+Point = Tuple[float, ...]
+
+
+def generate_cube(n: int, dims: int, seed: int = 0) -> List[Point]:
+    """Generate ``n`` uniform points in ``[0, 1)**dims``.
+
+    >>> pts = generate_cube(5, 3, seed=1)
+    >>> len(pts), len(pts[0])
+    (5, 3)
+    >>> all(0.0 <= v < 1.0 for p in pts for v in p)
+    True
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    rng = make_rng(seed)
+    uniform = rng.random
+    return [
+        tuple(uniform() for _ in range(dims)) for _ in range(n)
+    ]

@@ -1,0 +1,46 @@
+"""Bit-level encoding substrate used by the PH-tree and its baselines.
+
+This package contains the low-level machinery the paper builds on:
+
+- :mod:`repro.encoding.bits` -- word-level bit helpers (extraction, masks,
+  common-prefix computations).
+- :mod:`repro.encoding.ieee` -- the IEEE-754 ``double`` to sortable integer
+  conversion of Section 3.3 of the paper, plus its inverse.
+- :mod:`repro.encoding.interleave` -- Morton/z-order bit interleaving used by
+  the critical-bit-tree baselines (references [13, 17] of the paper).
+- :mod:`repro.encoding.bitbuffer` -- an append/insert/read bit-stream buffer
+  implementing the "single bit-string per node" storage of reference [9].
+"""
+
+from repro.encoding.bits import (
+    bit_at,
+    common_prefix_len,
+    high_bits_mask,
+    low_bits_mask,
+    most_significant_diff_bit,
+    set_bit,
+)
+from repro.encoding.bitbuffer import BitBuffer
+from repro.encoding.ieee import (
+    decode_double,
+    decode_point,
+    encode_double,
+    encode_point,
+)
+from repro.encoding.interleave import deinterleave, interleave
+
+__all__ = [
+    "BitBuffer",
+    "bit_at",
+    "common_prefix_len",
+    "decode_double",
+    "decode_point",
+    "deinterleave",
+    "encode_double",
+    "encode_point",
+    "high_bits_mask",
+    "interleave",
+    "low_bits_mask",
+    "most_significant_diff_bit",
+    "set_bit",
+]

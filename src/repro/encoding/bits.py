@@ -1,0 +1,151 @@
+"""Word-level bit manipulation helpers.
+
+All functions in this module operate on arbitrary-precision Python integers
+interpreted as fixed-width unsigned words.  Bit positions follow the
+convention used throughout this code base (and the original PH-tree Java
+implementation): *position* ``p`` refers to the bit with value ``2**p``, i.e.
+position 0 is the least significant bit and position ``w - 1`` is the most
+significant bit of a ``w``-bit value.
+
+The paper's *bit-depth* ``z_b`` (1-based, counting from the most significant
+bit; Section 3.1) relates to our positions via ``pos = w - z_b``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_at",
+    "bit_depth_to_pos",
+    "clear_bit",
+    "common_prefix_len",
+    "high_bits_mask",
+    "low_bits_mask",
+    "most_significant_diff_bit",
+    "pos_to_bit_depth",
+    "set_bit",
+    "to_binary_string",
+]
+
+
+def bit_at(value: int, pos: int) -> int:
+    """Return the bit of ``value`` at position ``pos`` (0 or 1).
+
+    >>> bit_at(0b0100, 2)
+    1
+    >>> bit_at(0b0100, 1)
+    0
+    """
+    if pos < 0:
+        raise ValueError(f"bit position must be non-negative, got {pos}")
+    return (value >> pos) & 1
+
+
+def set_bit(value: int, pos: int) -> int:
+    """Return ``value`` with the bit at position ``pos`` set to 1."""
+    if pos < 0:
+        raise ValueError(f"bit position must be non-negative, got {pos}")
+    return value | (1 << pos)
+
+
+def clear_bit(value: int, pos: int) -> int:
+    """Return ``value`` with the bit at position ``pos`` cleared to 0."""
+    if pos < 0:
+        raise ValueError(f"bit position must be non-negative, got {pos}")
+    return value & ~(1 << pos)
+
+
+def low_bits_mask(n_bits: int) -> int:
+    """Return a mask with the ``n_bits`` least significant bits set.
+
+    >>> bin(low_bits_mask(3))
+    '0b111'
+    >>> low_bits_mask(0)
+    0
+    """
+    if n_bits < 0:
+        raise ValueError(f"mask width must be non-negative, got {n_bits}")
+    return (1 << n_bits) - 1
+
+
+def high_bits_mask(n_bits: int, width: int) -> int:
+    """Return a ``width``-bit mask with the ``n_bits`` *most* significant
+    bits set.
+
+    >>> bin(high_bits_mask(2, 8))
+    '0b11000000'
+    """
+    if not 0 <= n_bits <= width:
+        raise ValueError(
+            f"need 0 <= n_bits <= width, got n_bits={n_bits} width={width}"
+        )
+    return low_bits_mask(n_bits) << (width - n_bits)
+
+
+def most_significant_diff_bit(a: int, b: int) -> int:
+    """Return the position of the most significant bit where ``a`` and ``b``
+    differ.
+
+    Raises :class:`ValueError` when ``a == b`` since no differing bit exists.
+
+    >>> most_significant_diff_bit(0b1000, 0b1010)
+    1
+    """
+    diff = a ^ b
+    if diff == 0:
+        raise ValueError("values are equal; no differing bit")
+    return diff.bit_length() - 1
+
+
+def common_prefix_len(a: int, b: int, width: int) -> int:
+    """Return the number of leading bits (from the most significant bit of a
+    ``width``-bit word) that ``a`` and ``b`` share.
+
+    >>> common_prefix_len(0b1100, 0b1101, 4)
+    3
+    >>> common_prefix_len(0, 0, 4)
+    4
+    """
+    diff = a ^ b
+    if diff == 0:
+        return width
+    msb = diff.bit_length() - 1
+    if msb >= width:
+        raise ValueError(
+            f"values do not fit the declared width {width}: diff msb {msb}"
+        )
+    return width - 1 - msb
+
+
+def pos_to_bit_depth(pos: int, width: int) -> int:
+    """Convert a 0-based LSB position into the paper's 1-based bit-depth.
+
+    >>> pos_to_bit_depth(63, 64)
+    1
+    >>> pos_to_bit_depth(0, 64)
+    64
+    """
+    if not 0 <= pos < width:
+        raise ValueError(f"need 0 <= pos < width, got pos={pos} width={width}")
+    return width - pos
+
+
+def bit_depth_to_pos(bit_depth: int, width: int) -> int:
+    """Convert the paper's 1-based bit-depth into a 0-based LSB position."""
+    if not 1 <= bit_depth <= width:
+        raise ValueError(
+            f"need 1 <= bit_depth <= width, got {bit_depth} width={width}"
+        )
+    return width - bit_depth
+
+
+def to_binary_string(value: int, width: int) -> str:
+    """Render ``value`` as a fixed-width binary string (MSB first).
+
+    >>> to_binary_string(2, 4)
+    '0010'
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit into {width} bits")
+    return format(value, f"0{width}b")

@@ -1,0 +1,201 @@
+"""Chunked bit-stream buffer (paper Outlook, item 1).
+
+The paper: "currently all node-data is stored in a single bit-string
+which makes insert and delete operations slow for k > 8.  Splitting these
+bit-strings into sizeable chunks would improve update performance.  At
+the same time, the chunk size could be chosen so that a chunk fits on a
+disk-page."
+
+:class:`ChunkedBitBuffer` implements that design: the stream is a list of
+bounded chunks, so a mid-stream insert shifts only the bits of one chunk
+(plus an occasional chunk split) instead of the whole stream.  The class
+mirrors the :class:`~repro.encoding.bitbuffer.BitBuffer` interface, and
+``benchmarks/bench_ablation_chunks.py`` measures the update-cost
+difference the paper predicts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.encoding.bitbuffer import BitBuffer
+
+__all__ = ["ChunkedBitBuffer"]
+
+#: Default chunk capacity: 4096 bytes, a common disk-page size (the
+#: paper's suggestion).
+DEFAULT_CHUNK_BITS = 4096 * 8
+
+
+class ChunkedBitBuffer:
+    """A bit stream stored as a sequence of bounded chunks.
+
+    Functionally equivalent to :class:`BitBuffer`; inserts and removals
+    touch only one chunk (O(chunk) instead of O(stream)).
+
+    >>> buf = ChunkedBitBuffer(chunk_bits=16)
+    >>> for i in range(10):
+    ...     buf.append(i % 4, 2)
+    >>> buf.read(0, 4)
+    1
+    >>> buf.bit_length
+    20
+    """
+
+    __slots__ = ("_chunks", "_chunk_bits")
+
+    def __init__(self, chunk_bits: int = DEFAULT_CHUNK_BITS) -> None:
+        if chunk_bits < 8:
+            raise ValueError(
+                f"chunk capacity must be >= 8 bits, got {chunk_bits}"
+            )
+        self._chunk_bits = chunk_bits
+        self._chunks: List[BitBuffer] = [BitBuffer()]
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits stored."""
+        return sum(c.bit_length for c in self._chunks)
+
+    def __len__(self) -> int:
+        return self.bit_length
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of chunks currently in use."""
+        return len(self._chunks)
+
+    @property
+    def chunk_bits(self) -> int:
+        """Configured chunk capacity in bits."""
+        return self._chunk_bits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChunkedBitBuffer):
+            return NotImplemented
+        return self.to_binary_string() == other.to_binary_string()
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedBitBuffer(bits={self.bit_length}, "
+            f"chunks={len(self._chunks)})"
+        )
+
+    # -- locating ---------------------------------------------------------------
+
+    def _locate(self, pos: int) -> "tuple[int, int]":
+        """Map a global bit position to (chunk index, offset in chunk).
+
+        A position equal to the total length maps past the last chunk's
+        end (for appends/inserts at the tail).
+        """
+        remaining = pos
+        last = len(self._chunks) - 1
+        for index, chunk in enumerate(self._chunks):
+            if remaining < chunk.bit_length:
+                return index, remaining
+            if remaining == chunk.bit_length and index == last:
+                # End of stream: valid only for appends/inserts.
+                return index, remaining
+            # Position sits at or past this chunk's end: move on (a
+            # boundary position belongs to the start of the next chunk).
+            remaining -= chunk.bit_length
+        return last, self._chunks[last].bit_length
+
+    def _split_if_full(self, index: int) -> None:
+        chunk = self._chunks[index]
+        if chunk.bit_length <= self._chunk_bits:
+            return
+        half = chunk.bit_length // 2
+        right_bits = chunk.bit_length - half
+        right_value = chunk.read(half, right_bits)
+        right = BitBuffer(right_value, right_bits)
+        left_value = chunk.read(0, half)
+        self._chunks[index] = BitBuffer(left_value, half)
+        self._chunks.insert(index + 1, right)
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, value: int, n_bits: int) -> None:
+        """Append a field at the end of the stream."""
+        last = self._chunks[-1]
+        last.append(value, n_bits)
+        self._split_if_full(len(self._chunks) - 1)
+
+    def insert(self, pos: int, value: int, n_bits: int) -> None:
+        """Insert a field at global bit position ``pos``.
+
+        Only the chunk containing ``pos`` is shifted -- the operation the
+        paper's chunking proposal accelerates.
+        """
+        if not 0 <= pos <= self.bit_length:
+            raise IndexError(
+                f"insert position {pos} outside {self.bit_length}-bit "
+                f"stream"
+            )
+        index, offset = self._locate(pos)
+        self._chunks[index].insert(offset, value, n_bits)
+        self._split_if_full(index)
+
+    def remove(self, pos: int, n_bits: int) -> int:
+        """Remove a field starting at global position ``pos``.
+
+        May span chunk boundaries; each affected chunk shifts only its
+        own bits.
+        """
+        if n_bits < 0:
+            raise ValueError(f"field width must be non-negative: {n_bits}")
+        if not 0 <= pos <= self.bit_length - n_bits:
+            raise IndexError(
+                f"cannot remove [{pos}, {pos + n_bits}) from "
+                f"{self.bit_length}-bit stream"
+            )
+        removed = 0
+        taken = 0
+        while taken < n_bits:
+            index, offset = self._locate(pos)
+            chunk = self._chunks[index]
+            take = min(n_bits - taken, chunk.bit_length - offset)
+            removed = (removed << take) | chunk.remove(offset, take)
+            taken += take
+            if chunk.bit_length == 0 and len(self._chunks) > 1:
+                self._chunks.pop(index)
+        return removed
+
+    # -- reading ---------------------------------------------------------------------
+
+    def read(self, pos: int, n_bits: int) -> int:
+        """Read a field starting at global position ``pos``."""
+        if n_bits < 0:
+            raise ValueError(f"field width must be non-negative: {n_bits}")
+        if not 0 <= pos <= self.bit_length - n_bits:
+            raise IndexError(
+                f"cannot read [{pos}, {pos + n_bits}) from "
+                f"{self.bit_length}-bit stream"
+            )
+        result = 0
+        taken = 0
+        while taken < n_bits:
+            index, offset = self._locate(pos + taken)
+            chunk = self._chunks[index]
+            take = min(n_bits - taken, chunk.bit_length - offset)
+            result = (result << take) | chunk.read(offset, take)
+            taken += take
+        return result
+
+    # -- conversion --------------------------------------------------------------------
+
+    def to_binary_string(self) -> str:
+        """The whole stream as a '0'/'1' string."""
+        return "".join(c.to_binary_string() for c in self._chunks)
+
+    def to_bitbuffer(self) -> BitBuffer:
+        """Flatten into a monolithic :class:`BitBuffer`."""
+        flat = BitBuffer()
+        for chunk in self._chunks:
+            if chunk.bit_length:
+                flat.append(chunk.read(0, chunk.bit_length),
+                            chunk.bit_length)
+        return flat

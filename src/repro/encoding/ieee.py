@@ -1,0 +1,150 @@
+"""IEEE-754 ``double`` to sortable unsigned integer conversion (paper §3.3).
+
+The PH-tree only understands bit-strings which it sorts as unsigned
+integers.  To store floating point values the paper applies a conversion
+``c(double) -> long`` with the *sortability* property::
+
+    c(f1) > c(f2)  <=>  f1 > f2        (with -0.0 folded into 0.0)
+
+The paper's Java reference implementation is::
+
+    long c(double value) {
+        if (value == -0.0) { value = 0.0; }
+        if (value < 0.0) {
+            long lb = Double.doubleToRawLongBits(value);
+            return (~lb) | (1L << 63);
+        }
+        return Double.doubleToRawLongBits(value);
+    }
+
+Note that the Java version maps negative values into the *upper* half of the
+unsigned 64-bit range when interpreted as unsigned (because it sets bit 63
+after complementing), which keeps ordering only when longs are compared as
+*signed* values.  The PH-tree compares bit-strings as unsigned integers, so
+this module uses the standard unsigned-sortable variant of the same
+transformation:
+
+- non-negative doubles: raw bits with the sign bit set
+  (``raw | 2**63``), mapping them to the upper half,
+- negative doubles: bitwise complement of the raw bits (``~raw``), mapping
+  them to the lower half in reversed (i.e. correct ascending) order.
+
+This is a strict order isomorphism from doubles (sans NaN, with -0.0 folded)
+onto a subset of ``[0, 2**64)`` and is exactly what the paper's conversion
+achieves for signed comparison.  Both variants are exposed; the signed Java
+variant is provided for the Table 4 bit-pattern reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "decode_double",
+    "decode_point",
+    "encode_double",
+    "encode_point",
+    "java_double_to_long_bits",
+    "java_sortable_long",
+    "raw_bits",
+    "raw_bits_to_double",
+]
+
+_U64 = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def raw_bits(value: float) -> int:
+    """Return the raw IEEE-754 binary64 bit pattern of ``value`` as an
+    unsigned 64-bit integer (``Double.doubleToRawLongBits`` in Java,
+    interpreted unsigned).
+    """
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def raw_bits_to_double(bits: int) -> float:
+    """Inverse of :func:`raw_bits`."""
+    if not 0 <= bits <= _U64:
+        raise ValueError(f"bit pattern out of 64-bit range: {bits}")
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def java_double_to_long_bits(value: float) -> int:
+    """``Double.doubleToRawLongBits`` returning a *signed* Java long.
+
+    Used to reproduce the exact integers in Table 4 of the paper.
+    """
+    bits = raw_bits(value)
+    return bits - (1 << 64) if bits & _SIGN_BIT else bits
+
+
+def java_sortable_long(value: float) -> int:
+    """The paper's conversion function verbatim, returning a signed long.
+
+    >>> java_sortable_long(0.5) == java_double_to_long_bits(0.5)
+    True
+    """
+    if value == 0.0:
+        # Folds -0.0 into +0.0 (Java: `value == -0.0` is true for both).
+        value = 0.0
+    if value < 0.0:
+        lb = raw_bits(value)
+        unsigned = ((~lb) & _U64) | _SIGN_BIT
+        return unsigned - (1 << 64) if unsigned & _SIGN_BIT else unsigned
+    return java_double_to_long_bits(value)
+
+
+def encode_double(value: float) -> int:
+    """Convert ``value`` into an unsigned 64-bit sortable integer.
+
+    The result preserves ordering under unsigned integer comparison:
+    ``encode_double(a) < encode_double(b)`` iff ``a < b`` (with ``-0.0``
+    treated as ``0.0``).  NaN is rejected since it has no place in a total
+    order.
+
+    >>> encode_double(1.0) > encode_double(0.5) > encode_double(0.0)
+    True
+    >>> encode_double(-0.5) < encode_double(0.0)
+    True
+    >>> encode_double(-0.0) == encode_double(0.0)
+    True
+    """
+    if math.isnan(value):
+        raise ValueError("NaN cannot be stored in a PH-tree")
+    if value == 0.0:
+        value = 0.0
+    bits = raw_bits(value)
+    if value < 0.0:
+        return (~bits) & _U64
+    return bits | _SIGN_BIT
+
+
+def decode_double(code: int) -> float:
+    """Inverse of :func:`encode_double`.
+
+    >>> decode_double(encode_double(3.25))
+    3.25
+    >>> decode_double(encode_double(-1e-300))
+    -1e-300
+    """
+    if not 0 <= code <= _U64:
+        raise ValueError(f"encoded value out of 64-bit range: {code}")
+    if code & _SIGN_BIT:
+        return raw_bits_to_double(code & ~_SIGN_BIT)
+    return raw_bits_to_double((~code) & _U64)
+
+
+def encode_point(point: Iterable[float]) -> Tuple[int, ...]:
+    """Encode every coordinate of a float point (see :func:`encode_double`).
+
+    >>> encode_point([0.0, 1.0]) == (encode_double(0.0), encode_double(1.0))
+    True
+    """
+    return tuple(encode_double(v) for v in point)
+
+
+def decode_point(codes: Sequence[int]) -> Tuple[float, ...]:
+    """Inverse of :func:`encode_point`."""
+    return tuple(decode_double(c) for c in codes)

@@ -1,0 +1,132 @@
+"""Morton (z-order) bit interleaving.
+
+The critical-bit-tree baselines of the paper (Section 4.1) store
+k-dimensional entries by interleaving the ``k`` values of each entry into a
+single bit-string in round-robin fashion, as proposed in references [13, 17].
+The PH-tree itself does *not* interleave stored values (it keeps the k
+bit-strings "in parallel", Section 3.2) but it interleaves one *bit layer* at
+a time to form hypercube addresses; that per-layer operation lives in
+:mod:`repro.core.node`.
+
+The interleaved word layout is MSB-first round-robin: the most significant
+bit of the result is the most significant bit of dimension 0, followed by the
+most significant bit of dimension 1, etc.  This is the ordering that makes an
+interleaved comparison equivalent to the PH-tree's hypercube-address
+traversal order.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+__all__ = ["deinterleave", "interleave", "interleave_naive", "spread"]
+
+
+@lru_cache(maxsize=64)
+def _spread_table(k: int) -> Tuple[int, ...]:
+    """Byte lookup table: table[b] has the bits of ``b`` spread with
+    ``k - 1`` zero gaps (bit i lands at position i*k)."""
+    table = []
+    for byte in range(256):
+        spread_bits = 0
+        for i in range(8):
+            if byte & (1 << i):
+                spread_bits |= 1 << (i * k)
+        table.append(spread_bits)
+    return tuple(table)
+
+
+def spread(value: int, k: int, width: int) -> int:
+    """Spread a ``width``-bit value so bit ``i`` moves to ``i * k``.
+
+    >>> bin(spread(0b111, 2, 3))
+    '0b10101'
+    """
+    table = _spread_table(k)
+    result = 0
+    for byte_index in range((width + 7) // 8):
+        byte = (value >> (8 * byte_index)) & 0xFF
+        if byte:
+            result |= table[byte] << (8 * byte_index * k)
+    return result
+
+
+def interleave(values: Sequence[int], width: int) -> int:
+    """Interleave ``k`` unsigned ``width``-bit values into one
+    ``k * width``-bit Morton code.
+
+    Uses byte-table bit spreading (8 lookups per value instead of a
+    per-bit loop); :func:`interleave_naive` keeps the definitional
+    implementation as a test oracle.
+
+    >>> bin(interleave([0b11, 0b00], 2))
+    '0b1010'
+    >>> interleave([5], 8)
+    5
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        raise ValueError("need at least one value to interleave")
+    k = len(values)
+    for i, v in enumerate(values):
+        if v < 0 or v >> width:
+            raise ValueError(
+                f"value {v} at dimension {i} does not fit into {width} bits"
+            )
+    if k == 1:
+        return values[0]
+    code = 0
+    shift = k - 1
+    for v in values:
+        if v:
+            code |= spread(v, k, width) << shift
+        shift -= 1
+    return code
+
+
+def interleave_naive(values: Sequence[int], width: int) -> int:
+    """Definitional per-bit interleaving (the test oracle for
+    :func:`interleave`).
+
+    >>> interleave_naive([0b11, 0b00], 2) == interleave([0b11, 0b00], 2)
+    True
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        raise ValueError("need at least one value to interleave")
+    for i, v in enumerate(values):
+        if v < 0 or v >> width:
+            raise ValueError(
+                f"value {v} at dimension {i} does not fit into {width} bits"
+            )
+    code = 0
+    for pos in range(width - 1, -1, -1):
+        for v in values:
+            code = (code << 1) | ((v >> pos) & 1)
+    return code
+
+
+def deinterleave(code: int, k: int, width: int) -> Tuple[int, ...]:
+    """Inverse of :func:`interleave`.
+
+    >>> deinterleave(0b1010, 2, 2)
+    (3, 0)
+    """
+    if k <= 0:
+        raise ValueError(f"dimension count must be positive, got {k}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if code < 0 or code >> (k * width):
+        raise ValueError(
+            f"code {code} does not fit into {k}x{width} interleaved bits"
+        )
+    values = [0] * k
+    shift = k * width
+    for pos in range(width - 1, -1, -1):
+        for dim in range(k):
+            shift -= 1
+            values[dim] |= ((code >> shift) & 1) << pos
+    return tuple(values)

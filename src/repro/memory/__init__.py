@@ -1,0 +1,16 @@
+"""JVM-style memory model (substitute for the paper's heap measurements).
+
+The paper measures index memory on a 64-bit Oracle JDK 1.7 with compressed
+oops by diffing ``Runtime.totalMemory() - freeMemory()`` around index
+construction, and notes that these numbers matched the analytic sum of all
+node sizes within 5% (Section 4.3.5).  This package computes that analytic
+sum directly: :class:`repro.memory.model.JvmMemoryModel` encodes the JDK's
+object layout rules (headers, reference width, field packing, 8-byte
+alignment), and every index structure walks its own object graph under the
+model.
+"""
+
+from repro.memory.model import JvmMemoryModel
+from repro.memory.report import SpaceReport, bytes_per_entry, space_report
+
+__all__ = ["JvmMemoryModel", "SpaceReport", "bytes_per_entry", "space_report"]

@@ -1,0 +1,131 @@
+"""Object-layout rules of the paper's testbed JVM.
+
+The evaluation machine ran a 64-bit Oracle JDK 1.7 with default settings,
+which means *compressed oops*: object references and the class word take
+4 bytes each.  The layout rules implemented here:
+
+- plain object: 8-byte mark word + 4-byte class pointer = 12-byte header,
+  then fields (packed by the JVM; we sum their widths), padded to a multiple
+  of 8,
+- array: 12-byte header + 4-byte length = 16 bytes, then elements, padded
+  to a multiple of 8,
+- reference fields/elements: 4 bytes.
+
+The constants are configurable so the model can also emulate an
+uncompressed-oops JVM (``JvmMemoryModel.uncompressed()``) or be repurposed
+as a CPython ``sys.getsizeof``-style model for sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["JvmMemoryModel"]
+
+_PRIMITIVE_BYTES = {
+    "boolean": 1,
+    "byte": 1,
+    "char": 2,
+    "short": 2,
+    "int": 4,
+    "float": 4,
+    "long": 8,
+    "double": 8,
+}
+
+
+@dataclass(frozen=True)
+class JvmMemoryModel:
+    """Sizing rules for Java objects and arrays.
+
+    >>> model = JvmMemoryModel.compressed_oops()
+    >>> model.array_bytes("double", 3)   # 16-byte header + 24, aligned
+    40
+    >>> model.object_bytes(refs=2, ints=1)   # 12 + 8 + 4 -> 24
+    24
+    """
+
+    object_header_bytes: int = 12
+    array_header_bytes: int = 16
+    reference_bytes: int = 4
+    alignment: int = 8
+
+    @classmethod
+    def compressed_oops(cls) -> "JvmMemoryModel":
+        """The paper's configuration: 64-bit JVM, compressed oops."""
+        return cls()
+
+    @classmethod
+    def uncompressed(cls) -> "JvmMemoryModel":
+        """64-bit JVM with -XX:-UseCompressedOops (e.g. heaps > 32 GB)."""
+        return cls(
+            object_header_bytes=16,
+            array_header_bytes=24,
+            reference_bytes=8,
+            alignment=8,
+        )
+
+    def align(self, size: int) -> int:
+        """Round ``size`` up to the allocation granularity."""
+        remainder = size % self.alignment
+        if remainder:
+            return size + self.alignment - remainder
+        return size
+
+    def primitive_bytes(self, type_name: str) -> int:
+        """Width of a primitive field/element."""
+        try:
+            return _PRIMITIVE_BYTES[type_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown primitive type {type_name!r}; "
+                f"one of {sorted(_PRIMITIVE_BYTES)}"
+            ) from None
+
+    def object_bytes(
+        self,
+        refs: int = 0,
+        booleans: int = 0,
+        bytes_: int = 0,
+        chars: int = 0,
+        shorts: int = 0,
+        ints: int = 0,
+        floats: int = 0,
+        longs: int = 0,
+        doubles: int = 0,
+    ) -> int:
+        """Aligned heap size of one object with the given fields."""
+        size = (
+            self.object_header_bytes
+            + refs * self.reference_bytes
+            + booleans
+            + bytes_
+            + chars * 2
+            + shorts * 2
+            + ints * 4
+            + floats * 4
+            + longs * 8
+            + doubles * 8
+        )
+        return self.align(size)
+
+    def array_bytes(self, element_type: str, length: int) -> int:
+        """Aligned heap size of a primitive or reference array.
+
+        ``element_type`` is a primitive name or ``"ref"``.
+        """
+        if length < 0:
+            raise ValueError(f"array length must be >= 0, got {length}")
+        if element_type == "ref":
+            elem = self.reference_bytes
+        else:
+            elem = self.primitive_bytes(element_type)
+        return self.align(self.array_header_bytes + elem * length)
+
+    def byte_array_for_bits(self, n_bits: int) -> int:
+        """Aligned size of the smallest ``byte[]`` holding ``n_bits``."""
+        return self.array_bytes("byte", (n_bits + 7) // 8)
+
+    def boxed_double_bytes(self) -> int:
+        """A ``java.lang.Double`` instance."""
+        return self.object_bytes(doubles=1)

@@ -1,0 +1,75 @@
+"""Actual CPython memory measurement (complements the JVM model).
+
+The JVM model in :mod:`repro.memory.model` reproduces the paper's
+numbers; this module measures what the structures *really* occupy in the
+running CPython process, via a deduplicating deep ``sys.getsizeof`` walk.
+The absolute numbers are CPython-specific (boxed floats, tuple headers,
+dict tables) and much larger than the JVM's, but the *orderings* between
+structures should agree with the model -- a cross-check the test suite
+performs.
+
+Interned/shared immutables (small ints, the empty tuple, ...) are counted
+once, like a real heap census would.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Set
+
+__all__ = ["deep_sizeof", "index_sizeof"]
+
+_ATOMIC = (type(None), bool, int, float, complex, str, bytes, bytearray)
+
+
+def deep_sizeof(obj: Any, _seen: Set[int] = None) -> int:
+    """Recursively measure ``obj`` and everything it references.
+
+    Objects are counted once even when referenced repeatedly.  Class
+    objects, modules and functions are skipped (shared interpreter
+    state, not data).
+
+    >>> deep_sizeof([]) == sys.getsizeof([])
+    True
+    >>> deep_sizeof([1.5]) > sys.getsizeof([1.5])
+    True
+    """
+    seen = _seen if _seen is not None else set()
+    stack = [obj]
+    total = 0
+    while stack:
+        current = stack.pop()
+        identity = id(current)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        if isinstance(current, type) or callable(current):
+            continue
+        total += sys.getsizeof(current)
+        if isinstance(current, _ATOMIC):
+            continue
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+        elif hasattr(current, "__dict__"):
+            stack.append(current.__dict__)
+        if hasattr(current, "__slots__"):
+            for slot in _all_slots(type(current)):
+                try:
+                    stack.append(getattr(current, slot))
+                except AttributeError:
+                    pass
+    return total
+
+
+def _all_slots(cls: type) -> Iterable[str]:
+    for base in cls.__mro__:
+        for slot in getattr(base, "__slots__", ()):
+            yield slot
+
+
+def index_sizeof(index: Any) -> int:
+    """Deep CPython size of a spatial index structure."""
+    return deep_sizeof(index)

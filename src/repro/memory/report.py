@@ -1,0 +1,77 @@
+"""Bytes-per-entry space reports (paper Tables 1-2, Figures 10, 14, 15).
+
+Builds the paper's space comparison: load a dataset into each structure and
+report the modelled heap bytes divided by the entry count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.memory.model import JvmMemoryModel
+
+__all__ = ["SpaceReport", "bytes_per_entry", "space_report"]
+
+Point = Tuple[float, ...]
+
+
+def bytes_per_entry(
+    index: "SpatialIndex",  # noqa: F821 - protocol, avoids import cycle
+    model: Optional[JvmMemoryModel] = None,
+) -> float:
+    """Modelled heap bytes of ``index`` divided by its entry count."""
+    n = len(index)
+    if n == 0:
+        return 0.0
+    return index.memory_bytes(model) / n
+
+
+@dataclass
+class SpaceReport:
+    """Bytes-per-entry for several structures over one dataset."""
+
+    dataset: str
+    n_entries: int
+    dims: int
+    per_structure: Dict[str, float] = field(default_factory=dict)
+
+    def row(self, names: Sequence[str]) -> List[float]:
+        """Values in the order of ``names`` (missing -> NaN)."""
+        return [self.per_structure.get(name, float("nan")) for name in names]
+
+    def format_table(self) -> str:
+        """Human-readable one-dataset table."""
+        lines = [
+            f"dataset={self.dataset} n={self.n_entries} k={self.dims}",
+            f"{'structure':>10s} {'bytes/entry':>12s}",
+        ]
+        for name, bpe in self.per_structure.items():
+            lines.append(f"{name:>10s} {bpe:>12.1f}")
+        return "\n".join(lines)
+
+
+def space_report(
+    dataset_name: str,
+    points: Sequence[Point],
+    structure_names: Sequence[str],
+    dims: int,
+    model: Optional[JvmMemoryModel] = None,
+) -> SpaceReport:
+    """Load ``points`` into each named structure and measure it.
+
+    Structures are created through
+    :func:`repro.baselines.interface.make_index`.
+    """
+    from repro.baselines.interface import make_index
+
+    model = model or JvmMemoryModel.compressed_oops()
+    report = SpaceReport(
+        dataset=dataset_name, n_entries=len(points), dims=dims
+    )
+    for name in structure_names:
+        index = make_index(name, dims=dims)
+        for point in points:
+            index.put(point)
+        report.per_structure[name] = bytes_per_entry(index, model)
+    return report

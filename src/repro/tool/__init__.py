@@ -1,0 +1,16 @@
+"""``repro.tool`` -- index CSV point data from the command line.
+
+A small end-user utility on top of the library: build a persistent
+PH-tree index over selected numeric columns of a CSV file, then run
+window queries, nearest-neighbour lookups and structure reports against
+the index file.
+
+    python -m repro.tool build data.csv --columns lon,lat --out idx.pht
+    python -m repro.tool query idx.pht --box " -10,40 : 5,55 "
+    python -m repro.tool knn idx.pht --point "2.35,48.85" -n 5
+    python -m repro.tool stats idx.pht
+"""
+
+from repro.tool.cli import main
+
+__all__ = ["main"]

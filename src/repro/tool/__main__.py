@@ -1,0 +1,7 @@
+"""``python -m repro.tool`` dispatches to the CLI."""
+
+import sys
+
+from repro.tool.cli import main
+
+sys.exit(main())

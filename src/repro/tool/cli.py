@@ -1,0 +1,243 @@
+"""Command-line interface of the CSV indexing tool."""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.core import collect_stats
+from repro.core.phtree import PHTree
+from repro.encoding.ieee import decode_point, encode_point
+from repro.tool.storage import IndexFile, load_index, save_index
+
+__all__ = ["main"]
+
+
+def _parse_point(text: str, dims: int) -> Tuple[float, ...]:
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != dims:
+        raise ValueError(
+            f"point {text!r} has {len(parts)} coordinates, index has "
+            f"{dims}"
+        )
+    return tuple(float(p) for p in parts)
+
+
+def _parse_box(
+    text: str, dims: int
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    if ":" not in text:
+        raise ValueError(
+            "box must be 'x1,y1,... : x2,y2,...' (two corners)"
+        )
+    low_text, high_text = text.split(":", 1)
+    low = _parse_point(low_text, dims)
+    high = _parse_point(high_text, dims)
+    return (
+        tuple(min(a, b) for a, b in zip(low, high)),
+        tuple(max(a, b) for a, b in zip(low, high)),
+    )
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    columns = [c.strip() for c in args.columns.split(",") if c.strip()]
+    if len(columns) < 1:
+        print("error: need at least one column", file=sys.stderr)
+        return 2
+    source = Path(args.csv)
+    tree = PHTree(dims=len(columns), width=64)
+    n_rows = 0
+    n_duplicates = 0
+    started = time.perf_counter()
+    with source.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = [
+            c for c in columns if c not in (reader.fieldnames or [])
+        ]
+        if missing:
+            print(
+                f"error: column(s) {missing} not in CSV header "
+                f"{reader.fieldnames}",
+                file=sys.stderr,
+            )
+            return 2
+        for row_number, row in enumerate(reader, start=1):
+            try:
+                point = tuple(float(row[c]) for c in columns)
+            except ValueError:
+                print(
+                    f"warning: skipping row {row_number}: non-numeric "
+                    f"value",
+                    file=sys.stderr,
+                )
+                continue
+            n_rows += 1
+            if tree.put(encode_point(point), row_number) is not None:
+                n_duplicates += 1
+    elapsed = time.perf_counter() - started
+    index = IndexFile(
+        tree=tree,
+        columns=columns,
+        source=str(source),
+        n_rows=n_rows,
+        n_duplicates=n_duplicates,
+    )
+    size = save_index(index, Path(args.out))
+    print(
+        f"indexed {len(tree)} unique points "
+        f"({n_duplicates} duplicate positions) from {n_rows} rows "
+        f"in {elapsed:.2f}s"
+    )
+    print(f"wrote {args.out} ({size} bytes, "
+          f"{size / max(1, len(tree)):.1f} B/point)")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(Path(args.index))
+    box_min, box_max = _parse_box(args.box, index.dims)
+    results = list(
+        index.tree.query(encode_point(box_min), encode_point(box_max))
+    )
+    header = ",".join(index.columns) + ",row"
+    print(header)
+    for encoded, row_number in results[: args.limit]:
+        point = decode_point(encoded)
+        print(",".join(f"{v:.10g}" for v in point) + f",{row_number}")
+    if len(results) > args.limit:
+        print(
+            f"... {len(results) - args.limit} more "
+            f"(raise --limit to see them)",
+            file=sys.stderr,
+        )
+    print(f"{len(results)} point(s) in box", file=sys.stderr)
+    return 0
+
+
+def cmd_knn(args: argparse.Namespace) -> int:
+    index = load_index(Path(args.index))
+    query = _parse_point(args.point, index.dims)
+    # kNN in float space via the float facade over the restored tree.
+    from repro.core.phtree_float import PHTreeF
+
+    facade = PHTreeF.from_int_tree(index.tree)
+    results = facade.knn(query, args.n)
+    print(",".join(index.columns) + ",row,distance")
+    for point, row_number in results:
+        distance = sum(
+            (a - b) ** 2 for a, b in zip(point, query)
+        ) ** 0.5
+        print(
+            ",".join(f"{v:.10g}" for v in point)
+            + f",{row_number},{distance:.6g}"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Dump the whole index back out as CSV (z-order)."""
+    index = load_index(Path(args.index))
+    out = sys.stdout if args.out is None else open(args.out, "w")
+    try:
+        out.write(",".join(index.columns) + ",row\n")
+        count = 0
+        for encoded, row_number in index.tree.items():
+            point = decode_point(encoded)
+            out.write(
+                ",".join(f"{v:.17g}" for v in point) + f",{row_number}\n"
+            )
+            count += 1
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"exported {count} point(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(Path(args.index))
+    stats = collect_stats(index.tree, value_bits=64)
+    print(f"source:            {index.source}")
+    print(f"columns:           {', '.join(index.columns)}")
+    print(f"rows read:         {index.n_rows}")
+    print(f"unique points:     {len(index.tree)}")
+    print(f"duplicate updates: {index.n_duplicates}")
+    print(f"nodes:             {stats.n_nodes}")
+    print(f"entry/node ratio:  {stats.entry_to_node_ratio:.2f}")
+    print(f"HC / LHC nodes:    {stats.n_hc_nodes} / {stats.n_lhc_nodes}")
+    print(f"max depth:         {stats.max_depth} (bound: 64)")
+    print(
+        f"serialised:        {stats.total_serialized_bytes} bytes "
+        f"({stats.serialized_bytes_per_entry:.1f}/point incl. row ids)"
+    )
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tool",
+        description="Index CSV point data with a PH-tree.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="index a CSV file")
+    build.add_argument("csv", help="source CSV (with a header row)")
+    build.add_argument(
+        "--columns",
+        "-c",
+        required=True,
+        help="comma-separated numeric column names to index",
+    )
+    build.add_argument(
+        "--out", "-o", required=True, help="index file to write"
+    )
+    build.set_defaults(func=cmd_build)
+
+    query = sub.add_parser("query", help="window query")
+    query.add_argument("index", help="index file")
+    query.add_argument(
+        "--box",
+        "-b",
+        required=True,
+        help="inclusive box 'x1,y1 : x2,y2'",
+    )
+    query.add_argument("--limit", "-l", type=int, default=20)
+    query.set_defaults(func=cmd_query)
+
+    knn = sub.add_parser("knn", help="k nearest neighbours")
+    knn.add_argument("index", help="index file")
+    knn.add_argument("--point", "-p", required=True, help="'x,y,...'")
+    knn.add_argument("-n", type=int, default=1)
+    knn.set_defaults(func=cmd_knn)
+
+    stats = sub.add_parser("stats", help="index structure report")
+    stats.add_argument("index", help="index file")
+    stats.set_defaults(func=cmd_stats)
+
+    export = sub.add_parser(
+        "export", help="dump the index content as CSV (z-order)"
+    )
+    export.add_argument("index", help="index file")
+    export.add_argument(
+        "--out", "-o", default=None, help="output CSV (default: stdout)"
+    )
+    export.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CSV-indexing CLI; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

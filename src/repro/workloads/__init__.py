@@ -1,0 +1,24 @@
+"""Query workload generators matching the paper's Sections 4.3.2-4.3.3.
+
+- :func:`repro.workloads.point_queries.make_point_queries` -- the 50/50 mix
+  of existing and random query points.
+- :func:`repro.workloads.range_queries.make_volume_boxes` -- random-edged
+  cuboids normalised to a target volume fraction (TIGER: 1% of the area,
+  CUBE: 0.1% of the volume).
+- :func:`repro.workloads.range_queries.make_cluster_boxes` -- the CLUSTER
+  axis-slab queries (x-extent 0.01%, full extent elsewhere).
+"""
+
+from repro.workloads.point_queries import make_point_queries
+from repro.workloads.range_queries import (
+    data_bounds,
+    make_cluster_boxes,
+    make_volume_boxes,
+)
+
+__all__ = [
+    "data_bounds",
+    "make_cluster_boxes",
+    "make_point_queries",
+    "make_volume_boxes",
+]

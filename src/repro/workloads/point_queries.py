@@ -1,0 +1,59 @@
+"""Point-query workloads (paper Section 4.3.2).
+
+"Point queries were created randomly, having a 50% chance of querying an
+existing data point or otherwise querying a random coordinate in the
+allowed query range."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.datasets.rng import make_rng
+
+__all__ = ["make_point_queries"]
+
+Point = Tuple[float, ...]
+
+
+def make_point_queries(
+    points: Sequence[Point],
+    n_queries: int,
+    bounds: Tuple[Point, Point],
+    existing_fraction: float = 0.5,
+    seed: int = 0,
+) -> List[Point]:
+    """Build the paper's point-query mix.
+
+    ``bounds`` is the inclusive ``(lower, upper)`` corner pair of the
+    allowed query range (for TIGER, the data's min/max per coordinate; for
+    the synthetic sets, ``[0, 1]`` per dimension).
+
+    >>> qs = make_point_queries([(0.5, 0.5)], 4, ((0.0, 0.0), (1.0, 1.0)),
+    ...                         seed=1)
+    >>> len(qs)
+    4
+    """
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    if not 0.0 <= existing_fraction <= 1.0:
+        raise ValueError(
+            f"existing_fraction must be in [0, 1], got {existing_fraction}"
+        )
+    if not points and existing_fraction > 0.0:
+        raise ValueError("cannot sample existing points from an empty set")
+    lower, upper = bounds
+    dims = len(lower)
+    rng = make_rng(seed)
+    queries: List[Point] = []
+    for _ in range(n_queries):
+        if rng.random() < existing_fraction:
+            queries.append(points[rng.randrange(len(points))])
+        else:
+            queries.append(
+                tuple(
+                    lower[d] + rng.random() * (upper[d] - lower[d])
+                    for d in range(dims)
+                )
+            )
+    return queries

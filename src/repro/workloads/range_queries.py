@@ -1,0 +1,126 @@
+"""Range-query workloads (paper Section 4.3.3).
+
+Two query shapes:
+
+- **volume boxes** (TIGER, CUBE): "rectangles or k-dimensional cuboids
+  where all edges have random length, except one randomly chosen edge that
+  is adjusted so that the query covers 1% of the area of TIGER/Line data or
+  0.1% of the volume of CUBE data",
+- **cluster boxes** (CLUSTER): "cuboids that extend from 0.0 to 1.0 in
+  every dimension except for the x-axis where they have an extension of
+  0.01% and are randomly located between 0.0 and 0.1".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.datasets.rng import make_rng
+
+__all__ = ["data_bounds", "make_cluster_boxes", "make_volume_boxes"]
+
+Point = Tuple[float, ...]
+Box = Tuple[Point, Point]
+
+
+def data_bounds(points: Sequence[Point]) -> Box:
+    """Per-dimension min/max of a point set (the TIGER query range)."""
+    if not points:
+        raise ValueError("cannot compute bounds of an empty point set")
+    dims = len(points[0])
+    lower = [float("inf")] * dims
+    upper = [float("-inf")] * dims
+    for point in points:
+        for d, v in enumerate(point):
+            if v < lower[d]:
+                lower[d] = v
+            if v > upper[d]:
+                upper[d] = v
+    return tuple(lower), tuple(upper)
+
+
+def make_volume_boxes(
+    bounds: Box,
+    n_queries: int,
+    volume_fraction: float,
+    seed: int = 0,
+) -> List[Box]:
+    """Random-edged boxes normalised to ``volume_fraction`` of the data
+    volume.
+
+    Edge lengths are drawn uniformly; one randomly chosen edge is then
+    rescaled so the box volume hits the target exactly (re-drawing in the
+    rare case where that edge would have to exceed the data extent).
+
+    >>> boxes = make_volume_boxes(((0.0, 0.0), (1.0, 1.0)), 3, 0.01, seed=1)
+    >>> all(hi >= lo for box in boxes for lo, hi in zip(*box))
+    True
+    """
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    if not 0.0 < volume_fraction <= 1.0:
+        raise ValueError(
+            f"volume_fraction must be in (0, 1], got {volume_fraction}"
+        )
+    lower, upper = bounds
+    dims = len(lower)
+    extents = [upper[d] - lower[d] for d in range(dims)]
+    if any(e <= 0 for e in extents):
+        raise ValueError("degenerate bounds: zero extent in a dimension")
+    total_volume = 1.0
+    for e in extents:
+        total_volume *= e
+    target = volume_fraction * total_volume
+    rng = make_rng(seed)
+    boxes: List[Box] = []
+    while len(boxes) < n_queries:
+        lengths = [rng.random() * extents[d] for d in range(dims)]
+        adjust = rng.randrange(dims)
+        volume_rest = 1.0
+        for d in range(dims):
+            if d != adjust:
+                volume_rest *= lengths[d]
+        if volume_rest <= 0.0:
+            continue
+        lengths[adjust] = target / volume_rest
+        if lengths[adjust] > extents[adjust]:
+            continue  # cannot reach the target volume with this draw
+        box_lower = []
+        box_upper = []
+        for d in range(dims):
+            start = lower[d] + rng.random() * (extents[d] - lengths[d])
+            box_lower.append(start)
+            box_upper.append(start + lengths[d])
+        boxes.append((tuple(box_lower), tuple(box_upper)))
+    return boxes
+
+
+def make_cluster_boxes(
+    dims: int,
+    n_queries: int,
+    x_extent: float = 0.0001,
+    x_range: Tuple[float, float] = (0.0, 0.1),
+    seed: int = 0,
+) -> List[Box]:
+    """The CLUSTER query slabs: thin in x, full extent elsewhere.
+
+    The default ``x_extent`` of 0.0001 is the paper's "extension of 0.01%"
+    of the unit axis; slabs start uniformly in ``x_range``.
+
+    >>> (lo, hi), = make_cluster_boxes(3, 1, seed=4)
+    >>> lo[1], hi[1], lo[2], hi[2]
+    (0.0, 1.0, 0.0, 1.0)
+    """
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    rng = make_rng(seed)
+    x_lo, x_hi = x_range
+    boxes: List[Box] = []
+    for _ in range(n_queries):
+        start = x_lo + rng.random() * (x_hi - x_lo)
+        box_lower = (start,) + (0.0,) * (dims - 1)
+        box_upper = (start + x_extent,) + (1.0,) * (dims - 1)
+        boxes.append((box_lower, box_upper))
+    return boxes

@@ -1,0 +1,74 @@
+"""All CB-tree range-query strategies must agree: CB1 scan, CB1 z-order
+skip-scan, CB2 prefix-pruned, and the PH-tree as reference."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import CritBitTree, PatriciaTrie, PHTreeIndex
+
+
+@pytest.fixture
+def loaded_structures():
+    rng = random.Random(17)
+    cb1 = CritBitTree(dims=2)
+    cb2 = PatriciaTrie(dims=2)
+    ph = PHTreeIndex(dims=2)
+    points = []
+    for _ in range(1200):
+        p = (rng.uniform(-3, 3), rng.uniform(-3, 3))
+        points.append(p)
+        for index in (cb1, cb2, ph):
+            index.put(p)
+    return cb1, cb2, ph, points, rng
+
+
+class TestFourWayAgreement:
+    def test_random_boxes(self, loaded_structures):
+        cb1, cb2, ph, points, rng = loaded_structures
+        for _ in range(20):
+            lo = (rng.uniform(-3, 2), rng.uniform(-3, 2))
+            hi = (lo[0] + rng.uniform(0, 2), lo[1] + rng.uniform(0, 2))
+            reference = sorted(p for p, _ in ph.query(lo, hi))
+            assert sorted(p for p, _ in cb1.query(lo, hi)) == reference
+            assert (
+                sorted(p for p, _ in cb1.query_zorder(lo, hi))
+                == reference
+            )
+            assert sorted(p for p, _ in cb2.query(lo, hi)) == reference
+
+    def test_boxes_missing_everything(self, loaded_structures):
+        cb1, cb2, ph, _, __ = loaded_structures
+        lo, hi = (10.0, 10.0), (11.0, 11.0)
+        assert list(cb1.query(lo, hi)) == []
+        assert list(cb1.query_zorder(lo, hi)) == []
+        assert list(cb2.query(lo, hi)) == []
+        assert list(ph.query(lo, hi)) == []
+
+    def test_negative_quadrant_boxes(self, loaded_structures):
+        """Negative doubles invert bit order under raw IEEE; the encoded
+        space must keep all four strategies aligned."""
+        cb1, cb2, ph, _, __ = loaded_structures
+        lo, hi = (-3.0, -3.0), (-0.5, -0.5)
+        reference = sorted(p for p, _ in ph.query(lo, hi))
+        assert len(reference) > 10
+        assert sorted(p for p, _ in cb1.query_zorder(lo, hi)) == (
+            reference
+        )
+        assert sorted(p for p, _ in cb2.query(lo, hi)) == reference
+
+    def test_agreement_survives_deletions(self, loaded_structures):
+        cb1, cb2, ph, points, rng = loaded_structures
+        victims = list(dict.fromkeys(points))[:400]
+        for p in victims:
+            cb1.remove(p)
+            cb2.remove(p)
+            ph.remove(p)
+        lo, hi = (-1.0, -1.0), (1.0, 1.0)
+        reference = sorted(p for p, _ in ph.query(lo, hi))
+        assert sorted(p for p, _ in cb1.query_zorder(lo, hi)) == (
+            reference
+        )
+        assert sorted(p for p, _ in cb2.query(lo, hi)) == reference

@@ -1,0 +1,117 @@
+"""CB1-specific tests: crit-bit structure over interleaved keys."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.critbit import CritBitTree, _Inner, _Leaf
+
+
+def check_critbit_invariants(tree):
+    """Crit-bit invariants: inner bit indices strictly increase downward,
+    and every leaf's path matches its code's bits."""
+    if tree._root is None:
+        return 0
+    total_bits = tree._dims * 64
+    leaves = 0
+    stack = [(tree._root, -1, [])]
+    while stack:
+        node, parent_bit, path = stack.pop()
+        if isinstance(node, _Inner):
+            assert node.bit > parent_bit
+            assert 0 <= node.bit < total_bits
+            stack.append((node.left, node.bit, path + [(node.bit, 0)]))
+            stack.append((node.right, node.bit, path + [(node.bit, 1)]))
+        else:
+            leaves += 1
+            for bit_index, expected in path:
+                actual = (node.code >> (total_bits - 1 - bit_index)) & 1
+                assert actual == expected
+    return leaves
+
+
+class TestStructure:
+    def test_invariants_after_random_mutations(self):
+        rng = random.Random(3)
+        tree = CritBitTree(dims=2)
+        alive = set()
+        for _ in range(400):
+            if rng.random() < 0.65 or not alive:
+                p = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+                tree.put(p)
+                alive.add(p)
+            else:
+                p = rng.choice(sorted(alive))
+                tree.remove(p)
+                alive.discard(p)
+        assert check_critbit_invariants(tree) == len(alive) == len(tree)
+
+    def test_single_leaf_root(self):
+        tree = CritBitTree(dims=2)
+        tree.put((0.5, 0.5))
+        assert isinstance(tree._root, _Leaf)
+        tree.remove((0.5, 0.5))
+        assert tree._root is None
+
+    def test_inner_count_is_leaves_minus_one(self):
+        rng = random.Random(5)
+        tree = CritBitTree(dims=3)
+        points = {
+            tuple(rng.uniform(0, 1) for _ in range(3)) for _ in range(100)
+        }
+        for p in points:
+            tree.put(p)
+        inners = 0
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                inners += 1
+                stack.extend((node.left, node.right))
+        assert inners == len(points) - 1
+
+    def test_depth_reports_binary_tree_depth(self):
+        tree = CritBitTree(dims=1)
+        assert tree.depth() == 0
+        tree.put((0.5,))
+        assert tree.depth() == 1
+        tree.put((0.25,))
+        assert tree.depth() == 2
+
+
+class TestBinaryTreeHandicap:
+    def test_depth_grows_with_k_for_boolean_like_data(self):
+        """The paper's Section 2 argument: locating a key among keys that
+        differ only in the first bit-layer takes up to k comparisons in a
+        binary trie (vs 1 node in the PH-tree)."""
+        deep = {}
+        for k in (2, 8, 16):
+            tree = CritBitTree(dims=k)
+            rng = random.Random(k)
+            for _ in range(64):
+                tree.put(tuple(float(rng.randrange(2)) for _ in range(k)))
+            deep[k] = tree.depth()
+        assert deep[2] < deep[8] <= deep[16]
+
+
+class TestUpdateSemantics:
+    def test_put_returns_previous(self):
+        tree = CritBitTree(dims=2)
+        assert tree.put((0.5, 0.5), "a") is None
+        assert tree.put((0.5, 0.5), "b") == "a"
+        assert len(tree) == 1
+
+    def test_remove_missing(self):
+        tree = CritBitTree(dims=2)
+        with pytest.raises(KeyError):
+            tree.remove((0.1, 0.1))
+        tree.put((0.5, 0.5))
+        with pytest.raises(KeyError):
+            tree.remove((0.1, 0.1))
+
+    def test_negative_zero_folded(self):
+        tree = CritBitTree(dims=1)
+        tree.put((-0.0,), "z")
+        assert tree.get((0.0,)) == "z"

@@ -1,0 +1,139 @@
+"""Cross-structure equivalence: every index must give identical answers to
+the brute-force oracle on identical random workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import make_index
+from repro.baselines.interface import INDEX_NAMES
+
+TREE_NAMES = [n for n in INDEX_NAMES if n not in ("d[]", "o[]")]
+
+
+def workload(seed, dims, n):
+    rng = random.Random(seed)
+    points = list(
+        dict.fromkeys(
+            tuple(rng.uniform(-1, 1) for _ in range(dims))
+            for _ in range(n)
+        )
+    )
+    return rng, points
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+@pytest.mark.parametrize("dims", [1, 2, 3])
+class TestAgainstOracle:
+    def test_full_lifecycle(self, name, dims):
+        rng, points = workload(dims * 13, dims, 400)
+        oracle = {}
+        index = make_index(name, dims=dims)
+        # Mixed inserts and updates.
+        for i, point in enumerate(points):
+            assert index.put(point, i) is None
+            oracle[point] = i
+        for point in points[::5]:
+            assert index.put(point, "updated") == oracle[point]
+            oracle[point] = "updated"
+        assert len(index) == len(oracle)
+        # Lookups: hits and misses.
+        for point in points[::3]:
+            assert index.get(point) == oracle[point]
+            assert index.contains(point)
+        for _ in range(50):
+            probe = tuple(rng.uniform(-1, 1) for _ in range(dims))
+            assert index.contains(probe) == (probe in oracle)
+        # Range queries.
+        for _ in range(15):
+            lo = tuple(rng.uniform(-1, 0.5) for _ in range(dims))
+            hi = tuple(v + rng.uniform(0, 0.8) for v in lo)
+            got = sorted(p for p, _ in index.query(lo, hi))
+            want = sorted(
+                p
+                for p in oracle
+                if all(
+                    lo[d] <= p[d] <= hi[d] for d in range(dims)
+                )
+            )
+            assert got == want
+        # Deletions, then re-verify.
+        victims = points[:150]
+        for point in victims:
+            assert index.remove(point) == oracle.pop(point)
+        assert len(index) == len(oracle)
+        for point in victims[:30]:
+            assert not index.contains(point)
+            with pytest.raises(KeyError):
+                index.remove(point)
+        for point in list(oracle)[:30]:
+            assert index.contains(point)
+        # Queries still correct after deletions.
+        lo = tuple(-1.0 for _ in range(dims))
+        hi = tuple(1.0 for _ in range(dims))
+        assert sorted(p for p, _ in index.query(lo, hi)) == sorted(oracle)
+
+
+@pytest.mark.parametrize("name", ["PH", "KD1", "KD2", "d[]", "o[]"])
+class TestKnnAgreement:
+    def test_knn_matches_brute_force(self, name):
+        rng, points = workload(99, 2, 300)
+        index = make_index(name, dims=2)
+        for point in points:
+            index.put(point)
+        for _ in range(10):
+            query = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+
+            def d2(p):
+                return sum((a - b) ** 2 for a, b in zip(p, query))
+
+            got = [round(d2(p), 12) for p, _ in index.knn(query, 7)]
+            want = [round(d2(p), 12) for p in sorted(points, key=d2)[:7]]
+            assert got == want
+
+
+class TestKnnUnsupported:
+    @pytest.mark.parametrize("name", ["CB1", "CB2"])
+    def test_raises_not_implemented(self, name):
+        index = make_index(name, dims=2)
+        index.put((0.0, 0.0))
+        with pytest.raises(NotImplementedError):
+            index.knn((0.0, 0.0), 1)
+
+
+class TestIdenticalStructuralAnswers:
+    """All tree structures must return the same multiset of entries for
+    the same query, including after interleaved mutations."""
+
+    def test_interleaved_mutations(self):
+        rng = random.Random(4)
+        dims = 2
+        indexes = {name: make_index(name, dims=dims) for name in TREE_NAMES}
+        oracle = {}
+        for step in range(600):
+            action = rng.random()
+            if action < 0.6 or not oracle:
+                point = (rng.uniform(0, 1), rng.uniform(0, 1))
+                for index in indexes.values():
+                    index.put(point, step)
+                oracle[point] = step
+            elif action < 0.8:
+                point = rng.choice(sorted(oracle))
+                for index in indexes.values():
+                    assert index.remove(point) == oracle[point]
+                del oracle[point]
+            else:
+                lo = (rng.uniform(0, 0.8), rng.uniform(0, 0.8))
+                hi = (lo[0] + 0.2, lo[1] + 0.2)
+                want = sorted(
+                    p
+                    for p in oracle
+                    if lo[0] <= p[0] <= hi[0] and lo[1] <= p[1] <= hi[1]
+                )
+                for name, index in indexes.items():
+                    got = sorted(p for p, _ in index.query(lo, hi))
+                    assert got == want, name
+        for name, index in indexes.items():
+            assert len(index) == len(oracle), name

@@ -1,0 +1,79 @@
+"""Tests for the SpatialIndex factory and the PH-tree adapter's memory
+accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PHTreeIndex, make_index
+from repro.baselines.adapter import phtree_memory_bytes
+from repro.baselines.interface import INDEX_NAMES
+from repro.memory.model import JvmMemoryModel
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", INDEX_NAMES)
+    def test_creates_matching_structure(self, name):
+        index = make_index(name, dims=3)
+        assert index.name == name
+        assert index.dims == 3
+        assert len(index) == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_index("RTREE", dims=2)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            make_index("PH", dims=0)
+
+    def test_kwargs_forwarded(self):
+        index = make_index("PH", dims=2, hc_mode="lhc")
+        index.put((0.5, 0.5))
+        assert not index.tree.int_tree.root.container.is_hc
+
+
+class TestBytesPerEntryHelper:
+    def test_zero_for_empty(self):
+        assert make_index("PH", dims=2).bytes_per_entry() == 0.0
+
+    def test_divides_by_count(self):
+        index = make_index("d[]", dims=2)
+        for i in range(10):
+            index.put((float(i), 0.0))
+        assert index.bytes_per_entry() == pytest.approx(
+            index.memory_bytes() / 10
+        )
+
+
+class TestPHTreeAdapterMemory:
+    def test_value_refs_charged_only_when_values_stored(self):
+        keyed = PHTreeIndex(dims=2)
+        valued = PHTreeIndex(dims=2)
+        points = [(float(i), float(i * 2)) for i in range(200)]
+        for p in points:
+            keyed.put(p)
+            valued.put(p, "payload")
+        assert valued.memory_bytes() > keyed.memory_bytes()
+
+    def test_memory_grows_with_entries(self):
+        index = PHTreeIndex(dims=2)
+        sizes = []
+        for i in range(1, 401):
+            index.put((float(i), float(i % 17)))
+            if i % 100 == 0:
+                sizes.append(index.memory_bytes())
+        assert sizes == sorted(sizes)
+        assert sizes[0] > 0
+
+    def test_phtree_memory_bytes_empty(self):
+        index = PHTreeIndex(dims=2)
+        assert phtree_memory_bytes(index.tree.int_tree) == 0
+
+    def test_model_parameter_respected(self):
+        index = PHTreeIndex(dims=2)
+        for i in range(100):
+            index.put((float(i), float(i)))
+        compressed = index.memory_bytes(JvmMemoryModel.compressed_oops())
+        uncompressed = index.memory_bytes(JvmMemoryModel.uncompressed())
+        assert uncompressed > compressed

@@ -1,0 +1,100 @@
+"""KD1-specific tests: lazy deletion, structure, memory accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.kdtree import KDTree
+from repro.memory.model import JvmMemoryModel
+
+
+class TestLazyDeletion:
+    def test_deleted_nodes_stay_allocated(self):
+        tree = KDTree(dims=2)
+        for i in range(10):
+            tree.put((float(i), float(i)))
+        assert tree.node_count == 10
+        for i in range(5):
+            tree.remove((float(i), float(i)))
+        assert len(tree) == 5
+        assert tree.node_count == 10  # lazy: nodes not reclaimed
+
+    def test_memory_includes_deleted_nodes(self):
+        tree = KDTree(dims=2)
+        for i in range(10):
+            tree.put((float(i), float(i)))
+        before = tree.memory_bytes()
+        for i in range(5):
+            tree.remove((float(i), float(i)))
+        assert tree.memory_bytes() == before
+
+    def test_reinsert_revives_deleted_node(self):
+        tree = KDTree(dims=2)
+        tree.put((1.0, 2.0), "a")
+        tree.remove((1.0, 2.0))
+        assert tree.put((1.0, 2.0), "b") is None  # was deleted
+        assert tree.node_count == 1  # reused, not re-allocated
+        assert tree.get((1.0, 2.0)) == "b"
+
+    def test_deleted_nodes_invisible_to_queries(self):
+        tree = KDTree(dims=2)
+        tree.put((0.5, 0.5))
+        tree.put((0.6, 0.6))
+        tree.remove((0.5, 0.5))
+        got = [p for p, _ in tree.query((0.0, 0.0), (1.0, 1.0))]
+        assert got == [(0.6, 0.6)]
+        assert not tree.contains((0.5, 0.5))
+        assert tree.get((0.5, 0.5), "gone") == "gone"
+
+
+class TestInsertionOrderDependence:
+    def test_structure_depends_on_order(self):
+        """Unlike the PH-tree, the kD-tree's depth depends on insertion
+        order -- sorted input degenerates it (paper Section 2)."""
+        points = [(float(i), 0.0) for i in range(64)]
+        sorted_tree = KDTree(dims=2)
+        for p in points:
+            sorted_tree.put(p)
+        shuffled = list(points)
+        random.Random(0).shuffle(shuffled)
+        shuffled_tree = KDTree(dims=2)
+        for p in shuffled:
+            shuffled_tree.put(p)
+
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        assert depth(sorted_tree._root) == 64  # fully degenerate
+        assert depth(shuffled_tree._root) < 64
+
+
+class TestMemoryModel:
+    def test_matches_java_layout_3d(self):
+        # node 32 + wrapper 16 + double[3] 40 = 88 per entry under
+        # compressed oops.
+        tree = KDTree(dims=3)
+        tree.put((0.1, 0.2, 0.3))
+        assert tree.memory_bytes(JvmMemoryModel.compressed_oops()) == 88
+
+    def test_uncompressed_is_larger(self):
+        tree = KDTree(dims=3)
+        tree.put((0.1, 0.2, 0.3))
+        assert tree.memory_bytes(
+            JvmMemoryModel.uncompressed()
+        ) > tree.memory_bytes(JvmMemoryModel.compressed_oops())
+
+
+class TestValidation:
+    def test_dimension_check(self):
+        tree = KDTree(dims=2)
+        with pytest.raises(ValueError):
+            tree.put((1.0,))
+
+    def test_remove_missing(self):
+        tree = KDTree(dims=2)
+        with pytest.raises(KeyError):
+            tree.remove((1.0, 1.0))

@@ -1,0 +1,133 @@
+"""KD2-specific tests: eager find-min deletion preserves the kD-tree
+invariant under adversarial sequences."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.kdtree_bucket import BucketKDTree
+
+
+def check_invariant(node, depth, dims, lo=None, hi=None):
+    """Verify 'left strictly less, right greater-or-equal' recursively."""
+    if node is None:
+        return 0
+    axis = depth % dims
+    count = 1
+    if node.left is not None:
+        assert node.left.point[axis] < node.point[axis] or _subtree_all(
+            node.left, axis, node.point[axis], strict_less=True
+        )
+    count += check_invariant(node.left, depth + 1, dims)
+    count += check_invariant(node.right, depth + 1, dims)
+    return count
+
+
+def _subtree_all(node, axis, bound, strict_less):
+    if node is None:
+        return True
+    ok = (
+        node.point[axis] < bound
+        if strict_less
+        else node.point[axis] >= bound
+    )
+    return (
+        ok
+        and _subtree_all(node.left, axis, bound, strict_less)
+        and _subtree_all(node.right, axis, bound, strict_less)
+    )
+
+
+def full_invariant(node, depth, dims):
+    """Strict subtree-wide invariant check."""
+    if node is None:
+        return 0
+    axis = depth % dims
+    assert _subtree_all(node.left, axis, node.point[axis], True)
+    assert _subtree_all(node.right, axis, node.point[axis], False)
+    return (
+        1
+        + full_invariant(node.left, depth + 1, dims)
+        + full_invariant(node.right, depth + 1, dims)
+    )
+
+
+class TestEagerDeletion:
+    def test_nodes_reclaimed(self):
+        tree = BucketKDTree(dims=2)
+        for i in range(20):
+            tree.put((float(i % 5), float(i // 5)))
+        n = len(tree)
+        before = tree.memory_bytes()
+        tree.remove((0.0, 0.0))
+        assert len(tree) == n - 1
+        assert tree.memory_bytes() < before  # memory reclaimed
+
+    def test_delete_root_repeatedly(self):
+        rng = random.Random(8)
+        tree = BucketKDTree(dims=2)
+        points = [
+            (rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(200)
+        ]
+        points = list(dict.fromkeys(points))
+        for p in points:
+            tree.put(p)
+        # Remove whatever sits at the root, every time.
+        while tree._root is not None:
+            victim = tree._root.point
+            tree.remove(victim)
+            full_invariant(tree._root, 0, 2)
+        assert len(tree) == 0
+
+    def test_invariant_after_random_mutations(self):
+        rng = random.Random(12)
+        tree = BucketKDTree(dims=3)
+        alive = {}
+        for step in range(500):
+            if rng.random() < 0.6 or not alive:
+                p = tuple(round(rng.uniform(0, 1), 3) for _ in range(3))
+                tree.put(p, step)
+                alive[p] = step
+            else:
+                p = rng.choice(sorted(alive))
+                assert tree.remove(p) == alive.pop(p)
+            if step % 50 == 0:
+                assert full_invariant(tree._root, 0, 3) == len(alive)
+        # Everything still findable.
+        for p, v in alive.items():
+            assert tree.get(p) == v
+
+    def test_duplicate_axis_values(self):
+        """Ties along split axes are the classic kD-tree deletion trap."""
+        tree = BucketKDTree(dims=2)
+        points = [
+            (1.0, 1.0),
+            (1.0, 2.0),
+            (1.0, 0.0),
+            (2.0, 1.0),
+            (0.0, 1.0),
+            (1.0, 3.0),
+        ]
+        for p in points:
+            tree.put(p)
+        for p in points:
+            tree.remove(p)
+            full_invariant(tree._root, 0, 2)
+            assert not tree.contains(p)
+        assert len(tree) == 0
+
+
+class TestValidation:
+    def test_remove_missing(self):
+        tree = BucketKDTree(dims=2)
+        tree.put((1.0, 1.0))
+        with pytest.raises(KeyError):
+            tree.remove((2.0, 2.0))
+        assert len(tree) == 1
+
+    def test_dimension_check(self):
+        tree = BucketKDTree(dims=2)
+        with pytest.raises(ValueError):
+            tree.contains((1.0, 2.0, 3.0))

@@ -1,0 +1,71 @@
+"""Tests for the naive array layouts and their paper-formula memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import ObjectArray, PlainArray
+from repro.memory.model import JvmMemoryModel
+
+
+class TestPaperFormulas:
+    """Paper Section 4.3.5: double[] needs k*8*n bytes, object[] needs
+    (k*8 + 16 + 4)*n bytes."""
+
+    @pytest.mark.parametrize("dims", [2, 3, 5, 10, 15])
+    def test_plain_array_formula(self, dims):
+        index = PlainArray(dims=dims)
+        n = 100
+        for i in range(n):
+            index.put(tuple(float(i + d) for d in range(dims)))
+        model = JvmMemoryModel.compressed_oops()
+        expected = dims * 8 * n
+        # Allow the single array header + alignment.
+        assert abs(index.memory_bytes(model) - expected) <= 24
+
+    @pytest.mark.parametrize("dims", [2, 3, 5, 10, 15])
+    def test_object_array_formula(self, dims):
+        index = ObjectArray(dims=dims)
+        n = 100
+        for i in range(n):
+            index.put(tuple(float(i + d) for d in range(dims)))
+        model = JvmMemoryModel.compressed_oops()
+        expected = (dims * 8 + 16 + 4) * n
+        assert abs(index.memory_bytes(model) - expected) <= 24
+
+    def test_paper_table1_exact_values(self):
+        # Table 1: d[] = 24 and o[] = 44 bytes/entry for 3D entries.
+        for cls, expected in ((PlainArray, 24), (ObjectArray, 44)):
+            index = cls(dims=3)
+            for i in range(1000):
+                index.put((float(i), float(i) / 2, float(i) / 3))
+            assert index.bytes_per_entry() == pytest.approx(
+                expected, abs=0.5
+            )
+
+
+class TestScanSemantics:
+    def test_duplicate_put_updates(self):
+        index = PlainArray(dims=2)
+        index.put((1.0, 2.0), "a")
+        assert index.put((1.0, 2.0), "b") == "a"
+        assert len(index) == 1
+
+    def test_query_is_linear_scan_but_correct(self):
+        index = ObjectArray(dims=2)
+        for i in range(50):
+            index.put((float(i), float(i)))
+        got = sorted(p for p, _ in index.query((10.0, 10.0), (20.0, 20.0)))
+        assert got == [(float(i), float(i)) for i in range(10, 21)]
+
+    def test_knn_is_exact(self):
+        index = PlainArray(dims=1)
+        for i in range(10):
+            index.put((float(i),))
+        got = [p[0] for p, _ in index.knn((4.2,), 3)]
+        assert got == [4.0, 5.0, 3.0]
+
+    def test_remove_missing(self):
+        index = PlainArray(dims=2)
+        with pytest.raises(KeyError):
+            index.remove((9.0, 9.0))

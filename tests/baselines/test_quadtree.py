@@ -1,0 +1,139 @@
+"""QT-specific tests: bucket splitting, domain handling, node explosion
+versus the PH-tree (the paper's §2 argument)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.quadtree import BUCKET_CAPACITY, QuadTree
+
+
+class TestBasics:
+    def test_lifecycle_against_oracle(self):
+        rng = random.Random(1)
+        tree = QuadTree(dims=2)
+        oracle = {}
+        pts = [
+            (rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(500)
+        ]
+        for i, p in enumerate(pts):
+            tree.put(p, i)
+            oracle[p] = i
+        assert len(tree) == len(oracle)
+        for p in list(oracle)[:100]:
+            assert tree.get(p) == oracle[p]
+        for _ in range(15):
+            lo = (rng.uniform(0, 0.7), rng.uniform(0, 0.7))
+            hi = (lo[0] + 0.3, lo[1] + 0.3)
+            got = sorted(p for p, _ in tree.query(lo, hi))
+            want = sorted(
+                p
+                for p in oracle
+                if lo[0] <= p[0] <= hi[0] and lo[1] <= p[1] <= hi[1]
+            )
+            assert got == want
+        for p in list(oracle)[:200]:
+            assert tree.remove(p) == oracle.pop(p)
+        assert len(tree) == len(oracle)
+
+    def test_domain_enforced(self):
+        tree = QuadTree(dims=2, domain=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            tree.put((1.5, 0.5))
+        with pytest.raises(ValueError):
+            tree.put((-0.1, 0.5))
+
+    def test_custom_domain(self):
+        tree = QuadTree(dims=2, domain=(-200.0, 200.0))
+        tree.put((-125.0, 45.0), "tiger-ish")
+        assert tree.get((-125.0, 45.0)) == "tiger-ish"
+
+    def test_degenerate_domain_rejected(self):
+        with pytest.raises(ValueError):
+            QuadTree(dims=2, domain=(1.0, 1.0))
+
+    def test_remove_missing(self):
+        tree = QuadTree(dims=1)
+        with pytest.raises(KeyError):
+            tree.remove((0.5,))
+
+    def test_duplicate_put_updates(self):
+        tree = QuadTree(dims=1)
+        tree.put((0.5,), "a")
+        assert tree.put((0.5,), "b") == "a"
+        assert len(tree) == 1
+
+
+class TestSplitting:
+    def test_bucket_splits_on_overflow(self):
+        tree = QuadTree(dims=2)
+        for i in range(BUCKET_CAPACITY + 1):
+            # Spread over all quadrants so the split distributes.
+            tree.put((0.1 + 0.2 * (i % 4), 0.1 + 0.2 * (i % 3)))
+        assert tree.cell_count > 1
+
+    def test_pathological_cluster_bounded_by_max_depth(self):
+        """Adversarially close points force deep chains; MAX_DEPTH stops
+        the recursion (the bucket then simply grows)."""
+        rng = random.Random(2)
+        tree = QuadTree(dims=2)
+        points = set()
+        while len(points) < 3 * BUCKET_CAPACITY:
+            points.add(
+                (0.5 + rng.uniform(0, 1e-13), 0.5 + rng.uniform(0, 1e-13))
+            )
+        for p in points:
+            tree.put(p)
+        assert len(tree) == len(points)
+        got = list(tree.query((0.4, 0.4), (0.6, 0.6)))
+        assert len(got) == len(points)
+
+
+class TestPaperSection2Argument:
+    def test_quadtree_needs_more_memory_than_ph_on_skewed_data(self):
+        """§2: quadtrees 'tend to require a lot of memory'; the PH-tree
+        counters this with prefix sharing + bit-streams.  Verify the
+        modelled footprints on clustered data."""
+        from repro.baselines import make_index
+        from repro.datasets import generate_cluster
+
+        points = generate_cluster(4000, 3, offset=0.4, seed=3)
+        ph = make_index("PH", dims=3)
+        # CLUSTER x-coordinates can dip a hair below 0: pad the domain.
+        qt = QuadTree(dims=3, domain=(-0.01, 1.01))
+        for p in points:
+            ph.put(p)
+            qt.put(p)
+        assert ph.bytes_per_entry() < qt.bytes_per_entry()
+
+    def test_chains_of_single_child_cells_on_clusters(self):
+        """No path compression: descending into a tight cluster creates
+        chains of single-child cells.  The PH-tree provably has none
+        (every non-root node holds >= 2 slots -- its PATRICIA infix
+        collapses such chains into one hop)."""
+        from repro.baselines import make_index
+        from repro.datasets import generate_cluster
+
+        points = generate_cluster(1000, 2, offset=0.4, seed=4)
+        qt = QuadTree(dims=2, domain=(-0.01, 1.01))
+        ph = make_index("PH", dims=2)
+        for p in points:
+            qt.put(p)
+            ph.put(p)
+        # Count interior cells with exactly one child and no points.
+        chains = 0
+        stack = [qt._root]
+        while stack:
+            cell = stack.pop()
+            if cell.children is None:
+                continue
+            children = [c for c in cell.children if c is not None]
+            if len(children) == 1 and not cell.bucket:
+                chains += 1
+            stack.extend(children)
+        assert chains > 0
+        for node in ph.tree.int_tree.nodes():
+            if node is not ph.tree.int_tree.root:
+                assert node.num_slots() >= 2

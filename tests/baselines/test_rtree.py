@@ -1,0 +1,95 @@
+"""RT-specific tests: Guttman invariants under adversarial mutations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.rtree import MAX_ENTRIES, MIN_ENTRIES, RTree
+
+
+class TestStructure:
+    def test_invariants_after_bulk_insert(self):
+        rng = random.Random(1)
+        tree = RTree(dims=2)
+        for _ in range(500):
+            tree.put((rng.uniform(0, 1), rng.uniform(0, 1)))
+        tree.check_invariants()
+
+    def test_invariants_under_interleaved_mutations(self):
+        rng = random.Random(2)
+        tree = RTree(dims=3)
+        alive = {}
+        for step in range(800):
+            if rng.random() < 0.6 or not alive:
+                p = tuple(round(rng.uniform(0, 1), 4) for _ in range(3))
+                tree.put(p, step)
+                alive[p] = step
+            else:
+                p = rng.choice(sorted(alive))
+                assert tree.remove(p) == alive.pop(p)
+            if step % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == len(alive)
+
+    def test_root_split_grows_height(self):
+        tree = RTree(dims=1)
+        for i in range(MAX_ENTRIES + 1):
+            tree.put((float(i),))
+        assert not tree._root.leaf  # root split happened
+        tree.check_invariants()
+
+    def test_delete_to_empty_and_reuse(self):
+        tree = RTree(dims=2)
+        points = [(float(i), float(i % 3)) for i in range(40)]
+        for p in points:
+            tree.put(p)
+        for p in points:
+            tree.remove(p)
+        assert len(tree) == 0
+        tree.put((1.0, 1.0), "back")
+        assert tree.get((1.0, 1.0)) == "back"
+        tree.check_invariants()
+
+    def test_duplicate_put_updates_in_place(self):
+        tree = RTree(dims=2)
+        tree.put((0.5, 0.5), "a")
+        assert tree.put((0.5, 0.5), "b") == "a"
+        assert len(tree) == 1
+
+    def test_remove_missing(self):
+        tree = RTree(dims=2)
+        tree.put((0.5, 0.5))
+        with pytest.raises(KeyError):
+            tree.remove((0.4, 0.4))
+
+
+class TestClusteredData:
+    def test_identical_axis_values(self):
+        """Degenerate MBRs (all points on a line) must still split."""
+        tree = RTree(dims=2)
+        for i in range(100):
+            tree.put((0.5, float(i)))
+        tree.check_invariants()
+        got = sorted(p for p, _ in tree.query((0.5, 10.0), (0.5, 20.0)))
+        assert got == [(0.5, float(i)) for i in range(10, 21)]
+
+    def test_tight_cluster(self):
+        rng = random.Random(3)
+        tree = RTree(dims=2)
+        pts = {
+            (0.5 + rng.uniform(0, 1e-9), 0.5 + rng.uniform(0, 1e-9))
+            for _ in range(200)
+        }
+        for p in pts:
+            tree.put(p)
+        assert len(tree) == len(pts)
+        got = sorted(p for p, _ in tree.query((0.4, 0.4), (0.6, 0.6)))
+        assert got == sorted(pts)
+
+
+class TestFillBounds:
+    def test_constants_sane(self):
+        assert 2 <= MIN_ENTRIES <= MAX_ENTRIES // 2

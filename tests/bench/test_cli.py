@@ -1,0 +1,36 @@
+"""Tests for the benchmark CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "tab4" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["-e", "tab4", "-s", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tab4" in out
+        assert "done in" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["-e", "fig99", "-s", "tiny"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_scale_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["-e", "tab4", "-s", "galactic"])
+
+    def test_output_files(self, tmp_path, capsys):
+        assert main(["-e", "tab4", "-s", "tiny", "-o", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "tab4.txt").exists()
+        assert (tmp_path / "tab4.csv").exists()
+        assert "Table 4" in (tmp_path / "tab4.txt").read_text()

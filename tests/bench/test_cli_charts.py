@@ -1,0 +1,52 @@
+"""CLI chart emission and report file contents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestChartOutput:
+    def test_series_experiments_write_charts(self, tmp_path, capsys):
+        assert main(["-e", "tab2", "-s", "tiny", "-o", str(tmp_path)]) == 0
+        capsys.readouterr()
+        chart = tmp_path / "tab2.chart.txt"
+        assert chart.exists()
+        text = chart.read_text()
+        assert "PH-CLUSTER0.4" in text
+        assert "entries" in text
+        assert "|" in text  # the y-axis
+
+    def test_text_experiments_skip_charts(self, tmp_path, capsys):
+        assert main(["-e", "tab4", "-s", "tiny", "-o", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "tab4.txt").exists()
+        assert not (tmp_path / "tab4.chart.txt").exists()
+
+    def test_csv_is_parseable_by_compare(self, tmp_path, capsys):
+        from repro.bench.compare import load_csv_series
+
+        assert main(["-e", "tab2", "-s", "tiny", "-o", str(tmp_path)]) == 0
+        capsys.readouterr()
+        series = load_csv_series(tmp_path / "tab2.csv")
+        assert "PH-CLUSTER0.4" in series
+        assert all(
+            y > 0 for _, y in series["PH-CLUSTER0.4"]
+        )
+
+    def test_round_trip_compare_is_unity(self, tmp_path, capsys):
+        """An experiment compared against itself reports 1.000x."""
+        from repro.bench.compare import (
+            compare_directories,
+        )
+
+        out_a = tmp_path / "a"
+        out_b = tmp_path / "b"
+        assert main(["-e", "tab2", "-s", "tiny", "-o", str(out_a)]) == 0
+        assert main(["-e", "tab2", "-s", "tiny", "-o", str(out_b)]) == 0
+        capsys.readouterr()
+        rows = compare_directories(out_a, out_b)
+        assert rows
+        for _, _, ratio in rows:
+            assert ratio == pytest.approx(1.0)

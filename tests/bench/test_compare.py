@@ -1,0 +1,88 @@
+"""Tests for the result-comparison tool."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.compare import (
+    compare_directories,
+    format_report,
+    load_csv_series,
+    main,
+)
+
+
+@pytest.fixture
+def result_dirs(tmp_path):
+    before = tmp_path / "before"
+    after = tmp_path / "after"
+    before.mkdir()
+    after.mkdir()
+    (before / "fig7a.csv").write_text(
+        "entries,PH,KD1\n1000,10.0,5.0\n2000,12.0,6.0\n"
+    )
+    (after / "fig7a.csv").write_text(
+        "entries,PH,KD1\n1000,5.0,5.0\n2000,6.0,6.0\n"
+    )
+    (before / "only_before.csv").write_text("x,A\n1,1.0\n")
+    (after / "only_after.csv").write_text("x,B\n1,1.0\n")
+    return before, after
+
+
+class TestLoadCsv:
+    def test_parses_series(self, result_dirs):
+        before, _ = result_dirs
+        series = load_csv_series(before / "fig7a.csv")
+        assert series["PH"] == [(1000.0, 10.0), (2000.0, 12.0)]
+        assert series["KD1"] == [(1000.0, 5.0), (2000.0, 6.0)]
+
+    def test_nan_cells(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("x,A\n1,nan\n2,3.0\n")
+        series = load_csv_series(path)
+        assert math.isnan(series["A"][0][1])
+        assert series["A"][1] == (2.0, 3.0)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert load_csv_series(path) == {}
+
+
+class TestCompare:
+    def test_ratios(self, result_dirs):
+        rows = compare_directories(*result_dirs)
+        by_series = {(e, s): r for e, s, r in rows}
+        assert by_series[("fig7a", "PH")] == pytest.approx(0.5)
+        assert by_series[("fig7a", "KD1")] == pytest.approx(1.0)
+
+    def test_unmatched_files_skipped(self, result_dirs):
+        rows = compare_directories(*result_dirs)
+        experiments = {e for e, _, _ in rows}
+        assert experiments == {"fig7a"}
+
+    def test_format_report(self, result_dirs):
+        rows = compare_directories(*result_dirs)
+        text = format_report(rows)
+        assert "fig7a" in text
+        assert "0.500x" in text
+
+    def test_threshold_hides_unchanged(self, result_dirs):
+        rows = compare_directories(*result_dirs)
+        text = format_report(rows, threshold=0.1)
+        assert "PH" in text
+        assert "KD1" not in text
+
+
+class TestCli:
+    def test_main(self, result_dirs, capsys):
+        before, after = result_dirs
+        assert main([str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+
+    def test_bad_directory(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope"), str(tmp_path)]) == 2
+        assert "not a directory" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Consistency checks across the experiment registry: every module's
+EXP_ID matches its registry key, docstrings reference their paper
+anchors, and scales are honoured."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.bench.experiments import REGISTRY
+
+
+@pytest.mark.parametrize("exp_id", sorted(REGISTRY))
+class TestRegistryConsistency:
+    def test_exp_id_matches_module_constant(self, exp_id):
+        module = importlib.import_module(REGISTRY[exp_id].__module__)
+        assert getattr(module, "EXP_ID") == exp_id
+
+    def test_docstring_names_its_paper_anchor(self, exp_id):
+        module = importlib.import_module(REGISTRY[exp_id].__module__)
+        doc = module.__doc__ or ""
+        if exp_id.startswith("fig"):
+            assert f"Figure {exp_id[3:]}" in doc
+        elif exp_id.startswith("tab"):
+            assert f"Table {exp_id[3:]}" in doc
+        elif exp_id == "unload":
+            assert "4.3.4" in doc
+        else:
+            assert "Ablation" in doc or "ablation" in doc
+
+    def test_run_signature_takes_scale(self, exp_id):
+        import inspect
+
+        run = REGISTRY[exp_id]
+        parameters = list(inspect.signature(run).parameters)
+        assert parameters[:1] == ["scale_name"]
+
+
+class TestResultIdsUnique:
+    def test_tiny_result_ids_do_not_collide(self):
+        """Two experiments writing the same result file would silently
+        clobber each other's reports."""
+        from repro.bench.experiments import run_experiment
+
+        seen = {}
+        for exp_id in ("tab1", "tab2", "tab4", "fig10"):
+            for result in run_experiment(exp_id, "tiny"):
+                assert result.exp_id not in seen, (
+                    result.exp_id,
+                    seen[result.exp_id] if result.exp_id in seen else "",
+                )
+                seen[result.exp_id] = exp_id

@@ -1,0 +1,57 @@
+"""Smoke tests: every registered experiment must run at tiny scale and
+produce well-formed results."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import REGISTRY, run_experiment
+
+# The heavier experiments are exercised by `pytest benchmarks/`; here we
+# only check the cheap ones end-to-end and the registry contract for all.
+CHEAP = ["tab1", "tab2", "tab4", "fig10", "fig12", "ablation_hc"]
+
+
+class TestRegistry:
+    def test_expected_experiments_registered(self):
+        expected = {
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "tab1", "tab2", "tab3", "tab4", "unload",
+            "ablation_hc", "ablation_masks", "ablation_chunks",
+            "ablation_storage", "ablation_sam",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", "tiny")
+
+
+@pytest.mark.parametrize("exp_id", CHEAP)
+class TestCheapExperimentsRun:
+    def test_runs_and_formats(self, exp_id):
+        results = run_experiment(exp_id, "tiny")
+        assert results
+        for result in results:
+            text = result.format_table()
+            assert result.exp_id in text
+            csv = result.to_csv()
+            assert csv
+
+
+class TestTab4Exactness:
+    def test_matches_paper(self):
+        (result,) = run_experiment("tab4", "tiny")
+        assert "match the paper's Table 4 exactly" in result.text
+
+
+class TestTab2Shape:
+    def test_cluster05_starts_above_cluster04(self):
+        (result,) = run_experiment("tab2", "tiny")
+        c04 = result.get("PH-CLUSTER0.4").ys
+        c05 = result.get("PH-CLUSTER0.5").ys
+        assert all(not math.isnan(y) for y in c04 + c05)
+        # At the smallest n, the 0.5 offset costs extra space.
+        assert c05[0] > c04[0]

@@ -1,0 +1,104 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.plotting import render_chart
+from repro.bench.runner import ExperimentResult, Series
+
+
+def make_result(series_data, title="demo", x_label="n"):
+    result = ExperimentResult("exp", title, x_label, "us")
+    for label, pairs in series_data.items():
+        series = Series(label=label)
+        for x, y in pairs:
+            series.add(x, y)
+        result.series.append(series)
+    return result
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self):
+        result = make_result({"PH": [(1, 1.0), (10, 2.0)]})
+        chart = render_chart(result)
+        assert "demo" in chart
+        assert "o PH" in chart
+        assert "linear" in chart
+
+    def test_plots_all_series_with_distinct_glyphs(self):
+        result = make_result(
+            {
+                "PH": [(1, 1.0), (10, 2.0)],
+                "KD1": [(1, 5.0), (10, 6.0)],
+            }
+        )
+        chart = render_chart(result)
+        assert "o" in chart
+        assert "x KD1" in chart
+
+    def test_log_scale_autoselects(self):
+        result = make_result({"PH": [(1, 0.1), (10, 1000.0)]})
+        chart = render_chart(result)
+        assert "log10" in chart
+
+    def test_log_scale_forced_off(self):
+        result = make_result({"PH": [(1, 0.1), (10, 1000.0)]})
+        chart = render_chart(result, log_y=False)
+        assert "linear" in chart
+
+    def test_nan_values_skipped(self):
+        result = make_result(
+            {"PH": [(1, float("nan")), (5, 2.0), (10, 3.0)]}
+        )
+        chart = render_chart(result)
+        assert "demo" in chart
+
+    def test_all_nan_reports_no_data(self):
+        result = make_result({"PH": [(1, float("nan"))]})
+        assert "no finite data" in render_chart(result)
+
+    def test_single_point(self):
+        result = make_result({"PH": [(5, 5.0)]})
+        chart = render_chart(result)
+        assert chart.count("o") >= 1
+
+    def test_dimensions_respected(self):
+        result = make_result({"PH": [(1, 1.0), (10, 2.0)]})
+        chart = render_chart(result, width=32, height=8)
+        body_lines = [
+            line for line in chart.splitlines() if "|" in line
+        ]
+        assert len(body_lines) == 8
+
+    def test_too_small_rejected(self):
+        result = make_result({"PH": [(1, 1.0)]})
+        with pytest.raises(ValueError):
+            render_chart(result, width=4, height=2)
+
+    def test_axis_labels_present(self):
+        result = make_result(
+            {"PH": [(100, 1.0), (10000, 2.0)]}, x_label="entries"
+        )
+        chart = render_chart(result)
+        assert "entries" in chart
+        assert "100" in chart
+        assert "10000" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        """Glyph rows must descend left-to-right for increasing data."""
+        result = make_result(
+            {"PH": [(i, float(i)) for i in range(1, 9)]}
+        )
+        chart = render_chart(result, width=32, height=10)
+        rows = [
+            (line_no, line.index("o"))
+            for line_no, line in enumerate(chart.splitlines())
+            if "o" in line and "|" in line
+        ]
+        # Increasing data: larger values sit on upper lines (smaller line
+        # numbers) and righter columns, so columns descend down the rows.
+        columns = [col for _, col in rows]
+        assert columns == sorted(columns, reverse=True)

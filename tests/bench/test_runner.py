@@ -1,0 +1,130 @@
+"""Tests for the benchmark drivers (with minimal workloads)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.runner import (
+    ExperimentResult,
+    Series,
+    TextResult,
+    load_index,
+    run_insertion_sweep,
+    run_k_sweep,
+    run_point_query_sweep,
+    run_range_query_sweep,
+    run_unload_sweep,
+)
+from repro.datasets import generate_cube
+
+
+class TestSeriesAndResult:
+    def test_series_add(self):
+        s = Series(label="PH")
+        s.add(1, 2.0)
+        s.add(10, 3.0)
+        assert s.xs == [1, 10]
+        assert s.ys == [2.0, 3.0]
+
+    def test_result_get(self):
+        result = ExperimentResult("x", "t", "n", "us")
+        result.series.append(Series(label="PH"))
+        assert result.get("PH").label == "PH"
+        with pytest.raises(KeyError):
+            result.get("KD1")
+
+    def test_format_table(self):
+        result = ExperimentResult("fig0", "demo", "entries", "us")
+        s = Series(label="PH")
+        s.add(100, 1.5)
+        result.series.append(s)
+        result.notes.append("a note")
+        text = result.format_table()
+        assert "fig0" in text
+        assert "a note" in text
+        assert "PH" in text
+        assert "100" in text
+
+    def test_format_empty(self):
+        result = ExperimentResult("fig0", "demo", "x", "y")
+        assert "(no data)" in result.format_table()
+
+    def test_to_csv(self):
+        result = ExperimentResult("fig0", "demo", "entries", "us")
+        s = Series(label="PH")
+        s.add(100, 1.5)
+        result.series.append(s)
+        csv = result.to_csv()
+        assert csv.splitlines()[0] == "entries,PH"
+        assert csv.splitlines()[1] == "100,1.5"
+
+    def test_text_result(self):
+        r = TextResult("tab0", "demo", "hello")
+        assert "hello" in r.format_table()
+        assert r.to_csv().startswith("hello")
+
+
+class TestLoadIndex:
+    def test_loads_everything(self):
+        points = generate_cube(200, 2, seed=1)
+        index, seconds = load_index("PH", 2, points)
+        assert len(index) == len(set(points))
+        assert seconds > 0
+
+
+class TestDrivers:
+    N_VALUES = (50, 100)
+
+    def test_insertion_sweep(self):
+        result = run_insertion_sweep(
+            "t", "t", "CUBE", 2, ("PH", "KD1"), self.N_VALUES
+        )
+        assert len(result.series) == 2
+        for series in result.series:
+            assert series.xs == list(self.N_VALUES)
+            assert all(y > 0 for y in series.ys)
+
+    def test_point_query_sweep(self):
+        result = run_point_query_sweep(
+            "t", "t", "CUBE", 2, ("PH",), self.N_VALUES, n_queries=50
+        )
+        assert all(y > 0 for y in result.get("PH").ys)
+
+    def test_range_query_sweep(self):
+        result = run_range_query_sweep(
+            "t", "t", "CUBE", 2, ("PH",), (200, 400), n_queries=10
+        )
+        ys = result.get("PH").ys
+        assert all(y > 0 or math.isnan(y) for y in ys)
+
+    def test_unload_sweep(self):
+        result = run_unload_sweep(
+            "t", "t", "CUBE", 2, ("PH", "KD2"), self.N_VALUES
+        )
+        for series in result.series:
+            assert all(y > 0 for y in series.ys)
+
+    def test_k_sweep_metrics(self):
+        for metric in ("insert", "bytes_per_entry", "node_count"):
+            result = run_k_sweep(
+                "t",
+                "t",
+                [("PH", "CUBE")],
+                (2, 3),
+                n=100,
+                metric=metric,
+                n_queries=10,
+            )
+            assert result.get("PH-CUBE").xs == [2, 3]
+
+    def test_k_sweep_unknown_metric(self):
+        with pytest.raises(ValueError):
+            run_k_sweep("t", "t", [("PH", "CUBE")], (2,), 10, "warp")
+
+    def test_k_sweep_node_count_requires_ph(self):
+        with pytest.raises(ValueError):
+            run_k_sweep(
+                "t", "t", [("KD1", "CUBE")], (2,), 10, "node_count"
+            )

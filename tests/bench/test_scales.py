@@ -1,0 +1,40 @@
+"""Tests for the scale definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scales import SCALES, get_scale
+
+
+class TestScales:
+    def test_all_scales_present(self):
+        assert set(SCALES) == {"tiny", "small", "medium", "paper"}
+
+    def test_get_scale(self):
+        assert get_scale("tiny").name == "tiny"
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_scales_are_ordered(self):
+        tiny = get_scale("tiny")
+        small = get_scale("small")
+        medium = get_scale("medium")
+        paper = get_scale("paper")
+        assert max(tiny.n_sweep) < max(small.n_sweep)
+        assert max(small.n_sweep) < max(medium.n_sweep)
+        assert max(medium.n_sweep) < max(paper.n_sweep)
+        assert tiny.n_point_queries <= small.n_point_queries
+
+    def test_paper_scale_matches_paper(self):
+        paper = get_scale("paper")
+        assert max(paper.n_sweep) == 100_000_000  # Fig 7b/8b/9b reach 1e8
+        assert paper.n_fixed == 10_000_000  # Sections 4.3.7 sweeps
+        assert paper.n_point_queries == 1_000_000  # Section 4.3.2
+        assert paper.repeats == 3  # "executed three times"
+        assert max(paper.k_sweep_space) == 15
+        assert max(paper.k_sweep_perf) == 10
+
+    def test_n_sweeps_sorted(self):
+        for scale in SCALES.values():
+            assert list(scale.n_sweep) == sorted(scale.n_sweep)

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, PHTreeF
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_tree():
+    """A 3D/16-bit PH-tree with a deterministic random content."""
+    rng = random.Random(42)
+    tree = PHTree(dims=3, width=16)
+    reference = {}
+    for _ in range(500):
+        key = tuple(rng.randrange(1 << 16) for _ in range(3))
+        value = rng.randrange(1000)
+        tree.put(key, value)
+        reference[key] = value
+    return tree, reference
+
+
+@pytest.fixture
+def small_float_tree():
+    """A 2D float PH-tree with deterministic uniform content."""
+    rng = random.Random(43)
+    tree = PHTreeF(dims=2)
+    reference = {}
+    for _ in range(400):
+        key = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+        value = rng.randrange(1000)
+        tree.put(key, value)
+        reference[key] = value
+    return tree, reference
+
+
+def random_key(rng: random.Random, dims: int, width: int):
+    """A uniform random integer key."""
+    return tuple(rng.randrange(1 << width) for _ in range(dims))
+
+
+def brute_force_range(reference, box_min, box_max):
+    """Reference result of a range query over a key->value dict."""
+    return sorted(
+        key
+        for key in reference
+        if all(lo <= v <= hi for v, lo, hi in zip(key, box_min, box_max))
+    )

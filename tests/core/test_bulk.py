@@ -1,0 +1,127 @@
+"""Tests for bulk loading: must build the identical canonical tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PHTree, bulk_load
+from repro.core.serialize import serialize_tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = bulk_load([], dims=2, width=8)
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_single(self):
+        tree = bulk_load([((3, 4), "v")], dims=2, width=8)
+        assert tree.get((3, 4)) == "v"
+        tree.check_invariants()
+
+    def test_duplicates_last_wins(self):
+        tree = bulk_load(
+            [((1, 1), "first"), ((1, 1), "second")], dims=2, width=8
+        )
+        assert len(tree) == 1
+        assert tree.get((1, 1)) == "second"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bulk_load([((256, 0), None)], dims=2, width=8)
+
+    def test_per_dimension_widths(self):
+        tree = bulk_load(
+            [((1, 1000), None)], dims=2, width=(2, 12)
+        )
+        assert tree.contains((1, 1000))
+
+    def test_forced_hc_mode(self):
+        tree = bulk_load(
+            [((x, y), None) for x in range(2) for y in range(2)],
+            dims=2,
+            width=8,
+            hc_mode="lhc",
+        )
+        for node in tree.nodes():
+            assert not node.container.is_hc
+
+
+class TestCanonicalEquivalence:
+    def test_matches_incremental_build(self):
+        rng = random.Random(5)
+        entries = {
+            tuple(rng.randrange(1 << 16) for _ in range(3)): None
+            for _ in range(3000)
+        }
+        incremental = PHTree(dims=3, width=16)
+        for key in entries:
+            incremental.put(key)
+        bulk = bulk_load(
+            [(k, None) for k in entries], dims=3, width=16
+        )
+        bulk.check_invariants()
+        assert serialize_tree(bulk) == serialize_tree(incremental)
+
+    def test_clustered_keys(self):
+        rng = random.Random(6)
+        base = 0xAB00
+        entries = {
+            (base | rng.randrange(64), base | rng.randrange(64)): None
+            for _ in range(300)
+        }
+        incremental = PHTree(dims=2, width=16)
+        for key in entries:
+            incremental.put(key)
+        bulk = bulk_load([(k, None) for k in entries], dims=2, width=16)
+        assert serialize_tree(bulk) == serialize_tree(incremental)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.integers(0, 255)),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_canonical(self, keys):
+        incremental = PHTree(dims=2, width=8)
+        for key in keys:
+            incremental.put(key)
+        bulk = bulk_load([(k, None) for k in keys], dims=2, width=8)
+        bulk.check_invariants()
+        assert serialize_tree(bulk) == serialize_tree(incremental)
+
+    def test_bulk_tree_is_mutable_afterwards(self):
+        bulk = bulk_load(
+            [((i, i), i) for i in range(100)], dims=2, width=8
+        )
+        bulk.put((200, 200), "new")
+        bulk.remove((0, 0))
+        bulk.check_invariants()
+        assert len(bulk) == 100
+
+
+class TestAdversarialShapes:
+    def test_power_of_two_worst_case(self):
+        # The paper's Figure 4b key set.
+        keys = [(0,), (1,), (2,), (4,), (8,)]
+        bulk = bulk_load([(k, None) for k in keys], dims=1, width=4)
+        incremental = PHTree(dims=1, width=4)
+        for key in keys:
+            incremental.put(key)
+        assert serialize_tree(bulk) == serialize_tree(incremental)
+
+    def test_full_boolean_cube(self):
+        keys = [
+            (a, b, c)
+            for a in range(2)
+            for b in range(2)
+            for c in range(2)
+        ]
+        bulk = bulk_load([(k, None) for k in keys], dims=3, width=1)
+        assert len(bulk) == 8
+        bulk.check_invariants()

@@ -1,0 +1,217 @@
+"""Tests for the paper's Outlook extensions: per-dimension bit widths,
+the approximate range query, and the thread-safe wrapper."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import PHTree
+from repro.core.concurrent import ReadWriteLock, SynchronizedPHTree
+
+
+class TestPerDimensionWidths:
+    def test_widths_property(self):
+        tree = PHTree(dims=3, width=(8, 16, 4))
+        assert tree.widths == (8, 16, 4)
+        assert tree.width == 16  # internal width = max
+
+    def test_uniform_width_still_works(self):
+        tree = PHTree(dims=2, width=8)
+        assert tree.widths == (8, 8)
+
+    def test_per_dimension_validation(self):
+        tree = PHTree(dims=2, width=(4, 8))
+        tree.put((15, 255))
+        with pytest.raises(ValueError):
+            tree.put((16, 0))  # dim 0 capped at 4 bits
+        with pytest.raises(ValueError):
+            tree.put((0, 256))
+
+    def test_width_count_must_match_dims(self):
+        with pytest.raises(ValueError):
+            PHTree(dims=2, width=(8, 8, 8))
+
+    def test_bad_width_values(self):
+        with pytest.raises(ValueError):
+            PHTree(dims=2, width=(8, 0))
+
+    def test_mixed_width_operations(self):
+        rng = random.Random(1)
+        tree = PHTree(dims=3, width=(4, 12, 8))
+        reference = {}
+        for _ in range(300):
+            key = (
+                rng.randrange(16),
+                rng.randrange(4096),
+                rng.randrange(256),
+            )
+            tree.put(key, rng.random())
+            reference[key] = True
+        tree.check_invariants()
+        # Queries over the mixed domain.
+        lo, hi = (0, 0, 0), (15, 2047, 127)
+        got = sorted(k for k, _ in tree.query(lo, hi))
+        want = sorted(
+            k for k in reference if k[1] <= 2047 and k[2] <= 127
+        )
+        assert got == want
+
+    def test_narrow_dimensions_share_prefix_for_free(self):
+        """A boolean column beside a 32-bit column must not blow up the
+        tree: the narrow dimension's implicit zero bits are prefix."""
+        from repro import collect_stats
+
+        rng = random.Random(2)
+        tree = PHTree(dims=2, width=(1, 32))
+        for _ in range(500):
+            tree.put((rng.randrange(2), rng.randrange(1 << 32)))
+        stats = collect_stats(tree)
+        assert stats.max_depth <= 32 + 1
+
+
+class TestApproxQuery:
+    def make_tree(self):
+        rng = random.Random(3)
+        tree = PHTree(dims=2, width=12)
+        reference = set()
+        for _ in range(800):
+            key = (rng.randrange(1 << 12), rng.randrange(1 << 12))
+            tree.put(key)
+            reference.add(key)
+        return tree, reference
+
+    def test_slack_zero_is_exact(self):
+        tree, reference = self.make_tree()
+        lo, hi = (100, 100), (900, 900)
+        exact = sorted(k for k, _ in tree.query(lo, hi))
+        approx = sorted(k for k, _ in tree.query_approx(lo, hi, 0))
+        assert exact == approx
+
+    @pytest.mark.parametrize("slack", [1, 2, 4, 6])
+    def test_superset_within_tolerance(self, slack):
+        tree, reference = self.make_tree()
+        lo, hi = (500, 500), (2500, 2500)
+        exact = {k for k, _ in tree.query(lo, hi)}
+        approx = {k for k, _ in tree.query_approx(lo, hi, slack)}
+        assert exact <= approx
+        tolerance = (1 << slack) - 1
+        for key in approx - exact:
+            assert all(
+                lo[d] - tolerance <= key[d] <= hi[d] + tolerance
+                for d in range(2)
+            ), (key, slack)
+
+    def test_negative_slack_rejected(self):
+        tree, _ = self.make_tree()
+        with pytest.raises(ValueError):
+            list(tree.query_approx((0, 0), (10, 10), -1))
+
+
+class TestReadWriteLock:
+    def test_reentrant_patterns(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+
+    def test_parallel_readers(self):
+        lock = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read():
+                barrier.wait()  # all 4 readers inside simultaneously
+                inside.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 4
+
+    def test_writer_exclusion(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0}
+
+        def writer():
+            for _ in range(500):
+                with lock.write():
+                    current = counter["value"]
+                    counter["value"] = current + 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert counter["value"] == 2000
+
+
+class TestSynchronizedPHTree:
+    def test_api_passthrough(self):
+        tree = SynchronizedPHTree(PHTree(dims=2, width=8))
+        assert tree.put((1, 2), "a") is None
+        assert tree.get((1, 2)) == "a"
+        assert tree.contains((1, 2))
+        assert (1, 2) in tree
+        assert len(tree) == 1
+        assert tree.query((0, 0), (255, 255)) == [((1, 2), "a")]
+        assert tree.knn((0, 0), 1) == [((1, 2), "a")]
+        assert tree.items() == [((1, 2), "a")]
+        assert tree.keys() == [(1, 2)]
+        tree.update_key((1, 2), (3, 4))
+        assert tree.remove((3, 4)) == "a"
+        tree.clear()
+        assert len(tree) == 0
+
+    def test_put_all_bulk(self):
+        tree = SynchronizedPHTree(PHTree(dims=1, width=8))
+        tree.put_all([((i,), i) for i in range(50)])
+        assert len(tree) == 50
+
+    def test_concurrent_mixed_workload(self):
+        """Hammer the tree from multiple threads; afterwards the content
+        must equal a lock-protected dict model."""
+        tree = SynchronizedPHTree(PHTree(dims=2, width=10))
+        model = {}
+        model_lock = threading.Lock()
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(300):
+                    key = (rng.randrange(1 << 10), rng.randrange(1 << 10))
+                    action = rng.random()
+                    if action < 0.55:
+                        with model_lock:
+                            tree.put(key, seed)
+                            model[key] = seed
+                    elif action < 0.75:
+                        with model_lock:
+                            removed = tree.remove(key, None)
+                            model.pop(key, None)
+                            del removed
+                    elif action < 0.9:
+                        tree.contains(key)  # concurrent read
+                    else:
+                        tree.query((0, 0), (1 << 9, 1 << 9))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert dict(tree.items()) == model
+        tree.check_invariants()

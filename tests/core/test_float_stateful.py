@@ -1,0 +1,91 @@
+"""Stateful property test for the float facade: PHTreeF vs a dict model
+under arbitrary float keys (subnormals, extremes, negative zero)."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import PHTreeF
+
+# Full-range doubles, including subnormals and infinities; NaN excluded
+# (rejected by the tree, covered by unit tests).
+coords = st.floats(allow_nan=False, allow_infinity=True, width=64)
+keys = st.tuples(coords, coords)
+values = st.integers(min_value=0, max_value=99)
+
+
+def fold_zero(key):
+    """The tree folds -0.0 into +0.0; mirror that in the model."""
+    return tuple(0.0 if v == 0.0 else v for v in key)
+
+
+class PHTreeFMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.tree = PHTreeF(dims=2)
+        self.model = {}
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        folded = fold_zero(key)
+        assert self.tree.put(key, value) == self.model.get(folded)
+        self.model[folded] = value
+
+    @rule(key=keys)
+    def lookup(self, key):
+        folded = fold_zero(key)
+        assert self.tree.get(key, "absent") == self.model.get(
+            folded, "absent"
+        )
+
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        if not self.model:
+            return
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.remove(key) == self.model.pop(key)
+
+    @rule(key=keys)
+    def remove_missing_or_not(self, key):
+        folded = fold_zero(key)
+        if folded in self.model:
+            assert self.tree.remove(key) == self.model.pop(folded)
+        else:
+            assert self.tree.remove(key, default="nope") == "nope"
+
+    @rule(low=keys, data=st.data())
+    def window(self, low, data):
+        high = data.draw(keys)
+        box_lo = tuple(min(a, b) for a, b in zip(low, high))
+        box_hi = tuple(max(a, b) for a, b in zip(low, high))
+        got = sorted(k for k, _ in self.tree.query(box_lo, box_hi))
+        want = sorted(
+            k
+            for k in self.model
+            if all(
+                lo <= v <= hi
+                for v, lo, hi in zip(k, box_lo, box_hi)
+            )
+        )
+        assert got == want
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        self.tree.check_invariants()
+
+
+TestPHTreeFStateful = PHTreeFMachine.TestCase
+TestPHTreeFStateful.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)

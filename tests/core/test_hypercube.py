@@ -1,0 +1,205 @@
+"""Tests for the HC/LHC containers, the size model and the successor
+function (paper Sections 3.2 and 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hypercube import (
+    HCContainer,
+    LHCContainer,
+    convert_container,
+    hc_bits,
+    lhc_bits,
+    max_hc_dimensions,
+    prefer_hc,
+    successor,
+)
+
+
+@pytest.fixture(params=["hc", "lhc"])
+def container(request):
+    if request.param == "hc":
+        return HCContainer(4)
+    return LHCContainer()
+
+
+class TestContainerBasics:
+    def test_empty(self, container):
+        assert len(container) == 0
+        assert container.get(3) is None
+        assert list(container.items()) == []
+
+    def test_put_get_remove(self, container):
+        assert container.put(5, "a") is None
+        assert container.get(5) == "a"
+        assert len(container) == 1
+        assert container.put(5, "b") == "a"
+        assert len(container) == 1
+        assert container.remove(5) == "b"
+        assert len(container) == 0
+        assert container.remove(5) is None
+
+    def test_put_rejects_none(self, container):
+        with pytest.raises(ValueError):
+            container.put(1, None)
+
+    def test_items_sorted_by_address(self, container):
+        for address in (9, 2, 14, 0):
+            container.put(address, f"v{address}")
+        assert [a for a, _ in container.items()] == [0, 2, 9, 14]
+
+    def test_single_item(self, container):
+        container.put(7, "x")
+        assert container.single_item() == (7, "x")
+        container.put(8, "y")
+        with pytest.raises(ValueError):
+            container.single_item()
+
+    def test_mask_range_iteration(self, container):
+        for address in range(16):
+            container.put(address, address)
+        # mL = 0b0100, mU = 0b0101: addresses with bit2 set, bits3,1 clear.
+        got = [a for a, _ in container.items_in_mask_range(0b0100, 0b0101)]
+        assert got == [0b0100, 0b0101]
+
+    def test_mask_range_full(self, container):
+        for address in (1, 5, 9):
+            container.put(address, address)
+        got = [a for a, _ in container.items_in_mask_range(0, 15)]
+        assert got == [1, 5, 9]
+
+    def test_mask_range_single_address(self, container):
+        container.put(6, "x")
+        got = [a for a, _ in container.items_in_mask_range(6, 6)]
+        assert got == [6]
+
+
+class TestHCContainerSpecifics:
+    def test_capacity(self):
+        assert HCContainer(3).n_slots == 8
+
+    def test_refuses_huge_k(self):
+        with pytest.raises(ValueError):
+            HCContainer(max_hc_dimensions() + 1)
+
+
+class TestConvert:
+    def test_round_trip_preserves_content(self):
+        lhc = LHCContainer()
+        for address in (3, 1, 7):
+            lhc.put(address, f"v{address}")
+        hc = convert_container(lhc, 3, to_hc=True)
+        assert hc.is_hc
+        assert list(hc.items()) == list(lhc.items())
+        back = convert_container(hc, 3, to_hc=False)
+        assert not back.is_hc
+        assert list(back.items()) == list(lhc.items())
+
+    def test_noop_returns_none(self):
+        lhc = LHCContainer()
+        assert convert_container(lhc, 3, to_hc=False) is None
+
+
+class TestSizeModel:
+    def test_paper_example_dense_node_prefers_hc(self):
+        # Paper Figure 2's bottom node: k=2, 3 postfixes of 1 bit each,
+        # "almost completely filled and requires less space than LHC".
+        assert prefer_hc(k=2, n_sub=0, n_post=3, postfix_bits=2)
+
+    def test_paper_example_sparse_node_prefers_lhc(self):
+        # Paper Figure 2's top node: one sub-node out of 4 slots.
+        assert not prefer_hc(k=2, n_sub=1, n_post=0, postfix_bits=2 * 63)
+
+    def test_empty_node_prefers_lhc(self):
+        assert not prefer_hc(k=8, n_sub=0, n_post=0, postfix_bits=100)
+
+    def test_huge_k_never_hc(self):
+        assert not prefer_hc(
+            k=max_hc_dimensions() + 10,
+            n_sub=0,
+            n_post=1 << 20,
+            postfix_bits=0,
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=64),
+        st.data(),
+    )
+    def test_prefer_hc_matches_size_comparison(self, k, post_bits, data):
+        capacity = 1 << k
+        n_sub = data.draw(st.integers(min_value=0, max_value=capacity))
+        n_post = data.draw(
+            st.integers(min_value=0, max_value=capacity - n_sub)
+        )
+        expected = hc_bits(k, n_sub, n_post, post_bits) <= lhc_bits(
+            k, n_sub, n_post, post_bits
+        )
+        assert prefer_hc(k, n_sub, n_post, post_bits) == expected
+
+    def test_hysteresis_keeps_current_representation(self):
+        # A configuration where HC is barely smaller: without hysteresis
+        # we switch, with a large hysteresis we stay in LHC.
+        k, n_sub, n_post, post_bits = 2, 0, 3, 2
+        assert prefer_hc(k, n_sub, n_post, post_bits)
+        assert not prefer_hc(
+            k,
+            n_sub,
+            n_post,
+            post_bits,
+            hysteresis=2.0,
+            currently_hc=False,
+        )
+
+    def test_full_hc_node_cheaper_per_entry_than_lhc(self):
+        # The paper's best case (Section 3.4): a fully filled node with
+        # postfix length 0 -- HC costs O(2**k), LHC pays k bits per entry.
+        k = 4
+        assert hc_bits(k, 0, 1 << k, 0) < lhc_bits(k, 0, 1 << k, 0)
+
+
+class TestSuccessor:
+    def test_skips_forced_bits(self):
+        # mL = 0b0001 (bit0 forced 1), mU = 0b0111 (bit3 forced 0).
+        mask_lower, mask_upper = 0b0001, 0b0111
+        seq = [mask_lower]
+        while seq[-1] < mask_upper:
+            seq.append(successor(seq[-1], mask_lower, mask_upper))
+        assert seq == [0b0001, 0b0011, 0b0101, 0b0111]
+
+    def test_all_free(self):
+        assert successor(0, 0, 0b111) == 1
+        assert successor(0b101, 0, 0b111) == 0b110
+
+    def test_fixed_point_range(self):
+        # mL == mU: the single valid address.
+        assert successor(0b0100, 0b0101, 0b0101) == 0b0101
+
+    @given(st.data())
+    def test_returns_next_valid_address(self, data):
+        k = data.draw(st.integers(min_value=1, max_value=8))
+        full = (1 << k) - 1
+        mask_upper = data.draw(st.integers(min_value=0, max_value=full))
+        # mL must be a subset of mU for any valid address to exist.
+        mask_lower = (
+            data.draw(st.integers(min_value=0, max_value=full)) & mask_upper
+        )
+        # The successor contract requires a *valid* current address
+        # (iteration always starts at mask_lower, which is valid).
+        address = (
+            data.draw(st.integers(min_value=0, max_value=full))
+            & mask_upper
+        ) | mask_lower
+        if address >= mask_upper:
+            return
+        got = successor(address, mask_lower, mask_upper)
+        valid = [
+            h
+            for h in range(address + 1, full + 1)
+            if (h | mask_lower) == h and (h & mask_upper) == h
+        ]
+        if valid:
+            assert got == valid[0]

@@ -1,0 +1,100 @@
+"""HC/LHC switching hysteresis (paper §3.2: "a relaxed switching
+condition could prevent nodes from oscillating between HC and LHC with
+each insert/delete operation")."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree
+from repro.core.hypercube import hc_bits, lhc_bits
+from repro.core.node import Entry, Node
+
+
+def find_boundary_occupancy(k, post_len):
+    """Smallest postfix count at which HC becomes preferable."""
+    payload = post_len * k
+    for n_post in range(1, (1 << k) + 1):
+        if hc_bits(k, 0, n_post, payload) <= lhc_bits(
+            k, 0, n_post, payload
+        ):
+            return n_post
+    return None
+
+
+class TestOscillation:
+    def _count_switches(self, hysteresis):
+        """Alternate insert/delete exactly at the representation
+        boundary and count container-type changes."""
+        k, post_len = 2, 1
+        boundary = find_boundary_occupancy(k, post_len)
+        assert boundary is not None and boundary >= 2
+        node = Node(post_len=post_len, infix_len=0, prefix=(0,) * k)
+        # Fill to just below the boundary.
+        entries = {}
+        for address in range(boundary - 1):
+            entry = Entry(
+                tuple((address >> (k - 1 - d)) & 1 for d in range(k))
+            )
+            entries[address] = entry
+            node.put_slot(address, entry, k, "auto", hysteresis)
+        switches = 0
+        last = node.container.is_hc
+        flip_address = boundary - 1
+        flip_entry = Entry(
+            tuple((flip_address >> (k - 1 - d)) & 1 for d in range(k))
+        )
+        for _ in range(50):
+            node.put_slot(flip_address, flip_entry, k, "auto", hysteresis)
+            if node.container.is_hc != last:
+                switches += 1
+                last = node.container.is_hc
+            node.remove_slot(flip_address, k, "auto", hysteresis)
+            if node.container.is_hc != last:
+                switches += 1
+                last = node.container.is_hc
+        return switches
+
+    def test_plain_comparison_oscillates(self):
+        # The paper's evaluated implementation: every boundary crossing
+        # rebuilds the container.
+        assert self._count_switches(0.0) == 100
+
+    def test_hysteresis_dampens_oscillation(self):
+        assert self._count_switches(2.0) <= 1
+
+    def test_hysteresis_preserves_correctness(self):
+        rng = random.Random(5)
+        plain = PHTree(dims=2, width=8)
+        damped = PHTree(dims=2, width=8, hc_hysteresis=0.5)
+        reference = {}
+        for step in range(800):
+            if rng.random() < 0.6 or not reference:
+                key = (rng.randrange(256), rng.randrange(256))
+                plain.put(key, step)
+                damped.put(key, step)
+                reference[key] = step
+            else:
+                key = rng.choice(sorted(reference))
+                assert plain.remove(key) == damped.remove(key)
+                del reference[key]
+        assert dict(plain.items()) == dict(damped.items()) == reference
+        damped.check_invariants()
+
+    def test_hysteresis_never_grows_space_unboundedly(self):
+        """A damped tree's modelled size stays within a constant factor
+        of the size-optimal plain tree."""
+        from repro.baselines.adapter import phtree_memory_bytes
+
+        rng = random.Random(6)
+        plain = PHTree(dims=2, width=16)
+        damped = PHTree(dims=2, width=16, hc_hysteresis=0.5)
+        for _ in range(2000):
+            key = (rng.randrange(1 << 16), rng.randrange(1 << 16))
+            plain.put(key)
+            damped.put(key)
+        plain_bytes = phtree_memory_bytes(plain)
+        damped_bytes = phtree_memory_bytes(damped)
+        assert damped_bytes <= plain_bytes * 1.5

@@ -1,0 +1,115 @@
+"""k-nearest-neighbour correctness (the paper's Outlook extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PHTree
+
+
+def brute_force_knn(reference, query, n):
+    def d2(key):
+        return sum((a - b) ** 2 for a, b in zip(key, query))
+
+    return sorted(d2(k) for k in reference)[:n]
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = PHTree(dims=2, width=8)
+        assert tree.knn((1, 1), 5) == []
+
+    def test_zero_neighbours(self, small_tree):
+        tree, _ = small_tree
+        assert tree.knn((0, 0, 0), 0) == []
+
+    def test_exact_hit_is_first(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((10, 10), "centre")
+        tree.put((200, 200), "far")
+        got = tree.knn((10, 10), 2)
+        assert got[0] == ((10, 10), "centre")
+        assert got[1] == ((200, 200), "far")
+
+    def test_n_larger_than_tree(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((1, 1))
+        tree.put((2, 2))
+        assert len(tree.knn((0, 0), 10)) == 2
+
+    def test_results_sorted_by_distance(self, small_tree):
+        tree, _ = small_tree
+        query = (32768, 32768, 32768)
+        got = tree.knn(query, 20)
+
+        def d2(key):
+            return sum((a - b) ** 2 for a, b in zip(key, query))
+
+        distances = [d2(k) for k, _ in got]
+        assert distances == sorted(distances)
+
+
+class TestBruteForceEquivalence:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_random_queries(self, dims):
+        width = 10
+        rng = random.Random(dims * 7)
+        tree = PHTree(dims=dims, width=width)
+        reference = set()
+        for _ in range(400):
+            key = tuple(rng.randrange(1 << width) for _ in range(dims))
+            tree.put(key)
+            reference.add(key)
+        for _ in range(20):
+            query = tuple(rng.randrange(1 << width) for _ in range(dims))
+            got = tree.knn(query, 7)
+
+            def d2(key):
+                return sum((a - b) ** 2 for a, b in zip(key, query))
+
+            assert [d2(k) for k, _ in got] == brute_force_knn(
+                reference, query, 7
+            )
+
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_property(self, data):
+        keys = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                min_size=1,
+                max_size=50,
+                unique=True,
+            )
+        )
+        query = (
+            data.draw(st.integers(0, 255)),
+            data.draw(st.integers(0, 255)),
+        )
+        n = data.draw(st.integers(1, 10))
+        tree = PHTree(dims=2, width=8)
+        for key in keys:
+            tree.put(key)
+        got = tree.knn(query, n)
+
+        def d2(key):
+            return sum((a - b) ** 2 for a, b in zip(key, query))
+
+        assert [d2(k) for k, _ in got] == brute_force_knn(keys, query, n)
+
+
+class TestQueryOutsideDataRange:
+    def test_corner_query(self, small_tree):
+        tree, reference = small_tree
+        got = tree.knn((0, 0, 0), 5)
+
+        def d2(key):
+            return sum(v * v for v in key)
+
+        assert [d2(k) for k, _ in got] == sorted(
+            d2(k) for k in reference
+        )[:5]

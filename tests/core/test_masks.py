@@ -1,0 +1,120 @@
+"""Tests for the range-query masks (paper Section 3.5)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.masks import (
+    address_fits,
+    compute_masks,
+    key_in_box,
+    node_intersects_box,
+)
+from repro.core.node import Node, hypercube_address
+
+
+def make_node(prefix, post_len):
+    return Node(post_len=post_len, infix_len=0, prefix=prefix)
+
+
+class TestAddressFits:
+    def test_paper_check(self):
+        # (h | mL) == h && (h & mU) == h
+        assert address_fits(0b0101, 0b0001, 0b0111)
+        assert not address_fits(0b0100, 0b0001, 0b0111)  # misses forced 1
+        assert not address_fits(0b1001, 0b0001, 0b0111)  # hits forced 0
+
+    def test_unconstrained(self):
+        for h in range(8):
+            assert address_fits(h, 0, 7)
+
+    def test_exact(self):
+        assert address_fits(0b101, 0b101, 0b101)
+        assert not address_fits(0b100, 0b101, 0b101)
+
+
+class TestComputeMasks:
+    def test_node_fully_inside_query(self):
+        node = make_node((0b0100, 0b0000), 1)
+        mask_lower, mask_upper = compute_masks(node, (0, 0), (15, 15))
+        assert mask_lower == 0b00
+        assert mask_upper == 0b11
+
+    def test_query_restricts_one_dimension(self):
+        node = make_node((0b0100, 0b0000), 1)
+        # Dim 0: node region [4, 7]; query only reaches [6, 7]: upper half.
+        mask_lower, mask_upper = compute_masks(node, (6, 0), (15, 15))
+        assert mask_lower == 0b10
+        assert mask_upper == 0b11
+
+    def test_query_caps_upper_half(self):
+        node = make_node((0b0100, 0b0000), 1)
+        # Dim 1: query reaches only [0, 1]: lower half of [0, 3].
+        mask_lower, mask_upper = compute_masks(node, (0, 0), (15, 1))
+        assert mask_lower == 0b00
+        assert mask_upper == 0b10
+
+    def test_masks_are_min_and_max_valid_addresses(self):
+        node = make_node((0b1000, 0b0000), 2)
+        mask_lower, mask_upper = compute_masks(node, (9, 2), (15, 2))
+        valid = [
+            h for h in range(4) if address_fits(h, mask_lower, mask_upper)
+        ]
+        assert valid[0] == mask_lower
+        assert valid[-1] == mask_upper
+
+    @given(st.data())
+    def test_mask_filter_equals_geometric_filter(self, data):
+        """The single-operation mask check must accept exactly the
+        addresses whose quadrant intersects the query box."""
+        k = data.draw(st.integers(min_value=1, max_value=4))
+        width = 8
+        post_len = data.draw(st.integers(min_value=0, max_value=width - 1))
+        shift = post_len + 1
+        prefix = tuple(
+            (data.draw(st.integers(0, (1 << width) - 1)) >> shift) << shift
+            for _ in range(k)
+        )
+        node = make_node(prefix, post_len)
+        box_min = tuple(
+            data.draw(st.integers(0, (1 << width) - 1)) for _ in range(k)
+        )
+        box_max = tuple(
+            data.draw(st.integers(lo, (1 << width) - 1)) for lo in box_min
+        )
+        if not node_intersects_box(node, box_min, box_max):
+            return
+        mask_lower, mask_upper = compute_masks(node, box_min, box_max)
+        half = 1 << post_len
+        for address in range(1 << k):
+            # Geometric truth: does this quadrant intersect the box?
+            intersects = True
+            for dim in range(k):
+                bit = (address >> (k - 1 - dim)) & 1
+                lo = prefix[dim] + bit * half
+                hi = lo + half - 1
+                if box_max[dim] < lo or box_min[dim] > hi:
+                    intersects = False
+                    break
+            assert address_fits(address, mask_lower, mask_upper) == (
+                intersects
+            ), (address, mask_lower, mask_upper)
+
+
+class TestNodeIntersectsBox:
+    def test_disjoint(self):
+        node = make_node((0b1000, 0b0000), 1)
+        assert not node_intersects_box(node, (0, 0), (7, 15))
+        assert node_intersects_box(node, (0, 0), (8, 15))
+
+    def test_contained(self):
+        node = make_node((0b1000, 0b0000), 1)
+        assert node_intersects_box(node, (9, 1), (10, 2))
+
+
+class TestKeyInBox:
+    def test_inclusive_edges(self):
+        assert key_in_box((3, 5), (3, 5), (3, 5))
+        assert not key_in_box((3, 6), (3, 5), (3, 5))
+        assert not key_in_box((2, 5), (3, 5), (3, 5))

@@ -1,0 +1,135 @@
+"""Odds-and-ends API coverage: nearest_iter, count, from_int_tree,
+dataset factory guards, fast-path window queries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, PHTreeF
+from repro.datasets import make_dataset
+
+
+class TestNearestIter:
+    def test_streams_all_entries_in_distance_order(self):
+        rng = random.Random(31)
+        tree = PHTree(dims=2, width=10)
+        keys = {
+            (rng.randrange(1 << 10), rng.randrange(1 << 10))
+            for _ in range(200)
+        }
+        for key in keys:
+            tree.put(key)
+        query = (512, 512)
+
+        def d2(k):
+            return sum((a - b) ** 2 for a, b in zip(k, query))
+
+        seen = [d2(k) for k, _ in tree.nearest_iter(query)]
+        assert len(seen) == len(keys)
+        assert seen == sorted(seen)
+
+    def test_lazy_consumption(self):
+        tree = PHTree(dims=1, width=8)
+        for v in range(100):
+            tree.put((v,))
+        iterator = tree.nearest_iter((50,))
+        first = next(iterator)
+        assert first[0] == (50,)
+        second = next(iterator)
+        assert second[0] in ((49,), (51,))
+
+    def test_empty_tree(self):
+        tree = PHTree(dims=1, width=8)
+        assert list(tree.nearest_iter((1,))) == []
+
+
+class TestCount:
+    def test_matches_query_length(self):
+        rng = random.Random(37)
+        tree = PHTree(dims=2, width=8)
+        for _ in range(300):
+            tree.put((rng.randrange(256), rng.randrange(256)))
+        lo, hi = (10, 10), (200, 200)
+        assert tree.count(lo, hi) == len(tree.query_all(lo, hi))
+
+    def test_empty_box(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((5, 5))
+        assert tree.count((6, 6), (7, 7)) == 0
+        assert tree.count((5, 5), (5, 5)) == 1
+
+
+class TestFromIntTree:
+    def test_wraps_encoded_tree(self):
+        base = PHTreeF(dims=2)
+        base.put((1.5, -2.5), "v")
+        facade = PHTreeF.from_int_tree(base.int_tree)
+        assert facade.get((1.5, -2.5)) == "v"
+        assert len(facade) == 1
+
+    def test_rejects_narrow_trees(self):
+        with pytest.raises(ValueError):
+            PHTreeF.from_int_tree(PHTree(dims=2, width=32))
+
+
+class TestDatasetFactory:
+    def test_known_names(self):
+        for name, dims in (
+            ("CUBE", 3),
+            ("CLUSTER", 3),
+            ("CLUSTER0.4", 2),
+            ("CLUSTER0.5", 4),
+        ):
+            points = make_dataset(name, 50, dims)
+            assert len(points) == 50
+            assert all(len(p) == dims for p in points)
+
+    def test_tiger_requires_2d(self):
+        with pytest.raises(ValueError):
+            make_dataset("TIGER", 10, 3)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dataset("GALAXY", 10, 2)
+
+
+class TestFastPathWindow:
+    def test_fully_contained_subtree_enumeration(self):
+        """A window covering a whole dense subtree exercises the §3.5
+        fast path; results must match the slow traversal exactly,
+        including z-ordering."""
+        rng = random.Random(41)
+        tree = PHTree(dims=2, width=16)
+        base = 0x4200
+        cluster = set()
+        while len(cluster) < 300:
+            key = (base | rng.randrange(256), base | rng.randrange(256))
+            cluster.add(key)
+        for key in cluster:
+            tree.put(key)
+        tree.put((0, 0))
+        tree.put((0xFFFF, 0xFFFF))
+        lo, hi = (base, base), (base | 255, base | 255)
+        fast = [k for k, _ in tree.query(lo, hi)]
+        naive = sorted(
+            k for k, _ in tree.query(lo, hi, use_masks=False)
+        )
+        assert sorted(fast) == naive == sorted(cluster)
+        # Fast path preserves z-order too.
+        from repro.encoding.interleave import interleave
+
+        codes = [interleave(list(k), 16) for k in fast]
+        assert codes == sorted(codes)
+
+    def test_window_covering_root(self):
+        tree = PHTree(dims=2, width=8)
+        rng = random.Random(43)
+        keys = {
+            (rng.randrange(256), rng.randrange(256)) for _ in range(150)
+        }
+        for key in keys:
+            tree.put(key)
+        got = {k for k, _ in tree.query((0, 0), (255, 255))}
+        assert got == keys

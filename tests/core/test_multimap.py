@@ -1,0 +1,151 @@
+"""Tests for the PH-tree multimap (duplicate keys)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multimap import PHTreeMultiMap
+
+
+class TestBasics:
+    def test_multiple_values_per_key(self):
+        mm = PHTreeMultiMap(dims=2, width=8)
+        mm.put((1, 2), "a")
+        mm.put((1, 2), "b")
+        mm.put((1, 2), "a")  # duplicate values allowed
+        assert mm.get((1, 2)) == ["a", "b", "a"]
+        assert mm.count((1, 2)) == 3
+        assert len(mm) == 3
+        assert mm.key_count() == 1
+
+    def test_none_values(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((5,))
+        mm.put((5,))
+        assert mm.count((5,)) == 2
+        assert mm.get((5,)) == [None, None]
+
+    def test_get_returns_copy(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((5,), "a")
+        values = mm.get((5,))
+        values.append("tampered")
+        assert mm.get((5,)) == ["a"]
+
+    def test_contains(self):
+        mm = PHTreeMultiMap(dims=2, width=8)
+        assert not mm.contains((1, 1))
+        mm.put((1, 1), "x")
+        assert (1, 1) in mm
+
+
+class TestRemoval:
+    def test_remove_single_occurrence(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((3,), "a")
+        mm.put((3,), "b")
+        assert mm.remove((3,), "a")
+        assert mm.get((3,)) == ["b"]
+        assert len(mm) == 1
+
+    def test_remove_last_value_drops_key(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((3,), "a")
+        assert mm.remove((3,), "a")
+        assert not mm.contains((3,))
+        assert mm.key_count() == 0
+        mm.check_invariants()
+
+    def test_remove_missing_value(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((3,), "a")
+        assert not mm.remove((3,), "z")
+        assert not mm.remove((4,), "a")
+        assert len(mm) == 1
+
+    def test_remove_key(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((3,), "a")
+        mm.put((3,), "b")
+        assert mm.remove_key((3,)) == ["a", "b"]
+        assert len(mm) == 0
+        assert mm.remove_key((3,)) == []
+
+    def test_clear(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((3,), "a")
+        mm.clear()
+        assert len(mm) == 0
+        mm.check_invariants()
+
+
+class TestQueries:
+    def test_window_query_yields_all_pairs(self):
+        mm = PHTreeMultiMap(dims=2, width=8)
+        mm.put((1, 1), "a")
+        mm.put((1, 1), "b")
+        mm.put((5, 5), "c")
+        mm.put((200, 200), "out")
+        got = sorted(v for _, v in mm.query((0, 0), (10, 10)))
+        assert got == ["a", "b", "c"]
+
+    def test_items_roundtrip(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        pairs = [((1,), "a"), ((1,), "b"), ((2,), "c")]
+        for key, value in pairs:
+            mm.put(key, value)
+        assert sorted(mm.items()) == sorted(pairs)
+        assert list(mm.keys()) == [(1,), (2,)]
+
+    def test_knn_counts_pairs(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((10,), "near-a")
+        mm.put((10,), "near-b")
+        mm.put((100,), "far")
+        got = mm.knn((11,), 2)
+        assert [v for _, v in got] == ["near-a", "near-b"]
+        got3 = mm.knn((11,), 3)
+        assert [v for _, v in got3] == ["near-a", "near-b", "far"]
+
+    def test_knn_more_than_content(self):
+        mm = PHTreeMultiMap(dims=1, width=8)
+        mm.put((1,), "only")
+        assert mm.knn((0,), 10) == [((1,), "only")]
+
+
+class TestModelEquivalence:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_against_dict_of_lists(self, data):
+        mm = PHTreeMultiMap(dims=1, width=6)
+        model = {}
+        for _ in range(60):
+            action = data.draw(
+                st.sampled_from(["put", "remove", "remove_key"])
+            )
+            key = (data.draw(st.integers(0, 63)),)
+            if action == "put":
+                value = data.draw(st.integers(0, 5))
+                mm.put(key, value)
+                model.setdefault(key, []).append(value)
+            elif action == "remove":
+                value = data.draw(st.integers(0, 5))
+                expected = key in model and value in model[key]
+                assert mm.remove(key, value) == expected
+                if expected:
+                    model[key].remove(value)
+                    if not model[key]:
+                        del model[key]
+            else:
+                got = mm.remove_key(key)
+                assert got == model.pop(key, [])
+        assert sorted(mm.items()) == sorted(
+            (key, value)
+            for key, values in model.items()
+            for value in values
+        )
+        mm.check_invariants()

@@ -1,0 +1,152 @@
+"""Tests for PH-tree nodes: addressing, prefixes, regions, representation
+switching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.node import Entry, Node, hypercube_address, masked_prefix
+
+
+class TestHypercubeAddress:
+    def test_paper_figure_2(self):
+        # Entry (0001, 1000): first bit layer is (0, 1) -> address 01.
+        assert hypercube_address((0b0001, 0b1000), 3) == 0b01
+
+    def test_one_dimension(self):
+        assert hypercube_address((0b0010,), 1) == 1
+        assert hypercube_address((0b0010,), 2) == 0
+
+    def test_dimension_zero_is_most_significant(self):
+        assert hypercube_address((1, 0, 0), 0) == 0b100
+        assert hypercube_address((0, 0, 1), 0) == 0b001
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_address_in_range(self, key, post_len):
+        address = hypercube_address(key, post_len)
+        assert 0 <= address < (1 << len(key))
+
+
+class TestMaskedPrefix:
+    def test_clears_low_bits(self):
+        assert masked_prefix((0b1111, 0b1010), 1) == (0b1100, 0b1000)
+
+    def test_post_len_covers_everything(self):
+        assert masked_prefix((0xFFFF,), 15) == (0,)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_idempotent(self, key, post_len):
+        once = masked_prefix(key, post_len)
+        assert masked_prefix(once, post_len) == once
+
+
+class TestNodeGeometry:
+    def make_node(self):
+        # Region: bits >= 3 fixed to 0b0100... per dim; post_len = 2.
+        return Node(post_len=2, infix_len=0, prefix=(0b01000, 0b00000))
+
+    def test_region(self):
+        node = self.make_node()
+        lower, upper = node.region()
+        assert lower == (0b01000, 0b00000)
+        assert upper == (0b01111, 0b00111)
+
+    def test_matches_prefix(self):
+        node = self.make_node()
+        assert node.matches_prefix((0b01010, 0b00001))
+        assert not node.matches_prefix((0b11010, 0b00001))
+        assert not node.matches_prefix((0b01010, 0b01001))
+
+    def test_prefix_conflict_pos(self):
+        node = self.make_node()
+        assert node.prefix_conflict_pos((0b01010, 0b00001)) == -1
+        # Differs at bit 4 in dim 0.
+        assert node.prefix_conflict_pos((0b11000, 0b00000)) == 4
+        # Differs at bit 3 in dim 1.
+        assert node.prefix_conflict_pos((0b01000, 0b01000)) == 3
+        # Max over dimensions wins.
+        assert node.prefix_conflict_pos((0b11000, 0b01000)) == 4
+
+
+class TestNodeSlots:
+    def test_put_and_counts(self):
+        node = Node(post_len=3, infix_len=0, prefix=(0, 0))
+        entry = Entry((1, 2), "v")
+        child = Node(post_len=1, infix_len=1, prefix=(0, 0))
+        node.put_slot(0, entry, k=2)
+        node.put_slot(3, child, k=2)
+        assert node.num_slots() == 2
+        assert node.slot_counts() == (1, 1)
+        assert node.get_slot(0) is entry
+        assert node.get_slot(3) is child
+        assert node.get_slot(1) is None
+
+    def test_replace_updates_counts(self):
+        node = Node(post_len=3, infix_len=0, prefix=(0, 0))
+        node.put_slot(0, Entry((1, 2), "v"), k=2)
+        node.put_slot(0, Node(post_len=1, infix_len=1, prefix=(0, 0)), k=2)
+        assert node.slot_counts() == (1, 0)
+
+    def test_remove_updates_counts(self):
+        node = Node(post_len=3, infix_len=0, prefix=(0, 0))
+        node.put_slot(2, Entry((1, 2), "v"), k=2)
+        node.remove_slot(2, k=2)
+        assert node.slot_counts() == (0, 0)
+        assert node.num_slots() == 0
+
+    def test_postfix_payload_bits(self):
+        node = Node(post_len=5, infix_len=0, prefix=(0, 0, 0))
+        assert node.postfix_payload_bits(3) == 15
+        assert node.postfix_payload_bits(3, value_bits=32) == 47
+
+
+class TestRepresentationSwitching:
+    def test_forced_modes(self):
+        for mode, expect_hc in (("hc", True), ("lhc", False)):
+            node = Node(post_len=1, infix_len=0, prefix=(0, 0))
+            node.put_slot(0, Entry((0, 0)), k=2, hc_mode=mode)
+            assert node.container.is_hc == expect_hc
+
+    def test_auto_switches_to_hc_when_dense(self):
+        node = Node(post_len=1, infix_len=0, prefix=(0, 0))
+        for address in range(4):
+            node.put_slot(
+                address, Entry((address >> 1, address & 1)), k=2
+            )
+        assert node.container.is_hc
+
+    def test_auto_switches_back_to_lhc_when_sparse(self):
+        node = Node(post_len=20, infix_len=0, prefix=(0, 0))
+        for address in range(4):
+            node.put_slot(address, Entry((0, 0)), k=2)
+        dense_was_hc = node.container.is_hc
+        for address in range(3):
+            node.remove_slot(address, k=2)
+        # With long postfixes and 1/4 occupancy LHC must win.
+        assert not node.container.is_hc or not dense_was_hc
+
+    def test_content_preserved_across_switches(self):
+        node = Node(post_len=1, infix_len=0, prefix=(0, 0))
+        entries = {}
+        for address in range(4):
+            entry = Entry((address >> 1, address & 1), f"v{address}")
+            entries[address] = entry
+            node.put_slot(address, entry, k=2)
+        for address, entry in entries.items():
+            assert node.get_slot(address) is entry

@@ -1,0 +1,99 @@
+"""Stateful property test: the PH-tree versus a dict model under arbitrary
+interleaved insert/update/delete/query sequences, with structural
+invariants checked after every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import PHTree
+
+WIDTH = 8
+DIMS = 2
+
+keys = st.tuples(
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+)
+values = st.integers(min_value=0, max_value=999)
+
+
+class PHTreeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.tree = PHTree(dims=DIMS, width=WIDTH)
+        self.model = {}
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        expected_previous = self.model.get(key)
+        got_previous = self.tree.put(key, value)
+        assert got_previous == expected_previous
+        self.model[key] = value
+
+    @rule(key=keys)
+    def remove_maybe_missing(self, key):
+        if key in self.model:
+            assert self.tree.remove(key) == self.model.pop(key)
+        else:
+            assert self.tree.remove(key, default="absent") == "absent"
+
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        if not self.model:
+            return
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.remove(key) == self.model.pop(key)
+
+    @rule(key=keys)
+    def lookup(self, key):
+        assert self.tree.get(key, default="absent") == self.model.get(
+            key, "absent"
+        )
+        assert self.tree.contains(key) == (key in self.model)
+
+    @rule(data=st.data())
+    def move(self, data):
+        if not self.model:
+            return
+        old_key = data.draw(st.sampled_from(sorted(self.model)))
+        new_key = data.draw(keys)
+        if new_key in self.model and new_key != old_key:
+            return
+        self.tree.update_key(old_key, new_key)
+        self.model[new_key] = self.model.pop(old_key)
+
+    @rule(low=keys, data=st.data())
+    def window_query(self, low, data):
+        high = (
+            data.draw(st.integers(low[0], (1 << WIDTH) - 1)),
+            data.draw(st.integers(low[1], (1 << WIDTH) - 1)),
+        )
+        got = sorted(self.tree.query(low, high))
+        want = sorted(
+            (key, value)
+            for key, value in self.model.items()
+            if low[0] <= key[0] <= high[0] and low[1] <= key[1] <= high[1]
+        )
+        assert got == want
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_is_valid(self):
+        self.tree.check_invariants()
+
+
+TestPHTreeStateful = PHTreeMachine.TestCase
+TestPHTreeStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

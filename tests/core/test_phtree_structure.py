@@ -1,0 +1,221 @@
+"""Structural properties of the PH-tree (paper Sections 3.4 and 3.6):
+order independence, bounded depth, bounded imbalance, node-count bounds,
+the two space worst cases of Figure 4, and the best case of Figure 5."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PHTree, collect_stats
+from repro.core.node import Node
+from repro.core.serialize import serialize_tree
+
+
+def build(keys, dims, width, **kwargs):
+    tree = PHTree(dims=dims, width=width, **kwargs)
+    for key in keys:
+        tree.put(key)
+    return tree
+
+
+small_keys = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    ),
+    max_size=80,
+)
+
+
+class TestOrderIndependence:
+    """'The internal structure of the PH-tree is determined only by the
+    data, not by order of insertion or deletion of entries.'"""
+
+    @given(small_keys)
+    @settings(max_examples=50)
+    def test_insertion_order_does_not_matter(self, keys):
+        shuffled = list(keys)
+        random.Random(7).shuffle(shuffled)
+        a = build(keys, dims=2, width=8)
+        b = build(shuffled, dims=2, width=8)
+        assert serialize_tree(a) == serialize_tree(b)
+
+    @given(small_keys, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50)
+    def test_deletions_leave_canonical_structure(self, keys, seed):
+        """insert(A+B) then delete(B) == insert(A)."""
+        rng = random.Random(seed)
+        keys = list(dict.fromkeys(keys))
+        keep = [k for k in keys if rng.random() < 0.5]
+        extra = [k for k in keys if k not in set(keep)]
+        direct = build(keep, dims=2, width=8)
+        roundabout = build(keep + extra, dims=2, width=8)
+        for key in extra:
+            roundabout.remove(key)
+        roundabout.check_invariants()
+        assert serialize_tree(direct) == serialize_tree(roundabout)
+
+
+class TestDepthBounds:
+    """'The maximum depth of the tree is independent of k and equal to the
+    number of bits in the longest stored value.'"""
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_depth_bounded_by_width(self, width):
+        rng = random.Random(1)
+        keys = [
+            (rng.randrange(1 << width), rng.randrange(1 << width))
+            for _ in range(500)
+        ]
+        tree = build(keys, dims=2, width=width)
+        stats = collect_stats(tree)
+        assert stats.max_depth <= width
+
+    def test_adversarial_chain_depth(self):
+        # Keys engineered to diverge one bit at a time: a maximal chain.
+        width = 16
+        keys = [(0,)] + [(1 << b,) for b in range(width)]
+        tree = build(keys, dims=1, width=width)
+        stats = collect_stats(tree)
+        assert stats.max_depth <= width
+        tree.check_invariants()
+
+
+class TestNodeBounds:
+    def test_every_tree_has_more_entries_than_nodes(self):
+        # Paper Section 3.4: r_e/n > 1.0 for n > 1.
+        rng = random.Random(2)
+        for dims in (1, 2, 3):
+            keys = {
+                tuple(rng.randrange(256) for _ in range(dims))
+                for _ in range(300)
+            }
+            tree = build(keys, dims=dims, width=8)
+            stats = collect_stats(tree)
+            assert stats.n_entries > stats.n_nodes
+
+    def test_non_root_nodes_have_two_plus_slots(self, small_tree):
+        tree, _ = small_tree
+        for node in tree.nodes():
+            if node is not tree.root:
+                assert node.num_slots() >= 2
+
+
+class TestPaperWorstCases:
+    def test_figure_4a_no_prefix_sharing(self):
+        """A fully filled root with no sub-nodes: every 1-bit-deep entry
+        sits in the root (the 'no prefix sharing' worst case)."""
+        tree = PHTree(dims=2, width=1)
+        for x in (0, 1):
+            for y in (0, 1):
+                tree.put((x, y))
+        stats = collect_stats(tree)
+        assert stats.n_nodes == 1
+        assert stats.n_entries == 4
+        # Fully filled -> HC representation.
+        assert tree.root.container.is_hc
+
+    def test_figure_4b_powers_of_two(self):
+        """The entries {0,1,2,4,8}: every value deviates from the shared
+        prefix at a different bit -> worst entry-to-node ratio 5/4."""
+        keys = [(0,), (1,), (2,), (4,), (8,)]
+        tree = build(keys, dims=1, width=4)
+        stats = collect_stats(tree)
+        assert stats.n_entries == 5
+        assert stats.n_nodes == 4
+        assert stats.entry_to_node_ratio == pytest.approx(1.25)
+
+    def test_figure_5_best_case(self):
+        """All 2**k sub-nodes fully filled with maximal prefixes: 4-bit 2D
+        keys whose middle bits are fixed per quadrant."""
+        tree = PHTree(dims=2, width=4)
+        # One full quadrant: keys 0b01??, 0b10?? fixed prefix 0110/1001.
+        for dx in (0, 1):
+            for dy in (0, 1):
+                tree.put((0b0110 | dx, 0b1000 | dy))
+        stats = collect_stats(tree)
+        # Root plus one dense sub-node holding all four entries.
+        assert stats.n_nodes == 2
+        sub = [n for n in tree.nodes() if n is not tree.root][0]
+        assert sub.num_slots() == 4
+        assert sub.post_len == 0
+        assert sub.container.is_hc
+
+
+class TestUpdateLocality:
+    """'Upon modification, at most two nodes of the tree need to be
+    modified.'"""
+
+    def _snapshot(self, tree):
+        # infix_len is deliberately excluded: it is path metadata fully
+        # derived from the parent/child post_len difference (a splice
+        # above a node shortens its infix without touching its content).
+        return {
+            id(node): (
+                node.post_len,
+                node.prefix,
+                tuple(
+                    (a, id(s)) for a, s in node.items()
+                ),
+            )
+            for node in tree.nodes()
+        }
+
+    @given(small_keys, st.tuples(st.integers(0, 255), st.integers(0, 255)))
+    @settings(max_examples=50)
+    def test_insert_touches_at_most_two_nodes(self, keys, new_key):
+        tree = build(keys, dims=2, width=8)
+        if tree.contains(new_key):
+            return
+        before = self._snapshot(tree)
+        tree.put(new_key)
+        after = self._snapshot(tree)
+        changed = sum(
+            1
+            for node_id, state in after.items()
+            if node_id in before and before[node_id] != state
+        )
+        created = sum(1 for node_id in after if node_id not in before)
+        assert changed <= 1  # parent whose slot changed
+        assert created <= 1  # possibly one new split node
+
+    @given(small_keys, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50)
+    def test_delete_touches_at_most_two_nodes(self, keys, seed):
+        keys = list(dict.fromkeys(keys))
+        if not keys:
+            return
+        victim = keys[random.Random(seed).randrange(len(keys))]
+        tree = build(keys, dims=2, width=8)
+        before = self._snapshot(tree)
+        tree.remove(victim)
+        after = self._snapshot(tree)
+        changed = sum(
+            1
+            for node_id, state in after.items()
+            if node_id in before and before[node_id] != state
+        )
+        removed = sum(1 for node_id in before if node_id not in after)
+        assert changed <= 2  # node losing the entry + parent on merge
+        assert removed <= 1
+
+
+class TestRootInvariants:
+    def test_root_sits_at_top_bit(self):
+        tree = PHTree(dims=3, width=32)
+        tree.put((1, 2, 3))
+        assert tree.root.post_len == 31
+        assert tree.root.infix_len == 0
+
+    def test_single_entry_root_survives_merges(self):
+        tree = PHTree(dims=1, width=8)
+        tree.put((1,))
+        tree.put((2,))
+        tree.remove((2,))
+        tree.check_invariants()
+        assert len(tree) == 1
+        assert tree.contains((1,))

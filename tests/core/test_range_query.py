@@ -1,0 +1,175 @@
+"""Range-query correctness: brute-force equivalence, mask/naive traversal
+agreement, edge boxes, iterator laziness (paper Section 3.5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PHTree
+from tests.conftest import brute_force_range
+
+
+class TestEmptyAndTrivial:
+    def test_empty_tree(self):
+        tree = PHTree(dims=2, width=8)
+        assert tree.query_all((0, 0), (255, 255)) == []
+
+    def test_inverted_box_is_empty(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((5, 5))
+        assert tree.query_all((10, 0), (0, 255)) == []
+
+    def test_point_box(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((5, 5), "v")
+        assert tree.query_all((5, 5), (5, 5)) == [((5, 5), "v")]
+        assert tree.query_all((6, 6), (6, 6)) == []
+
+    def test_full_range_returns_everything(self, small_tree):
+        tree, reference = small_tree
+        full = tree.query_all((0, 0, 0), ((1 << 16) - 1,) * 3)
+        assert len(full) == len(reference)
+        assert {k for k, _ in full} == set(reference)
+
+
+class TestBruteForceEquivalence:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_random_boxes(self, dims):
+        width = 12
+        rng = random.Random(dims * 101)
+        reference = {}
+        tree = PHTree(dims=dims, width=width)
+        for _ in range(600):
+            key = tuple(rng.randrange(1 << width) for _ in range(dims))
+            tree.put(key, rng.random())
+            reference[key] = True
+        for _ in range(40):
+            lo = tuple(rng.randrange(1 << width) for _ in range(dims))
+            hi = tuple(
+                min(v + rng.randrange(1 << 10), (1 << width) - 1)
+                for v in lo
+            )
+            got = sorted(k for k, _ in tree.query(lo, hi))
+            assert got == brute_force_range(reference, lo, hi)
+
+    def test_skewed_data(self):
+        # Clustered keys (common prefixes) exercise deep nodes.
+        rng = random.Random(5)
+        tree = PHTree(dims=2, width=16)
+        reference = {}
+        for centre in (1000, 30000, 65000):
+            for _ in range(200):
+                key = (
+                    max(0, min(65535, centre + rng.randrange(-8, 9))),
+                    max(0, min(65535, centre + rng.randrange(-8, 9))),
+                )
+                tree.put(key)
+                reference[key] = True
+        for centre in (1000, 30000, 65000):
+            lo = (centre - 5, centre - 5)
+            hi = (centre + 5, centre + 5)
+            got = sorted(k for k, _ in tree.query(lo, hi))
+            assert got == brute_force_range(reference, lo, hi)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_property_boxes(self, data):
+        width = 8
+        keys = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 255),
+                    st.integers(0, 255),
+                ),
+                max_size=60,
+            )
+        )
+        tree = PHTree(dims=2, width=width)
+        for key in keys:
+            tree.put(key)
+        lo = (
+            data.draw(st.integers(0, 255)),
+            data.draw(st.integers(0, 255)),
+        )
+        hi = (
+            data.draw(st.integers(lo[0], 255)),
+            data.draw(st.integers(lo[1], 255)),
+        )
+        reference = {k: True for k in keys}
+        assert sorted(k for k, _ in tree.query(lo, hi)) == (
+            brute_force_range(reference, lo, hi)
+        )
+
+
+class TestMaskedVersusNaive:
+    def test_same_results(self, small_tree):
+        tree, _ = small_tree
+        rng = random.Random(9)
+        for _ in range(25):
+            lo = tuple(rng.randrange(1 << 16) for _ in range(3))
+            hi = tuple(
+                min(v + rng.randrange(1 << 13), (1 << 16) - 1) for v in lo
+            )
+            masked = sorted(k for k, _ in tree.query(lo, hi))
+            naive = sorted(
+                k for k, _ in tree.query(lo, hi, use_masks=False)
+            )
+            assert masked == naive
+
+
+class TestResultOrdering:
+    def test_masked_results_in_z_order_1d(self):
+        tree = PHTree(dims=1, width=8)
+        for v in (200, 5, 120, 64, 33):
+            tree.put((v,))
+        got = [k[0] for k, _ in tree.query((0,), (255,))]
+        assert got == sorted(got)
+
+
+class TestLaziness:
+    def test_iterator_is_lazy(self, small_tree):
+        tree, _ = small_tree
+        iterator = tree.query((0, 0, 0), ((1 << 16) - 1,) * 3)
+        first = next(iterator)
+        assert first is not None
+        # Consuming only part of the iterator must be fine.
+        for _, __ in zip(range(5), iterator):
+            pass
+
+    def test_query_returns_iterator_not_list(self, small_tree):
+        tree, _ = small_tree
+        result = tree.query((0, 0, 0), (10, 10, 10))
+        assert iter(result) is result
+
+
+class TestValidation:
+    def test_box_dimensionality_checked(self):
+        tree = PHTree(dims=2, width=8)
+        with pytest.raises(ValueError):
+            list(tree.query((0,), (255, 255)))
+        with pytest.raises(ValueError):
+            list(tree.query((0, 0), (255,)))
+
+    def test_box_range_checked(self):
+        tree = PHTree(dims=2, width=8)
+        with pytest.raises(ValueError):
+            list(tree.query((0, 0), (256, 255)))
+
+
+class TestPaperWorstCase:
+    def test_low_selectivity_boolean_dimension(self):
+        """Paper Section 3.5: a query constraining only a boolean-like
+        dimension degenerates to a scan but must stay correct."""
+        rng = random.Random(11)
+        tree = PHTree(dims=2, width=8)
+        reference = {}
+        for _ in range(300):
+            key = (rng.randrange(2), rng.randrange(256))
+            tree.put(key)
+            reference[key] = True
+        got = sorted(k for k, _ in tree.query((1, 0), (1, 255)))
+        assert got == brute_force_range(reference, (1, 0), (1, 255))

@@ -1,0 +1,139 @@
+"""Serialisation round trips, determinism and the value codecs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree
+from repro.core.serialize import (
+    NoneValueCodec,
+    U64ValueCodec,
+    deserialize_tree,
+    serialize_tree,
+)
+
+
+def random_tree(seed, n=300, dims=3, width=16, values=False):
+    rng = random.Random(seed)
+    tree = PHTree(dims=dims, width=width)
+    for _ in range(n):
+        key = tuple(rng.randrange(1 << width) for _ in range(dims))
+        tree.put(key, rng.randrange(1 << 30) if values else None)
+    return tree
+
+
+class TestRoundTrip:
+    def test_empty_tree(self):
+        tree = PHTree(dims=4, width=32)
+        data = serialize_tree(tree)
+        rebuilt = deserialize_tree(data)
+        assert len(rebuilt) == 0
+        assert rebuilt.dims == 4
+        assert rebuilt.width == 32
+
+    def test_single_entry(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((3, 200))
+        rebuilt = deserialize_tree(serialize_tree(tree))
+        assert list(rebuilt.keys()) == [(3, 200)]
+        rebuilt.check_invariants()
+
+    @pytest.mark.parametrize("dims,width", [(1, 8), (2, 16), (3, 16),
+                                            (5, 8), (2, 64)])
+    def test_random_trees(self, dims, width):
+        tree = random_tree(dims * 31 + width, dims=dims, width=width)
+        rebuilt = deserialize_tree(serialize_tree(tree))
+        assert sorted(rebuilt.keys()) == sorted(tree.keys())
+        assert len(rebuilt) == len(tree)
+        rebuilt.check_invariants()
+
+    def test_rebuilt_tree_is_fully_functional(self):
+        tree = random_tree(77)
+        rebuilt = deserialize_tree(serialize_tree(tree))
+        keys = list(rebuilt.keys())
+        # Queries work.
+        lo = tuple(min(k[d] for k in keys) for d in range(3))
+        hi = tuple(max(k[d] for k in keys) for d in range(3))
+        assert sorted(k for k, _ in rebuilt.query(lo, hi)) == sorted(keys)
+        # Mutations work.
+        rebuilt.remove(keys[0])
+        rebuilt.put((1, 2, 3))
+        rebuilt.check_invariants()
+
+    def test_reserialization_is_identical(self):
+        tree = random_tree(5)
+        data = serialize_tree(tree)
+        assert serialize_tree(deserialize_tree(data)) == data
+
+
+class TestDeterminism:
+    def test_same_keys_same_bytes(self):
+        tree_a = random_tree(9)
+        keys = list(tree_a.keys())
+        random.Random(1).shuffle(keys)
+        tree_b = PHTree(dims=3, width=16)
+        for key in keys:
+            tree_b.put(key)
+        assert serialize_tree(tree_a) == serialize_tree(tree_b)
+
+    def test_different_keys_different_bytes(self):
+        tree_a = random_tree(9)
+        tree_b = random_tree(10)
+        assert serialize_tree(tree_a) != serialize_tree(tree_b)
+
+
+class TestValueCodecs:
+    def test_none_codec_rejects_values(self):
+        tree = PHTree(dims=1, width=8)
+        tree.put((1,), "a value")
+        with pytest.raises(ValueError):
+            serialize_tree(tree, NoneValueCodec)
+
+    def test_u64_codec_round_trip(self):
+        tree = random_tree(12, values=True)
+        data = serialize_tree(tree, U64ValueCodec)
+        rebuilt = deserialize_tree(data, U64ValueCodec)
+        assert dict(rebuilt.items()) == dict(tree.items())
+
+    def test_u64_codec_validates(self):
+        tree = PHTree(dims=1, width=8)
+        tree.put((1,), "not an int")
+        with pytest.raises(ValueError):
+            serialize_tree(tree, U64ValueCodec)
+        tree2 = PHTree(dims=1, width=8)
+        tree2.put((1,), 1 << 64)
+        with pytest.raises(ValueError):
+            serialize_tree(tree2, U64ValueCodec)
+
+
+class TestFormatValidation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_tree(b"NOPE" + b"\x00" * 32)
+
+    def test_truncation_detected(self):
+        tree = random_tree(3)
+        data = serialize_tree(tree)
+        with pytest.raises((ValueError, IndexError)):
+            deserialize_tree(data[: len(data) // 2])
+
+    def test_compactness(self):
+        """The serialised image must beat the naive k*8*n layout for data
+        with shared prefixes (the whole point of Section 3.4)."""
+        rng = random.Random(4)
+        tree = PHTree(dims=3, width=64)
+        n = 500
+        # Clustered data: top 40 bits shared.
+        base = (1 << 40) - 1
+        for _ in range(n):
+            tree.put(
+                tuple(
+                    (0xABCDE << 44) | rng.randrange(1 << 20)
+                    for _ in range(3)
+                )
+            )
+        data = serialize_tree(tree)
+        naive = len(tree) * 3 * 8
+        assert len(data) < naive

@@ -1,0 +1,144 @@
+"""Tests for the box index (PHTreeSolidF)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.solid import PHTreeSolidF
+
+
+def brute_intersect(boxes, qlo, qhi):
+    result = []
+    for (blo, bhi), value in boxes.items():
+        if all(
+            lo <= qh and hi >= ql
+            for lo, hi, ql, qh in zip(blo, bhi, qlo, qhi)
+        ):
+            result.append((blo, bhi, value))
+    return sorted(result)
+
+
+def brute_contained(boxes, qlo, qhi):
+    result = []
+    for (blo, bhi), value in boxes.items():
+        if all(
+            ql <= lo and hi <= qh
+            for lo, hi, ql, qh in zip(blo, bhi, qlo, qhi)
+        ):
+            result.append((blo, bhi, value))
+    return sorted(result)
+
+
+@pytest.fixture
+def random_boxes():
+    rng = random.Random(7)
+    solid = PHTreeSolidF(dims=2)
+    boxes = {}
+    for i in range(400):
+        lo = (rng.uniform(0, 0.9), rng.uniform(0, 0.9))
+        hi = (lo[0] + rng.uniform(0, 0.1), lo[1] + rng.uniform(0, 0.1))
+        solid.put(lo, hi, i)
+        boxes[(lo, hi)] = i
+    return solid, boxes, rng
+
+
+class TestBasics:
+    def test_put_get_remove(self):
+        solid = PHTreeSolidF(dims=2)
+        assert solid.put((0.0, 0.0), (1.0, 1.0), "sq") is None
+        assert solid.contains((0.0, 0.0), (1.0, 1.0))
+        assert solid.get((0.0, 0.0), (1.0, 1.0)) == "sq"
+        assert len(solid) == 1
+        assert solid.remove((0.0, 0.0), (1.0, 1.0)) == "sq"
+        assert len(solid) == 0
+
+    def test_degenerate_point_box(self):
+        solid = PHTreeSolidF(dims=2)
+        solid.put((0.5, 0.5), (0.5, 0.5), "point")
+        got = list(solid.query_intersect((0.0, 0.0), (1.0, 1.0)))
+        assert got == [((0.5, 0.5), (0.5, 0.5), "point")]
+
+    def test_inverted_box_rejected(self):
+        solid = PHTreeSolidF(dims=2)
+        with pytest.raises(ValueError):
+            solid.put((1.0, 0.0), (0.0, 1.0))
+
+    def test_remove_missing(self):
+        solid = PHTreeSolidF(dims=1)
+        with pytest.raises(KeyError):
+            solid.remove((0.0,), (1.0,))
+        assert solid.remove((0.0,), (1.0,), default="gone") == "gone"
+
+    def test_items(self):
+        solid = PHTreeSolidF(dims=1)
+        solid.put((0.0,), (1.0,), "a")
+        solid.put((2.0,), (3.0,), "b")
+        assert sorted(v for _, _, v in solid.items()) == ["a", "b"]
+
+
+class TestIntersection:
+    def test_touching_counts(self):
+        solid = PHTreeSolidF(dims=1)
+        solid.put((0.0,), (1.0,), "left")
+        got = [v for _, _, v in solid.query_intersect((1.0,), (2.0,))]
+        assert got == ["left"]
+
+    def test_disjoint_excluded(self):
+        solid = PHTreeSolidF(dims=1)
+        solid.put((0.0,), (1.0,), "left")
+        assert list(solid.query_intersect((1.5,), (2.0,))) == []
+
+    def test_brute_force(self, random_boxes):
+        solid, boxes, rng = random_boxes
+        for _ in range(20):
+            qlo = (rng.uniform(0, 0.8), rng.uniform(0, 0.8))
+            qhi = (qlo[0] + 0.2, qlo[1] + 0.2)
+            got = sorted(solid.query_intersect(qlo, qhi))
+            assert got == brute_intersect(boxes, qlo, qhi)
+
+    def test_stabbing_query(self, random_boxes):
+        solid, boxes, rng = random_boxes
+        for _ in range(10):
+            point = (rng.uniform(0, 1), rng.uniform(0, 1))
+            got = sorted(solid.query_point(point))
+            assert got == brute_intersect(boxes, point, point)
+
+
+class TestContainment:
+    def test_brute_force(self, random_boxes):
+        solid, boxes, rng = random_boxes
+        for _ in range(20):
+            qlo = (rng.uniform(0, 0.6), rng.uniform(0, 0.6))
+            qhi = (qlo[0] + 0.4, qlo[1] + 0.4)
+            got = sorted(solid.query_contained(qlo, qhi))
+            assert got == brute_contained(boxes, qlo, qhi)
+
+    def test_contained_is_subset_of_intersecting(self, random_boxes):
+        solid, _, rng = random_boxes
+        qlo, qhi = (0.2, 0.2), (0.7, 0.7)
+        contained = set(
+            (blo, bhi) for blo, bhi, _ in solid.query_contained(qlo, qhi)
+        )
+        intersecting = set(
+            (blo, bhi) for blo, bhi, _ in solid.query_intersect(qlo, qhi)
+        )
+        assert contained <= intersecting
+
+
+class TestDoubledDimensionality:
+    def test_point_tree_has_2k_dims(self):
+        solid = PHTreeSolidF(dims=3)
+        assert solid.point_tree.dims == 6
+
+    def test_invariants(self, random_boxes):
+        solid, _, __ = random_boxes
+        solid.check_invariants()
+
+    def test_negative_coordinates(self):
+        solid = PHTreeSolidF(dims=2)
+        solid.put((-2.0, -2.0), (-1.0, -1.0), "neg")
+        got = [v for _, _, v in solid.query_intersect((-1.5, -1.5),
+                                                      (0.0, 0.0))]
+        assert got == ["neg"]

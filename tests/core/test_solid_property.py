@@ -1,0 +1,82 @@
+"""Property-based tests for the box index (PHTreeSolidF) against a
+brute-force model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solid import PHTreeSolidF
+
+coord = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False
+)
+
+
+@st.composite
+def boxes(draw, dims=2):
+    lo = [draw(coord) for _ in range(dims)]
+    hi = [draw(coord) for _ in range(dims)]
+    return (
+        tuple(min(a, b) for a, b in zip(lo, hi)),
+        tuple(max(a, b) for a, b in zip(lo, hi)),
+    )
+
+
+@given(
+    st.lists(boxes(), max_size=30, unique=True),
+    boxes(),
+)
+@settings(max_examples=60, deadline=None)
+def test_intersection_equals_brute_force(stored, query):
+    solid = PHTreeSolidF(dims=2)
+    for i, (lo, hi) in enumerate(stored):
+        solid.put(lo, hi, i)
+    qlo, qhi = query
+    got = sorted(
+        (blo, bhi) for blo, bhi, _ in solid.query_intersect(qlo, qhi)
+    )
+    want = sorted(
+        (blo, bhi)
+        for blo, bhi in set(stored)
+        if all(
+            lo <= qh and hi >= ql
+            for lo, hi, ql, qh in zip(blo, bhi, qlo, qhi)
+        )
+    )
+    assert got == want
+
+
+@given(
+    st.lists(boxes(), max_size=30, unique=True),
+    boxes(),
+)
+@settings(max_examples=60, deadline=None)
+def test_containment_equals_brute_force(stored, query):
+    solid = PHTreeSolidF(dims=2)
+    for i, (lo, hi) in enumerate(stored):
+        solid.put(lo, hi, i)
+    qlo, qhi = query
+    got = sorted(
+        (blo, bhi) for blo, bhi, _ in solid.query_contained(qlo, qhi)
+    )
+    want = sorted(
+        (blo, bhi)
+        for blo, bhi in set(stored)
+        if all(
+            ql <= lo and hi <= qh
+            for lo, hi, ql, qh in zip(blo, bhi, qlo, qhi)
+        )
+    )
+    assert got == want
+
+
+@given(st.lists(boxes(), max_size=30, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_full_domain_intersection_returns_everything(stored):
+    solid = PHTreeSolidF(dims=2)
+    for i, (lo, hi) in enumerate(stored):
+        solid.put(lo, hi, i)
+    got = list(solid.query_intersect((-200.0, -200.0), (200.0, 200.0)))
+    assert len(got) == len(set(stored))
+    solid.check_invariants()

@@ -1,0 +1,120 @@
+"""Tests for tree statistics (paper Sections 3.4, 4.3.5, Table 3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, collect_stats
+from repro.core.stats import node_serialized_bits
+
+
+class TestEmptyAndSmall:
+    def test_empty_tree(self):
+        stats = collect_stats(PHTree(dims=2, width=8))
+        assert stats.n_entries == 0
+        assert stats.n_nodes == 0
+        assert stats.entry_to_node_ratio == 0.0
+        assert stats.total_serialized_bits == 0
+        assert stats.hc_fraction == 0.0
+
+    def test_single_entry(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((1, 2))
+        stats = collect_stats(tree)
+        assert stats.n_entries == 1
+        assert stats.n_nodes == 1
+        assert stats.max_depth == 1
+        assert stats.depth_histogram == {1: 1}
+
+
+class TestConsistency:
+    def test_counts_agree_with_tree(self, small_tree):
+        tree, reference = small_tree
+        stats = collect_stats(tree)
+        assert stats.n_entries == len(reference)
+        assert stats.n_nodes == sum(1 for _ in tree.nodes())
+        assert stats.n_hc_nodes + stats.n_lhc_nodes == stats.n_nodes
+        assert sum(stats.depth_histogram.values()) == stats.n_nodes
+        assert len(stats.node_size_bits) == stats.n_nodes
+        assert stats.total_serialized_bits == sum(stats.node_size_bits)
+
+    def test_ratio(self, small_tree):
+        tree, _ = small_tree
+        stats = collect_stats(tree)
+        assert stats.entry_to_node_ratio == pytest.approx(
+            stats.n_entries / stats.n_nodes
+        )
+        # Paper Section 3.4: every tree with n > 1 has ratio > 1.
+        assert stats.entry_to_node_ratio > 1.0
+
+    def test_depth_bounded_by_width(self, small_tree):
+        tree, _ = small_tree
+        assert collect_stats(tree).max_depth <= tree.width
+
+    def test_serialized_size_close_to_actual_serialization(self):
+        """The stats' per-node byte sum and the real serialised stream
+        must agree within the per-node header/rounding differences."""
+        from repro.core.serialize import serialize_tree
+
+        rng = random.Random(21)
+        tree = PHTree(dims=3, width=16)
+        for _ in range(400):
+            tree.put(tuple(rng.randrange(1 << 16) for _ in range(3)))
+        stats = collect_stats(tree)
+        stream = len(serialize_tree(tree))
+        modelled = stats.total_serialized_bytes
+        # Same order of magnitude; the stream embeds nodes contiguously
+        # while the model rounds each node to bytes and charges JVM-ish
+        # reference widths.
+        assert 0.3 < modelled / stream < 3.0
+
+
+class TestValueBits:
+    def test_value_bits_increase_size(self, small_tree):
+        tree, _ = small_tree
+        plain = collect_stats(tree, value_bits=0)
+        with_refs = collect_stats(tree, value_bits=32)
+        assert (
+            with_refs.total_serialized_bits > plain.total_serialized_bits
+        )
+
+
+class TestNodeSerializedBits:
+    def test_matches_representation(self):
+        tree = PHTree(dims=2, width=8)
+        for key in [(0, 0), (0, 255), (255, 0), (255, 255)]:
+            tree.put(key)
+        root = tree.root
+        bits = node_serialized_bits(root, 2)
+        assert bits > 0
+        # Flipping representation changes the reported size.
+        from repro.core.hypercube import convert_container
+
+        converted = convert_container(
+            root.container, 2, to_hc=not root.container.is_hc
+        )
+        if converted is not None:
+            root.container = converted
+            assert node_serialized_bits(root, 2) != bits
+
+
+class TestPrefixSharingSignal:
+    def test_clustered_data_shares_more_prefix_bits(self):
+        rng = random.Random(3)
+        scattered = PHTree(dims=2, width=32)
+        clustered = PHTree(dims=2, width=32)
+        for _ in range(500):
+            scattered.put(
+                (rng.randrange(1 << 32), rng.randrange(1 << 32))
+            )
+            base = 0x12345000
+            clustered.put(
+                (base + rng.randrange(4096), base + rng.randrange(4096))
+            )
+        s_stats = collect_stats(scattered)
+        c_stats = collect_stats(clustered)
+        s_bpe = s_stats.total_serialized_bits / s_stats.n_entries
+        c_bpe = c_stats.total_serialized_bits / c_stats.n_entries
+        assert c_bpe < s_bpe

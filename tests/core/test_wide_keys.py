@@ -1,0 +1,123 @@
+"""Keys wider than 64 bits (paper Outlook item 5: "the current limit of
+w = 64 could be increased to allow values with arbitrary length").
+
+Python integers are unbounded, so the PH-tree supports any width out of
+the box; these tests pin that down for 128- and 256-bit coordinates,
+including serialisation and the frozen format.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, bulk_load, collect_stats
+from repro.core.frozen import FrozenPHTree, freeze
+from repro.core.serialize import deserialize_tree, serialize_tree
+
+
+@pytest.fixture(params=[128, 200, 256], ids=lambda w: f"w{w}")
+def wide_tree(request):
+    width = request.param
+    rng = random.Random(width)
+    tree = PHTree(dims=2, width=width)
+    reference = {}
+    for _ in range(300):
+        key = (
+            rng.randrange(1 << width),
+            rng.randrange(1 << width),
+        )
+        value = rng.randrange(1000)
+        tree.put(key, value)
+        reference[key] = value
+    return tree, reference, width
+
+
+class TestWideOperations:
+    def test_put_get_remove(self, wide_tree):
+        tree, reference, width = wide_tree
+        assert len(tree) == len(reference)
+        for key, value in list(reference.items())[:50]:
+            assert tree.get(key) == value
+        victims = list(reference)[:100]
+        for key in victims:
+            assert tree.remove(key) == reference.pop(key)
+        tree.check_invariants()
+
+    def test_depth_bounded_by_width(self, wide_tree):
+        tree, _, width = wide_tree
+        assert collect_stats(tree).max_depth <= width
+
+    def test_range_query(self, wide_tree):
+        tree, reference, width = wide_tree
+        half = 1 << (width - 1)
+        top = (1 << width) - 1
+        got = sorted(k for k, _ in tree.query((0, 0), (half, top)))
+        want = sorted(k for k in reference if k[0] <= half)
+        assert got == want
+
+    def test_knn(self, wide_tree):
+        tree, reference, width = wide_tree
+        query = (1 << (width - 1), 1 << (width - 2))
+        got = tree.knn(query, 5)
+
+        def d2(key):
+            return sum((a - b) ** 2 for a, b in zip(key, query))
+
+        want = sorted(d2(k) for k in reference)[:5]
+        assert [d2(k) for k, _ in got] == want
+
+    def test_width_boundary_values(self, wide_tree):
+        tree, _, width = wide_tree
+        top = (1 << width) - 1
+        tree.put((top, top), "corner")
+        assert tree.get((top, top)) == "corner"
+        with pytest.raises(ValueError):
+            tree.put((top + 1, 0))
+
+
+class TestWideSerialisation:
+    def test_round_trip(self, wide_tree):
+        from repro.core.serialize import U64ValueCodec
+
+        tree, _, width = wide_tree
+        rebuilt = deserialize_tree(
+            serialize_tree(tree, U64ValueCodec), U64ValueCodec
+        )
+        assert rebuilt.width == width
+        assert dict(rebuilt.items()) == dict(tree.items())
+        rebuilt.check_invariants()
+
+    def test_frozen(self, wide_tree):
+        from repro.core.serialize import U64ValueCodec
+
+        tree, reference, width = wide_tree
+        frozen = FrozenPHTree(freeze(tree, U64ValueCodec), U64ValueCodec)
+        assert len(frozen) == len(reference)
+        for key, value in list(reference.items())[:50]:
+            assert frozen.get(key) == value
+
+    def test_bulk_load_canonical(self, wide_tree):
+        tree, reference, width = wide_tree
+        bulk = bulk_load(
+            ((k, v) for k, v in reference.items()),
+            dims=2,
+            width=width,
+        )
+        from repro.core.serialize import U64ValueCodec
+
+        assert serialize_tree(bulk, U64ValueCodec) == serialize_tree(
+            tree, U64ValueCodec
+        )
+
+
+class TestMixedWideWidths:
+    def test_per_dimension_beyond_64(self):
+        tree = PHTree(dims=3, width=(1, 64, 128))
+        key = (1, (1 << 64) - 1, (1 << 128) - 1)
+        tree.put(key, "wide")
+        assert tree.get(key) == "wide"
+        with pytest.raises(ValueError):
+            tree.put((2, 0, 0))
+        tree.check_invariants()

@@ -1,0 +1,97 @@
+"""Tests for the CLUSTER generator (paper Sections 4.2, 4.3.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.cluster import (
+    CLUSTER_EXTENT,
+    DEFAULT_N_CLUSTERS,
+    POINTS_PER_CLUSTER,
+    default_n_clusters,
+    generate_cluster,
+)
+
+
+class TestGeometry:
+    def test_non_x_dimensions_hug_the_offset(self):
+        for offset in (0.5, 0.4):
+            points = generate_cluster(500, 3, offset=offset, seed=1)
+            half = CLUSTER_EXTENT / 2 + 1e-12
+            for p in points:
+                assert abs(p[1] - offset) <= half
+                assert abs(p[2] - offset) <= half
+
+    def test_x_axis_spans_zero_to_one(self):
+        points = generate_cluster(5000, 2, seed=2)
+        xs = [p[0] for p in points]
+        assert min(xs) < 0.05
+        assert max(xs) > 0.95
+
+    def test_cluster05_straddles_the_exponent_boundary(self):
+        """The crucial property of Section 4.3.6: CLUSTER0.5 points lie on
+        both sides of 0.5."""
+        points = generate_cluster(500, 2, offset=0.5, seed=3)
+        below = sum(1 for p in points if p[1] < 0.5)
+        above = sum(1 for p in points if p[1] >= 0.5)
+        assert below > 50
+        assert above > 50
+
+    def test_cluster04_shares_one_exponent(self):
+        from repro.encoding.ieee import raw_bits
+
+        points = generate_cluster(500, 2, offset=0.4, seed=3)
+        exponents = {
+            (raw_bits(p[1]) >> 52) & 0x7FF for p in points
+        }
+        assert len(exponents) == 1
+
+    def test_points_concentrate_in_clusters(self):
+        points = generate_cluster(1000, 2, seed=4, n_clusters=10)
+        xs = sorted(p[0] for p in points)
+        # With 10 clusters of extent 1e-4 over [0,1], points cover well
+        # under 1% of the x-axis.
+        coverage = sum(
+            1 for a, b in zip(xs, xs[1:]) if b - a > CLUSTER_EXTENT
+        )
+        assert coverage <= 10
+
+
+class TestClusterCountScaling:
+    def test_default_density(self):
+        assert default_n_clusters(100 * DEFAULT_N_CLUSTERS) == (
+            DEFAULT_N_CLUSTERS
+        )
+        assert default_n_clusters(1000) == 1000 // POINTS_PER_CLUSTER
+        assert default_n_clusters(5) == 1
+
+    def test_explicit_count_respected(self):
+        points = generate_cluster(200, 2, n_clusters=2, seed=5)
+        xs = {round(p[0], 2) for p in points}
+        assert xs <= {0.0, 1.0}
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic(self):
+        assert generate_cluster(100, 3, seed=6) == generate_cluster(
+            100, 3, seed=6
+        )
+
+    def test_offset_04_and_05_share_x_structure(self):
+        a = generate_cluster(100, 3, offset=0.4, seed=7)
+        b = generate_cluster(100, 3, offset=0.5, seed=7)
+        assert [p[0] for p in a] == [p[0] for p in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_cluster(-1, 2)
+        with pytest.raises(ValueError):
+            generate_cluster(10, 0)
+        with pytest.raises(ValueError):
+            generate_cluster(10, 2, n_clusters=0)
+        with pytest.raises(ValueError):
+            generate_cluster(10, 2, extent=0.0)
+
+    def test_one_dimensional(self):
+        points = generate_cluster(50, 1, seed=8)
+        assert all(len(p) == 1 for p in points)

@@ -1,0 +1,43 @@
+"""Tests for the CUBE generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.cube import generate_cube
+
+
+class TestGenerateCube:
+    def test_shape(self):
+        points = generate_cube(100, 5, seed=1)
+        assert len(points) == 100
+        assert all(len(p) == 5 for p in points)
+
+    def test_range(self):
+        points = generate_cube(1000, 3, seed=2)
+        assert all(0.0 <= v < 1.0 for p in points for v in p)
+
+    def test_deterministic(self):
+        assert generate_cube(50, 2, seed=3) == generate_cube(50, 2, seed=3)
+
+    def test_seed_changes_data(self):
+        assert generate_cube(50, 2, seed=3) != generate_cube(50, 2, seed=4)
+
+    def test_roughly_uniform(self):
+        points = generate_cube(4000, 2, seed=5)
+        # Mean of each coordinate near 0.5.
+        for d in range(2):
+            mean = sum(p[d] for p in points) / len(points)
+            assert 0.45 < mean < 0.55
+        # Each quadrant gets roughly a quarter.
+        q = sum(1 for p in points if p[0] < 0.5 and p[1] < 0.5)
+        assert 0.2 < q / len(points) < 0.3
+
+    def test_empty(self):
+        assert generate_cube(0, 3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_cube(-1, 3)
+        with pytest.raises(ValueError):
+            generate_cube(1, 0)

@@ -1,0 +1,82 @@
+"""Cross-dataset statistical properties the experiments rely on."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.datasets import (
+    generate_cluster,
+    generate_cube,
+    generate_tiger,
+    make_dataset,
+)
+from repro.encoding.ieee import encode_double
+
+
+class TestEncodedPrefixStructure:
+    """The space experiments hinge on how much encoded prefix the
+    datasets share; pin the orderings."""
+
+    @staticmethod
+    def shared_prefix_bits(values):
+        codes = [encode_double(v) for v in values]
+        lo, hi = min(codes), max(codes)
+        if lo == hi:
+            return 64
+        return 64 - (lo ^ hi).bit_length()
+
+    def test_cluster04_shares_more_than_cluster05(self):
+        c04 = [p[1] for p in generate_cluster(500, 2, offset=0.4, seed=1)]
+        c05 = [p[1] for p in generate_cluster(500, 2, offset=0.5, seed=1)]
+        assert self.shared_prefix_bits(c04) > self.shared_prefix_bits(c05)
+
+    def test_cluster05_shares_almost_nothing(self):
+        # The exponent flip kills the prefix within ~12 bits.
+        c05 = [p[1] for p in generate_cluster(500, 2, offset=0.5, seed=1)]
+        assert self.shared_prefix_bits(c05) <= 12
+
+    def test_cube_coordinates_share_sign_bit_only_ish(self):
+        xs = [p[0] for p in generate_cube(500, 1, seed=2)]
+        # Uniform [0,1): sign and a couple of exponent bits shared.
+        assert 1 <= self.shared_prefix_bits(xs) <= 16
+
+    def test_tiger_x_shares_exponent_run(self):
+        xs = [p[0] for p in generate_tiger(500, seed=3)]
+        # All x in [-125, -65]: same sign, overlapping exponents.
+        assert self.shared_prefix_bits(xs) >= 4
+
+
+class TestDistributionShapes:
+    def test_cluster_covers_tiny_volume(self):
+        points = generate_cluster(2000, 3, seed=4)
+        ys = [p[1] for p in points]
+        assert max(ys) - min(ys) < 0.001
+
+    def test_cube_is_spread_out(self):
+        points = generate_cube(2000, 3, seed=5)
+        ys = [p[1] for p in points]
+        assert max(ys) - min(ys) > 0.9
+
+    def test_tiger_stddev_between_extremes(self):
+        """TIGER sits between CUBE (uniform) and CLUSTER (degenerate):
+        skewed but spanning the map."""
+        tiger = generate_tiger(2000, seed=6)
+        xs = [p[0] for p in tiger]
+        spread = statistics.pstdev(xs) / (max(xs) - min(xs))
+        assert 0.05 < spread < 0.35
+
+    def test_same_seed_same_data_across_names(self):
+        a = make_dataset("CLUSTER0.5", 100, 3, seed=9)
+        b = make_dataset("CLUSTER", 100, 3, seed=9)
+        assert a == b  # CLUSTER is an alias for offset 0.5
+
+
+class TestScaleIndependence:
+    def test_prefix_of_larger_generation_matches(self):
+        """Growing n must extend the dataset, not reshuffle it --
+        the n-sweeps rely on nested prefixes for comparability."""
+        small = generate_cube(100, 3, seed=7)
+        large = generate_cube(1000, 3, seed=7)
+        assert large[:100] == small

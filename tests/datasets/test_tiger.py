@@ -1,0 +1,54 @@
+"""Tests for the TIGER/Line substitute generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.tiger import TIGER_BBOX, generate_tiger
+
+
+class TestGenerateTiger:
+    def test_exact_count_and_uniqueness(self):
+        points = generate_tiger(2000, seed=1)
+        assert len(points) == 2000
+        assert len(set(points)) == 2000  # duplicates removed, as in paper
+
+    def test_bounding_box(self):
+        x_min, x_max, y_min, y_max = TIGER_BBOX
+        points = generate_tiger(1000, seed=2)
+        for x, y in points:
+            assert x_min <= x <= x_max
+            assert y_min <= y <= y_max
+
+    def test_deterministic(self):
+        assert generate_tiger(500, seed=3) == generate_tiger(500, seed=3)
+
+    def test_county_ordered_loading(self):
+        """Points must arrive grouped by county (x ascending between
+        county groups is NOT required, but spatial locality is): check
+        that consecutive points are usually close together."""
+        points = generate_tiger(2000, seed=4)
+        close = sum(
+            1
+            for (x1, y1), (x2, y2) in zip(points, points[1:])
+            if abs(x1 - x2) < 3.0 and abs(y1 - y2) < 3.0
+        )
+        assert close / len(points) > 0.9
+
+    def test_skew(self):
+        """Density must vary strongly across counties (log-normal
+        weights): the busiest grid cell should hold many times the mean."""
+        points = generate_tiger(5000, seed=5)
+        from collections import Counter
+
+        cells = Counter(
+            (int((x + 125) / 2.5), int((y - 24) / 2.6)) for x, y in points
+        )
+        busiest = cells.most_common(1)[0][1]
+        mean = len(points) / max(1, len(cells))
+        assert busiest > 3 * mean
+
+    def test_empty_and_validation(self):
+        assert generate_tiger(0) == []
+        with pytest.raises(ValueError):
+            generate_tiger(-5)

@@ -1,0 +1,164 @@
+"""Unit and property tests for repro.encoding.bits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.bits import (
+    bit_at,
+    bit_depth_to_pos,
+    clear_bit,
+    common_prefix_len,
+    high_bits_mask,
+    low_bits_mask,
+    most_significant_diff_bit,
+    pos_to_bit_depth,
+    set_bit,
+    to_binary_string,
+)
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBitAt:
+    def test_extracts_each_position(self):
+        value = 0b1011
+        assert [bit_at(value, p) for p in range(4)] == [1, 1, 0, 1]
+
+    def test_positions_beyond_value_are_zero(self):
+        assert bit_at(0b1, 63) == 0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            bit_at(1, -1)
+
+
+class TestSetClearBit:
+    def test_set_bit(self):
+        assert set_bit(0, 3) == 0b1000
+
+    def test_set_bit_idempotent(self):
+        assert set_bit(0b1000, 3) == 0b1000
+
+    def test_clear_bit(self):
+        assert clear_bit(0b1010, 3) == 0b0010
+
+    def test_clear_bit_idempotent(self):
+        assert clear_bit(0b0010, 3) == 0b0010
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_set_then_clear_round_trips(self, value, pos):
+        assert clear_bit(set_bit(value, pos), pos) == clear_bit(value, pos)
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_set_makes_bit_one(self, value, pos):
+        assert bit_at(set_bit(value, pos), pos) == 1
+
+
+class TestMasks:
+    def test_low_bits_mask_examples(self):
+        assert low_bits_mask(0) == 0
+        assert low_bits_mask(1) == 1
+        assert low_bits_mask(8) == 0xFF
+
+    def test_high_bits_mask_examples(self):
+        assert high_bits_mask(0, 8) == 0
+        assert high_bits_mask(8, 8) == 0xFF
+        assert high_bits_mask(4, 8) == 0xF0
+
+    def test_high_bits_mask_validates_range(self):
+        with pytest.raises(ValueError):
+            high_bits_mask(9, 8)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_masks_complement_each_other(self, n):
+        width = 64
+        assert (
+            high_bits_mask(n, width) | low_bits_mask(width - n)
+        ) == low_bits_mask(width)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_low_bits_mask_popcount(self, n):
+        assert bin(low_bits_mask(n)).count("1") == n
+
+
+class TestDiffBit:
+    def test_most_significant_diff_bit(self):
+        assert most_significant_diff_bit(0b1000, 0b1010) == 1
+        assert most_significant_diff_bit(0, 1) == 0
+        assert most_significant_diff_bit(0, 1 << 63) == 63
+
+    def test_equal_values_rejected(self):
+        with pytest.raises(ValueError):
+            most_significant_diff_bit(7, 7)
+
+    @given(u64, u64)
+    def test_symmetry(self, a, b):
+        if a == b:
+            return
+        assert most_significant_diff_bit(a, b) == most_significant_diff_bit(
+            b, a
+        )
+
+    @given(u64, u64)
+    def test_values_agree_above_diff_bit(self, a, b):
+        if a == b:
+            return
+        pos = most_significant_diff_bit(a, b)
+        assert (a >> (pos + 1)) == (b >> (pos + 1))
+        assert bit_at(a, pos) != bit_at(b, pos)
+
+
+class TestCommonPrefixLen:
+    def test_examples(self):
+        assert common_prefix_len(0b1100, 0b1101, 4) == 3
+        assert common_prefix_len(0b1100, 0b0100, 4) == 0
+        assert common_prefix_len(5, 5, 8) == 8
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            common_prefix_len(1 << 10, 0, 4)
+
+    @given(u64, u64)
+    def test_relates_to_diff_bit(self, a, b):
+        if a == b:
+            assert common_prefix_len(a, b, 64) == 64
+        else:
+            pos = most_significant_diff_bit(a, b)
+            assert common_prefix_len(a, b, 64) == 63 - pos
+
+
+class TestBitDepthConversion:
+    def test_round_trip(self):
+        for width in (4, 16, 64):
+            for pos in range(width):
+                depth = pos_to_bit_depth(pos, width)
+                assert 1 <= depth <= width
+                assert bit_depth_to_pos(depth, width) == pos
+
+    def test_paper_convention(self):
+        # z_b = 1 is the first (most significant) bit.
+        assert pos_to_bit_depth(63, 64) == 1
+        assert pos_to_bit_depth(0, 64) == 64
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pos_to_bit_depth(64, 64)
+        with pytest.raises(ValueError):
+            bit_depth_to_pos(0, 64)
+
+
+class TestToBinaryString:
+    def test_paper_figure_1a(self):
+        # The paper's example: 2 stored as a 4-bit value is 0010.
+        assert to_binary_string(2, 4) == "0010"
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            to_binary_string(16, 4)
+
+    @given(u64)
+    def test_round_trips_through_int(self, value):
+        assert int(to_binary_string(value, 64), 2) == value

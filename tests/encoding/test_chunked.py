@@ -1,0 +1,121 @@
+"""Tests for the chunked bit buffer (Outlook item 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitbuffer import BitBuffer
+from repro.encoding.chunked import ChunkedBitBuffer
+
+
+class TestBasics:
+    def test_empty(self):
+        buf = ChunkedBitBuffer(chunk_bits=32)
+        assert buf.bit_length == 0
+        assert len(buf) == 0
+        assert buf.chunk_count == 1
+        assert buf.to_binary_string() == ""
+
+    def test_append_read(self):
+        buf = ChunkedBitBuffer(chunk_bits=16)
+        buf.append(0b1011, 4)
+        buf.append(0b01, 2)
+        assert buf.read(0, 6) == 0b101101
+        assert buf.read(4, 2) == 0b01
+
+    def test_chunks_split_as_stream_grows(self):
+        buf = ChunkedBitBuffer(chunk_bits=32)
+        for i in range(64):
+            buf.append(i & 1, 1)
+        assert buf.chunk_count >= 2
+        assert buf.bit_length == 64
+
+    def test_insert_and_remove_cross_boundary(self):
+        buf = ChunkedBitBuffer(chunk_bits=16)
+        for _ in range(8):
+            buf.append(0b1111, 4)  # 32 bits -> at least 2 chunks
+        assert buf.chunk_count >= 2
+        # Remove a field spanning the first chunk boundary.
+        removed = buf.remove(12, 8)
+        assert removed == 0xFF
+        assert buf.bit_length == 24
+        assert buf.to_binary_string() == "1" * 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkedBitBuffer(chunk_bits=4)
+        buf = ChunkedBitBuffer(chunk_bits=16)
+        buf.append(1, 1)
+        with pytest.raises(IndexError):
+            buf.read(0, 2)
+        with pytest.raises(IndexError):
+            buf.insert(5, 0, 1)
+        with pytest.raises(IndexError):
+            buf.remove(0, 2)
+
+    def test_to_bitbuffer_flattens(self):
+        buf = ChunkedBitBuffer(chunk_bits=8)
+        for value in (0xA, 0xB, 0xC):
+            buf.append(value, 4)
+        flat = buf.to_bitbuffer()
+        assert flat.to_binary_string() == buf.to_binary_string()
+
+
+class TestDifferentialAgainstMonolithic:
+    @given(st.integers(0, 2**32), st.integers(8, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_random_operation_streams(self, seed, chunk_bits):
+        rng = random.Random(seed)
+        mono = BitBuffer()
+        chunked = ChunkedBitBuffer(chunk_bits=chunk_bits)
+        for _ in range(300):
+            op = rng.random()
+            length = mono.bit_length
+            if op < 0.5 or length == 0:
+                width = rng.randrange(0, 13)
+                value = rng.randrange(1 << width) if width else 0
+                mono.append(value, width)
+                chunked.append(value, width)
+            elif op < 0.75:
+                pos = rng.randrange(0, length + 1)
+                width = rng.randrange(0, 9)
+                value = rng.randrange(1 << width) if width else 0
+                mono.insert(pos, value, width)
+                chunked.insert(pos, value, width)
+            else:
+                pos = rng.randrange(0, length)
+                width = rng.randrange(0, min(9, length - pos) + 1)
+                assert mono.remove(pos, width) == chunked.remove(
+                    pos, width
+                )
+        assert mono.to_binary_string() == chunked.to_binary_string()
+        if mono.bit_length:
+            for _ in range(20):
+                pos = rng.randrange(mono.bit_length)
+                width = rng.randrange(
+                    0, min(16, mono.bit_length - pos) + 1
+                )
+                assert mono.read(pos, width) == chunked.read(pos, width)
+
+
+class TestUpdateCostMotivation:
+    def test_insert_touches_one_chunk(self):
+        """The structural property the paper's Outlook predicts: an
+        insert rewrites a single chunk, leaving all other chunk objects
+        untouched."""
+        buf = ChunkedBitBuffer(chunk_bits=64)
+        for i in range(512):
+            buf.append(i & 1, 1)
+        chunk_ids_before = [id(c) for c in buf._chunks]
+        buf.insert(buf.bit_length // 2, 0b1, 1)
+        chunk_ids_after = [id(c) for c in buf._chunks]
+        # All chunks except (at most) the touched/split one are the same
+        # objects.
+        unchanged = len(
+            set(chunk_ids_before) & set(chunk_ids_after)
+        )
+        assert unchanged >= len(chunk_ids_before) - 1

@@ -1,0 +1,158 @@
+"""Tests for the IEEE-754 sortable conversion (paper Section 3.3).
+
+Includes the exact reproduction of the paper's Table 4 and the
+property-based proof of the sortability requirement: ``i1 > i2`` iff
+``f1 > f2`` (with -0.0 eliminated).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.ieee import (
+    decode_double,
+    decode_point,
+    encode_double,
+    encode_point,
+    java_double_to_long_bits,
+    java_sortable_long,
+    raw_bits,
+    raw_bits_to_double,
+)
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+all_ordered_doubles = st.floats(allow_nan=False, allow_infinity=True)
+
+
+class TestTable4:
+    """The paper's Table 4, bit for bit."""
+
+    PAPER = {
+        0.39999: 4600877199177713619,
+        0.40000: 4600877379321698714,
+        0.49999: 4602678639028661817,
+        0.50000: 4602678819172646912,
+    }
+
+    @pytest.mark.parametrize("value,expected", sorted(PAPER.items()))
+    def test_signed_long_bits(self, value, expected):
+        assert java_double_to_long_bits(value) == expected
+
+    def test_exponent_changes_at_one_half(self):
+        # 0.49999 -> 0.5 flips the exponent (bits 2..12 of the double).
+        exp = lambda v: (raw_bits(v) >> 52) & 0x7FF  # noqa: E731
+        assert exp(0.49999) != exp(0.5)
+        assert exp(0.39999) == exp(0.4)
+
+    def test_fraction_of_one_half_is_zero(self):
+        assert raw_bits(0.5) & ((1 << 52) - 1) == 0
+
+    def test_cluster04_diverges_at_bit_25(self):
+        # The paper: CLUSTER0.4 points "differ only at the 25th bit".
+        diff = raw_bits(0.39999) ^ raw_bits(0.40000)
+        first_diff_from_msb = 64 - diff.bit_length() + 1
+        assert first_diff_from_msb == 25
+
+    def test_cluster05_diverges_in_exponent(self):
+        # CLUSTER0.5 points "differ ... at the 11th or 12th bit".
+        diff = raw_bits(0.49999) ^ raw_bits(0.50000)
+        first_diff_from_msb = 64 - diff.bit_length() + 1
+        assert first_diff_from_msb in (11, 12)
+
+
+class TestJavaConversion:
+    """The paper's `c(double)` function, signed-comparison variant."""
+
+    def test_non_negative_passthrough(self):
+        assert java_sortable_long(1.5) == java_double_to_long_bits(1.5)
+
+    def test_negative_zero_folded(self):
+        assert java_sortable_long(-0.0) == java_sortable_long(0.0)
+
+    @given(finite_doubles, finite_doubles)
+    def test_signed_sortability(self, f1, f2):
+        i1, i2 = java_sortable_long(f1), java_sortable_long(f2)
+        if f1 > f2:
+            assert i1 > i2
+        elif f1 < f2:
+            assert i1 < i2
+
+
+class TestEncodeDouble:
+    """The unsigned-comparison variant used by the PH-tree."""
+
+    def test_zero_is_midpoint(self):
+        assert encode_double(0.0) == 1 << 63
+
+    def test_negative_zero_folded(self):
+        assert encode_double(-0.0) == encode_double(0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            encode_double(float("nan"))
+
+    def test_infinities_are_extremes(self):
+        lo = encode_double(float("-inf"))
+        hi = encode_double(float("inf"))
+        assert lo < encode_double(0.0) < hi
+
+    def test_code_range(self):
+        for v in (-1e308, -1.0, -1e-300, 0.0, 1e-300, 1.0, 1e308):
+            assert 0 <= encode_double(v) < (1 << 64)
+
+    @given(all_ordered_doubles, all_ordered_doubles)
+    def test_unsigned_sortability(self, f1, f2):
+        i1, i2 = encode_double(f1), encode_double(f2)
+        if f1 > f2:
+            assert i1 > i2
+        elif f1 < f2:
+            assert i1 < i2
+        else:
+            assert i1 == i2
+
+    @given(all_ordered_doubles)
+    def test_round_trip(self, value):
+        decoded = decode_double(encode_double(value))
+        if value == 0.0:
+            assert decoded == 0.0  # -0.0 folds to +0.0
+            assert math.copysign(1.0, decoded) == 1.0
+        else:
+            assert decoded == value
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_double(1 << 64)
+        with pytest.raises(ValueError):
+            decode_double(-1)
+
+
+class TestRawBits:
+    @given(finite_doubles)
+    def test_round_trip(self, value):
+        assert raw_bits_to_double(raw_bits(value)) == value
+
+    def test_known_pattern(self):
+        assert raw_bits(1.0) == 0x3FF0000000000000
+
+    def test_reject_out_of_range(self):
+        with pytest.raises(ValueError):
+            raw_bits_to_double(1 << 64)
+
+
+class TestPointHelpers:
+    def test_encode_point_componentwise(self):
+        point = (0.5, -1.25, 0.0)
+        assert encode_point(point) == tuple(encode_double(v) for v in point)
+
+    @given(st.lists(finite_doubles, min_size=1, max_size=6))
+    def test_point_round_trip(self, values):
+        decoded = decode_point(encode_point(values))
+        for original, got in zip(values, decoded):
+            if original == 0.0:
+                assert got == 0.0
+            else:
+                assert got == original

@@ -1,0 +1,116 @@
+"""Tests for Morton/z-order interleaving."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.interleave import deinterleave, interleave
+
+
+class TestInterleaveExamples:
+    def test_single_dimension_is_identity(self):
+        assert interleave([0b1011], 4) == 0b1011
+
+    def test_two_dimensions(self):
+        # MSB of dim 0 leads: (11, 00) -> 1010.
+        assert interleave([0b11, 0b00], 2) == 0b1010
+        assert interleave([0b00, 0b11], 2) == 0b0101
+
+    def test_three_dimensions(self):
+        # Layers: (1,0,0) then (1,1,0) -> 100 110.
+        assert interleave([0b11, 0b01, 0b00], 2) == 0b100110
+
+    def test_paper_figure_2_addressing(self):
+        # The 2D entry (0..., 1...) has its first bit-layer at HC address
+        # 01 (paper Figure 2); the interleaved code leads with 01.
+        code = interleave([0b0001, 0b1000], 4)
+        assert (code >> 6) == 0b01
+
+    def test_validates_width(self):
+        with pytest.raises(ValueError):
+            interleave([4], 2)
+        with pytest.raises(ValueError):
+            interleave([1], 0)
+        with pytest.raises(ValueError):
+            interleave([], 4)
+        with pytest.raises(ValueError):
+            interleave([-1], 4)
+
+
+class TestDeinterleaveExamples:
+    def test_inverse_of_examples(self):
+        assert deinterleave(0b1010, 2, 2) == (0b11, 0b00)
+        assert deinterleave(0b100110, 3, 2) == (0b11, 0b01, 0b00)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            deinterleave(1 << 8, 2, 2)
+        with pytest.raises(ValueError):
+            deinterleave(0, 0, 2)
+        with pytest.raises(ValueError):
+            deinterleave(0, 2, 0)
+        with pytest.raises(ValueError):
+            deinterleave(-1, 2, 2)
+
+
+@st.composite
+def key_and_width(draw):
+    width = draw(st.integers(min_value=1, max_value=64))
+    k = draw(st.integers(min_value=1, max_value=8))
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return values, width
+
+
+class TestRoundTrip:
+    @given(key_and_width())
+    def test_deinterleave_inverts_interleave(self, case):
+        values, width = case
+        code = interleave(values, width)
+        assert deinterleave(code, len(values), width) == tuple(values)
+
+    @given(key_and_width())
+    def test_code_fits_k_times_width_bits(self, case):
+        values, width = case
+        code = interleave(values, width)
+        assert 0 <= code < (1 << (len(values) * width))
+
+    @given(key_and_width(), key_and_width())
+    def test_order_preserved_in_first_dimension_prefix(self, case_a, case_b):
+        # With equal non-leading dimensions, ordering by dim 0 is preserved
+        # by the interleaved code (dim 0 owns the most significant bit of
+        # every layer).
+        values_a, width = case_a
+        values_b, _ = case_b
+        if len(values_a) != len(values_b):
+            return
+        shared_tail = values_a[1:]
+        a = [values_a[0]] + shared_tail
+        b = [values_b[0] % (1 << width)] + shared_tail
+        code_a = interleave(a, width)
+        code_b = interleave(b, width)
+        if a[0] < b[0]:
+            assert code_a < code_b
+        elif a[0] > b[0]:
+            assert code_a > code_b
+        else:
+            assert code_a == code_b
+
+
+class TestCritBitMotivation:
+    def test_boolean_16d_keys_differ_within_first_layer(self):
+        """The paper's Section 2 example: locating a key in a
+        16-dimensional boolean dataset needs only one hypercube layer --
+        all information is in the first 16 interleaved bits."""
+        k, width = 16, 1
+        a = interleave([1] * k, width)
+        b = interleave([1] * (k - 1) + [0], width)
+        assert a != b
+        assert a >> k == b >> k == 0  # single layer

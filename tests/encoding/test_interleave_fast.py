@@ -1,0 +1,69 @@
+"""Differential tests: table-based interleave vs the definitional
+per-bit oracle."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.interleave import (
+    deinterleave,
+    interleave,
+    interleave_naive,
+    spread,
+)
+
+
+class TestSpread:
+    def test_examples(self):
+        assert spread(0b1, 3, 8) == 0b1
+        assert spread(0b11, 3, 8) == 0b1001
+        assert spread(0xFF, 1, 8) == 0xFF
+
+    def test_multi_byte(self):
+        # Bit 8 must land at position 8 * k.
+        assert spread(1 << 8, 4, 16) == 1 << 32
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_bit_positions(self, value, k):
+        result = spread(value, k, 64)
+        for i in range(64):
+            assert ((result >> (i * k)) & 1) == ((value >> i) & 1)
+
+
+@st.composite
+def key_case(draw):
+    width = draw(st.integers(min_value=1, max_value=64))
+    k = draw(st.integers(min_value=1, max_value=8))
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return values, width
+
+
+class TestFastEqualsNaive:
+    @given(key_case())
+    def test_same_codes(self, case):
+        values, width = case
+        assert interleave(values, width) == interleave_naive(
+            values, width
+        )
+
+    @given(key_case())
+    def test_round_trip(self, case):
+        values, width = case
+        code = interleave(values, width)
+        assert deinterleave(code, len(values), width) == tuple(values)
+
+    def test_extremes(self):
+        top = (1 << 64) - 1
+        assert interleave([top, 0, top], 64) == interleave_naive(
+            [top, 0, top], 64
+        )

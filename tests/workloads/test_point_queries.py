@@ -1,0 +1,68 @@
+"""Tests for the point-query workload generator (paper Section 4.3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.point_queries import make_point_queries
+
+BOUNDS = ((0.0, 0.0), (1.0, 1.0))
+
+
+class TestMix:
+    def test_counts(self):
+        queries = make_point_queries([(0.5, 0.5)], 100, BOUNDS, seed=1)
+        assert len(queries) == 100
+
+    def test_fifty_fifty_mix(self):
+        points = [(0.5, 0.5)]
+        queries = make_point_queries(points, 2000, BOUNDS, seed=2)
+        hits = sum(1 for q in queries if q == points[0])
+        assert 0.4 < hits / len(queries) < 0.6
+
+    def test_existing_fraction_extremes(self):
+        points = [(0.25, 0.75), (0.75, 0.25)]
+        all_hits = make_point_queries(
+            points, 100, BOUNDS, existing_fraction=1.0, seed=3
+        )
+        assert all(q in points for q in all_hits)
+        all_random = make_point_queries(
+            points, 100, BOUNDS, existing_fraction=0.0, seed=3
+        )
+        assert sum(1 for q in all_random if q in points) <= 2
+
+    def test_random_queries_respect_bounds(self):
+        bounds = ((-125.0, 24.0), (-65.0, 50.0))
+        queries = make_point_queries(
+            [(-100.0, 30.0)], 500, bounds, seed=4
+        )
+        for x, y in queries:
+            assert -125.0 <= x <= -65.0
+            assert 24.0 <= y <= 50.0
+
+    def test_deterministic(self):
+        points = [(0.1, 0.9)]
+        assert make_point_queries(points, 50, BOUNDS, seed=5) == (
+            make_point_queries(points, 50, BOUNDS, seed=5)
+        )
+
+
+class TestValidation:
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            make_point_queries([(0.5, 0.5)], -1, BOUNDS)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_point_queries(
+                [(0.5, 0.5)], 10, BOUNDS, existing_fraction=1.5
+            )
+
+    def test_empty_points_with_hits_requested(self):
+        with pytest.raises(ValueError):
+            make_point_queries([], 10, BOUNDS)
+        # But pure-random generation works without data.
+        queries = make_point_queries(
+            [], 10, BOUNDS, existing_fraction=0.0
+        )
+        assert len(queries) == 10

@@ -1,0 +1,95 @@
+"""Tests for the range-query workload generators (paper Section 4.3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.workloads.range_queries import (
+    data_bounds,
+    make_cluster_boxes,
+    make_volume_boxes,
+)
+
+
+class TestDataBounds:
+    def test_min_max(self):
+        points = [(1.0, 5.0), (-2.0, 7.0), (0.5, 6.0)]
+        lower, upper = data_bounds(points)
+        assert lower == (-2.0, 5.0)
+        assert upper == (1.0, 7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            data_bounds([])
+
+
+class TestVolumeBoxes:
+    UNIT = ((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+    def test_volume_is_exact(self):
+        boxes = make_volume_boxes(self.UNIT, 50, 0.001, seed=1)
+        for lo, hi in boxes:
+            volume = math.prod(h - l for l, h in zip(lo, hi))
+            assert volume == pytest.approx(0.001, rel=1e-9)
+
+    def test_boxes_inside_bounds(self):
+        boxes = make_volume_boxes(self.UNIT, 50, 0.01, seed=2)
+        for lo, hi in boxes:
+            for d in range(3):
+                assert 0.0 <= lo[d] <= hi[d] <= 1.0 + 1e-12
+
+    def test_edges_vary(self):
+        """All edges random except the adjusted one: edge lengths must
+        differ between queries."""
+        boxes = make_volume_boxes(self.UNIT, 30, 0.001, seed=3)
+        first_edges = {round(hi[0] - lo[0], 9) for lo, hi in boxes}
+        assert len(first_edges) > 20
+
+    def test_non_unit_bounds(self):
+        bounds = ((-125.0, 24.0), (-65.0, 50.0))
+        total = 60.0 * 26.0
+        boxes = make_volume_boxes(bounds, 20, 0.01, seed=4)
+        for lo, hi in boxes:
+            area = (hi[0] - lo[0]) * (hi[1] - lo[1])
+            assert area == pytest.approx(0.01 * total, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_volume_boxes(self.UNIT, -1, 0.01)
+        with pytest.raises(ValueError):
+            make_volume_boxes(self.UNIT, 1, 0.0)
+        with pytest.raises(ValueError):
+            make_volume_boxes(self.UNIT, 1, 1.5)
+        with pytest.raises(ValueError):
+            make_volume_boxes(((0.0,), (0.0,)), 1, 0.1)
+
+    def test_deterministic(self):
+        assert make_volume_boxes(self.UNIT, 5, 0.01, seed=9) == (
+            make_volume_boxes(self.UNIT, 5, 0.01, seed=9)
+        )
+
+
+class TestClusterBoxes:
+    def test_paper_shape(self):
+        boxes = make_cluster_boxes(4, 30, seed=1)
+        for lo, hi in boxes:
+            # Thin in x.
+            assert hi[0] - lo[0] == pytest.approx(0.0001)
+            assert 0.0 <= lo[0] <= 0.1
+            # Full extent in all other dimensions.
+            for d in range(1, 4):
+                assert lo[d] == 0.0
+                assert hi[d] == 1.0
+
+    def test_positions_vary(self):
+        boxes = make_cluster_boxes(2, 50, seed=2)
+        starts = {round(lo[0], 6) for lo, _ in boxes}
+        assert len(starts) > 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cluster_boxes(0, 5)
+        with pytest.raises(ValueError):
+            make_cluster_boxes(2, -1)
