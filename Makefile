@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-small examples results clean
+.PHONY: install test bench bench-small bench-json examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -16,6 +16,10 @@ bench:
 
 bench-small:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --repro-scale small
+
+# Regenerate the hot-path perf trajectory (BENCH_core.json at repo root).
+bench-json:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.trajectory -o BENCH_core.json
 
 examples:
 	@for f in examples/*.py; do \

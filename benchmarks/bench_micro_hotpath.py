@@ -1,0 +1,39 @@
+"""Hot-path micro-benchmarks (perf trajectory -> BENCH_core.json).
+
+Unlike the per-figure ``bench_*`` files, this benchmark tracks the
+reproduction's *own* speed over time: it times the core hot paths
+(insert, sequential vs batched point queries, the iterative range-scan
+kernel vs the seed generator engine, kNN) and writes the numbers to
+``BENCH_core.json`` at the repository root.  Run via ``make bench-json``
+or ``pytest benchmarks/bench_micro_hotpath.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.trajectory import SCALES, format_report, run_trajectory, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+pytestmark = pytest.mark.benchmark(group="micro_hotpath")
+
+
+def test_micro_hotpath_trajectory(benchmark, repro_scale):
+    # "paper" has no dedicated preset; the trajectory tops out at medium.
+    scale = repro_scale if repro_scale in SCALES else "medium"
+    report = benchmark.pedantic(
+        run_trajectory, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    print()
+    print(format_report(report))
+    write_report(report, REPO_ROOT / "BENCH_core.json")
+
+    metrics = report["metrics"]
+    assert all(v > 0 for v in metrics.values())
+    # Loose floors (the acceptance numbers are recorded at scale=small;
+    # CI machines are noisy, so only guard against outright regressions).
+    assert metrics["speedup_get_many"] > 1.0
+    assert metrics["speedup_range_iter"] > 1.0

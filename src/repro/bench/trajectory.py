@@ -1,0 +1,279 @@
+"""Perf-trajectory micro-benchmarks for the core hot paths.
+
+The paper's headline claims are throughput claims (Section 4: inserts,
+point queries, range queries per second against kD-trees and critbit
+trees), so this reproduction tracks its own speed over time: each run
+times the hot paths at a small, fixed scale and writes the numbers to
+``BENCH_core.json`` at the repository root.  That file is the perf
+trajectory -- every PR regenerates it (``make bench-json``) and future
+PRs must not regress the recorded speedups.
+
+Measured (best of ``repeats`` runs each, CUBE-distributed integer keys):
+
+- ``insert``: sequential ``put`` loop,
+- ``point_seq``: sequential ``get`` per key over a z-sorted batch,
+- ``point_batch`` / ``point_batch_presorted``: the same batch through
+  :meth:`PHTree.get_many` (with and without the internal sort),
+- ``range_kernel`` vs ``range_generator``: the iterative range-scan
+  kernel against the seed generator-stack engine, on Figure-9-style
+  window queries (normalised per returned entry),
+- ``query_many``: the batched window engine over the same boxes,
+- ``knn``: 10-nearest-neighbour queries.
+
+Derived speedups (``speedup_get_many``, ``speedup_range_iter``) are the
+acceptance numbers: batched point lookups against sequential calls, and
+the iterative kernel against the seed engine.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.trajectory -o BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import z_sort_key
+from repro.core.phtree import PHTree
+from repro.core.range_query import generator_range_iter, range_iter
+from repro.datasets.cube import generate_cube
+from repro.datasets.rng import make_rng
+
+__all__ = ["SCALES", "main", "run_trajectory", "write_report"]
+
+#: Benchmark scale presets.  The trajectory is a *relative* measure, so
+#: the scale stays small enough to run inside the test suite; ``small``
+#: is the canonical scale recorded in BENCH_core.json.
+SCALES: Dict[str, Dict[str, int]] = {
+    "tiny": {"n": 2_000, "n_boxes": 60, "n_knn": 20, "repeats": 3},
+    "small": {"n": 10_000, "n_boxes": 200, "n_knn": 60, "repeats": 3},
+    "medium": {"n": 50_000, "n_boxes": 400, "n_knn": 120, "repeats": 3},
+}
+
+#: Fixed workload shape: 3 dimensions at 20-bit precision, CUBE data.
+DIMS = 3
+WIDTH = 20
+
+SCHEMA_VERSION = 1
+
+
+def _best(func: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``func``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _make_keys(n: int, seed: int) -> List[Tuple[int, ...]]:
+    """CUBE-distributed integer keys (deduplicated, exactly n kept when
+    possible)."""
+    scale = 1 << WIDTH
+    seen = set()
+    keys: List[Tuple[int, ...]] = []
+    # Over-generate slightly; collisions are rare at this density.
+    for point in generate_cube(n + n // 10 + 16, DIMS, seed=seed):
+        key = tuple(min(int(v * scale), scale - 1) for v in point)
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+            if len(keys) == n:
+                break
+    return keys
+
+
+def _make_boxes(
+    n_boxes: int, seed: int
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Figure-9-style window queries: fixed-extent boxes at random
+    positions (~1/64 of the domain volume each)."""
+    rng = make_rng(seed + 1)
+    top = (1 << WIDTH) - 1
+    extent = 1 << (WIDTH - 2)
+    boxes = []
+    for _ in range(n_boxes):
+        lo = tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+        hi = tuple(min(v + extent, top) for v in lo)
+        boxes.append((lo, hi))
+    return boxes
+
+
+def run_trajectory(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Run the micro-benchmarks and return the trajectory report dict."""
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r}, expected one of {sorted(SCALES)}"
+        )
+    params = SCALES[scale]
+    n = params["n"]
+    repeats = params["repeats"]
+    keys = _make_keys(n, seed)
+    values = list(range(len(keys)))
+    boxes = _make_boxes(params["n_boxes"], seed)
+    rng = make_rng(seed + 2)
+    knn_queries = [
+        tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+        for _ in range(params["n_knn"])
+    ]
+
+    # -- insert ----------------------------------------------------------
+    def build() -> PHTree:
+        tree = PHTree(dims=DIMS, width=WIDTH)
+        put = tree.put
+        for key, value in zip(keys, values):
+            put(key, value)
+        return tree
+
+    t_insert = _best(build, repeats)
+    tree = build()
+
+    # -- point queries: sequential vs batched ----------------------------
+    batch = sorted(keys, key=z_sort_key(DIMS, WIDTH))
+
+    def point_seq() -> None:
+        get = tree.get
+        for key in batch:
+            get(key)
+
+    t_point_seq = _best(point_seq, repeats)
+    t_point_batch = _best(lambda: tree.get_many(batch), repeats)
+    t_point_batch_pre = _best(
+        lambda: tree.get_many(batch, presorted=True), repeats
+    )
+    # Sanity: the engines must agree before their timings mean anything.
+    assert tree.get_many(batch) == [tree.get(k) for k in batch]
+
+    # -- range queries: iterative kernel vs seed generator engine --------
+    root = tree.root
+
+    def run_range(engine: Callable) -> int:
+        total = 0
+        for lo, hi in boxes:
+            for _ in engine(root, lo, hi):
+                total += 1
+        return total
+
+    returned = run_range(range_iter)
+    assert returned == run_range(generator_range_iter)
+    t_range_kernel = _best(lambda: run_range(range_iter), repeats)
+    t_range_generator = _best(
+        lambda: run_range(generator_range_iter), repeats
+    )
+    t_query_many = _best(lambda: tree.query_many(boxes), repeats)
+
+    # -- kNN -------------------------------------------------------------
+    def run_knn() -> None:
+        knn = tree.knn
+        for query in knn_queries:
+            knn(query, 10)
+
+    t_knn = _best(run_knn, repeats)
+
+    n_keys = len(keys)
+    n_returned = max(returned, 1)
+    metrics = {
+        "insert_us_per_op": t_insert * 1e6 / n_keys,
+        "point_seq_us_per_op": t_point_seq * 1e6 / n_keys,
+        "point_batch_us_per_op": t_point_batch * 1e6 / n_keys,
+        "point_batch_presorted_us_per_op": (
+            t_point_batch_pre * 1e6 / n_keys
+        ),
+        "range_kernel_us_per_entry": t_range_kernel * 1e6 / n_returned,
+        "range_generator_us_per_entry": (
+            t_range_generator * 1e6 / n_returned
+        ),
+        "query_many_us_per_entry": t_query_many * 1e6 / n_returned,
+        "knn_us_per_query": t_knn * 1e6 / max(len(knn_queries), 1),
+        "speedup_get_many": t_point_seq / t_point_batch,
+        "speedup_get_many_presorted": t_point_seq / t_point_batch_pre,
+        "speedup_range_iter": t_range_generator / t_range_kernel,
+        "speedup_query_many": t_range_kernel / t_query_many,
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_unix": int(time.time()),
+        "scale": scale,
+        "config": {
+            "dims": DIMS,
+            "width": WIDTH,
+            "n_keys": n_keys,
+            "n_boxes": len(boxes),
+            "n_range_entries": returned,
+            "n_knn_queries": len(knn_queries),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "metrics": {k: round(v, 4) for k, v in metrics.items()},
+    }
+
+
+def write_report(
+    report: Dict[str, Any], path: "str | Path"
+) -> Path:
+    """Write a trajectory report as pretty-printed JSON."""
+    path = Path(path)
+    if path.parent != Path():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-metric-per-line rendering of a report."""
+    lines = [
+        f"perf trajectory @ scale={report['scale']} "
+        f"(n={report['config']['n_keys']})"
+    ]
+    for name, value in sorted(report["metrics"].items()):
+        lines.append(f"  {name:36s} {value:10.3f}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run the trajectory and write the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.trajectory",
+        description="Run the hot-path micro-benchmarks and record the "
+        "perf trajectory.",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_core.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "-s",
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="benchmark scale (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="dataset seed"
+    )
+    args = parser.parse_args(argv)
+    report = run_trajectory(scale=args.scale, seed=args.seed)
+    path = write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

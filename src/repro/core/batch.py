@@ -1,0 +1,372 @@
+"""Batched point and window queries (the batch engine).
+
+The paper's evaluation (Section 4) is throughput-oriented: millions of
+point and range operations against one tree.  Issuing them one call at a
+time through :meth:`PHTree.get` / :meth:`PHTree.query` pays, per
+operation, the full Python call overhead (argument validation, method
+dispatch, a root-to-leaf descent of method calls) even though
+consecutive operations overwhelmingly revisit the same top-of-tree
+nodes.
+
+This module amortises that overhead across a batch:
+
+- :func:`get_many` validates the whole batch and computes its z-codes in
+  one fused pass, sorts it by (approximate) z-order so consecutive keys
+  share descent paths, and then *merge-joins* the sorted batch against
+  the tree: the current root-to-leaf path lives on a single explicit
+  stack, and every key first ascends to the deepest stacked node whose
+  region still contains it, then descends only the levels its
+  predecessor did not already resolve.  All per-level work (hypercube
+  address, container lookup, prefix check) is inlined with locals
+  hoisted -- no method calls, no per-key allocations.
+- :func:`query_many` walks the tree once for a batch of query boxes,
+  carrying the set of still-active boxes down the traversal: each node
+  is classified (intersects / fully covers) once per active box, and the
+  union of the per-box ``m_L``/``m_U`` masks restricts the visited
+  slots.  Per-box results are produced in exactly the order the
+  single-box engine (:func:`repro.core.range_query.range_iter`) yields
+  them.
+
+The z-order sort key interleaves only the top byte of every coordinate
+(one table lookup per dimension): descent paths diverge on the most
+significant bits, so that cheap prefix of the full Morton code already
+yields almost all of the locality, and the walk stays correct under any
+batch order -- the sort is purely a performance hint.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
+
+from repro.core.kernel import iter_subtree
+from repro.core.node import Node
+from repro.encoding.interleave import _spread_table
+
+__all__ = ["contains_many", "get_many", "query_many", "z_sort_key"]
+
+_MISSING = object()
+
+Key = Tuple[int, ...]
+
+
+def z_sort_key(dims: int, width: int) -> Callable[[Sequence[int]], int]:
+    """Build the approximate z-order sort key for ``dims``/``width`` keys.
+
+    Interleaves the top (up to) 8 bits of every coordinate via the byte
+    spread table of :mod:`repro.encoding.interleave`.  Keys equal under
+    this code may sort in any relative order; callers must not rely on
+    exact z-order, only on locality.
+    """
+    table = _spread_table(dims)
+    shift = width - 8 if width > 8 else 0
+    top = dims - 1
+
+    def zkey(key: Sequence[int]) -> int:
+        code = 0
+        d = top
+        for v in key:
+            code |= table[(v >> shift) & 0xFF] << d
+            d -= 1
+        return code
+
+    return zkey
+
+
+def _prepare(
+    tree: Any, keys: Iterable[Sequence[int]], want_codes: bool
+) -> Tuple[List[Key], List[int]]:
+    """Validate a batch and (optionally) compute its z-codes, one pass.
+
+    The fast path is a bounds check per key (an OR-accumulator when all
+    dimensions share one width); any violation -- including a
+    non-integer coordinate, which surfaces as a TypeError from the bit
+    operations -- is re-validated through ``tree._check_key`` so the
+    error raised is exactly the sequential API's.
+    """
+    dims = tree._dims
+    width = tree._width
+    widths = tree._widths
+    uniform = widths == (width,) * dims
+    table = _spread_table(dims)
+    shift = width - 8 if width > 8 else 0
+    top = dims - 1
+    checked: List[Key] = []
+    codes: List[int] = []
+    kappend = checked.append
+    cappend = codes.append
+    key: Any = ()
+    try:
+        if uniform and want_codes:
+            for key in keys:
+                if key.__class__ is not tuple:
+                    key = tuple(key)
+                if len(key) != dims:
+                    tree._check_key(key)  # raises the sequential error
+                acc = 0
+                code = 0
+                d = top
+                for v in key:
+                    acc |= v
+                    code |= table[(v >> shift) & 0xFF] << d
+                    d -= 1
+                if acc < 0 or acc >> width:
+                    tree._check_key(key)  # raises the sequential error
+                kappend(key)
+                cappend(code)
+        elif uniform:
+            for key in keys:
+                if key.__class__ is not tuple:
+                    key = tuple(key)
+                if len(key) != dims:
+                    tree._check_key(key)
+                acc = 0
+                for v in key:
+                    acc |= v
+                if acc < 0 or acc >> width:
+                    tree._check_key(key)
+                kappend(key)
+        else:
+            zkey = z_sort_key(dims, width) if want_codes else None
+            for key in keys:
+                if key.__class__ is not tuple:
+                    key = tuple(key)
+                if len(key) != dims:
+                    tree._check_key(key)
+                for v, w in zip(key, widths):
+                    if v < 0 or v >> w:
+                        tree._check_key(key)
+                kappend(key)
+                if zkey is not None:
+                    cappend(zkey(key))
+    except TypeError:
+        tree._check_key(tuple(key))  # raises the sequential error
+        raise  # pragma: no cover - _check_key accepted what we rejected
+    return checked, codes
+
+
+def get_many(
+    tree: Any,
+    keys: Iterable[Sequence[int]],
+    default: Any = None,
+    presorted: bool = False,
+) -> List[Any]:
+    """Batched :meth:`PHTree.get`: one value per key, in input order.
+
+    Missing keys map to ``default``.  Results are identical to
+    ``[tree.get(k, default) for k in keys]``; the batch is internally
+    z-order-sorted so keys sharing a descent path resolve their common
+    nodes once.  Pass ``presorted=True`` when the batch is already in
+    (approximate) z-order to skip the internal sort -- any order stays
+    correct, sorting is purely a locality hint.
+    """
+    checked, codes = _prepare(tree, keys, not presorted)
+    n = len(checked)
+    results = [default] * n
+    root = tree._root
+    if root is None or n == 0:
+        return results
+    if presorted:
+        order: Iterable[int] = range(n)
+    else:
+        order = sorted(range(n), key=codes.__getitem__)
+
+    node_cls = Node
+    # The current root-to-leaf path; each frame caches the node's
+    # prefix-check operands so ascents touch no attributes.
+    path: List[Tuple[Node, int, Key]] = [
+        (root, root.post_len + 1, root.prefix)
+    ]
+    push = path.append
+    pop = path.pop
+    node, shift, prefix = path[0]
+    for i in order:
+        key = checked[i]
+        # Ascend to the deepest stacked node still containing the key
+        # (the root contains every validated key, so this terminates).
+        while True:
+            matches = True
+            for v, pref in zip(key, prefix):
+                if (v ^ pref) >> shift:
+                    matches = False
+                    break
+            if matches:
+                break
+            pop()
+            node, shift, prefix = path[-1]
+        # Descend the levels the previous key did not already resolve.
+        while True:
+            post = shift - 1
+            a = 0
+            for v in key:
+                a = (a << 1) | ((v >> post) & 1)
+            cont = node.container
+            if cont.is_hc:
+                slot = cont._slots[a]
+            else:
+                addrs = cont._addresses
+                p = bisect_left(addrs, a)
+                slot = (
+                    cont._slots[p]
+                    if p < len(addrs) and addrs[p] == a
+                    else None
+                )
+            if slot is None:
+                break
+            if slot.__class__ is node_cls:
+                cshift = slot.post_len + 1
+                cprefix = slot.prefix
+                matches = True
+                for v, pref in zip(key, cprefix):
+                    if (v ^ pref) >> cshift:
+                        matches = False
+                        break
+                if not matches:
+                    break
+                node = slot
+                shift = cshift
+                prefix = cprefix
+                push((node, shift, prefix))
+                continue
+            if slot.key == key:
+                results[i] = slot.value
+            break
+    return results
+
+
+def contains_many(
+    tree: Any, keys: Iterable[Sequence[int]]
+) -> List[bool]:
+    """Batched :meth:`PHTree.contains`: one bool per key, in input
+    order."""
+    missing = _MISSING
+    return [v is not missing for v in get_many(tree, keys, missing)]
+
+
+def query_many(
+    tree: Any,
+    boxes: Iterable[Tuple[Sequence[int], Sequence[int]]],
+    use_masks: bool = True,
+) -> List[List[Tuple[Key, Any]]]:
+    """Batched :meth:`PHTree.query`: one result list per box, in input
+    order.
+
+    Each result list is exactly ``list(tree.query(lo, hi))`` -- same
+    entries, same (z-)order -- but the tree is walked only once for the
+    whole batch, with the set of still-active boxes narrowing on the way
+    down.  ``use_masks`` exists for API symmetry with ``query``; the
+    batched walk always uses masks (results are order-identical either
+    way up to the naive engine's unordered output).
+    """
+    checked: List[Tuple[Key, Key]] = []
+    for lo, hi in boxes:
+        checked.append((tree._check_key(lo), tree._check_key(hi)))
+    results: List[List[Tuple[Key, Any]]] = [[] for _ in checked]
+    root = tree._root
+    if root is None:
+        return results
+    active: List[int] = []
+    for b, (lo, hi) in enumerate(checked):
+        for lo_v, hi_v in zip(lo, hi):
+            if lo_v > hi_v:
+                break
+        else:
+            active.append(b)
+    if active:
+        # Every non-empty box intersects the root (coordinates are
+        # validated into the root's region by _check_key).
+        _query_node(root, active, checked, results, (1 << tree._dims) - 1)
+    return results
+
+
+def _query_node(
+    node: Node,
+    active: List[int],
+    checked: List[Tuple[Key, Key]],
+    results: List[List[Tuple[Key, Any]]],
+    full: int,
+) -> None:
+    """Visit ``node`` for every box in ``active`` (all of which intersect
+    the node's region), appending matches per box in z-order.
+
+    Recursion depth is bounded by the tree depth (<= w <= 64)."""
+    post = node.post_len
+    free = (1 << (post + 1)) - 1
+    prefix = node.prefix
+    node_cls = Node
+    # Per-active-box masks, and their union as the slot iteration window.
+    mls: List[int] = []
+    mhs: List[int] = []
+    union_ml = full
+    union_mh = 0
+    for b in active:
+        box_lo, box_hi = checked[b]
+        ml = mh = 0
+        for nlo, lo, hi in zip(prefix, box_lo, box_hi):
+            nhi = nlo | free
+            if lo < nlo:
+                lo = nlo
+            if hi > nhi:
+                hi = nhi
+            ml = (ml << 1) | ((lo >> post) & 1)
+            mh = (mh << 1) | ((hi >> post) & 1)
+        mls.append(ml)
+        mhs.append(mh)
+        union_ml &= ml
+        union_mh |= mh
+    if union_ml == 0 and union_mh == full:
+        items = node.container.items()
+    else:
+        items = node.container.items_in_mask_range(union_ml, union_mh)
+    for a, slot in items:
+        if slot.__class__ is node_cls:
+            cpost = slot.post_len
+            cfree = (1 << (cpost + 1)) - 1
+            cprefix = slot.prefix
+            descend: List[int] = []
+            flush: List[int] = []
+            for idx, b in enumerate(active):
+                ml = mls[idx]
+                mh = mhs[idx]
+                if (a | ml) != a or (a & mh) != a:
+                    continue
+                box_lo, box_hi = checked[b]
+                inside = True
+                for nlo, lo, hi in zip(cprefix, box_lo, box_hi):
+                    nhi = nlo | cfree
+                    if hi < nlo or lo > nhi:
+                        break
+                    if nlo < lo or nhi > hi:
+                        inside = False
+                else:
+                    (flush if inside else descend).append(b)
+            if descend:
+                # Covered boxes ride along: every entry below passes
+                # their containment check anyway, and a single descent
+                # keeps all result lists in z-order.
+                _query_node(
+                    slot, flush + descend if flush else descend,
+                    checked, results, full,
+                )
+            elif flush:
+                # All interested boxes fully cover the child: flush the
+                # subtree once, unchecked.
+                for pair in iter_subtree(slot):
+                    for b in flush:
+                        results[b].append(pair)
+        else:
+            key = slot.key
+            pair = None
+            for idx, b in enumerate(active):
+                ml = mls[idx]
+                mh = mhs[idx]
+                if (a | ml) != a or (a & mh) != a:
+                    continue
+                box_lo, box_hi = checked[b]
+                for v, lo, hi in zip(key, box_lo, box_hi):
+                    if v < lo or v > hi:
+                        break
+                else:
+                    if pair is None:
+                        pair = (key, slot.value)
+                    results[b].append(pair)

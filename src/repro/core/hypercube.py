@@ -113,9 +113,15 @@ def prefer_hc(
 
 
 class HCContainer:
-    """Flat ``2**k``-slot array: O(1) access by hypercube address."""
+    """Flat ``2**k``-slot array: O(1) access by hypercube address.
 
-    __slots__ = ("_slots", "_count")
+    Occupied addresses are additionally tracked in a set so that
+    operations needing *only the occupied slots* (notably
+    :meth:`single_item`, which runs on every delete-triggered node
+    merge) stay O(occupancy) instead of scanning all ``2**k`` slots.
+    """
+
+    __slots__ = ("_slots", "_count", "_occupied")
 
     is_hc = True
 
@@ -127,6 +133,7 @@ class HCContainer:
             )
         self._slots: List[Any] = [None] * (1 << k)
         self._count = 0
+        self._occupied: set = set()
 
     def __len__(self) -> int:
         return self._count
@@ -148,6 +155,7 @@ class HCContainer:
         self._slots[address] = slot
         if previous is None:
             self._count += 1
+            self._occupied.add(address)
         return previous
 
     def remove(self, address: int) -> Any:
@@ -156,6 +164,7 @@ class HCContainer:
         if previous is not None:
             self._slots[address] = None
             self._count -= 1
+            self._occupied.discard(address)
         return previous
 
     def items(self) -> Iterator[Tuple[int, Any]]:
@@ -183,12 +192,15 @@ class HCContainer:
             address = successor(address, mask_lower, mask_upper)
 
     def single_item(self) -> Tuple[int, Any]:
-        """Return the only occupied slot; requires ``len(self) == 1``."""
+        """Return the only occupied slot; requires ``len(self) == 1``.
+
+        O(1) via the occupied-address set (the seed implementation
+        scanned all ``2**k`` slots, on every delete-triggered merge).
+        """
         if self._count != 1:
             raise ValueError(f"container holds {self._count} slots, not 1")
-        for address, slot in enumerate(self._slots):
-            if slot is not None:
-                return address, slot
+        for address in self._occupied:
+            return address, self._slots[address]
         raise AssertionError("count/slot bookkeeping out of sync")
 
 

@@ -1,0 +1,281 @@
+"""Iterative traversal kernel for the PH-tree hot paths.
+
+The seed implementation of the window query (``range_query.range_iter``)
+kept one *generator object per visited node* on an explicit stack and
+re-entered ``compute_masks`` / ``key_in_box`` / ``successor`` through
+function calls for every node and entry.  In pure Python the per-frame
+generator resume, the ``(address, slot)`` tuple allocation per slot and
+the call overhead dominate the actual bit arithmetic of Section 3.5.
+
+This module replaces that engine with a single flat loop:
+
+- one explicit stack of plain frame tuples, pushed/popped only at node
+  boundaries (never per slot),
+- direct iteration over the container's internal slot arrays -- an
+  address cursor stepped with the paper's successor computation for HC
+  nodes, an index cursor over the sorted table for LHC nodes,
+- the mask computation (``m_L``/``m_U``), the node/box intersection and
+  full-coverage tests fused into one loop over the dimensions, inlined
+  with all bounds hoisted into locals,
+- the 'node lies completely inside the query' fast path of Section 3.5
+  implemented as an unchecked *flush* mode instead of recursion: covered
+  subtrees are walked by the same loop with all filtering disabled,
+- a plain-scan mode for interior nodes whose masks are trivial
+  (``m_L == 0`` and ``m_U == 2**k - 1``, i.e. every slot valid), which
+  skips the successor stepping and the per-address mask check entirely.
+
+The same kernel serves the exact window query, the approximate window
+query (``slack_bits > 0`` relaxes both the subtree-flush granularity and
+the per-entry containment check) and -- through :func:`iter_slots` and
+:func:`iter_subtree` -- the kNN engine's region visits and full-tree
+iteration.  Traversal order is z-order (ascending hypercube address,
+depth first), bit-identical to the seed engine.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.core.node import Node
+
+__all__ = ["iter_slots", "iter_subtree", "range_scan"]
+
+# Frame modes of the flat traversal loop.
+_FLUSH = 0  # node fully covered: no mask stepping, no entry checks
+_MASKED = 1  # mask-guided address iteration, entries checked
+_SCAN = 2  # trivial masks: plain slot scan, entries still checked
+
+
+def iter_slots(container: Any) -> Iterator[Any]:
+    """Yield every occupied slot of a container, in address order.
+
+    Unlike ``container.items()`` this does not materialise an
+    ``(address, slot)`` tuple per slot; it is the shared slot-visit
+    primitive of the kernel, also used by the kNN engine's node
+    expansion.
+    """
+    if container.is_hc:
+        for slot in container._slots:
+            if slot is not None:
+                yield slot
+    else:
+        yield from container._slots
+
+
+def iter_subtree(node: Node) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Yield every entry below ``node`` in z-order, without any checks.
+
+    Iterative replacement for the seed's recursive ``_yield_subtree``:
+    the stack holds plain ``(slots, cursor, limit)`` triples, touched
+    only at node boundaries.
+    """
+    slots = node.container._slots
+    cur = 0
+    limit = len(slots)
+    stack = []
+    node_cls = Node
+    while True:
+        if cur >= limit:
+            if not stack:
+                return
+            slots, cur, limit = stack.pop()
+            continue
+        slot = slots[cur]
+        cur += 1
+        if slot is None:
+            continue
+        if slot.__class__ is node_cls:
+            stack.append((slots, cur, limit))
+            slots = slot.container._slots
+            cur = 0
+            limit = len(slots)
+        else:
+            yield slot.key, slot.value
+
+
+def range_scan(
+    root: Optional[Node],
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int = 0,
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Yield all entries in the inclusive box, in z-order.
+
+    ``slack_bits = 0`` is the exact window query of Section 3.5;
+    ``slack_bits > 0`` is the approximate variant (reference [17]): any
+    node spanning at most ``2**slack_bits`` per dimension is flushed
+    wholesale and entries are accepted within ``2**slack_bits - 1`` of
+    the box, yielding a superset of the exact result.
+    """
+    if root is None:
+        return
+    bmin = box_min if type(box_min) is tuple else tuple(box_min)
+    bmax = box_max if type(box_max) is tuple else tuple(box_max)
+    for lo, hi in zip(bmin, bmax):
+        if lo > hi:
+            return
+    k = len(bmin)
+    full = (1 << k) - 1
+    node_cls = Node
+    if slack_bits > 0:
+        slack = (1 << slack_bits) - 1
+        lo_chk = tuple(v - slack for v in bmin)
+        hi_chk = tuple(v + slack for v in bmax)
+    else:
+        lo_chk = bmin
+        hi_chk = bmax
+
+    # -- classify the root (never flushed, mirroring the seed engine) --
+    post = root.post_len
+    free = (1 << (post + 1)) - 1
+    ml = mh = 0
+    for nlo, lo, hi in zip(root.prefix, bmin, bmax):
+        nhi = nlo | free
+        if hi < nlo or lo > nhi:
+            return
+        if lo < nlo:
+            lo = nlo
+        if hi > nhi:
+            hi = nhi
+        ml = (ml << 1) | ((lo >> post) & 1)
+        mh = (mh << 1) | ((hi >> post) & 1)
+    cont = root.container
+    slots = cont._slots
+    limit = len(slots)
+    if cont.is_hc:
+        addrs = None
+        if ml == 0 and mh == full:
+            mode = _SCAN
+            cur = 0
+        else:
+            mode = _MASKED
+            cur = ml
+    else:
+        addrs = cont._addresses
+        if ml == 0 and mh == full:
+            mode = _SCAN
+            cur = 0
+        else:
+            mode = _MASKED
+            cur = bisect_left(addrs, ml)
+
+    stack = []
+    pop = stack.pop
+    push = stack.append
+
+    while True:
+        # ---- fetch the next occupied slot of the current frame ----
+        if mode == _MASKED:
+            if addrs is None:  # HC: successor-stepped address cursor
+                if cur < 0:
+                    if not stack:
+                        return
+                    slots, addrs, cur, ml, mh, mode, limit = pop()
+                    continue
+                a = cur
+                # Next valid address (paper Section 3.5), or done.
+                cur = -1 if a >= mh else ((((a | ~mh) + 1) & mh) | ml)
+                slot = slots[a]
+                if slot is None:
+                    continue
+            else:  # LHC: index cursor over the sorted address table
+                if cur >= limit:
+                    if not stack:
+                        return
+                    slots, addrs, cur, ml, mh, mode, limit = pop()
+                    continue
+                a = addrs[cur]
+                if a > mh:
+                    if not stack:
+                        return
+                    slots, addrs, cur, ml, mh, mode, limit = pop()
+                    continue
+                slot = slots[cur]
+                cur += 1
+                if (a | ml) != a or (a & mh) != a:
+                    continue
+        else:  # _FLUSH and _SCAN: plain slot scan
+            if cur >= limit:
+                if not stack:
+                    return
+                slots, addrs, cur, ml, mh, mode, limit = pop()
+                continue
+            slot = slots[cur]
+            cur += 1
+            if slot is None:
+                continue
+
+        # ---- process the slot ----
+        if slot.__class__ is node_cls:
+            if mode == _FLUSH:
+                push((slots, addrs, cur, ml, mh, mode, limit))
+                cont = slot.container
+                slots = cont._slots
+                addrs = None
+                cur = 0
+                limit = len(slots)
+                continue
+            # Fused intersection / coverage / mask computation.
+            cpost = slot.post_len
+            cfree = (1 << (cpost + 1)) - 1
+            cml = cmh = 0
+            inside = True
+            hit = True
+            for nlo, lo, hi in zip(slot.prefix, bmin, bmax):
+                nhi = nlo | cfree
+                if hi < nlo or lo > nhi:
+                    hit = False
+                    break
+                if nlo < lo or nhi > hi:
+                    inside = False
+                if lo < nlo:
+                    lo = nlo
+                if hi > nhi:
+                    hi = nhi
+                cml = (cml << 1) | ((lo >> cpost) & 1)
+                cmh = (cmh << 1) | ((hi >> cpost) & 1)
+            if not hit:
+                continue
+            push((slots, addrs, cur, ml, mh, mode, limit))
+            cont = slot.container
+            slots = cont._slots
+            limit = len(slots)
+            if inside or cpost < slack_bits:
+                # Fully covered (or within the approximation slack):
+                # flush the whole subtree with filtering disabled.
+                addrs = None
+                mode = _FLUSH
+                cur = 0
+            elif cont.is_hc:
+                addrs = None
+                if cml == 0 and cmh == full:
+                    mode = _SCAN
+                    cur = 0
+                else:
+                    mode = _MASKED
+                    ml = cml
+                    mh = cmh
+                    cur = cml
+            else:
+                addrs = cont._addresses
+                if cml == 0 and cmh == full:
+                    mode = _SCAN
+                    cur = 0
+                else:
+                    mode = _MASKED
+                    ml = cml
+                    mh = cmh
+                    cur = bisect_left(addrs, cml)
+            continue
+
+        # Entry (postfix).
+        if mode == _FLUSH:
+            yield slot.key, slot.value
+        else:
+            key = slot.key
+            for v, lo, hi in zip(key, lo_chk, hi_chk):
+                if v < lo or v > hi:
+                    break
+            else:
+                yield key, slot.value

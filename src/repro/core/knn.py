@@ -20,6 +20,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
+from repro.core.kernel import iter_slots
 from repro.core.node import Entry, Node
 
 __all__ = [
@@ -87,22 +88,30 @@ def knn_iter(
     lower, upper = root.region()
     heap: list = [(region_distance(lower, upper), next(tiebreak), root)]
     produced = 0
+    push = heapq.heappush
+    node_cls = Node
     while heap:
         dist, _, item = heapq.heappop(heap)
-        if isinstance(item, Node):
-            for _, slot in item.items():
-                if isinstance(slot, Node):
-                    lower, upper = slot.region()
-                    heapq.heappush(
+        if item.__class__ is node_cls:
+            # Region visit: expand the node through the shared traversal
+            # kernel (no (address, slot) tuple per child) and compute
+            # every sub-node's region bounds inline.
+            for slot in iter_slots(item.container):
+                if slot.__class__ is node_cls:
+                    lower = slot.prefix
+                    free = (1 << (slot.post_len + 1)) - 1
+                    push(
                         heap,
                         (
-                            region_distance(lower, upper),
+                            region_distance(
+                                lower, tuple(p | free for p in lower)
+                            ),
                             next(tiebreak),
                             slot,
                         ),
                     )
                 else:
-                    heapq.heappush(
+                    push(
                         heap,
                         (
                             point_distance(slot.key),

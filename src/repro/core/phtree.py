@@ -31,7 +31,9 @@ from typing import (
     Tuple,
 )
 
+from repro.core import batch as batch_mod
 from repro.core import knn as knn_mod
+from repro.core.kernel import iter_subtree
 from repro.core.node import Entry, Node, masked_prefix
 from repro.core.range_query import naive_range_iter, range_iter
 
@@ -68,6 +70,17 @@ class PHTree:
     >>> sorted(key for key, _ in tree.query((0, 0), (3, 15)))
     [(1, 8), (3, 8)]
     """
+
+    # Hot-path object: no instance __dict__ (asserted by the test suite).
+    __slots__ = (
+        "_dims",
+        "_widths",
+        "_width",
+        "_hc_mode",
+        "_hysteresis",
+        "_root",
+        "_size",
+    )
 
     def __init__(
         self,
@@ -282,6 +295,47 @@ class PHTree:
         """Point query (paper Section 3.5): does ``key`` exist?"""
         return self._find_entry(self._check_key(key)) is not None
 
+    def get_many(
+        self,
+        keys: Sequence[Sequence[int]],
+        default: Any = None,
+        presorted: bool = False,
+    ) -> List[Any]:
+        """Batched :meth:`get`: one value per key, in input order.
+
+        Equivalent to ``[self.get(k, default) for k in keys]`` but the
+        batch is validated in one pass, z-order-sorted, and walked with
+        shared descent paths (see :mod:`repro.core.batch`).  Pass
+        ``presorted=True`` for batches already in z-order to skip the
+        internal sort (results are correct under any order).
+
+        >>> tree = PHTree(dims=2, width=4)
+        >>> tree.put((1, 8), "a")
+        >>> tree.get_many([(1, 8), (2, 2)], default="?")
+        ['a', '?']
+        """
+        return batch_mod.get_many(self, keys, default, presorted)
+
+    def contains_many(
+        self, keys: Sequence[Sequence[int]]
+    ) -> List[bool]:
+        """Batched :meth:`contains`: one bool per key, in input order."""
+        return batch_mod.contains_many(self, keys)
+
+    def query_many(
+        self,
+        boxes: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        use_masks: bool = True,
+    ) -> List[List[Tuple[Tuple[int, ...], Any]]]:
+        """Batched :meth:`query`: one materialised result list per
+        ``(box_min, box_max)`` pair, in input order.
+
+        Each list equals ``list(self.query(lo, hi))`` (same entries,
+        same z-order), but the tree is traversed once for the whole
+        batch (see :mod:`repro.core.batch`).
+        """
+        return batch_mod.query_many(self, boxes, use_masks)
+
     def _find_entry(self, key: Tuple[int, ...]) -> Optional[Entry]:
         node = self._root
         while node is not None:
@@ -383,18 +437,8 @@ class PHTree:
     def items(self) -> Iterator[Tuple[Tuple[int, ...], Any]]:
         """Iterate all ``(key, value)`` pairs in z-order."""
         if self._root is None:
-            return
-        stack: List[Iterator[Tuple[int, Any]]] = [self._root.items()]
-        while stack:
-            try:
-                _, slot = next(stack[-1])
-            except StopIteration:
-                stack.pop()
-                continue
-            if isinstance(slot, Node):
-                stack.append(slot.items())
-            else:
-                yield slot.key, slot.value
+            return iter(())
+        return iter_subtree(self._root)
 
     def keys(self) -> Iterator[Tuple[int, ...]]:
         """Iterate all keys in z-order."""

@@ -7,15 +7,23 @@ restrict the visited hypercube addresses to the slots that can possibly
 intersect the query, using the successor computation to skip over invalid
 address ranges in a single operation.
 
-The module also provides :func:`naive_range_iter`, a deliberately
-mask-less traversal used by the ablation benchmark
-(``benchmarks/bench_ablation_masks.py``) to quantify what the masks buy.
+The production engine is the iterative kernel in :mod:`repro.core.kernel`
+(explicit frame stack, inlined masks, allocation-free slot stepping).  Two
+reference engines remain for ablation and the perf trajectory:
+
+- :func:`generator_range_iter` / :func:`generator_approx_range_iter`: the
+  seed implementation (one generator object per visited node), kept as the
+  baseline that ``repro.bench.trajectory`` measures the kernel against,
+- :func:`naive_range_iter`: a deliberately mask-less traversal used by the
+  ablation benchmark (``benchmarks/bench_ablation_masks.py``) to quantify
+  what the masks buy.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Sequence, Tuple
 
+from repro.core.kernel import range_scan
 from repro.core.masks import (
     compute_masks,
     key_in_box,
@@ -23,7 +31,53 @@ from repro.core.masks import (
 )
 from repro.core.node import Entry, Node
 
-__all__ = ["approx_range_iter", "range_iter", "naive_range_iter"]
+__all__ = [
+    "approx_range_iter",
+    "generator_approx_range_iter",
+    "generator_range_iter",
+    "naive_range_iter",
+    "range_iter",
+]
+
+
+def range_iter(
+    root: Optional[Node],
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Yield all ``(key, value)`` pairs within the inclusive box.
+
+    Results are produced in z-order (ascending interleaved bit-string
+    order), which is the node traversal order; output is bit-identical
+    to the reference engines (same entries, same order).
+    """
+    return range_scan(root, box_min, box_max, 0)
+
+
+def approx_range_iter(
+    root: Optional[Node],
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int,
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Approximate range query (reference [17]; paper Section 2 calls it
+    'a desirable future extension').
+
+    Trades accuracy near the query edges for fewer visited nodes: any
+    node whose region spans at most ``2**slack_bits`` per dimension and
+    intersects the query is accepted wholesale, without postfix checks.
+    The result is a superset of the exact result; every extra point lies
+    within ``2**slack_bits - 1`` of the box in each dimension.
+    ``slack_bits=0`` degenerates to the exact query.
+    """
+    if slack_bits < 0:
+        raise ValueError(f"slack_bits must be >= 0, got {slack_bits}")
+    return range_scan(root, box_min, box_max, slack_bits)
+
+
+# ---------------------------------------------------------------------------
+# Reference engines (ablation + perf-trajectory baselines)
+# ---------------------------------------------------------------------------
 
 
 def _node_inside_box(
@@ -51,15 +105,17 @@ def _yield_subtree(node: Node):
             yield slot.key, slot.value
 
 
-def range_iter(
+def generator_range_iter(
     root: Optional[Node],
     box_min: Sequence[int],
     box_max: Sequence[int],
 ) -> Iterator[Tuple[Tuple[int, ...], Any]]:
-    """Yield all ``(key, value)`` pairs within the inclusive box.
+    """The seed window-query engine: a stack of per-node generators.
 
-    Results are produced in z-order (ascending interleaved bit-string
-    order), which is the node traversal order.
+    Functionally identical to :func:`range_iter` (same entries, same
+    order); kept as the baseline the iterative kernel is benchmarked
+    against in ``repro.bench.trajectory``, and as a correctness oracle
+    for the property tests.
     """
     if root is None:
         return
@@ -97,21 +153,16 @@ def range_iter(
                 yield entry.key, entry.value
 
 
-def approx_range_iter(
+def generator_approx_range_iter(
     root: Optional[Node],
     box_min: Sequence[int],
     box_max: Sequence[int],
     slack_bits: int,
 ) -> Iterator[Tuple[Tuple[int, ...], Any]]:
-    """Approximate range query (reference [17]; paper Section 2 calls it
-    'a desirable future extension').
+    """The seed approximate-query engine (see :func:`approx_range_iter`).
 
-    Trades accuracy near the query edges for fewer visited nodes: any
-    node whose region spans at most ``2**slack_bits`` per dimension and
-    intersects the query is accepted wholesale, without postfix checks.
-    The result is a superset of the exact result; every extra point lies
-    within ``2**slack_bits - 1`` of the box in each dimension.
-    ``slack_bits=0`` degenerates to the exact query.
+    Kept as the reference the iterative kernel's approximate mode is
+    property-tested against.
     """
     if slack_bits < 0:
         raise ValueError(f"slack_bits must be >= 0, got {slack_bits}")

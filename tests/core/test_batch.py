@@ -1,0 +1,190 @@
+"""Batch engine correctness: ``get_many``/``contains_many``/``query_many``
+must agree exactly with the sequential API on randomized CUBE/CLUSTER
+data across dimensionalities and both container forks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PHTree
+from repro.core.batch import z_sort_key
+from repro.datasets.cluster import generate_cluster
+from repro.datasets.cube import generate_cube
+
+WIDTH = 16
+
+
+def _int_keys(points, width=WIDTH):
+    scale = 1 << width
+    return [
+        tuple(
+            min(max(int(v * scale), 0), scale - 1) for v in point
+        )
+        for point in points
+    ]
+
+
+def _build(keys, dims, hc_mode):
+    tree = PHTree(dims=dims, width=WIDTH, hc_mode=hc_mode)
+    for i, key in enumerate(keys):
+        tree.put(key, i)
+    return tree
+
+
+def _dataset(kind, n, dims, seed):
+    if kind == "cube":
+        return _int_keys(generate_cube(n, dims, seed=seed))
+    return _int_keys(generate_cluster(n, dims, seed=seed))
+
+
+# dims=14 with forced HC materialises 2**14-slot arrays per node; keep
+# those trees small so the fork stays cheap to exercise.
+def _n_for(dims, hc_mode):
+    return 120 if (dims == 14 and hc_mode == "hc") else 400
+
+
+DIMS = [2, 6, 14]
+HC_MODES = ["hc", "lhc"]
+
+
+class TestGetMany:
+    @pytest.mark.parametrize("dims", DIMS)
+    @pytest.mark.parametrize("hc_mode", HC_MODES)
+    @pytest.mark.parametrize("kind", ["cube", "cluster"])
+    def test_matches_sequential_get(self, dims, hc_mode, kind):
+        rng = random.Random(dims * 7 + (hc_mode == "hc"))
+        n = _n_for(dims, hc_mode)
+        keys = _dataset(kind, n, dims, seed=dims)
+        tree = _build(keys, dims, hc_mode)
+        # Hits, misses, duplicates -- in shuffled (non-z) order.
+        probes = keys + [
+            tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+            for _ in range(n // 2)
+        ]
+        probes += probes[: n // 4]
+        rng.shuffle(probes)
+        expected = [tree.get(k) for k in probes]
+        assert tree.get_many(probes) == expected
+        assert tree.contains_many(probes) == [
+            tree.contains(k) for k in probes
+        ]
+
+    @pytest.mark.parametrize("hc_mode", HC_MODES)
+    def test_presorted_flag(self, hc_mode):
+        keys = _dataset("cube", 300, 3, seed=9)
+        tree = _build(keys, 3, hc_mode)
+        probes = sorted(set(keys), key=z_sort_key(3, WIDTH))
+        expected = [tree.get(k) for k in probes]
+        assert tree.get_many(probes, presorted=True) == expected
+        # presorted is a hint, not a contract: any order stays correct.
+        random.Random(1).shuffle(probes)
+        assert tree.get_many(probes, presorted=True) == [
+            tree.get(k) for k in probes
+        ]
+
+    def test_default_and_empty(self):
+        tree = PHTree(dims=2, width=8)
+        assert tree.get_many([(1, 2), (3, 4)]) == [None, None]
+        assert tree.get_many([(1, 2)], default=-1) == [-1]
+        assert tree.get_many([]) == []
+        tree.put((1, 2), "v")
+        assert tree.get_many([(1, 2), (2, 1)], default=0) == ["v", 0]
+
+    def test_validation_matches_sequential_api(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((1, 2))
+        for bad in [(1,), (1, 2, 3), (256, 0), (-1, 0), ("a", 0)]:
+            try:
+                tree.get(bad)
+            except Exception as exc:
+                seq_type, seq_msg = type(exc), str(exc)
+            else:  # pragma: no cover - every probe above is invalid
+                pytest.fail(f"sequential get accepted {bad!r}")
+            with pytest.raises(seq_type) as info:
+                tree.get_many([(1, 2), bad])
+            assert str(info.value) == seq_msg
+
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_property_random_batches(self, data):
+        keys = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                max_size=50,
+            )
+        )
+        probes = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                max_size=50,
+            )
+        )
+        tree = PHTree(dims=2, width=8)
+        for i, key in enumerate(keys):
+            tree.put(key, i)
+        batch = keys + probes
+        assert tree.get_many(batch) == [tree.get(k) for k in batch]
+
+
+class TestQueryMany:
+    @pytest.mark.parametrize("dims", DIMS)
+    @pytest.mark.parametrize("hc_mode", HC_MODES)
+    @pytest.mark.parametrize("kind", ["cube", "cluster"])
+    def test_matches_sequential_query(self, dims, hc_mode, kind):
+        rng = random.Random(dims * 13 + (hc_mode == "hc"))
+        n = _n_for(dims, hc_mode)
+        keys = _dataset(kind, n, dims, seed=dims + 50)
+        tree = _build(keys, dims, hc_mode)
+        boxes = []
+        for _ in range(12):
+            lo = tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+            hi = tuple(
+                min(v + rng.randrange(1 << 14), (1 << WIDTH) - 1)
+                for v in lo
+            )
+            boxes.append((lo, hi))
+        # A stored key as a point box, and an inverted (empty) box.
+        point = keys[0]
+        boxes.append((point, point))
+        boxes.append((((1 << WIDTH) - 1,) * dims, (0,) * dims))
+        expected = [list(tree.query(lo, hi)) for lo, hi in boxes]
+        # Exact equality: same entries in the same (z-)order per box.
+        assert tree.query_many(boxes) == expected
+
+    def test_full_domain_box(self, small_tree):
+        tree, reference = small_tree
+        top = ((1 << 16) - 1,) * 3
+        (got,) = tree.query_many([((0, 0, 0), top)])
+        assert got == list(tree.query((0, 0, 0), top))
+        assert len(got) == len(reference)
+
+    def test_empty_batch_and_empty_tree(self):
+        tree = PHTree(dims=2, width=8)
+        assert tree.query_many([]) == []
+        assert tree.query_many([((0, 0), (255, 255))]) == [[]]
+
+    def test_overlapping_boxes_share_entries(self):
+        tree = PHTree(dims=2, width=8)
+        for x in range(16):
+            for y in range(16):
+                tree.put((x, y), x * 16 + y)
+        boxes = [
+            ((0, 0), (15, 15)),
+            ((4, 4), (11, 11)),
+            ((4, 4), (11, 11)),
+            ((8, 0), (8, 15)),
+        ]
+        assert tree.query_many(boxes) == [
+            list(tree.query(lo, hi)) for lo, hi in boxes
+        ]
+
+    def test_validation(self):
+        tree = PHTree(dims=2, width=8)
+        with pytest.raises(ValueError):
+            tree.query_many([((0,), (255, 255))])
+        with pytest.raises(ValueError):
+            tree.query_many([((0, 0), (256, 255))])

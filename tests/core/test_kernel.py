@@ -1,0 +1,153 @@
+"""Iterative traversal kernel: ``range_scan`` (behind ``range_iter`` /
+``approx_range_iter``) must be bit-identical -- same entries, same
+order -- to the seed generator-stack engines it replaced, and
+``iter_subtree`` must walk entries in exact z-order."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree
+from repro.core.kernel import iter_slots, iter_subtree
+from repro.core.range_query import (
+    generator_approx_range_iter,
+    generator_range_iter,
+    naive_range_iter,
+    range_iter,
+)
+from repro.datasets.cluster import generate_cluster
+from repro.datasets.cube import generate_cube
+from repro.encoding.interleave import interleave
+
+WIDTH = 16
+
+
+def _trees(kind, n, dims, seed):
+    scale = 1 << WIDTH
+    points = (
+        generate_cube(n, dims, seed=seed)
+        if kind == "cube"
+        else generate_cluster(n, dims, seed=seed)
+    )
+    keys = [
+        tuple(
+            min(max(int(v * scale), 0), scale - 1) for v in point
+        )
+        for point in points
+    ]
+    out = []
+    for hc_mode in ("hc", "lhc"):
+        tree = PHTree(dims=dims, width=WIDTH, hc_mode=hc_mode)
+        for i, key in enumerate(keys):
+            tree.put(key, i)
+        out.append(tree)
+    return out
+
+
+def _boxes(rng, dims, count, extent_bits=14):
+    boxes = []
+    for _ in range(count):
+        lo = tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+        hi = tuple(
+            min(v + rng.randrange(1 << extent_bits), (1 << WIDTH) - 1)
+            for v in lo
+        )
+        boxes.append((lo, hi))
+    return boxes
+
+
+class TestRangeKernelBitIdentity:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 6])
+    @pytest.mark.parametrize("kind", ["cube", "cluster"])
+    def test_matches_generator_engine(self, dims, kind):
+        rng = random.Random(dims * 31)
+        for tree in _trees(kind, 400, dims, seed=dims):
+            root = tree.root
+            for lo, hi in _boxes(rng, dims, 15):
+                assert list(range_iter(root, lo, hi)) == list(
+                    generator_range_iter(root, lo, hi)
+                )
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    @pytest.mark.parametrize("slack", [0, 1, 3, 8, 14])
+    def test_approx_matches_generator_engine(self, dims, slack):
+        rng = random.Random(dims * 37 + slack)
+        for tree in _trees("cluster", 400, dims, seed=dims + 5):
+            root = tree.root
+            for lo, hi in _boxes(rng, dims, 10):
+                got = list(
+                    tree.query_approx(lo, hi, slack_bits=slack)
+                )
+                ref = list(
+                    generator_approx_range_iter(root, lo, hi, slack)
+                )
+                assert got == ref
+
+    @pytest.mark.parametrize("dims", [1, 2, 6])
+    def test_matches_naive_engine_as_set(self, dims):
+        rng = random.Random(dims * 41)
+        (tree, _) = _trees("cube", 300, dims, seed=dims + 9)
+        root = tree.root
+        for lo, hi in _boxes(rng, dims, 10):
+            assert sorted(range_iter(root, lo, hi)) == sorted(
+                naive_range_iter(root, lo, hi)
+            )
+
+    def test_full_domain_box_flushes_everything(self, small_tree):
+        tree, reference = small_tree
+        lo = (0, 0, 0)
+        hi = ((1 << 16) - 1,) * 3
+        got = list(range_iter(tree.root, lo, hi))
+        assert got == list(generator_range_iter(tree.root, lo, hi))
+        assert len(got) == len(reference)
+
+    def test_empty_and_single_entry(self):
+        tree = PHTree(dims=2, width=8)
+        assert list(tree.query((0, 0), (255, 255))) == []
+        tree.put((7, 9), "v")
+        assert list(tree.query((0, 0), (255, 255))) == [((7, 9), "v")]
+        assert list(tree.query((8, 0), (255, 255))) == []
+
+    def test_kernel_is_lazy(self, small_tree):
+        tree, _ = small_tree
+        it = range_iter(tree.root, (0, 0, 0), ((1 << 16) - 1,) * 3)
+        assert iter(it) is it
+        next(it)
+
+    def test_approx_rejects_negative_slack_eagerly(self, small_tree):
+        tree, _ = small_tree
+        with pytest.raises(ValueError):
+            tree.query_approx((0, 0, 0), (9, 9, 9), slack_bits=-1)
+
+
+class TestIterSubtree:
+    @pytest.mark.parametrize("hc_mode", ["hc", "lhc"])
+    def test_items_in_exact_z_order(self, hc_mode):
+        rng = random.Random(17)
+        tree = PHTree(dims=3, width=WIDTH, hc_mode=hc_mode)
+        reference = {}
+        for _ in range(500):
+            key = tuple(rng.randrange(1 << WIDTH) for _ in range(3))
+            value = rng.randrange(1000)
+            tree.put(key, value)
+            reference[key] = value
+        got = list(iter_subtree(tree.root))
+        assert dict(got) == reference
+        codes = [interleave(key, WIDTH) for key, _ in got]
+        assert codes == sorted(codes)
+
+    def test_tree_items_uses_subtree_order(self, small_tree):
+        tree, reference = small_tree
+        got = list(tree.items())
+        assert dict(got) == reference
+        codes = [interleave(key, 16) for key, _ in got]
+        assert codes == sorted(codes)
+
+    def test_iter_slots_yields_all_occupied(self, small_tree):
+        tree, _ = small_tree
+        container = tree.root.container
+        assert list(iter_slots(container)) == [
+            slot for _, slot in container.items()
+        ]

@@ -1,0 +1,61 @@
+"""``__slots__`` audit: no core hot-path object may carry a per-instance
+``__dict__`` (the paper's pitch is space efficiency; an attribute dict
+per node/entry/container would dominate the size model of Section 3.6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PHTree
+from repro.core.hypercube import HCContainer, LHCContainer
+from repro.core.node import Entry, Node
+
+
+def _instances():
+    # (0,0) and (3,3) share a root slot (sub-node); (255,255) stays a
+    # direct Entry -- so the root container holds both slot kinds.
+    keys = [(0, 0), (3, 3), (255, 255)]
+    tree = PHTree(dims=2, width=8, hc_mode="lhc")
+    hc_tree = PHTree(dims=2, width=8, hc_mode="hc")
+    for key in keys:
+        tree.put(key)
+        hc_tree.put(key)
+    root = tree.root
+    slots = [slot for _, slot in root.container.items()]
+    entry = next(s for s in slots if s.__class__ is Entry)
+    sub = next(s for s in slots if s.__class__ is Node)
+    return [
+        ("PHTree", tree),
+        ("Node", root),
+        ("SubNode", sub),
+        ("Entry", entry),
+        ("LHCContainer", root.container),
+        ("HCContainer", hc_tree.root.container),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,obj", _instances(), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_no_instance_dict(name, obj):
+    assert not hasattr(obj, "__dict__"), (
+        f"{name} instances carry a __dict__; add the attribute to "
+        f"__slots__ instead"
+    )
+
+
+@pytest.mark.parametrize(
+    "cls", [PHTree, Node, Entry, HCContainer, LHCContainer]
+)
+def test_slots_declared_on_class(cls):
+    assert "__slots__" in cls.__dict__
+
+
+def test_hc_container_is_lhc_container_slotted_everywhere():
+    # Slots are only airtight if every class in the MRO is slotted.
+    for cls in (PHTree, Node, Entry, HCContainer, LHCContainer):
+        for base in cls.__mro__[:-1]:  # skip object
+            assert "__slots__" in base.__dict__, (
+                f"{cls.__name__} inherits unslotted base {base.__name__}"
+            )
