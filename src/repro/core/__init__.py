@@ -11,7 +11,7 @@ Public entry points:
 - :mod:`repro.core.serialize` -- per-node bit-stream serialisation.
 """
 
-from repro.core.bulk import bulk_load
+from repro.core.bulk import bulk_load, bulk_load_sorted
 from repro.core.concurrent import SynchronizedPHTree
 from repro.core.multimap import PHTreeMultiMap
 from repro.core.frozen import FrozenPHTree, freeze
@@ -29,6 +29,7 @@ __all__ = [
     "SynchronizedPHTree",
     "TreeStats",
     "bulk_load",
+    "bulk_load_sorted",
     "collect_stats",
     "freeze",
 ]

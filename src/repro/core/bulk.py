@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 from repro.core.node import Entry, Node, masked_prefix
 from repro.core.phtree import PHTree
 
-__all__ = ["bulk_load"]
+__all__ = ["bulk_load", "bulk_load_sorted"]
 
 Key = Tuple[int, ...]
 
@@ -50,8 +50,57 @@ def bulk_load(
     items = sorted(
         deduped.items(), key=lambda kv: _z_code(kv[0], w)
     )
-    root = Node(post_len=w - 1, infix_len=0, prefix=(0,) * dims)
-    _fill_node(root, items, 0, len(items), dims, tree)
+    return _build_from_run(tree, items)
+
+
+def bulk_load_sorted(
+    items: "List[Tuple[Key, Any]]",
+    dims: int,
+    width: "int | Sequence[int]" = 64,
+    hc_mode: str = "auto",
+    validate: bool = True,
+) -> PHTree:
+    """Build a PH-tree from an already z-sorted run of unique entries.
+
+    ``items`` must be a list of ``(key, value)`` pairs whose keys are
+    tuples, pairwise distinct, and ascending in interleaved (z-order)
+    comparison -- exactly what one contiguous slice of a globally
+    z-sorted batch is.  This is the entry point the sharded builder
+    uses: it sorts the whole key set once, cuts it into per-shard runs
+    at z-prefix boundaries, and hands each run here without re-sorting.
+
+    With ``validate=True`` the run's keys are bounds-checked and the
+    z-ordering is verified (O(n) interleavings); trusted callers pass
+    ``validate=False`` to skip both.
+
+    >>> run = [((1, 2), "a"), ((3, 4), "b")]
+    >>> bulk_load_sorted(run, dims=2, width=8).get((3, 4))
+    'b'
+    """
+    tree = PHTree(dims=dims, width=width, hc_mode=hc_mode)
+    if validate:
+        previous = -1
+        for key, _ in items:
+            code = _z_code(tree._check_key(key), tree.width)
+            if code <= previous:
+                raise ValueError(
+                    "bulk_load_sorted needs strictly ascending unique "
+                    f"z-order keys; violated at {key}"
+                )
+            previous = code
+    if not items:
+        return tree
+    return _build_from_run(tree, items)
+
+
+def _build_from_run(
+    tree: PHTree, items: "List[Tuple[Key, Any]]"
+) -> PHTree:
+    """Fill ``tree`` from a z-sorted, deduplicated run of entries."""
+    root = Node(
+        post_len=tree.width - 1, infix_len=0, prefix=(0,) * tree.dims
+    )
+    _fill_node(root, items, 0, len(items), tree.dims, tree)
     tree._root = root
     tree._size = len(items)
     return tree

@@ -17,37 +17,104 @@ correctness.
 from __future__ import annotations
 
 import threading
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 __all__ = ["ReadWriteLock", "SynchronizedPHTree"]
 
 
 class ReadWriteLock:
-    """A writer-preferring reader/writer lock.
+    """A writer-preferring reader/writer lock with bounded writer batching
+    and re-entrant read acquisition.
+
+    Writer preference keeps updates from starving behind a stream of
+    readers: once a writer waits, newly arriving reader *threads* queue
+    behind it.  Plain writer preference has the dual failure mode --
+    under sustained write load readers never run -- so preference is
+    *bounded*: after ``max_writer_batch`` consecutive writers were
+    admitted while readers waited, the waiting reader cohort gets a turn
+    before the next writer.
+
+    Read acquisition is re-entrant per thread: a thread already holding
+    the lock in shared mode may re-acquire it freely (the nested
+    acquisition only bumps a thread-local depth counter), so a reader
+    calling back into locked read APIs cannot deadlock against a queued
+    writer.  Write acquisition is *not* re-entrant, and lock-order
+    violations that would self-deadlock (read -> write upgrade, write ->
+    read downgrade, write -> write) raise :class:`RuntimeError` instead
+    of hanging.
 
     >>> lock = ReadWriteLock()
     >>> with lock.read():
-    ...     pass
+    ...     with lock.read():  # re-entrant: never deadlocks
+    ...         pass
     >>> with lock.write():
     ...     pass
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_writer_batch: int = 8) -> None:
+        if max_writer_batch < 1:
+            raise ValueError(
+                f"max_writer_batch must be >= 1, got {max_writer_batch}"
+            )
         self._mutex = threading.Lock()
         self._readers_done = threading.Condition(self._mutex)
         self._active_readers = 0
         self._writer_active = False
+        self._writer_thread: Optional[int] = None
         self._writers_waiting = 0
+        self._readers_waiting = 0
+        # Consecutive writers admitted while readers were waiting; when it
+        # reaches the bound, the waiting reader cohort is released.
+        self._writer_batch = 0
+        self._max_writer_batch = max_writer_batch
+        self._readers_turn = False
+        self._local = threading.local()
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
 
     def acquire_read(self) -> None:
-        """Enter shared mode; blocks while a writer is active/waiting."""
+        """Enter shared mode; blocks while a writer is active/waiting
+        (unless this thread already holds shared mode -- re-entrant)."""
+        if self._read_depth():
+            self._local.depth += 1
+            return
+        if self._writer_thread == threading.get_ident():
+            raise RuntimeError(
+                "cannot acquire the read lock while holding the write "
+                "lock (downgrade is not supported)"
+            )
         with self._mutex:
-            while self._writer_active or self._writers_waiting:
-                self._readers_done.wait()
+            self._readers_waiting += 1
+            try:
+                while self._writer_active or (
+                    self._writers_waiting and not self._readers_turn
+                ):
+                    self._readers_done.wait()
+            except BaseException:
+                # Interrupted wait: leave the cohort without wedging it.
+                self._readers_waiting -= 1
+                if self._readers_turn and self._readers_waiting == 0:
+                    self._readers_turn = False
+                    self._readers_done.notify_all()
+                raise
+            self._readers_waiting -= 1
             self._active_readers += 1
+            self._writer_batch = 0
+            if self._readers_turn and self._readers_waiting == 0:
+                # The whole waiting cohort is in; writers may queue again.
+                self._readers_turn = False
+        self._local.depth = 1
 
     def release_read(self) -> None:
-        """Leave shared mode."""
+        """Leave shared mode (outermost release wakes writers)."""
+        depth = self._read_depth()
+        if depth == 0:
+            raise RuntimeError("release_read without acquire_read")
+        if depth > 1:
+            self._local.depth = depth - 1
+            return
+        self._local.depth = 0
         with self._mutex:
             self._active_readers -= 1
             if self._active_readers == 0:
@@ -55,17 +122,41 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         """Enter exclusive mode; blocks until all readers leave."""
+        me = threading.get_ident()
+        if self._writer_thread == me:
+            raise RuntimeError("the write lock is not re-entrant")
+        if self._read_depth():
+            raise RuntimeError(
+                "cannot acquire the write lock while holding the read "
+                "lock (upgrade is not supported)"
+            )
         with self._mutex:
             self._writers_waiting += 1
-            while self._writer_active or self._active_readers:
-                self._readers_done.wait()
-            self._writers_waiting -= 1
+            try:
+                while (
+                    self._writer_active
+                    or self._active_readers
+                    or self._readers_turn
+                ):
+                    self._readers_done.wait()
+            finally:
+                self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_thread = me
 
     def release_write(self) -> None:
         """Leave exclusive mode and wake waiting readers/writers."""
         with self._mutex:
             self._writer_active = False
+            self._writer_thread = None
+            if self._readers_waiting:
+                # One more writer went by with readers queued; at the
+                # bound, hand the next turn to the reader cohort.
+                self._writer_batch += 1
+                if self._writer_batch >= self._max_writer_batch:
+                    self._readers_turn = True
+            else:
+                self._writer_batch = 0
             self._readers_done.notify_all()
 
     def read(self) -> "_Guard":

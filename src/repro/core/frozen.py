@@ -94,7 +94,15 @@ class FrozenPHTree:
 
     Supports point queries, window queries and iteration with the exact
     semantics of the live tree it was frozen from.  The whole structure
-    is the byte string: ``memory_bytes()`` is ``len(data)``.
+    is the byte string: ``nbytes`` is the stream's exact length.
+
+    ``data`` may be any object exposing the buffer protocol -- ``bytes``,
+    ``bytearray``, ``memoryview``, ``mmap`` or a
+    ``multiprocessing.shared_memory.SharedMemory.buf`` -- and non-bytes
+    buffers are attached *zero-copy*: the tree keeps a ``memoryview`` and
+    decodes bits straight out of the caller's storage.  A buffer larger
+    than the frozen stream (e.g. a page-rounded shared-memory segment)
+    is fine; the header records the exact payload length.
 
     >>> tree = PHTree(dims=2, width=8)
     >>> tree.put((3, 200), None)
@@ -103,12 +111,18 @@ class FrozenPHTree:
     True
     >>> len(frozen)
     1
+    >>> shared = FrozenPHTree(memoryview(freeze(tree) + b"slack"))
+    >>> shared.contains((3, 200)) and shared.nbytes == frozen.nbytes
+    True
     """
 
     def __init__(
-        self, data: bytes, value_codec: Any = NoneValueCodec
+        self, data: "bytes | bytearray | memoryview", value_codec: Any = NoneValueCodec
     ) -> None:
-        if data[: len(_MAGIC)] != _MAGIC:
+        if not isinstance(data, bytes):
+            # Zero-copy attach: flatten to unsigned bytes, never copy.
+            data = memoryview(data).cast("B")
+        if bytes(data[: len(_MAGIC)]) != _MAGIC:
             raise ValueError("not a frozen PH-tree (bad magic)")
         offset = len(_MAGIC)
         if len(data) < offset + struct.calcsize(">HHQQ"):
@@ -117,8 +131,11 @@ class FrozenPHTree:
             struct.unpack_from(">HHQQ", data, offset)
         )
         offset += struct.calcsize(">HHQQ")
+        # The exact stream length; the buffer may be padded beyond it.
+        self._nbytes = offset + (bit_length + 7) // 8
+        if len(data) < self._nbytes:
+            raise ValueError("truncated frozen PH-tree node stream")
         self._reader = BitReader(data[offset:], bit_length)
-        self._data_len = len(data)
         self._codec = value_codec
 
     # -- basics --------------------------------------------------------------
@@ -136,9 +153,15 @@ class FrozenPHTree:
     def __len__(self) -> int:
         return self._size
 
+    @property
+    def nbytes(self) -> int:
+        """Exact frozen-stream size in bytes (header included) --
+        snapshot accounting without copying the buffer."""
+        return self._nbytes
+
     def memory_bytes(self) -> int:
-        """Exactly the byte string's length -- the point of freezing."""
-        return self._data_len
+        """Exactly the frozen stream's length -- the point of freezing."""
+        return self._nbytes
 
     # -- node parsing ----------------------------------------------------------
 

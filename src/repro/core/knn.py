@@ -25,12 +25,24 @@ from repro.core.node import Entry, Node
 
 __all__ = [
     "knn_iter",
+    "morton_tiebreak",
     "squared_euclidean_int",
     "squared_euclidean_region_int",
 ]
 
 PointDistance = Callable[[Sequence[int]], Any]
 RegionDistance = Callable[[Sequence[int], Sequence[int]], Any]
+
+
+def morton_tiebreak(width: int) -> Callable[[Sequence[int]], int]:
+    """The standard ``z_key`` for :func:`knn_iter`: the full Morton code
+    of a ``width``-bit key (dimension 0 most significant)."""
+    from repro.encoding.interleave import interleave
+
+    def z_of(key: Sequence[int]) -> int:
+        return interleave(key, width)
+
+    return z_of
 
 
 def squared_euclidean_int(
@@ -73,6 +85,7 @@ def knn_iter(
     n: int,
     point_distance: PointDistance,
     region_distance: RegionDistance,
+    z_key: Optional[Callable[[Sequence[int]], int]] = None,
 ) -> Iterator[Tuple[Any, Tuple[int, ...], Any]]:
     """Yield up to ``n`` entries as ``(distance, key, value)``, nearest
     first.
@@ -81,17 +94,30 @@ def knn_iter(
     ``region_distance(lower, upper)`` must return a lower bound of the
     distance to any point in the box ``[lower, upper]``.  Both must be
     mutually comparable and monotone for the search to be exact.
+
+    ``z_key`` (a key -> Morton code function) fixes the order of
+    equidistant results: with it, ties are yielded in z-order, making the
+    output a pure function of the key set -- the property the sharded
+    tree's merge relies on.  A node's tie rank is the z-code of its
+    region's lower corner, which is the minimum z-code inside the region,
+    so the heap invariant (a node sorts no later than anything beneath
+    it) holds for the composite ``(distance, z)`` key as well.  Without
+    ``z_key``, ties fall back to discovery order.
     """
     if n <= 0 or root is None:
         return
     tiebreak = itertools.count()
+    if z_key is None:
+        z_key = lambda _key: 0  # noqa: E731 - ties fall to the counter
     lower, upper = root.region()
-    heap: list = [(region_distance(lower, upper), next(tiebreak), root)]
+    heap: list = [
+        (region_distance(lower, upper), z_key(lower), next(tiebreak), root)
+    ]
     produced = 0
     push = heapq.heappush
     node_cls = Node
     while heap:
-        dist, _, item = heapq.heappop(heap)
+        dist, _, _, item = heapq.heappop(heap)
         if item.__class__ is node_cls:
             # Region visit: expand the node through the shared traversal
             # kernel (no (address, slot) tuple per child) and compute
@@ -106,6 +132,7 @@ def knn_iter(
                             region_distance(
                                 lower, tuple(p | free for p in lower)
                             ),
+                            z_key(lower),
                             next(tiebreak),
                             slot,
                         ),
@@ -115,6 +142,7 @@ def knn_iter(
                         heap,
                         (
                             point_distance(slot.key),
+                            z_key(slot.key),
                             next(tiebreak),
                             slot,
                         ),

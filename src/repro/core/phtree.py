@@ -501,7 +501,9 @@ class PHTree:
         self, key: Sequence[int], n: int = 1
     ) -> List[Tuple[Tuple[int, ...], Any]]:
         """Return the ``n`` nearest entries to ``key`` by Euclidean
-        distance in integer key space, nearest first.
+        distance in integer key space, nearest first; equidistant
+        entries come in z-order (so the result is a pure function of
+        the stored key set).
         """
         key = self._check_key(key)
         return [
@@ -511,6 +513,7 @@ class PHTree:
                 n,
                 knn_mod.squared_euclidean_int(key),
                 knn_mod.squared_euclidean_region_int(key),
+                knn_mod.morton_tiebreak(self._width),
             )
         ]
 
@@ -525,6 +528,7 @@ class PHTree:
             len(self),
             knn_mod.squared_euclidean_int(key),
             knn_mod.squared_euclidean_region_int(key),
+            knn_mod.morton_tiebreak(self._width),
         ):
             yield found_key, value
 

@@ -196,7 +196,11 @@ class PHTreeF:
         return [
             (decode_point(found_key), value)
             for _, found_key, value in knn_mod.knn_iter(
-                self._tree.root, n, point_distance, region_distance
+                self._tree.root,
+                n,
+                point_distance,
+                region_distance,
+                knn_mod.morton_tiebreak(64),
             )
         ]
 

@@ -1,0 +1,280 @@
+"""Process-pool query fan-out over shared-memory snapshots.
+
+CPython's GIL serialises the pure-Python tree traversal, so scaling
+reads past one core means *processes* -- and shipping a live pointer
+tree to a process is exactly the copy this layer exists to avoid.
+Instead, every shard is published as a :func:`repro.core.frozen.freeze`
+byte stream inside a :class:`multiprocessing.shared_memory.SharedMemory`
+segment.  Workers attach the segment and wrap it in a
+:class:`~repro.core.frozen.FrozenPHTree` *zero-copy* (the frozen reader
+decodes bits straight out of the shared mapping), so the per-query cost
+in a worker is O(traversal), not O(tree).
+
+Staleness protocol: the owning :class:`~repro.parallel.sharded.ShardedPHTree`
+bumps a per-shard generation counter under the shard's write lock on
+every mutation.  A snapshot records the generation it was frozen at;
+:meth:`SnapshotPool.refresh` republishes exactly the shards whose
+counter moved (lazily, before a fan-out -- writes never block on
+snapshot maintenance).  Every publication gets a fresh segment name, so
+a worker can never confuse generations; superseded segments are
+unlinked by the parent and vanish once the last attached worker evicts
+them from its bounded LRU.
+"""
+
+from __future__ import annotations
+
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.frozen import FrozenPHTree, freeze
+
+__all__ = ["SnapshotPool"]
+
+Key = Tuple[int, ...]
+
+# ---------------------------------------------------------------------------
+# Worker side: a bounded LRU of attached snapshots, keyed by segment name.
+# Segment names are unique per publication, so a cache hit is always the
+# right generation.
+
+_ATTACH_LRU_SIZE = 16
+_attached: "OrderedDict[str, Tuple[shared_memory.SharedMemory, FrozenPHTree]]" = (
+    OrderedDict()
+)
+
+
+def _attach(name: str, value_codec: Any) -> FrozenPHTree:
+    """Attach (or re-use) the snapshot segment ``name`` in this worker."""
+    cached = _attached.get(name)
+    if cached is not None:
+        _attached.move_to_end(name)
+        return cached[1]
+    segment = shared_memory.SharedMemory(name=name)
+    frozen = FrozenPHTree(segment.buf, value_codec)
+    _attached[name] = (segment, frozen)
+    while len(_attached) > _ATTACH_LRU_SIZE:
+        _, (old_segment, old_frozen) = _attached.popitem(last=False)
+        del old_frozen  # drop the memoryview before closing the mapping
+        old_segment.close()
+    return frozen
+
+
+def _worker_window(
+    name: str, value_codec: Any, box_min: Key, box_max: Key
+) -> List[Tuple[Key, Any]]:
+    """One shard's window query, straight off the shared bytes."""
+    return list(_attach(name, value_codec).query(box_min, box_max))
+
+
+def _worker_query_many(
+    name: str,
+    value_codec: Any,
+    boxes: List[Tuple[Key, Key]],
+) -> List[List[Tuple[Key, Any]]]:
+    """One shard's slice of a batched window query."""
+    frozen = _attach(name, value_codec)
+    return [list(frozen.query(lo, hi)) for lo, hi in boxes]
+
+
+def _worker_knn(
+    name: str, value_codec: Any, key: Key, n: int
+) -> List[Tuple[Key, Any]]:
+    """One shard's k-nearest candidates (merged by the parent)."""
+    return _attach(name, value_codec).knn(key, n)
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+
+
+class _Snapshot:
+    """One published shard snapshot: segment + frozen generation."""
+
+    __slots__ = ("segment", "generation", "nbytes")
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        generation: int,
+        nbytes: int,
+    ) -> None:
+        self.segment = segment
+        self.generation = generation
+        self.nbytes = nbytes
+
+
+class SnapshotPool:
+    """Publishes a sharded tree's shards as shared-memory snapshots and
+    fans queries out over a process pool.
+
+    The pool is owned by a :class:`~repro.parallel.sharded.ShardedPHTree`
+    and is not part of the public API surface; use the tree's ``query`` /
+    ``knn`` / ``query_many`` with ``workers > 0``.
+    """
+
+    def __init__(
+        self,
+        sharded: Any,
+        workers: int,
+        value_codec: Any,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._sharded = sharded
+        self._workers = workers
+        self._codec = value_codec
+        self._snapshots: List[Optional[_Snapshot]] = [
+            None for _ in range(sharded.n_shards)
+        ]
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        """Pool size."""
+        return self._workers
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("SnapshotPool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        return self._executor
+
+    # -- publication ---------------------------------------------------------
+
+    def _publish(self, shard: int) -> _Snapshot:
+        """Freeze shard ``shard`` under its read lock into a fresh
+        segment (called only when the generation counter moved)."""
+        locked = self._sharded._shards[shard]
+        with locked.lock.read():
+            generation = self._sharded._generations[shard]
+            blob = freeze(locked.unsafe_tree, self._codec)
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, len(blob)),
+            name=f"phx{uuid.uuid4().hex[:16]}",
+        )
+        segment.buf[: len(blob)] = blob
+        return _Snapshot(segment, generation, len(blob))
+
+    def refresh(self) -> int:
+        """Republish every shard whose generation counter moved since
+        its snapshot was frozen; returns how many were republished."""
+        if self._closed:
+            raise RuntimeError("SnapshotPool is closed")
+        republished = 0
+        for shard in range(len(self._snapshots)):
+            snapshot = self._snapshots[shard]
+            if (
+                snapshot is not None
+                and snapshot.generation
+                == self._sharded._generations[shard]
+            ):
+                continue
+            fresh = self._publish(shard)
+            self._snapshots[shard] = fresh
+            republished += 1
+            if snapshot is not None:
+                self._discard(snapshot)
+        return republished
+
+    @staticmethod
+    def _discard(snapshot: _Snapshot) -> None:
+        """Unlink a superseded segment (attached workers keep their
+        mapping alive until LRU eviction)."""
+        try:
+            snapshot.segment.close()
+            snapshot.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def snapshot_bytes(self) -> int:
+        """Total bytes currently published across all shard snapshots."""
+        return sum(s.nbytes for s in self._snapshots if s is not None)
+
+    # -- fan-out -------------------------------------------------------------
+
+    def _names(self, shards: Sequence[int]) -> List[str]:
+        return [self._snapshots[s].segment.name for s in shards]
+
+    def query(
+        self, box_min: Key, box_max: Key, shards: Sequence[int]
+    ) -> List[Tuple[Key, Any]]:
+        """Window query fanned out over ``shards``; results arrive
+        merged in z-order (= shard index order concatenation)."""
+        self.refresh()
+        pool = self._pool()
+        futures = [
+            pool.submit(_worker_window, name, self._codec, box_min, box_max)
+            for name in self._names(shards)
+        ]
+        merged: List[Tuple[Key, Any]] = []
+        for future in futures:
+            merged.extend(future.result())
+        return merged
+
+    def query_many(
+        self,
+        per_shard: "Dict[int, List[int]]",
+        boxes: List[Tuple[Key, Key]],
+        n_boxes: int,
+    ) -> List[List[Tuple[Key, Any]]]:
+        """Batched window queries: ``per_shard`` maps shard -> indices
+        into ``boxes`` that intersect it.  Per-box outputs concatenate
+        shard results in shard order, which is z-order."""
+        self.refresh()
+        pool = self._pool()
+        ordered = sorted(per_shard.items())
+        futures = [
+            (
+                indices,
+                pool.submit(
+                    _worker_query_many,
+                    self._snapshots[shard].segment.name,
+                    self._codec,
+                    [boxes[i] for i in indices],
+                ),
+            )
+            for shard, indices in ordered
+        ]
+        results: List[List[Tuple[Key, Any]]] = [[] for _ in range(n_boxes)]
+        for indices, future in futures:
+            for index, part in zip(indices, future.result()):
+                results[index].extend(part)
+        return results
+
+    def knn(self, key: Key, n: int) -> List[List[Tuple[Key, Any]]]:
+        """Per-shard k-nearest candidate lists (every shard queried; the
+        owning tree merges by ``(distance, z-code)``)."""
+        self.refresh()
+        pool = self._pool()
+        futures = [
+            pool.submit(_worker_knn, name, self._codec, key, n)
+            for name in self._names(range(len(self._snapshots)))
+        ]
+        return [future.result() for future in futures]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every published segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for snapshot in self._snapshots:
+            if snapshot is not None:
+                self._discard(snapshot)
+        self._snapshots = [None for _ in self._snapshots]
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,182 @@
+"""Z-prefix shard routing: cutting the key space into 2^b z-order runs.
+
+The PH-tree's layout is fully determined by its key set (paper Section
+3), so the tree over any key set equals the disjoint union of trees over
+any partition of that set -- and the partition by the *top bits of the
+Morton code* is the one that keeps every global operation cheap:
+
+- each shard's key set occupies one contiguous z-order interval, so a
+  globally z-sorted batch splits into per-shard runs by a linear scan
+  (bulk build never re-sorts),
+- each shard's region is an axis-aligned box (the top ``q`` or ``q + 1``
+  bits of every coordinate are fixed, the rest are free), so window
+  queries route by plain box intersection,
+- shard index order *is* z-order, so per-shard query results concatenate
+  into exactly the order the unsharded tree would produce.
+
+The router is pure arithmetic: it owns no trees and no locks, only the
+mapping ``key -> shard`` (via the byte-table bit spreading of
+:func:`repro.encoding.interleave.spread`) and the inverse geometry
+``shard -> bounding box``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from repro.encoding.interleave import spread
+
+__all__ = ["ZShardRouter"]
+
+Key = Tuple[int, ...]
+
+
+class ZShardRouter:
+    """Routes ``width``-bit ``dims``-dimensional keys to ``2^b`` shards
+    by the top ``b`` bits of their Morton code.
+
+    >>> router = ZShardRouter(dims=2, width=8, shards=4)
+    >>> router.shard_of((0, 0)), router.shard_of((255, 255))
+    (0, 3)
+    >>> router.bounds(2)
+    ((128, 0), (255, 127))
+    >>> router.shards_for_box((0, 0), (255, 0))
+    [0, 2]
+    """
+
+    __slots__ = ("_dims", "_width", "_shards", "_bits", "_nlayers", "_bounds")
+
+    def __init__(self, dims: int, width: int, shards: int) -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if shards < 1 or shards & (shards - 1):
+            raise ValueError(
+                f"shard count must be a power of two >= 1, got {shards}"
+            )
+        bits = shards.bit_length() - 1
+        if bits > dims * width:
+            raise ValueError(
+                f"{shards} shards need {bits} z-prefix bits; a "
+                f"{dims}x{width}-bit key space only has {dims * width}"
+            )
+        self._dims = dims
+        self._width = width
+        self._shards = shards
+        self._bits = bits
+        # Bit layers of the z-code the shard key spans (the last one may
+        # be partial: only dimensions 0..r-1 contribute).
+        self._nlayers = -(-bits // dims) if bits else 0
+        self._bounds: List[Tuple[Key, Key]] = [
+            self._compute_bounds(s) for s in range(shards)
+        ]
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions ``k``."""
+        return self._dims
+
+    @property
+    def width(self) -> int:
+        """Bit width ``w`` of each coordinate."""
+        return self._width
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (a power of two)."""
+        return self._shards
+
+    @property
+    def bits(self) -> int:
+        """Number of top z-order bits forming the shard key."""
+        return self._bits
+
+    # -- key -> shard -------------------------------------------------------
+
+    def shard_of(self, key: Sequence[int]) -> int:
+        """The shard owning ``key``: its top ``bits`` Morton-code bits.
+
+        Only the top ``nlayers`` bit layers are interleaved (via the
+        byte spread table), never the full code.
+        """
+        bits = self._bits
+        if not bits:
+            return 0
+        k = self._dims
+        nlayers = self._nlayers
+        drop = self._width - nlayers
+        code = 0
+        shift = k - 1
+        for value in key:
+            top = value >> drop
+            if top:
+                code |= spread(top, k, nlayers) << shift
+            shift -= 1
+        return code >> (k * nlayers - bits)
+
+    # -- shard -> geometry ----------------------------------------------------
+
+    def _compute_bounds(self, shard: int) -> Tuple[Key, Key]:
+        """The shard's region as an inclusive coordinate box."""
+        k = self._dims
+        width = self._width
+        bits = self._bits
+        q, r = divmod(bits, k)
+        fixed = [0] * k
+        n_fixed = [q + 1 if d < r else q for d in range(k)]
+        pos = bits
+        for layer in range(self._nlayers):
+            for d in range(k if layer < q else r):
+                pos -= 1
+                fixed[d] = (fixed[d] << 1) | ((shard >> pos) & 1)
+        lower = tuple(
+            fixed[d] << (width - n_fixed[d]) if n_fixed[d] else 0
+            for d in range(k)
+        )
+        upper = tuple(
+            lo | ((1 << (width - n_fixed[d])) - 1)
+            for d, lo in enumerate(lower)
+        )
+        return lower, upper
+
+    def bounds(self, shard: int) -> Tuple[Key, Key]:
+        """Inclusive ``(lower, upper)`` corner of the shard's box."""
+        return self._bounds[shard]
+
+    def shards_for_box(
+        self, box_min: Sequence[int], box_max: Sequence[int]
+    ) -> List[int]:
+        """Shards whose region intersects the inclusive query box,
+        ascending (= z-order of the shard regions)."""
+        hits = []
+        for shard, (lower, upper) in enumerate(self._bounds):
+            for lo, hi, slo, shi in zip(box_min, box_max, lower, upper):
+                if hi < slo or lo > shi:
+                    break
+            else:
+                hits.append(shard)
+        return hits
+
+    # -- sorted-run splitting ---------------------------------------------------
+
+    def split_sorted(
+        self, items: List[Tuple[Key, Any]]
+    ) -> Iterator[Tuple[int, List[Tuple[Key, Any]]]]:
+        """Cut a globally z-sorted entry list into per-shard runs.
+
+        Yields ``(shard, run)`` for every non-empty shard, ascending.
+        Because the shard key is a z-code *prefix*, each shard's entries
+        are contiguous in the sorted order -- the cut is a single linear
+        scan, and every run is itself z-sorted (ready for
+        :func:`repro.core.bulk.bulk_load_sorted`).
+        """
+        start = 0
+        n = len(items)
+        while start < n:
+            shard = self.shard_of(items[start][0])
+            end = start + 1
+            while end < n and self.shard_of(items[end][0]) == shard:
+                end += 1
+            yield shard, items[start:end]
+            start = end

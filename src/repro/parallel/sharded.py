@@ -1,0 +1,534 @@
+"""ShardedPHTree: one PH-tree per z-prefix partition, queried in parallel.
+
+Because the PH-tree's shape is a pure function of its key set (paper
+Section 3), partitioning the key set by the top bits of the Morton code
+yields S completely independent PH-trees whose *disjoint union is
+observationally identical* to the single tree: every read and write
+touches exactly the shards whose z-region it intersects, and per-shard
+results concatenate (in shard index order) into exactly the unsharded
+z-order.  The test suite pins that equivalence operation by operation,
+order included.
+
+Each shard is a plain :class:`~repro.core.phtree.PHTree` behind its own
+:class:`~repro.core.concurrent.ReadWriteLock`, so writers to different
+shards never contend.  Reads have two engines:
+
+- **live** (default): traverse the locked shard trees in-process,
+- **snapshot fan-out** (``workers > 0``): ship each query to a process
+  pool working over frozen shard snapshots in shared memory
+  (:mod:`repro.parallel.executor`), escaping the GIL for multi-core
+  scaling.  A per-shard generation counter, bumped under the shard's
+  write lock, invalidates snapshots lazily: the next fan-out republishes
+  only the shards that changed.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.bulk import bulk_load_sorted
+from repro.core.concurrent import SynchronizedPHTree
+from repro.core.knn import squared_euclidean_region_int
+from repro.core.phtree import PHTree
+from repro.core.serialize import NoneValueCodec
+from repro.encoding.interleave import interleave
+from repro.parallel.router import ZShardRouter
+
+__all__ = ["ShardedPHTree"]
+
+_MISSING = object()
+
+Key = Tuple[int, ...]
+
+
+class ShardedPHTree:
+    """A z-prefix-partitioned, lock-per-shard, optionally multi-process
+    PH-tree with the exact observable behaviour of one
+    :class:`~repro.core.phtree.PHTree`.
+
+    Parameters
+    ----------
+    dims, width, hc_mode:
+        As for :class:`~repro.core.phtree.PHTree` (``width`` may be
+        per-dimension; routing uses the maximum width).
+    shards:
+        Number of partitions; a power of two.  Each shard holds the keys
+        whose top ``log2(shards)`` Morton-code bits equal its index.
+    workers:
+        ``0`` (default) answers every read from the live locked shards.
+        ``> 0`` routes ``query``/``knn``/``query_many`` through a
+        process pool over frozen shared-memory snapshots; values must
+        then be encodable by ``value_codec``.
+    value_codec:
+        Codec used to freeze shard snapshots for the worker processes
+        (default: the set-semantics ``NoneValueCodec``).
+
+    >>> tree = ShardedPHTree(dims=2, width=8, shards=4)
+    >>> tree.put((1, 2), None)
+    >>> tree.put((200, 3), None)
+    >>> len(tree), sorted(tree.shard_sizes().items())[:2]
+    (2, [(0, 1), (1, 0)])
+    >>> [key for key, _ in tree.query((0, 0), (255, 255))]
+    [(1, 2), (200, 3)]
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        width: "int | Sequence[int]" = 64,
+        shards: int = 8,
+        workers: int = 0,
+        value_codec: Any = NoneValueCodec,
+        hc_mode: str = "auto",
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self._shards: List[SynchronizedPHTree] = [
+            SynchronizedPHTree(
+                PHTree(dims=dims, width=width, hc_mode=hc_mode)
+            )
+            for _ in range(shards)
+        ]
+        proto = self._shards[0].unsafe_tree
+        self._router = ZShardRouter(dims, proto.width, shards)
+        self._check_key = proto._check_key
+        self._generations: List[int] = [0] * shards
+        self._workers = workers
+        self._codec = value_codec
+        self._pool: Optional[Any] = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        entries: "Sequence[Tuple[Sequence[int], Any]]",
+        dims: int,
+        width: "int | Sequence[int]" = 64,
+        shards: int = 8,
+        workers: int = 0,
+        value_codec: Any = NoneValueCodec,
+        hc_mode: str = "auto",
+        build_workers: int = 0,
+    ) -> "ShardedPHTree":
+        """Bulk-build: one global z-sort, then a per-shard bottom-up
+        :func:`~repro.core.bulk.bulk_load_sorted` over each contiguous
+        run (no re-sorting, no per-insert node splicing).
+
+        Duplicate keys keep the last value, matching repeated ``put``.
+        ``build_workers > 1`` builds the independent shard trees on a
+        thread pool; under CPython's GIL that overlaps little compute,
+        but the runs are fully independent, so the build parallelises
+        for free on GIL-free interpreters.
+        """
+        tree = cls(
+            dims,
+            width,
+            shards=shards,
+            workers=workers,
+            value_codec=value_codec,
+            hc_mode=hc_mode,
+        )
+        check = tree._check_key
+        deduped: Dict[Key, Any] = {}
+        for key, value in entries:
+            deduped[check(key)] = value
+        w = tree._router.width
+        items = sorted(
+            deduped.items(), key=lambda kv: interleave(kv[0], w)
+        )
+        runs = list(tree._router.split_sorted(items))
+
+        def install(shard: int, run: List[Tuple[Key, Any]]) -> None:
+            built = bulk_load_sorted(
+                run, dims, width, hc_mode=hc_mode, validate=False
+            )
+            locked = tree._shards[shard]
+            with locked.lock.write():
+                locked._tree = built
+                tree._generations[shard] += 1
+
+        if build_workers > 1 and len(runs) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=build_workers) as pool:
+                for future in [
+                    pool.submit(install, shard, run) for shard, run in runs
+                ]:
+                    future.result()
+        else:
+            for shard, run in runs:
+                install(shard, run)
+        return tree
+
+    # -- topology ----------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions ``k``."""
+        return self._router.dims
+
+    @property
+    def width(self) -> int:
+        """Bit width ``w`` used for routing (the maximum per-dim width)."""
+        return self._router.width
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._router.n_shards
+
+    @property
+    def router(self) -> ZShardRouter:
+        """The z-prefix router (pure arithmetic, shareable)."""
+        return self._router
+
+    @property
+    def generations(self) -> Tuple[int, ...]:
+        """Per-shard write generation counters (snapshot staleness)."""
+        return tuple(self._generations)
+
+    def shard_sizes(self) -> Dict[int, int]:
+        """Entry count per shard index."""
+        return {
+            index: len(shard) for index, shard in enumerate(self._shards)
+        }
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __bool__(self) -> bool:
+        return any(len(shard) for shard in self._shards)
+
+    # -- mutations (shard write lock + generation bump) ---------------------------
+
+    def put(self, key: Sequence[int], value: Any = None) -> Any:
+        """Insert/update; returns the previous value (or ``None``)."""
+        key = self._check_key(key)
+        index = self._router.shard_of(key)
+        locked = self._shards[index]
+        with locked.lock.write():
+            previous = locked.unsafe_tree.put(key, value)
+            self._generations[index] += 1
+        return previous
+
+    def remove(self, key: Sequence[int], default: Any = _MISSING) -> Any:
+        """Delete ``key``; :class:`KeyError` when absent unless
+        ``default`` is given."""
+        key = self._check_key(key)
+        index = self._router.shard_of(key)
+        locked = self._shards[index]
+        with locked.lock.write():
+            if default is _MISSING:
+                value = locked.unsafe_tree.remove(key)
+            else:
+                value = locked.unsafe_tree.remove(key, default)
+            self._generations[index] += 1
+        return value
+
+    def update_key(
+        self, old_key: Sequence[int], new_key: Sequence[int]
+    ) -> None:
+        """Move an entry (same semantics as :meth:`PHTree.update_key`);
+        cross-shard moves lock both shards in index order."""
+        old_key = self._check_key(old_key)
+        new_key = self._check_key(new_key)
+        source = self._router.shard_of(old_key)
+        target = self._router.shard_of(new_key)
+        if source == target:
+            locked = self._shards[source]
+            with locked.lock.write():
+                locked.unsafe_tree.update_key(old_key, new_key)
+                self._generations[source] += 1
+            return
+        first, second = sorted((source, target))
+        with self._shards[first].lock.write():
+            with self._shards[second].lock.write():
+                source_tree = self._shards[source].unsafe_tree
+                target_tree = self._shards[target].unsafe_tree
+                if target_tree.contains(new_key):
+                    raise ValueError(
+                        f"target key already present: {new_key}"
+                    )
+                value = source_tree.remove(old_key)
+                target_tree.put(new_key, value)
+                self._generations[source] += 1
+                self._generations[target] += 1
+
+    def put_all(
+        self, entries: "Sequence[Tuple[Sequence[int], Any]]"
+    ) -> None:
+        """Bulk insert, one lock acquisition per touched shard."""
+        grouped: Dict[int, List[Tuple[Key, Any]]] = {}
+        for key, value in entries:
+            key = self._check_key(key)
+            grouped.setdefault(self._router.shard_of(key), []).append(
+                (key, value)
+            )
+        for index in sorted(grouped):
+            locked = self._shards[index]
+            with locked.lock.write():
+                put = locked.unsafe_tree.put
+                for key, value in grouped[index]:
+                    put(key, value)
+                self._generations[index] += 1
+
+    def clear(self) -> None:
+        """Remove all entries from every shard."""
+        for index, locked in enumerate(self._shards):
+            with locked.lock.write():
+                locked.unsafe_tree.clear()
+                self._generations[index] += 1
+
+    # -- point reads (live shard, shared lock) --------------------------------------
+
+    def get(self, key: Sequence[int], default: Any = None) -> Any:
+        """Value stored at ``key`` or ``default``."""
+        key = self._check_key(key)
+        return self._shards[self._router.shard_of(key)].get(key, default)
+
+    def contains(self, key: Sequence[int]) -> bool:
+        """Point query."""
+        key = self._check_key(key)
+        return self._shards[self._router.shard_of(key)].contains(key)
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        return self.contains(key)
+
+    def get_many(
+        self, keys: "Sequence[Sequence[int]]", default: Any = None
+    ) -> List[Any]:
+        """Batched ``get``: routed per shard, answered by each shard's
+        batch engine under one read lock, in input order."""
+        checked = [self._check_key(key) for key in keys]
+        grouped: Dict[int, List[int]] = {}
+        for position, key in enumerate(checked):
+            grouped.setdefault(self._router.shard_of(key), []).append(
+                position
+            )
+        results: List[Any] = [default] * len(checked)
+        for index in sorted(grouped):
+            positions = grouped[index]
+            locked = self._shards[index]
+            with locked.lock.read():
+                values = locked.unsafe_tree.get_many(
+                    [checked[p] for p in positions], default
+                )
+            for position, value in zip(positions, values):
+                results[position] = value
+        return results
+
+    # -- window queries -----------------------------------------------------------
+
+    def query(
+        self, box_min: Sequence[int], box_max: Sequence[int]
+    ) -> List[Tuple[Key, Any]]:
+        """Materialised window query, in exactly the unsharded z-order
+        (shard regions are z-contiguous, so concatenation suffices)."""
+        box_min = self._check_key(box_min)
+        box_max = self._check_key(box_max)
+        if any(lo > hi for lo, hi in zip(box_min, box_max)):
+            return []
+        shards = self._router.shards_for_box(box_min, box_max)
+        if self._workers:
+            return self._snapshot_pool().query(box_min, box_max, shards)
+        merged: List[Tuple[Key, Any]] = []
+        for index in shards:
+            merged.extend(self._shards[index].query(box_min, box_max))
+        return merged
+
+    def query_many(
+        self,
+        boxes: "Sequence[Tuple[Sequence[int], Sequence[int]]]",
+        use_masks: bool = True,
+    ) -> List[List[Tuple[Key, Any]]]:
+        """Batched window queries, each result list exactly equal to the
+        unsharded :meth:`PHTree.query_many` output (order included)."""
+        checked: List[Tuple[Key, Key]] = [
+            (self._check_key(lo), self._check_key(hi)) for lo, hi in boxes
+        ]
+        per_shard: Dict[int, List[int]] = {}
+        for position, (lo, hi) in enumerate(checked):
+            if any(l > h for l, h in zip(lo, hi)):
+                continue
+            for index in self._router.shards_for_box(lo, hi):
+                per_shard.setdefault(index, []).append(position)
+        if self._workers:
+            return self._snapshot_pool().query_many(
+                per_shard, checked, len(checked)
+            )
+        results: List[List[Tuple[Key, Any]]] = [[] for _ in checked]
+        for index in sorted(per_shard):
+            positions = per_shard[index]
+            locked = self._shards[index]
+            with locked.lock.read():
+                parts = locked.unsafe_tree.query_many(
+                    [checked[p] for p in positions], use_masks=use_masks
+                )
+            for position, part in zip(positions, parts):
+                results[position].extend(part)
+        return results
+
+    def count(
+        self, box_min: Sequence[int], box_max: Sequence[int]
+    ) -> int:
+        """Number of entries in the inclusive box."""
+        return len(self.query(box_min, box_max))
+
+    # -- kNN --------------------------------------------------------------------
+
+    def knn(
+        self, key: Sequence[int], n: int = 1
+    ) -> List[Tuple[Key, Any]]:
+        """``n`` nearest entries, identical (order included) to the
+        unsharded tree: per-shard candidates merged by
+        ``(squared distance, Morton code)`` -- the unsharded tie order.
+
+        Shards are visited in ascending region distance and skipped once
+        their region lower bound exceeds the current ``n``-th best
+        distance (equality is kept: an equidistant candidate could still
+        win the z-order tie).
+        """
+        key = self._check_key(key)
+        if n <= 0:
+            return []
+        width = self._router.width
+        if self._workers:
+            candidate_lists = self._snapshot_pool().knn(key, n)
+        else:
+            region_dist = squared_euclidean_region_int(key)
+            order = sorted(
+                range(self.n_shards),
+                key=lambda s: region_dist(*self._router.bounds(s)),
+            )
+            candidate_lists = []
+            distances: List[int] = []
+            for index in order:
+                if len(distances) >= n:
+                    distances.sort()
+                    # Shards come in ascending region distance: once the
+                    # lower bound exceeds the n-th best exact distance,
+                    # no remaining shard can contribute (ties are kept --
+                    # an equidistant candidate may win on z-order).
+                    if (
+                        region_dist(*self._router.bounds(index))
+                        > distances[n - 1]
+                    ):
+                        break
+                part = self._shards[index].knn(key, n)
+                candidate_lists.append(part)
+                distances.extend(
+                    self._point_dist(key, candidate)
+                    for candidate, _ in part
+                )
+        merged = [
+            (self._point_dist(key, candidate), interleave(candidate, width),
+             candidate, value)
+            for part in candidate_lists
+            for candidate, value in part
+        ]
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return [(candidate, value) for _, _, candidate, value in merged[:n]]
+
+    @staticmethod
+    def _point_dist(query: Key, candidate: Key) -> int:
+        total = 0
+        for q, v in zip(query, candidate):
+            d = q - v
+            total += d * d
+        return total
+
+    # -- iteration ----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Key, Any]]:
+        """All entries in global z-order (materialised per shard under
+        its read lock, yielded shard by shard)."""
+        for shard in self._shards:
+            yield from shard.items()
+
+    def keys(self) -> Iterator[Key]:
+        """All keys in global z-order."""
+        for key, _ in self.items():
+            yield key
+
+    def __iter__(self) -> Iterator[Key]:
+        return self.keys()
+
+    # -- parallel engine management ----------------------------------------------
+
+    def _snapshot_pool(self) -> Any:
+        if self._pool is None:
+            from repro.parallel.executor import SnapshotPool
+
+            self._pool = SnapshotPool(self, self._workers, self._codec)
+        return self._pool
+
+    def set_workers(self, workers: int) -> None:
+        """Resize (or disable, with ``0``) the process-pool engine."""
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if workers == self._workers:
+            return
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._workers = workers
+
+    def refresh_snapshots(self) -> int:
+        """Eagerly republish stale shard snapshots; returns the count
+        republished (0 when no pool is active)."""
+        if self._workers == 0:
+            return 0
+        return self._snapshot_pool().refresh()
+
+    def snapshot_bytes(self) -> int:
+        """Bytes currently published in shared memory (0 without a pool)."""
+        if self._pool is None:
+            return 0
+        return self._pool.snapshot_bytes()
+
+    def close(self) -> None:
+        """Shut down the process pool and unlink all shared memory;
+        subsequent reads fall back to the live (in-process) engine.
+        Re-enable fan-out with :meth:`set_workers`."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._workers = 0
+
+    def __enter__(self) -> "ShardedPHTree":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- validation ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Per-shard structural validation plus the routing invariant:
+        every stored key lives in the shard its z-prefix names."""
+        for index, locked in enumerate(self._shards):
+            with locked.lock.read():
+                tree = locked.unsafe_tree
+                tree.check_invariants()
+                for key in tree.keys():
+                    owner = self._router.shard_of(key)
+                    if owner != index:
+                        raise AssertionError(
+                            f"key {key} stored in shard {index} but "
+                            f"routed to {owner}"
+                        )

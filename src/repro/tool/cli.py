@@ -100,9 +100,24 @@ def cmd_build(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     index = load_index(Path(args.index))
     box_min, box_max = _parse_box(args.box, index.dims)
-    results = list(
-        index.tree.query(encode_point(box_min), encode_point(box_max))
-    )
+    lo, hi = encode_point(box_min), encode_point(box_max)
+    if args.shards > 1 or args.workers > 0:
+        # Fan the window out over a z-sharded copy of the index; row
+        # numbers are u64, so the snapshot codec round-trips them.
+        from repro.core.serialize import U64ValueCodec
+        from repro.parallel import ShardedPHTree
+
+        with ShardedPHTree.build(
+            list(index.tree.items()),
+            dims=index.dims,
+            width=64,
+            shards=max(args.shards, 1),
+            workers=args.workers,
+            value_codec=U64ValueCodec,
+        ) as sharded:
+            results = sharded.query(lo, hi)
+    else:
+        results = list(index.tree.query(lo, hi))
     header = ",".join(index.columns) + ",row"
     print(header)
     for encoded, row_number in results[: args.limit]:
@@ -206,6 +221,20 @@ def _parser() -> argparse.ArgumentParser:
         help="inclusive box 'x1,y1 : x2,y2'",
     )
     query.add_argument("--limit", "-l", type=int, default=20)
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fan the query out over this many z-order shards "
+        "(power of two; default: %(default)s, serial)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for the sharded fan-out (0 = stay "
+        "in-process; default: %(default)s)",
+    )
     query.set_defaults(func=cmd_query)
 
     knn = sub.add_parser("knn", help="k nearest neighbours")

@@ -1,0 +1,208 @@
+"""The process-pool snapshot engine: zero-copy attach, fan-out
+equivalence, and the generation/staleness protocol.
+
+Pool sizes stay small (2 workers) and datasets modest: these tests pin
+*correctness* of the multi-process path; throughput lives in the bench.
+"""
+
+from __future__ import annotations
+
+import random
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.core.frozen import FrozenPHTree, freeze
+from repro.core.phtree import PHTree
+from repro.core.serialize import U64ValueCodec
+from repro.parallel import ShardedPHTree
+
+WIDTH = 16
+DIMS = 3
+
+
+def _keys(n, seed, dims=DIMS):
+    rng = random.Random(seed)
+    return list(
+        {
+            tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+            for _ in range(n)
+        }
+    )
+
+
+def _boxes(n, seed, dims=DIMS):
+    rng = random.Random(seed)
+    top = (1 << WIDTH) - 1
+    extent = 1 << (WIDTH - 1)
+    out = []
+    for _ in range(n):
+        lo = tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+        out.append((lo, tuple(min(v + extent, top) for v in lo)))
+    return out
+
+
+class TestFrozenBufferAttach:
+    """Satellite: FrozenPHTree over arbitrary buffers, zero-copy."""
+
+    def _tree(self):
+        tree = PHTree(dims=2, width=8)
+        for key in [(1, 2), (3, 4), (200, 100), (255, 0)]:
+            tree.put(key, None)
+        return tree
+
+    def test_memoryview_and_bytearray_match_bytes(self):
+        blob = freeze(self._tree())
+        reference = FrozenPHTree(blob)
+        for buffer in (memoryview(blob), bytearray(blob)):
+            frozen = FrozenPHTree(buffer)
+            assert list(frozen.items()) == list(reference.items())
+            assert frozen.nbytes == reference.nbytes == len(blob)
+
+    def test_padded_buffer_reports_exact_nbytes(self):
+        """A page-rounded segment is larger than the stream; nbytes and
+        memory_bytes still report the exact frozen length."""
+        blob = freeze(self._tree())
+        padded = memoryview(blob + b"\x00" * 512)
+        frozen = FrozenPHTree(padded)
+        assert frozen.nbytes == len(blob)
+        assert frozen.memory_bytes() == len(blob)
+        assert len(frozen) == 4
+
+    def test_shared_memory_attach_is_queryable(self):
+        blob = freeze(self._tree())
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+        try:
+            segment.buf[: len(blob)] = blob
+            frozen = FrozenPHTree(segment.buf)
+            assert frozen.contains((200, 100))
+            assert sorted(frozen.keys()) == [
+                (1, 2),
+                (3, 4),
+                (200, 100),
+                (255, 0),
+            ]
+            del frozen  # release the view before closing the mapping
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_truncated_buffer_rejected(self):
+        blob = freeze(self._tree())
+        with pytest.raises(ValueError):
+            FrozenPHTree(memoryview(blob[: len(blob) - 2]))
+
+
+class TestSnapshotFanOut:
+    def test_parallel_results_equal_oracle(self):
+        keys = _keys(1200, seed=1)
+        oracle = PHTree(dims=DIMS, width=WIDTH)
+        for key in keys:
+            oracle.put(key, None)
+        with ShardedPHTree.build(
+            [(k, None) for k in keys],
+            dims=DIMS,
+            width=WIDTH,
+            shards=8,
+            workers=2,
+        ) as sharded:
+            for lo, hi in _boxes(6, seed=2):
+                assert sharded.query(lo, hi) == list(oracle.query(lo, hi))
+            boxes = _boxes(5, seed=3)
+            assert sharded.query_many(boxes) == oracle.query_many(boxes)
+            rng = random.Random(4)
+            for _ in range(6):
+                q = tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+                assert sharded.knn(q, 5) == oracle.knn(q, 5)
+
+    def test_values_round_trip_through_codec(self):
+        keys = _keys(300, seed=5)
+        entries = [(k, i * 7) for i, k in enumerate(keys)]
+        oracle = PHTree(dims=DIMS, width=WIDTH)
+        for k, v in entries:
+            oracle.put(k, v)
+        with ShardedPHTree.build(
+            entries,
+            dims=DIMS,
+            width=WIDTH,
+            shards=4,
+            workers=2,
+            value_codec=U64ValueCodec,
+        ) as sharded:
+            lo = (0,) * DIMS
+            hi = ((1 << WIDTH) - 1,) * DIMS
+            assert sharded.query(lo, hi) == list(oracle.query(lo, hi))
+
+    def test_lazy_refresh_after_writes(self):
+        """Writes bump generations; the next fan-out republishes only
+        the dirty shards and reflects the new state exactly."""
+        keys = _keys(400, seed=6)
+        oracle = PHTree(dims=DIMS, width=WIDTH)
+        for key in keys:
+            oracle.put(key, None)
+        with ShardedPHTree.build(
+            [(k, None) for k in keys],
+            dims=DIMS,
+            width=WIDTH,
+            shards=8,
+            workers=1,
+        ) as sharded:
+            lo = (0,) * DIMS
+            hi = ((1 << WIDTH) - 1,) * DIMS
+            assert sharded.query(lo, hi) == list(oracle.query(lo, hi))
+            assert sharded.refresh_snapshots() == 0  # all fresh
+
+            fresh = tuple((1 << WIDTH) - 1 for _ in range(DIMS))
+            if fresh in oracle:
+                oracle.remove(fresh)
+                sharded.remove(fresh)
+            else:
+                oracle.put(fresh, None)
+                sharded.put(fresh, None)
+            # Exactly one shard went stale.
+            assert sharded.refresh_snapshots() == 1
+            assert sharded.query(lo, hi) == list(oracle.query(lo, hi))
+
+    def test_snapshot_bytes_accounting(self):
+        keys = _keys(200, seed=7)
+        with ShardedPHTree.build(
+            [(k, None) for k in keys],
+            dims=DIMS,
+            width=WIDTH,
+            shards=4,
+            workers=1,
+        ) as sharded:
+            assert sharded.snapshot_bytes() == 0  # nothing published yet
+            sharded.refresh_snapshots()
+            published = sharded.snapshot_bytes()
+            assert published > 0
+
+    def test_set_workers_switches_engines(self):
+        keys = _keys(150, seed=8)
+        oracle = PHTree(dims=DIMS, width=WIDTH)
+        for key in keys:
+            oracle.put(key, None)
+        sharded = ShardedPHTree.build(
+            [(k, None) for k in keys], dims=DIMS, width=WIDTH, shards=4
+        )
+        try:
+            lo = (0,) * DIMS
+            hi = ((1 << WIDTH) - 1,) * DIMS
+            expected = list(oracle.query(lo, hi))
+            assert sharded.query(lo, hi) == expected  # live engine
+            sharded.set_workers(1)
+            assert sharded.query(lo, hi) == expected  # snapshot engine
+            sharded.set_workers(0)
+            assert sharded.query(lo, hi) == expected  # live again
+        finally:
+            sharded.close()
+
+    def test_close_falls_back_to_live_engine(self):
+        sharded = ShardedPHTree(dims=2, width=8, shards=2, workers=1)
+        sharded.put((1, 1), None)
+        assert sharded.query((0, 0), (255, 255)) == [((1, 1), None)]
+        sharded.close()
+        sharded.close()  # idempotent
+        assert sharded.snapshot_bytes() == 0
+        # Reads still work, served by the live locked shards.
+        assert sharded.query((0, 0), (255, 255)) == [((1, 1), None)]

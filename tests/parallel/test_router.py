@@ -1,0 +1,119 @@
+"""ZShardRouter: the z-prefix shard arithmetic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.encoding.interleave import interleave
+from repro.parallel.router import ZShardRouter
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 3, 6, 12, -4):
+            with pytest.raises(ValueError):
+                ZShardRouter(dims=2, width=8, shards=bad)
+
+    def test_rejects_too_many_shards_for_key_space(self):
+        # 2 dims x 1 bit = a 4-point space: 8 shards cannot exist.
+        with pytest.raises(ValueError):
+            ZShardRouter(dims=2, width=1, shards=8)
+
+    def test_single_shard_owns_everything(self):
+        router = ZShardRouter(dims=3, width=8, shards=1)
+        assert router.bits == 0
+        assert router.shard_of((0, 0, 0)) == 0
+        assert router.shard_of((255, 255, 255)) == 0
+        assert router.bounds(0) == ((0, 0, 0), (255, 255, 255))
+
+
+class TestShardKey:
+    @pytest.mark.parametrize(
+        "dims,width,shards",
+        [(1, 8, 4), (2, 8, 4), (3, 20, 8), (6, 16, 16), (14, 12, 8)],
+    )
+    def test_shard_is_top_bits_of_morton_code(self, dims, width, shards):
+        router = ZShardRouter(dims, width, shards)
+        rng = random.Random(dims * 1000 + shards)
+        for _ in range(300):
+            key = tuple(rng.randrange(1 << width) for _ in range(dims))
+            code = interleave(key, width)
+            expected = code >> (dims * width - router.bits)
+            assert router.shard_of(key) == expected
+
+    def test_shard_index_order_is_z_order(self):
+        """Keys sorted by Morton code have non-decreasing shard index --
+        the property that makes per-shard concatenation z-ordered."""
+        router = ZShardRouter(dims=2, width=8, shards=8)
+        rng = random.Random(7)
+        keys = sorted(
+            (tuple(rng.randrange(256) for _ in range(2)) for _ in range(500)),
+            key=lambda k: interleave(k, 8),
+        )
+        shards = [router.shard_of(k) for k in keys]
+        assert shards == sorted(shards)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize(
+        "dims,width,shards", [(2, 8, 4), (3, 10, 8), (5, 6, 16)]
+    )
+    def test_regions_tile_the_space(self, dims, width, shards):
+        """Every key lies in exactly one shard's box -- the box of the
+        shard the key routes to."""
+        router = ZShardRouter(dims, width, shards)
+        rng = random.Random(42)
+        for _ in range(200):
+            key = tuple(rng.randrange(1 << width) for _ in range(dims))
+            owners = [
+                s
+                for s in range(shards)
+                if all(
+                    lo <= v <= hi
+                    for v, lo, hi in zip(key, *router.bounds(s))
+                )
+            ]
+            assert owners == [router.shard_of(key)]
+
+    def test_shards_for_box_matches_brute_force(self):
+        router = ZShardRouter(dims=3, width=8, shards=8)
+        rng = random.Random(3)
+        for _ in range(100):
+            lo = tuple(rng.randrange(256) for _ in range(3))
+            hi = tuple(min(v + rng.randrange(128), 255) for v in lo)
+            expected = [
+                s
+                for s in range(8)
+                if all(
+                    h >= slo and l <= shi
+                    for l, h, slo, shi in zip(lo, hi, *router.bounds(s))
+                )
+            ]
+            assert router.shards_for_box(lo, hi) == expected
+
+    def test_full_domain_box_hits_every_shard(self):
+        router = ZShardRouter(dims=2, width=8, shards=16)
+        assert router.shards_for_box((0, 0), (255, 255)) == list(range(16))
+
+
+class TestSplitSorted:
+    def test_runs_are_contiguous_and_complete(self):
+        router = ZShardRouter(dims=2, width=8, shards=8)
+        rng = random.Random(9)
+        keys = {tuple(rng.randrange(256) for _ in range(2)) for _ in range(400)}
+        items = sorted(
+            ((k, None) for k in keys), key=lambda kv: interleave(kv[0], 8)
+        )
+        runs = list(router.split_sorted(items))
+        # Ascending shard indices, no shard twice.
+        indices = [s for s, _ in runs]
+        assert indices == sorted(set(indices))
+        # Every run's entries route to the run's shard; nothing is lost.
+        recovered = []
+        for shard, run in runs:
+            for key, _ in run:
+                assert router.shard_of(key) == shard
+            recovered.extend(run)
+        assert recovered == items

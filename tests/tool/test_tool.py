@@ -118,6 +118,35 @@ class TestQuery:
         assert "error" in capsys.readouterr().err
 
 
+class TestShardedQuery:
+    BOX = ["-b", "-10,40 : 10,50", "-l", "1000"]
+
+    def _run(self, index_file, capsys, *extra):
+        rc = main(["query", str(index_file), *self.BOX, *extra])
+        captured = capsys.readouterr()
+        assert rc == 0
+        return captured.out
+
+    def test_sharded_output_matches_serial(self, index_file, capsys):
+        serial = self._run(index_file, capsys)
+        sharded = self._run(index_file, capsys, "--shards", "4")
+        assert sharded == serial
+
+    def test_worker_fanout_matches_serial(self, index_file, capsys):
+        serial = self._run(index_file, capsys)
+        fanned = self._run(
+            index_file, capsys, "--shards", "2", "--workers", "1"
+        )
+        assert fanned == serial
+
+    def test_bad_shard_count(self, index_file, capsys):
+        rc = main(
+            ["query", str(index_file), *self.BOX, "--shards", "6"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestKnn:
     def test_nearest(self, index_file, capsys):
         rc = main(
