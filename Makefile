@@ -17,9 +17,10 @@ bench:
 bench-small:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --repro-scale small
 
-# Regenerate the hot-path perf trajectory (BENCH_core.json at repo root).
+# Regenerate the hot-path perf trajectory (BENCH_core.json at repo root),
+# including the instrumented nodes-visited/slots-scanned counts per op.
 bench-json:
-	PYTHONPATH=src $(PYTHON) -m repro.bench.trajectory -o BENCH_core.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench.trajectory --instrument -o BENCH_core.json
 
 examples:
 	@for f in examples/*.py; do \

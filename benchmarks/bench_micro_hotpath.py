@@ -25,7 +25,10 @@ def test_micro_hotpath_trajectory(benchmark, repro_scale):
     # "paper" has no dedicated preset; the trajectory tops out at medium.
     scale = repro_scale if repro_scale in SCALES else "medium"
     report = benchmark.pedantic(
-        run_trajectory, kwargs={"scale": scale}, rounds=1, iterations=1
+        run_trajectory,
+        kwargs={"scale": scale, "instrument": True},
+        rounds=1,
+        iterations=1,
     )
     print()
     print(format_report(report))
@@ -37,3 +40,12 @@ def test_micro_hotpath_trajectory(benchmark, repro_scale):
     # CI machines are noisy, so only guard against outright regressions).
     assert metrics["speedup_get_many"] > 1.0
     assert metrics["speedup_range_iter"] > 1.0
+    # The instrumented pass must have actually counted the work.
+    instrumentation = report["instrumentation"]
+    for op in ("insert", "point_seq", "point_batch", "range_kernel",
+               "query_many", "knn"):
+        counts = instrumentation[op]
+        assert counts["ops"] > 0, op
+        assert any(
+            v > 0 for k, v in counts.items() if k != "ops"
+        ), (op, counts)

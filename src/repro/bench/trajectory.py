@@ -112,8 +112,106 @@ def _make_boxes(
     return boxes
 
 
-def run_trajectory(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
-    """Run the micro-benchmarks and return the trajectory report dict."""
+def _instrument_pass(
+    tree: PHTree,
+    build: Callable[[], PHTree],
+    batch: List[Tuple[int, ...]],
+    boxes: List[Tuple[Tuple[int, ...], Tuple[int, ...]]],
+    knn_queries: List[Tuple[int, ...]],
+) -> Dict[str, Any]:
+    """Re-drive each benchmarked workload once with observability on and
+    report its internal counters (nodes visited, slots scanned, ...).
+
+    Runs strictly *after* all timings: instrumentation must never be
+    enabled while the stopwatch is running.
+    """
+    from repro import obs
+    from repro.obs import probes
+
+    def stage(
+        run: Callable[[], Any], fields: Dict[str, Any]
+    ) -> Dict[str, int]:
+        obs.reset()
+        run()
+        return {name: int(child.value) for name, child in fields.items()}
+
+    obs.enable()
+    try:
+        counts = {
+            "insert": stage(
+                build,
+                {
+                    "nodes_visited": probes.write_nodes_visited,
+                    "slots_scanned": probes.write_slots_scanned,
+                    "nodes_created": probes.tree_nodes_created,
+                    "ops": probes.ops_put,
+                },
+            ),
+            "point_seq": stage(
+                lambda: [tree.get(key) for key in batch],
+                {
+                    "nodes_visited": probes.point_nodes_visited,
+                    "slots_scanned": probes.point_slots_scanned,
+                    "ops": probes.ops_get,
+                },
+            ),
+            "point_batch": stage(
+                lambda: tree.get_many(batch),
+                {
+                    "nodes_visited": probes.batch_nodes_visited,
+                    "slots_scanned": probes.batch_slots_scanned,
+                    "keys": probes.batch_keys_get,
+                    "ops": probes.ops_get_many,
+                },
+            ),
+            "range_kernel": stage(
+                lambda: [
+                    sum(1 for _ in tree.query(lo, hi)) for lo, hi in boxes
+                ],
+                {
+                    "nodes_visited": probes.kernel_nodes_visited,
+                    "slots_scanned": probes.kernel_slots_scanned,
+                    "frames_pushed": probes.kernel_frames_pushed,
+                    "full_cover_flushes": probes.kernel_full_cover_flushes,
+                    "entries_yielded": probes.kernel_entries_yielded,
+                    "ops": probes.ops_query,
+                },
+            ),
+            "query_many": stage(
+                lambda: tree.query_many(boxes),
+                {
+                    "nodes_visited": probes.qmany_nodes_visited,
+                    "slots_scanned": probes.qmany_slots_scanned,
+                    "ops": probes.ops_query_many,
+                },
+            ),
+            "knn": stage(
+                lambda: [tree.knn(query, 10) for query in knn_queries],
+                {
+                    "regions_expanded": probes.knn_regions_expanded,
+                    "heap_pushes": probes.knn_heap_pushes,
+                    "heap_high_water": probes.knn_heap_high_water,
+                    "entries_yielded": probes.knn_entries_yielded,
+                    "ops": probes.ops_knn,
+                },
+            ),
+        }
+    finally:
+        obs.disable()
+        obs.reset()
+    return counts
+
+
+def run_trajectory(
+    scale: str = "small", seed: int = 0, instrument: bool = False
+) -> Dict[str, Any]:
+    """Run the micro-benchmarks and return the trajectory report dict.
+
+    With ``instrument=True`` the report gains an ``instrumentation``
+    section: each benchmarked op re-run once (after the timings) with
+    :mod:`repro.obs` enabled, recording nodes visited, slots scanned
+    and friends.
+    """
     if scale not in SCALES:
         raise ValueError(
             f"unknown scale {scale!r}, expected one of {sorted(SCALES)}"
@@ -226,7 +324,7 @@ def run_trajectory(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "sharded_query_4w_us_per_entry": t_shard_hi * 1e6 / n_returned,
         "speedup_sharded_4w": t_shard_1 / t_shard_hi,
     }
-    return {
+    report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "generated_unix": int(time.time()),
         "scale": scale,
@@ -262,6 +360,11 @@ def run_trajectory(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         },
         "metrics": {k: round(v, 4) for k, v in metrics.items()},
     }
+    if instrument:
+        report["instrumentation"] = _instrument_pass(
+            tree, build, batch, boxes, knn_queries
+        )
+    return report
 
 
 def write_report(
@@ -283,6 +386,14 @@ def format_report(report: Dict[str, Any]) -> str:
     ]
     for name, value in sorted(report["metrics"].items()):
         lines.append(f"  {name:36s} {value:10.3f}")
+    instrumentation = report.get("instrumentation")
+    if instrumentation:
+        lines.append("instrumentation (counts per benchmarked op):")
+        for op, counts in sorted(instrumentation.items()):
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(counts.items())
+            )
+            lines.append(f"  {op:14s} {detail}")
     return "\n".join(lines)
 
 
@@ -309,8 +420,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="dataset seed"
     )
+    parser.add_argument(
+        "--instrument",
+        action="store_true",
+        help="after the timings, re-run each op with repro.obs enabled "
+        "and record nodes-visited/slots-scanned per op in the report",
+    )
     args = parser.parse_args(argv)
-    report = run_trajectory(scale=args.scale, seed=args.seed)
+    report = run_trajectory(
+        scale=args.scale, seed=args.seed, instrument=args.instrument
+    )
     path = write_report(report, args.output)
     print(format_report(report))
     print(f"wrote {path}")

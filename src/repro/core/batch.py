@@ -42,6 +42,8 @@ from typing import Any, Callable, Iterable, List, Sequence, Tuple
 from repro.core.kernel import iter_subtree
 from repro.core.node import Node
 from repro.encoding.interleave import _spread_table
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 
 __all__ = ["contains_many", "get_many", "query_many", "z_sort_key"]
 
@@ -160,6 +162,17 @@ def get_many(
     (approximate) z-order to skip the internal sort -- any order stays
     correct, sorting is purely a locality hint.
     """
+    if _rt.enabled:
+        return _get_many_instrumented(tree, keys, default, presorted)
+    return _get_many_plain(tree, keys, default, presorted)
+
+
+def _get_many_plain(
+    tree: Any,
+    keys: Iterable[Sequence[int]],
+    default: Any = None,
+    presorted: bool = False,
+) -> List[Any]:
     checked, codes = _prepare(tree, keys, not presorted)
     n = len(checked)
     results = [default] * n
@@ -234,6 +247,93 @@ def get_many(
     return results
 
 
+def _get_many_instrumented(
+    tree: Any,
+    keys: Iterable[Sequence[int]],
+    default: Any = None,
+    presorted: bool = False,
+) -> List[Any]:
+    """Instrumented twin of :func:`_get_many_plain`: same merge-join
+    walk, plus batch counters.  ``batch_nodes_visited`` counts *path
+    pushes* (a node shared by consecutive keys counts once), so the
+    ratio to ``len(batch) * depth`` measures descent sharing."""
+    checked, codes = _prepare(tree, keys, not presorted)
+    n = len(checked)
+    _probes.ops_get_many.inc()
+    _probes.batch_keys_get.inc(n)
+    results = [default] * n
+    root = tree._root
+    if root is None or n == 0:
+        return results
+    if presorted:
+        order: Iterable[int] = range(n)
+    else:
+        order = sorted(range(n), key=codes.__getitem__)
+
+    c_nodes = 1  # the root frame
+    c_slots = 0
+    node_cls = Node
+    path: List[Tuple[Node, int, Key]] = [
+        (root, root.post_len + 1, root.prefix)
+    ]
+    push = path.append
+    pop = path.pop
+    node, shift, prefix = path[0]
+    for i in order:
+        key = checked[i]
+        while True:
+            matches = True
+            for v, pref in zip(key, prefix):
+                if (v ^ pref) >> shift:
+                    matches = False
+                    break
+            if matches:
+                break
+            pop()
+            node, shift, prefix = path[-1]
+        while True:
+            c_slots += 1
+            post = shift - 1
+            a = 0
+            for v in key:
+                a = (a << 1) | ((v >> post) & 1)
+            cont = node.container
+            if cont.is_hc:
+                slot = cont._slots[a]
+            else:
+                addrs = cont._addresses
+                p = bisect_left(addrs, a)
+                slot = (
+                    cont._slots[p]
+                    if p < len(addrs) and addrs[p] == a
+                    else None
+                )
+            if slot is None:
+                break
+            if slot.__class__ is node_cls:
+                cshift = slot.post_len + 1
+                cprefix = slot.prefix
+                matches = True
+                for v, pref in zip(key, cprefix):
+                    if (v ^ pref) >> cshift:
+                        matches = False
+                        break
+                if not matches:
+                    break
+                node = slot
+                shift = cshift
+                prefix = cprefix
+                push((node, shift, prefix))
+                c_nodes += 1
+                continue
+            if slot.key == key:
+                results[i] = slot.value
+            break
+    _probes.batch_nodes_visited.inc(c_nodes)
+    _probes.batch_slots_scanned.inc(c_slots)
+    return results
+
+
 def contains_many(
     tree: Any, keys: Iterable[Sequence[int]]
 ) -> List[bool]:
@@ -261,6 +361,9 @@ def query_many(
     checked: List[Tuple[Key, Key]] = []
     for lo, hi in boxes:
         checked.append((tree._check_key(lo), tree._check_key(hi)))
+    if _rt.enabled:
+        _probes.ops_query_many.inc()
+        _probes.batch_keys_query.inc(len(checked))
     results: List[List[Tuple[Key, Any]]] = [[] for _ in checked]
     root = tree._root
     if root is None:
@@ -318,6 +421,10 @@ def _query_node(
         items = node.container.items()
     else:
         items = node.container.items_in_mask_range(union_ml, union_mh)
+    if _rt.enabled:
+        items = list(items)
+        _probes.qmany_nodes_visited.inc()
+        _probes.qmany_slots_scanned.inc(len(items))
     for a, slot in items:
         if slot.__class__ is node_cls:
             cpost = slot.post_len

@@ -38,6 +38,8 @@ from bisect import bisect_left
 from typing import Any, Iterator, Optional, Sequence, Tuple
 
 from repro.core.node import Node
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 
 __all__ = ["iter_slots", "iter_subtree", "range_scan"]
 
@@ -107,7 +109,25 @@ def range_scan(
     node spanning at most ``2**slack_bits`` per dimension is flushed
     wholesale and entries are accepted within ``2**slack_bits - 1`` of
     the box, yielding a superset of the exact result.
+
+    The observability flag is checked exactly once per call: disabled
+    (the default), the uninstrumented engine below runs untouched;
+    enabled, the bit-identical instrumented twin
+    (:func:`_range_scan_instrumented`) runs instead and publishes its
+    traversal counts into :mod:`repro.obs.probes`.
     """
+    if _rt.enabled:
+        return _range_scan_instrumented(root, box_min, box_max, slack_bits)
+    return _range_scan_plain(root, box_min, box_max, slack_bits)
+
+
+def _range_scan_plain(
+    root: Optional[Node],
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int = 0,
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """The uninstrumented engine (see :func:`range_scan`)."""
     if root is None:
         return
     bmin = box_min if type(box_min) is tuple else tuple(box_min)
@@ -279,3 +299,237 @@ def range_scan(
                     break
             else:
                 yield key, slot.value
+
+
+def _range_scan_instrumented(
+    root: Optional[Node],
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int = 0,
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Line-for-line twin of :func:`_range_scan_plain` with traversal
+    counters (tests pin the two engines bit-identical; keep every
+    non-counter line in sync with the plain engine above).
+
+    Counts are accumulated in locals and published once -- in the
+    ``finally`` clause, so abandoned generators still report the partial
+    traversal they performed.
+    """
+    if root is None:
+        return
+    bmin = box_min if type(box_min) is tuple else tuple(box_min)
+    bmax = box_max if type(box_max) is tuple else tuple(box_max)
+    for lo, hi in zip(bmin, bmax):
+        if lo > hi:
+            return
+    k = len(bmin)
+    full = (1 << k) - 1
+    node_cls = Node
+    if slack_bits > 0:
+        slack = (1 << slack_bits) - 1
+        lo_chk = tuple(v - slack for v in bmin)
+        hi_chk = tuple(v + slack for v in bmax)
+    else:
+        lo_chk = bmin
+        hi_chk = bmax
+
+    # -- classify the root (never flushed, mirroring the seed engine) --
+    post = root.post_len
+    free = (1 << (post + 1)) - 1
+    ml = mh = 0
+    for nlo, lo, hi in zip(root.prefix, bmin, bmax):
+        nhi = nlo | free
+        if hi < nlo or lo > nhi:
+            return
+        if lo < nlo:
+            lo = nlo
+        if hi > nhi:
+            hi = nhi
+        ml = (ml << 1) | ((lo >> post) & 1)
+        mh = (mh << 1) | ((hi >> post) & 1)
+    cont = root.container
+    slots = cont._slots
+    limit = len(slots)
+    if cont.is_hc:
+        addrs = None
+        if ml == 0 and mh == full:
+            mode = _SCAN
+            cur = 0
+        else:
+            mode = _MASKED
+            cur = ml
+    else:
+        addrs = cont._addresses
+        if ml == 0 and mh == full:
+            mode = _SCAN
+            cur = 0
+        else:
+            mode = _MASKED
+            cur = bisect_left(addrs, ml)
+
+    # Traversal counters (locals; published once in the finally below).
+    c_nodes = 1
+    c_hc = 1 if cont.is_hc else 0
+    c_frames = 0
+    c_slots = 0
+    c_flush = 0
+    c_plain = 1 if mode == _SCAN else 0
+    c_maskrej = 0
+    c_noderej = 0
+    c_postdrop = 0
+    c_entries = 0
+
+    stack = []
+    pop = stack.pop
+    push = stack.append
+
+    try:
+        while True:
+            # ---- fetch the next occupied slot of the current frame ----
+            if mode == _MASKED:
+                if addrs is None:  # HC: successor-stepped address cursor
+                    if cur < 0:
+                        if not stack:
+                            return
+                        slots, addrs, cur, ml, mh, mode, limit = pop()
+                        continue
+                    a = cur
+                    # Next valid address (paper Section 3.5), or done.
+                    cur = (
+                        -1 if a >= mh else ((((a | ~mh) + 1) & mh) | ml)
+                    )
+                    slot = slots[a]
+                    c_slots += 1
+                    if slot is None:
+                        continue
+                else:  # LHC: index cursor over the sorted address table
+                    if cur >= limit:
+                        if not stack:
+                            return
+                        slots, addrs, cur, ml, mh, mode, limit = pop()
+                        continue
+                    a = addrs[cur]
+                    if a > mh:
+                        if not stack:
+                            return
+                        slots, addrs, cur, ml, mh, mode, limit = pop()
+                        continue
+                    slot = slots[cur]
+                    cur += 1
+                    c_slots += 1
+                    if (a | ml) != a or (a & mh) != a:
+                        c_maskrej += 1
+                        continue
+            else:  # _FLUSH and _SCAN: plain slot scan
+                if cur >= limit:
+                    if not stack:
+                        return
+                    slots, addrs, cur, ml, mh, mode, limit = pop()
+                    continue
+                slot = slots[cur]
+                cur += 1
+                c_slots += 1
+                if slot is None:
+                    continue
+
+            # ---- process the slot ----
+            if slot.__class__ is node_cls:
+                if mode == _FLUSH:
+                    push((slots, addrs, cur, ml, mh, mode, limit))
+                    cont = slot.container
+                    slots = cont._slots
+                    addrs = None
+                    cur = 0
+                    limit = len(slots)
+                    c_frames += 1
+                    c_nodes += 1
+                    if cont.is_hc:
+                        c_hc += 1
+                    continue
+                # Fused intersection / coverage / mask computation.
+                cpost = slot.post_len
+                cfree = (1 << (cpost + 1)) - 1
+                cml = cmh = 0
+                inside = True
+                hit = True
+                for nlo, lo, hi in zip(slot.prefix, bmin, bmax):
+                    nhi = nlo | cfree
+                    if hi < nlo or lo > nhi:
+                        hit = False
+                        break
+                    if nlo < lo or nhi > hi:
+                        inside = False
+                    if lo < nlo:
+                        lo = nlo
+                    if hi > nhi:
+                        hi = nhi
+                    cml = (cml << 1) | ((lo >> cpost) & 1)
+                    cmh = (cmh << 1) | ((hi >> cpost) & 1)
+                if not hit:
+                    c_noderej += 1
+                    continue
+                push((slots, addrs, cur, ml, mh, mode, limit))
+                cont = slot.container
+                slots = cont._slots
+                limit = len(slots)
+                c_frames += 1
+                c_nodes += 1
+                if cont.is_hc:
+                    c_hc += 1
+                if inside or cpost < slack_bits:
+                    # Fully covered (or within the approximation slack):
+                    # flush the whole subtree with filtering disabled.
+                    addrs = None
+                    mode = _FLUSH
+                    cur = 0
+                    c_flush += 1
+                elif cont.is_hc:
+                    addrs = None
+                    if cml == 0 and cmh == full:
+                        mode = _SCAN
+                        cur = 0
+                        c_plain += 1
+                    else:
+                        mode = _MASKED
+                        ml = cml
+                        mh = cmh
+                        cur = cml
+                else:
+                    addrs = cont._addresses
+                    if cml == 0 and cmh == full:
+                        mode = _SCAN
+                        cur = 0
+                        c_plain += 1
+                    else:
+                        mode = _MASKED
+                        ml = cml
+                        mh = cmh
+                        cur = bisect_left(addrs, cml)
+                continue
+
+            # Entry (postfix).
+            if mode == _FLUSH:
+                c_entries += 1
+                yield slot.key, slot.value
+            else:
+                key = slot.key
+                for v, lo, hi in zip(key, lo_chk, hi_chk):
+                    if v < lo or v > hi:
+                        c_postdrop += 1
+                        break
+                else:
+                    c_entries += 1
+                    yield key, slot.value
+    finally:
+        _probes.record_range_scan(
+            c_nodes,
+            c_hc,
+            c_frames,
+            c_slots,
+            c_flush,
+            c_plain,
+            c_maskrej,
+            c_noderej,
+            c_postdrop,
+            c_entries,
+        )

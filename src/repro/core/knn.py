@@ -22,6 +22,8 @@ from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
 from repro.core.kernel import iter_slots
 from repro.core.node import Entry, Node
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 
 __all__ = [
     "knn_iter",
@@ -104,6 +106,22 @@ def knn_iter(
     it) holds for the composite ``(distance, z)`` key as well.  Without
     ``z_key``, ties fall back to discovery order.
     """
+    if _rt.enabled:
+        return _knn_iter_instrumented(
+            root, n, point_distance, region_distance, z_key
+        )
+    return _knn_iter_plain(
+        root, n, point_distance, region_distance, z_key
+    )
+
+
+def _knn_iter_plain(
+    root: Optional[Node],
+    n: int,
+    point_distance: PointDistance,
+    region_distance: RegionDistance,
+    z_key: Optional[Callable[[Sequence[int]], int]] = None,
+) -> Iterator[Tuple[Any, Tuple[int, ...], Any]]:
     if n <= 0 or root is None:
         return
     tiebreak = itertools.count()
@@ -153,3 +171,78 @@ def knn_iter(
             produced += 1
             if produced >= n:
                 return
+
+
+def _knn_iter_instrumented(
+    root: Optional[Node],
+    n: int,
+    point_distance: PointDistance,
+    region_distance: RegionDistance,
+    z_key: Optional[Callable[[Sequence[int]], int]] = None,
+) -> Iterator[Tuple[Any, Tuple[int, ...], Any]]:
+    """Instrumented twin of the best-first loop: counts regions
+    expanded, heap pushes, the heap-size high-water mark and entries
+    yielded.  The ``finally`` flush reports even for abandoned
+    iterators (e.g. ``nearest_iter`` consumers stopping early)."""
+    if n <= 0 or root is None:
+        _probes.record_knn(0, 0, 0, 0)
+        return
+    tiebreak = itertools.count()
+    if z_key is None:
+        z_key = lambda _key: 0  # noqa: E731 - ties fall to the counter
+    lower, upper = root.region()
+    heap: list = [
+        (region_distance(lower, upper), z_key(lower), next(tiebreak), root)
+    ]
+    c_regions = 0
+    c_pushes = 1  # the root seed
+    c_high = 1
+    c_entries = 0
+    produced = 0
+    push = heapq.heappush
+    node_cls = Node
+    try:
+        while heap:
+            dist, _, _, item = heapq.heappop(heap)
+            if item.__class__ is node_cls:
+                c_regions += 1
+                for slot in iter_slots(item.container):
+                    if slot.__class__ is node_cls:
+                        lower = slot.prefix
+                        free = (1 << (slot.post_len + 1)) - 1
+                        push(
+                            heap,
+                            (
+                                region_distance(
+                                    lower, tuple(p | free for p in lower)
+                                ),
+                                z_key(lower),
+                                next(tiebreak),
+                                slot,
+                            ),
+                        )
+                    else:
+                        push(
+                            heap,
+                            (
+                                point_distance(slot.key),
+                                z_key(slot.key),
+                                next(tiebreak),
+                                slot,
+                            ),
+                        )
+                    c_pushes += 1
+                if len(heap) > c_high:
+                    c_high = len(heap)
+            else:
+                entry: Entry = item
+                # Count before yielding: a consumer closing the
+                # generator right after this yield must still see the
+                # delivered entry in the totals.
+                produced += 1
+                c_entries += 1
+                yield dist, entry.key, entry.value
+                if produced >= n:
+                    return
+    finally:
+        _probes.record_knn(c_regions, c_pushes, c_high, c_entries)

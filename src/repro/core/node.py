@@ -25,6 +25,8 @@ from repro.core.hypercube import (
     max_hc_dimensions,
     prefer_hc,
 )
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 
 __all__ = ["Entry", "Node", "hypercube_address"]
 
@@ -207,6 +209,11 @@ class Node:
         converted = convert_container(self.container, k, want_hc)
         if converted is not None:
             self.container = converted
+            if _rt.enabled:
+                if want_hc:
+                    _probes.switch_to_hc.inc()
+                else:
+                    _probes.switch_to_lhc.inc()
 
     # -- debugging ---------------------------------------------------------
 

@@ -36,6 +36,8 @@ from repro.core import knn as knn_mod
 from repro.core.kernel import iter_subtree
 from repro.core.node import Entry, Node, masked_prefix
 from repro.core.range_query import naive_range_iter, range_iter
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 
 __all__ = ["PHTree"]
 
@@ -185,6 +187,9 @@ class PHTree:
         one newly created sub-node.
         """
         key = self._check_key(key)
+        obs = _rt.enabled
+        if obs:
+            _probes.ops_put.inc()
         if self._root is None:
             root = Node(
                 post_len=self._width - 1,
@@ -200,9 +205,12 @@ class PHTree:
             )
             self._root = root
             self._size = 1
+            if obs:
+                self._probe_write(depth=1, created=1, inserted=True)
             return None
 
         node = self._root
+        depth = 1
         while True:
             address = node.address_of(key)
             slot = node.get_slot(address)
@@ -215,11 +223,14 @@ class PHTree:
                     self._hysteresis,
                 )
                 self._size += 1
+                if obs:
+                    self._probe_write(depth, created=0, inserted=True)
                 return None
             if isinstance(slot, Node):
                 conflict = slot.prefix_conflict_pos(key)
                 if conflict < 0:
                     node = slot
+                    depth += 1
                     continue
                 # The key leaves the sub-node's prefix at `conflict`:
                 # splice a new node at that bit position between `node`
@@ -245,12 +256,16 @@ class PHTree:
                     self._hysteresis,
                 )
                 self._size += 1
+                if obs:
+                    self._probe_write(depth + 1, created=1, inserted=True)
                 return None
             # Slot holds a postfix (Entry).
             entry: Entry = slot
             if entry.key == key:
                 previous = entry.value
                 entry.value = value
+                if obs:
+                    self._probe_write(depth, created=0, inserted=False)
                 return previous
             conflict = _diff_pos(entry.key, key)
             mid = self._new_split_node(node, key, conflict)
@@ -272,7 +287,19 @@ class PHTree:
                 address, mid, self._dims, self._hc_mode, self._hysteresis
             )
             self._size += 1
+            if obs:
+                self._probe_write(depth + 1, created=1, inserted=True)
             return None
+
+    @staticmethod
+    def _probe_write(depth: int, created: int, inserted: bool) -> None:
+        """Publish one write descent's probe data (enabled-only path)."""
+        _probes.write_nodes_visited.inc(depth)
+        _probes.write_slots_scanned.inc(depth)
+        if created:
+            _probes.tree_nodes_created.inc(created)
+        if inserted:
+            _probes.insert_depth.observe(depth)
 
     def _new_split_node(
         self, parent: Node, key: Tuple[int, ...], conflict_pos: int
@@ -286,14 +313,23 @@ class PHTree:
 
     def get(self, key: Sequence[int], default: Any = None) -> Any:
         """Return the value stored for ``key``, or ``default``."""
-        entry = self._find_entry(self._check_key(key))
+        key = self._check_key(key)
+        if _rt.enabled:
+            _probes.ops_get.inc()
+            entry = self._find_entry_counted(key)
+        else:
+            entry = self._find_entry(key)
         if entry is None:
             return default
         return entry.value
 
     def contains(self, key: Sequence[int]) -> bool:
         """Point query (paper Section 3.5): does ``key`` exist?"""
-        return self._find_entry(self._check_key(key)) is not None
+        key = self._check_key(key)
+        if _rt.enabled:
+            _probes.ops_contains.inc()
+            return self._find_entry_counted(key) is not None
+        return self._find_entry(key) is not None
 
     def get_many(
         self,
@@ -350,6 +386,30 @@ class PHTree:
             return slot if slot.key == key else None
         return None
 
+    def _find_entry_counted(self, key: Tuple[int, ...]) -> Optional[Entry]:
+        """Instrumented twin of :meth:`_find_entry` (only runs with
+        observability enabled): same descent, plus point-descent
+        counters -- one node and one container probe per level."""
+        nodes = 0
+        found: Optional[Entry] = None
+        node = self._root
+        while node is not None:
+            nodes += 1
+            slot = node.get_slot(node.address_of(key))
+            if slot is None:
+                break
+            if isinstance(slot, Node):
+                if not slot.matches_prefix(key):
+                    break
+                node = slot
+                continue
+            if slot.key == key:
+                found = slot
+            break
+        _probes.point_nodes_visited.inc(nodes)
+        _probes.point_slots_scanned.inc(nodes)
+        return found
+
     def remove(self, key: Sequence[int], default: Any = _MISSING) -> Any:
         """Delete ``key`` and return its value.
 
@@ -358,8 +418,12 @@ class PHTree:
         plus possibly its now-superfluous self being merged away.
         """
         key = self._check_key(key)
+        obs = _rt.enabled
+        if obs:
+            _probes.ops_remove.inc()
         parent: Optional[Node] = None
         parent_address = -1
+        depth = 1
         node = self._root
         while node is not None:
             address = node.address_of(key)
@@ -372,6 +436,7 @@ class PHTree:
                 parent = node
                 parent_address = address
                 node = slot
+                depth += 1
                 continue
             if slot.key != key:
                 break
@@ -380,6 +445,9 @@ class PHTree:
             )
             self._size -= 1
             self._merge_if_underfull(node, parent, parent_address)
+            if obs:
+                _probes.write_nodes_visited.inc(depth)
+                _probes.write_slots_scanned.inc(depth)
             return slot.value
         if default is _MISSING:
             raise KeyError(f"key not found: {key}")
@@ -397,6 +465,8 @@ class PHTree:
             # The root is allowed any occupancy; drop it only when empty.
             if node.num_slots() == 0:
                 self._root = None
+                if _rt.enabled:
+                    _probes.tree_nodes_merged.inc()
             return
         count = node.num_slots()
         if count >= 2:
@@ -408,6 +478,8 @@ class PHTree:
         _, survivor = node.container.single_item()
         if isinstance(survivor, Node):
             survivor.infix_len += node.infix_len + 1
+        if _rt.enabled:
+            _probes.tree_nodes_merged.inc()
         parent.put_slot(
             parent_address,
             survivor,
@@ -425,6 +497,8 @@ class PHTree:
         :class:`ValueError` when ``new_key`` already exists.
         """
         new_key = self._check_key(new_key)
+        if _rt.enabled:
+            _probes.ops_update_key.inc()
         if self.contains(new_key):
             if tuple(old_key) == new_key:
                 return
@@ -462,6 +536,8 @@ class PHTree:
         """
         box_min = self._check_key(box_min)
         box_max = self._check_key(box_max)
+        if _rt.enabled:
+            _probes.ops_query.inc()
         if use_masks:
             return range_iter(self._root, box_min, box_max)
         return naive_range_iter(self._root, box_min, box_max)
@@ -489,6 +565,8 @@ class PHTree:
 
         box_min = self._check_key(box_min)
         box_max = self._check_key(box_max)
+        if _rt.enabled:
+            _probes.ops_query_approx.inc()
         return approx_range_iter(self._root, box_min, box_max, slack_bits)
 
     def count(
@@ -506,6 +584,8 @@ class PHTree:
         the stored key set).
         """
         key = self._check_key(key)
+        if _rt.enabled:
+            _probes.ops_knn.inc()
         return [
             (found_key, value)
             for _, found_key, value in knn_mod.knn_iter(
@@ -523,6 +603,8 @@ class PHTree:
         """Lazily iterate *all* entries by ascending Euclidean distance
         (an unbounded kNN -- stop whenever you have enough)."""
         key = self._check_key(key)
+        if _rt.enabled:
+            _probes.ops_knn.inc()
         for _, found_key, value in knn_mod.knn_iter(
             self._root,
             len(self),

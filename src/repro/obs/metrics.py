@@ -1,0 +1,436 @@
+"""A small in-process metrics registry (Counter / Gauge / Histogram).
+
+Prometheus-shaped but dependency-free: metric families live in one
+global :class:`Registry`, children are addressed by label values, and
+the whole state renders either as Prometheus text exposition
+(:meth:`Registry.render_prometheus`) or as a JSON-friendly dict
+(:meth:`Registry.dump_json`).
+
+Design constraints, in order:
+
+1. **Cheap to touch.**  ``Counter.inc`` is one attribute add; histogram
+   observation is one :func:`bisect.bisect_left` over a short tuple.
+   Probes only run when :mod:`repro.obs.runtime` is enabled, but the
+   enabled path still sits inside query loops.
+2. **Fixed buckets.**  Histograms use fixed log-spaced buckets chosen at
+   construction (:data:`LATENCY_BUCKETS_S` for seconds,
+   :data:`DEPTH_BUCKETS` for tree depths), so rendering never needs to
+   re-bucket and two processes' dumps are mergeable.
+3. **Idempotent registration.**  Re-requesting a family with the same
+   name returns the existing one, so probe modules can be re-imported
+   (and tests can re-register) freely.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEPTH_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricFamily",
+    "Registry",
+    "get_registry",
+]
+
+#: Log-spaced latency buckets (seconds): 1 us .. ~4.2 s, factor 4 apart.
+LATENCY_BUCKETS_S: Tuple[float, ...] = tuple(
+    1e-6 * 4**i for i in range(12)
+)
+
+#: Power-of-two depth buckets (tree depth is bounded by the bit width).
+DEPTH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting (integers stay integral)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_suffix(
+    labelnames: Sequence[str], labelvalues: Sequence[str]
+) -> str:
+    if not labelnames:
+        return ""
+    parts = ", ".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + parts + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> "int | float":
+        """Current count."""
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0
+
+    def _render(self, name: str, suffix: str) -> List[str]:
+        return [f"{name}{suffix} {_format_value(self._value)}"]
+
+    def _dump(self) -> Any:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (plus a high-water helper)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def set(self, value: "int | float") -> None:
+        """Set the gauge to ``value``."""
+        self._value = value
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        self._value += amount
+
+    def dec(self, amount: "int | float" = 1) -> None:
+        """Subtract ``amount``."""
+        self._value -= amount
+
+    def set_max(self, value: "int | float") -> None:
+        """Raise the gauge to ``value`` if it is above the current value
+        (high-water-mark semantics, e.g. the kNN heap size)."""
+        if value > self._value:
+            self._value = value
+
+    @property
+    def value(self) -> "int | float":
+        """Current value."""
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0
+
+    def _render(self, name: str, suffix: str) -> List[str]:
+        return [f"{name}{suffix} {_format_value(self._value)}"]
+
+    def _dump(self) -> Any:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus rendering."""
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(
+        self, buckets: Sequence[float] = LATENCY_BUCKETS_S
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        # One slot per finite bound plus the implicit +Inf overflow.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: "int | float") -> None:
+        """Record one observation."""
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative count per upper bound (Prometheus ``le`` labels)."""
+        out: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            out[_format_value(bound)] = running
+        out["+Inf"] = self._count
+        return out
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def _render(self, name: str, suffix: str) -> List[str]:
+        if suffix:
+            # Merge the `le` label into the existing label set.
+            base = suffix[:-1] + ', le="%s"}'
+        else:
+            base = '{le="%s"}'
+        lines = []
+        for bound, cumulative in self.bucket_counts().items():
+            lines.append(
+                f"{name}_bucket{base % bound} {cumulative}"
+            )
+        lines.append(f"{name}_sum{suffix} {_format_value(self._sum)}")
+        lines.append(f"{name}_count{suffix} {self._count}")
+        return lines
+
+    def _dump(self) -> Any:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": self.bucket_counts(),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with zero or more labelled children.
+
+    Without label names the family has exactly one anonymous child and
+    proxies ``inc``/``set``/``observe``/... straight to it, so unlabelled
+    metrics read like plain instruments.
+    """
+
+    __slots__ = (
+        "name",
+        "help",
+        "kind",
+        "labelnames",
+        "_buckets",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._buckets = buckets
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            self._children[()] = self._make()
+
+    def _make(self) -> Any:
+        if self.kind == "histogram":
+            if self._buckets is None:
+                return Histogram()
+            return Histogram(self._buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values: Any, **kv: Any) -> Any:
+        """Child for one label-value combination (created on demand)."""
+        if kv:
+            if values:
+                raise ValueError(
+                    "pass label values positionally or by name, not both"
+                )
+            values = tuple(kv[name] for name in self.labelnames)
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, got {key}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            child = self._make()
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[Tuple[Tuple[str, ...], Any]]:
+        """Iterate ``(labelvalues, instrument)`` pairs, sorted."""
+        return iter(sorted(self._children.items()))
+
+    # -- unlabelled proxy ---------------------------------------------------
+
+    def _solo(self) -> Any:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labelled {self.labelnames}; call "
+                f".labels(...) first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: "int | float" = 1) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: "int | float") -> None:
+        self._solo().set(value)
+
+    def set_max(self, value: "int | float") -> None:
+        self._solo().set_max(value)
+
+    def observe(self, value: "int | float") -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> Any:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum
+
+    def reset(self) -> None:
+        """Zero every child (children created so far are kept)."""
+        for child in self._children.values():
+            child._reset()
+
+
+class Registry:
+    """All metric families of one process, renderable as a whole."""
+
+    __slots__ = ("_families",)
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.labelnames != tuple(
+                labelnames
+            ):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind}{family.labelnames}"
+                )
+            return family
+        family = MetricFamily(name, help_text, kind, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._register(
+            name, help_text, "histogram", labelnames, buckets
+        )
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Family by name, or None."""
+        return self._families.get(name)
+
+    def families(self) -> Iterator[MetricFamily]:
+        """All families, sorted by name."""
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def reset(self) -> None:
+        """Zero every instrument in the registry."""
+        for family in self._families.values():
+            family.reset()
+
+    # -- exposition --------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labelvalues, child in family.children():
+                suffix = _label_suffix(family.labelnames, labelvalues)
+                lines.extend(child._render(family.name, suffix))
+        return "\n".join(lines) + "\n"
+
+    def dump_json(self) -> Dict[str, Any]:
+        """JSON-friendly dump: ``{name: {type, help, values: [...]}}``."""
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            values = []
+            for labelvalues, child in family.children():
+                values.append(
+                    {
+                        "labels": dict(
+                            zip(family.labelnames, labelvalues)
+                        ),
+                        "value": child._dump(),
+                    }
+                )
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return out
+
+
+#: The process-global registry every probe registers against.
+REGISTRY = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-global :class:`Registry`."""
+    return REGISTRY

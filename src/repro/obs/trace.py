@@ -1,0 +1,472 @@
+"""``explain()``-style structured traces for single queries.
+
+:func:`explain_query` re-runs one window (or approximate-window) query
+through a recording traversal that takes exactly the decisions of the
+production kernel (:func:`repro.core.kernel.range_scan`): same node
+admission test, same full-cover flush rule, same trivial-mask plain-scan
+degradation, same postfix filter.  Instead of being fast it writes one
+:class:`NodeRecord` per visited node -- which mode the node was walked
+in, its masks, how many slots were scanned, which children were pushed
+or rejected, how entries fared against the postfix filter.
+
+:func:`explain_knn` does the same for the best-first kNN engine: one
+:class:`KnnStep` per priority-queue pop, plus heap telemetry.
+
+Traces are correctness-checked against the production engines by
+``tests/obs/test_trace.py`` (same entries, same order) and are reachable
+from the command line via ``repro.tool query --explain`` and
+``repro.tool knn --explain``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import knn as knn_mod
+from repro.core.node import Node
+
+__all__ = [
+    "KnnStep",
+    "KnnTrace",
+    "NodeRecord",
+    "QueryTrace",
+    "explain_knn",
+    "explain_query",
+]
+
+Key = Tuple[int, ...]
+
+
+@dataclass
+class NodeRecord:
+    """One visited node of a traced window query."""
+
+    index: int
+    depth: int
+    path: Tuple[int, ...]
+    post_len: int
+    infix_len: int
+    container: str  # "HC" | "LHC"
+    mode: str  # "masked" | "scan" | "flush"
+    mask_low: Optional[int]
+    mask_high: Optional[int]
+    slots_scanned: int = 0
+    mask_rejections: int = 0
+    children_pushed: int = 0
+    children_rejected: int = 0
+    entries_checked: int = 0
+    entries_yielded: int = 0
+    postfix_drops: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        out["path"] = list(self.path)
+        return out
+
+    def render(self) -> str:
+        masks = (
+            f" mL={self.mask_low:b} mU={self.mask_high:b}"
+            if self.mode == "masked"
+            else ""
+        )
+        path = "/".join(str(a) for a in self.path) or "root"
+        return (
+            f"#{self.index:<3d} depth={self.depth} at {path}: "
+            f"{self.container} {self.mode}{masks} post_len={self.post_len} "
+            f"slots={self.slots_scanned} "
+            f"children +{self.children_pushed}/-{self.children_rejected} "
+            f"mask_rej={self.mask_rejections} "
+            f"entries {self.entries_yielded}/{self.entries_checked} "
+            f"(postfix_drop={self.postfix_drops})"
+        )
+
+
+@dataclass
+class QueryTrace:
+    """Structured trace of one window query."""
+
+    box_min: Key
+    box_max: Key
+    slack_bits: int
+    records: List[NodeRecord] = field(default_factory=list)
+    results: List[Tuple[Key, Any]] = field(default_factory=list)
+    truncated: bool = False
+    totals: Dict[str, int] = field(
+        default_factory=lambda: {
+            "nodes_visited": 0,
+            "hc_nodes_visited": 0,
+            "lhc_nodes_visited": 0,
+            "slots_scanned": 0,
+            "mask_rejections": 0,
+            "full_cover_flushes": 0,
+            "plain_scans": 0,
+            "children_rejected": 0,
+            "postfix_drops": 0,
+            "entries_yielded": 0,
+        }
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "box_min": list(self.box_min),
+            "box_max": list(self.box_max),
+            "slack_bits": self.slack_bits,
+            "totals": dict(self.totals),
+            "n_results": len(self.results),
+            "truncated": self.truncated,
+            "nodes": [r.to_dict() for r in self.records],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"window query trace: box={list(self.box_min)} .. "
+            f"{list(self.box_max)}"
+            + (f" slack_bits={self.slack_bits}" if self.slack_bits else "")
+        ]
+        lines.extend(record.render() for record in self.records)
+        if self.truncated:
+            lines.append(
+                f"... trace truncated at {len(self.records)} node "
+                f"records (totals cover the full traversal)"
+            )
+        totals = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.totals.items())
+        )
+        lines.append(f"totals: {totals}")
+        lines.append(f"results: {len(self.results)} entr(ies)")
+        return "\n".join(lines)
+
+
+def explain_query(
+    tree: Any,
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int = 0,
+    max_records: int = 512,
+) -> QueryTrace:
+    """Trace one window query over a :class:`~repro.core.phtree.PHTree`.
+
+    Yields the exact result set (and order) of
+    ``tree.query(box_min, box_max)`` (or ``query_approx`` for
+    ``slack_bits > 0``) in ``trace.results`` while recording a
+    :class:`NodeRecord` per visited node.  ``max_records`` bounds the
+    per-node detail on huge traversals; totals always cover the whole
+    walk.
+    """
+    if slack_bits < 0:
+        raise ValueError(f"slack_bits must be >= 0, got {slack_bits}")
+    bmin = tree._check_key(box_min)
+    bmax = tree._check_key(box_max)
+    trace = QueryTrace(bmin, bmax, slack_bits)
+    root = tree.root
+    if root is None or any(lo > hi for lo, hi in zip(bmin, bmax)):
+        return trace
+    k = len(bmin)
+    full = (1 << k) - 1
+    if slack_bits > 0:
+        slack = (1 << slack_bits) - 1
+        lo_chk = tuple(v - slack for v in bmin)
+        hi_chk = tuple(v + slack for v in bmax)
+    else:
+        lo_chk = bmin
+        hi_chk = bmax
+    totals = trace.totals
+    records = trace.records
+    results = trace.results
+
+    def classify(node: Node) -> Optional[Tuple[bool, bool, int, int]]:
+        """The kernel's fused intersection/coverage/mask computation:
+        ``(hit, inside, m_L, m_U)`` (None when the node misses the
+        box)."""
+        post = node.post_len
+        free = (1 << (post + 1)) - 1
+        ml = mh = 0
+        inside = True
+        for nlo, lo, hi in zip(node.prefix, bmin, bmax):
+            nhi = nlo | free
+            if hi < nlo or lo > nhi:
+                return None
+            if nlo < lo or nhi > hi:
+                inside = False
+            if lo < nlo:
+                lo = nlo
+            if hi > nhi:
+                hi = nhi
+            ml = (ml << 1) | ((lo >> post) & 1)
+            mh = (mh << 1) | ((hi >> post) & 1)
+        return True, inside, ml, mh
+
+    def record_node(
+        node: Node, depth: int, path: Tuple[int, ...], mode: str,
+        ml: Optional[int], mh: Optional[int],
+    ) -> NodeRecord:
+        totals["nodes_visited"] += 1
+        is_hc = node.container.is_hc
+        totals["hc_nodes_visited" if is_hc else "lhc_nodes_visited"] += 1
+        if mode == "scan":
+            totals["plain_scans"] += 1
+        rec = NodeRecord(
+            index=totals["nodes_visited"] - 1,
+            depth=depth,
+            path=path,
+            post_len=node.post_len,
+            infix_len=node.infix_len,
+            container="HC" if is_hc else "LHC",
+            mode=mode,
+            mask_low=ml,
+            mask_high=mh,
+        )
+        if len(records) < max_records:
+            records.append(rec)
+        else:
+            trace.truncated = True
+        return rec
+
+    def visit(
+        node: Node,
+        depth: int,
+        path: Tuple[int, ...],
+        mode: str,
+        ml: Optional[int],
+        mh: Optional[int],
+    ) -> None:
+        rec = record_node(node, depth, path, mode, ml, mh)
+        for address, slot in node.items():
+            rec.slots_scanned += 1
+            totals["slots_scanned"] += 1
+            if mode == "masked" and (
+                (address | ml) != address or (address & mh) != address
+            ):
+                rec.mask_rejections += 1
+                totals["mask_rejections"] += 1
+                continue
+            if isinstance(slot, Node):
+                child_path = path + (address,)
+                if mode == "flush":
+                    rec.children_pushed += 1
+                    visit(slot, depth + 1, child_path, "flush", None, None)
+                    continue
+                verdict = classify(slot)
+                if verdict is None:
+                    rec.children_rejected += 1
+                    totals["children_rejected"] += 1
+                    continue
+                _, inside, cml, cmh = verdict
+                rec.children_pushed += 1
+                if inside or slot.post_len < slack_bits:
+                    totals["full_cover_flushes"] += 1
+                    visit(slot, depth + 1, child_path, "flush", None, None)
+                elif cml == 0 and cmh == full:
+                    visit(slot, depth + 1, child_path, "scan", None, None)
+                else:
+                    visit(slot, depth + 1, child_path, "masked", cml, cmh)
+            else:
+                if mode == "flush":
+                    rec.entries_yielded += 1
+                    totals["entries_yielded"] += 1
+                    results.append((slot.key, slot.value))
+                    continue
+                rec.entries_checked += 1
+                key = slot.key
+                for v, lo, hi in zip(key, lo_chk, hi_chk):
+                    if v < lo or v > hi:
+                        rec.postfix_drops += 1
+                        totals["postfix_drops"] += 1
+                        break
+                else:
+                    rec.entries_yielded += 1
+                    totals["entries_yielded"] += 1
+                    results.append((key, slot.value))
+
+    verdict = classify(root)
+    if verdict is None:
+        return trace
+    _, _, ml, mh = verdict
+    # The root is never flushed, mirroring the kernel.
+    if ml == 0 and mh == full:
+        visit(root, 0, (), "scan", None, None)
+    else:
+        visit(root, 0, (), "masked", ml, mh)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# kNN tracing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KnnStep:
+    """One priority-queue pop of a traced kNN search."""
+
+    index: int
+    kind: str  # "node" | "entry"
+    distance: Any
+    heap_size: int  # size after the pop (and, for nodes, the expansion)
+    post_len: Optional[int] = None
+    children_pushed: int = 0
+    key: Optional[Key] = None
+    rank: Optional[int] = None  # 1-based result rank for entries
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        if self.key is not None:
+            out["key"] = list(self.key)
+        return out
+
+    def render(self) -> str:
+        if self.kind == "node":
+            return (
+                f"#{self.index:<3d} pop node  d>={self.distance} "
+                f"post_len={self.post_len} pushed={self.children_pushed} "
+                f"heap={self.heap_size}"
+            )
+        return (
+            f"#{self.index:<3d} pop entry d={self.distance} "
+            f"key={self.key} -> result #{self.rank} heap={self.heap_size}"
+        )
+
+
+@dataclass
+class KnnTrace:
+    """Structured trace of one kNN search."""
+
+    query: Key
+    n: int
+    steps: List[KnnStep] = field(default_factory=list)
+    results: List[Tuple[Key, Any]] = field(default_factory=list)
+    truncated: bool = False
+    totals: Dict[str, int] = field(
+        default_factory=lambda: {
+            "regions_expanded": 0,
+            "heap_pushes": 0,
+            "heap_high_water": 0,
+            "entries_yielded": 0,
+        }
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": list(self.query),
+            "n": self.n,
+            "totals": dict(self.totals),
+            "n_results": len(self.results),
+            "truncated": self.truncated,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    def render(self) -> str:
+        lines = [f"kNN trace: query={list(self.query)} n={self.n}"]
+        lines.extend(step.render() for step in self.steps)
+        if self.truncated:
+            lines.append(
+                f"... trace truncated at {len(self.steps)} steps "
+                f"(totals cover the full search)"
+            )
+        totals = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.totals.items())
+        )
+        lines.append(f"totals: {totals}")
+        lines.append(f"results: {len(self.results)} entr(ies)")
+        return "\n".join(lines)
+
+
+def explain_knn(
+    tree: Any, key: Sequence[int], n: int = 1, max_records: int = 512
+) -> KnnTrace:
+    """Trace one kNN search over a :class:`~repro.core.phtree.PHTree`.
+
+    Replays the best-first engine of :func:`repro.core.knn.knn_iter`
+    (same distances, same Morton tie-break, so the same results in the
+    same order) recording one :class:`KnnStep` per heap pop plus heap
+    telemetry -- regions expanded and the queue's high-water mark.
+    """
+    qkey = tree._check_key(key)
+    trace = KnnTrace(qkey, n)
+    root = tree.root
+    if root is None or n <= 0:
+        return trace
+    point_distance = knn_mod.squared_euclidean_int(qkey)
+    region_distance = knn_mod.squared_euclidean_region_int(qkey)
+    z_key = knn_mod.morton_tiebreak(tree.width)
+    totals = trace.totals
+    counter = itertools.count()
+    lower, upper = root.region()
+    heap: list = [
+        (region_distance(lower, upper), z_key(lower), next(counter), root)
+    ]
+    totals["heap_pushes"] += 1
+    totals["heap_high_water"] = 1
+    node_cls = Node
+    step_index = 0
+
+    def add_step(step: KnnStep) -> None:
+        if len(trace.steps) < max_records:
+            trace.steps.append(step)
+        else:
+            trace.truncated = True
+
+    while heap:
+        dist, _, _, item = heapq.heappop(heap)
+        if item.__class__ is node_cls:
+            totals["regions_expanded"] += 1
+            pushed = 0
+            for _, slot in item.items():
+                if slot.__class__ is node_cls:
+                    lower = slot.prefix
+                    free = (1 << (slot.post_len + 1)) - 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            region_distance(
+                                lower, tuple(p | free for p in lower)
+                            ),
+                            z_key(lower),
+                            next(counter),
+                            slot,
+                        ),
+                    )
+                else:
+                    heapq.heappush(
+                        heap,
+                        (
+                            point_distance(slot.key),
+                            z_key(slot.key),
+                            next(counter),
+                            slot,
+                        ),
+                    )
+                pushed += 1
+            totals["heap_pushes"] += pushed
+            if len(heap) > totals["heap_high_water"]:
+                totals["heap_high_water"] = len(heap)
+            add_step(
+                KnnStep(
+                    index=step_index,
+                    kind="node",
+                    distance=dist,
+                    heap_size=len(heap),
+                    post_len=item.post_len,
+                    children_pushed=pushed,
+                )
+            )
+        else:
+            trace.results.append((item.key, item.value))
+            totals["entries_yielded"] += 1
+            add_step(
+                KnnStep(
+                    index=step_index,
+                    kind="entry",
+                    distance=dist,
+                    heap_size=len(heap),
+                    key=item.key,
+                    rank=len(trace.results),
+                )
+            )
+            if len(trace.results) >= n:
+                return trace
+        step_index += 1
+    return trace

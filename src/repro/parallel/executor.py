@@ -27,13 +27,21 @@ import uuid
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.frozen import FrozenPHTree, freeze
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
+from repro.obs.log import get_logger
 
 __all__ = ["SnapshotPool"]
 
 Key = Tuple[int, ...]
+
+#: Parent-side lifecycle/telemetry logger (workers stay silent: their
+#: processes inherit no handler unless the embedding app installs one).
+_log = get_logger("parallel.executor")
 
 # ---------------------------------------------------------------------------
 # Worker side: a bounded LRU of attached snapshots, keyed by segment name.
@@ -142,6 +150,11 @@ class SnapshotPool:
             raise RuntimeError("SnapshotPool is closed")
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self._workers)
+            _log.info(
+                "started snapshot process pool (%d workers, %d shards)",
+                self._workers,
+                len(self._snapshots),
+            )
         return self._executor
 
     # -- publication ---------------------------------------------------------
@@ -159,6 +172,13 @@ class SnapshotPool:
             name=f"phx{uuid.uuid4().hex[:16]}",
         )
         segment.buf[: len(blob)] = blob
+        _log.debug(
+            "published shard %d generation %d (%d bytes, segment %s)",
+            shard,
+            generation,
+            len(blob),
+            segment.name,
+        )
         return _Snapshot(segment, generation, len(blob))
 
     def refresh(self) -> int:
@@ -178,19 +198,45 @@ class SnapshotPool:
             fresh = self._publish(shard)
             self._snapshots[shard] = fresh
             republished += 1
+            if _rt.enabled:
+                _probes.snapshot_republish.inc()
             if snapshot is not None:
+                if _rt.enabled:
+                    _probes.snapshot_stale_invalidations.inc()
                 self._discard(snapshot)
+        if republished:
+            _log.info(
+                "republished %d stale shard snapshot(s), %d bytes "
+                "published in total",
+                republished,
+                self.snapshot_bytes(),
+            )
+            if _rt.enabled:
+                _probes.snapshot_bytes.set(self.snapshot_bytes())
         return republished
 
     @staticmethod
     def _discard(snapshot: _Snapshot) -> None:
         """Unlink a superseded segment (attached workers keep their
-        mapping alive until LRU eviction)."""
+        mapping alive until LRU eviction).
+
+        Unlink failures are logged and survived: a raced unlink (another
+        unlinker got there first, or the platform already reclaimed the
+        segment) must not fail the query that merely triggered snapshot
+        maintenance.
+        """
+        name = snapshot.segment.name
         try:
             snapshot.segment.close()
             snapshot.segment.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+            _log.debug("snapshot segment %s already unlinked", name)
+        except Exception as exc:
+            if _rt.enabled:
+                _probes.snapshot_discard_errors.inc()
+            _log.warning(
+                "failed to discard snapshot segment %s: %s", name, exc
+            )
 
     def snapshot_bytes(self) -> int:
         """Total bytes currently published across all shard snapshots."""
@@ -208,6 +254,12 @@ class SnapshotPool:
         merged in z-order (= shard index order concatenation)."""
         self.refresh()
         pool = self._pool()
+        obs = _rt.enabled
+        if obs:
+            start = perf_counter()
+            _probes.fanout_tasks.labels("query").inc(len(shards))
+            for shard in shards:
+                _probes.record_shard_op(shard, "query")
         futures = [
             pool.submit(_worker_window, name, self._codec, box_min, box_max)
             for name in self._names(shards)
@@ -215,6 +267,10 @@ class SnapshotPool:
         merged: List[Tuple[Key, Any]] = []
         for future in futures:
             merged.extend(future.result())
+        if obs:
+            _probes.fanout_latency.labels("query").observe(
+                perf_counter() - start
+            )
         return merged
 
     def query_many(
@@ -229,6 +285,12 @@ class SnapshotPool:
         self.refresh()
         pool = self._pool()
         ordered = sorted(per_shard.items())
+        obs = _rt.enabled
+        if obs:
+            start = perf_counter()
+            _probes.fanout_tasks.labels("query_many").inc(len(ordered))
+            for shard, _indices in ordered:
+                _probes.record_shard_op(shard, "query_many")
         futures = [
             (
                 indices,
@@ -245,6 +307,10 @@ class SnapshotPool:
         for indices, future in futures:
             for index, part in zip(indices, future.result()):
                 results[index].extend(part)
+        if obs:
+            _probes.fanout_latency.labels("query_many").observe(
+                perf_counter() - start
+            )
         return results
 
     def knn(self, key: Key, n: int) -> List[List[Tuple[Key, Any]]]:
@@ -252,11 +318,23 @@ class SnapshotPool:
         owning tree merges by ``(distance, z-code)``)."""
         self.refresh()
         pool = self._pool()
+        shards = range(len(self._snapshots))
+        obs = _rt.enabled
+        if obs:
+            start = perf_counter()
+            _probes.fanout_tasks.labels("knn").inc(len(self._snapshots))
+            for shard in shards:
+                _probes.record_shard_op(shard, "knn")
         futures = [
             pool.submit(_worker_knn, name, self._codec, key, n)
-            for name in self._names(range(len(self._snapshots)))
+            for name in self._names(shards)
         ]
-        return [future.result() for future in futures]
+        results = [future.result() for future in futures]
+        if obs:
+            _probes.fanout_latency.labels("knn").observe(
+                perf_counter() - start
+            )
+        return results
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -268,6 +346,7 @@ class SnapshotPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+            _log.info("snapshot process pool shut down")
         for snapshot in self._snapshots:
             if snapshot is not None:
                 self._discard(snapshot)

@@ -34,12 +34,16 @@ from typing import (
     Tuple,
 )
 
+from time import perf_counter
+
 from repro.core.bulk import bulk_load_sorted
 from repro.core.concurrent import SynchronizedPHTree
 from repro.core.knn import squared_euclidean_region_int
 from repro.core.phtree import PHTree
 from repro.core.serialize import NoneValueCodec
 from repro.encoding.interleave import interleave
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 from repro.parallel.router import ZShardRouter
 
 __all__ = ["ShardedPHTree"]
@@ -47,6 +51,25 @@ __all__ = ["ShardedPHTree"]
 _MISSING = object()
 
 Key = Tuple[int, ...]
+
+
+class _TimedGuard:
+    """Lock guard measuring acquisition wait into a histogram
+    (only constructed on the observability-enabled path)."""
+
+    __slots__ = ("_guard", "_hist")
+
+    def __init__(self, guard: Any, hist: Any) -> None:
+        self._guard = guard
+        self._hist = hist
+
+    def __enter__(self) -> None:
+        start = perf_counter()
+        self._guard.__enter__()
+        self._hist.observe(perf_counter() - start)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._guard.__exit__(*exc_info)
 
 
 class ShardedPHTree:
@@ -215,10 +238,27 @@ class ShardedPHTree:
         key = self._check_key(key)
         index = self._router.shard_of(key)
         locked = self._shards[index]
-        with locked.lock.write():
+        with self._write_guard(index, "put"):
             previous = locked.unsafe_tree.put(key, value)
             self._generations[index] += 1
         return previous
+
+    def _write_guard(self, index: int, op: str) -> Any:
+        """The shard's write lock; with observability enabled, also
+        counts the op against the shard and times the acquisition."""
+        guard = self._shards[index].lock.write()
+        if _rt.enabled:
+            _probes.record_shard_op(index, op)
+            return _TimedGuard(guard, _probes.shard_lock_wait_write)
+        return guard
+
+    def _read_guard(self, index: int, op: str) -> Any:
+        """The shard's read lock, instrumented like :meth:`_write_guard`."""
+        guard = self._shards[index].lock.read()
+        if _rt.enabled:
+            _probes.record_shard_op(index, op)
+            return _TimedGuard(guard, _probes.shard_lock_wait_read)
+        return guard
 
     def remove(self, key: Sequence[int], default: Any = _MISSING) -> Any:
         """Delete ``key``; :class:`KeyError` when absent unless
@@ -226,7 +266,7 @@ class ShardedPHTree:
         key = self._check_key(key)
         index = self._router.shard_of(key)
         locked = self._shards[index]
-        with locked.lock.write():
+        with self._write_guard(index, "remove"):
             if default is _MISSING:
                 value = locked.unsafe_tree.remove(key)
             else:
@@ -245,13 +285,13 @@ class ShardedPHTree:
         target = self._router.shard_of(new_key)
         if source == target:
             locked = self._shards[source]
-            with locked.lock.write():
+            with self._write_guard(source, "update_key"):
                 locked.unsafe_tree.update_key(old_key, new_key)
                 self._generations[source] += 1
             return
         first, second = sorted((source, target))
-        with self._shards[first].lock.write():
-            with self._shards[second].lock.write():
+        with self._write_guard(first, "update_key"):
+            with self._write_guard(second, "update_key"):
                 source_tree = self._shards[source].unsafe_tree
                 target_tree = self._shards[target].unsafe_tree
                 if target_tree.contains(new_key):
@@ -275,7 +315,7 @@ class ShardedPHTree:
             )
         for index in sorted(grouped):
             locked = self._shards[index]
-            with locked.lock.write():
+            with self._write_guard(index, "put_all"):
                 put = locked.unsafe_tree.put
                 for key, value in grouped[index]:
                     put(key, value)
@@ -284,7 +324,7 @@ class ShardedPHTree:
     def clear(self) -> None:
         """Remove all entries from every shard."""
         for index, locked in enumerate(self._shards):
-            with locked.lock.write():
+            with self._write_guard(index, "clear"):
                 locked.unsafe_tree.clear()
                 self._generations[index] += 1
 
@@ -293,12 +333,20 @@ class ShardedPHTree:
     def get(self, key: Sequence[int], default: Any = None) -> Any:
         """Value stored at ``key`` or ``default``."""
         key = self._check_key(key)
-        return self._shards[self._router.shard_of(key)].get(key, default)
+        index = self._router.shard_of(key)
+        if _rt.enabled:
+            with self._read_guard(index, "get"):
+                return self._shards[index].unsafe_tree.get(key, default)
+        return self._shards[index].get(key, default)
 
     def contains(self, key: Sequence[int]) -> bool:
         """Point query."""
         key = self._check_key(key)
-        return self._shards[self._router.shard_of(key)].contains(key)
+        index = self._router.shard_of(key)
+        if _rt.enabled:
+            with self._read_guard(index, "contains"):
+                return self._shards[index].unsafe_tree.contains(key)
+        return self._shards[index].contains(key)
 
     def __contains__(self, key: Sequence[int]) -> bool:
         return self.contains(key)
@@ -318,7 +366,7 @@ class ShardedPHTree:
         for index in sorted(grouped):
             positions = grouped[index]
             locked = self._shards[index]
-            with locked.lock.read():
+            with self._read_guard(index, "get_many"):
                 values = locked.unsafe_tree.get_many(
                     [checked[p] for p in positions], default
                 )
@@ -341,6 +389,15 @@ class ShardedPHTree:
         if self._workers:
             return self._snapshot_pool().query(box_min, box_max, shards)
         merged: List[Tuple[Key, Any]] = []
+        if _rt.enabled:
+            for index in shards:
+                with self._read_guard(index, "query"):
+                    merged.extend(
+                        self._shards[index].unsafe_tree.query(
+                            box_min, box_max
+                        )
+                    )
+            return merged
         for index in shards:
             merged.extend(self._shards[index].query(box_min, box_max))
         return merged
@@ -369,7 +426,7 @@ class ShardedPHTree:
         for index in sorted(per_shard):
             positions = per_shard[index]
             locked = self._shards[index]
-            with locked.lock.read():
+            with self._read_guard(index, "query_many"):
                 parts = locked.unsafe_tree.query_many(
                     [checked[p] for p in positions], use_masks=use_masks
                 )
@@ -423,7 +480,11 @@ class ShardedPHTree:
                         > distances[n - 1]
                     ):
                         break
-                part = self._shards[index].knn(key, n)
+                if _rt.enabled:
+                    with self._read_guard(index, "knn"):
+                        part = self._shards[index].unsafe_tree.knn(key, n)
+                else:
+                    part = self._shards[index].knn(key, n)
                 candidate_lists.append(part)
                 distances.extend(
                     self._point_dist(key, candidate)

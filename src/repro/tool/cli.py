@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 import time
 from pathlib import Path
@@ -12,9 +13,15 @@ from typing import List, Optional, Tuple
 from repro.core import collect_stats
 from repro.core.phtree import PHTree
 from repro.encoding.ieee import decode_point, encode_point
+from repro.obs.log import configure_logging, get_logger
 from repro.tool.storage import IndexFile, load_index, save_index
 
 __all__ = ["main"]
+
+_log = get_logger("tool")
+
+#: Full inclusive domain of one encoded (u64) coordinate.
+_U64_MAX = (1 << 64) - 1
 
 
 def _parse_point(text: str, dims: int) -> Tuple[float, ...]:
@@ -101,6 +108,18 @@ def cmd_query(args: argparse.Namespace) -> int:
     index = load_index(Path(args.index))
     box_min, box_max = _parse_box(args.box, index.dims)
     lo, hi = encode_point(box_min), encode_point(box_max)
+    if args.explain:
+        # Per-node trace of the single-tree window traversal (the
+        # sharded fan-out, if requested, is bypassed: the trace
+        # explains the kernel's decisions, which are per-tree).
+        from repro import obs
+
+        trace = obs.explain_query(index.tree, lo, hi)
+        print(trace.render())
+        print(
+            f"{len(trace.results)} point(s) in box", file=sys.stderr
+        )
+        return 0
     if args.shards > 1 or args.workers > 0:
         # Fan the window out over a z-sharded copy of the index; row
         # numbers are u64, so the snapshot codec round-trips them.
@@ -136,6 +155,16 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_knn(args: argparse.Namespace) -> int:
     index = load_index(Path(args.index))
     query = _parse_point(args.point, index.dims)
+    if args.explain:
+        # Trace the best-first search over the stored (encoded integer)
+        # keys; reported distances are in encoded key space.
+        from repro import obs
+
+        trace = obs.explain_knn(
+            index.tree, encode_point(query), n=args.n
+        )
+        print(trace.render())
+        return 0
     # kNN in float space via the float facade over the restored tree.
     from repro.core.phtree_float import PHTreeF
 
@@ -192,14 +221,99 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Drive a demonstration workload with instrumentation enabled and
+    print the resulting registry (Prometheus text or JSON).
+
+    With ``--shards``/``--workers`` the workload runs against a
+    z-sharded copy of the index -- writes, point reads, window + kNN
+    fan-outs and a snapshot refresh -- so the per-shard op counts,
+    lock-wait times, republish and stale-invalidation counters all
+    move.  Without them it exercises the single-tree read paths.
+    """
+    from repro import obs
+
+    index = load_index(Path(args.index))
+    dims = index.dims
+    sample = [key for key, _ in zip(index.tree.keys(), range(16))]
+    domain_lo = (0,) * dims
+    domain_hi = (_U64_MAX,) * dims
+    obs.reset()
+    obs.enable()
+    try:
+        if args.shards > 1 or args.workers > 0:
+            from repro.core.serialize import U64ValueCodec
+            from repro.parallel import ShardedPHTree
+
+            _log.info(
+                "driving sharded workload (%d shards, %d workers)",
+                args.shards,
+                args.workers,
+            )
+            with ShardedPHTree.build(
+                list(index.tree.items()),
+                dims=dims,
+                width=64,
+                shards=max(args.shards, 1),
+                workers=args.workers,
+                value_codec=U64ValueCodec,
+            ) as sharded:
+                sharded.query(domain_lo, domain_hi)  # publishes snapshots
+                for key in sample:
+                    sharded.put(key, sharded.get(key))  # bump generations
+                sharded.refresh_snapshots()  # republish + invalidate
+                sharded.get_many(sample)
+                sharded.query_many(
+                    [(domain_lo, domain_hi), (domain_lo, domain_lo)]
+                )
+                if sample:
+                    sharded.knn(sample[0], min(4, len(sharded)))
+        else:
+            _log.info("driving single-tree workload")
+            tree = index.tree
+            for key in sample:
+                tree.contains(key)
+            tree.get_many(sample)
+            list(tree.query(domain_lo, domain_hi))
+            if sample:
+                tree.knn(sample[0], min(4, len(tree)))
+    finally:
+        obs.disable()
+    if args.format == "json":
+        print(json.dumps(obs.dump_json(), indent=2, sort_keys=True))
+    else:
+        print(obs.render_prometheus(), end="")
+    obs.reset()
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tool",
         description="Index CSV point data with a PH-tree.",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v: lifecycle INFO; -vv: per-shard DEBUG (stderr)",
+    )
+    # The same flag is accepted after the subcommand; SUPPRESS keeps the
+    # subparser from clobbering a count already parsed before it.
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    build = sub.add_parser("build", help="index a CSV file")
+    build = sub.add_parser(
+        "build", help="index a CSV file", parents=[verbosity]
+    )
     build.add_argument("csv", help="source CSV (with a header row)")
     build.add_argument(
         "--columns",
@@ -212,7 +326,9 @@ def _parser() -> argparse.ArgumentParser:
     )
     build.set_defaults(func=cmd_build)
 
-    query = sub.add_parser("query", help="window query")
+    query = sub.add_parser(
+        "query", help="window query", parents=[verbosity]
+    )
     query.add_argument("index", help="index file")
     query.add_argument(
         "--box",
@@ -235,32 +351,80 @@ def _parser() -> argparse.ArgumentParser:
         help="process-pool size for the sharded fan-out (0 = stay "
         "in-process; default: %(default)s)",
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a per-node trace of the window traversal instead "
+        "of the matching rows",
+    )
     query.set_defaults(func=cmd_query)
 
-    knn = sub.add_parser("knn", help="k nearest neighbours")
+    knn = sub.add_parser(
+        "knn", help="k nearest neighbours", parents=[verbosity]
+    )
     knn.add_argument("index", help="index file")
     knn.add_argument("--point", "-p", required=True, help="'x,y,...'")
     knn.add_argument("-n", type=int, default=1)
+    knn.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a trace of the best-first search (encoded key "
+        "space) instead of the neighbours",
+    )
     knn.set_defaults(func=cmd_knn)
 
-    stats = sub.add_parser("stats", help="index structure report")
+    stats = sub.add_parser(
+        "stats", help="index structure report", parents=[verbosity]
+    )
     stats.add_argument("index", help="index file")
     stats.set_defaults(func=cmd_stats)
 
     export = sub.add_parser(
-        "export", help="dump the index content as CSV (z-order)"
+        "export",
+        help="dump the index content as CSV (z-order)",
+        parents=[verbosity],
     )
     export.add_argument("index", help="index file")
     export.add_argument(
         "--out", "-o", default=None, help="output CSV (default: stdout)"
     )
     export.set_defaults(func=cmd_export)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and print the metrics "
+        "registry",
+        parents=[verbosity],
+    )
+    metrics.add_argument("index", help="index file")
+    metrics.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="drive the workload through this many z-order shards "
+        "(power of two; default: %(default)s, single tree)",
+    )
+    metrics.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for the sharded workload (0 = live "
+        "reads; default: %(default)s)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format (default: %(default)s)",
+    )
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the CSV-indexing CLI; returns a process exit code."""
     args = _parser().parse_args(argv)
+    configure_logging(args.verbose)
     try:
         return args.func(args)
     except (ValueError, OSError) as exc:

@@ -1,0 +1,13 @@
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_enabled():
+    """Observability on, registry clean, guaranteed off again after."""
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,187 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    Registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative_increments(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_set_max_is_high_water(self):
+        g = Gauge()
+        g.set_max(4)
+        g.set_max(2)
+        assert g.value == 4
+        g.set_max(9)
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_inf(self):
+        h = Histogram(buckets=(1, 10, 100))
+        for v in (0.5, 5, 5, 50, 5000):
+            h.observe(v)
+        counts = h.bucket_counts()
+        assert counts["1"] == 1
+        assert counts["10"] == 3
+        assert counts["100"] == 4
+        assert counts["+Inf"] == 5
+        assert h.count == 5
+        assert h.sum == pytest.approx(5060.5)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        h = Histogram(buckets=(1, 10))
+        h.observe(10)
+        assert h.bucket_counts()["10"] == 1
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_default_latency_buckets_are_log_spaced(self):
+        assert LATENCY_BUCKETS_S[0] == pytest.approx(1e-6)
+        ratios = {
+            round(b / a)
+            for a, b in zip(LATENCY_BUCKETS_S, LATENCY_BUCKETS_S[1:])
+        }
+        assert ratios == {4}
+        assert DEPTH_BUCKETS[-1] == 64
+
+
+class TestMetricFamily:
+    def test_unlabelled_family_proxies_to_single_child(self):
+        f = MetricFamily("m", "help", "counter")
+        f.inc(3)
+        assert f.value == 3
+
+    def test_labelled_children_are_cached(self):
+        f = MetricFamily("m", "help", "counter", labelnames=("op",))
+        a = f.labels("get")
+        b = f.labels("get")
+        assert a is b
+        a.inc()
+        assert f.labels("put").value == 0
+
+    def test_labels_by_keyword(self):
+        f = MetricFamily("m", "h", "counter", labelnames=("a", "b"))
+        assert f.labels(b="2", a="1") is f.labels("1", "2")
+
+    def test_wrong_label_arity_raises(self):
+        f = MetricFamily("m", "h", "counter", labelnames=("op",))
+        with pytest.raises(ValueError):
+            f.labels("x", "y")
+
+    def test_labelled_family_rejects_bare_proxy(self):
+        f = MetricFamily("m", "h", "counter", labelnames=("op",))
+        with pytest.raises(ValueError):
+            f.inc()
+
+    def test_reset_zeroes_but_keeps_children(self):
+        f = MetricFamily("m", "h", "counter", labelnames=("op",))
+        f.labels("get").inc(7)
+        f.reset()
+        assert f.labels("get").value == 0
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        r = Registry()
+        a = r.counter("x_total", "help")
+        b = r.counter("x_total", "other help is ignored")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        r = Registry()
+        r.counter("x_total", "h")
+        with pytest.raises(ValueError):
+            r.gauge("x_total", "h")
+
+    def test_label_conflict_raises(self):
+        r = Registry()
+        r.counter("x_total", "h", labelnames=("op",))
+        with pytest.raises(ValueError):
+            r.counter("x_total", "h", labelnames=("shard",))
+
+    def test_render_prometheus_text_format(self):
+        r = Registry()
+        r.counter("a_total", "A counter.", labelnames=("op",)).labels(
+            "get"
+        ).inc(3)
+        r.gauge("b_bytes", "A gauge.").set(17)
+        text = r.render_prometheus()
+        assert "# HELP a_total A counter.\n" in text
+        assert "# TYPE a_total counter\n" in text
+        assert 'a_total{op="get"} 3\n' in text
+        assert "b_bytes 17\n" in text
+        assert text.endswith("\n")
+
+    def test_render_labelled_histogram_merges_le(self):
+        r = Registry()
+        h = r.histogram(
+            "lat_seconds", "h", labelnames=("mode",), buckets=(1, 2)
+        )
+        h.labels("read").observe(1.5)
+        text = r.render_prometheus()
+        assert 'lat_seconds_bucket{mode="read", le="1"} 0' in text
+        assert 'lat_seconds_bucket{mode="read", le="2"} 1' in text
+        assert 'lat_seconds_bucket{mode="read", le="+Inf"} 1' in text
+        assert 'lat_seconds_count{mode="read"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        r = Registry()
+        r.counter("esc_total", "h", labelnames=("v",)).labels(
+            'a"b\\c\nd'
+        ).inc()
+        text = r.render_prometheus()
+        assert '{v="a\\"b\\\\c\\nd"}' in text
+
+    def test_dump_json_shape(self):
+        r = Registry()
+        r.counter("a_total", "A.", labelnames=("op",)).labels("x").inc(2)
+        r.histogram("h", "H.", buckets=(1,)).observe(0.5)
+        dump = r.dump_json()
+        assert dump["a_total"]["type"] == "counter"
+        assert dump["a_total"]["values"] == [
+            {"labels": {"op": "x"}, "value": 2}
+        ]
+        hist = dump["h"]["values"][0]["value"]
+        assert hist["count"] == 1
+        assert hist["buckets"]["1"] == 1
+
+    def test_reset_zeroes_everything(self):
+        r = Registry()
+        r.counter("a_total", "h").inc(5)
+        r.gauge("g", "h").set(3)
+        r.reset()
+        assert r.get("a_total").value == 0
+        assert r.get("g").value == 0

@@ -1,0 +1,244 @@
+"""Probe correctness: the counters must agree with ground truth.
+
+The satellite acceptance check lives here: after a mixed insert/delete
+workload, the kernel-probe counters of a full-domain window query must
+agree exactly with :func:`repro.core.stats.collect_stats` (node count,
+HC/LHC split), and the tree-shape accounting (nodes created minus nodes
+merged) must equal the live node count.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.phtree import PHTree
+from repro.core.stats import collect_stats
+from repro.obs import probes
+
+DIMS = 3
+WIDTH = 16
+DOMAIN = (1 << WIDTH) - 1
+
+
+def _mixed_workload(seed=11, n=600, n_remove=250):
+    """Insert n random keys, remove n_remove of them (some twice)."""
+    rng = random.Random(seed)
+    keys = list(
+        {
+            tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+            for _ in range(n)
+        }
+    )
+    tree = PHTree(dims=DIMS, width=WIDTH)
+    for key in keys:
+        tree.put(key, None)
+    removed = keys[:n_remove]
+    for key in removed:
+        tree.remove(key)
+    for key in removed[: n_remove // 4]:  # misses exercise the miss path
+        tree.remove(key, default=None)
+    return tree, keys
+
+
+class TestKernelVsCollectStats:
+    def test_full_domain_query_visits_every_node_once(self, obs_enabled):
+        tree, _keys = _mixed_workload()
+        stats = collect_stats(tree)
+        obs.reset()
+        results = list(tree.query((0,) * DIMS, (DOMAIN,) * DIMS))
+        assert len(results) == len(tree)
+        assert probes.kernel_nodes_visited.value == stats.n_nodes
+        assert probes.kernel_hc_nodes_visited.value == stats.n_hc_nodes
+        assert probes.kernel_lhc_nodes_visited.value == stats.n_lhc_nodes
+        assert probes.kernel_entries_yielded.value == len(tree)
+        # Every non-root node is reached through a pushed frame.
+        assert probes.kernel_frames_pushed.value == stats.n_nodes - 1
+
+    def test_forced_hc_and_lhc_modes_flip_the_split(self, obs_enabled):
+        for mode, hc_expected in (("hc", True), ("lhc", False)):
+            tree = PHTree(dims=2, width=8, hc_mode=mode)
+            rng = random.Random(3)
+            for _ in range(200):
+                tree.put(
+                    (rng.randrange(256), rng.randrange(256)), None
+                )
+            stats = collect_stats(tree)
+            obs.reset()
+            list(tree.query((0, 0), (255, 255)))
+            if hc_expected:
+                assert stats.n_hc_nodes > 0
+                assert (
+                    probes.kernel_hc_nodes_visited.value
+                    == stats.n_hc_nodes
+                )
+            else:
+                assert stats.n_lhc_nodes == stats.n_nodes
+                assert (
+                    probes.kernel_lhc_nodes_visited.value
+                    == stats.n_nodes
+                )
+
+
+class TestTreeShapeAccounting:
+    def test_created_minus_merged_equals_live_nodes(self, obs_enabled):
+        tree, _keys = _mixed_workload(seed=5)
+        stats = collect_stats(tree)
+        created = probes.tree_nodes_created.value
+        merged = probes.tree_nodes_merged.value
+        assert created > 0
+        assert merged > 0
+        assert created - merged == stats.n_nodes
+
+    def test_root_drop_counts_as_merge(self, obs_enabled):
+        tree = PHTree(dims=2, width=8)
+        tree.put((1, 2), None)
+        tree.remove((1, 2))
+        assert tree.root is None
+        assert probes.tree_nodes_merged.value == 1
+
+    def test_insert_depth_histogram_counts_inserts_only(
+        self, obs_enabled
+    ):
+        tree = PHTree(dims=2, width=8)
+        tree.put((1, 2), "a")
+        tree.put((3, 4), "b")
+        tree.put((1, 2), "updated")  # value update, not an insert
+        assert probes.insert_depth.count == 2
+
+
+class TestPointAndWriteDescents:
+    def test_point_descent_counts_levels(self, obs_enabled):
+        tree, keys = _mixed_workload(seed=7)
+        depth_bound = tree.width
+        obs.reset()
+        hits = sum(1 for key in keys if tree.contains(key))
+        assert hits == len(tree)
+        visited = probes.point_nodes_visited.value
+        assert probes.ops.labels("contains").value == len(keys)
+        # At least one node per lookup, at most the depth bound per.
+        assert len(keys) <= visited <= len(keys) * depth_bound
+
+    def test_get_dispatches_by_flag(self):
+        tree = PHTree(dims=2, width=8)
+        tree.put((1, 2), "a")
+        obs.reset()
+        assert tree.get((1, 2)) == "a"  # disabled: no counting
+        assert probes.point_nodes_visited.value == 0
+        obs.enable()
+        try:
+            assert tree.get((1, 2)) == "a"
+            assert probes.point_nodes_visited.value > 0
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestContainerSwitches:
+    def test_hysteresis_free_growth_records_switches(self, obs_enabled):
+        # 2-dim tree: nodes switch LHC -> HC as they fill past the
+        # size crossover, and back on removals.
+        tree = PHTree(dims=2, width=8)
+        rng = random.Random(13)
+        keys = list(
+            {
+                (rng.randrange(256), rng.randrange(256))
+                for _ in range(300)
+            }
+        )
+        for key in keys:
+            tree.put(key, None)
+        to_hc = probes.switch_to_hc.value
+        assert to_hc > 0
+        for key in keys:
+            tree.remove(key)
+        assert probes.switch_to_lhc.value > 0
+
+
+class TestBatchProbes:
+    def test_get_many_counts_keys_and_shares_descents(self, obs_enabled):
+        tree, keys = _mixed_workload(seed=9)
+        live = [key for key in keys if tree.contains(key)]
+        obs.reset()
+        values = tree.get_many(live)
+        assert len(values) == len(live)
+        assert probes.batch_keys_get.value == len(live)
+        assert probes.ops.labels("get_many").value == 1
+        # The merge-join must share descents: strictly fewer node
+        # entries than the sequential path would make.
+        obs.reset()
+        for key in live:
+            tree.get(key)
+        sequential = probes.point_nodes_visited.value
+        obs.reset()
+        tree.get_many(live)
+        assert 0 < probes.batch_nodes_visited.value < sequential
+
+    def test_query_many_visits_nodes_once_for_the_batch(
+        self, obs_enabled
+    ):
+        tree, _keys = _mixed_workload(seed=21)
+        box = ((0,) * DIMS, (DOMAIN // 2,) * DIMS)
+        obs.reset()
+        tree.query_many([box])
+        once = probes.qmany_nodes_visited.value
+        obs.reset()
+        tree.query_many([box, box, box])
+        thrice = probes.qmany_nodes_visited.value
+        assert once > 0
+        # Batching three identical boxes must not triple the walk.
+        assert thrice < 3 * once
+
+
+class TestKnnProbes:
+    def test_knn_counts_and_high_water(self, obs_enabled):
+        tree, keys = _mixed_workload(seed=17)
+        obs.reset()
+        results = tree.knn(keys[0], 10)
+        assert len(results) == 10
+        assert probes.ops.labels("knn").value == 1
+        assert probes.knn_entries_yielded.value == 10
+        assert probes.knn_regions_expanded.value > 0
+        assert (
+            probes.knn_heap_high_water.value
+            >= probes.knn_regions_expanded.value > 0
+        ) or probes.knn_heap_high_water.value > 0
+
+    def test_abandoned_nearest_iter_still_flushes(self, obs_enabled):
+        tree, keys = _mixed_workload(seed=23)
+        obs.reset()
+        iterator = tree.nearest_iter(keys[0])
+        next(iterator)
+        iterator.close()
+        assert probes.knn_regions_expanded.value > 0
+        assert probes.knn_entries_yielded.value == 1
+
+
+class TestAbandonedQueryFlush:
+    def test_partial_query_consumption_reports_counters(
+        self, obs_enabled
+    ):
+        tree, _keys = _mixed_workload(seed=27)
+        obs.reset()
+        iterator = tree.query((0,) * DIMS, (DOMAIN,) * DIMS)
+        next(iterator)
+        iterator.close()
+        assert 0 < probes.kernel_nodes_visited.value
+        assert probes.kernel_entries_yielded.value == 1
+
+
+class TestDisabledIsSilent:
+    def test_no_counter_moves_with_obs_off(self):
+        obs.reset()
+        tree, keys = _mixed_workload()
+        list(tree.query((0,) * DIMS, (DOMAIN,) * DIMS))
+        tree.get_many(keys[:20])
+        tree.knn(keys[0], 3)
+        dump = obs.dump_json()
+        for family in dump.values():
+            for sample in family["values"]:
+                value = sample["value"]
+                if isinstance(value, dict):
+                    assert value["count"] == 0
+                else:
+                    assert value == 0

@@ -1,0 +1,172 @@
+"""explain_query / explain_knn: the trace must mirror the real engines.
+
+The tracer re-implements the kernel's traversal decisions to record
+them; these tests pin it to the kernel itself -- same results, and the
+trace totals must equal the kernel-probe counters for the same query.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.phtree import PHTree
+from repro.obs import probes
+from repro.obs.trace import explain_knn, explain_query
+
+DIMS = 3
+WIDTH = 12
+DOMAIN = (1 << WIDTH) - 1
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = random.Random(41)
+    t = PHTree(dims=DIMS, width=WIDTH)
+    for _ in range(400):
+        t.put(tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS)), None)
+    return t
+
+
+def _boxes(seed=43, count=12):
+    rng = random.Random(seed)
+    out = [((0,) * DIMS, (DOMAIN,) * DIMS)]  # full domain
+    for _ in range(count):
+        lo = tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+        hi = tuple(min(v + (1 << (WIDTH - 2)), DOMAIN) for v in lo)
+        out.append((lo, hi))
+    return out
+
+
+class TestExplainQuery:
+    def test_results_equal_the_real_query(self, tree):
+        for lo, hi in _boxes():
+            trace = explain_query(tree, lo, hi)
+            assert trace.results == list(tree.query(lo, hi)), (lo, hi)
+
+    def test_totals_match_kernel_probe_counters(self, tree):
+        obs.reset()
+        obs.enable()
+        try:
+            for lo, hi in _boxes(seed=47):
+                trace = explain_query(tree, lo, hi)
+                obs.reset()
+                list(tree.query(lo, hi))
+                totals = trace.totals
+                assert (
+                    totals["nodes_visited"]
+                    == probes.kernel_nodes_visited.value
+                ), (lo, hi)
+                assert (
+                    totals["hc_nodes_visited"]
+                    == probes.kernel_hc_nodes_visited.value
+                )
+                assert (
+                    totals["lhc_nodes_visited"]
+                    == probes.kernel_lhc_nodes_visited.value
+                )
+                assert (
+                    totals["full_cover_flushes"]
+                    == probes.kernel_full_cover_flushes.value
+                )
+                assert (
+                    totals["plain_scans"]
+                    == probes.kernel_plain_scans.value
+                )
+                assert (
+                    totals["entries_yielded"]
+                    == probes.kernel_entries_yielded.value
+                )
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_trace_records_have_paths_and_modes(self, tree):
+        trace = explain_query(tree, (0,) * DIMS, (DOMAIN,) * DIMS)
+        assert trace.records
+        root = trace.records[0]
+        assert root.depth == 0
+        modes = {record.mode for record in trace.records}
+        assert modes <= {"masked", "scan", "flush"}
+        rendered = trace.render()
+        assert "window query trace" in rendered
+        assert "totals:" in rendered
+
+    def test_record_cap_marks_truncation(self, tree):
+        trace = explain_query(
+            tree, (0,) * DIMS, (DOMAIN,) * DIMS, max_records=2
+        )
+        assert trace.truncated
+        assert len(trace.records) == 2
+        # Totals still cover the whole traversal.
+        full = explain_query(tree, (0,) * DIMS, (DOMAIN,) * DIMS)
+        assert trace.totals == full.totals
+
+    def test_to_dict_is_json_shaped(self, tree):
+        import json
+
+        trace = explain_query(tree, (0,) * DIMS, (0,) * DIMS)
+        json.dumps(trace.to_dict())
+
+    def test_empty_tree(self):
+        empty = PHTree(dims=2, width=8)
+        trace = explain_query(empty, (0, 0), (255, 255))
+        assert trace.results == []
+        assert trace.totals["nodes_visited"] == 0
+
+
+class TestExplainKnn:
+    def test_results_equal_the_real_knn(self, tree):
+        rng = random.Random(51)
+        for _ in range(8):
+            query = tuple(
+                rng.randrange(1 << WIDTH) for _ in range(DIMS)
+            )
+            for n in (1, 5):
+                trace = explain_knn(tree, query, n=n)
+                assert trace.results == tree.knn(query, n), (query, n)
+
+    def test_totals_match_knn_probe_counters(self, tree):
+        obs.reset()
+        obs.enable()
+        try:
+            query = (5, 500, 50)
+            trace = explain_knn(tree, query, n=7)
+            obs.reset()
+            tree.knn(query, 7)
+            assert (
+                trace.totals["regions_expanded"]
+                == probes.knn_regions_expanded.value
+            )
+            assert (
+                trace.totals["heap_pushes"]
+                == probes.knn_heap_pushes.value
+            )
+            assert (
+                trace.totals["heap_high_water"]
+                == probes.knn_heap_high_water.value
+            )
+            assert (
+                trace.totals["entries_yielded"]
+                == probes.knn_entries_yielded.value
+            )
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_render_and_dict(self, tree):
+        trace = explain_knn(tree, (1, 2, 3), n=2)
+        rendered = trace.render()
+        assert "kNN trace" in rendered
+        import json
+
+        json.dumps(trace.to_dict())
+
+    def test_lazy_wrappers_on_package(self, tree):
+        assert obs.explain_query(
+            tree, (0,) * DIMS, (DOMAIN,) * DIMS
+        ).results == list(tree.query((0,) * DIMS, (DOMAIN,) * DIMS))
+        assert (
+            obs.explain_knn(tree, (0,) * DIMS, n=1).results
+            == tree.knn((0,) * DIMS, 1)
+        )

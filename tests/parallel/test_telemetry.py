@@ -1,0 +1,168 @@
+"""Shard/pool telemetry: per-shard op counts, snapshot lifecycle
+counters, and the discard-error log-and-continue regression."""
+
+import logging
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs import probes
+from repro.parallel.sharded import ShardedPHTree
+
+DIMS = 2
+WIDTH = 12
+DOMAIN = (1 << WIDTH) - 1
+
+
+@pytest.fixture
+def obs_enabled():
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+def _keys(n=200, seed=71):
+    rng = random.Random(seed)
+    return list(
+        {
+            (rng.randrange(1 << WIDTH), rng.randrange(1 << WIDTH))
+            for _ in range(n)
+        }
+    )
+
+
+def _shard_op_counts():
+    counts = {}
+    family = probes.shard_ops
+    for (shard, op), child in family.children():
+        if child.value:
+            counts[(int(shard), op)] = child.value
+    return counts
+
+
+class TestShardOpCounts:
+    def test_writes_and_reads_count_per_shard(self, obs_enabled):
+        tree = ShardedPHTree(dims=DIMS, width=WIDTH, shards=4)
+        keys = _keys()
+        for key in keys:
+            tree.put(key, None)
+        for key in keys[:40]:
+            tree.get(key)
+            tree.contains(key)
+        tree.remove(keys[0])
+        tree.get_many(keys[:40])
+        tree.query((0, 0), (DOMAIN, DOMAIN))
+        tree.query_many([((0, 0), (DOMAIN, DOMAIN))])
+        tree.knn(keys[1], 3)
+        counts = _shard_op_counts()
+        puts = sum(v for (_, op), v in counts.items() if op == "put")
+        assert puts == len(keys)
+        assert sum(
+            v for (_, op), v in counts.items() if op == "remove"
+        ) == 1
+        # Every shard saw the full-domain query.
+        for shard in range(4):
+            assert counts.get((shard, "query"), 0) >= 1
+        assert any(op == "get_many" for (_, op) in counts)
+        assert any(op == "knn" for (_, op) in counts)
+
+    def test_lock_wait_histograms_observe(self, obs_enabled):
+        tree = ShardedPHTree(dims=DIMS, width=WIDTH, shards=2)
+        for key in _keys(50):
+            tree.put(key, None)
+        tree.query((0, 0), (DOMAIN, DOMAIN))
+        assert probes.shard_lock_wait_write.count == 50
+        assert probes.shard_lock_wait_read.count > 0
+
+    def test_disabled_counts_nothing(self):
+        obs.reset()
+        tree = ShardedPHTree(dims=DIMS, width=WIDTH, shards=2)
+        for key in _keys(30):
+            tree.put(key, None)
+        tree.query((0, 0), (DOMAIN, DOMAIN))
+        assert _shard_op_counts() == {}
+
+
+class TestSnapshotPoolTelemetry:
+    def test_republish_stale_and_fanout_counters(self, obs_enabled):
+        keys = _keys(150, seed=73)
+        with ShardedPHTree.build(
+            [(key, None) for key in keys],
+            dims=DIMS,
+            width=WIDTH,
+            shards=4,
+            workers=2,
+        ) as tree:
+            # First fan-out publishes every shard snapshot.
+            results = tree.query((0, 0), (DOMAIN, DOMAIN))
+            assert len(results) == len(keys)
+            assert probes.snapshot_republish.value == 4
+            assert probes.snapshot_stale_invalidations.value == 0
+            assert probes.snapshot_bytes.value > 0
+            assert probes.fanout_tasks.labels("query").value == 4
+            assert probes.fanout_latency.labels("query").count == 1
+            # A write moves one shard's generation: exactly one
+            # snapshot is stale and gets republished on refresh.
+            tree.put(keys[0], None)
+            assert tree.refresh_snapshots() == 1
+            assert probes.snapshot_republish.value == 5
+            assert probes.snapshot_stale_invalidations.value == 1
+            # kNN and query_many fan-outs count their tasks too.
+            tree.knn(keys[0], 2)
+            assert probes.fanout_tasks.labels("knn").value == 4
+            tree.query_many([((0, 0), (DOMAIN, DOMAIN))])
+            assert probes.fanout_tasks.labels("query_many").value == 4
+            # With workers, per-shard op counts come from the parent
+            # side of the fan-out.
+            counts = _shard_op_counts()
+            for shard in range(4):
+                assert counts.get((shard, "query"), 0) >= 1
+                assert counts.get((shard, "knn"), 0) >= 1
+
+
+class TestDiscardErrors:
+    def test_unlink_failure_logs_counts_and_continues(
+        self, obs_enabled, caplog
+    ):
+        """Regression: a raced/failed segment unlink must not propagate
+        out of snapshot maintenance -- it is logged, counted, and the
+        refresh completes with the pool still serving queries."""
+        keys = _keys(60, seed=83)
+        with ShardedPHTree.build(
+            [(key, None) for key in keys],
+            dims=DIMS,
+            width=WIDTH,
+            shards=2,
+            workers=1,
+        ) as tree:
+            tree.query((0, 0), (DOMAIN, DOMAIN))
+            pool = tree._pool
+            victims = list(pool._snapshots)
+            originals = []
+            for snapshot in victims:
+                originals.append(snapshot.segment.unlink)
+                snapshot.segment.unlink = lambda: (
+                    _ for _ in ()
+                ).throw(OSError("simulated unlink race"))
+            for key in keys:
+                tree.put(key, None)  # touch both shards
+            with caplog.at_level(
+                logging.WARNING, logger="repro.parallel.executor"
+            ):
+                republished = tree.refresh_snapshots()
+            assert republished == 2
+            assert probes.snapshot_discard_errors.value == 2
+            warnings = [
+                record
+                for record in caplog.records
+                if "failed to discard snapshot segment"
+                in record.getMessage()
+            ]
+            assert len(warnings) == 2
+            assert len(tree.query((0, 0), (DOMAIN, DOMAIN))) == len(keys)
+            for snapshot, unlink in zip(victims, originals):
+                snapshot.segment.unlink = unlink
+                unlink()

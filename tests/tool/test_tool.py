@@ -212,3 +212,121 @@ class TestErrors:
     def test_missing_file(self, tmp_path, capsys):
         rc = main(["stats", str(tmp_path / "nope.pht")])
         assert rc == 2
+
+
+class TestExplain:
+    def test_query_explain_prints_trace(self, index_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(index_file),
+                "-b",
+                "-10,40 : 10,50",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "window query trace" in captured.out
+        assert "totals:" in captured.out
+        assert "nodes_visited" in captured.out
+        assert "301 point(s) in box" in captured.err
+
+    def test_knn_explain_prints_trace(self, index_file, capsys):
+        rc = main(
+            [
+                "knn",
+                str(index_file),
+                "-p",
+                "0.0,45.0",
+                "-n",
+                "3",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "kNN trace" in captured.out
+        assert "regions_expanded" in captured.out
+
+    def test_explain_leaves_instrumentation_off(self, index_file, capsys):
+        from repro import obs
+
+        main(
+            ["query", str(index_file), "-b", "0,44 : 1,46", "--explain"]
+        )
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+
+class TestMetrics:
+    def test_prometheus_text(self, index_file, capsys):
+        rc = main(["metrics", str(index_file)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        text = captured.out
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{op="get_many"}' in text
+        assert "repro_kernel_nodes_visited_total" in text
+        # The registry is left clean for the rest of the process.
+        from repro import obs
+
+        assert not obs.is_enabled()
+
+    def test_json_format_parses(self, index_file, capsys):
+        import json as json_mod
+
+        rc = main(["metrics", str(index_file), "--format", "json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json_mod.loads(captured.out)
+        assert payload["repro_ops_total"]["type"] == "counter"
+        ops = {
+            tuple(sorted(v["labels"].items())): v["value"]
+            for v in payload["repro_ops_total"]["values"]
+        }
+        assert ops[(("op", "get_many"),)] >= 1
+
+    def test_sharded_workload_moves_shard_counters(
+        self, index_file, capsys
+    ):
+        rc = main(
+            [
+                "metrics",
+                str(index_file),
+                "--shards",
+                "4",
+                "--workers",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        text = captured.out
+        assert 'repro_shard_ops_total{shard="0", op="query"}' in text
+        assert "repro_snapshot_republish_total" in text
+        assert "repro_snapshot_stale_invalidations_total" in text
+        assert 'repro_fanout_tasks_total{op="query"}' in text
+
+
+class TestVerbosity:
+    def test_flag_before_subcommand(self, index_file, capsys):
+        rc = main(["-v", "stats", str(index_file)])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_flag_after_subcommand(self, index_file, capsys):
+        rc = main(["stats", str(index_file), "-v"])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_verbose_metrics_logs_workload(self, index_file, capsys):
+        import io
+
+        from repro.obs.log import configure_logging
+
+        rc = main(["-v", "metrics", str(index_file)])
+        captured = capsys.readouterr()
+        configure_logging(0, stream=io.StringIO())
+        assert rc == 0
+        assert "driving single-tree workload" in captured.err
