@@ -40,6 +40,16 @@ def test_micro_hotpath_trajectory(benchmark, repro_scale):
     # CI machines are noisy, so only guard against outright regressions).
     assert metrics["speedup_get_many"] > 1.0
     assert metrics["speedup_range_iter"] > 1.0
+    # The specialized per-(k, width) kernels must have been selected —
+    # a silent fallback to the generic engines would still pass every
+    # correctness test while quietly losing the perf layer.
+    specialization = report["specialization"]
+    assert specialization["selected"], specialization
+    assert specialization["kernel"].startswith("Specialization("), specialization
+    assert 1 <= specialization["registry_size"] <= specialization["registry_cap"]
+    assert metrics["speedup_spec_insert"] > 1.0
+    assert metrics["speedup_spec_point"] > 1.0
+    assert metrics["speedup_spec_window"] > 1.0
     # The instrumented pass must have actually counted the work.
     instrumentation = report["instrumentation"]
     for op in ("insert", "point_seq", "point_batch", "range_kernel",

@@ -10,22 +10,31 @@ PRs must not regress the recorded speedups.
 
 Measured (best of ``repeats`` runs each, CUBE-distributed integer keys):
 
-- ``insert``: sequential ``put`` loop,
-- ``point_seq``: sequential ``get`` per key over a z-sorted batch,
+- ``insert``: sequential ``put`` loop (specialized kernels), plus the
+  generic-engine twin (``specialize=False``) as its baseline,
+- ``delete``: sequential ``remove`` loop draining a freshly built tree,
+- ``bulk_load``: the bottom-up builder over the same entry set,
+- ``point_seq``: sequential ``get`` per key over a z-sorted batch
+  (specialized), plus the generic-engine twin,
 - ``point_batch`` / ``point_batch_presorted``: the same batch through
   :meth:`PHTree.get_many` (with and without the internal sort),
-- ``range_kernel`` vs ``range_generator``: the iterative range-scan
-  kernel against the seed generator-stack engine, on Figure-9-style
-  window queries (normalised per returned entry),
+- ``range_kernel`` vs ``range_generator``: the *generic* iterative
+  range-scan kernel against the seed generator-stack engine, on
+  Figure-9-style window queries (normalised per returned entry),
+- ``range_spec``: the same boxes through the per-(k, width) specialized
+  kernel (see :mod:`repro.core.specialize`),
 - ``query_many``: the batched window engine over the same boxes,
 - ``knn``: 10-nearest-neighbour queries,
 - ``sharded_query``: the same box batch through the sharded snapshot
   engine's process-pool fan-out with 1 vs 4 workers (the recorded
   ``cpu_count`` says how much hardware parallelism was available).
 
-Derived speedups (``speedup_get_many``, ``speedup_range_iter``) are the
-acceptance numbers: batched point lookups against sequential calls, and
-the iterative kernel against the seed engine.
+Derived speedups are the acceptance numbers: ``speedup_get_many`` /
+``speedup_range_iter`` (batching and the iterative kernel against the
+seed engine), and ``speedup_spec_insert`` / ``speedup_spec_point`` /
+``speedup_spec_window`` (the specialized kernels against the generic
+engines they replaced on the hot path -- every workload first asserts
+the two produce identical results).
 
 Usage::
 
@@ -45,6 +54,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.batch import z_sort_key
 from repro.core.phtree import PHTree
+from repro.core.specialize import registry_cap as _registry_cap
+from repro.core.specialize import registry_size as _registry_size
 from repro.core.range_query import generator_range_iter, range_iter
 from repro.datasets.cube import generate_cube
 from repro.datasets.rng import make_rng
@@ -196,6 +207,18 @@ def _instrument_pass(
                 },
             ),
         }
+        # Write path, deleting side: drain a fresh tree (built outside
+        # the stage so its put probes don't pollute the delete counts).
+        victim = build()
+        counts["delete"] = stage(
+            lambda: [victim.remove(key) for key in batch],
+            {
+                "nodes_visited": probes.write_nodes_visited,
+                "slots_scanned": probes.write_slots_scanned,
+                "nodes_merged": probes.tree_nodes_merged,
+                "ops": probes.ops_remove,
+            },
+        )
     finally:
         obs.disable()
         obs.reset()
@@ -228,7 +251,7 @@ def run_trajectory(
         for _ in range(params["n_knn"])
     ]
 
-    # -- insert ----------------------------------------------------------
+    # -- insert: specialized kernels vs the generic engines --------------
     def build() -> PHTree:
         tree = PHTree(dims=DIMS, width=WIDTH)
         put = tree.put
@@ -236,8 +259,36 @@ def run_trajectory(
             put(key, value)
         return tree
 
+    def build_generic() -> PHTree:
+        tree = PHTree(dims=DIMS, width=WIDTH, specialize=False)
+        put = tree.put
+        for key, value in zip(keys, values):
+            put(key, value)
+        return tree
+
     t_insert = _best(build, repeats)
+    t_insert_generic = _best(build_generic, repeats)
     tree = build()
+    tree_generic = build_generic()
+
+    # -- delete: drain a freshly built tree ------------------------------
+    t_delete = float("inf")
+    for _ in range(repeats):
+        victim = build()
+        remove = victim.remove
+        start = time.perf_counter()
+        for key in keys:
+            remove(key)
+        t_delete = min(t_delete, time.perf_counter() - start)
+        assert len(victim) == 0
+
+    # -- bulk load: bottom-up build over the same entries ----------------
+    from repro.core.bulk import bulk_load
+
+    entries = list(zip(keys, values))
+    t_bulk = _best(
+        lambda: bulk_load(entries, dims=DIMS, width=WIDTH), repeats
+    )
 
     # -- point queries: sequential vs batched ----------------------------
     batch = sorted(keys, key=z_sort_key(DIMS, WIDTH))
@@ -247,16 +298,24 @@ def run_trajectory(
         for key in batch:
             get(key)
 
+    def point_seq_generic() -> None:
+        get = tree_generic.get
+        for key in batch:
+            get(key)
+
     t_point_seq = _best(point_seq, repeats)
+    t_point_seq_generic = _best(point_seq_generic, repeats)
     t_point_batch = _best(lambda: tree.get_many(batch), repeats)
     t_point_batch_pre = _best(
         lambda: tree.get_many(batch, presorted=True), repeats
     )
     # Sanity: the engines must agree before their timings mean anything.
     assert tree.get_many(batch) == [tree.get(k) for k in batch]
+    assert tree.get_many(batch) == tree_generic.get_many(batch)
 
     # -- range queries: iterative kernel vs seed generator engine --------
     root = tree.root
+    spec = tree.specialization
 
     def run_range(engine: Callable) -> int:
         total = 0
@@ -265,9 +324,22 @@ def run_trajectory(
                 total += 1
         return total
 
+    def run_range_spec() -> int:
+        total = 0
+        for lo, hi in boxes:
+            for _ in range_iter(root, lo, hi, spec):
+                total += 1
+        return total
+
     returned = run_range(range_iter)
     assert returned == run_range(generator_range_iter)
+    # Bit-identical output (entries AND order) from the specialized twin.
+    for lo, hi in boxes[: min(8, len(boxes))]:
+        assert list(range_iter(root, lo, hi, spec)) == list(
+            range_iter(root, lo, hi)
+        )
     t_range_kernel = _best(lambda: run_range(range_iter), repeats)
+    t_range_spec = _best(run_range_spec, repeats)
     t_range_generator = _best(
         lambda: run_range(generator_range_iter), repeats
     )
@@ -305,12 +377,19 @@ def run_trajectory(
     n_returned = max(returned, 1)
     metrics = {
         "insert_us_per_op": t_insert * 1e6 / n_keys,
+        "insert_generic_us_per_op": t_insert_generic * 1e6 / n_keys,
+        "delete_us_per_op": t_delete * 1e6 / n_keys,
+        "bulk_load_us_per_op": t_bulk * 1e6 / n_keys,
         "point_seq_us_per_op": t_point_seq * 1e6 / n_keys,
+        "point_seq_generic_us_per_op": (
+            t_point_seq_generic * 1e6 / n_keys
+        ),
         "point_batch_us_per_op": t_point_batch * 1e6 / n_keys,
         "point_batch_presorted_us_per_op": (
             t_point_batch_pre * 1e6 / n_keys
         ),
         "range_kernel_us_per_entry": t_range_kernel * 1e6 / n_returned,
+        "range_spec_us_per_entry": t_range_spec * 1e6 / n_returned,
         "range_generator_us_per_entry": (
             t_range_generator * 1e6 / n_returned
         ),
@@ -320,6 +399,12 @@ def run_trajectory(
         "speedup_get_many_presorted": t_point_seq / t_point_batch_pre,
         "speedup_range_iter": t_range_generator / t_range_kernel,
         "speedup_query_many": t_range_kernel / t_query_many,
+        # Specialized kernels vs the generic engines they replace
+        # (same tree contents, results asserted identical above).
+        "speedup_spec_insert": t_insert_generic / t_insert,
+        "speedup_spec_point": t_point_seq_generic / t_point_seq,
+        "speedup_spec_window": t_range_kernel / t_range_spec,
+        "speedup_bulk_load_vs_insert": t_insert / t_bulk,
         "sharded_query_1w_us_per_entry": t_shard_1 * 1e6 / n_returned,
         "sharded_query_4w_us_per_entry": t_shard_hi * 1e6 / n_returned,
         "speedup_sharded_4w": t_shard_1 / t_shard_hi,
@@ -343,6 +428,18 @@ def run_trajectory(
             "implementation": platform.python_implementation(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+        },
+        "specialization": {
+            "selected": spec is not None,
+            "kernel": repr(spec) if spec is not None else "generic",
+            "registry_size": _registry_size(),
+            "registry_cap": _registry_cap(),
+            "note": (
+                "per-(k, width) unrolled kernels from "
+                "repro.core.specialize; the *_generic and range_kernel "
+                "records time the pre-specialization engines on the "
+                "same data"
+            ),
         },
         "sharded_query": {
             "shards": 8,

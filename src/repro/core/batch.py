@@ -41,7 +41,7 @@ from typing import Any, Callable, Iterable, List, Sequence, Tuple
 
 from repro.core.kernel import iter_subtree
 from repro.core.node import Node
-from repro.encoding.interleave import _spread_table
+from repro.encoding.lut import spread_table as _spread_table
 from repro.obs import probes as _probes
 from repro.obs import runtime as _rt
 
@@ -161,9 +161,19 @@ def get_many(
     nodes once.  Pass ``presorted=True`` when the batch is already in
     (approximate) z-order to skip the internal sort -- any order stays
     correct, sorting is purely a locality hint.
+
+    Trees carrying a per-(k, width) specialization (``tree._spec``,
+    see :mod:`repro.core.specialize`) run its unrolled twin of this
+    merge-join; results and probe counts are bit-identical (pinned by
+    the parity tests).
     """
+    spec = getattr(tree, "_spec", None)
     if _rt.enabled:
+        if spec is not None:
+            return spec.get_many_instrumented(tree, keys, default, presorted)
         return _get_many_instrumented(tree, keys, default, presorted)
+    if spec is not None:
+        return spec.get_many_plain(tree, keys, default, presorted)
     return _get_many_plain(tree, keys, default, presorted)
 
 

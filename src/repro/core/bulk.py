@@ -46,10 +46,8 @@ def bulk_load(
         deduped[tree._check_key(key)] = value
     if not deduped:
         return tree
-    w = tree.width
-    items = sorted(
-        deduped.items(), key=lambda kv: _z_code(kv[0], w)
-    )
+    zcode = _z_coder(tree)
+    items = sorted(deduped.items(), key=lambda kv: zcode(kv[0]))
     return _build_from_run(tree, items)
 
 
@@ -79,9 +77,10 @@ def bulk_load_sorted(
     """
     tree = PHTree(dims=dims, width=width, hc_mode=hc_mode)
     if validate:
+        zcode = _z_coder(tree)
         previous = -1
         for key, _ in items:
-            code = _z_code(tree._check_key(key), tree.width)
+            code = zcode(tree._check_key(key))
             if code <= previous:
                 raise ValueError(
                     "bulk_load_sorted needs strictly ascending unique "
@@ -111,6 +110,17 @@ def _z_code(key: Key, width: int) -> int:
     from repro.encoding.interleave import interleave
 
     return interleave(key, width)
+
+
+def _z_coder(tree: PHTree):
+    """The tree's z-code function for already-validated keys: the
+    specialized unrolled Morton kernel when the tree carries one (same
+    codes, pinned by the property tests), else the generic LUT path."""
+    spec = tree._spec
+    if spec is not None:
+        return spec.interleave
+    width = tree.width
+    return lambda key: _z_code(key, width)
 
 
 def _divergence_pos(
@@ -152,15 +162,21 @@ def _fill_node(
     container = node.container  # fresh LHCContainer
     addresses = container._addresses
     slots = container._slots
+    spec = tree._spec
+    if spec is not None:
+        hc_addr = spec.hc_address
+        address_of = lambda key: hc_addr(key, post_len)  # noqa: E731
+    else:
+        address_of = node.address_of
     n_sub = 0
     n_post = 0
     group_start = lo
     while group_start < hi:
-        address = node.address_of(items[group_start][0])
+        address = address_of(items[group_start][0])
         group_end = group_start + 1
         while (
             group_end < hi
-            and node.address_of(items[group_end][0]) == address
+            and address_of(items[group_end][0]) == address
         ):
             group_end += 1
         if group_end - group_start == 1:

@@ -101,6 +101,7 @@ def range_scan(
     box_min: Sequence[int],
     box_max: Sequence[int],
     slack_bits: int = 0,
+    spec: Any = None,
 ) -> Iterator[Tuple[Tuple[int, ...], Any]]:
     """Yield all entries in the inclusive box, in z-order.
 
@@ -110,6 +111,11 @@ def range_scan(
     wholesale and entries are accepted within ``2**slack_bits - 1`` of
     the box, yielding a superset of the exact result.
 
+    ``spec`` is an optional per-(k, width)
+    :class:`~repro.core.specialize.Specialization`; when given, its
+    unrolled twin of this engine runs instead (bit-identical results and
+    probe counts, pinned by the parity tests).
+
     The observability flag is checked exactly once per call: disabled
     (the default), the uninstrumented engine below runs untouched;
     enabled, the bit-identical instrumented twin
@@ -117,7 +123,13 @@ def range_scan(
     traversal counts into :mod:`repro.obs.probes`.
     """
     if _rt.enabled:
+        if spec is not None:
+            return spec.range_scan_instrumented(
+                root, box_min, box_max, slack_bits
+            )
         return _range_scan_instrumented(root, box_min, box_max, slack_bits)
+    if spec is not None:
+        return spec.range_scan_plain(root, box_min, box_max, slack_bits)
     return _range_scan_plain(root, box_min, box_max, slack_bits)
 
 

@@ -38,7 +38,12 @@ RegionDistance = Callable[[Sequence[int], Sequence[int]], Any]
 
 def morton_tiebreak(width: int) -> Callable[[Sequence[int]], int]:
     """The standard ``z_key`` for :func:`knn_iter`: the full Morton code
-    of a ``width``-bit key (dimension 0 most significant)."""
+    of a ``width``-bit key (dimension 0 most significant).
+
+    Trees carrying a per-(k, width) specialization pass
+    ``spec.interleave`` instead -- the unrolled LUT kernel computing the
+    same code (pinned by the property tests), without the per-call
+    closure and validation."""
     from repro.encoding.interleave import interleave
 
     def z_of(key: Sequence[int]) -> int:

@@ -12,7 +12,13 @@ the query:
 
 The masks are simultaneously (a) the minimal and maximal possibly-matching
 HC addresses and (b) a constant-time validity filter: an address ``h`` fits
-iff ``(h | m_L) == h and (h & m_U) == h``.
+iff ``(h | m_L) == h and (h & m_U) == h``.  :func:`address_successor` jumps
+from one fitting address to the next in a single arithmetic step.
+
+These are the definitional forms; the per-(k, width) kernels of
+:mod:`repro.core.specialize` unroll the same computations (mask fusion
+per dimension, the successor step, the fit check) into straight-line
+code, and the property tests pin the unrolled versions against these.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.core.node import Node
 
 __all__ = [
     "address_fits",
+    "address_successor",
     "compute_masks",
     "key_in_box",
     "node_intersects_box",
@@ -70,6 +77,32 @@ def address_fits(address: int, mask_lower: int, mask_upper: int) -> bool:
     return (address | mask_lower) == address and (
         address & mask_upper
     ) == address
+
+
+def address_successor(
+    address: int, mask_lower: int, mask_upper: int
+) -> int:
+    """The next address after ``address`` that fits the masks, or ``-1``.
+
+    One arithmetic step (no scan): ORing in the complement of ``m_U``
+    makes the increment carry straight through every bit position that
+    must stay 0, masking with ``m_U`` clears the borrowed bits again,
+    and ORing ``m_L`` restores the bits that must stay 1.  Starting from
+    ``m_L`` (the smallest fitting address) and iterating until ``-1``
+    enumerates exactly the addresses accepted by :func:`address_fits`,
+    in ascending order -- this is the iteration step the range-scan
+    kernels (generic and specialized) bind inline.
+
+    >>> [a for a in range(8) if address_fits(a, 0b001, 0b011)]
+    [1, 3]
+    >>> address_successor(0b001, 0b001, 0b011)
+    3
+    >>> address_successor(0b011, 0b001, 0b011)
+    -1
+    """
+    if address >= mask_upper:
+        return -1
+    return (((address | ~mask_upper) + 1) & mask_upper) | mask_lower
 
 
 def node_intersects_box(

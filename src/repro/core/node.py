@@ -38,6 +38,11 @@ def hypercube_address(key: Sequence[int], post_len: int) -> int:
     paper's figures (e.g. the 2D entry ``(0..., 1...)`` lands at address
     ``01``).
 
+    This loop is the definitional form (and the oracle the property
+    tests pin against); the per-(k, width) kernels of
+    :mod:`repro.core.specialize` unroll it into a fixed shift/OR
+    expression on their hot paths.
+
     >>> hypercube_address((0b0001, 0b1000), 3)
     1
     """

@@ -33,6 +33,7 @@ from typing import (
 
 from repro.core import batch as batch_mod
 from repro.core import knn as knn_mod
+from repro.core import specialize as spec_mod
 from repro.core.kernel import iter_subtree
 from repro.core.node import Entry, Node, masked_prefix
 from repro.core.range_query import naive_range_iter, range_iter
@@ -61,6 +62,12 @@ class PHTree:
     hc_hysteresis:
         Relaxed switching margin (fraction) preventing HC/LHC oscillation;
         0.0 reproduces the paper's plain size comparison.
+    specialize:
+        Use the per-(k, width) unrolled hot-path kernels of
+        :mod:`repro.core.specialize` (default).  ``False`` pins the tree
+        to the generic loop-based engines (the pre-specialization paths,
+        kept as ablation baseline and correctness oracle).  Results are
+        bit-identical either way.
 
     Examples
     --------
@@ -82,6 +89,8 @@ class PHTree:
         "_hysteresis",
         "_root",
         "_size",
+        "_spec",
+        "_uniform",
     )
 
     def __init__(
@@ -90,6 +99,7 @@ class PHTree:
         width: "int | Sequence[int]" = 64,
         hc_mode: str = "auto",
         hc_hysteresis: float = 0.0,
+        specialize: bool = True,
     ) -> None:
         if dims < 1:
             raise ValueError(f"dims must be >= 1, got {dims}")
@@ -123,6 +133,14 @@ class PHTree:
         self._hysteresis = hc_hysteresis
         self._root: Optional[Node] = None
         self._size = 0
+        # Per-(k, width) unrolled hot-path kernels (None for shapes
+        # outside the specializable range, or when opted out -- the
+        # generic engines then serve every call).  The fused-validation
+        # fast path additionally requires a uniform per-dimension width.
+        self._uniform = all(w == self._width for w in widths)
+        self._spec = (
+            spec_mod.get_spec(dims, self._width) if specialize else None
+        )
 
     # -- basic properties --------------------------------------------------
 
@@ -145,6 +163,12 @@ class PHTree:
     def root(self) -> Optional[Node]:
         """The root node, or None for an empty tree (read-only use)."""
         return self._root
+
+    @property
+    def specialization(self):
+        """The tree's per-(k, width) kernel bundle, or None when running
+        on the generic engines (see :mod:`repro.core.specialize`)."""
+        return self._spec
 
     def __len__(self) -> int:
         return self._size
@@ -177,6 +201,12 @@ class PHTree:
                 )
         return key
 
+    # The specialized fast paths below validate with the generated fused
+    # check (spec.check_key) and fall back to _check_key for whatever it
+    # declines -- invalid keys (raising the exact sequential error) but
+    # also accepted corner cases the fast check does not claim (bool
+    # coordinates, int subclasses, non-uniform per-dimension widths).
+
     # -- point operations (paper Sections 3.5-3.6) --------------------------
 
     def put(self, key: Sequence[int], value: Any = None) -> Any:
@@ -186,6 +216,17 @@ class PHTree:
         At most two nodes are touched: the insertion node, plus possibly
         one newly created sub-node.
         """
+        spec = self._spec
+        if spec is not None and not _rt.enabled:
+            # Specialized write descent (unrolled per-(k, width) twin of
+            # the generic body below; bit-identical tree shapes, pinned
+            # by the property tests).  Observability-enabled calls take
+            # the generic instrumented path so probe counts are
+            # unchanged.
+            checked = spec.check_key(key) if self._uniform else None
+            if checked is None:
+                checked = self._check_key(key)
+            return spec.put(self, checked, value)
         key = self._check_key(key)
         obs = _rt.enabled
         if obs:
@@ -313,6 +354,16 @@ class PHTree:
 
     def get(self, key: Sequence[int], default: Any = None) -> Any:
         """Return the value stored for ``key``, or ``default``."""
+        spec = self._spec
+        if spec is not None and not _rt.enabled:
+            checked = spec.check_key(key) if self._uniform else None
+            if checked is None:
+                checked = self._check_key(key)
+            root = self._root
+            if root is None:
+                return default
+            entry = spec.find_entry(root, checked)
+            return default if entry is None else entry.value
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_get.inc()
@@ -325,6 +376,15 @@ class PHTree:
 
     def contains(self, key: Sequence[int]) -> bool:
         """Point query (paper Section 3.5): does ``key`` exist?"""
+        spec = self._spec
+        if spec is not None and not _rt.enabled:
+            checked = spec.check_key(key) if self._uniform else None
+            if checked is None:
+                checked = self._check_key(key)
+            root = self._root
+            if root is None:
+                return False
+            return spec.find_entry(root, checked) is not None
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_contains.inc()
@@ -539,7 +599,7 @@ class PHTree:
         if _rt.enabled:
             _probes.ops_query.inc()
         if use_masks:
-            return range_iter(self._root, box_min, box_max)
+            return range_iter(self._root, box_min, box_max, self._spec)
         return naive_range_iter(self._root, box_min, box_max)
 
     def query_all(
@@ -567,7 +627,18 @@ class PHTree:
         box_max = self._check_key(box_max)
         if _rt.enabled:
             _probes.ops_query_approx.inc()
-        return approx_range_iter(self._root, box_min, box_max, slack_bits)
+        return approx_range_iter(
+            self._root, box_min, box_max, slack_bits, self._spec
+        )
+
+    def _morton_key(self):
+        """The kNN z-order tiebreak: the tree's specialized unrolled
+        Morton kernel when available (identical codes on every stored
+        key, pinned by the property tests), else the generic closure."""
+        spec = self._spec
+        if spec is not None:
+            return spec.interleave
+        return knn_mod.morton_tiebreak(self._width)
 
     def count(
         self, box_min: Sequence[int], box_max: Sequence[int]
@@ -593,7 +664,7 @@ class PHTree:
                 n,
                 knn_mod.squared_euclidean_int(key),
                 knn_mod.squared_euclidean_region_int(key),
-                knn_mod.morton_tiebreak(self._width),
+                self._morton_key(),
             )
         ]
 
@@ -610,7 +681,7 @@ class PHTree:
             len(self),
             knn_mod.squared_euclidean_int(key),
             knn_mod.squared_euclidean_region_int(key),
-            knn_mod.morton_tiebreak(self._width),
+            self._morton_key(),
         ):
             yield found_key, value
 

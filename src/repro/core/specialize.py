@@ -1,0 +1,840 @@
+"""Per-(k, width) specialized hot-path kernels.
+
+Every PH-tree operation bottoms out in the same handful of bit
+primitives -- hypercube-address extraction, the ``m_L``/``m_U`` mask
+arithmetic of Section 3.5, Morton interleaving -- and in pure Python the
+generic implementations re-derive shifts, masks, and loop bounds from
+``k`` and ``width`` on every call even though both are fixed for the
+lifetime of a tree.
+
+This module removes that per-call overhead by *generating* the hot
+functions once per ``(k, width)`` shape: the per-dimension loops are
+unrolled into straight-line code, the byte lookup tables of
+:mod:`repro.encoding.lut` are bound as locals/globals of the generated
+code, and all constants (``full = 2**k - 1``, byte shifts of the spread
+and compact plans, the root ``post_len``) are baked in as literals.  The
+generated functions are exact drop-in twins of the generic engines:
+
+- :attr:`Specialization.find_entry` / :attr:`Specialization.put` mirror
+  the point descent of :class:`~repro.core.phtree.PHTree` (the generic
+  methods remain as the instrumented and fallback paths),
+- :attr:`Specialization.range_scan_plain` /
+  :attr:`Specialization.range_scan_instrumented` mirror the flat
+  traversal loop of :mod:`repro.core.kernel` line for line -- same
+  stack discipline, same mode machine, same probe counters -- with the
+  per-dimension mask fusion unrolled,
+- :attr:`Specialization.get_many_plain` /
+  :attr:`Specialization.get_many_instrumented` mirror the merge-join of
+  :mod:`repro.core.batch`,
+- :attr:`Specialization.interleave` / :attr:`Specialization.deinterleave`
+  / :attr:`Specialization.zkey` are the LUT-driven Morton kernels (the
+  kNN tiebreak and batch sort keys).
+
+Bit-identical outputs are enforced by the property tests in
+``tests/core/test_specialize.py`` and ``tests/obs/test_spec_parity.py``
+(results, result *order*, and instrumented probe counts all pinned
+against the generic engines).
+
+Specializations are cached in a bounded LRU registry keyed by
+``(k, width)`` (:func:`get_spec`), so long-lived servers handling many
+tree shapes do not leak generated code: the registry evicts least
+recently used shapes beyond :func:`registry_cap`.  Eviction never breaks
+live trees -- a :class:`Specialization` is a self-contained bundle of
+closures and every tree holds a strong reference to its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.core.node import Entry, Node
+from repro.encoding.lut import compact_plan, spread_plan, spread_table
+from repro.obs import probes as _probes
+
+__all__ = [
+    "MAX_SPECIALIZED_DIMS",
+    "Specialization",
+    "clear_registry",
+    "get_spec",
+    "registry_cap",
+    "registry_size",
+    "set_registry_cap",
+]
+
+#: Beyond this dimensionality the unrolled code would outgrow its
+#: benefit; :func:`get_spec` returns None and callers keep the generic
+#: loop-based engines.
+MAX_SPECIALIZED_DIMS = 32
+
+
+# ---------------------------------------------------------------------------
+# Source emission helpers (k-unrolled code fragments)
+# ---------------------------------------------------------------------------
+
+
+def _unpack(prefix: str, source: str, k: int) -> str:
+    """``p0, p1, p2 = source`` (with the k == 1 trailing comma)."""
+    names = ", ".join(f"{prefix}{d}" for d in range(k))
+    if k == 1:
+        names += ","
+    return f"{names} = {source}"
+
+
+def _addr_expr(k: int, post: str, v: str = "v") -> str:
+    """Hypercube address of the unpacked key at bit position ``post``."""
+    if k == 1:
+        return f"({v}0 >> {post}) & 1"
+    parts = []
+    for d in range(k):
+        shift = k - 1 - d
+        if shift:
+            parts.append(f"((({v}{d} >> {post}) & 1) << {shift})")
+        else:
+            parts.append(f"(({v}{d} >> {post}) & 1)")
+    return " | ".join(parts)
+
+
+def _mismatch_expr(k: int, shift: str, v: str = "v", p: str = "p") -> str:
+    """Non-zero iff the key leaves the prefix above ``shift`` (the OR of
+    per-dimension XOR-shifts; its bit_length encodes the conflict)."""
+    return " | ".join(
+        f"(({v}{d} ^ {p}{d}) >> {shift})" for d in range(k)
+    )
+
+
+def _morton_expr(k: int, width: int, v: str = "v") -> str:
+    """Full Morton code of the unpacked key via the byte spread table."""
+    if k == 1:
+        return f"{v}0"
+    terms = []
+    for in_shift, _table, out_shift in spread_plan(k, width):
+        for d in range(k):
+            total = out_shift + (k - 1 - d)
+            byte = f"{v}{d} & 255" if in_shift == 0 else (
+                f"({v}{d} >> {in_shift}) & 255"
+            )
+            term = f"_st[{byte}]"
+            if total:
+                term += f" << {total}"
+            terms.append(term)
+    return " | ".join(terms)
+
+
+def _zkey_expr(k: int, width: int, v: str = "v") -> str:
+    """Approximate z-order sort key (top byte per dimension), matching
+    :func:`repro.core.batch.z_sort_key`."""
+    shift = width - 8 if width > 8 else 0
+    terms = []
+    for d in range(k):
+        byte = f"{v}{d} & 255" if shift == 0 else f"({v}{d} >> {shift}) & 255"
+        term = f"_st[{byte}]"
+        if k - 1 - d:
+            term += f" << {k - 1 - d}"
+        terms.append(term)
+    return " | ".join(terms)
+
+
+def _classify_child(
+    k: int, pad: str, instr: bool, reject_counter: str = "c_noderej"
+) -> str:
+    """Fused intersection / coverage / mask computation for a child node
+    (the unrolled twin of the kernel's ``zip(slot.prefix, bmin, bmax)``
+    loop); leaves ``cml``/``cmh``/``inside`` set, ``continue``s the
+    enclosing loop on a miss."""
+    lines = [f"{pad}inside = True"]
+    for d in range(k):
+        lines.append(f"{pad}nhi = p{d} | cfree")
+        lines.append(f"{pad}lo = bl{d}")
+        lines.append(f"{pad}hi = bh{d}")
+        lines.append(f"{pad}if hi < p{d} or lo > nhi:")
+        if instr:
+            lines.append(f"{pad}    {reject_counter} += 1")
+        lines.append(f"{pad}    continue")
+        lines.append(f"{pad}if p{d} < lo or nhi > hi:")
+        lines.append(f"{pad}    inside = False")
+        lines.append(f"{pad}if lo < p{d}:")
+        lines.append(f"{pad}    lo = p{d}")
+        lines.append(f"{pad}if hi > nhi:")
+        lines.append(f"{pad}    hi = nhi")
+        if d == 0:
+            lines.append(f"{pad}cml = (lo >> cpost) & 1")
+            lines.append(f"{pad}cmh = (hi >> cpost) & 1")
+        else:
+            lines.append(f"{pad}cml = (cml << 1) | ((lo >> cpost) & 1)")
+            lines.append(f"{pad}cmh = (cmh << 1) | ((hi >> cpost) & 1)")
+    return "\n".join(lines)
+
+
+def _classify_root(k: int, pad: str) -> str:
+    """Root mask computation (miss returns: the root is never flushed)."""
+    lines = []
+    for d in range(k):
+        lines.append(f"{pad}nhi = p{d} | free")
+        lines.append(f"{pad}lo = bl{d}")
+        lines.append(f"{pad}hi = bh{d}")
+        lines.append(f"{pad}if hi < p{d} or lo > nhi:")
+        lines.append(f"{pad}    return")
+        lines.append(f"{pad}if lo < p{d}:")
+        lines.append(f"{pad}    lo = p{d}")
+        lines.append(f"{pad}if hi > nhi:")
+        lines.append(f"{pad}    hi = nhi")
+        if d == 0:
+            lines.append(f"{pad}ml = (lo >> post) & 1")
+            lines.append(f"{pad}mh = (hi >> post) & 1")
+        else:
+            lines.append(f"{pad}ml = (ml << 1) | ((lo >> post) & 1)")
+            lines.append(f"{pad}mh = (mh << 1) | ((hi >> post) & 1)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Generated function sources
+# ---------------------------------------------------------------------------
+
+
+def _emit_check_key(k: int, width: int) -> str:
+    types = " and ".join(
+        f"v{d}.__class__ is int" for d in range(k)
+    )
+    acc = " | ".join(f"v{d}" for d in range(k))
+    return f"""\
+def check_key(key):
+    if key.__class__ is not tuple:
+        try:
+            key = tuple(key)
+        except TypeError:
+            return None
+    if len(key) != {k}:
+        return None
+    {_unpack('v', 'key', k)}
+    if {types}:
+        acc = {acc}
+        if acc >= 0 and not (acc >> {width}):
+            return key
+    return None
+"""
+
+
+def _emit_point_helpers(k: int, width: int) -> str:
+    return f"""\
+def hc_address(key, post):
+    {_unpack('v', 'key', k)}
+    return {_addr_expr(k, 'post')}
+
+
+def interleave(key):
+    {_unpack('v', 'key', k)}
+    return {_morton_expr(k, width)}
+
+
+def deinterleave(code):
+{_emit_deinterleave_body(k, width)}
+
+def zkey(key):
+    {_unpack('v', 'key', k)}
+    return {_zkey_expr(k, width)}
+"""
+
+
+def _emit_deinterleave_body(k: int, width: int) -> str:
+    if k == 1:
+        return "    return (code,)\n"
+    lines = []
+    for d in range(k):
+        shift = k - 1 - d
+        src = "code" if shift == 0 else f"(code >> {shift})"
+        terms = []
+        for j, (in_shift, _table, out_shift) in enumerate(
+            compact_plan(k, width)
+        ):
+            byte = (
+                f"{src} & 255"
+                if in_shift == 0
+                else f"({src} >> {in_shift}) & 255"
+            )
+            term = f"_ct{j}[{byte}]"
+            if out_shift:
+                term += f" << {out_shift}"
+            terms.append(term)
+        lines.append(f"    v{d} = " + " | ".join(terms))
+    tup = ", ".join(f"v{d}" for d in range(k))
+    if k == 1:
+        tup += ","
+    lines.append(f"    return ({tup})")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_find_entry(k: int) -> str:
+    return f"""\
+def find_entry(root, key):
+    {_unpack('v', 'key', k)}
+    node = root
+    node_cls = Node
+    while True:
+        post = node.post_len
+        a = {_addr_expr(k, 'post')}
+        cont = node.container
+        if cont.is_hc:
+            slot = cont._slots[a]
+            if slot is None:
+                return None
+        else:
+            addrs = cont._addresses
+            pos = bisect_left(addrs, a)
+            if pos >= len(addrs) or addrs[pos] != a:
+                return None
+            slot = cont._slots[pos]
+        if slot.__class__ is node_cls:
+            shift = slot.post_len + 1
+            {_unpack('p', 'slot.prefix', k)}
+            if {_mismatch_expr(k, 'shift')}:
+                return None
+            node = slot
+            continue
+        return slot if slot.key == key else None
+"""
+
+
+def _emit_put(k: int, width: int) -> str:
+    root_post = width - 1
+    zeros = ", ".join("0" for _ in range(k))
+    if k == 1:
+        zeros += ","
+    return f"""\
+def put(tree, key, value):
+    {_unpack('v', 'key', k)}
+    node = tree._root
+    dims = {k}
+    hc_mode = tree._hc_mode
+    hyst = tree._hysteresis
+    if node is None:
+        node = Node({root_post}, 0, ({zeros}))
+        node.put_slot(
+            {_addr_expr(k, str(root_post))},
+            Entry(key, value), dims, hc_mode, hyst,
+        )
+        tree._root = node
+        tree._size = 1
+        return None
+    node_cls = Node
+    while True:
+        post = node.post_len
+        a = {_addr_expr(k, 'post')}
+        cont = node.container
+        if cont.is_hc:
+            slot = cont._slots[a]
+        else:
+            addrs = cont._addresses
+            pos = bisect_left(addrs, a)
+            slot = (
+                cont._slots[pos]
+                if pos < len(addrs) and addrs[pos] == a
+                else None
+            )
+        if slot is None:
+            node.put_slot(a, Entry(key, value), dims, hc_mode, hyst)
+            tree._size += 1
+            return None
+        if slot.__class__ is node_cls:
+            shift = slot.post_len + 1
+            {_unpack('p', 'slot.prefix', k)}
+            diff = {_mismatch_expr(k, 'shift')}
+            if not diff:
+                node = slot
+                continue
+            conflict = diff.bit_length() - 1 + shift
+            mid = tree._new_split_node(node, key, conflict)
+            slot.infix_len = conflict - 1 - slot.post_len
+            mid.put_slot(
+                hc_address(slot.prefix, conflict), slot,
+                dims, hc_mode, hyst,
+            )
+            mid.put_slot(
+                {_addr_expr(k, 'conflict')}, Entry(key, value),
+                dims, hc_mode, hyst,
+            )
+            node.put_slot(a, mid, dims, hc_mode, hyst)
+            tree._size += 1
+            return None
+        entry = slot
+        ekey = entry.key
+        if ekey == key:
+            previous = entry.value
+            entry.value = value
+            return previous
+        {_unpack('e', 'ekey', k)}
+        diff = {" | ".join(f"(v{d} ^ e{d})" for d in range(k))}
+        conflict = diff.bit_length() - 1
+        mid = tree._new_split_node(node, key, conflict)
+        mid.put_slot(
+            {_addr_expr(k, 'conflict', 'e')}, entry, dims, hc_mode, hyst,
+        )
+        mid.put_slot(
+            {_addr_expr(k, 'conflict')}, Entry(key, value),
+            dims, hc_mode, hyst,
+        )
+        node.put_slot(a, mid, dims, hc_mode, hyst)
+        tree._size += 1
+        return None
+"""
+
+
+def _emit_range_scan(k: int, instr: bool) -> str:
+    """The unrolled twin of ``repro.core.kernel._range_scan_plain`` (or,
+    with ``instr``, of ``_range_scan_instrumented``): same flat loop,
+    same frame tuples, same mode machine and counter placement -- only
+    the per-dimension zip-loops are replaced by straight-line code."""
+    name = "range_scan_instrumented" if instr else "range_scan_plain"
+    full = (1 << k) - 1
+    I = "    " if instr else ""  # noqa: E741 - template indent shim
+
+    lines = [f"def {name}(root, box_min, box_max, slack_bits=0):"]
+    emit = lines.append
+    emit("    if root is None:")
+    emit("        return")
+    emit(f"    {_unpack('bl', 'box_min', k)}")
+    emit(f"    {_unpack('bh', 'box_max', k)}")
+    emit(
+        "    if "
+        + " or ".join(f"bl{d} > bh{d}" for d in range(k))
+        + ":"
+    )
+    emit("        return")
+    emit("    node_cls = Node")
+    emit("    if slack_bits > 0:")
+    emit("        slack = (1 << slack_bits) - 1")
+    for d in range(k):
+        emit(f"        cl{d} = bl{d} - slack")
+        emit(f"        ch{d} = bh{d} + slack")
+    emit("    else:")
+    for d in range(k):
+        emit(f"        cl{d} = bl{d}")
+        emit(f"        ch{d} = bh{d}")
+    emit("")
+    emit("    post = root.post_len")
+    emit("    free = (1 << (post + 1)) - 1")
+    emit(f"    {_unpack('p', 'root.prefix', k)}")
+    emit(_classify_root(k, "    "))
+    emit("    cont = root.container")
+    emit("    slots = cont._slots")
+    emit("    limit = len(slots)")
+    emit("    if cont.is_hc:")
+    emit("        addrs = None")
+    emit(f"        if ml == 0 and mh == {full}:")
+    emit("            mode = 2")
+    emit("            cur = 0")
+    emit("        else:")
+    emit("            mode = 1")
+    emit("            cur = ml")
+    emit("    else:")
+    emit("        addrs = cont._addresses")
+    emit(f"        if ml == 0 and mh == {full}:")
+    emit("            mode = 2")
+    emit("            cur = 0")
+    emit("        else:")
+    emit("            mode = 1")
+    emit("            cur = bisect_left(addrs, ml)")
+    emit("")
+    if instr:
+        emit("    c_nodes = 1")
+        emit("    c_hc = 1 if cont.is_hc else 0")
+        emit("    c_frames = 0")
+        emit("    c_slots = 0")
+        emit("    c_flush = 0")
+        emit("    c_plain = 1 if mode == 2 else 0")
+        emit("    c_maskrej = 0")
+        emit("    c_noderej = 0")
+        emit("    c_postdrop = 0")
+        emit("    c_entries = 0")
+        emit("")
+    emit("    stack = []")
+    emit("    pop = stack.pop")
+    emit("    push = stack.append")
+    emit("")
+    if instr:
+        emit("    try:")
+
+    body = []
+    b = body.append
+    b("while True:")
+    b("    if mode == 1:")
+    b("        if addrs is None:")
+    b("            if cur < 0:")
+    b("                if not stack:")
+    b("                    return")
+    b("                slots, addrs, cur, ml, mh, mode, limit = pop()")
+    b("                continue")
+    b("            a = cur")
+    b("            cur = -1 if a >= mh else ((((a | ~mh) + 1) & mh) | ml)")
+    b("            slot = slots[a]")
+    if instr:
+        b("            c_slots += 1")
+    b("            if slot is None:")
+    b("                continue")
+    b("        else:")
+    b("            if cur >= limit:")
+    b("                if not stack:")
+    b("                    return")
+    b("                slots, addrs, cur, ml, mh, mode, limit = pop()")
+    b("                continue")
+    b("            a = addrs[cur]")
+    b("            if a > mh:")
+    b("                if not stack:")
+    b("                    return")
+    b("                slots, addrs, cur, ml, mh, mode, limit = pop()")
+    b("                continue")
+    b("            slot = slots[cur]")
+    b("            cur += 1")
+    if instr:
+        b("            c_slots += 1")
+    b("            if (a | ml) != a or (a & mh) != a:")
+    if instr:
+        b("                c_maskrej += 1")
+    b("                continue")
+    b("    else:")
+    b("        if cur >= limit:")
+    b("            if not stack:")
+    b("                return")
+    b("            slots, addrs, cur, ml, mh, mode, limit = pop()")
+    b("            continue")
+    b("        slot = slots[cur]")
+    b("        cur += 1")
+    if instr:
+        b("        c_slots += 1")
+    b("        if slot is None:")
+    b("            continue")
+    b("")
+    b("    if slot.__class__ is node_cls:")
+    b("        if mode == 0:")
+    b("            push((slots, addrs, cur, ml, mh, mode, limit))")
+    b("            cont = slot.container")
+    b("            slots = cont._slots")
+    b("            addrs = None")
+    b("            cur = 0")
+    b("            limit = len(slots)")
+    if instr:
+        b("            c_frames += 1")
+        b("            c_nodes += 1")
+        b("            if cont.is_hc:")
+        b("                c_hc += 1")
+    b("            continue")
+    b("        cpost = slot.post_len")
+    b("        cfree = (1 << (cpost + 1)) - 1")
+    b(f"        {_unpack('p', 'slot.prefix', k)}")
+    b(_classify_child(k, "        ", instr))
+    b("        push((slots, addrs, cur, ml, mh, mode, limit))")
+    b("        cont = slot.container")
+    b("        slots = cont._slots")
+    b("        limit = len(slots)")
+    if instr:
+        b("        c_frames += 1")
+        b("        c_nodes += 1")
+        b("        if cont.is_hc:")
+        b("            c_hc += 1")
+    b("        if inside or cpost < slack_bits:")
+    b("            addrs = None")
+    b("            mode = 0")
+    b("            cur = 0")
+    if instr:
+        b("            c_flush += 1")
+    b("        elif cont.is_hc:")
+    b("            addrs = None")
+    b(f"            if cml == 0 and cmh == {full}:")
+    b("                mode = 2")
+    b("                cur = 0")
+    if instr:
+        b("                c_plain += 1")
+    b("            else:")
+    b("                mode = 1")
+    b("                ml = cml")
+    b("                mh = cmh")
+    b("                cur = cml")
+    b("        else:")
+    b("            addrs = cont._addresses")
+    b(f"            if cml == 0 and cmh == {full}:")
+    b("                mode = 2")
+    b("                cur = 0")
+    if instr:
+        b("                c_plain += 1")
+    b("            else:")
+    b("                mode = 1")
+    b("                ml = cml")
+    b("                mh = cmh")
+    b("                cur = bisect_left(addrs, cml)")
+    b("        continue")
+    b("")
+    b("    if mode == 0:")
+    if instr:
+        b("        c_entries += 1")
+    b("        yield slot.key, slot.value")
+    b("    else:")
+    b("        key = slot.key")
+    b(f"        {_unpack('v', 'key', k)}")
+    b(
+        "        if "
+        + " or ".join(f"v{d} < cl{d} or v{d} > ch{d}" for d in range(k))
+        + ":"
+    )
+    if instr:
+        b("            c_postdrop += 1")
+        b("            pass")
+    else:
+        b("            pass")
+    b("        else:")
+    if instr:
+        b("            c_entries += 1")
+    b("            yield key, slot.value")
+
+    pad = "        " if instr else "    "
+    for chunk in body:
+        for line in chunk.split("\n"):
+            emit(pad + line if line else "")
+    if instr:
+        emit("    finally:")
+        emit("        _probes.record_range_scan(")
+        emit("            c_nodes, c_hc, c_frames, c_slots, c_flush,")
+        emit("            c_plain, c_maskrej, c_noderej, c_postdrop,")
+        emit("            c_entries,")
+        emit("        )")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_get_many(k: int, instr: bool) -> str:
+    """The unrolled twin of ``repro.core.batch._get_many_plain`` /
+    ``_get_many_instrumented`` (same merge-join walk, path frames carry
+    the prefix unpacked)."""
+    name = "get_many_instrumented" if instr else "get_many_plain"
+    frame = ", ".join(["node", "shift"] + [f"p{d}" for d in range(k)])
+    lines = [f"def {name}(tree, keys, default=None, presorted=False):"]
+    emit = lines.append
+    emit("    checked, codes = _prepare(tree, keys, not presorted)")
+    emit("    n = len(checked)")
+    if instr:
+        emit("    _probes.ops_get_many.inc()")
+        emit("    _probes.batch_keys_get.inc(n)")
+    emit("    results = [default] * n")
+    emit("    root = tree._root")
+    emit("    if root is None or n == 0:")
+    emit("        return results")
+    emit("    if presorted:")
+    emit("        order = range(n)")
+    emit("    else:")
+    emit("        order = sorted(range(n), key=codes.__getitem__)")
+    emit("")
+    if instr:
+        emit("    c_nodes = 1")
+        emit("    c_slots = 0")
+    emit("    node_cls = Node")
+    emit("    path = [(root, root.post_len + 1) + root.prefix]")
+    emit("    push = path.append")
+    emit("    pop = path.pop")
+    emit(f"    {frame} = path[0]")
+    emit("    for i in order:")
+    emit("        key = checked[i]")
+    emit(f"        {_unpack('v', 'key', k)}")
+    emit(f"        while {_mismatch_expr(k, 'shift')}:")
+    emit("            pop()")
+    emit(f"            {frame} = path[-1]")
+    emit("        while True:")
+    if instr:
+        emit("            c_slots += 1")
+    emit("            post = shift - 1")
+    emit(f"            a = {_addr_expr(k, 'post')}")
+    emit("            cont = node.container")
+    emit("            if cont.is_hc:")
+    emit("                slot = cont._slots[a]")
+    emit("            else:")
+    emit("                addrs = cont._addresses")
+    emit("                pos = bisect_left(addrs, a)")
+    emit("                slot = (")
+    emit("                    cont._slots[pos]")
+    emit("                    if pos < len(addrs) and addrs[pos] == a")
+    emit("                    else None")
+    emit("                )")
+    emit("            if slot is None:")
+    emit("                break")
+    emit("            if slot.__class__ is node_cls:")
+    emit("                cshift = slot.post_len + 1")
+    emit(f"                {_unpack('q', 'slot.prefix', k)}")
+    emit(
+        "                if "
+        + _mismatch_expr(k, "cshift", "v", "q")
+        + ":"
+    )
+    emit("                    break")
+    emit("                node = slot")
+    emit("                shift = cshift")
+    for d in range(k):
+        emit(f"                p{d} = q{d}")
+    emit(f"                push(({frame}))")
+    if instr:
+        emit("                c_nodes += 1")
+    emit("                continue")
+    emit("            if slot.key == key:")
+    emit("                results[i] = slot.value")
+    emit("            break")
+    if instr:
+        emit("    _probes.batch_nodes_visited.inc(c_nodes)")
+        emit("    _probes.batch_slots_scanned.inc(c_slots)")
+    emit("    return results")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The Specialization bundle and its factory
+# ---------------------------------------------------------------------------
+
+
+class Specialization:
+    """The per-(k, width) bundle of generated hot-path functions.
+
+    Self-contained: holds only closures over the byte tables plus the
+    shape constants, so a bundle keeps working after the registry evicts
+    its cache slot (live trees hold strong references).
+    """
+
+    __slots__ = (
+        "k",
+        "width",
+        "full",
+        "check_key",
+        "hc_address",
+        "interleave",
+        "deinterleave",
+        "zkey",
+        "find_entry",
+        "put",
+        "range_scan_plain",
+        "range_scan_instrumented",
+        "get_many_plain",
+        "get_many_instrumented",
+        "source",
+    )
+
+    def __init__(self, k: int, width: int) -> None:
+        self.k = k
+        self.width = width
+        self.full = (1 << k) - 1
+        source = "\n".join(
+            [
+                _emit_check_key(k, width),
+                _emit_point_helpers(k, width),
+                _emit_find_entry(k),
+                _emit_put(k, width),
+                _emit_range_scan(k, instr=False),
+                _emit_range_scan(k, instr=True),
+                _emit_get_many(k, instr=False),
+                _emit_get_many(k, instr=True),
+            ]
+        )
+        self.source = source
+        namespace: dict = {
+            "Node": Node,
+            "Entry": Entry,
+            "bisect_left": bisect_left,
+            "_probes": _probes,
+            "_st": spread_table(k),
+            "_prepare": _batch_prepare,
+        }
+        for j, (_in, table, _out) in enumerate(compact_plan(k, width)):
+            namespace[f"_ct{j}"] = table
+        code = compile(source, f"<specialize k={k} width={width}>", "exec")
+        exec(code, namespace)
+        self.check_key = namespace["check_key"]
+        self.hc_address = namespace["hc_address"]
+        self.interleave = namespace["interleave"]
+        self.deinterleave = namespace["deinterleave"]
+        self.zkey = namespace["zkey"]
+        self.find_entry = namespace["find_entry"]
+        self.put = namespace["put"]
+        self.range_scan_plain = namespace["range_scan_plain"]
+        self.range_scan_instrumented = namespace["range_scan_instrumented"]
+        self.get_many_plain = namespace["get_many_plain"]
+        self.get_many_instrumented = namespace["get_many_instrumented"]
+
+    def __repr__(self) -> str:
+        return f"Specialization(k={self.k}, width={self.width})"
+
+
+def _batch_prepare(tree: Any, keys: Any, want_codes: bool):
+    """Late-bound bridge to :func:`repro.core.batch._prepare` (the batch
+    module imports nothing from here, so the import is cycle-free but
+    deferred to avoid import-order surprises)."""
+    global _batch_prepare
+    from repro.core.batch import _prepare
+
+    _batch_prepare = _prepare
+    return _prepare(tree, keys, want_codes)
+
+
+# ---------------------------------------------------------------------------
+# Bounded LRU registry
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_REGISTRY: "OrderedDict[Tuple[int, int], Specialization]" = OrderedDict()
+_CAP = 64
+
+
+def get_spec(k: int, width: int) -> Optional[Specialization]:
+    """The cached specialization for ``(k, width)``, building (and
+    caching, LRU-bounded) on first use.
+
+    Returns None for shapes outside the specializable range
+    (``k > MAX_SPECIALIZED_DIMS``); callers then keep the generic
+    engines.
+    """
+    if k < 1:
+        raise ValueError(f"dims must be >= 1, got {k}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if k > MAX_SPECIALIZED_DIMS:
+        return None
+    key = (k, width)
+    with _LOCK:
+        spec = _REGISTRY.get(key)
+        if spec is not None:
+            _REGISTRY.move_to_end(key)
+            return spec
+    built = Specialization(k, width)
+    with _LOCK:
+        spec = _REGISTRY.get(key)
+        if spec is not None:
+            # Raced with another builder; keep the first.
+            _REGISTRY.move_to_end(key)
+            return spec
+        _REGISTRY[key] = built
+        while len(_REGISTRY) > _CAP:
+            _REGISTRY.popitem(last=False)
+    return built
+
+
+def registry_size() -> int:
+    """Number of currently cached specializations."""
+    with _LOCK:
+        return len(_REGISTRY)
+
+
+def registry_cap() -> int:
+    """Maximum number of cached specializations."""
+    return _CAP
+
+
+def set_registry_cap(cap: int) -> None:
+    """Resize the registry (evicting LRU entries if shrinking)."""
+    global _CAP
+    if cap < 1:
+        raise ValueError(f"registry cap must be >= 1, got {cap}")
+    with _LOCK:
+        _CAP = cap
+        while len(_REGISTRY) > _CAP:
+            _REGISTRY.popitem(last=False)
+
+
+def clear_registry() -> None:
+    """Drop every cached specialization (live trees keep theirs)."""
+    with _LOCK:
+        _REGISTRY.clear()

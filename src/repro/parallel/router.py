@@ -15,16 +15,17 @@ Morton code* is the one that keeps every global operation cheap:
   into exactly the order the unsharded tree would produce.
 
 The router is pure arithmetic: it owns no trees and no locks, only the
-mapping ``key -> shard`` (via the byte-table bit spreading of
-:func:`repro.encoding.interleave.spread`) and the inverse geometry
+mapping ``key -> shard`` (via the process-wide byte spread table of
+:func:`repro.encoding.lut.spread_table`, the same table the Morton
+kernels and the batch z-sort keys run on) and the inverse geometry
 ``shard -> bounding box``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from repro.encoding.interleave import spread
+from repro.encoding.lut import spread_table
 
 __all__ = ["ZShardRouter"]
 
@@ -44,7 +45,15 @@ class ZShardRouter:
     [0, 2]
     """
 
-    __slots__ = ("_dims", "_width", "_shards", "_bits", "_nlayers", "_bounds")
+    __slots__ = (
+        "_dims",
+        "_width",
+        "_shards",
+        "_bits",
+        "_nlayers",
+        "_bounds",
+        "_table",
+    )
 
     def __init__(self, dims: int, width: int, shards: int) -> None:
         if dims < 1:
@@ -68,6 +77,12 @@ class ZShardRouter:
         # Bit layers of the z-code the shard key spans (the last one may
         # be partial: only dimensions 0..r-1 contribute).
         self._nlayers = -(-bits // dims) if bits else 0
+        # Shared process-wide spread table (see repro.encoding.lut);
+        # shard keys rarely span more than 8 layers, so shard_of is
+        # usually one table lookup per dimension.
+        self._table: Optional[Tuple[int, ...]] = (
+            spread_table(dims) if self._nlayers else None
+        )
         self._bounds: List[Tuple[Key, Key]] = [
             self._compute_bounds(s) for s in range(shards)
         ]
@@ -106,12 +121,20 @@ class ZShardRouter:
         k = self._dims
         nlayers = self._nlayers
         drop = self._width - nlayers
+        table = self._table
         code = 0
         shift = k - 1
         for value in key:
             top = value >> drop
             if top:
-                code |= spread(top, k, nlayers) << shift
+                if top < 256:
+                    code |= table[top] << shift
+                else:
+                    byte_shift = shift
+                    while top:
+                        code |= table[top & 0xFF] << byte_shift
+                        top >>= 8
+                        byte_shift += 8 * k
             shift -= 1
         return code >> (k * nlayers - bits)
 

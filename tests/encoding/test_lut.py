@@ -1,0 +1,151 @@
+"""Property tests for the shared byte lookup tables: every LUT kernel
+pinned against the definitional per-bit oracles, including k=1,
+width=64, and max-value edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.interleave import (
+    deinterleave,
+    deinterleave_naive,
+    interleave,
+    interleave_naive,
+)
+from repro.encoding.lut import (
+    compact_plan,
+    compact_table,
+    spread_plan,
+    spread_table,
+)
+
+
+@st.composite
+def key_case(draw):
+    width = draw(st.integers(min_value=1, max_value=64))
+    k = draw(st.integers(min_value=1, max_value=10))
+    top = (1 << width) - 1
+    values = draw(
+        st.lists(
+            # Bias towards the extremes where table-boundary bugs live.
+            st.one_of(
+                st.integers(min_value=0, max_value=top),
+                st.sampled_from([0, top, top >> 1, 1]),
+            ),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return tuple(values), width
+
+
+class TestTables:
+    def test_spread_identity_stride_1(self):
+        assert spread_table(1) == tuple(range(256))
+
+    def test_spread_examples(self):
+        assert spread_table(2)[0b111] == 0b10101
+        assert spread_table(3)[0b11] == 0b1001
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_spread_bit_positions(self, byte, k):
+        spread = spread_table(k)[byte]
+        for i in range(8):
+            assert (spread >> (i * k)) & 1 == (byte >> i) & 1
+        # No stray bits anywhere else.
+        assert spread.bit_count() == byte.bit_count()
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_compact_inverts_spread_per_byte(self, byte, k):
+        # Reassemble the byte from its spread form through the phased
+        # compact tables: compact_plan must exactly invert the spread.
+        spread = spread_table(k)[byte]
+        out = 0
+        for in_shift, table, out_shift in compact_plan(k, 8):
+            out |= table[(spread >> in_shift) & 0xFF] << out_shift
+        assert out == byte
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            spread_table(0)
+        with pytest.raises(ValueError):
+            compact_table(0)
+        with pytest.raises(ValueError):
+            compact_table(3, phase=3)
+        with pytest.raises(ValueError):
+            compact_table(3, phase=-1)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            spread_plan(2, 0)
+        with pytest.raises(ValueError):
+            compact_plan(2, 0)
+
+    def test_tables_are_shared_objects(self):
+        # lru_cache makes repeated lookups return the same tuple: the
+        # whole process shares one table per (k, phase).
+        assert spread_table(3) is spread_table(3)
+        assert compact_table(5, 2) is compact_table(5, 2)
+
+    def test_compact_plan_skips_dead_bytes(self):
+        # With stride > 8 some bytes of the input hold no stride-aligned
+        # bit at all and must not appear in the plan.
+        plan = compact_plan(16, 8)
+        assert len(plan) < (16 * 8 + 7) // 8
+
+
+class TestLutVsNaive:
+    @given(key_case())
+    def test_interleave_matches_naive(self, case):
+        values, width = case
+        assert interleave(values, width) == interleave_naive(
+            values, width
+        )
+
+    @given(key_case())
+    def test_deinterleave_matches_naive(self, case):
+        values, width = case
+        code = interleave_naive(values, width)
+        k = len(values)
+        expected = deinterleave_naive(code, k, width)
+        assert deinterleave(code, k, width) == expected
+        assert expected == values
+
+    @given(key_case())
+    def test_round_trip(self, case):
+        values, width = case
+        k = len(values)
+        assert deinterleave(interleave(values, width), k, width) == values
+
+    def test_k1_passthrough(self):
+        for width in (1, 8, 20, 64):
+            top = (1 << width) - 1
+            for v in (0, 1, top >> 1, top):
+                assert interleave((v,), width) == v
+                assert deinterleave(v, 1, width) == (v,)
+
+    def test_width_64_max_values(self):
+        top = (1 << 64) - 1
+        for k in (1, 2, 3, 7):
+            values = (top,) * k
+            code = interleave(values, 64)
+            assert code == interleave_naive(values, 64)
+            assert code == (1 << (64 * k)) - 1
+            assert deinterleave(code, k, 64) == values
+
+    def test_single_high_bit(self):
+        # The MSB of dimension 0 is the MSB of the code.
+        for k in (2, 3, 5):
+            for width in (8, 20, 33, 64):
+                values = (1 << (width - 1),) + (0,) * (k - 1)
+                code = interleave(values, width)
+                assert code == 1 << (k * width - 1)
+                assert deinterleave(code, k, width) == values

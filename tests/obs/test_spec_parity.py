@@ -1,0 +1,210 @@
+"""Instrumentation parity over the specialized kernels.
+
+The per-(k, width) kernels of :mod:`repro.core.specialize` carry their
+own instrumented twins, generated from the same template as the plain
+ones.  These tests pin the whole contract:
+
+- with observability on, the specialized engines return identical
+  results AND publish identical probe counts to the generic
+  instrumented engines (counter-for-counter),
+- point ops on a specialized tree fall back to the generic instrumented
+  descent when observability is on, so per-op counters are identical to
+  a generic tree's,
+- with observability off, the public dispatching entry points stay
+  within the 5% overhead pin over the specialized plain twins.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import batch as batch_mod
+from repro.core import kernel as kernel_mod
+from repro.obs import probes
+from repro.core.phtree import PHTree
+
+DIMS = 3
+WIDTH = 16
+DOMAIN = (1 << WIDTH) - 1
+
+LIMIT = 1.05
+ATTEMPTS = 6
+REPEATS = 7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(67)
+    tree = PHTree(dims=DIMS, width=WIDTH)
+    keys = list(
+        {
+            tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+            for _ in range(4000)
+        }
+    )
+    for key in keys:
+        tree.put(key, None)
+    boxes = []
+    for _ in range(30):
+        lo = tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+        hi = tuple(min(v + (1 << (WIDTH - 2)), DOMAIN) for v in lo)
+        boxes.append((lo, hi))
+    return tree, keys, boxes
+
+
+def _counts():
+    return probes.registry.dump_json()
+
+
+class TestInstrumentedParity:
+    def test_range_scan_counts_identical(self, workload, obs_enabled):
+        tree, _keys, boxes = workload
+        spec = tree.specialization
+        assert spec is not None
+        for lo, hi in boxes:
+            obs.reset()
+            expected = list(
+                kernel_mod._range_scan_instrumented(tree.root, lo, hi)
+            )
+            expected_counts = _counts()
+            obs.reset()
+            got = list(spec.range_scan_instrumented(tree.root, lo, hi))
+            assert got == expected
+            assert _counts() == expected_counts
+
+    def test_range_scan_approx_counts_identical(
+        self, workload, obs_enabled
+    ):
+        tree, _keys, boxes = workload
+        spec = tree.specialization
+        for lo, hi in boxes[:10]:
+            obs.reset()
+            expected = list(
+                kernel_mod._range_scan_instrumented(tree.root, lo, hi, 3)
+            )
+            expected_counts = _counts()
+            obs.reset()
+            got = list(
+                spec.range_scan_instrumented(tree.root, lo, hi, 3)
+            )
+            assert got == expected
+            assert _counts() == expected_counts
+
+    def test_get_many_counts_identical(self, workload, obs_enabled):
+        tree, keys, _boxes = workload
+        spec = tree.specialization
+        rng = random.Random(71)
+        batch = keys[:1000] + [
+            tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+            for _ in range(300)
+        ]
+        for presorted in (False, True):
+            obs.reset()
+            expected = batch_mod._get_many_instrumented(
+                tree, batch, presorted=presorted
+            )
+            expected_counts = _counts()
+            obs.reset()
+            got = spec.get_many_instrumented(
+                tree, batch, presorted=presorted
+            )
+            assert got == expected
+            assert _counts() == expected_counts
+
+    def test_dispatch_selects_instrumented_twin(
+        self, workload, obs_enabled
+    ):
+        # The public entry points must publish probes on a specialized
+        # tree exactly like before.
+        tree, keys, boxes = workload
+        obs.reset()
+        tree.get_many(keys[:100])
+        assert probes.ops_get_many.value == 1
+        assert probes.batch_keys_get.value == 100
+        obs.reset()
+        total = sum(1 for _ in tree.query(*boxes[0]))
+        assert probes.ops_query.value == 1
+        assert probes.kernel_entries_yielded.value == total
+
+    def test_point_ops_counts_match_generic_tree(self, obs_enabled):
+        rng = random.Random(73)
+        keys = list(
+            {
+                tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+                for _ in range(500)
+            }
+        )
+        obs.reset()
+        spec_tree = PHTree(dims=DIMS, width=WIDTH)
+        for key in keys:
+            spec_tree.put(key, None)
+        for key in keys:
+            spec_tree.get(key)
+        spec_counts = _counts()
+        obs.reset()
+        generic_tree = PHTree(dims=DIMS, width=WIDTH, specialize=False)
+        for key in keys:
+            generic_tree.put(key, None)
+        for key in keys:
+            generic_tree.get(key)
+        assert _counts() == spec_counts
+
+
+class TestDisabledOverheadPin:
+    def _assert_overhead(self, dispatching, plain):
+        assert not obs.is_enabled()
+        ratios = []
+        for _ in range(ATTEMPTS):
+            t_dispatch = _best(dispatching)
+            t_plain = _best(plain)
+            ratio = t_dispatch / t_plain
+            if ratio <= LIMIT:
+                return
+            ratios.append(round(ratio, 4))
+        pytest.fail(
+            f"disabled-path overhead exceeded {LIMIT:.0%} in every "
+            f"attempt: {ratios}"
+        )
+
+    def test_get_many_overhead_over_spec_twin(self, workload):
+        tree, keys, _boxes = workload
+        spec = tree.specialization
+        self._assert_overhead(
+            lambda: tree.get_many(keys),
+            lambda: spec.get_many_plain(tree, keys),
+        )
+
+    def test_query_overhead_over_spec_twin(self, workload):
+        tree, _keys, boxes = workload
+        spec = tree.specialization
+        root = tree.root
+
+        def dispatching():
+            total = 0
+            for lo, hi in boxes:
+                for _ in tree.query(lo, hi):
+                    total += 1
+            return total
+
+        def plain():
+            total = 0
+            for lo, hi in boxes:
+                for _ in spec.range_scan_plain(root, lo, hi, 0):
+                    total += 1
+            return total
+
+        assert dispatching() == plain()
+        self._assert_overhead(dispatching, plain)
+
+
+def _best(func, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
