@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-small bench-json examples results clean
+.PHONY: install test fuzz bench bench-small bench-json examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -10,6 +10,12 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Correctness harness: fixed-seed differential fuzz across the engine
+# matrix plus the parallel-layer fault drill (the CI fuzz-smoke job).
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro.tool check --fuzz --seed 0 --ops 4000 --dims 2,6,14
+	PYTHONPATH=src $(PYTHON) -m repro.tool check --faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,325 @@
+"""Fault injection for the parallel stack.
+
+Each injector is a context manager planting one infrastructure fault at
+a real seam of :mod:`repro.parallel`:
+
+- :func:`publish_failures` -- shared-memory *allocation* fails while a
+  shard snapshot is being published (arena exhausted, permission
+  denied),
+- :func:`unlink_failures` -- *discarding* a superseded segment fails
+  (raced unlink, platform reclaim),
+- :func:`kill_one_worker` -- a pool worker dies mid-flight (OOM kill),
+- :func:`slow_reader` -- a reader camps on a shard's lock, exercising
+  writer timeouts (:class:`~repro.core.concurrent.LockTimeout`) and the
+  bounded-batching fairness path.
+
+The contract under every fault: reads keep returning *correct* results
+(degrading to the live in-process engine) or raise a clean typed error,
+and the matching :mod:`repro.obs.probes` counter moves.
+:func:`run_fault_drill` drives all four scenarios end-to-end (the
+``repro.tool check --faults`` verb) and reports the observed
+result/counter for each.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.core.concurrent import LockTimeout
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
+
+__all__ = [
+    "FaultOutcome",
+    "kill_one_worker",
+    "publish_failures",
+    "run_fault_drill",
+    "slow_reader",
+    "unlink_failures",
+]
+
+
+# ---------------------------------------------------------------------------
+# Injectors
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def publish_failures(count: int = 1) -> Iterator[Dict[str, int]]:
+    """Make the next ``count`` snapshot *publications* fail.
+
+    Patches the ``shared_memory`` module binding inside
+    :mod:`repro.parallel.executor` with a proxy whose
+    ``SharedMemory(create=True, ...)`` raises :class:`OSError`;
+    attach-side calls (no ``create``) pass through untouched.  Worker
+    processes import the real module and are unaffected -- exactly the
+    parent-side allocation seam.
+
+    Yields a state dict; ``state["remaining"]`` counts down as failures
+    are consumed.
+    """
+    from repro.parallel import executor as executor_mod
+
+    real = executor_mod.shared_memory
+    state = {"remaining": count}
+
+    def _shared_memory(*args: Any, **kwargs: Any) -> Any:
+        if kwargs.get("create") and state["remaining"] > 0:
+            state["remaining"] -= 1
+            raise OSError(28, "injected: no space left on device")
+        return real.SharedMemory(*args, **kwargs)
+
+    executor_mod.shared_memory = SimpleNamespace(
+        SharedMemory=_shared_memory
+    )
+    try:
+        yield state
+    finally:
+        executor_mod.shared_memory = real
+
+
+@contextmanager
+def unlink_failures(
+    pool: Any, count: int = 1
+) -> Iterator[Dict[str, Any]]:
+    """Make the next ``count`` snapshot-segment *unlinks* fail.
+
+    Wraps ``segment.unlink`` on every currently published snapshot of
+    ``pool`` (a :class:`~repro.parallel.executor.SnapshotPool`) so the
+    discard path hits its error handler.  On exit the wrappers are
+    removed and any segment whose unlink was suppressed is really
+    unlinked, so no shared memory leaks out of the test.
+    """
+    snapshots = [s for s in pool._snapshots if s is not None]
+    state: Dict[str, Any] = {"remaining": count, "suppressed": []}
+    patched: List[Tuple[Any, Any]] = []
+    for snapshot in snapshots:
+        segment = snapshot.segment
+        original = segment.unlink
+
+        def _unlink(original: Any = original) -> None:
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                state["suppressed"].append(original)
+                raise OSError(13, "injected: unlink denied")
+            original()
+
+        segment.unlink = _unlink
+        patched.append((segment, original))
+    try:
+        yield state
+    finally:
+        for segment, _original in patched:
+            segment.__dict__.pop("unlink", None)
+        for original in state["suppressed"]:
+            try:
+                original()
+            except FileNotFoundError:
+                pass
+
+
+def kill_one_worker(pool: Any, timeout_s: float = 10.0) -> int:
+    """SIGKILL one live worker process of ``pool``'s executor; returns
+    the dead pid.  The next fan-out observes a broken pool -- the
+    executor layer must convert that into
+    :class:`~repro.parallel.errors.SnapshotReadError` and recycle the
+    pool.
+    """
+    executor = pool._pool()  # starts the pool if not yet running
+    processes = list(executor._processes.values())
+    if not processes:
+        # Workers spawn lazily on first submit; force one.
+        executor.submit(int).result()
+        processes = list(executor._processes.values())
+    if not processes:  # pragma: no cover - defensive
+        raise RuntimeError("no worker processes to kill")
+    victim = processes[0]
+    os.kill(victim.pid, signal.SIGKILL)
+    deadline = time.monotonic() + timeout_s
+    while victim.is_alive():
+        if time.monotonic() > deadline:  # pragma: no cover
+            raise RuntimeError(f"worker {victim.pid} did not die")
+        time.sleep(0.01)
+    return victim.pid
+
+
+@contextmanager
+def slow_reader(
+    sharded: Any, shard: int = 0
+) -> Iterator[threading.Event]:
+    """Hold shard ``shard``'s read lock from a background thread until
+    the context exits (or the yielded event is set).
+
+    While active, writers to that shard block; a writer using a
+    ``timeout`` gets a clean :class:`~repro.core.concurrent.LockTimeout`
+    instead of hanging.
+    """
+    lock = sharded._shards[shard].lock
+    release = threading.Event()
+    acquired = threading.Event()
+
+    def _camp() -> None:
+        with lock.read():
+            acquired.set()
+            release.wait()
+
+    camper = threading.Thread(target=_camp, daemon=True)
+    camper.start()
+    if not acquired.wait(timeout=10.0):  # pragma: no cover
+        raise RuntimeError("slow reader never acquired the lock")
+    try:
+        yield release
+    finally:
+        release.set()
+        camper.join(timeout=10.0)
+
+
+# ---------------------------------------------------------------------------
+# The drill (CLI-facing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultOutcome:
+    """One drill scenario's verdict."""
+
+    fault: str
+    passed: bool
+    detail: str
+
+
+def _counter_value(counter: Any) -> float:
+    return counter.value
+
+
+def run_fault_drill(
+    dims: int = 2, width: int = 16, entries: int = 256
+) -> List[FaultOutcome]:
+    """Run every fault class against a live sharded tree with a worker
+    pool; returns one :class:`FaultOutcome` per scenario.
+
+    Observability is enabled for the duration (restored afterwards) so
+    the per-fault counters can be asserted to move.
+    """
+    import random
+
+    from repro.parallel.sharded import ShardedPHTree
+
+    rng = random.Random(20140623)
+    limit = 1 << width
+    data = [
+        tuple(rng.randrange(limit) for _ in range(dims))
+        for _ in range(entries)
+    ]
+    box_lo = (0,) * dims
+    box_hi = (limit - 1,) * dims
+    outcomes: List[FaultOutcome] = []
+    obs_before = _rt.enabled
+    _rt.enable()
+    tree = ShardedPHTree(dims=dims, width=width, shards=4, workers=2)
+    try:
+        for key in data:
+            tree.put(key, None)
+        expected = tree._query_live(
+            range(tree.n_shards), box_lo, box_hi
+        )
+
+        # 1. Publish failure: allocation dies; the read degrades to the
+        #    live engine with identical results.
+        before = _counter_value(_probes.snapshot_publish_failures)
+        with publish_failures(count=1):
+            result = tree.query(box_lo, box_hi)
+        moved = _counter_value(_probes.snapshot_publish_failures) - before
+        outcomes.append(
+            FaultOutcome(
+                "publish-failure",
+                result == expected and moved >= 1,
+                f"live fallback correct={result == expected}, "
+                f"snapshot_publish_failures +{moved:g}",
+            )
+        )
+
+        # 2. Worker death: a broken pool is detected, typed, counted,
+        #    recycled -- and the answer is still exactly right.
+        tree.query(box_lo, box_hi)  # publish snapshots, start the pool
+        pool = tree._snapshot_pool()
+        before = _counter_value(_probes.fanout_failures.labels("query"))
+        pid = kill_one_worker(pool)
+        result = tree.query(box_lo, box_hi)
+        moved = (
+            _counter_value(_probes.fanout_failures.labels("query"))
+            - before
+        )
+        recovered = tree.query(box_lo, box_hi)  # fresh pool fan-out
+        outcomes.append(
+            FaultOutcome(
+                "worker-death",
+                result == expected
+                and recovered == expected
+                and moved >= 1,
+                f"killed pid {pid}; fallback correct="
+                f"{result == expected}, recovered pool correct="
+                f"{recovered == expected}, fanout_failures +{moved:g}",
+            )
+        )
+
+        # 3. Unlink failure: discarding a superseded snapshot fails; the
+        #    refresh survives, the error is counted.
+        tree.put(data[0], None)  # bump a generation: stale snapshot
+        expected = tree._query_live(
+            range(tree.n_shards), box_lo, box_hi
+        )
+        before = _counter_value(_probes.snapshot_discard_errors)
+        with unlink_failures(tree._snapshot_pool(), count=1):
+            tree.refresh_snapshots()
+        moved = _counter_value(_probes.snapshot_discard_errors) - before
+        result = tree.query(box_lo, box_hi)
+        outcomes.append(
+            FaultOutcome(
+                "unlink-failure",
+                result == expected and moved >= 1,
+                f"refresh survived, results correct="
+                f"{result == expected}, "
+                f"snapshot_discard_errors +{moved:g}",
+            )
+        )
+
+        # 4. Slow reader: a camped read lock; a bounded writer times out
+        #    cleanly (and is counted) instead of hanging.
+        before = _counter_value(_probes.lock_timeouts.labels("write"))
+        timed_out = False
+        with slow_reader(tree, shard=0):
+            try:
+                with tree._shards[0].lock.write(timeout=0.05):
+                    pass  # pragma: no cover - reader holds the lock
+            except LockTimeout:
+                timed_out = True
+        moved = (
+            _counter_value(_probes.lock_timeouts.labels("write"))
+            - before
+        )
+        # After the reader leaves, the same write must succeed.
+        with tree._shards[0].lock.write(timeout=1.0):
+            pass
+        outcomes.append(
+            FaultOutcome(
+                "lock-timeout",
+                timed_out and moved >= 1,
+                f"writer timed out cleanly={timed_out}, "
+                f"lock_timeouts +{moved:g}, lock usable afterwards",
+            )
+        )
+        return outcomes
+    finally:
+        tree.close()
+        if obs_before:
+            _rt.enable()
+        else:
+            _rt.disable()

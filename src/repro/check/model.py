@@ -1,0 +1,145 @@
+"""The fuzzer's reference model: a plain dict plus brute force.
+
+The model is deliberately dumb -- a ``dict`` keyed by the integer key
+tuples, with every query answered by an exhaustive scan sorted by Morton
+code.  Its only job is to be *obviously* correct, so any divergence from
+a tree engine indicts the engine, not the oracle.
+
+Expected orderings mirror the tree's documented semantics:
+
+- iteration and window queries ascend in Morton code (z-order),
+- kNN ascends by ``(squared distance, Morton code)`` -- the tree's
+  documented tie order -- truncated to ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.encoding.interleave import interleave
+
+__all__ = ["ReferenceModel"]
+
+Key = Tuple[int, ...]
+
+
+class ReferenceModel:
+    """Sorted-dict semantics for a ``dims``-dimensional ``width``-bit
+    integer key space."""
+
+    __slots__ = ("dims", "width", "data")
+
+    def __init__(self, dims: int, width: int) -> None:
+        self.dims = dims
+        self.width = width
+        self.data: Dict[Key, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def _zkey(self, key: Key) -> int:
+        return interleave(key, self.width)
+
+    # -- mutations (mirroring the tree API contracts) ----------------------
+
+    def put(self, key: Key, value: Any) -> Any:
+        previous = self.data.get(key)
+        self.data[key] = value
+        return previous
+
+    def remove(self, key: Key) -> Any:
+        """Returns the removed value; raises KeyError like the tree."""
+        return self.data.pop(key)
+
+    def update_key(self, old_key: Key, new_key: Key) -> None:
+        """Same contract as ``PHTree.update_key``: ValueError when the
+        target exists (no-op when it *is* the source), KeyError when the
+        source is absent."""
+        if new_key in self.data:
+            if old_key == new_key:
+                return
+            raise ValueError(f"target key already present: {new_key}")
+        value = self.data.pop(old_key)
+        self.data[new_key] = value
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def contains(self, key: Key) -> bool:
+        return key in self.data
+
+    def get_many(self, keys: List[Key], default: Any = None) -> List[Any]:
+        return [self.data.get(key, default) for key in keys]
+
+    def items(self) -> List[Tuple[Key, Any]]:
+        """All entries in z-order."""
+        return sorted(self.data.items(), key=lambda kv: self._zkey(kv[0]))
+
+    def keys(self) -> List[Key]:
+        return [key for key, _ in self.items()]
+
+    def query(self, box_min: Key, box_max: Key) -> List[Tuple[Key, Any]]:
+        """Window query in z-order (empty for an inverted box)."""
+        if any(lo > hi for lo, hi in zip(box_min, box_max)):
+            return []
+        hits = [
+            (key, value)
+            for key, value in self.data.items()
+            if all(
+                lo <= v <= hi
+                for v, lo, hi in zip(key, box_min, box_max)
+            )
+        ]
+        hits.sort(key=lambda kv: self._zkey(kv[0]))
+        return hits
+
+    def query_many(
+        self, boxes: List[Tuple[Key, Key]]
+    ) -> List[List[Tuple[Key, Any]]]:
+        return [self.query(lo, hi) for lo, hi in boxes]
+
+    def count(self, box_min: Key, box_max: Key) -> int:
+        return len(self.query(box_min, box_max))
+
+    def knn(self, key: Key, n: int) -> List[Tuple[Key, Any]]:
+        """``n`` nearest by ``(squared distance, Morton code)``."""
+        if n <= 0:
+            return []
+        ranked = sorted(
+            self.data.items(),
+            key=lambda kv: (
+                self._point_dist(key, kv[0]),
+                self._zkey(kv[0]),
+            ),
+        )
+        return ranked[:n]
+
+    @staticmethod
+    def _point_dist(query: Key, candidate: Key) -> int:
+        total = 0
+        for q, v in zip(query, candidate):
+            d = q - v
+            total += d * d
+        return total
+
+    # -- fuzzer support ----------------------------------------------------
+
+    def random_present_key(self, rng: Any) -> Optional[Key]:
+        """A uniformly chosen stored key, or None when empty.
+
+        Iteration order of a dict is insertion order, which is
+        deterministic given a deterministic op sequence -- so this keeps
+        the fuzzer reproducible.
+        """
+        if not self.data:
+            return None
+        index = rng.randrange(len(self.data))
+        for position, key in enumerate(self.data):
+            if position == index:
+                return key
+        raise AssertionError("unreachable")

@@ -1,0 +1,561 @@
+"""Structural invariant validator for every tree engine.
+
+:func:`validate_tree` walks a tree -- live :class:`~repro.core.phtree.PHTree`,
+float facade, sharded, synchronized, or frozen byte stream -- and asserts
+every paper-level structural invariant:
+
+- the root sits at ``post_len == width - 1`` with an empty infix
+  (Section 3.1),
+- ``infix_len == parent.post_len - 1 - post_len`` on every edge and
+  ``post_len`` strictly shrinks downwards (postlen monotonicity),
+- node prefixes have no dirty bits below ``post_len + 1`` and every
+  child prefix extends the parent's prefix plus the parent-level
+  hypercube address bits (infix consistency),
+- every slot address fits the node's ``2**k`` hypercube and the slot
+  table is strictly ascending in address (the z-order of LHC slots),
+- the container representation matches the Section 3.2 size formulas:
+  with ``hc_mode='auto'`` and no hysteresis a node is HC iff
+  :func:`~repro.core.hypercube.hc_bits` ``<=``
+  :func:`~repro.core.hypercube.lhc_bits`; forced modes and the
+  hysteresis band are honoured,
+- container bookkeeping (HC occupancy set and count, cached
+  ``(n_sub, n_post)`` split) agrees with the slots actually stored,
+- every non-root node holds at least two slots (delete-merge leaves no
+  single-child chains), entries sit at the address their key interleaves
+  to and inside the node's region, coordinates fit the declared widths,
+- global iteration is strictly ascending in Morton code and the entry
+  count matches ``len(tree)``,
+- the tree round-trips through the :mod:`repro.core.frozen` byte stream
+  bit-exactly (same items, same order) whenever its values are
+  encodable.
+
+Violations raise :class:`InvariantViolation` (an ``AssertionError``
+subclass) carrying the node path from the root; a clean walk returns a
+:class:`ValidationReport` with shape counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.hypercube import max_hc_dimensions, prefer_hc
+from repro.core.node import Entry, Node
+from repro.core.phtree import PHTree
+from repro.encoding.interleave import interleave
+
+__all__ = ["InvariantViolation", "ValidationReport", "validate_tree"]
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant does not hold.
+
+    ``path`` is the slot-address path from the root to the offending
+    node (empty for tree-level violations).
+    """
+
+    def __init__(self, message: str, path: Tuple[int, ...] = ()) -> None:
+        self.path = path
+        if path:
+            message = f"{message} (node path {'/'.join(map(str, path))})"
+        super().__init__(message)
+
+
+class ValidationReport:
+    """Shape counts from one clean :func:`validate_tree` walk."""
+
+    __slots__ = (
+        "engine",
+        "nodes",
+        "entries",
+        "hc_nodes",
+        "lhc_nodes",
+        "max_depth",
+        "frozen_checked",
+        "sub_reports",
+    )
+
+    def __init__(self, engine: str) -> None:
+        self.engine = engine
+        self.nodes = 0
+        self.entries = 0
+        self.hc_nodes = 0
+        self.lhc_nodes = 0
+        self.max_depth = 0
+        self.frozen_checked = False
+        self.sub_reports: List["ValidationReport"] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidationReport(engine={self.engine!r}, "
+            f"nodes={self.nodes}, entries={self.entries}, "
+            f"hc={self.hc_nodes}, lhc={self.lhc_nodes}, "
+            f"max_depth={self.max_depth}, "
+            f"frozen_checked={self.frozen_checked})"
+        )
+
+
+def validate_tree(
+    tree: Any, frozen_roundtrip: bool = True
+) -> ValidationReport:
+    """Validate every structural invariant of ``tree``.
+
+    Accepts a :class:`~repro.core.phtree.PHTree`,
+    :class:`~repro.core.phtree_float.PHTreeF`,
+    :class:`~repro.core.concurrent.SynchronizedPHTree`,
+    :class:`~repro.parallel.sharded.ShardedPHTree` or
+    :class:`~repro.core.frozen.FrozenPHTree`.  Raises
+    :class:`InvariantViolation` on the first violation; returns a
+    :class:`ValidationReport` on success.
+
+    ``frozen_roundtrip=False`` skips the freeze/attach round-trip (used
+    by the fuzzer's cheap per-op validations; the full check runs on its
+    periodic deep validations).
+    """
+    # Late imports: the check package must not make the core packages
+    # import the parallel/float layers (or vice versa) at module load.
+    from repro.core.frozen import FrozenPHTree
+    from repro.core.phtree_float import PHTreeF
+
+    if isinstance(tree, PHTree):
+        return _validate_phtree(tree, frozen_roundtrip)
+    if isinstance(tree, PHTreeF):
+        report = _validate_phtree(tree.int_tree, frozen_roundtrip)
+        report.engine = "PHTreeF"
+        return report
+    if isinstance(tree, FrozenPHTree):
+        return _validate_frozen(tree)
+    try:
+        from repro.parallel.sharded import ShardedPHTree
+    except Exception:  # pragma: no cover - parallel layer always ships
+        ShardedPHTree = None
+    if ShardedPHTree is not None and isinstance(tree, ShardedPHTree):
+        return _validate_sharded(tree, frozen_roundtrip)
+    from repro.core.concurrent import SynchronizedPHTree
+
+    if isinstance(tree, SynchronizedPHTree):
+        with tree.lock.read():
+            report = validate_tree(tree.unsafe_tree, frozen_roundtrip)
+        report.engine = f"Synchronized[{report.engine}]"
+        return report
+    raise TypeError(
+        f"validate_tree does not understand {type(tree).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Live PHTree
+# ---------------------------------------------------------------------------
+
+
+def _validate_phtree(
+    tree: PHTree, frozen_roundtrip: bool
+) -> ValidationReport:
+    report = ValidationReport("PHTree")
+    root = tree.root
+    if root is None:
+        if len(tree) != 0:
+            raise InvariantViolation(
+                f"empty root but len(tree) == {len(tree)}"
+            )
+        return report
+    if root.post_len != tree.width - 1:
+        raise InvariantViolation(
+            f"root post_len {root.post_len} != width - 1 "
+            f"= {tree.width - 1}"
+        )
+    if root.infix_len != 0:
+        raise InvariantViolation(
+            f"root infix_len {root.infix_len} != 0"
+        )
+    total = _validate_node(tree, root, None, (), 1, report)
+    if total != len(tree):
+        raise InvariantViolation(
+            f"size bookkeeping off: walked {total} entries, "
+            f"len(tree) == {len(tree)}"
+        )
+    _check_zorder(tree.items(), tree.width, "PHTree.items()")
+    if frozen_roundtrip:
+        _check_frozen_roundtrip(tree, report)
+    return report
+
+
+def _validate_node(
+    tree: PHTree,
+    node: Node,
+    parent: Optional[Node],
+    path: Tuple[int, ...],
+    depth: int,
+    report: ValidationReport,
+) -> int:
+    k = tree.dims
+    report.nodes += 1
+    report.max_depth = max(report.max_depth, depth)
+    if node.container.is_hc:
+        report.hc_nodes += 1
+    else:
+        report.lhc_nodes += 1
+
+    if parent is not None:
+        if node.num_slots() < 2:
+            raise InvariantViolation(
+                f"non-root node holds {node.num_slots()} slot(s); "
+                "delete-merge must leave no single-child chains",
+                path,
+            )
+        if not (0 <= node.post_len < parent.post_len):
+            raise InvariantViolation(
+                f"post_len must shrink downwards: child {node.post_len} "
+                f"under parent {parent.post_len}",
+                path,
+            )
+        expected_infix = parent.post_len - 1 - node.post_len
+        if node.infix_len != expected_infix:
+            raise InvariantViolation(
+                f"infix_len {node.infix_len} != parent.post_len - 1 - "
+                f"post_len = {expected_infix}",
+                path,
+            )
+
+    shift = node.post_len + 1
+    low_mask = (1 << shift) - 1
+    for dim, value in enumerate(node.prefix):
+        if value < 0 or (value >> tree.widths[dim]):
+            raise InvariantViolation(
+                f"prefix coordinate {dim} = {value} outside "
+                f"[0, 2**{tree.widths[dim]})",
+                path,
+            )
+        if value & low_mask:
+            raise InvariantViolation(
+                f"prefix coordinate {dim} has dirty bits below "
+                f"position {shift}",
+                path,
+            )
+
+    _check_container(node, k, tree._hc_mode, tree._hysteresis, path)
+
+    total = 0
+    previous_address = -1
+    n_sub = n_post = 0
+    for address, slot in node.items():
+        if not (0 <= address < (1 << k)):
+            raise InvariantViolation(
+                f"slot address {address} outside the 2**{k} hypercube",
+                path,
+            )
+        if address <= previous_address:
+            raise InvariantViolation(
+                f"slot addresses not strictly ascending: {address} "
+                f"after {previous_address}",
+                path,
+            )
+        previous_address = address
+        if isinstance(slot, Node):
+            n_sub += 1
+            if not _child_prefix_consistent(node, slot, address):
+                raise InvariantViolation(
+                    f"child prefix at address {address} disagrees with "
+                    "parent prefix + address bits",
+                    path,
+                )
+            total += _validate_node(
+                tree, slot, node, path + (address,), depth + 1, report
+            )
+        elif isinstance(slot, Entry):
+            n_post += 1
+            report.entries += 1
+            total += 1
+            key = slot.key
+            if len(key) != k:
+                raise InvariantViolation(
+                    f"entry key {key} has {len(key)} dimensions", path
+                )
+            for dim, value in enumerate(key):
+                if value < 0 or (value >> tree.widths[dim]):
+                    raise InvariantViolation(
+                        f"entry coordinate {dim} = {value} outside "
+                        f"[0, 2**{tree.widths[dim]})",
+                        path,
+                    )
+            if node.address_of(key) != address:
+                raise InvariantViolation(
+                    f"entry {key} stored at address {address}, "
+                    f"interleaves to {node.address_of(key)}",
+                    path,
+                )
+            if not node.matches_prefix(key):
+                raise InvariantViolation(
+                    f"entry {key} outside the node region", path
+                )
+        else:
+            raise InvariantViolation(
+                f"slot at address {address} is a "
+                f"{type(slot).__name__}, expected Entry or Node",
+                path,
+            )
+    cached_sub, cached_post = node.slot_counts()
+    if (cached_sub, cached_post) != (n_sub, n_post):
+        raise InvariantViolation(
+            f"cached slot split ({cached_sub} sub, {cached_post} post) "
+            f"!= walked ({n_sub} sub, {n_post} post)",
+            path,
+        )
+    return total
+
+
+def _check_container(
+    node: Node,
+    k: int,
+    hc_mode: str,
+    hysteresis: float,
+    path: Tuple[int, ...],
+) -> None:
+    """Representation choice per the Section 3.2 size formulas, plus
+    container-internal bookkeeping."""
+    container = node.container
+    if container.is_hc:
+        if k > max_hc_dimensions():
+            raise InvariantViolation(
+                f"HC array materialised at k={k} > limit "
+                f"{max_hc_dimensions()}",
+                path,
+            )
+        if container.n_slots != (1 << k):
+            raise InvariantViolation(
+                f"HC array has {container.n_slots} slots, "
+                f"expected 2**{k}",
+                path,
+            )
+        occupied = {
+            address
+            for address, slot in enumerate(container._slots)
+            if slot is not None
+        }
+        if occupied != container._occupied:
+            raise InvariantViolation(
+                "HC occupied-address set out of sync with the slot "
+                "array",
+                path,
+            )
+        if len(occupied) != len(container):
+            raise InvariantViolation(
+                f"HC count {len(container)} != {len(occupied)} "
+                "occupied slots",
+                path,
+            )
+
+    n_sub, n_post = node.slot_counts()
+    postfix_bits = node.postfix_payload_bits(k)
+    if hc_mode == "lhc":
+        if container.is_hc:
+            raise InvariantViolation(
+                "hc_mode='lhc' but node is in the HC representation",
+                path,
+            )
+        return
+    if hc_mode == "hc":
+        want_hc = k <= max_hc_dimensions()
+        if container.is_hc != want_hc:
+            raise InvariantViolation(
+                f"hc_mode='hc' but node is_hc={container.is_hc} "
+                f"(k={k})",
+                path,
+            )
+        return
+    if hysteresis > 0.0:
+        # Inside the relaxed band either representation is legal; only
+        # a choice *outside* its own band is a violation.
+        allowed_hc = prefer_hc(
+            k, n_sub, n_post, postfix_bits, hysteresis, currently_hc=True
+        )
+        allowed_lhc = not prefer_hc(
+            k, n_sub, n_post, postfix_bits, hysteresis, currently_hc=False
+        )
+        if container.is_hc and not allowed_hc:
+            raise InvariantViolation(
+                "HC representation outside the hysteresis band", path
+            )
+        if not container.is_hc and not allowed_lhc:
+            raise InvariantViolation(
+                "LHC representation outside the hysteresis band", path
+            )
+        return
+    want_hc = prefer_hc(k, n_sub, n_post, postfix_bits)
+    if container.is_hc != want_hc:
+        raise InvariantViolation(
+            f"representation disagrees with the size formulas: "
+            f"is_hc={container.is_hc}, hc_bits<=lhc_bits is {want_hc} "
+            f"(n_sub={n_sub}, n_post={n_post}, "
+            f"postfix_bits={postfix_bits})",
+            path,
+        )
+
+
+def _child_prefix_consistent(
+    parent: Node, child: Node, address: int
+) -> bool:
+    k = len(parent.prefix)
+    shift = parent.post_len + 1
+    for dim in range(k):
+        if (child.prefix[dim] >> shift) != (parent.prefix[dim] >> shift):
+            return False
+        address_bit = (address >> (k - 1 - dim)) & 1
+        if (child.prefix[dim] >> parent.post_len) & 1 != address_bit:
+            return False
+    return True
+
+
+def _check_zorder(items: Any, width: int, label: str) -> None:
+    previous = -1
+    previous_key = None
+    for key, _value in items:
+        code = interleave(key, width)
+        if code <= previous:
+            raise InvariantViolation(
+                f"{label} not strictly ascending in Morton code: "
+                f"{key} after {previous_key}"
+            )
+        previous = code
+        previous_key = key
+
+
+# ---------------------------------------------------------------------------
+# Frozen round-trip
+# ---------------------------------------------------------------------------
+
+
+def _pick_codec(tree: PHTree) -> Optional[Any]:
+    """A value codec able to freeze this tree's values, or None."""
+    from repro.core.serialize import NoneValueCodec, U64ValueCodec
+
+    all_none = True
+    all_u64 = True
+    for _key, value in tree.items():
+        if value is not None:
+            all_none = False
+        if not (isinstance(value, int) and 0 <= value < (1 << 64)):
+            all_u64 = False
+        if not all_none and not all_u64:
+            return None
+    if all_none:
+        return NoneValueCodec
+    return U64ValueCodec
+
+
+def _check_frozen_roundtrip(
+    tree: PHTree, report: ValidationReport
+) -> None:
+    """Freeze the tree and require the byte stream to replay the exact
+    item sequence (and answer point queries) of the live tree."""
+    from repro.core.frozen import FrozenPHTree, freeze
+
+    if tree.width > 256:  # pragma: no cover - widths are <= 64 here
+        return
+    codec = _pick_codec(tree)
+    if codec is None:
+        return  # Unencodable values: round-trip not applicable.
+    frozen = FrozenPHTree(freeze(tree, codec), codec)
+    if len(frozen) != len(tree):
+        raise InvariantViolation(
+            f"frozen stream reports {len(frozen)} entries, live tree "
+            f"{len(tree)}"
+        )
+    live = list(tree.items())
+    thawed = list(frozen.items())
+    if live != thawed:
+        raise InvariantViolation(
+            "frozen byte stream does not replay the live item "
+            f"sequence (first divergence at index "
+            f"{_first_divergence(live, thawed)})"
+        )
+    for key, value in live[:: max(1, len(live) // 16)]:
+        if frozen.get(key, _MISSING) != value:
+            raise InvariantViolation(
+                f"frozen point query disagrees at {key}"
+            )
+    report.frozen_checked = True
+
+
+_MISSING = object()
+
+
+def _first_divergence(a: List[Any], b: List[Any]) -> int:
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return index
+    return min(len(a), len(b))
+
+
+# ---------------------------------------------------------------------------
+# Sharded trees
+# ---------------------------------------------------------------------------
+
+
+def _validate_sharded(
+    tree: Any, frozen_roundtrip: bool
+) -> ValidationReport:
+    report = ValidationReport("ShardedPHTree")
+    total = 0
+    for index, locked in enumerate(tree._shards):
+        with locked.lock.read():
+            shard_tree = locked.unsafe_tree
+            sub = _validate_phtree(shard_tree, frozen_roundtrip)
+            sub.engine = f"shard[{index}]"
+            report.sub_reports.append(sub)
+            report.nodes += sub.nodes
+            report.entries += sub.entries
+            report.hc_nodes += sub.hc_nodes
+            report.lhc_nodes += sub.lhc_nodes
+            report.max_depth = max(report.max_depth, sub.max_depth)
+            report.frozen_checked |= sub.frozen_checked
+            total += len(shard_tree)
+            for key in shard_tree.keys():
+                owner = tree._router.shard_of(key)
+                if owner != index:
+                    raise InvariantViolation(
+                        f"key {key} stored in shard {index} but routed "
+                        f"to shard {owner}"
+                    )
+    if total != len(tree):
+        raise InvariantViolation(
+            f"shard sizes sum to {total}, len(tree) == {len(tree)}"
+        )
+    # Shard regions are z-contiguous, so concatenated iteration must be
+    # exactly the unsharded global z-order.
+    _check_zorder(tree.items(), tree.width, "ShardedPHTree.items()")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Frozen trees (standalone)
+# ---------------------------------------------------------------------------
+
+
+def _validate_frozen(tree: Any) -> ValidationReport:
+    report = ValidationReport("FrozenPHTree")
+    count = 0
+    for key, _value in tree.items():
+        count += 1
+        if len(key) != tree.dims:
+            raise InvariantViolation(
+                f"frozen entry {key} has {len(key)} dimensions"
+            )
+        for dim, value in enumerate(key):
+            if value < 0 or (value >> tree.width):
+                raise InvariantViolation(
+                    f"frozen entry coordinate {dim} = {value} outside "
+                    f"[0, 2**{tree.width})"
+                )
+        if not tree.contains(key):
+            raise InvariantViolation(
+                f"frozen stream iterates {key} but the point query "
+                "misses it"
+            )
+    if count != len(tree):
+        raise InvariantViolation(
+            f"frozen stream iterates {count} entries, header says "
+            f"{len(tree)}"
+        )
+    report.entries = count
+    _check_zorder(tree.items(), tree.width, "FrozenPHTree.items()")
+    return report

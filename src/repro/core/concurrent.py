@@ -17,9 +17,24 @@ correctness.
 from __future__ import annotations
 
 import threading
+from time import monotonic
 from typing import Any, List, Optional, Sequence, Tuple
 
-__all__ = ["ReadWriteLock", "SynchronizedPHTree"]
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
+
+__all__ = ["LockTimeout", "ReadWriteLock", "SynchronizedPHTree"]
+
+
+class LockTimeout(TimeoutError):
+    """A bounded lock acquisition gave up before getting the lock.
+
+    Raised by :meth:`ReadWriteLock.acquire_read` /
+    :meth:`ReadWriteLock.acquire_write` when a ``timeout`` was passed
+    and expired; the lock state is left exactly as if the acquisition
+    had never been attempted (waiting cohorts are re-notified so nobody
+    blocks on the abandoned request).
+    """
 
 
 class ReadWriteLock:
@@ -73,9 +88,13 @@ class ReadWriteLock:
     def _read_depth(self) -> int:
         return getattr(self._local, "depth", 0)
 
-    def acquire_read(self) -> None:
+    def acquire_read(self, timeout: Optional[float] = None) -> None:
         """Enter shared mode; blocks while a writer is active/waiting
-        (unless this thread already holds shared mode -- re-entrant)."""
+        (unless this thread already holds shared mode -- re-entrant).
+
+        With ``timeout`` (seconds), gives up after the deadline and
+        raises :class:`LockTimeout` instead of blocking forever.
+        """
         if self._read_depth():
             self._local.depth += 1
             return
@@ -84,13 +103,25 @@ class ReadWriteLock:
                 "cannot acquire the read lock while holding the write "
                 "lock (downgrade is not supported)"
             )
+        deadline = None if timeout is None else monotonic() + timeout
         with self._mutex:
             self._readers_waiting += 1
             try:
                 while self._writer_active or (
                     self._writers_waiting and not self._readers_turn
                 ):
-                    self._readers_done.wait()
+                    if deadline is None:
+                        self._readers_done.wait()
+                        continue
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        if _rt.enabled:
+                            _probes.lock_timeouts_read.inc()
+                        raise LockTimeout(
+                            f"read lock not acquired within "
+                            f"{timeout:.3f}s"
+                        )
+                    self._readers_done.wait(remaining)
             except BaseException:
                 # Interrupted wait: leave the cohort without wedging it.
                 self._readers_waiting -= 1
@@ -120,8 +151,13 @@ class ReadWriteLock:
             if self._active_readers == 0:
                 self._readers_done.notify_all()
 
-    def acquire_write(self) -> None:
-        """Enter exclusive mode; blocks until all readers leave."""
+    def acquire_write(self, timeout: Optional[float] = None) -> None:
+        """Enter exclusive mode; blocks until all readers leave.
+
+        With ``timeout`` (seconds), gives up after the deadline and
+        raises :class:`LockTimeout`; waiting readers queued behind the
+        abandoned writer are re-notified so they can proceed.
+        """
         me = threading.get_ident()
         if self._writer_thread == me:
             raise RuntimeError("the write lock is not re-entrant")
@@ -130,6 +166,7 @@ class ReadWriteLock:
                 "cannot acquire the write lock while holding the read "
                 "lock (upgrade is not supported)"
             )
+        deadline = None if timeout is None else monotonic() + timeout
         with self._mutex:
             self._writers_waiting += 1
             try:
@@ -138,9 +175,26 @@ class ReadWriteLock:
                     or self._active_readers
                     or self._readers_turn
                 ):
-                    self._readers_done.wait()
-            finally:
+                    if deadline is None:
+                        self._readers_done.wait()
+                        continue
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        if _rt.enabled:
+                            _probes.lock_timeouts_write.inc()
+                        raise LockTimeout(
+                            f"write lock not acquired within "
+                            f"{timeout:.3f}s"
+                        )
+                    self._readers_done.wait(remaining)
+            except BaseException:
+                # Abandoned acquisition: readers may be queued behind
+                # this writer (they block while _writers_waiting > 0),
+                # so wake everyone to re-evaluate.
                 self._writers_waiting -= 1
+                self._readers_done.notify_all()
+                raise
+            self._writers_waiting -= 1
             self._writer_active = True
             self._writer_thread = me
 
@@ -159,13 +213,23 @@ class ReadWriteLock:
                 self._writer_batch = 0
             self._readers_done.notify_all()
 
-    def read(self) -> "_Guard":
-        """Context manager acquiring the lock in shared mode."""
-        return _Guard(self.acquire_read, self.release_read)
+    def read(self, timeout: Optional[float] = None) -> "_Guard":
+        """Context manager acquiring the lock in shared mode (raises
+        :class:`LockTimeout` on entry when ``timeout`` expires)."""
+        if timeout is None:
+            return _Guard(self.acquire_read, self.release_read)
+        return _Guard(
+            lambda: self.acquire_read(timeout), self.release_read
+        )
 
-    def write(self) -> "_Guard":
-        """Context manager acquiring the lock exclusively."""
-        return _Guard(self.acquire_write, self.release_write)
+    def write(self, timeout: Optional[float] = None) -> "_Guard":
+        """Context manager acquiring the lock exclusively (raises
+        :class:`LockTimeout` on entry when ``timeout`` expires)."""
+        if timeout is None:
+            return _Guard(self.acquire_write, self.release_write)
+        return _Guard(
+            lambda: self.acquire_write(timeout), self.release_write
+        )
 
 
 class _Guard:

@@ -53,12 +53,14 @@ class PHTreeF:
         dims: int,
         hc_mode: str = "auto",
         hc_hysteresis: float = 0.0,
+        specialize: bool = True,
     ) -> None:
         self._tree = PHTree(
             dims=dims,
             width=64,
             hc_mode=hc_mode,
             hc_hysteresis=hc_hysteresis,
+            specialize=specialize,
         )
 
     # -- basic properties --------------------------------------------------
@@ -169,7 +171,12 @@ class PHTreeF:
         def point_distance(int_key: Sequence[int]) -> float:
             total = 0.0
             for q, code in zip(query, int_key):
-                d = q - decode_double(code)
+                stored = decode_double(code)
+                if q == stored:
+                    # Equal coordinates contribute 0; subtracting would
+                    # give NaN for matching infinities (inf - inf).
+                    continue
+                d = q - stored
                 total += d * d
             return total
 

@@ -801,6 +801,9 @@ def get_spec(k: int, width: int) -> Optional[Specialization]:
             return spec
     built = Specialization(k, width)
     with _LOCK:
+        if _CAP == 0:
+            # Caching disabled: hand the fresh build straight back.
+            return built
         spec = _REGISTRY.get(key)
         if spec is not None:
             # Raced with another builder; keep the first.
@@ -824,10 +827,15 @@ def registry_cap() -> int:
 
 
 def set_registry_cap(cap: int) -> None:
-    """Resize the registry (evicting LRU entries if shrinking)."""
+    """Resize the registry (evicting LRU entries if shrinking).
+
+    A cap of 0 disables caching entirely: the registry is emptied and
+    :func:`get_spec` builds specializations on demand without retaining
+    them.  Negative caps are rejected.
+    """
     global _CAP
-    if cap < 1:
-        raise ValueError(f"registry cap must be >= 1, got {cap}")
+    if cap < 0:
+        raise ValueError(f"registry cap must be >= 0, got {cap}")
     with _LOCK:
         _CAP = cap
         while len(_REGISTRY) > _CAP:

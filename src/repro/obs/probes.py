@@ -224,6 +224,27 @@ fanout_latency = registry.histogram(
     labelnames=("op",),
     buckets=LATENCY_BUCKETS_S,
 )
+fanout_failures = registry.counter(
+    "repro_fanout_failures_total",
+    "Fan-outs aborted by a worker or pool failure (the owning tree "
+    "falls back to the live in-process engine).",
+    labelnames=("op",),
+)
+snapshot_publish_failures = registry.counter(
+    "repro_snapshot_publish_failures_total",
+    "Failed attempts to publish a shard snapshot into shared memory "
+    "(allocation or copy errors; reads fall back to the live engine).",
+)
+
+# -- lock health (core/concurrent.py) --------------------------------------
+
+lock_timeouts = registry.counter(
+    "repro_lock_timeouts_total",
+    "ReadWriteLock acquisitions abandoned on timeout, by mode.",
+    labelnames=("mode",),
+)
+lock_timeouts_read = lock_timeouts.labels("read")
+lock_timeouts_write = lock_timeouts.labels("write")
 
 
 # -- flush helpers (one call per instrumented operation) -------------------

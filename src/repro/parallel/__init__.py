@@ -11,7 +11,18 @@ This package exploits the resulting trivially partitionable structure:
   frozen shard snapshots in shared memory.
 """
 
+from repro.parallel.errors import (
+    ParallelError,
+    SnapshotPublishError,
+    SnapshotReadError,
+)
 from repro.parallel.router import ZShardRouter
 from repro.parallel.sharded import ShardedPHTree
 
-__all__ = ["ShardedPHTree", "ZShardRouter"]
+__all__ = [
+    "ParallelError",
+    "ShardedPHTree",
+    "SnapshotPublishError",
+    "SnapshotReadError",
+    "ZShardRouter",
+]

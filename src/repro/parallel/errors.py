@@ -1,0 +1,31 @@
+"""Typed failure surface of the parallel layer.
+
+Everything the snapshot fan-out machinery can throw at a caller derives
+from :class:`ParallelError`, so the owning
+:class:`~repro.parallel.sharded.ShardedPHTree` (and any downstream user)
+can catch one type and fall back to the live in-process read engines.
+Infrastructure faults -- a killed worker, an exhausted shared-memory
+arena -- degrade a read's *latency*, never its correctness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ParallelError",
+    "SnapshotPublishError",
+    "SnapshotReadError",
+]
+
+
+class ParallelError(RuntimeError):
+    """Base class for snapshot/fan-out infrastructure failures."""
+
+
+class SnapshotPublishError(ParallelError):
+    """Publishing a shard snapshot into shared memory failed
+    (segment allocation or byte-stream copy)."""
+
+
+class SnapshotReadError(ParallelError):
+    """A process-pool fan-out failed to deliver results (worker death,
+    broken pool, or a worker-side attach error)."""

@@ -34,6 +34,10 @@ from repro.core.frozen import FrozenPHTree, freeze
 from repro.obs import probes as _probes
 from repro.obs import runtime as _rt
 from repro.obs.log import get_logger
+from repro.parallel.errors import (
+    SnapshotPublishError,
+    SnapshotReadError,
+)
 
 __all__ = ["SnapshotPool"]
 
@@ -161,17 +165,52 @@ class SnapshotPool:
 
     def _publish(self, shard: int) -> _Snapshot:
         """Freeze shard ``shard`` under its read lock into a fresh
-        segment (called only when the generation counter moved)."""
+        segment (called only when the generation counter moved).
+
+        Raises :class:`~repro.parallel.errors.SnapshotPublishError` when
+        the segment cannot be allocated or filled; the previous snapshot
+        (if any) stays installed, and the owning tree answers from the
+        live engine instead.
+        """
         locked = self._sharded._shards[shard]
         with locked.lock.read():
             generation = self._sharded._generations[shard]
             blob = freeze(locked.unsafe_tree, self._codec)
-        segment = shared_memory.SharedMemory(
-            create=True,
-            size=max(1, len(blob)),
-            name=f"phx{uuid.uuid4().hex[:16]}",
-        )
-        segment.buf[: len(blob)] = blob
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True,
+                size=max(1, len(blob)),
+                name=f"phx{uuid.uuid4().hex[:16]}",
+            )
+        except Exception as exc:
+            if _rt.enabled:
+                _probes.snapshot_publish_failures.inc()
+            _log.warning(
+                "failed to allocate snapshot segment for shard %d: %s",
+                shard,
+                exc,
+            )
+            raise SnapshotPublishError(
+                f"cannot publish shard {shard}: {exc}"
+            ) from exc
+        try:
+            segment.buf[: len(blob)] = blob
+        except BaseException as exc:
+            if _rt.enabled:
+                _probes.snapshot_publish_failures.inc()
+            _log.warning(
+                "failed to fill snapshot segment for shard %d: %s",
+                shard,
+                exc,
+            )
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            raise SnapshotPublishError(
+                f"cannot publish shard {shard}: {exc}"
+            ) from exc
         _log.debug(
             "published shard %d generation %d (%d bytes, segment %s)",
             shard,
@@ -247,6 +286,28 @@ class SnapshotPool:
     def _names(self, shards: Sequence[int]) -> List[str]:
         return [self._snapshots[s].segment.name for s in shards]
 
+    def _fanout_failed(self, op: str, exc: BaseException) -> None:
+        """Convert a worker/pool failure into a typed error.
+
+        The (possibly broken) executor is recycled -- the next fan-out
+        starts a fresh pool -- and the published snapshots stay valid,
+        so one dead worker costs one restarted pool, never a wrong
+        answer: the owning tree catches the typed error and re-answers
+        from the live engine.
+        """
+        if _rt.enabled:
+            _probes.fanout_failures.labels(op).inc()
+        _log.warning(
+            "%s fan-out failed (%s: %s); recycling the process pool",
+            op,
+            type(exc).__name__,
+            exc,
+        )
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        raise SnapshotReadError(f"{op} fan-out failed: {exc}") from exc
+
     def query(
         self, box_min: Key, box_max: Key, shards: Sequence[int]
     ) -> List[Tuple[Key, Any]]:
@@ -260,13 +321,18 @@ class SnapshotPool:
             _probes.fanout_tasks.labels("query").inc(len(shards))
             for shard in shards:
                 _probes.record_shard_op(shard, "query")
-        futures = [
-            pool.submit(_worker_window, name, self._codec, box_min, box_max)
-            for name in self._names(shards)
-        ]
         merged: List[Tuple[Key, Any]] = []
-        for future in futures:
-            merged.extend(future.result())
+        try:
+            futures = [
+                pool.submit(
+                    _worker_window, name, self._codec, box_min, box_max
+                )
+                for name in self._names(shards)
+            ]
+            for future in futures:
+                merged.extend(future.result())
+        except Exception as exc:
+            self._fanout_failed("query", exc)
         if obs:
             _probes.fanout_latency.labels("query").observe(
                 perf_counter() - start
@@ -291,22 +357,25 @@ class SnapshotPool:
             _probes.fanout_tasks.labels("query_many").inc(len(ordered))
             for shard, _indices in ordered:
                 _probes.record_shard_op(shard, "query_many")
-        futures = [
-            (
-                indices,
-                pool.submit(
-                    _worker_query_many,
-                    self._snapshots[shard].segment.name,
-                    self._codec,
-                    [boxes[i] for i in indices],
-                ),
-            )
-            for shard, indices in ordered
-        ]
         results: List[List[Tuple[Key, Any]]] = [[] for _ in range(n_boxes)]
-        for indices, future in futures:
-            for index, part in zip(indices, future.result()):
-                results[index].extend(part)
+        try:
+            futures = [
+                (
+                    indices,
+                    pool.submit(
+                        _worker_query_many,
+                        self._snapshots[shard].segment.name,
+                        self._codec,
+                        [boxes[i] for i in indices],
+                    ),
+                )
+                for shard, indices in ordered
+            ]
+            for indices, future in futures:
+                for index, part in zip(indices, future.result()):
+                    results[index].extend(part)
+        except Exception as exc:
+            self._fanout_failed("query_many", exc)
         if obs:
             _probes.fanout_latency.labels("query_many").observe(
                 perf_counter() - start
@@ -325,11 +394,14 @@ class SnapshotPool:
             _probes.fanout_tasks.labels("knn").inc(len(self._snapshots))
             for shard in shards:
                 _probes.record_shard_op(shard, "knn")
-        futures = [
-            pool.submit(_worker_knn, name, self._codec, key, n)
-            for name in self._names(shards)
-        ]
-        results = [future.result() for future in futures]
+        try:
+            futures = [
+                pool.submit(_worker_knn, name, self._codec, key, n)
+                for name in self._names(shards)
+            ]
+            results = [future.result() for future in futures]
+        except Exception as exc:
+            self._fanout_failed("knn", exc)
         if obs:
             _probes.fanout_latency.labels("knn").observe(
                 perf_counter() - start

@@ -44,9 +44,13 @@ from repro.core.serialize import NoneValueCodec
 from repro.encoding.interleave import interleave
 from repro.obs import probes as _probes
 from repro.obs import runtime as _rt
+from repro.obs.log import get_logger
+from repro.parallel.errors import ParallelError
 from repro.parallel.router import ZShardRouter
 
 __all__ = ["ShardedPHTree"]
+
+_log = get_logger("parallel.sharded")
 
 _MISSING = object()
 
@@ -380,14 +384,36 @@ class ShardedPHTree:
         self, box_min: Sequence[int], box_max: Sequence[int]
     ) -> List[Tuple[Key, Any]]:
         """Materialised window query, in exactly the unsharded z-order
-        (shard regions are z-contiguous, so concatenation suffices)."""
+        (shard regions are z-contiguous, so concatenation suffices).
+
+        With ``workers > 0`` the query fans out over the snapshot
+        process pool; any :class:`~repro.parallel.errors.ParallelError`
+        (worker death, broken pool, publish failure) degrades to the
+        live in-process engine -- same results, no infrastructure fault
+        ever surfaces as a wrong or failed read.
+        """
         box_min = self._check_key(box_min)
         box_max = self._check_key(box_max)
         if any(lo > hi for lo, hi in zip(box_min, box_max)):
             return []
         shards = self._router.shards_for_box(box_min, box_max)
         if self._workers:
-            return self._snapshot_pool().query(box_min, box_max, shards)
+            try:
+                return self._snapshot_pool().query(
+                    box_min, box_max, shards
+                )
+            except ParallelError as exc:
+                self._note_fallback("query", exc)
+        return self._query_live(shards, box_min, box_max)
+
+    def _note_fallback(self, op: str, exc: ParallelError) -> None:
+        _log.warning(
+            "%s fan-out degraded to the live engine: %s", op, exc
+        )
+
+    def _query_live(
+        self, shards: Sequence[int], box_min: Key, box_max: Key
+    ) -> List[Tuple[Key, Any]]:
         merged: List[Tuple[Key, Any]] = []
         if _rt.enabled:
             for index in shards:
@@ -419,9 +445,20 @@ class ShardedPHTree:
             for index in self._router.shards_for_box(lo, hi):
                 per_shard.setdefault(index, []).append(position)
         if self._workers:
-            return self._snapshot_pool().query_many(
-                per_shard, checked, len(checked)
-            )
+            try:
+                return self._snapshot_pool().query_many(
+                    per_shard, checked, len(checked)
+                )
+            except ParallelError as exc:
+                self._note_fallback("query_many", exc)
+        return self._query_many_live(per_shard, checked, use_masks)
+
+    def _query_many_live(
+        self,
+        per_shard: "Dict[int, List[int]]",
+        checked: List[Tuple[Key, Key]],
+        use_masks: bool,
+    ) -> List[List[Tuple[Key, Any]]]:
         results: List[List[Tuple[Key, Any]]] = [[] for _ in checked]
         for index in sorted(per_shard):
             positions = per_shard[index]
@@ -458,38 +495,14 @@ class ShardedPHTree:
         if n <= 0:
             return []
         width = self._router.width
+        candidate_lists: Optional[List[List[Tuple[Key, Any]]]] = None
         if self._workers:
-            candidate_lists = self._snapshot_pool().knn(key, n)
-        else:
-            region_dist = squared_euclidean_region_int(key)
-            order = sorted(
-                range(self.n_shards),
-                key=lambda s: region_dist(*self._router.bounds(s)),
-            )
-            candidate_lists = []
-            distances: List[int] = []
-            for index in order:
-                if len(distances) >= n:
-                    distances.sort()
-                    # Shards come in ascending region distance: once the
-                    # lower bound exceeds the n-th best exact distance,
-                    # no remaining shard can contribute (ties are kept --
-                    # an equidistant candidate may win on z-order).
-                    if (
-                        region_dist(*self._router.bounds(index))
-                        > distances[n - 1]
-                    ):
-                        break
-                if _rt.enabled:
-                    with self._read_guard(index, "knn"):
-                        part = self._shards[index].unsafe_tree.knn(key, n)
-                else:
-                    part = self._shards[index].knn(key, n)
-                candidate_lists.append(part)
-                distances.extend(
-                    self._point_dist(key, candidate)
-                    for candidate, _ in part
-                )
+            try:
+                candidate_lists = self._snapshot_pool().knn(key, n)
+            except ParallelError as exc:
+                self._note_fallback("knn", exc)
+        if candidate_lists is None:
+            candidate_lists = self._knn_live_candidates(key, n)
         merged = [
             (self._point_dist(key, candidate), interleave(candidate, width),
              candidate, value)
@@ -498,6 +511,42 @@ class ShardedPHTree:
         ]
         merged.sort(key=lambda item: (item[0], item[1]))
         return [(candidate, value) for _, _, candidate, value in merged[:n]]
+
+    def _knn_live_candidates(
+        self, key: Key, n: int
+    ) -> List[List[Tuple[Key, Any]]]:
+        """Per-shard candidate lists from the live locked shards, in
+        ascending region distance with lower-bound pruning."""
+        region_dist = squared_euclidean_region_int(key)
+        order = sorted(
+            range(self.n_shards),
+            key=lambda s: region_dist(*self._router.bounds(s)),
+        )
+        candidate_lists: List[List[Tuple[Key, Any]]] = []
+        distances: List[int] = []
+        for index in order:
+            if len(distances) >= n:
+                distances.sort()
+                # Shards come in ascending region distance: once the
+                # lower bound exceeds the n-th best exact distance,
+                # no remaining shard can contribute (ties are kept --
+                # an equidistant candidate may win on z-order).
+                if (
+                    region_dist(*self._router.bounds(index))
+                    > distances[n - 1]
+                ):
+                    break
+            if _rt.enabled:
+                with self._read_guard(index, "knn"):
+                    part = self._shards[index].unsafe_tree.knn(key, n)
+            else:
+                part = self._shards[index].knn(key, n)
+            candidate_lists.append(part)
+            distances.extend(
+                self._point_dist(key, candidate)
+                for candidate, _ in part
+            )
+        return candidate_lists
 
     @staticmethod
     def _point_dist(query: Key, candidate: Key) -> int:

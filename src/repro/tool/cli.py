@@ -287,6 +287,67 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the correctness harness: validate a saved index, fuzz the
+    engines against the reference model, and/or drill the parallel
+    layer's fault handling.  Returns 0 only if every requested stage
+    passes."""
+    from repro.check import FuzzConfig, FuzzFailure, run_fuzz, validate_tree
+
+    ran_anything = False
+    failed = False
+    if args.validate is not None:
+        ran_anything = True
+        index = load_index(Path(args.validate))
+        report = validate_tree(index.tree)
+        print(f"validate: {args.validate}: OK ({report})")
+    if args.fuzz:
+        ran_anything = True
+        dims_list = [int(d) for d in str(args.dims).split(",") if d]
+        for dims in dims_list:
+            config = FuzzConfig(
+                dims=dims,
+                width=args.width,
+                ops=args.ops,
+                seed=args.seed,
+            )
+            started = time.perf_counter()
+            try:
+                report = run_fuzz(config)
+            except FuzzFailure as failure:
+                failed = True
+                print(
+                    f"fuzz: dims={dims} FAILED -- {failure}",
+                    file=sys.stderr,
+                )
+                print(failure.repro(), file=sys.stderr)
+                continue
+            elapsed = time.perf_counter() - started
+            print(
+                f"fuzz: dims={dims} width={args.width} "
+                f"seed={args.seed}: {report.ops_run} ops, "
+                f"{report.validations} validations, final size "
+                f"{report.final_size}, {elapsed:.1f}s: OK"
+            )
+    if args.faults:
+        ran_anything = True
+        from repro.check.faults import run_fault_drill
+
+        for outcome in run_fault_drill():
+            status = "PASS" if outcome.passed else "FAIL"
+            print(f"faults: {status} {outcome.fault}: {outcome.detail}")
+            if not outcome.passed:
+                failed = True
+    if not ran_anything:
+        print(
+            "error: nothing to do; pass --validate INDEX, --fuzz "
+            "and/or --faults",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if failed else 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tool",
@@ -418,6 +479,54 @@ def _parser() -> argparse.ArgumentParser:
         help="exposition format (default: %(default)s)",
     )
     metrics.set_defaults(func=cmd_metrics)
+
+    check = sub.add_parser(
+        "check",
+        help="correctness harness: invariant validation, model-based "
+        "fuzzing, fault-injection drill",
+        parents=[verbosity],
+    )
+    check.add_argument(
+        "--validate",
+        metavar="INDEX",
+        default=None,
+        help="validate the structural invariants of a saved index file",
+    )
+    check.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="run the model-based differential fuzzer",
+    )
+    check.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the parallel-layer fault-injection drill",
+    )
+    check.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzzer seed (default: %(default)s)",
+    )
+    check.add_argument(
+        "--ops",
+        type=int,
+        default=2000,
+        help="operations per fuzz run (default: %(default)s)",
+    )
+    check.add_argument(
+        "--dims",
+        default="2,6,14",
+        help="comma-separated dimensionalities to fuzz "
+        "(default: %(default)s)",
+    )
+    check.add_argument(
+        "--width",
+        type=int,
+        default=16,
+        help="key width in bits for fuzzing (default: %(default)s)",
+    )
+    check.set_defaults(func=cmd_check)
     return parser
 
 

@@ -1,0 +1,186 @@
+"""The model-based differential fuzzer: smoke runs across shapes,
+determinism, the reference model itself, and the shrinker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree
+from repro.check import FuzzConfig, FuzzFailure, replay, run_fuzz
+from repro.check.fuzz import generate_ops
+from repro.check.model import ReferenceModel
+
+
+# ---------------------------------------------------------------------------
+# The reference model is itself correct (vs brute force).
+# ---------------------------------------------------------------------------
+
+
+def test_model_matches_brute_force():
+    rng = random.Random(99)
+    model = ReferenceModel(dims=2, width=8)
+    shadow = {}
+    for _ in range(300):
+        key = (rng.randrange(256), rng.randrange(256))
+        if rng.random() < 0.7 or key not in shadow:
+            value = rng.randrange(1000)
+            model.put(key, value)
+            shadow[key] = value
+        else:
+            model.remove(key)
+            del shadow[key]
+    assert dict(model.items()) == shadow
+    lo, hi = (30, 40), (200, 180)
+    expected = {
+        k: v
+        for k, v in shadow.items()
+        if all(a <= c <= b for a, c, b in zip(lo, k, hi))
+    }
+    assert dict(model.query(lo, hi)) == expected
+
+
+def test_model_query_inverted_box_empty():
+    model = ReferenceModel(dims=2, width=8)
+    model.put((5, 5), 1)
+    assert model.query((10, 0), (0, 10)) == []
+
+
+def test_model_knn_ordering():
+    model = ReferenceModel(dims=1, width=8)
+    for x in (10, 20, 30, 40):
+        model.put((x,), x)
+    assert [k for k, _ in model.knn((22,), 2)] == [(20,), (30,)]
+
+
+def test_model_update_key_contract():
+    model = ReferenceModel(dims=1, width=8)
+    model.put((1,), "a")
+    model.put((2,), "b")
+    with pytest.raises(ValueError):
+        model.update_key((1,), (2,))  # target occupied
+    with pytest.raises(KeyError):
+        model.update_key((9,), (3,))  # source missing
+    model.update_key((1,), (1,))  # no-op on identical present key
+    model.update_key((1,), (5,))
+    assert model.get((5,)) == "a" and not model.contains((1,))
+
+
+# ---------------------------------------------------------------------------
+# Fuzz smoke runs.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "dims,width", [(1, 8), (2, 16), (6, 16), (14, 16), (3, 64)]
+)
+def test_fuzz_smoke(dims, width):
+    report = run_fuzz(
+        FuzzConfig(dims=dims, width=width, ops=400, seed=dims * 1000 + width)
+    )
+    assert report.ops_run == 400
+
+
+def test_fuzz_cluster_distribution():
+    report = run_fuzz(
+        FuzzConfig(dims=4, width=32, ops=400, seed=5, distribution="cluster")
+    )
+    assert report.ops_run == 400
+
+
+@pytest.mark.parametrize("obs_mode", ["on", "off"])
+def test_fuzz_fixed_obs_modes(obs_mode):
+    run_fuzz(FuzzConfig(dims=2, width=16, ops=200, seed=8, obs_mode=obs_mode))
+
+
+def test_generate_ops_deterministic():
+    config = FuzzConfig(dims=3, width=16, ops=500, seed=1234)
+    assert generate_ops(config) == generate_ops(config)
+
+
+def test_generate_ops_covers_every_kind():
+    ops = generate_ops(FuzzConfig(dims=2, width=16, ops=3000, seed=2))
+    kinds = {op[0] for op in ops}
+    assert kinds >= {
+        "put",
+        "get",
+        "contains",
+        "remove",
+        "update_key",
+        "query",
+        "query_approx",
+        "get_many",
+        "knn",
+        "bulk_load",
+    }
+
+
+def test_replay_runs_explicit_ops():
+    config = FuzzConfig(dims=2, width=8, ops=1, seed=0, shards=2)
+    replay(
+        [
+            ("put", (1, 2), 10),
+            ("put", (3, 4), 11),
+            ("get", (1, 2)),
+            ("query", (0, 0), (255, 255)),
+            ("remove", (1, 2)),
+            ("knn", (3, 3), 1),
+        ],
+        config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Failure detection and shrinking: a deliberately broken engine must be
+# caught, and the shrunk repro must be small and replayable.
+# ---------------------------------------------------------------------------
+
+
+def test_fuzz_catches_planted_bug(monkeypatch):
+    original = PHTree.contains
+
+    def lying_contains(self, key):
+        result = original(self, key)
+        if result and sum(key) % 7 == 0:
+            return False  # lie occasionally
+        return result
+
+    monkeypatch.setattr(PHTree, "contains", lying_contains)
+    with pytest.raises(FuzzFailure) as excinfo:
+        run_fuzz(FuzzConfig(dims=2, width=8, ops=2000, seed=3, shards=2))
+    failure = excinfo.value
+    # Shrinking keeps the failure reproducible and small.
+    assert 0 < len(failure.ops) <= 25
+    assert "replay(" in failure.repro()
+    assert "FuzzConfig(" in failure.repro()
+
+
+def test_fuzz_catches_dropped_write(monkeypatch):
+    original = PHTree.put
+
+    def flaky_put(self, key, value=None):
+        if isinstance(key, tuple) and sum(key) % 13 == 0 and len(self) > 5:
+            return None  # silently drop the write
+        return original(self, key, value)
+
+    monkeypatch.setattr(PHTree, "put", flaky_put)
+    with pytest.raises(FuzzFailure):
+        run_fuzz(
+            FuzzConfig(
+                dims=2, width=8, ops=2000, seed=4, shards=2, shrink=False
+            )
+        )
+
+
+def test_config_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        FuzzConfig(dims=0)
+    with pytest.raises(ValueError):
+        FuzzConfig(dims=17)
+    with pytest.raises(ValueError):
+        FuzzConfig(width=4)
+    with pytest.raises(ValueError):
+        FuzzConfig(width=128)
+    with pytest.raises(ValueError):
+        FuzzConfig(obs_mode="sometimes")

@@ -1,0 +1,131 @@
+"""Delete-path properties: interleaved insert/delete keeps the tree in
+the canonical shape (merges fire, representations follow the Section
+3.2 size formulas), and shrinking a hypercube node downgrades HC ->
+LHC exactly when the formulas say so."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, obs
+from repro.check import validate_tree
+from repro.core.hypercube import hc_bits, lhc_bits, prefer_hc
+from repro.obs import probes
+
+
+@pytest.mark.parametrize("dims,width", [(2, 8), (3, 16), (6, 16)])
+def test_interleaved_insert_delete_keeps_invariants(dims, width):
+    rng = random.Random(dims * 31 + width)
+    tree = PHTree(dims=dims, width=width)
+    shadow = {}
+    limit = 1 << width
+    for step in range(1500):
+        if shadow and rng.random() < 0.45:
+            key = rng.choice(list(shadow))
+            assert tree.remove(key) == shadow.pop(key)
+        else:
+            key = tuple(rng.randrange(limit) for _ in range(dims))
+            shadow[key] = step
+            tree.put(key, step)
+        if step % 250 == 0:
+            validate_tree(tree, frozen_roundtrip=False)
+    assert dict(tree.items()) == shadow
+    validate_tree(tree)
+    # Drain to empty: every merge along the way must leave a valid tree.
+    for count, key in enumerate(list(shadow)):
+        tree.remove(key)
+        if count % 100 == 0:
+            validate_tree(tree, frozen_roundtrip=False)
+    assert len(tree) == 0
+    validate_tree(tree)
+
+
+def test_delete_restores_insertion_order_independence():
+    # The canonical-shape property: after deleting a batch, the tree is
+    # byte-for-byte the shape of one built from the survivors alone.
+    from repro.core.frozen import freeze
+
+    rng = random.Random(71)
+    keys = [
+        (rng.randrange(1 << 12), rng.randrange(1 << 12))
+        for _ in range(300)
+    ]
+    keys = list(dict.fromkeys(keys))
+    tree = PHTree(dims=2, width=12)
+    for key in keys:
+        tree.put(key, None)
+    survivors = keys[: len(keys) // 3]
+    for key in keys[len(keys) // 3 :]:
+        tree.remove(key)
+    rebuilt = PHTree(dims=2, width=12)
+    for key in sorted(survivors):
+        rebuilt.put(key, None)
+    assert freeze(tree) == freeze(rebuilt)
+
+
+def test_hc_to_lhc_downgrade_follows_size_formulas():
+    # One root node (width-1 postfixes only): fill until HC wins, then
+    # delete until the LHC formula takes over; the representation must
+    # track prefer_hc exactly (hysteresis 0) and the switch is counted.
+    k, width = 2, 16
+    rng = random.Random(5)
+    tree = PHTree(dims=k, width=width)
+    keys = []
+    seen = set()
+    while len(keys) < 4:  # 4 of 4 addresses occupied -> HC territory
+        key = tuple(rng.randrange(1 << width) for _ in range(k))
+        address = tree_root_address(tree, key)
+        if address in seen:
+            continue
+        seen.add(address)
+        keys.append(key)
+        tree.put(key, None)
+    root = tree.root
+    payload = root.postfix_payload_bits(k)
+    assert prefer_hc(k, 0, 4, payload)
+    assert root.container.is_hc
+    assert hc_bits(k, 0, 4, payload) <= lhc_bits(k, 0, 4, payload)
+
+    obs.reset()
+    obs.enable()
+    try:
+        before = probes.switch_to_lhc.value
+        while tree.root.num_slots() > 1:
+            n_now = tree.root.num_slots()
+            tree.remove(keys.pop())
+            n_after = tree.root.num_slots()
+            assert n_after == n_now - 1
+            expected_hc = prefer_hc(
+                k, 0, n_after, tree.root.postfix_payload_bits(k)
+            )
+            assert tree.root.container.is_hc == expected_hc
+        assert not tree.root.container.is_hc  # 1 slot: LHC wins
+        assert probes.switch_to_lhc.value > before
+    finally:
+        obs.disable()
+        obs.reset()
+    validate_tree(tree)
+
+
+def tree_root_address(tree, key):
+    """Root hypercube address of ``key`` (top bit of each dimension)."""
+    shift = tree.width - 1
+    address = 0
+    for value in key:
+        address = (address << 1) | ((value >> shift) & 1)
+    return address
+
+
+def test_merge_collapses_single_child_chain():
+    # Two far-apart keys force a deep split; deleting one must merge the
+    # path back so no non-root node has a single slot.
+    tree = PHTree(dims=2, width=16)
+    tree.put((0, 0), "a")
+    tree.put((1, 1), "b")  # diverges only at the lowest bit
+    tree.put((1 << 15, 1 << 15), "c")
+    validate_tree(tree)
+    tree.remove((1, 1))
+    validate_tree(tree)  # would fail on an unmerged 1-slot chain node
+    assert dict(tree.items()) == {(0, 0): "a", (1 << 15, 1 << 15): "c"}

@@ -1,0 +1,158 @@
+"""Float-facade edge cases: signed zero, infinities, and NaN must
+behave identically under the generic and specialized kernels."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import PHTreeF
+from repro.check import validate_tree
+
+INF = float("inf")
+NAN = float("nan")
+
+
+@pytest.fixture(params=[True, False], ids=["specialized", "generic"])
+def tree(request):
+    return PHTreeF(dims=2, specialize=request.param)
+
+
+# ---------------------------------------------------------------------------
+# Signed zero: -0.0 and 0.0 are the same key everywhere.
+# ---------------------------------------------------------------------------
+
+
+def test_negative_zero_folds_into_zero(tree):
+    tree.put((-0.0, 0.0), "a")
+    assert tree.get((0.0, -0.0)) == "a"
+    assert tree.contains((0.0, 0.0))
+    assert len(tree) == 1
+    tree.put((0.0, 0.0), "b")  # same key: update, not insert
+    assert len(tree) == 1
+    assert tree.get((-0.0, -0.0)) == "b"
+    (key, value), = tree.items()
+    assert value == "b"
+    # The decoded key never resurrects the negative zero.
+    assert math.copysign(1.0, key[0]) == 1.0
+    assert math.copysign(1.0, key[1]) == 1.0
+
+
+def test_negative_zero_in_query_corners(tree):
+    tree.put((0.0, 0.0), "origin")
+    tree.put((1.0, 1.0), "one")
+    hits = tree.query_all((-0.0, -0.0), (0.5, 0.5))
+    assert [value for _, value in hits] == ["origin"]
+    assert tree.remove((-0.0, -0.0)) == "origin"
+    assert len(tree) == 1
+
+
+# ---------------------------------------------------------------------------
+# Infinities: storable, orderable, queryable.
+# ---------------------------------------------------------------------------
+
+
+def test_infinities_store_and_look_up(tree):
+    tree.put((INF, 1.0), "pos")
+    tree.put((-INF, 1.0), "neg")
+    tree.put((0.0, 1.0), "mid")
+    assert tree.get((INF, 1.0)) == "pos"
+    assert tree.get((-INF, 1.0)) == "neg"
+    assert len(tree) == 3
+    validate_tree(tree, frozen_roundtrip=False)
+
+
+def test_full_domain_query_includes_infinities(tree):
+    tree.put((INF, INF), "pp")
+    tree.put((-INF, -INF), "nn")
+    tree.put((3.5, -2.25), "fin")
+    hits = tree.query_all((-INF, -INF), (INF, INF))
+    assert {value for _, value in hits} == {"pp", "nn", "fin"}
+    # A finite box excludes the infinite points.
+    finite = tree.query_all((-1e308, -1e308), (1e308, 1e308))
+    assert {value for _, value in finite} == {"fin"}
+
+
+def test_knn_with_stored_infinities(tree):
+    tree.put((INF, 0.0), "inf")
+    tree.put((1.0, 0.0), "near")
+    tree.put((100.0, 0.0), "far")
+    result = tree.knn((0.0, 0.0), 2)
+    assert [value for _, value in result] == ["near", "far"]
+    # Query at infinity: the infinite point is at distance 0 (inf - inf
+    # contributes nothing), every finite point is infinitely far.
+    result = tree.knn((INF, 0.0), 1)
+    assert [value for _, value in result] == ["inf"]
+
+
+def test_knn_ranking_is_nan_free(tree):
+    tree.put((INF, INF), "corner")
+    tree.put((0.0, 0.0), "origin")
+    result = tree.knn((INF, INF), 2)
+    assert [value for _, value in result] == ["corner", "origin"]
+
+
+# ---------------------------------------------------------------------------
+# NaN: rejected consistently by every operation.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", [(NAN, 0.0), (0.0, NAN), (NAN, NAN)])
+def test_nan_rejected_everywhere(tree, bad):
+    tree.put((1.0, 2.0), "ok")
+    with pytest.raises(ValueError):
+        tree.put(bad, "x")
+    with pytest.raises(ValueError):
+        tree.get(bad)
+    with pytest.raises(ValueError):
+        tree.contains(bad)
+    with pytest.raises(ValueError):
+        tree.remove(bad)
+    with pytest.raises(ValueError):
+        tree.update_key((1.0, 2.0), bad)
+    with pytest.raises(ValueError):
+        tree.update_key(bad, (3.0, 4.0))
+    with pytest.raises(ValueError):
+        tree.query_all(bad, (5.0, 5.0))
+    with pytest.raises(ValueError):
+        tree.query_all((0.0, 0.0), bad)
+    with pytest.raises(ValueError):
+        tree.knn(bad, 1)
+    # Nothing leaked into the tree while rejecting.
+    assert len(tree) == 1
+    assert tree.get((1.0, 2.0)) == "ok"
+
+
+# ---------------------------------------------------------------------------
+# Engines agree with each other on the full edge-case workload.
+# ---------------------------------------------------------------------------
+
+
+def test_generic_and_specialized_agree_on_edge_workload():
+    points = [
+        (0.0, -0.0),
+        (-0.0, 5.0),
+        (INF, -INF),
+        (-INF, INF),
+        (1e-308, -1e-308),  # subnormals
+        (1e308, -1e308),
+        (math.pi, -math.e),
+    ]
+    spec = PHTreeF(dims=2, specialize=True)
+    generic = PHTreeF(dims=2, specialize=False)
+    for value, point in enumerate(points):
+        spec.put(point, value)
+        generic.put(point, value)
+    assert list(spec.items()) == list(generic.items())
+    assert spec.query_all((-INF, -INF), (INF, INF)) == generic.query_all(
+        (-INF, -INF), (INF, INF)
+    )
+    for point in points:
+        assert spec.get(point) == generic.get(point)
+        assert spec.knn(point, 3) == generic.knn(point, 3)
+    for point in points[::2]:
+        assert spec.remove(point) == generic.remove(point)
+    assert list(spec.items()) == list(generic.items())
+    validate_tree(spec, frozen_roundtrip=False)
+    validate_tree(generic, frozen_roundtrip=False)

@@ -275,7 +275,35 @@ class TestBoundedRegistry:
         with pytest.raises(ValueError):
             get_spec(3, 0)
         with pytest.raises(ValueError):
-            specialize.set_registry_cap(0)
+            specialize.set_registry_cap(-1)
+        with pytest.raises(ValueError):
+            specialize.set_registry_cap(-64)
+
+    def test_cap_zero_disables_caching(self):
+        # Regression: cap 0 used to be rejected; it now cleanly turns
+        # the cache off instead of being conflated with "invalid".
+        specialize.clear_registry()
+        specialize.set_registry_cap(4)
+        get_spec(2, 9)
+        assert specialize.registry_size() == 1
+        specialize.set_registry_cap(0)
+        assert specialize.registry_cap() == 0
+        assert specialize.registry_size() == 0  # emptied on disable
+        # Builds still work, are functional, but are never retained.
+        a = get_spec(2, 9)
+        b = get_spec(2, 9)
+        assert a is not None and b is not None
+        assert a is not b  # no caching: every call builds fresh
+        assert specialize.registry_size() == 0
+        # Trees built while caching is off still specialize fine.
+        tree, keys = _random_tree(2, 9, 50, seed=90)
+        assert tree.specialization is not None
+        for key in list(keys)[:10]:
+            assert tree.contains(key)
+        # Re-enabling restores normal cache behaviour.
+        specialize.set_registry_cap(8)
+        assert get_spec(2, 9) is get_spec(2, 9)
+        assert specialize.registry_size() == 1
 
     def test_cap_held_across_100_shapes(self):
         specialize.clear_registry()

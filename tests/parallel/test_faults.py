@@ -1,0 +1,215 @@
+"""Fault injection for the parallel layer: every injected fault class
+must leave reads correct (or raise a clean typed error) and move its
+observability counter."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import obs
+from repro.check.faults import (
+    kill_one_worker,
+    publish_failures,
+    run_fault_drill,
+    slow_reader,
+    unlink_failures,
+)
+from repro.core.concurrent import LockTimeout, ReadWriteLock
+from repro.obs import probes
+from repro.parallel import (
+    ParallelError,
+    ShardedPHTree,
+    SnapshotPublishError,
+    SnapshotReadError,
+)
+
+DIMS, WIDTH = 2, 16
+DOMAIN_LO = (0,) * DIMS
+DOMAIN_HI = ((1 << WIDTH) - 1,) * DIMS
+
+
+def _items(n=200, seed=31):
+    rng = random.Random(seed)
+    seen = {}
+    for i in range(n):
+        seen[tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))] = i
+    return list(seen.items())
+
+
+@pytest.fixture
+def pooled_tree():
+    items = _items()
+    from repro.core.serialize import U64ValueCodec
+
+    with ShardedPHTree.build(
+        items,
+        dims=DIMS,
+        width=WIDTH,
+        shards=4,
+        workers=2,
+        value_codec=U64ValueCodec,
+    ) as tree:
+        yield tree, dict(items)
+
+
+@pytest.fixture
+def metrics():
+    obs.reset()
+    obs.enable()
+    yield probes
+    obs.disable()
+    obs.reset()
+
+
+def test_publish_failure_degrades_to_live(pooled_tree, metrics):
+    tree, reference = pooled_tree
+    before = metrics.snapshot_publish_failures.value
+    with publish_failures(count=1):
+        result = tree.query(DOMAIN_LO, DOMAIN_HI)
+    assert dict(result) == reference
+    assert metrics.snapshot_publish_failures.value == before + 1
+
+
+def test_publish_failure_is_typed(pooled_tree, metrics):
+    tree, _ = pooled_tree
+    pool = tree._snapshot_pool()
+    with publish_failures(count=1):
+        with pytest.raises(SnapshotPublishError) as excinfo:
+            pool.refresh()
+    # The typed error is a ParallelError: the owning tree's catch-all.
+    assert isinstance(excinfo.value, ParallelError)
+
+
+def test_publish_recovers_after_fault_window(pooled_tree, metrics):
+    tree, reference = pooled_tree
+    with publish_failures(count=1):
+        tree.query(DOMAIN_LO, DOMAIN_HI)  # consumes the fault
+    # Out of the window: publication and fan-out work again.
+    assert dict(tree.query(DOMAIN_LO, DOMAIN_HI)) == reference
+    assert tree._snapshot_pool().snapshot_bytes() > 0
+
+
+def test_worker_death_falls_back_then_recovers(pooled_tree, metrics):
+    tree, reference = pooled_tree
+    assert dict(tree.query(DOMAIN_LO, DOMAIN_HI)) == reference  # warm up
+    pool = tree._snapshot_pool()
+    before = metrics.fanout_failures.labels("query").value
+    kill_one_worker(pool)
+    assert dict(tree.query(DOMAIN_LO, DOMAIN_HI)) == reference
+    assert metrics.fanout_failures.labels("query").value == before + 1
+    # The broken executor was recycled: the next fan-out succeeds on a
+    # fresh pool without touching the failure counter again.
+    assert dict(tree.query(DOMAIN_LO, DOMAIN_HI)) == reference
+    assert metrics.fanout_failures.labels("query").value == before + 1
+
+
+def test_worker_death_raises_typed_error_at_pool_level(
+    pooled_tree, metrics
+):
+    tree, _ = pooled_tree
+    tree.query(DOMAIN_LO, DOMAIN_HI)  # publish + start workers
+    pool = tree._snapshot_pool()
+    kill_one_worker(pool)
+    with pytest.raises(SnapshotReadError):
+        pool.query(DOMAIN_LO, DOMAIN_HI, range(tree.n_shards))
+
+
+def test_unlink_failure_is_survived_and_counted(pooled_tree, metrics):
+    tree, reference = pooled_tree
+    tree.query(DOMAIN_LO, DOMAIN_HI)  # publish generation 1
+    key = next(iter(reference))
+    tree.put(key, reference[key])  # bump one shard's generation
+    pool = tree._snapshot_pool()
+    before = metrics.snapshot_discard_errors.value
+    with unlink_failures(pool, count=1) as state:
+        republished = pool.refresh()
+    assert republished == 1
+    assert state["remaining"] == 0
+    assert metrics.snapshot_discard_errors.value == before + 1
+    assert dict(tree.query(DOMAIN_LO, DOMAIN_HI)) == reference
+
+
+def test_slow_reader_blocks_writer_with_timeout(pooled_tree, metrics):
+    tree, _ = pooled_tree
+    before = metrics.lock_timeouts.labels("write").value
+    with slow_reader(tree, shard=0):
+        with pytest.raises(LockTimeout):
+            with tree._shards[0].lock.write(timeout=0.05):
+                pass  # pragma: no cover
+    assert metrics.lock_timeouts.labels("write").value == before + 1
+    # The reader is gone; the write goes through.
+    with tree._shards[0].lock.write(timeout=1.0):
+        pass
+
+
+def test_read_timeout_behind_writer(metrics):
+    lock = ReadWriteLock()
+    lock.acquire_write()
+    before = metrics.lock_timeouts.labels("read").value
+    failures = []
+
+    def reader():
+        try:
+            lock.acquire_read(timeout=0.05)
+        except LockTimeout as exc:
+            failures.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    thread.join(timeout=5.0)
+    lock.release_write()
+    assert len(failures) == 1
+    assert metrics.lock_timeouts.labels("read").value == before + 1
+    # The abandoned read didn't wedge the lock.
+    with lock.read():
+        pass
+    with lock.write():
+        pass
+
+
+def test_write_timeout_does_not_wedge_queued_readers():
+    lock = ReadWriteLock()
+    lock.acquire_read()  # camping reader
+
+    got_read = threading.Event()
+
+    def late_reader():
+        # Queued behind the (doomed) writer; must proceed once the
+        # writer gives up.
+        with lock.read():
+            got_read.set()
+
+    def doomed_writer():
+        with pytest.raises(LockTimeout):
+            lock.acquire_write(timeout=0.1)
+
+    writer = threading.Thread(target=doomed_writer)
+    writer.start()
+    # Give the writer time to queue, then line a reader up behind it.
+    import time
+
+    time.sleep(0.02)
+    reader = threading.Thread(target=late_reader)
+    reader.start()
+    writer.join(timeout=5.0)
+    assert got_read.wait(timeout=5.0), (
+        "reader stayed wedged behind an abandoned writer"
+    )
+    reader.join(timeout=5.0)
+    lock.release_read()
+
+
+def test_fault_drill_all_pass():
+    outcomes = run_fault_drill(entries=128)
+    assert [o.fault for o in outcomes] == [
+        "publish-failure",
+        "worker-death",
+        "unlink-failure",
+        "lock-timeout",
+    ]
+    assert all(o.passed for o in outcomes), [
+        f"{o.fault}: {o.detail}" for o in outcomes if not o.passed
+    ]
