@@ -27,7 +27,12 @@ Measured (best of ``repeats`` runs each, CUBE-distributed integer keys):
 - ``knn``: 10-nearest-neighbour queries,
 - ``sharded_query``: the same box batch through the sharded snapshot
   engine's process-pool fan-out with 1 vs 4 workers (the recorded
-  ``cpu_count`` says how much hardware parallelism was available).
+  ``cpu_count`` says how much hardware parallelism was available),
+- ``*_arena``: the flat-buffer arena engine (``layout="arena"``) run
+  over the same workloads -- insert, delete, point (sequential and
+  batched), window queries and ``freeze()`` -- against the object
+  engine, plus a ``space`` section with real bytes-per-entry for both
+  mutable layouts (``repro.memory.report.arena_space_report``).
 
 Derived speedups are the acceptance numbers: ``speedup_get_many`` /
 ``speedup_range_iter`` (batching and the iterative kernel against the
@@ -67,7 +72,7 @@ __all__ = ["SCALES", "main", "run_trajectory", "write_report"]
 #: is the canonical scale recorded in BENCH_core.json.
 SCALES: Dict[str, Dict[str, int]] = {
     "tiny": {"n": 2_000, "n_boxes": 60, "n_knn": 20, "repeats": 3},
-    "small": {"n": 10_000, "n_boxes": 200, "n_knn": 60, "repeats": 3},
+    "small": {"n": 10_000, "n_boxes": 200, "n_knn": 60, "repeats": 5},
     "medium": {"n": 50_000, "n_boxes": 400, "n_knn": 120, "repeats": 3},
 }
 
@@ -87,6 +92,26 @@ def _best(func: Callable[[], Any], repeats: int) -> float:
         elapsed = time.perf_counter() - start
         if elapsed < best:
             best = elapsed
+    return best
+
+
+def _best_group(
+    funcs: "List[Callable[[], Any]]", repeats: int
+) -> "List[float]":
+    """Best-of-``repeats`` for several *competing* candidates, timed
+    round-robin: every round times each candidate once, so slow machine
+    drift (thermal throttling, background load) lands on all of them
+    equally instead of on whichever was measured last.  The engine-vs-
+    engine speedup ratios in the report are only meaningful with this
+    pairing."""
+    best = [float("inf")] * len(funcs)
+    for _ in range(repeats):
+        for i, func in enumerate(funcs):
+            start = time.perf_counter()
+            func()
+            elapsed = time.perf_counter() - start
+            if elapsed < best[i]:
+                best[i] = elapsed
     return best
 
 
@@ -266,21 +291,36 @@ def run_trajectory(
             put(key, value)
         return tree
 
-    t_insert = _best(build, repeats)
-    t_insert_generic = _best(build_generic, repeats)
+    def build_arena() -> PHTree:
+        tree = PHTree(dims=DIMS, width=WIDTH, layout="arena")
+        put = tree.put
+        for key, value in zip(keys, values):
+            put(key, value)
+        return tree
+
+    t_insert, t_insert_generic, t_insert_arena = _best_group(
+        [build, build_generic, build_arena], repeats
+    )
     tree = build()
     tree_generic = build_generic()
+    tree_arena = build_arena()
 
     # -- delete: drain a freshly built tree ------------------------------
-    t_delete = float("inf")
-    for _ in range(repeats):
-        victim = build()
+    def drain_once(builder: Callable[[], PHTree]) -> float:
+        victim = builder()
         remove = victim.remove
         start = time.perf_counter()
         for key in keys:
             remove(key)
-        t_delete = min(t_delete, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
         assert len(victim) == 0
+        return elapsed
+
+    t_delete = float("inf")
+    t_delete_arena = float("inf")
+    for _ in range(repeats):
+        t_delete = min(t_delete, drain_once(build))
+        t_delete_arena = min(t_delete_arena, drain_once(build_arena))
 
     # -- bulk load: bottom-up build over the same entries ----------------
     from repro.core.bulk import bulk_load
@@ -303,15 +343,26 @@ def run_trajectory(
         for key in batch:
             get(key)
 
-    t_point_seq = _best(point_seq, repeats)
-    t_point_seq_generic = _best(point_seq_generic, repeats)
-    t_point_batch = _best(lambda: tree.get_many(batch), repeats)
-    t_point_batch_pre = _best(
-        lambda: tree.get_many(batch, presorted=True), repeats
+    def point_seq_arena() -> None:
+        get = tree_arena.get
+        for key in batch:
+            get(key)
+
+    t_point_seq, t_point_seq_generic, t_point_seq_arena = _best_group(
+        [point_seq, point_seq_generic, point_seq_arena], repeats
+    )
+    t_point_batch, t_point_batch_pre, t_point_batch_arena = _best_group(
+        [
+            lambda: tree.get_many(batch),
+            lambda: tree.get_many(batch, presorted=True),
+            lambda: tree_arena.get_many(batch),
+        ],
+        repeats,
     )
     # Sanity: the engines must agree before their timings mean anything.
     assert tree.get_many(batch) == [tree.get(k) for k in batch]
     assert tree.get_many(batch) == tree_generic.get_many(batch)
+    assert tree.get_many(batch) == tree_arena.get_many(batch)
 
     # -- range queries: iterative kernel vs seed generator engine --------
     root = tree.root
@@ -331,19 +382,47 @@ def run_trajectory(
                 total += 1
         return total
 
+    def run_range_arena() -> int:
+        total = 0
+        for lo, hi in boxes:
+            for _ in tree_arena.query(lo, hi):
+                total += 1
+        return total
+
     returned = run_range(range_iter)
     assert returned == run_range(generator_range_iter)
+    assert returned == run_range_arena()
     # Bit-identical output (entries AND order) from the specialized twin.
     for lo, hi in boxes[: min(8, len(boxes))]:
         assert list(range_iter(root, lo, hi, spec)) == list(
             range_iter(root, lo, hi)
         )
-    t_range_kernel = _best(lambda: run_range(range_iter), repeats)
-    t_range_spec = _best(run_range_spec, repeats)
-    t_range_generator = _best(
-        lambda: run_range(generator_range_iter), repeats
+    (
+        t_range_kernel,
+        t_range_spec,
+        t_range_generator,
+        t_query_many,
+        t_range_arena,
+    ) = _best_group(
+        [
+            lambda: run_range(range_iter),
+            run_range_spec,
+            lambda: run_range(generator_range_iter),
+            lambda: tree.query_many(boxes),
+            run_range_arena,
+        ],
+        repeats,
     )
-    t_query_many = _best(lambda: tree.query_many(boxes), repeats)
+
+    # -- freeze: per-node object walk vs straight-from-slab copy ---------
+    from repro.core.frozen import freeze
+    from repro.core.serialize import U64ValueCodec as _U64
+
+    assert freeze(tree, _U64) == freeze(tree_arena, _U64)
+    t_freeze_object, t_freeze_arena = _best_group(
+        [lambda: freeze(tree, _U64), lambda: freeze(tree_arena, _U64)],
+        repeats,
+    )
 
     # -- kNN -------------------------------------------------------------
     def run_knn() -> None:
@@ -408,6 +487,36 @@ def run_trajectory(
         "sharded_query_1w_us_per_entry": t_shard_1 * 1e6 / n_returned,
         "sharded_query_4w_us_per_entry": t_shard_hi * 1e6 / n_returned,
         "speedup_sharded_4w": t_shard_1 / t_shard_hi,
+        # Arena engine (layout="arena") on the same workloads; the
+        # speedup_arena_* records are object-time / arena-time, so 1.0
+        # means parity and the acceptance floor is 0.9.
+        "insert_arena_us_per_op": t_insert_arena * 1e6 / n_keys,
+        "delete_arena_us_per_op": t_delete_arena * 1e6 / n_keys,
+        "point_seq_arena_us_per_op": t_point_seq_arena * 1e6 / n_keys,
+        "point_batch_arena_us_per_op": (
+            t_point_batch_arena * 1e6 / n_keys
+        ),
+        "range_arena_us_per_entry": t_range_arena * 1e6 / n_returned,
+        "freeze_object_ms": t_freeze_object * 1e3,
+        "freeze_arena_ms": t_freeze_arena * 1e3,
+        "speedup_arena_insert": t_insert / t_insert_arena,
+        "speedup_arena_delete": t_delete / t_delete_arena,
+        "speedup_arena_point": t_point_seq / t_point_seq_arena,
+        "speedup_arena_point_batch": (
+            t_point_batch / t_point_batch_arena
+        ),
+        "speedup_arena_window": t_range_kernel / t_range_arena,
+        "speedup_arena_freeze": t_freeze_object / t_freeze_arena,
+    }
+
+    # -- space: real bytes-per-entry, object vs arena vs packed floor ----
+    from repro.memory.report import arena_space_report
+
+    space = {
+        name: round(value, 2)
+        for name, value in arena_space_report(
+            entries, DIMS, WIDTH
+        ).items()
     }
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -455,6 +564,16 @@ def run_trajectory(
                 "single-core host it is ~1.0 by construction"
             ),
         },
+        "space": dict(
+            space,
+            note=(
+                "bytes per entry at dims=3/width=20: the object "
+                "engine's deep CPython footprint vs the arena slabs "
+                "(capacity includes growth slack, live counts records "
+                "only) vs the paper's Section 3.4 bit-stream layout "
+                "as the packed floor"
+            ),
+        ),
         "metrics": {k: round(v, 4) for k, v in metrics.items()},
     }
     if instrument:
@@ -483,6 +602,12 @@ def format_report(report: Dict[str, Any]) -> str:
     ]
     for name, value in sorted(report["metrics"].items()):
         lines.append(f"  {name:36s} {value:10.3f}")
+    space = report.get("space")
+    if space:
+        lines.append("space (bytes/entry):")
+        for name, value in sorted(space.items()):
+            if name != "note":
+                lines.append(f"  {name:36s} {value:10.2f}")
     instrumentation = report.get("instrumentation")
     if instrumentation:
         lines.append("instrumentation (counts per benchmarked op):")

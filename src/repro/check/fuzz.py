@@ -7,6 +7,9 @@ get_many / knn / bulk_load) simultaneously against
 - a generic :class:`~repro.core.phtree.PHTree` (``specialize=False``),
 - a specialized :class:`~repro.core.phtree.PHTree` (the per-(k, width)
   generated kernels),
+- an arena :class:`~repro.core.arena_tree.ArenaPHTree`
+  (``layout="arena"``: the packed flat-buffer engine, running the same
+  ops in lockstep against the object engines),
 - a :class:`~repro.parallel.sharded.ShardedPHTree` (live, lock-per-shard
   engine),
 
@@ -300,9 +303,10 @@ def _build_subjects(
     """Fresh engines pre-loaded with ``items``.
 
     The generic tree is grown by incremental puts while the specialized
-    tree and the sharded tree go through their bulk builders -- layout
-    is a pure function of the key set, so all three must then behave
-    identically (that equivalence is part of what the run checks).
+    tree, the arena tree and the sharded tree go through their bulk
+    builders -- layout is a pure function of the key set, so all four
+    must then behave identically (that equivalence is part of what the
+    run checks).
     """
     generic = PHTree(
         dims=config.dims, width=config.width, specialize=False
@@ -310,6 +314,9 @@ def _build_subjects(
     for key, value in items:
         generic.put(key, value)
     spec = bulk_load(list(items), config.dims, config.width)
+    arena = bulk_load(
+        list(items), config.dims, config.width, layout="arena"
+    )
     sharded = ShardedPHTree.build(
         list(items),
         dims=config.dims,
@@ -317,7 +324,12 @@ def _build_subjects(
         shards=config.shards,
         workers=0,
     )
-    return [("generic", generic), ("spec", spec), ("sharded", sharded)]
+    return [
+        ("generic", generic),
+        ("spec", spec),
+        ("arena", arena),
+        ("sharded", sharded),
+    ]
 
 
 def _apply(tree: Any, name: str, op: Op) -> Tuple[str, Any]:

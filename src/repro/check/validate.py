@@ -151,6 +151,12 @@ def _validate_phtree(
     tree: PHTree, frozen_roundtrip: bool
 ) -> ValidationReport:
     report = ValidationReport("PHTree")
+    if tree.layout == "arena":
+        # Native slab checks run FIRST: materialising the shadow object
+        # graph (tree.root below) assumes sane headers, so corruption
+        # must be rejected before anything walks it.
+        _validate_arena(tree, report)
+        report.engine = "ArenaPHTree"
     root = tree.root
     if root is None:
         if len(tree) != 0:
@@ -177,6 +183,72 @@ def _validate_phtree(
     if frozen_roundtrip:
         _check_frozen_roundtrip(tree, report)
     return report
+
+
+def _validate_arena(tree: PHTree, report: ValidationReport) -> None:
+    """Slab-level invariants of the arena engine, beyond the (shadow)
+    object-graph walk: header decode against table occupancy, free-list
+    marker integrity and disjointness from the reachable record sets,
+    and live-footprint accounting."""
+    from repro.core.arena import FREE_BIT
+
+    arena = tree._arena
+    try:
+        # The engine's own native walk re-checks the structural
+        # invariants straight off the words (header counts vs tables,
+        # sorted LHC addresses, prefix path consistency) and that no
+        # freed node offset is reachable.  Corrupt headers can also
+        # send the walk out of bounds or into reference cycles --
+        # both are corruption verdicts, not validator crashes.
+        tree.check_invariants()
+        free_nodes = arena.free_block_offsets()
+    except (AssertionError, IndexError, RecursionError) as exc:
+        raise InvariantViolation(f"arena: {exc}") from exc
+    words = arena.words
+    k = arena.k
+    reachable_nodes = list(arena.iter_nodes(tree._root_off))
+    reachable_entries = set()
+    for off in reachable_nodes:
+        h = words[off]
+        if h & FREE_BIT:
+            raise InvariantViolation(
+                f"arena: reachable node at offset {off} carries the "
+                "free marker"
+            )
+        base = off + 2 + k
+        if h & (1 << 12):
+            refs = (words[i] for i in range(base, base + (1 << k)))
+        else:
+            c = words[off + 1]
+            n = (c & 2097151) + ((c >> 21) & 2097151)
+            rbase = base + (1 << ((h >> 13) & 63))
+            refs = (words[i] for i in range(rbase, rbase + n))
+        for ref in refs:
+            if ref and not (ref & 1):
+                reachable_entries.add(ref >> 1)
+    overlap = reachable_entries.intersection(arena.free_entry_offsets())
+    if overlap:
+        raise InvariantViolation(
+            f"arena: freed entry offsets still reachable: "
+            f"{sorted(overlap)[:5]}"
+        )
+    if arena.live_entries != len(reachable_entries):
+        raise InvariantViolation(
+            f"arena: live_entries {arena.live_entries} != "
+            f"{len(reachable_entries)} reachable entry records"
+        )
+    if arena.n_nodes != len(reachable_nodes):
+        raise InvariantViolation(
+            f"arena: n_nodes {arena.n_nodes} != "
+            f"{len(reachable_nodes)} reachable node blocks"
+        )
+    walked_words = sum(arena.block_len(off) for off in reachable_nodes)
+    if arena.live_node_words != walked_words:
+        raise InvariantViolation(
+            f"arena: live_node_words {arena.live_node_words} != "
+            f"{walked_words} words across reachable blocks"
+        )
+    del free_nodes  # marker integrity already checked above
 
 
 def _validate_node(

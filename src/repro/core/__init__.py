@@ -11,6 +11,7 @@ Public entry points:
 - :mod:`repro.core.serialize` -- per-node bit-stream serialisation.
 """
 
+from repro.core.arena_tree import ArenaPHTree
 from repro.core.bulk import bulk_load, bulk_load_sorted
 from repro.core.concurrent import SynchronizedPHTree
 from repro.core.multimap import PHTreeMultiMap
@@ -21,6 +22,7 @@ from repro.core.solid import PHTreeSolidF
 from repro.core.stats import TreeStats, collect_stats
 
 __all__ = [
+    "ArenaPHTree",
     "FrozenPHTree",
     "PHTree",
     "PHTreeF",

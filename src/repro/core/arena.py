@@ -1,0 +1,368 @@
+"""Slab/arena storage for PH-tree nodes (the packed mutable layout).
+
+The object engine spends one Python ``Node`` plus a list/dict container
+per tree node and one ``Entry`` plus a key tuple per stored point --
+hundreds of bytes of interpreter overhead against the paper's
+"tightly packed" HC/LHC nodes (Section 3.4, Table 3).  This module
+stores the same structure as fixed-layout records inside two growable
+``array('Q')`` pools, addressed by integer offsets instead of object
+references:
+
+Node record (``words`` pool)::
+
+    [header: 1 word] [counts: 1 word] [prefix: k words] [slot table]
+
+    header bits  0..5   post_len            (width <= 64)
+           bits  6..11  infix_len
+           bit   12     HC flag
+           bits 13..18  cap_log (LHC table capacity = 2**cap_log)
+           bit   63     free flag (only on recycled blocks)
+
+    counts bits  0..20  n_sub   (sub-node slot count, 21 bits)
+           bits 21..41  n_post  (postfix slot count, 21 bits)
+
+    The header word deliberately stays below 2**19 so every hot-path
+    header op is single-digit CPython long arithmetic; the slot counts
+    live in their own word, read only on mutation and stats walks.
+
+    LHC table: ``2**cap_log`` address words followed by ``2**cap_log``
+    ref words; the first ``n_sub + n_post`` addresses are sorted (paper
+    Section 3.2's sorted linear representation) and the remaining
+    address slots hold the sentinel ``2**k``, so a C ``bisect_left``
+    over the full capacity finds a slot without decoding the counts.
+    HC table:  ``2**k`` direct-indexed ref words.
+
+Slot *ref* words are tagged offsets: ``0`` is an empty slot,
+``(node_offset << 1) | 1`` a sub-node, ``entry_offset << 1`` a postfix.
+
+Entry record (``entries`` pool)::
+
+    [key: k words] [value ref: 1 word]   -- value ref 0 encodes None,
+                                            else 1 + index into `values`
+
+Deleted node blocks go onto per-block-length free lists threaded through
+the slab itself (``words[off]`` keeps the free flag + block length,
+``words[off + 1]`` the next free offset); deleted entry records thread
+their next pointer through their first key word.  Growth is amortised
+appending at the frontier (``array`` realloc doubling); a block that
+outgrows its size class is reallocated at the next power of two and its
+old block recycled, so delete-heavy churn reuses slab space instead of
+leaking it (asserted by the churn regression test).
+
+Offset 0 of both pools is reserved as a null sentinel, which is what
+lets ``0`` double as "empty slot" / "no node" / "end of free list".
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterator, List, Tuple
+
+__all__ = [
+    "CAP_SHIFT",
+    "COUNT_MASK",
+    "FREE_BIT",
+    "HC_BIT",
+    "INFIX_SHIFT",
+    "NPOST_SHIFT",
+    "NSUB_SHIFT",
+    "NodeArena",
+    "POST_MASK",
+    "entry_ref",
+    "hc_block_len",
+    "lhc_block_len",
+    "make_counts",
+    "make_header",
+    "node_ref",
+]
+
+# Header field layout (see module docstring).  Hot loops inline these as
+# numeric literals; keep the two in sync.
+POST_MASK = 0x3F
+INFIX_SHIFT = 6
+INFIX_MASK = 0x3F
+HC_BIT = 1 << 12
+CAP_SHIFT = 13
+CAP_MASK = 0x3F
+FREE_BIT = 1 << 63
+# Counts word (at offset + 1).
+NSUB_SHIFT = 0
+NPOST_SHIFT = 21
+COUNT_MASK = (1 << 21) - 1
+_WORD = 8  # bytes per slab word
+
+
+def make_header(
+    post_len: int,
+    infix_len: int,
+    is_hc: bool,
+    cap_log: int,
+) -> int:
+    """Pack one node header word (counts live in the next word)."""
+    h = post_len | (infix_len << INFIX_SHIFT) | (cap_log << CAP_SHIFT)
+    if is_hc:
+        h |= HC_BIT
+    return h
+
+
+def make_counts(n_sub: int, n_post: int) -> int:
+    """Pack one node counts word."""
+    return n_sub | (n_post << NPOST_SHIFT)
+
+
+def node_ref(offset: int) -> int:
+    """Tagged slot ref pointing at a sub-node record."""
+    return (offset << 1) | 1
+
+
+def entry_ref(offset: int) -> int:
+    """Tagged slot ref pointing at an entry record."""
+    return offset << 1
+
+
+def lhc_block_len(k: int, cap: int) -> int:
+    """Words of an LHC node block with table capacity ``cap``."""
+    return 2 + k + 2 * cap
+
+
+def hc_block_len(k: int) -> int:
+    """Words of an HC node block (``2**k`` direct slots)."""
+    return 2 + k + (1 << k)
+
+
+class NodeArena:
+    """The two slabs plus the Python-object value pool of one tree."""
+
+    __slots__ = (
+        "k",
+        "sentinel",
+        "words",
+        "entries",
+        "values",
+        "node_free",
+        "entry_free",
+        "value_free",
+        "live_node_words",
+        "live_entries",
+        "n_nodes",
+        "_sent_arrays",
+    )
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        # Fills unused LHC address slots; sorts after every real address
+        # (addresses are k-bit), so bisect over the full capacity works.
+        self.sentinel = 1 << k
+        self._sent_arrays: Dict[int, array] = {}
+        # Word 0 / record 0 reserved: offset 0 means "null" everywhere.
+        self.words = array("Q", (0,))
+        self.entries = array("Q", bytes(_WORD * (k + 1)))
+        self.values: List[Any] = []
+        # block length -> head offset of the free list (0 = empty).
+        self.node_free: Dict[int, int] = {}
+        self.entry_free = 0
+        self.value_free: List[int] = []
+        # Live-footprint accounting for the space report / leak checks.
+        self.live_node_words = 0
+        self.live_entries = 0
+        self.n_nodes = 0
+
+    # -- node blocks -------------------------------------------------------
+
+    def alloc_block(self, length: int) -> int:
+        """A zeroed block of ``length`` words; recycles freed blocks."""
+        head = self.node_free.get(length, 0)
+        words = self.words
+        if head:
+            self.node_free[length] = words[head + 1]
+            # Recycled blocks carry stale words; HC tables in particular
+            # must start empty.
+            words[head : head + length] = array("Q", bytes(_WORD * length))
+            off = head
+        else:
+            off = len(words)
+            words.frombytes(bytes(_WORD * length))
+        self.live_node_words += length
+        self.n_nodes += 1
+        return off
+
+    def free_block(self, off: int, length: int) -> None:
+        """Recycle a node block onto its size-class free list."""
+        words = self.words
+        words[off] = FREE_BIT | length
+        words[off + 1] = self.node_free.get(length, 0)
+        self.node_free[length] = off
+        self.live_node_words -= length
+        self.n_nodes -= 1
+
+    def block_len(self, off: int) -> int:
+        """Length in words of the (live) block starting at ``off``."""
+        h = self.words[off]
+        if h & HC_BIT:
+            return hc_block_len(self.k)
+        return lhc_block_len(self.k, 1 << ((h >> 13) & 63))
+
+    def sentinel_run(self, count: int) -> array:
+        """A cached ``count``-long array of the address sentinel, for
+        slice-filling freshly allocated LHC address regions."""
+        run = self._sent_arrays.get(count)
+        if run is None:
+            run = array("Q", [self.sentinel]) * count
+            self._sent_arrays[count] = run
+        return run
+
+    # -- entry records -----------------------------------------------------
+
+    def new_entry(self, key: Tuple[int, ...], vref: int) -> int:
+        """Store ``key`` + value ref as one record; returns its offset."""
+        entries = self.entries
+        off = self.entry_free
+        if off:
+            self.entry_free = entries[off]
+            i = off
+            for v in key:
+                entries[i] = v
+                i += 1
+            entries[i] = vref
+        else:
+            off = len(entries)
+            entries.extend(key)
+            entries.append(vref)
+        self.live_entries += 1
+        return off
+
+    def new_entry_val(self, key: Tuple[int, ...], value: Any) -> int:
+        """``new_entry`` + ``store_value`` fused (the insert hot path)."""
+        if value is None:
+            vref = 0
+        else:
+            free = self.value_free
+            if free:
+                i = free.pop()
+                self.values[i] = value
+            else:
+                i = len(self.values)
+                self.values.append(value)
+            vref = i + 1
+        entries = self.entries
+        off = self.entry_free
+        if off:
+            self.entry_free = entries[off]
+            i = off
+            for v in key:
+                entries[i] = v
+                i += 1
+            entries[i] = vref
+        else:
+            off = len(entries)
+            entries.extend(key)
+            entries.append(vref)
+        self.live_entries += 1
+        return off
+
+    def free_entry(self, off: int) -> None:
+        """Recycle one entry record."""
+        self.entries[off] = self.entry_free
+        self.entry_free = off
+        self.live_entries -= 1
+
+    def entry_key(self, off: int) -> Tuple[int, ...]:
+        """Decode one entry's key tuple."""
+        entries = self.entries
+        return tuple(entries[off : off + self.k])
+
+    # -- values ------------------------------------------------------------
+
+    def store_value(self, value: Any) -> int:
+        """Intern ``value``; None is encoded as ref 0 (no pool slot)."""
+        if value is None:
+            return 0
+        free = self.value_free
+        if free:
+            i = free.pop()
+            self.values[i] = value
+        else:
+            i = len(self.values)
+            self.values.append(value)
+        return i + 1
+
+    def load_value(self, vref: int) -> Any:
+        """Resolve a value ref (0 decodes as None)."""
+        return None if vref == 0 else self.values[vref - 1]
+
+    def drop_value(self, vref: int) -> None:
+        """Release a value pool slot (no-op for the None encoding)."""
+        if vref:
+            self.values[vref - 1] = None
+            self.value_free.append(vref - 1)
+
+    # -- accounting and validation helpers ---------------------------------
+
+    def capacity_bytes(self) -> int:
+        """Raw slab capacity (what the process actually holds)."""
+        return _WORD * (len(self.words) + len(self.entries))
+
+    def live_bytes(self) -> int:
+        """Bytes inside currently live node blocks and entry records."""
+        return _WORD * (
+            self.live_node_words + self.live_entries * (self.k + 1)
+        )
+
+    def free_block_offsets(self) -> Dict[int, List[int]]:
+        """Walk every node free list; returns {block_len: [offsets]}.
+
+        Used by the arena validator (free-list disjointness, marker
+        checks) and the churn regression test.
+        """
+        out: Dict[int, List[int]] = {}
+        words = self.words
+        for length, head in self.node_free.items():
+            seen: List[int] = []
+            off = head
+            while off:
+                if words[off] != FREE_BIT | length:
+                    raise AssertionError(
+                        f"free block at {off} lost its marker "
+                        f"(word {words[off]:#x}, expected length {length})"
+                    )
+                seen.append(off)
+                off = words[off + 1]
+            if seen:
+                out[length] = seen
+        return out
+
+    def free_entry_offsets(self) -> List[int]:
+        """All offsets on the entry free list."""
+        out: List[int] = []
+        entries = self.entries
+        off = self.entry_free
+        while off:
+            out.append(off)
+            off = entries[off]
+        return out
+
+    def iter_nodes(self, root: int) -> Iterator[int]:
+        """Pre-order offsets of every node reachable from ``root``."""
+        if not root:
+            return
+        k = self.k
+        words = self.words
+        stack = [root]
+        while stack:
+            off = stack.pop()
+            yield off
+            h = words[off]
+            base = off + 2 + k
+            if h & HC_BIT:
+                for i in range(base, base + (1 << k)):
+                    ref = words[i]
+                    if ref & 1:
+                        stack.append(ref >> 1)
+            else:
+                c = words[off + 1]
+                n = (c & COUNT_MASK) + ((c >> NPOST_SHIFT) & COUNT_MASK)
+                cap = 1 << ((h >> 13) & 63)
+                for i in range(base + cap, base + cap + n):
+                    ref = words[i]
+                    if ref & 1:
+                        stack.append(ref >> 1)

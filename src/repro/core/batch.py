@@ -487,3 +487,294 @@ def _query_node(
                     if pair is None:
                         pair = (key, slot.value)
                     results[b].append(pair)
+
+
+def arena_get_many(
+    tree: Any,
+    keys: Iterable[Sequence[int]],
+    default: Any = None,
+    presorted: bool = False,
+) -> List[Any]:
+    """Arena twin of :func:`get_many`: the same z-sorted merge-join,
+    with path frames holding ``(offset, shift)`` and prefix checks
+    reading slab words in place (no per-frame prefix tuple)."""
+    checked, codes = _prepare(tree, keys, not presorted)
+    n = len(checked)
+    obs = _rt.enabled
+    if obs:
+        _probes.ops_get_many.inc()
+        _probes.batch_keys_get.inc(n)
+    results = [default] * n
+    root = tree._root_off
+    if not root or n == 0:
+        return results
+    if presorted:
+        order: Iterable[int] = range(n)
+    else:
+        order = sorted(range(n), key=codes.__getitem__)
+
+    arena = tree._arena
+    words = arena.words
+    entries = arena.entries
+    values = arena.values
+    k = arena.k
+    c_nodes = 1  # the root frame
+    c_slots = 0
+    path: List[Tuple[int, int]] = [(root, (words[root] & 63) + 1)]
+    push = path.append
+    pop = path.pop
+    off, shift = path[0]
+    for i in order:
+        key = checked[i]
+        # Ascend to the deepest stacked node still containing the key
+        # (the root contains every validated key, so this terminates).
+        while True:
+            matches = True
+            d = off + 2
+            for v in key:
+                if (v ^ words[d]) >> shift:
+                    matches = False
+                    break
+                d += 1
+            if matches:
+                break
+            pop()
+            off, shift = path[-1]
+        # Descend the levels the previous key did not already resolve.
+        while True:
+            c_slots += 1
+            post = shift - 1
+            a = 0
+            for v in key:
+                a = (a << 1) | ((v >> post) & 1)
+            h = words[off]
+            if h & 4096:
+                ref = words[off + 2 + k + a]
+            else:
+                base = off + 2 + k
+                end = base + (1 << ((h >> 13) & 63))
+                pos = bisect_left(words, a, base, end)
+                if pos < end and words[pos] == a:
+                    ref = words[pos + end - base]
+                else:
+                    ref = 0
+            if not ref:
+                break
+            if ref & 1:
+                child = ref >> 1
+                cshift = (words[child] & 63) + 1
+                matches = True
+                d = child + 2
+                for v in key:
+                    if (v ^ words[d]) >> cshift:
+                        matches = False
+                        break
+                    d += 1
+                if not matches:
+                    break
+                off = child
+                shift = cshift
+                push((off, shift))
+                c_nodes += 1
+                continue
+            e = ref >> 1
+            same = True
+            d = e
+            for v in key:
+                if entries[d] != v:
+                    same = False
+                    break
+                d += 1
+            if same:
+                vref = entries[e + k]
+                results[i] = values[vref - 1] if vref else None
+            break
+    if obs:
+        _probes.batch_nodes_visited.inc(c_nodes)
+        _probes.batch_slots_scanned.inc(c_slots)
+    return results
+
+
+def arena_contains_many(
+    tree: Any, keys: Iterable[Sequence[int]]
+) -> List[bool]:
+    """Arena twin of :func:`contains_many`."""
+    missing = _MISSING
+    return [
+        v is not missing for v in arena_get_many(tree, keys, missing)
+    ]
+
+
+def arena_query_many(
+    tree: Any,
+    boxes: Iterable[Tuple[Sequence[int], Sequence[int]]],
+    use_masks: bool = True,
+) -> List[List[Tuple[Key, Any]]]:
+    """Arena :func:`query_many`: the same single shared walk over the
+    whole batch (active boxes narrowing on the way down, covered boxes
+    flushed unchecked), reading slab records instead of node objects.
+    Result lists are exactly ``list(tree.query(lo, hi))`` per box, in
+    input order."""
+    checked: List[Tuple[Key, Key]] = []
+    for lo, hi in boxes:
+        checked.append((tree._check_key(lo), tree._check_key(hi)))
+    if _rt.enabled:
+        _probes.ops_query_many.inc()
+        _probes.batch_keys_query.inc(len(checked))
+    results: List[List[Tuple[Key, Any]]] = [[] for _ in checked]
+    root = tree._root_off
+    if not root:
+        return results
+    active: List[int] = []
+    for b, (lo, hi) in enumerate(checked):
+        for lo_v, hi_v in zip(lo, hi):
+            if lo_v > hi_v:
+                break
+        else:
+            active.append(b)
+    if active:
+        _arena_query_node(
+            tree._arena, root, active, checked, results,
+            (1 << tree._dims) - 1,
+        )
+    return results
+
+
+def _arena_query_node(
+    arena: Any,
+    off: int,
+    active: List[int],
+    checked: List[Tuple[Key, Key]],
+    results: List[List[Tuple[Key, Any]]],
+    full: int,
+) -> None:
+    """Arena twin of :func:`_query_node`: visit the node record at
+    ``off`` for every box in ``active`` (all intersect its region).
+
+    Recursion depth is bounded by the tree depth (<= w <= 64)."""
+    from repro.core.kernel import iter_arena_subtree
+
+    words = arena.words
+    entries = arena.entries
+    k = arena.k
+    h = words[off]
+    post = h & 63
+    free = (1 << (post + 1)) - 1
+    # Per-active-box masks, and their union as the slot iteration window.
+    mls: List[int] = []
+    mhs: List[int] = []
+    union_ml = full
+    union_mh = 0
+    for b in active:
+        box_lo, box_hi = checked[b]
+        ml = mh = 0
+        d = off + 2
+        for lo, hi in zip(box_lo, box_hi):
+            nlo = words[d]
+            d += 1
+            nhi = nlo | free
+            if lo < nlo:
+                lo = nlo
+            if hi > nhi:
+                hi = nhi
+            ml = (ml << 1) | ((lo >> post) & 1)
+            mh = (mh << 1) | ((hi >> post) & 1)
+        mls.append(ml)
+        mhs.append(mh)
+        union_ml &= ml
+        union_mh |= mh
+    base = off + 2 + k
+    items: List[Tuple[int, int]] = []
+    if h & 4096:
+        if union_ml == 0 and union_mh == full:
+            for a in range(1 << k):
+                ref = words[base + a]
+                if ref:
+                    items.append((a, ref))
+        else:
+            a = union_ml
+            while True:
+                ref = words[base + a]
+                if ref:
+                    items.append((a, ref))
+                if a >= union_mh:
+                    break
+                a = (((a | ~union_mh) + 1) & union_mh) | union_ml
+    else:
+        c = words[off + 1]
+        n = (c & 2097151) + ((c >> 21) & 2097151)
+        cap = 1 << ((h >> 13) & 63)
+        if union_ml == 0 and union_mh == full:
+            for i in range(base, base + n):
+                items.append((words[i], words[i + cap]))
+        else:
+            for i in range(base, base + n):
+                a = words[i]
+                if (a | union_ml) == a and (a & union_mh) == a:
+                    items.append((a, words[i + cap]))
+    if _rt.enabled:
+        _probes.qmany_nodes_visited.inc()
+        _probes.qmany_slots_scanned.inc(len(items))
+    for a, ref in items:
+        if ref & 1:
+            child = ref >> 1
+            cpost = words[child] & 63
+            cfree = (1 << (cpost + 1)) - 1
+            descend: List[int] = []
+            flush: List[int] = []
+            for idx, b in enumerate(active):
+                ml = mls[idx]
+                mh = mhs[idx]
+                if (a | ml) != a or (a & mh) != a:
+                    continue
+                box_lo, box_hi = checked[b]
+                inside = True
+                d = child + 2
+                for lo, hi in zip(box_lo, box_hi):
+                    nlo = words[d]
+                    d += 1
+                    nhi = nlo | cfree
+                    if hi < nlo or lo > nhi:
+                        break
+                    if nlo < lo or nhi > hi:
+                        inside = False
+                else:
+                    (flush if inside else descend).append(b)
+            if descend:
+                # Covered boxes ride along: every entry below passes
+                # their containment check anyway, and a single descent
+                # keeps all result lists in z-order.
+                _arena_query_node(
+                    arena, child,
+                    flush + descend if flush else descend,
+                    checked, results, full,
+                )
+            elif flush:
+                # All interested boxes fully cover the child: flush the
+                # subtree once, unchecked.
+                for pair in iter_arena_subtree(arena, child):
+                    for b in flush:
+                        results[b].append(pair)
+        else:
+            e = ref >> 1
+            pair = None
+            for idx, b in enumerate(active):
+                ml = mls[idx]
+                mh = mhs[idx]
+                if (a | ml) != a or (a & mh) != a:
+                    continue
+                box_lo, box_hi = checked[b]
+                d = e
+                for lo, hi in zip(box_lo, box_hi):
+                    v = entries[d]
+                    if v < lo or v > hi:
+                        break
+                    d += 1
+                else:
+                    if pair is None:
+                        vref = entries[e + k]
+                        pair = (
+                            tuple(entries[e : e + k]),
+                            arena.values[vref - 1] if vref else None,
+                        )
+                    results[b].append(pair)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
+from repro.core.arena import make_counts
 from repro.core.node import Entry, Node, masked_prefix
 from repro.core.phtree import PHTree
 
@@ -31,6 +32,7 @@ def bulk_load(
     dims: int,
     width: "int | Sequence[int]" = 64,
     hc_mode: str = "auto",
+    layout: "str | None" = None,
 ) -> PHTree:
     """Build a PH-tree from ``(key, value)`` pairs in one pass.
 
@@ -40,7 +42,7 @@ def bulk_load(
     >>> tree.get((3, 4))
     'b'
     """
-    tree = PHTree(dims=dims, width=width, hc_mode=hc_mode)
+    tree = PHTree(dims=dims, width=width, hc_mode=hc_mode, layout=layout)
     deduped: Dict[Key, Any] = {}
     for key, value in entries:
         deduped[tree._check_key(key)] = value
@@ -57,6 +59,7 @@ def bulk_load_sorted(
     width: "int | Sequence[int]" = 64,
     hc_mode: str = "auto",
     validate: bool = True,
+    layout: "str | None" = None,
 ) -> PHTree:
     """Build a PH-tree from an already z-sorted run of unique entries.
 
@@ -75,7 +78,7 @@ def bulk_load_sorted(
     >>> bulk_load_sorted(run, dims=2, width=8).get((3, 4))
     'b'
     """
-    tree = PHTree(dims=dims, width=width, hc_mode=hc_mode)
+    tree = PHTree(dims=dims, width=width, hc_mode=hc_mode, layout=layout)
     if validate:
         zcode = _z_coder(tree)
         previous = -1
@@ -96,6 +99,12 @@ def _build_from_run(
     tree: PHTree, items: "List[Tuple[Key, Any]]"
 ) -> PHTree:
     """Fill ``tree`` from a z-sorted, deduplicated run of entries."""
+    if tree.layout == "arena":
+        tree._root_off = _fill_arena_node(
+            tree, items, 0, len(items), tree.width - 1, 0
+        )
+        tree._size = len(items)
+        return tree
     root = Node(
         post_len=tree.width - 1, infix_len=0, prefix=(0,) * tree.dims
     )
@@ -199,3 +208,83 @@ def _fill_node(
     node._n_sub = n_sub
     node._n_post = n_post
     node._maybe_switch(k, tree._hc_mode, tree._hysteresis)
+
+
+def _fill_arena_node(
+    tree: PHTree,
+    items: List[Tuple[Key, Any]],
+    lo: int,
+    hi: int,
+    post_len: int,
+    infix_len: int,
+) -> int:
+    """The arena twin of :func:`_fill_node`: record ``items[lo:hi]`` as
+    one slab node (recursing per address group) and return its offset.
+
+    Pairs arrive address-sorted from the z-sort, so the node is written
+    once as an exactly-sized LHC table and handed to the engine's
+    representation switch at its final occupancy -- the same
+    decide-once property the object builder has.
+    """
+    arena = tree._arena
+    k = tree.dims
+    spec = tree._spec
+    if spec is not None:
+        hc_addr = spec.hc_address
+        address_of = lambda key: hc_addr(key, post_len)  # noqa: E731
+    else:
+
+        def address_of(key: Key) -> int:
+            a = 0
+            for v in key:
+                a = (a << 1) | ((v >> post_len) & 1)
+            return a
+
+    pairs: List[Tuple[int, int]] = []
+    n_sub = 0
+    n_post = 0
+    group_start = lo
+    while group_start < hi:
+        address = address_of(items[group_start][0])
+        group_end = group_start + 1
+        while (
+            group_end < hi
+            and address_of(items[group_end][0]) == address
+        ):
+            group_end += 1
+        if group_end - group_start == 1:
+            key, value = items[group_start]
+            pairs.append(
+                (
+                    address,
+                    arena.new_entry(key, arena.store_value(value)) << 1,
+                )
+            )
+            n_post += 1
+        else:
+            conflict = _divergence_pos(items, group_start, group_end)
+            child = _fill_arena_node(
+                tree,
+                items,
+                group_start,
+                group_end,
+                conflict,
+                post_len - 1 - conflict,
+            )
+            pairs.append((address, (child << 1) | 1))
+            n_sub += 1
+        group_start = group_end
+    n = len(pairs)
+    cap_log = (n - 1).bit_length() if n > 2 else 1
+    off = tree._alloc_lhc(
+        post_len, infix_len, masked_prefix(items[lo][0], post_len), cap_log
+    )
+    words = arena.words
+    cap = 1 << cap_log
+    i = off + 2 + k
+    for a, ref in pairs:
+        words[i] = a
+        words[i + cap] = ref
+        i += 1
+    words[off + 1] = make_counts(n_sub, n_post)
+    return tree._maybe_switch_off(off)

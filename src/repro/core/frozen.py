@@ -31,6 +31,8 @@ from repro.core.node import Node
 from repro.core.phtree import PHTree
 from repro.core.serialize import NoneValueCodec
 from repro.encoding.bitbuffer import BitBuffer, BitReader
+from repro.obs import probes as _probes
+from repro.obs import runtime as _rt
 
 __all__ = ["FrozenPHTree", "freeze"]
 
@@ -39,14 +41,29 @@ _LEN_BITS = 32
 
 
 def freeze(tree: PHTree, value_codec: Any = NoneValueCodec) -> bytes:
-    """Lay ``tree`` out as an immutable, skippable byte stream."""
+    """Lay ``tree`` out as an immutable, skippable byte stream.
+
+    Arena-backed trees (``layout="arena"``) serialise straight from
+    their slabs -- no per-node object materialisation -- which is what
+    makes snapshot republish in the parallel layer cheap.  Both paths
+    emit identical bytes.
+    """
     if tree.width > 256:
         raise ValueError(
             f"the frozen format stores post_len in 8 bits; "
             f"width {tree.width} > 256 is not representable"
         )
     buf = BitBuffer()
-    if tree.root is not None:
+    arena = getattr(tree, "_arena", None)
+    if arena is not None:
+        if tree._root_off:
+            _write_node_arena(
+                buf, arena, tree._root_off, tree.width, tree.dims,
+                value_codec,
+            )
+        if _rt.enabled:
+            _probes.freeze_arena_fast.inc()
+    elif tree.root is not None:
         _write_node(buf, tree.root, tree.width, tree.dims, value_codec)
     header = _MAGIC + struct.pack(
         ">HHQQ", tree.dims, tree.width, len(tree), buf.bit_length
@@ -87,6 +104,65 @@ def _write_node(
                 for value in slot.key:
                     buf.append(value & post_mask, post_bits)
             buf.append(value_codec.encode(slot.value), value_codec.bits)
+
+
+def _write_node_arena(
+    buf: BitBuffer,
+    arena: Any,
+    off: int,
+    parent_post_len: int,
+    k: int,
+    value_codec: Any,
+) -> None:
+    """The slab twin of :func:`_write_node`: emit the node record at
+    ``off`` (and its subtree) straight from the arena words, producing
+    the same bit stream the object walk would."""
+    words = arena.words
+    entries = arena.entries
+    h = words[off]
+    post_len = h & 63
+    buf.append(post_len, 8)
+    infix_len = parent_post_len - 1 - post_len
+    if infix_len:
+        shift = post_len + 1
+        mask = (1 << infix_len) - 1
+        for i in range(off + 2, off + 2 + k):
+            buf.append((words[i] >> shift) & mask, infix_len)
+    c = words[off + 1]
+    n = (c & 2097151) + ((c >> 21) & 2097151)
+    buf.append(n, k + 1)
+    post_mask = (1 << post_len) - 1
+    base = off + 2 + k
+    if h & 4096:  # HC: 2**k direct slots, already in address order
+        pairs = (
+            (a, words[base + a]) for a in range(1 << k) if words[base + a]
+        )
+    else:  # LHC: sorted address region, parallel ref region
+        cap = 1 << ((h >> 13) & 63)
+        pairs = (
+            (words[i], words[i + cap]) for i in range(base, base + n)
+        )
+    for address, ref in pairs:
+        buf.append(address, k)
+        if ref & 1:
+            buf.append(1, 1)
+            length_pos = buf.bit_length
+            buf.append(0, _LEN_BITS)
+            start = buf.bit_length
+            _write_node_arena(
+                buf, arena, ref >> 1, post_len, k, value_codec
+            )
+            buf.overwrite(length_pos, buf.bit_length - start, _LEN_BITS)
+        else:
+            buf.append(0, 1)
+            e = ref >> 1
+            if post_len:
+                for d in range(e, e + k):
+                    buf.append(entries[d] & post_mask, post_len)
+            buf.append(
+                value_codec.encode(arena.load_value(entries[e + k])),
+                value_codec.bits,
+            )
 
 
 class FrozenPHTree:

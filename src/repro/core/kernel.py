@@ -41,7 +41,13 @@ from repro.core.node import Node
 from repro.obs import probes as _probes
 from repro.obs import runtime as _rt
 
-__all__ = ["iter_slots", "iter_subtree", "range_scan"]
+__all__ = [
+    "arena_range_scan",
+    "iter_arena_subtree",
+    "iter_slots",
+    "iter_subtree",
+    "range_scan",
+]
 
 # Frame modes of the flat traversal loop.
 _FLUSH = 0  # node fully covered: no mask stepping, no entry checks
@@ -545,3 +551,335 @@ def _range_scan_instrumented(
             c_postdrop,
             c_entries,
         )
+
+
+def iter_arena_subtree(
+    arena: Any, root: int
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Arena twin of :func:`iter_subtree`: every entry below node offset
+    ``root``, in z-order, straight off the slabs."""
+    words = arena.words
+    entries = arena.entries
+    values = arena.values
+    k = arena.k
+    h = words[root]
+    base = root + 2 + k
+    if h & 4096:
+        cur = base
+        limit = base + (1 << k)
+    else:
+        # LHC refs are one contiguous run after the address region.
+        c = words[root + 1]
+        cur = base + (1 << ((h >> 13) & 63))
+        limit = cur + (c & 2097151) + ((c >> 21) & 2097151)
+    stack = []
+    while True:
+        if cur >= limit:
+            if not stack:
+                return
+            cur, limit = stack.pop()
+            continue
+        ref = words[cur]
+        cur += 1
+        if not ref:
+            continue
+        if ref & 1:
+            stack.append((cur, limit))
+            child = ref >> 1
+            h = words[child]
+            base = child + 2 + k
+            if h & 4096:
+                cur = base
+                limit = base + (1 << k)
+            else:
+                c = words[child + 1]
+                cur = base + (1 << ((h >> 13) & 63))
+                limit = cur + (c & 2097151) + ((c >> 21) & 2097151)
+        else:
+            e = ref >> 1
+            vref = entries[e + k]
+            yield tuple(entries[e : e + k]), (
+                values[vref - 1] if vref else None
+            )
+
+
+def arena_range_scan(
+    tree: Any,
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int = 0,
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Arena twin of :func:`range_scan`: the same flat mode machine
+    (masked / plain-scan / flush frames, z-order output), reading header
+    and slot words off the slabs instead of chasing containers.
+
+    Frames carry ``(hc, base, rbase, limit, cur, ml, mh, mode)``: for HC
+    nodes ``base == rbase`` indexes the 2**k direct table (``cur`` is an
+    address in masked mode, a table index otherwise); for LHC nodes
+    ``base`` is the sorted address region, ``rbase`` the parallel ref
+    region, ``cur`` a slot index and ``limit`` the occupied slot count.
+    Traversal counters
+    accumulate in locals either way and publish only when observability
+    is enabled (results are what the lockstep fuzzer compares).
+    """
+    root = tree._root_off
+    if not root:
+        return
+    arena = tree._arena
+    words = arena.words
+    entries = arena.entries
+    values = arena.values
+    bmin = box_min if type(box_min) is tuple else tuple(box_min)
+    bmax = box_max if type(box_max) is tuple else tuple(box_max)
+    for lo, hi in zip(bmin, bmax):
+        if lo > hi:
+            return
+    k = arena.k
+    full = (1 << k) - 1
+    if slack_bits > 0:
+        slack = (1 << slack_bits) - 1
+        lo_chk = tuple(v - slack for v in bmin)
+        hi_chk = tuple(v + slack for v in bmax)
+    else:
+        lo_chk = bmin
+        hi_chk = bmax
+
+    # -- classify the root (never flushed, mirroring the object engine) --
+    h = words[root]
+    post = h & 63
+    free = (1 << (post + 1)) - 1
+    ml = mh = 0
+    d = root + 2
+    for lo, hi in zip(bmin, bmax):
+        nlo = words[d]
+        d += 1
+        nhi = nlo | free
+        if hi < nlo or lo > nhi:
+            return
+        if lo < nlo:
+            lo = nlo
+        if hi > nhi:
+            hi = nhi
+        ml = (ml << 1) | ((lo >> post) & 1)
+        mh = (mh << 1) | ((hi >> post) & 1)
+    hc = h & 4096
+    base = root + 2 + k
+    if hc:
+        rbase = base
+        limit = 1 << k
+        if ml == 0 and mh == full:
+            mode = _SCAN
+            cur = 0
+        else:
+            mode = _MASKED
+            cur = ml
+    else:
+        c = words[root + 1]
+        rbase = base + (1 << ((h >> 13) & 63))
+        limit = (c & 2097151) + ((c >> 21) & 2097151)
+        if ml == 0 and mh == full:
+            mode = _SCAN
+            cur = 0
+        else:
+            mode = _MASKED
+            cur = bisect_left(words, ml, base, base + limit) - base
+
+    c_nodes = 1
+    c_hc = 1 if hc else 0
+    c_frames = 0
+    c_slots = 0
+    c_flush = 0
+    c_plain = 1 if mode == _SCAN else 0
+    c_maskrej = 0
+    c_noderej = 0
+    c_postdrop = 0
+    c_entries = 0
+
+    stack = []
+    pop = stack.pop
+    push = stack.append
+
+    try:
+        while True:
+            # ---- fetch the next occupied slot of the current frame ----
+            if mode == _MASKED:
+                if hc:  # HC: successor-stepped address cursor
+                    if cur < 0:
+                        if not stack:
+                            return
+                        hc, base, rbase, limit, cur, ml, mh, mode = pop()
+                        continue
+                    a = cur
+                    # Next valid address (paper Section 3.5), or done.
+                    cur = (
+                        -1 if a >= mh else ((((a | ~mh) + 1) & mh) | ml)
+                    )
+                    ref = words[base + a]
+                    c_slots += 1
+                    if not ref:
+                        continue
+                else:  # LHC: index cursor over the sorted address region
+                    if cur >= limit:
+                        if not stack:
+                            return
+                        hc, base, rbase, limit, cur, ml, mh, mode = pop()
+                        continue
+                    a = words[base + cur]
+                    if a > mh:
+                        if not stack:
+                            return
+                        hc, base, rbase, limit, cur, ml, mh, mode = pop()
+                        continue
+                    ref = words[rbase + cur]
+                    cur += 1
+                    c_slots += 1
+                    if (a | ml) != a or (a & mh) != a:
+                        c_maskrej += 1
+                        continue
+            else:  # _FLUSH and _SCAN: plain slot scan
+                if cur >= limit:
+                    if not stack:
+                        return
+                    hc, base, rbase, limit, cur, ml, mh, mode = pop()
+                    continue
+                if hc:
+                    ref = words[base + cur]
+                    cur += 1
+                    c_slots += 1
+                    if not ref:
+                        continue
+                else:
+                    ref = words[rbase + cur]
+                    cur += 1
+                    c_slots += 1
+
+            # ---- process the slot ----
+            if ref & 1:
+                child = ref >> 1
+                h = words[child]
+                if mode == _FLUSH:
+                    push((hc, base, rbase, limit, cur, ml, mh, mode))
+                    hc = h & 4096
+                    base = child + 2 + k
+                    if hc:
+                        rbase = base
+                        limit = 1 << k
+                    else:
+                        c = words[child + 1]
+                        rbase = base + (1 << ((h >> 13) & 63))
+                        limit = (c & 2097151) + ((c >> 21) & 2097151)
+                    cur = 0
+                    c_frames += 1
+                    c_nodes += 1
+                    if hc:
+                        c_hc += 1
+                    continue
+                # Fused intersection / coverage / mask computation.
+                cpost = h & 63
+                cfree = (1 << (cpost + 1)) - 1
+                cml = cmh = 0
+                inside = True
+                hit = True
+                d = child + 2
+                for lo, hi in zip(bmin, bmax):
+                    nlo = words[d]
+                    d += 1
+                    nhi = nlo | cfree
+                    if hi < nlo or lo > nhi:
+                        hit = False
+                        break
+                    if nlo < lo or nhi > hi:
+                        inside = False
+                    if lo < nlo:
+                        lo = nlo
+                    if hi > nhi:
+                        hi = nhi
+                    cml = (cml << 1) | ((lo >> cpost) & 1)
+                    cmh = (cmh << 1) | ((hi >> cpost) & 1)
+                if not hit:
+                    c_noderej += 1
+                    continue
+                push((hc, base, rbase, limit, cur, ml, mh, mode))
+                hc = h & 4096
+                base = child + 2 + k
+                if hc:
+                    rbase = base
+                    limit = 1 << k
+                else:
+                    c = words[child + 1]
+                    rbase = base + (1 << ((h >> 13) & 63))
+                    limit = (c & 2097151) + ((c >> 21) & 2097151)
+                c_frames += 1
+                c_nodes += 1
+                if hc:
+                    c_hc += 1
+                if inside or cpost < slack_bits:
+                    # Fully covered (or within the approximation slack):
+                    # flush the whole subtree with filtering disabled.
+                    mode = _FLUSH
+                    cur = 0
+                    c_flush += 1
+                elif hc:
+                    if cml == 0 and cmh == full:
+                        mode = _SCAN
+                        cur = 0
+                        c_plain += 1
+                    else:
+                        mode = _MASKED
+                        ml = cml
+                        mh = cmh
+                        cur = cml
+                else:
+                    if cml == 0 and cmh == full:
+                        mode = _SCAN
+                        cur = 0
+                        c_plain += 1
+                    else:
+                        mode = _MASKED
+                        ml = cml
+                        mh = cmh
+                        cur = (
+                            bisect_left(words, cml, base, base + limit)
+                            - base
+                        )
+                continue
+
+            # Entry (postfix).
+            e = ref >> 1
+            if mode == _FLUSH:
+                c_entries += 1
+                vref = entries[e + k]
+                yield tuple(entries[e : e + k]), (
+                    values[vref - 1] if vref else None
+                )
+            else:
+                d = e
+                ok = True
+                for lo, hi in zip(lo_chk, hi_chk):
+                    v = entries[d]
+                    d += 1
+                    if v < lo or v > hi:
+                        ok = False
+                        break
+                if ok:
+                    c_entries += 1
+                    vref = entries[e + k]
+                    yield tuple(entries[e : e + k]), (
+                        values[vref - 1] if vref else None
+                    )
+                else:
+                    c_postdrop += 1
+    finally:
+        if _rt.enabled:
+            _probes.record_range_scan(
+                c_nodes,
+                c_hc,
+                c_frames,
+                c_slots,
+                c_flush,
+                c_plain,
+                c_maskrej,
+                c_noderej,
+                c_postdrop,
+                c_entries,
+            )

@@ -251,3 +251,113 @@ def _knn_iter_instrumented(
                     return
     finally:
         _probes.record_knn(c_regions, c_pushes, c_high, c_entries)
+
+
+def arena_knn_iter(
+    tree: Any,
+    n: int,
+    point_distance: PointDistance,
+    region_distance: RegionDistance,
+    z_key: Optional[Callable[[Sequence[int]], int]] = None,
+) -> Iterator[Tuple[Any, Tuple[int, ...], Any]]:
+    """Arena twin of :func:`knn_iter`: the same best-first search over
+    slab offsets.
+
+    Heap items carry the tagged slot ref as payload
+    (``node_off << 1 | 1`` / ``entry_off << 1``); ordering only ever
+    compares the ``(distance, z, tiebreak)`` prefix, exactly like the
+    object engine, so ties resolve identically.  Probe counts accumulate
+    in locals and publish only with observability enabled.
+    """
+    obs = _rt.enabled
+    root = tree._root_off
+    if n <= 0 or not root:
+        if obs:
+            _probes.record_knn(0, 0, 0, 0)
+        return
+    arena = tree._arena
+    words = arena.words
+    entries = arena.entries
+    values = arena.values
+    k = arena.k
+    tiebreak = itertools.count()
+    if z_key is None:
+        z_key = lambda _key: 0  # noqa: E731 - ties fall to the counter
+    lower = tuple(words[root + 2 : root + 2 + k])
+    free = (1 << ((words[root] & 63) + 1)) - 1
+    heap: list = [
+        (
+            region_distance(lower, tuple(p | free for p in lower)),
+            z_key(lower),
+            next(tiebreak),
+            (root << 1) | 1,
+        )
+    ]
+    c_regions = 0
+    c_pushes = 1  # the root seed
+    c_high = 1
+    c_entries = 0
+    produced = 0
+    push = heapq.heappush
+    try:
+        while heap:
+            dist, _, _, ref = heapq.heappop(heap)
+            if ref & 1:
+                off = ref >> 1
+                c_regions += 1
+                h = words[off]
+                base = off + 2 + k
+                if h & 4096:
+                    refs = words[base : base + (1 << k)]
+                else:
+                    c = words[off + 1]
+                    nslots = (c & 2097151) + ((c >> 21) & 2097151)
+                    rbase = base + (1 << ((h >> 13) & 63))
+                    refs = words[rbase : rbase + nslots]
+                for cref in refs:
+                    if not cref:
+                        continue
+                    if cref & 1:
+                        child = cref >> 1
+                        lower = tuple(words[child + 2 : child + 2 + k])
+                        cfree = (1 << ((words[child] & 63) + 1)) - 1
+                        push(
+                            heap,
+                            (
+                                region_distance(
+                                    lower,
+                                    tuple(p | cfree for p in lower),
+                                ),
+                                z_key(lower),
+                                next(tiebreak),
+                                cref,
+                            ),
+                        )
+                    else:
+                        e = cref >> 1
+                        key = tuple(entries[e : e + k])
+                        push(
+                            heap,
+                            (
+                                point_distance(key),
+                                z_key(key),
+                                next(tiebreak),
+                                cref,
+                            ),
+                        )
+                    c_pushes += 1
+                if len(heap) > c_high:
+                    c_high = len(heap)
+            else:
+                e = ref >> 1
+                produced += 1
+                c_entries += 1
+                vref = entries[e + k]
+                yield dist, tuple(entries[e : e + k]), (
+                    values[vref - 1] if vref else None
+                )
+                if produced >= n:
+                    return
+    finally:
+        if obs:
+            _probes.record_knn(c_regions, c_pushes, c_high, c_entries)

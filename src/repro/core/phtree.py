@@ -22,6 +22,7 @@ Floating point data goes through :class:`repro.core.phtree_float.PHTreeF`.
 
 from __future__ import annotations
 
+import os
 from typing import (
     Any,
     Iterator,
@@ -68,6 +69,14 @@ class PHTree:
         to the generic loop-based engines (the pre-specialization paths,
         kept as ablation baseline and correctness oracle).  Results are
         bit-identical either way.
+    layout:
+        Storage engine: ``"object"`` (this class -- one Python object
+        per node/entry) or ``"arena"`` (packed slab records addressed by
+        offsets, see :mod:`repro.core.arena`; requires ``width <= 64``).
+        ``None`` (default) reads ``REPRO_PHTREE_LAYOUT`` from the
+        environment, falling back to ``"object"``.  Both engines produce
+        identical results and tree shapes; the fuzzer runs them in
+        lockstep.
 
     Examples
     --------
@@ -93,6 +102,45 @@ class PHTree:
         "_uniform",
     )
 
+    def __new__(cls, *args: Any, **kwargs: Any) -> "PHTree":
+        # Engine dispatch: PHTree(..., layout="arena") constructs the
+        # slab-backed subclass (CPython then runs *its* __init__ with
+        # the same arguments).  Subclasses construct directly.
+        if cls is PHTree:
+            layout = kwargs.get("layout")
+            if layout is None and len(args) >= 6:
+                layout = args[5]
+            if layout is None:
+                layout = os.environ.get("REPRO_PHTREE_LAYOUT", "object")
+                if layout == "arena":
+                    # The env var expresses a session-wide preference,
+                    # not a hard requirement: trees the arena cannot
+                    # hold (coordinates wider than one 64-bit slab
+                    # word) silently keep the object engine.  An
+                    # *explicit* layout="arena" still raises for them.
+                    width = kwargs.get("width", args[1] if len(args) >= 2 else 64)
+                    try:
+                        wmax = (
+                            width
+                            if isinstance(width, int)
+                            else max(width, default=0)
+                        )
+                    except TypeError:
+                        # Malformed widths fall through to __init__'s
+                        # own validation on the object class.
+                        wmax = 65
+                    if wmax > 64:
+                        layout = "object"
+            if layout == "arena":
+                from repro.core.arena_tree import ArenaPHTree
+
+                return super().__new__(ArenaPHTree)
+            if layout != "object":
+                raise ValueError(
+                    f"layout must be 'object' or 'arena', got {layout!r}"
+                )
+        return super().__new__(cls)
+
     def __init__(
         self,
         dims: int,
@@ -100,7 +148,12 @@ class PHTree:
         hc_mode: str = "auto",
         hc_hysteresis: float = 0.0,
         specialize: bool = True,
+        layout: Optional[str] = None,
     ) -> None:
+        if layout not in (None, "object", "arena"):
+            raise ValueError(
+                f"layout must be 'object' or 'arena', got {layout!r}"
+            )
         if dims < 1:
             raise ValueError(f"dims must be >= 1, got {dims}")
         # Paper Outlook item 5: allow a different bit-width per dimension.
@@ -158,6 +211,11 @@ class PHTree:
     def widths(self) -> Tuple[int, ...]:
         """Per-dimension bit widths (paper Outlook item 5)."""
         return self._widths
+
+    @property
+    def layout(self) -> str:
+        """The storage engine: ``"object"`` or ``"arena"``."""
+        return "object"
 
     @property
     def root(self) -> Optional[Node]:

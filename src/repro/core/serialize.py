@@ -127,8 +127,14 @@ def deserialize_tree(
         raise ValueError(
             f"trailing bits in node stream: read {consumed} of {bit_length}"
         )
-    tree._root = root
-    tree._size = size
+    if tree.layout == "arena":
+        # The arena engine re-records the decoded graph into its slabs
+        # (representation flags preserved, so re-serialisation stays
+        # byte-identical).
+        tree._adopt_root(root, size)
+    else:
+        tree._root = root
+        tree._size = size
     return tree
 
 

@@ -99,10 +99,10 @@ def _addr_expr(k: int, post: str, v: str = "v") -> str:
 
 def _mismatch_expr(k: int, shift: str, v: str = "v", p: str = "p") -> str:
     """Non-zero iff the key leaves the prefix above ``shift`` (the OR of
-    per-dimension XOR-shifts; its bit_length encodes the conflict)."""
-    return " | ".join(
-        f"(({v}{d} ^ {p}{d}) >> {shift})" for d in range(k)
-    )
+    per-dimension XORs, shifted once; its bit_length encodes the
+    conflict)."""
+    xors = " | ".join(f"({v}{d} ^ {p}{d})" for d in range(k))
+    return f"((({xors})) >> {shift})"
 
 
 def _morton_expr(k: int, width: int, v: str = "v") -> str:
@@ -379,6 +379,184 @@ def put(tree, key, value):
         node.put_slot(a, mid, dims, hc_mode, hyst)
         tree._size += 1
         return None
+"""
+
+
+def _emit_arena_find(k: int) -> str:
+    """Unrolled point descent over the arena slab layout (see
+    :mod:`repro.core.arena` for the header/record format; the numeric
+    literals below are the header field extractions).  Blind PATRICIA
+    descent: no infix checks on the way down, the full-key comparison
+    at the reached entry settles membership.  Returns the entry record
+    offset, or -1."""
+    entry_test = " and ".join(
+        f"entries[eoff + {d}] == v{d}" if d else "entries[eoff] == v0"
+        for d in range(k)
+    )
+    return f"""\
+def arena_find(tree, key):
+    {_unpack('v', 'key', k)}
+    arena = tree._arena
+    words = arena.words
+    off = tree._root_off
+    if not off:
+        return -1
+    h = words[off]
+    while True:
+        post = h & 63
+        a = {_addr_expr(k, 'post')}
+        if h >= 16384:
+            # LHC with cap >= 4 (upper levels, visited on every walk):
+            # HC headers carry cap_log 0, so they always test below.
+            base = off + {2 + k}
+            cap = 1 << ((h >> 13) & 63)
+            end = base + cap
+            if words[end - 1] == cap - 1:
+                # Address-complete table: ``cap`` sorted distinct
+                # addresses ending in ``cap - 1`` are exactly 0..cap-1,
+                # so the address row is the identity -- index directly.
+                if a < cap:
+                    ref = words[end + a]
+                else:
+                    return -1
+            else:
+                pos = bisect_left(words, a, base, end)
+                if pos < end and words[pos] == a:
+                    ref = words[pos + cap]
+                else:
+                    return -1
+        elif h & 4096:
+            ref = words[off + {2 + k} + a]
+        else:
+            # cap_log == 1: the two-slot table every split starts with.
+            base = off + {2 + k}
+            if words[base] == a:
+                ref = words[base + 2]
+            elif words[base + 1] == a:
+                ref = words[base + 3]
+            else:
+                return -1
+        if not ref:
+            return -1
+        if ref & 1:
+            off = ref >> 1
+            h = words[off]
+            continue
+        eoff = ref >> 1
+        entries = arena.entries
+        if {entry_test}:
+            return eoff
+        return -1
+"""
+
+
+def _emit_arena_put(k: int, width: int) -> str:
+    """Unrolled write descent over the arena slab layout.  The descent
+    is *blind* (PATRICIA-style, like ``arena_find``): per-level infix
+    checks are skipped and a single full comparison at the bottom -- the
+    reached entry's key, or the reached node's prefix when the slot is
+    empty -- recovers the highest conflicting bit.  A conflict below the
+    reached node splits right there; a conflict above it hands off to
+    ``tree._put_above`` for a short second pass.  Structural mutations
+    delegate to the shared slab helpers (``_put_new_entry`` / ``_split``
+    / ``_replace_value``), which reallocate blocks and patch the parent
+    ref word at ``pidx``."""
+    prefix_loads = "\n".join(
+        f"    p{d} = words[off + {2 + d}]" for d in range(k)
+    )
+    prefix_diff = " | ".join(f"(v{d} ^ p{d})" for d in range(k))
+    entry_loads = "\n".join(
+        f"        e{d} = entries[eoff + {d}]"
+        if d
+        else "        e0 = entries[eoff]"
+        for d in range(k)
+    )
+    entry_diff = " | ".join(f"(v{d} ^ e{d})" for d in range(k))
+    return f"""\
+def arena_put(tree, key, value):
+    {_unpack('v', 'key', k)}
+    off = tree._root_off
+    if not off:
+        return tree._put_root(key, value)
+    arena = tree._arena
+    words = arena.words
+    pidx = -1
+    h = words[off]
+    while True:
+        post = h & 63
+        a = {_addr_expr(k, 'post')}
+        if h >= 16384:
+            # LHC with cap >= 4 (upper levels, visited on every walk):
+            # HC headers carry cap_log 0, so they always test below.
+            base = off + {2 + k}
+            cap = 1 << ((h >> 13) & 63)
+            end = base + cap
+            if words[end - 1] == cap - 1:
+                # Address-complete table: the address row is the
+                # identity (see ``arena_find``) -- index directly.  A
+                # miss (a >= cap) inserts after every present address.
+                if a < cap:
+                    idx = end + a
+                    ref = words[idx]
+                else:
+                    pos = end
+                    break
+            else:
+                pos = bisect_left(words, a, base, end)
+                if pos < end and words[pos] == a:
+                    idx = pos + cap
+                    ref = words[idx]
+                else:
+                    break
+        elif h & 4096:
+            idx = off + {2 + k} + a
+            ref = words[idx]
+            if not ref:
+                pos = idx
+                break
+        else:
+            # cap_log == 1: the two-slot table every split starts with.
+            base = off + {2 + k}
+            b0 = words[base]
+            if b0 == a:
+                idx = base + 2
+                ref = words[idx]
+            else:
+                b1 = words[base + 1]
+                if b1 == a:
+                    idx = base + 3
+                    ref = words[idx]
+                else:
+                    pos = base if b0 > a else (base + 1 if b1 > a else base + 2)
+                    break
+        if ref & 1:
+            off = ref >> 1
+            pidx = idx
+            h = words[off]
+            continue
+        eoff = ref >> 1
+        entries = arena.entries
+{entry_loads}
+        diff = {entry_diff}
+        if not diff:
+            return tree._replace_value(eoff, value)
+        conflict = diff.bit_length() - 1
+        if conflict < post:
+            return tree._split_entry(
+                off, pidx, idx, h, ref,
+                {_addr_expr(k, 'conflict', 'e')},
+                {_addr_expr(k, 'conflict')},
+                key, value, conflict,
+            )
+        return tree._put_above(key, value, conflict)
+    # Empty slot: settle the skipped infix checks against this node's
+    # prefix (it encodes the whole path above ``post``).
+    shift = post + 1
+{prefix_loads}
+    diff = ({prefix_diff}) >> shift
+    if not diff:
+        return tree._put_new_entry(off, pidx, h, pos, a, key, value)
+    return tree._put_above(key, value, diff.bit_length() - 1 + shift)
 """
 
 
@@ -707,6 +885,8 @@ class Specialization:
         "zkey",
         "find_entry",
         "put",
+        "arena_find",
+        "arena_put",
         "range_scan_plain",
         "range_scan_instrumented",
         "get_many_plain",
@@ -724,6 +904,8 @@ class Specialization:
                 _emit_point_helpers(k, width),
                 _emit_find_entry(k),
                 _emit_put(k, width),
+                _emit_arena_find(k),
+                _emit_arena_put(k, width),
                 _emit_range_scan(k, instr=False),
                 _emit_range_scan(k, instr=True),
                 _emit_get_many(k, instr=False),
@@ -750,6 +932,8 @@ class Specialization:
         self.zkey = namespace["zkey"]
         self.find_entry = namespace["find_entry"]
         self.put = namespace["put"]
+        self.arena_find = namespace["arena_find"]
+        self.arena_put = namespace["arena_put"]
         self.range_scan_plain = namespace["range_scan_plain"]
         self.range_scan_instrumented = namespace["range_scan_instrumented"]
         self.get_many_plain = namespace["get_many_plain"]

@@ -2,6 +2,12 @@
 
 Builds the paper's space comparison: load a dataset into each structure and
 report the modelled heap bytes divided by the entry count.
+
+:func:`arena_space_report` extends the comparison to the two mutable
+PH-tree engines themselves: the object engine's real CPython footprint
+against the arena engine's slabs (capacity and live bytes), with the
+paper's bit-stream layout (Section 3.4, the Table 3 space model) as the
+packed reference floor.
 """
 
 from __future__ import annotations
@@ -11,7 +17,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.memory.model import JvmMemoryModel
 
-__all__ = ["SpaceReport", "bytes_per_entry", "space_report"]
+__all__ = [
+    "SpaceReport",
+    "arena_space_report",
+    "bytes_per_entry",
+    "space_report",
+]
 
 Point = Tuple[float, ...]
 
@@ -49,6 +60,58 @@ class SpaceReport:
         for name, bpe in self.per_structure.items():
             lines.append(f"{name:>10s} {bpe:>12.1f}")
         return "\n".join(lines)
+
+
+def arena_space_report(
+    entries: Sequence[Tuple[Tuple[int, ...], object]],
+    dims: int,
+    width: int = 64,
+) -> Dict[str, float]:
+    """Mutable-engine space comparison over one entry set.
+
+    Loads ``entries`` into both mutable layouts and reports real
+    bytes-per-entry figures:
+
+    - ``object_deep``: the object engine's deduplicated deep
+      ``sys.getsizeof`` footprint (boxed nodes, tuples, containers),
+    - ``arena_capacity``: raw slab capacity the arena engine holds
+      (including growth slack and free-listed blocks),
+    - ``arena_live``: bytes inside live arena records only,
+    - ``packed_reference``: the paper's per-node bit-stream layout
+      (Section 3.4 / the Table 3 space model) -- the packed floor the
+      arena approaches from above,
+    - ``reduction_vs_object``: object_deep / arena_capacity.
+    """
+    from repro.core.phtree import PHTree
+    from repro.core.stats import collect_stats
+    from repro.memory.pysize import deep_sizeof
+
+    obj_tree = PHTree(dims=dims, width=width, layout="object")
+    arena_tree = PHTree(dims=dims, width=width, layout="arena")
+    for key, value in entries:
+        obj_tree.put(key, value)
+        arena_tree.put(key, value)
+    n = len(obj_tree)
+    if n == 0:
+        return {name: 0.0 for name in (
+            "n_entries", "object_deep", "arena_capacity", "arena_live",
+            "packed_reference", "reduction_vs_object",
+        )}
+    object_deep = deep_sizeof(obj_tree)
+    slabs = arena_tree.space_stats()
+    packed = collect_stats(obj_tree).serialized_bytes_per_entry
+    return {
+        "n_entries": float(n),
+        "object_deep": object_deep / n,
+        "arena_capacity": slabs["capacity_bytes"] / n,
+        "arena_live": slabs["live_bytes"] / n,
+        "packed_reference": packed,
+        "reduction_vs_object": (
+            object_deep / slabs["capacity_bytes"]
+            if slabs["capacity_bytes"]
+            else 0.0
+        ),
+    }
 
 
 def space_report(

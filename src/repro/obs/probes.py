@@ -213,6 +213,11 @@ snapshot_bytes = registry.gauge(
     "repro_snapshot_bytes",
     "Bytes currently published across all shard snapshots.",
 )
+freeze_arena_fast = registry.counter(
+    "repro_freeze_arena_fast_total",
+    "freeze() calls that serialised straight from arena slabs (no "
+    "per-node object materialisation).",
+)
 fanout_tasks = registry.counter(
     "repro_fanout_tasks_total",
     "Per-shard tasks submitted to the snapshot process pool.",

@@ -11,6 +11,7 @@ from repro import PHTree
 from repro.check import FuzzConfig, FuzzFailure, replay, run_fuzz
 from repro.check.fuzz import generate_ops
 from repro.check.model import ReferenceModel
+from repro.core.arena_tree import ArenaPHTree
 
 
 # ---------------------------------------------------------------------------
@@ -138,15 +139,18 @@ def test_replay_runs_explicit_ops():
 
 
 def test_fuzz_catches_planted_bug(monkeypatch):
-    original = PHTree.contains
+    # Sabotage both storage engines (ArenaPHTree overrides contains, so
+    # patching the base class alone would leave arena trees honest).
+    for cls in (PHTree, ArenaPHTree):
+        original = cls.__dict__["contains"]
 
-    def lying_contains(self, key):
-        result = original(self, key)
-        if result and sum(key) % 7 == 0:
-            return False  # lie occasionally
-        return result
+        def lying_contains(self, key, _original=original):
+            result = _original(self, key)
+            if result and sum(key) % 7 == 0:
+                return False  # lie occasionally
+            return result
 
-    monkeypatch.setattr(PHTree, "contains", lying_contains)
+        monkeypatch.setattr(cls, "contains", lying_contains)
     with pytest.raises(FuzzFailure) as excinfo:
         run_fuzz(FuzzConfig(dims=2, width=8, ops=2000, seed=3, shards=2))
     failure = excinfo.value
@@ -157,14 +161,19 @@ def test_fuzz_catches_planted_bug(monkeypatch):
 
 
 def test_fuzz_catches_dropped_write(monkeypatch):
-    original = PHTree.put
+    for cls in (PHTree, ArenaPHTree):
+        original = cls.__dict__["put"]
 
-    def flaky_put(self, key, value=None):
-        if isinstance(key, tuple) and sum(key) % 13 == 0 and len(self) > 5:
-            return None  # silently drop the write
-        return original(self, key, value)
+        def flaky_put(self, key, value=None, _original=original):
+            if (
+                isinstance(key, tuple)
+                and sum(key) % 13 == 0
+                and len(self) > 5
+            ):
+                return None  # silently drop the write
+            return _original(self, key, value)
 
-    monkeypatch.setattr(PHTree, "put", flaky_put)
+        monkeypatch.setattr(cls, "put", flaky_put)
     with pytest.raises(FuzzFailure):
         run_fuzz(
             FuzzConfig(

@@ -16,9 +16,9 @@ from repro.core.serialize import U64ValueCodec
 from repro.parallel import ShardedPHTree
 
 
-def _filled(dims=3, width=16, n=300, seed=7, value=None):
+def _filled(dims=3, width=16, n=300, seed=7, value=None, layout=None):
     rng = random.Random(seed)
-    tree = PHTree(dims=dims, width=width)
+    tree = PHTree(dims=dims, width=width, layout=layout)
     for i in range(n):
         key = tuple(rng.randrange(1 << width) for _ in range(dims))
         tree.put(key, i if value is None else value)
@@ -47,7 +47,7 @@ def test_accepts_small_tree_fixture(small_tree):
     tree, reference = small_tree
     report = validate_tree(tree)
     assert report.entries == len(reference)
-    assert report.engine == "PHTree"
+    assert report.engine in ("PHTree", "ArenaPHTree")
 
 
 def test_accepts_float_facade(small_float_tree):
@@ -128,7 +128,11 @@ def test_accepts_frozen_u64_codec():
 def test_accepts_synchronized_tree():
     tree = SynchronizedPHTree(_filled())
     report = validate_tree(tree)
-    assert report.engine == "Synchronized[PHTree]"
+    # The inner engine name depends on the layout in use.
+    assert report.engine in (
+        "Synchronized[PHTree]",
+        "Synchronized[ArenaPHTree]",
+    )
 
 
 def test_accepts_sharded_tree():
@@ -187,7 +191,10 @@ def test_rejects_corrupt_size():
 
 
 def test_rejects_corrupt_prefix():
-    tree = _filled()
+    # Corrupting live Node objects needs the object engine (the arena
+    # engine only hands out disposable shadows); the arena twins below
+    # corrupt the slabs instead.
+    tree = _filled(layout="object")
     parent, child = _first_internal(tree)
     assert child is not None
     child.prefix = tuple(p ^ 1 for p in child.prefix)
@@ -196,7 +203,7 @@ def test_rejects_corrupt_prefix():
 
 
 def test_rejects_single_child_non_root():
-    tree = _filled(n=500, seed=23)
+    tree = _filled(n=500, seed=23, layout="object")
     parent, child = _first_internal(tree)
     assert child is not None
     # Strip the child down to one slot behind the tree's back.
@@ -209,7 +216,7 @@ def test_rejects_single_child_non_root():
 
 
 def test_rejects_wrong_post_len():
-    tree = _filled()
+    tree = _filled(layout="object")
     parent, child = _first_internal(tree)
     assert child is not None
     child.post_len = parent.post_len  # must be strictly smaller
@@ -237,3 +244,68 @@ def test_violation_carries_path():
         assert isinstance(violation.path, tuple)
     else:  # pragma: no cover
         pytest.fail("expected InvariantViolation")
+
+
+# ---------------------------------------------------------------------------
+# Arena-native rejection: corruption planted straight into the slabs.
+# ---------------------------------------------------------------------------
+
+
+def test_arena_accepts_clean_tree():
+    report = validate_tree(_filled(layout="arena"))
+    assert report.engine == "ArenaPHTree"
+    assert report.entries == 300
+
+
+def test_arena_rejects_corrupt_header_counts():
+    tree = _filled(layout="arena")
+    # Inflate the root counts word's n_post field (bits 21..41).
+    tree._arena.words[tree._root_off + 1] += 1 << 21
+    with pytest.raises(InvariantViolation):
+        validate_tree(tree, frozen_roundtrip=False)
+
+
+def test_arena_rejects_corrupt_prefix():
+    tree = _filled(layout="arena")
+    arena = tree._arena
+    # Set a dirty bit below post_len + 1 in some non-root node's prefix.
+    for off in arena.iter_nodes(tree._root_off):
+        if off != tree._root_off:
+            arena.words[off + 2] ^= 1
+            break
+    with pytest.raises(InvariantViolation):
+        validate_tree(tree, frozen_roundtrip=False)
+
+
+def test_arena_rejects_reachable_freed_block():
+    tree = _filled(layout="arena")
+    arena = tree._arena
+    # Recycle a still-reachable node block behind the tree's back.
+    victim = next(
+        off
+        for off in arena.iter_nodes(tree._root_off)
+        if off != tree._root_off
+    )
+    arena.free_block(victim, arena.block_len(victim))
+    with pytest.raises(InvariantViolation):
+        validate_tree(tree, frozen_roundtrip=False)
+
+
+def test_arena_rejects_lost_free_list_marker():
+    tree = _filled(layout="arena")
+    arena = tree._arena
+    # Deletes create free blocks; smash one list head's marker word.
+    for key, _ in list(tree.items())[:150]:
+        tree.remove(key)
+    heads = [head for head in arena.node_free.values() if head]
+    assert heads, "delete churn should have freed node blocks"
+    arena.words[heads[0]] ^= 1
+    with pytest.raises(InvariantViolation):
+        validate_tree(tree, frozen_roundtrip=False)
+
+
+def test_arena_rejects_accounting_drift():
+    tree = _filled(layout="arena")
+    tree._arena.live_entries += 1
+    with pytest.raises(InvariantViolation):
+        validate_tree(tree, frozen_roundtrip=False)

@@ -140,7 +140,7 @@ class TestPaperWorstCases:
         stats = collect_stats(tree)
         # Root plus one dense sub-node holding all four entries.
         assert stats.n_nodes == 2
-        sub = [n for n in tree.nodes() if n is not tree.root][0]
+        sub = [n for n in tree.nodes() if n.post_len == 0][0]
         assert sub.num_slots() == 4
         assert sub.post_len == 0
         assert sub.container.is_hc
@@ -151,16 +151,21 @@ class TestUpdateLocality:
     modified.'"""
 
     def _snapshot(self, tree):
-        # infix_len is deliberately excluded: it is path metadata fully
-        # derived from the parent/child post_len difference (a splice
-        # above a node shortens its infix without touching its content).
+        # Nodes are keyed by (post_len, prefix) -- the logical identity
+        # of a PH-tree node position, stable across both storage engines
+        # (the arena engine rebuilds shadow objects per access, so
+        # ``id()`` is not usable).  infix_len is deliberately excluded:
+        # it is path metadata fully derived from the parent/child
+        # post_len difference (a splice above a node shortens its infix
+        # without touching its content).
+        def slot_id(slot):
+            if isinstance(slot, Node):
+                return ("n", slot.post_len, slot.prefix)
+            return ("e", slot.key)
+
         return {
-            id(node): (
-                node.post_len,
-                node.prefix,
-                tuple(
-                    (a, id(s)) for a, s in node.items()
-                ),
+            (node.post_len, node.prefix): tuple(
+                (a, slot_id(s)) for a, s in node.items()
             )
             for node in tree.nodes()
         }

@@ -61,19 +61,31 @@ class TestRealMemoryOrderings:
             ph_index.put(p)
         frozen = FrozenPHTree(freeze(ph_index.tree.int_tree))
         frozen_size = frozen.memory_bytes()
+        # The arena-backed mutable engine is itself flat-packed, so the
+        # 5x crush only applies against the pointer-based structures;
+        # frozen must still be the smallest of all of them.
+        mutable_is_packed = ph_index.tree.int_tree.layout == "arena"
         for name, size in sizes.items():
-            assert frozen_size < size / 5, (name, size, frozen_size)
+            if name == "PH" and mutable_is_packed:
+                assert frozen_size < size, (name, size, frozen_size)
+            else:
+                assert frozen_size < size / 5, (name, size, frozen_size)
 
     def test_mutable_engine_tradeoff_documented(self):
-        """The mutable PH engine is *not* the smallest structure in raw
-        CPython terms -- pin that down so the trade-off stays visible."""
+        """The object-node PH engine is *not* the smallest structure in
+        raw CPython terms -- pin that down so the trade-off stays
+        visible.  The arena engine removes the trade-off: its slabs
+        undercut the pointer-based kD-tree."""
         points = generate_cube(1000, 3, seed=1)
         ph = make_index("PH", dims=3)
         kd = make_index("KD1", dims=3)
         for p in points:
             ph.put(p)
             kd.put(p)
-        assert index_sizeof(ph) > index_sizeof(kd)
+        if ph.tree.int_tree.layout == "arena":
+            assert index_sizeof(ph) < index_sizeof(kd)
+        else:
+            assert index_sizeof(ph) > index_sizeof(kd)
 
     def test_real_memory_grows_with_n(self):
         index = make_index("PH", dims=2)

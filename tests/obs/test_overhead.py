@@ -34,7 +34,10 @@ DOMAIN = (1 << WIDTH) - 1
 @pytest.fixture(scope="module")
 def workload():
     rng = random.Random(61)
-    tree = PHTree(dims=DIMS, width=WIDTH)
+    # These pins time the object engine's per-call twin dispatch against
+    # its own plain kernels, so the layout is fixed regardless of the
+    # session default.
+    tree = PHTree(dims=DIMS, width=WIDTH, layout="object")
     keys = list(
         {
             tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))

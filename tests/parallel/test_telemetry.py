@@ -123,6 +123,48 @@ class TestSnapshotPoolTelemetry:
                 assert counts.get((shard, "knn"), 0) >= 1
 
 
+class TestArenaRepublishFastPath:
+    def test_arena_shards_freeze_straight_from_slabs(
+        self, obs_enabled, monkeypatch
+    ):
+        """With arena-backed shards, every snapshot (re)publication
+        must take freeze()'s slab fast path (no per-node object
+        materialisation) -- the probe counts one tick per publish."""
+        monkeypatch.setenv("REPRO_PHTREE_LAYOUT", "arena")
+        keys = _keys(120, seed=91)
+        with ShardedPHTree(
+            dims=DIMS, width=WIDTH, shards=4, workers=1
+        ) as tree:
+            for key in keys:
+                tree.put(key, None)
+            assert tree._shards[0].unsafe_tree.layout == "arena"
+            assert probes.freeze_arena_fast.value == 0
+            # First fan-out publishes all four shard snapshots.
+            results = tree.query((0, 0), (DOMAIN, DOMAIN))
+            assert len(results) == len(keys)
+            assert probes.freeze_arena_fast.value == 4
+            # One write dirties one shard; its republish is again a
+            # slab walk.
+            tree.put(keys[0], None)
+            assert tree.refresh_snapshots() == 1
+            assert probes.freeze_arena_fast.value == 5
+
+    def test_object_shards_never_tick_the_fast_path(self, obs_enabled):
+        keys = _keys(60, seed=92)
+        with ShardedPHTree.build(
+            [(key, None) for key in keys],
+            dims=DIMS,
+            width=WIDTH,
+            shards=2,
+            workers=1,
+        ) as tree:
+            if tree._shards[0].unsafe_tree.layout != "object":
+                pytest.skip("suite running with arena as session layout")
+            tree.query((0, 0), (DOMAIN, DOMAIN))
+            assert probes.snapshot_republish.value == 2
+            assert probes.freeze_arena_fast.value == 0
+
+
 class TestDiscardErrors:
     def test_unlink_failure_logs_counts_and_continues(
         self, obs_enabled, caplog

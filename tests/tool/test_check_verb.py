@@ -69,17 +69,21 @@ def test_check_fuzz_smoke(capsys):
 
 
 def test_check_fuzz_failure_prints_repro(capsys, monkeypatch):
+    from repro.core.arena_tree import ArenaPHTree
     from repro.core.phtree import PHTree
 
-    original = PHTree.contains
+    # Plant the lie in both storage engines (each defines its own
+    # contains, so the layout in use always hits a patched method).
+    for cls in (PHTree, ArenaPHTree):
+        original = cls.__dict__["contains"]
 
-    def lying_contains(self, key):
-        result = original(self, key)
-        if result and sum(key) % 5 == 0:
-            return False
-        return result
+        def lying_contains(self, key, _original=original):
+            result = _original(self, key)
+            if result and sum(key) % 5 == 0:
+                return False
+            return result
 
-    monkeypatch.setattr(PHTree, "contains", lying_contains)
+        monkeypatch.setattr(cls, "contains", lying_contains)
     rc = main(
         ["check", "--fuzz", "--ops", "1500", "--dims", "2", "--width", "8"]
     )
