@@ -1,0 +1,130 @@
+"""Micro-benchmark -- slab word reads: ``array('Q')`` vs ``memoryview``
+vs hoisted ``list`` vs ``Struct.unpack_from``.
+
+Documents the boxed-PyLong cost the arena read kernels are built
+around: every subscript of an ``array('Q')`` (or of an unsigned 64-bit
+``memoryview`` over it) materialises a fresh PyLong, so k subscripts
+per node visit pay k allocations.  A one-shot ``tolist`` slice boxes
+the same words once in a single C loop and every later read is a
+plain-list pointer fetch; ``Struct("=kQ").unpack_from`` builds a whole
+key tuple in one C call.  The plan cache in ``core/specialize.py``
+(DESIGN.md section 11.5) exists precisely because of the ratios pinned
+here, and ``bisect_left`` over a hoisted list vs over the raw array is
+why cached LHC plans carry plain lists.
+
+Run directly (``python benchmarks/bench_micro_slab_reads.py``) for the
+nanosecond table, or under pytest for the ordering assertions (loose
+floors only -- CI runners are noisy).
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from bisect import bisect_left
+from struct import Struct
+
+N_WORDS = 4096
+K = 4
+REPS = 200
+
+
+def _best(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure():
+    words = array("Q", range(N_WORDS))
+    view = memoryview(words)
+    hoisted = words.tolist()
+    unpack = Struct(f"={K}Q").unpack_from
+    idx = list(range(0, N_WORDS - K, K))
+    n_groups = len(idx)
+
+    def read_array():
+        acc = 0
+        for i in idx:
+            acc += words[i] + words[i + 1] + words[i + 2] + words[i + 3]
+        return acc
+
+    def read_view():
+        acc = 0
+        for i in idx:
+            acc += view[i] + view[i + 1] + view[i + 2] + view[i + 3]
+        return acc
+
+    def read_list():
+        acc = 0
+        for i in idx:
+            acc += (
+                hoisted[i] + hoisted[i + 1] + hoisted[i + 2] + hoisted[i + 3]
+            )
+        return acc
+
+    def read_struct():
+        acc = 0
+        for i in idx:
+            a, b, c, d = unpack(words, i << 3)
+            acc += a + b + c + d
+        return acc
+
+    def hoist_tolist():
+        for i in idx:
+            words[i : i + K].tolist()
+
+    probes = idx[: n_groups // 2]
+
+    def bisect_array():
+        for a in probes:
+            bisect_left(words, a, 0, N_WORDS)
+
+    def bisect_list():
+        for a in probes:
+            bisect_left(hoisted, a, 0, N_WORDS)
+
+    assert read_array() == read_view() == read_list() == read_struct()
+    per_group = {
+        "array('Q') subscripts x4": _best(read_array) / n_groups,
+        "memoryview subscripts x4": _best(read_view) / n_groups,
+        "hoisted-list subscripts x4": _best(read_list) / n_groups,
+        f"Struct(={K}Q).unpack_from": _best(read_struct) / n_groups,
+        "slice+tolist (the hoist itself)": _best(hoist_tolist) / n_groups,
+    }
+    per_probe = {
+        "bisect_left over array('Q')": _best(bisect_array) / len(probes),
+        "bisect_left over list": _best(bisect_list) / len(probes),
+    }
+    return per_group, per_probe
+
+
+def test_boxed_pylong_cost():
+    per_group, per_probe = measure()
+    arr = per_group["array('Q') subscripts x4"]
+    lst = per_group["hoisted-list subscripts x4"]
+    struct_read = per_group[f"Struct(={K}Q).unpack_from"]
+    # The hoisted list must clearly beat per-read boxing (measured
+    # ~1.8x here; 1.2x floor for noisy runners) and one Struct call
+    # must not lose to 4 boxed subscripts.
+    assert lst * 1.2 < arr, (lst, arr)
+    assert struct_read < arr * 1.1, (struct_read, arr)
+    # A C bisect over the hoisted list must beat the same search over
+    # the boxing array -- the reason cached plans carry plain lists.
+    assert (
+        per_probe["bisect_left over list"]
+        < per_probe["bisect_left over array('Q')"]
+    ), per_probe
+    # The hoist pays for itself after a handful of revisits.
+    hoist = per_group["slice+tolist (the hoist itself)"]
+    assert hoist < arr * 8, (hoist, arr)
+
+
+if __name__ == "__main__":
+    per_group, per_probe = measure()
+    print(f"{N_WORDS} words, best of {REPS} reps")
+    for label, seconds in {**per_group, **per_probe}.items():
+        print(f"  {label:34s} {seconds * 1e9:7.1f} ns")

@@ -278,14 +278,19 @@ def run_trajectory(
 
     # -- insert: specialized kernels vs the generic engines --------------
     def build() -> PHTree:
-        tree = PHTree(dims=DIMS, width=WIDTH)
+        # The object engine is the comparison baseline for every
+        # speedup_arena_* record; pin it now that "arena" is the
+        # session default layout.
+        tree = PHTree(dims=DIMS, width=WIDTH, layout="object")
         put = tree.put
         for key, value in zip(keys, values):
             put(key, value)
         return tree
 
     def build_generic() -> PHTree:
-        tree = PHTree(dims=DIMS, width=WIDTH, specialize=False)
+        tree = PHTree(
+            dims=DIMS, width=WIDTH, specialize=False, layout="object"
+        )
         put = tree.put
         for key, value in zip(keys, values):
             put(key, value)

@@ -2,7 +2,8 @@
 
 One :func:`run_fuzz` call drives a single randomized operation sequence
 (put / get / contains / remove / update_key / query / query_approx /
-get_many / knn / bulk_load) simultaneously against
+get_many / knn / query_many / contains_many / knn_burst / bulk_load)
+simultaneously against
 
 - a generic :class:`~repro.core.phtree.PHTree` (``specialize=False``),
 - a specialized :class:`~repro.core.phtree.PHTree` (the per-(k, width)
@@ -225,6 +226,9 @@ def generate_ops(config: FuzzConfig) -> List[Op]:
         + ["query_approx"] * 4
         + ["get_many"] * 5
         + ["knn"] * 5
+        + ["query_many"] * 4
+        + ["contains_many"] * 3
+        + ["knn_burst"] * 2
         + ["bulk_load"] * 1
     )
     ops: List[Op] = []
@@ -269,6 +273,18 @@ def generate_ops(config: FuzzConfig) -> List[Op]:
             ops.append(("get_many", tuple(batch)))
         elif kind == "knn":
             ops.append(("knn", some_key(0.3), rng.randrange(1, 9)))
+        elif kind == "query_many":
+            boxes = tuple(random_box() for _ in range(rng.randrange(2, 9)))
+            ops.append(("query_many", boxes))
+        elif kind == "contains_many":
+            batch = [some_key(0.5) for _ in range(rng.randrange(2, 17))]
+            ops.append(("contains_many", tuple(batch)))
+        elif kind == "knn_burst":
+            burst = tuple(
+                (some_key(0.3), rng.randrange(1, 9))
+                for _ in range(rng.randrange(2, 6))
+            )
+            ops.append(("knn_burst", burst))
         else:  # bulk_load: rebuild every engine from scratch + a batch
             batch = tuple(
                 (random_key(), value_counter + i)
@@ -354,6 +370,24 @@ def _apply(tree: Any, name: str, op: Op) -> Tuple[str, Any]:
         return _outcome(tree.get_many, list(op[1]))
     if kind == "knn":
         return _outcome(tree.knn, op[1], op[2])
+    if kind == "query_many":
+        status, result = _outcome(tree.query_many, list(op[1]))
+        if status == _OK:
+            result = [list(per_box) for per_box in result]
+        return status, result
+    if kind == "contains_many":
+        contains_many = getattr(tree, "contains_many", None)
+        if contains_many is not None:
+            return _outcome(contains_many, list(op[1]))
+        # ShardedPHTree has no batch membership API; the per-key loop
+        # must agree with the batch kernels on every other engine.
+        return _outcome(
+            lambda keys: [tree.contains(key) for key in keys], list(op[1])
+        )
+    if kind == "knn_burst":
+        return _outcome(
+            lambda burst: [tree.knn(key, n) for key, n in burst], op[1]
+        )
     raise AssertionError(f"unknown op kind for {name}: {kind}")
 
 
@@ -416,6 +450,16 @@ def _run_model_op(model: ReferenceModel, op: Op) -> Tuple[str, Any]:
         return _outcome(model.get_many, list(op[1]))
     if kind == "knn":
         return _outcome(model.knn, op[1], op[2])
+    if kind == "query_many":
+        return _outcome(model.query_many, list(op[1]))
+    if kind == "contains_many":
+        return _outcome(
+            lambda keys: [model.contains(key) for key in keys], list(op[1])
+        )
+    if kind == "knn_burst":
+        return _outcome(
+            lambda burst: [model.knn(key, n) for key, n in burst], op[1]
+        )
     raise AssertionError(f"unknown op kind: {kind}")
 
 

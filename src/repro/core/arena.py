@@ -157,7 +157,9 @@ class NodeArena:
         # Word 0 / record 0 reserved: offset 0 means "null" everywhere.
         self.words = array("Q", (0,))
         self.entries = array("Q", bytes(_WORD * (k + 1)))
-        self.values: List[Any] = []
+        # Slot 0 reserved for None so readers can do ``values[vref]``
+        # unconditionally (vref 0 = "no value").
+        self.values: List[Any] = [None]
         # block length -> head offset of the free list (0 = empty).
         self.node_free: Dict[int, int] = {}
         self.entry_free = 0
@@ -238,12 +240,11 @@ class NodeArena:
         else:
             free = self.value_free
             if free:
-                i = free.pop()
-                self.values[i] = value
+                vref = free.pop()
+                self.values[vref] = value
             else:
-                i = len(self.values)
+                vref = len(self.values)
                 self.values.append(value)
-            vref = i + 1
         entries = self.entries
         off = self.entry_free
         if off:
@@ -274,7 +275,8 @@ class NodeArena:
     # -- values ------------------------------------------------------------
 
     def store_value(self, value: Any) -> int:
-        """Intern ``value``; None is encoded as ref 0 (no pool slot)."""
+        """Intern ``value``; None is encoded as ref 0 (the reserved
+        ``values[0]`` slot, so reads are a bare ``values[vref]``)."""
         if value is None:
             return 0
         free = self.value_free
@@ -284,17 +286,17 @@ class NodeArena:
         else:
             i = len(self.values)
             self.values.append(value)
-        return i + 1
+        return i
 
     def load_value(self, vref: int) -> Any:
-        """Resolve a value ref (0 decodes as None)."""
-        return None if vref == 0 else self.values[vref - 1]
+        """Resolve a value ref (0 decodes as None via the reserved slot)."""
+        return self.values[vref]
 
     def drop_value(self, vref: int) -> None:
         """Release a value pool slot (no-op for the None encoding)."""
         if vref:
-            self.values[vref - 1] = None
-            self.value_free.append(vref - 1)
+            self.values[vref] = None
+            self.value_free.append(vref)
 
     # -- accounting and validation helpers ---------------------------------
 

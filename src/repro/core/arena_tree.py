@@ -50,6 +50,7 @@ from repro.core.hypercube import (
 )
 from repro.core.node import Entry, Node
 from repro.core.phtree import PHTree
+from repro.core.specialize import ARENA_REMOVE_MISS
 from repro.obs import probes as _probes
 from repro.obs import runtime as _rt
 
@@ -67,7 +68,15 @@ class ArenaPHTree(PHTree):
     Coordinates must fit one slab word, so ``width`` is capped at 64.
     """
 
-    __slots__ = ("_arena", "_root_off", "_hc_want", "_split_want")
+    __slots__ = (
+        "_arena",
+        "_root_off",
+        "_hc_want",
+        "_split_want",
+        "_mut_epoch",
+        "_plan_cache",
+        "_plan_epoch",
+    )
 
     def __init__(
         self,
@@ -105,6 +114,15 @@ class ArenaPHTree(PHTree):
         # it on every insert.
         self._hc_want: dict = {}
         self._split_want: dict = {}
+        # Node-plan cache for the specialized read kernels: maps node
+        # offset -> decoded probe/scan plan (see specialize.py).  Any
+        # mutation bumps ``_mut_epoch``; readers clear the cache lazily
+        # when their recorded ``_plan_epoch`` falls behind, so repeated
+        # scans over a quiescent tree skip the per-node header decode
+        # and slot-table hoist entirely.
+        self._mut_epoch = 0
+        self._plan_cache: dict = {}
+        self._plan_epoch = -1
 
     # -- layout / shadow-object surface ------------------------------------
 
@@ -569,12 +587,11 @@ class ArenaPHTree(PHTree):
         else:
             vfree = arena.value_free
             if vfree:
-                vi = vfree.pop()
-                arena.values[vi] = value
+                vref = vfree.pop()
+                arena.values[vref] = value
             else:
-                vi = len(arena.values)
+                vref = len(arena.values)
                 arena.values.append(value)
-            vref = vi + 1
         entries = arena.entries
         eoff = arena.entry_free
         if eoff:
@@ -670,9 +687,9 @@ class ArenaPHTree(PHTree):
         i = e + self._dims
         vref = entries[i]
         if vref:
-            previous = arena.values[vref - 1]
+            previous = arena.values[vref]
             if value is not None:
-                arena.values[vref - 1] = value
+                arena.values[vref] = value
             else:
                 arena.drop_value(vref)
                 entries[i] = 0
@@ -708,12 +725,11 @@ class ArenaPHTree(PHTree):
         else:
             vfree = arena.value_free
             if vfree:
-                vi = vfree.pop()
-                arena.values[vi] = value
+                vref = vfree.pop()
+                arena.values[vref] = value
             else:
-                vi = len(arena.values)
+                vref = len(arena.values)
                 arena.values.append(value)
-            vref = vi + 1
         entries = arena.entries
         eoff = arena.entry_free
         if eoff:
@@ -957,6 +973,7 @@ class ArenaPHTree(PHTree):
             h = ch
 
     def put(self, key: Sequence[int], value: Any = None) -> Any:
+        self._mut_epoch += 1
         spec = self._spec
         if spec is not None and not _rt.enabled:
             checked = spec.check_key(key) if self._uniform else None
@@ -1164,7 +1181,7 @@ class ArenaPHTree(PHTree):
             if e < 0:
                 return default
             vref = arena.entries[e + self._dims]
-            return arena.values[vref - 1] if vref else None
+            return arena.values[vref]
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_get.inc()
@@ -1174,7 +1191,7 @@ class ArenaPHTree(PHTree):
         if e < 0:
             return default
         vref = arena.entries[e + self._dims]
-        return arena.values[vref - 1] if vref else None
+        return arena.values[vref]
 
     def contains(self, key: Sequence[int]) -> bool:
         spec = self._spec
@@ -1192,6 +1209,18 @@ class ArenaPHTree(PHTree):
     # -- remove ------------------------------------------------------------
 
     def remove(self, key: Sequence[int], default: Any = _MISSING) -> Any:
+        self._mut_epoch += 1
+        spec = self._spec
+        if spec is not None and not _rt.enabled:
+            checked = spec.check_key(key) if self._uniform else None
+            if checked is None:
+                checked = self._check_key(key)
+            value = spec.arena_remove(self, checked)
+            if value is not ARENA_REMOVE_MISS:
+                return value
+            if default is _MISSING:
+                raise KeyError(f"key not found: {checked}")
+            return default
         key = self._check_key(key)
         obs = _rt.enabled
         if obs:
@@ -1273,6 +1302,85 @@ class ArenaPHTree(PHTree):
         if default is _MISSING:
             raise KeyError(f"key not found: {key}")
         return default
+
+    def _remove_hit(
+        self,
+        off: int,
+        pidx: int,
+        eoff: int,
+        idx: int,
+        parent_off: int,
+        parent_a: int,
+        parent_pidx: int,
+    ) -> Any:
+        """Finish a delete whose hit the specialized blind-descent
+        kernel already located: release the value and entry record,
+        splice the slot out of ``off`` (in-slab LHC shift / table
+        shrink), and collapse ``off`` if underfull -- all without
+        materialising a single shadow object.  ``idx`` is the absolute
+        ref-word index the kernel's probe landed on, so no second
+        address search happens here; the common exit (node keeps >= 2
+        slots, representation unchanged) is a single straight-line
+        pass with the ``_want_hc`` memo probed inline."""
+        arena = self._arena
+        k = self._dims
+        entries = arena.entries
+        vref = entries[eoff + k]
+        value = arena.values[vref]
+        if vref:
+            arena.values[vref] = None
+            arena.value_free.append(vref)
+        entries[eoff] = arena.entry_free
+        arena.entry_free = eoff
+        arena.live_entries -= 1
+        words = arena.words
+        h = words[off]
+        c = words[off + 1]
+        n_sub = c & 2097151
+        n_post = (c >> 21) & 2097151
+        prev = words[idx]
+        hc = h & 4096
+        if hc:
+            words[idx] = 0
+        else:
+            cap = 1 << ((h >> 13) & 63)
+            pos = idx - cap
+            end = off + 2 + k + n_sub + n_post
+            if pos + 1 != end:
+                words[pos : end - 1] = words[pos + 1 : end]
+                words[pos + cap : end + cap - 1] = words[
+                    pos + cap + 1 : end + cap
+                ]
+            words[end - 1] = arena.sentinel
+        if prev & 1:
+            n_sub -= 1
+        else:
+            n_post -= 1
+        words[off + 1] = n_sub | (n_post << 21)
+        self._size -= 1
+        post = h & 63
+        wkey = (((n_sub << 21) | n_post) << 7) | (post << 1) | (
+            1 if hc else 0
+        )
+        want = self._hc_want.get(wkey)
+        if want is None:
+            want = self._want_hc(n_sub, n_post, post, bool(hc))
+        n = n_sub + n_post
+        if want != bool(hc):
+            new_off = self._maybe_switch_off(off)
+            if new_off != off:
+                self._patch_parent(pidx, new_off)
+                off = new_off
+        elif not hc:
+            cap_log = (h >> 13) & 63
+            if cap_log > 1 and n <= (1 << cap_log) >> 2:
+                new_off = self._resize_lhc(off, h, n, cap_log - 1)
+                self._patch_parent(pidx, new_off)
+                off = new_off
+        if parent_off and n >= 2:
+            return value
+        self._merge_if_underfull_arena(off, parent_off, parent_a, parent_pidx)
+        return value
 
     def _merge_if_underfull_arena(
         self, off: int, parent_off: int, parent_a: int, parent_pidx: int
@@ -1379,6 +1487,12 @@ class ArenaPHTree(PHTree):
     def knn(
         self, key: Sequence[int], n: int = 1
     ) -> List[Tuple[Tuple[int, ...], Any]]:
+        spec = self._spec
+        if spec is not None and not _rt.enabled:
+            checked = spec.check_key(key) if self._uniform else None
+            if checked is None:
+                checked = self._check_key(key)
+            return spec.arena_knn(self, checked, n)
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_knn.inc()
@@ -1411,6 +1525,7 @@ class ArenaPHTree(PHTree):
     # -- maintenance -------------------------------------------------------
 
     def clear(self) -> None:
+        self._mut_epoch += 1
         self._arena = NodeArena(self._dims)
         self._root_off = 0
         self._size = 0

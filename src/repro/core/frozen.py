@@ -53,18 +53,21 @@ def freeze(tree: PHTree, value_codec: Any = NoneValueCodec) -> bytes:
             f"the frozen format stores post_len in 8 bits; "
             f"width {tree.width} > 256 is not representable"
         )
-    buf = BitBuffer()
     arena = getattr(tree, "_arena", None)
     if arena is not None:
         if tree._root_off:
-            _write_node_arena(
-                buf, arena, tree._root_off, tree.width, tree.dims,
-                value_codec,
+            data, nbits = _freeze_subtree_arena(
+                arena, tree._root_off, tree.width, tree.dims, value_codec
             )
+            buf = BitBuffer(data, nbits)
+        else:
+            buf = BitBuffer()
         if _rt.enabled:
             _probes.freeze_arena_fast.inc()
-    elif tree.root is not None:
-        _write_node(buf, tree.root, tree.width, tree.dims, value_codec)
+    else:
+        buf = BitBuffer()
+        if tree.root is not None:
+            _write_node(buf, tree.root, tree.width, tree.dims, value_codec)
     header = _MAGIC + struct.pack(
         ">HHQQ", tree.dims, tree.width, len(tree), buf.bit_length
     )
@@ -106,31 +109,44 @@ def _write_node(
             buf.append(value_codec.encode(slot.value), value_codec.bits)
 
 
-def _write_node_arena(
-    buf: BitBuffer,
+def _freeze_subtree_arena(
     arena: Any,
     off: int,
     parent_post_len: int,
     k: int,
     value_codec: Any,
-) -> None:
-    """The slab twin of :func:`_write_node`: emit the node record at
-    ``off`` (and its subtree) straight from the arena words, producing
-    the same bit stream the object walk would."""
+) -> Tuple[int, int]:
+    """The slab twin of :func:`_write_node`: build the frozen body of
+    the node record at ``off`` (and its subtree) straight from the
+    arena words, returning it as one ``(data, bit_length)`` integer.
+
+    Children return their finished bodies bottom-up, so the 32-bit body
+    length is a plain field written when the child comes back -- no
+    reserve-and-patch pass -- and every bit is shifted only O(depth)
+    times as subtree integers combine, instead of the O(stream) cost a
+    ``BitBuffer.append`` per field would pay.  The bit stream is
+    identical to the object walk's.
+    """
     words = arena.words
     entries = arena.entries
+    values = arena.values
+    vbits = value_codec.bits
+    encode = value_codec.encode
     h = words[off]
     post_len = h & 63
-    buf.append(post_len, 8)
+    acc = post_len
+    bits = 8
     infix_len = parent_post_len - 1 - post_len
     if infix_len:
         shift = post_len + 1
         mask = (1 << infix_len) - 1
         for i in range(off + 2, off + 2 + k):
-            buf.append((words[i] >> shift) & mask, infix_len)
+            acc = (acc << infix_len) | ((words[i] >> shift) & mask)
+        bits += infix_len * k
     c = words[off + 1]
     n = (c & 2097151) + ((c >> 21) & 2097151)
-    buf.append(n, k + 1)
+    acc = (acc << (k + 1)) | n
+    bits += k + 1
     post_mask = (1 << post_len) - 1
     base = off + 2 + k
     if h & 4096:  # HC: 2**k direct slots, already in address order
@@ -143,26 +159,33 @@ def _write_node_arena(
             (words[i], words[i + cap]) for i in range(base, base + n)
         )
     for address, ref in pairs:
-        buf.append(address, k)
         if ref & 1:
-            buf.append(1, 1)
-            length_pos = buf.bit_length
-            buf.append(0, _LEN_BITS)
-            start = buf.bit_length
-            _write_node_arena(
-                buf, arena, ref >> 1, post_len, k, value_codec
+            cdata, cbits = _freeze_subtree_arena(
+                arena, ref >> 1, post_len, k, value_codec
             )
-            buf.overwrite(length_pos, buf.bit_length - start, _LEN_BITS)
+            # [address: k] [type: 1] [body length: 32] body
+            acc = (
+                ((((acc << k) | address) << (1 + _LEN_BITS)) | (1 << _LEN_BITS) | cbits)
+                << cbits
+            ) | cdata
+            bits += k + 1 + _LEN_BITS + cbits
         else:
-            buf.append(0, 1)
             e = ref >> 1
+            acc = ((acc << k) | address) << 1
+            bits += k + 1
             if post_len:
                 for d in range(e, e + k):
-                    buf.append(entries[d] & post_mask, post_len)
-            buf.append(
-                value_codec.encode(arena.load_value(entries[e + k])),
-                value_codec.bits,
-            )
+                    acc = (acc << post_len) | (entries[d] & post_mask)
+                bits += post_len * k
+            value = encode(values[entries[e + k]])
+            if value >> vbits:
+                raise ValueError(
+                    f"value codec emitted {value}, which does not fit "
+                    f"its declared {vbits} bits"
+                )
+            acc = (acc << vbits) | value
+            bits += vbits
+    return acc, bits
 
 
 class FrozenPHTree:

@@ -599,11 +599,33 @@ def iter_arena_subtree(
             e = ref >> 1
             vref = entries[e + k]
             yield tuple(entries[e : e + k]), (
-                values[vref - 1] if vref else None
+                values[vref]
             )
 
 
 def arena_range_scan(
+    tree: Any,
+    box_min: Sequence[int],
+    box_max: Sequence[int],
+    slack_bits: int = 0,
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    """Window-scan an arena tree: dispatch to the tree's specialized
+    slab kernel when it has one (plain or instrumented twin per the
+    observability switch), else fall back to the generic mode machine
+    of :func:`_arena_range_scan_generic`."""
+    spec = tree._spec
+    if spec is not None:
+        if _rt.enabled:
+            return spec.arena_range_scan_instrumented(
+                tree, box_min, box_max, slack_bits
+            )
+        return spec.arena_range_scan_plain(
+            tree, box_min, box_max, slack_bits
+        )
+    return _arena_range_scan_generic(tree, box_min, box_max, slack_bits)
+
+
+def _arena_range_scan_generic(
     tree: Any,
     box_min: Sequence[int],
     box_max: Sequence[int],
@@ -850,7 +872,7 @@ def arena_range_scan(
                 c_entries += 1
                 vref = entries[e + k]
                 yield tuple(entries[e : e + k]), (
-                    values[vref - 1] if vref else None
+                    values[vref]
                 )
             else:
                 d = e
@@ -865,7 +887,7 @@ def arena_range_scan(
                     c_entries += 1
                     vref = entries[e + k]
                     yield tuple(entries[e : e + k]), (
-                        values[vref - 1] if vref else None
+                        values[vref]
                     )
                 else:
                     c_postdrop += 1

@@ -354,7 +354,7 @@ def arena_knn_iter(
                 c_entries += 1
                 vref = entries[e + k]
                 yield dist, tuple(entries[e : e + k]), (
-                    values[vref - 1] if vref else None
+                    values[vref]
                 )
                 if produced >= n:
                     return

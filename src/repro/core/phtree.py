@@ -74,9 +74,11 @@ class PHTree:
         per node/entry) or ``"arena"`` (packed slab records addressed by
         offsets, see :mod:`repro.core.arena`; requires ``width <= 64``).
         ``None`` (default) reads ``REPRO_PHTREE_LAYOUT`` from the
-        environment, falling back to ``"object"``.  Both engines produce
-        identical results and tree shapes; the fuzzer runs them in
-        lockstep.
+        environment, falling back to ``"arena"`` (shapes the arena
+        cannot hold -- width > 64 or dims > 63 -- silently keep the
+        object engine; set ``REPRO_PHTREE_LAYOUT=object`` to pin the
+        object engine everywhere).  Both engines produce identical
+        results and tree shapes; the fuzzer runs them in lockstep.
 
     Examples
     --------
@@ -111,14 +113,17 @@ class PHTree:
             if layout is None and len(args) >= 6:
                 layout = args[5]
             if layout is None:
-                layout = os.environ.get("REPRO_PHTREE_LAYOUT", "object")
+                layout = os.environ.get("REPRO_PHTREE_LAYOUT", "arena")
                 if layout == "arena":
-                    # The env var expresses a session-wide preference,
-                    # not a hard requirement: trees the arena cannot
-                    # hold (coordinates wider than one 64-bit slab
-                    # word) silently keep the object engine.  An
-                    # *explicit* layout="arena" still raises for them.
+                    # The default (or env var) expresses a session-wide
+                    # preference, not a hard requirement: trees the
+                    # arena cannot hold (coordinates wider than one
+                    # 64-bit slab word, or more dimensions than a k-bit
+                    # hypercube address plus sentinel fits in one word)
+                    # silently keep the object engine.  An *explicit*
+                    # layout="arena" still raises for them.
                     width = kwargs.get("width", args[1] if len(args) >= 2 else 64)
+                    dims = kwargs.get("dims", args[0] if len(args) >= 1 else 0)
                     try:
                         wmax = (
                             width
@@ -129,7 +134,7 @@ class PHTree:
                         # Malformed widths fall through to __init__'s
                         # own validation on the object class.
                         wmax = 65
-                    if wmax > 64:
+                    if wmax > 64 or (isinstance(dims, int) and dims > 63):
                         layout = "object"
             if layout == "arena":
                 from repro.core.arena_tree import ArenaPHTree

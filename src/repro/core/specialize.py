@@ -28,7 +28,17 @@ generated functions are exact drop-in twins of the generic engines:
   :mod:`repro.core.batch`,
 - :attr:`Specialization.interleave` / :attr:`Specialization.deinterleave`
   / :attr:`Specialization.zkey` are the LUT-driven Morton kernels (the
-  kNN tiebreak and batch sort keys).
+  kNN tiebreak and batch sort keys),
+- :attr:`Specialization.arena_find` / :attr:`Specialization.arena_put` /
+  :attr:`Specialization.arena_remove` are the blind-PATRICIA point
+  kernels over the :mod:`repro.core.arena` slab layout,
+- :attr:`Specialization.arena_range_scan_plain` (+ instrumented twin) /
+  :attr:`Specialization.arena_get_many_plain` (+ twin) /
+  :attr:`Specialization.arena_knn` are the slab *scan* kernels: the
+  same frame machines as the object twins, but each visited node's
+  slot window is hoisted into locals with one ``array`` slice per node
+  (a single C-loop conversion) instead of boxing a fresh PyLong per
+  ``words[i]`` read -- the trick that closes the arena scan gap.
 
 Bit-identical outputs are enforced by the property tests in
 ``tests/core/test_specialize.py`` and ``tests/obs/test_spec_parity.py``
@@ -45,8 +55,10 @@ closures and every tree holds a strong reference to its own.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from bisect import bisect_left
+from struct import Struct
 from collections import OrderedDict
 from typing import Any, Optional, Tuple
 
@@ -68,6 +80,11 @@ __all__ = [
 #: benefit; :func:`get_spec` returns None and callers keep the generic
 #: loop-based engines.
 MAX_SPECIALIZED_DIMS = 32
+
+#: Returned by :attr:`Specialization.arena_remove` when the key is
+#: absent (any object, including None, can be a stored value, so the
+#: miss needs a private out-of-band token).
+ARENA_REMOVE_MISS = object()
 
 
 # ---------------------------------------------------------------------------
@@ -861,6 +878,618 @@ def _emit_get_many(k: int, instr: bool) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _entry_tuple(k: int, e: str = "e") -> str:
+    """``(entries[e], entries[e + 1], ...)`` with the k == 1 comma."""
+    parts = [
+        f"entries[{e} + {d}]" if d else f"entries[{e}]" for d in range(k)
+    ]
+    return "(" + ", ".join(parts) + ("," if k == 1 else "") + ")"
+
+
+def _plan_build_lines(k: int, off: str, pad: str) -> list:
+    """Emit the cold-path node-plan build for ``off`` into ``f`` and
+    memoise it in ``cache``.
+
+    A *plan* is the node-static half of a read-kernel frame::
+
+        (post_len, limit, refs, addrs, lut, p0 .. p{k-1})
+
+    ``refs`` is the slot-ref window hoisted to a plain list with one
+    ``array`` slice + ``tolist`` (a single C loop, no per-read PyLong
+    boxing); ``addrs`` is the live LHC address row as a list, or None
+    for an HC node (whose ``refs`` is the full ``2**k`` direct table).
+    ``lut`` is the point-probe index: None for HC (probe with a direct
+    ``refs[a]`` subscript) and ``dict(zip(addrs, refs))`` for LHC --
+    one C hash probe per level instead of bisect + two subscripts + a
+    compare.  Plans are cached per node offset in ``tree._plan_cache``
+    and invalidated wholesale by the tree's mutation epoch, so scans
+    and batch lookups over a quiescent tree decode each node's header
+    and slot table exactly once across *all* subsequent calls.
+    """
+    hc_slots = 1 << k
+    if k == 1:
+        hc_tail = f", words[{off} + 2])"
+        lhc_tail = hc_tail
+    else:
+        hc_tail = f") + uk(words, ({off} + 2) << 3)"
+        lhc_tail = hc_tail
+    return [
+        f"{pad}h = words[{off}]",
+        f"{pad}base = {off} + {2 + k}",
+        f"{pad}if h & 4096:",
+        f"{pad}    f = (h & 63, {hc_slots}, "
+        f"words[base : base + {hc_slots}].tolist(), None, None{hc_tail}",
+        f"{pad}else:",
+        f"{pad}    c = words[{off} + 1]",
+        f"{pad}    nn = (c & 2097151) + ((c >> 21) & 2097151)",
+        f"{pad}    rbase = base + (1 << ((h >> 13) & 63))",
+        f"{pad}    rr = words[rbase : rbase + nn].tolist()",
+        f"{pad}    aa = words[base : base + nn].tolist()",
+        f"{pad}    f = (h & 63, nn, rr, aa, dict(zip(aa, rr)){lhc_tail}",
+        f"{pad}cache[{off}] = f",
+    ]
+
+
+def _emit_cache_preamble(emit) -> None:
+    """Epoch check shared by the cached read kernels: any mutation since
+    the cache was filled invalidates every plan at once."""
+    emit("    cache = tree._plan_cache")
+    emit("    if tree._plan_epoch != tree._mut_epoch:")
+    emit("        cache.clear()")
+    emit("        tree._plan_epoch = tree._mut_epoch")
+
+
+def _emit_arena_range_scan(k: int, instr: bool) -> str:
+    """The unrolled slab twin of ``repro.core.kernel.arena_range_scan``:
+    same flat mode machine (masked / plain-scan / flush), same z-order
+    output and counter placement -- but each visited node's slot window
+    comes from the epoch-invalidated *plan cache* (see
+    :func:`_plan_build_lines`): the first visit hoists the ref/address
+    rows to plain lists with one ``array`` slice each, every later
+    visit -- in this query or any subsequent one on a quiescent tree --
+    is a dict hit.  Frames carry ``(refs, addrs, cur, ml, mh, mode,
+    limit)`` exactly like the object kernel's (``addrs`` may be a live
+    list in non-masked modes; only mode 1 consults it)."""
+    name = (
+        "arena_range_scan_instrumented"
+        if instr
+        else "arena_range_scan_plain"
+    )
+    full = (1 << k) - 1
+
+    lines = [f"def {name}(tree, box_min, box_max, slack_bits=0):"]
+    emit = lines.append
+    emit("    root = tree._root_off")
+    emit("    if not root:")
+    emit("        return")
+    emit("    arena = tree._arena")
+    emit("    words = arena.words")
+    emit("    entries = arena.entries")
+    emit("    values = arena.values")
+    if k > 1:
+        emit("    uk = _ukey")
+    emit(f"    {_unpack('bl', 'box_min', k)}")
+    emit(
+        "    if "
+        + " or ".join(f"bl{d} > box_max[{d}]" for d in range(k))
+        + ":"
+    )
+    emit("        return")
+    emit(f"    {_unpack('bh', 'box_max', k)}")
+    emit("    if slack_bits > 0:")
+    emit("        slack = (1 << slack_bits) - 1")
+    for d in range(k):
+        emit(f"        cl{d} = bl{d} - slack")
+        emit(f"        ch{d} = bh{d} + slack")
+    emit("    else:")
+    for d in range(k):
+        emit(f"        cl{d} = bl{d}")
+        emit(f"        ch{d} = bh{d}")
+    emit("")
+    _emit_cache_preamble(emit)
+    emit("    f = cache.get(root)")
+    emit("    if f is None:")
+    for ln in _plan_build_lines(k, "root", "        "):
+        emit(ln)
+    frame_names = "post, limit, refs, addrs, _lut, " + ", ".join(
+        f"p{d}" for d in range(k)
+    )
+    emit(f"    {frame_names} = f")
+    emit("    free = (1 << (post + 1)) - 1")
+    emit(_classify_root(k, "    "))
+    emit(f"    if ml == 0 and mh == {full}:")
+    emit("        mode = 2")
+    emit("        cur = 0")
+    emit("    elif addrs is None:")
+    emit("        mode = 1")
+    emit("        cur = ml")
+    emit("    else:")
+    emit("        mode = 1")
+    emit("        cur = bisect_left(addrs, ml)")
+    emit("")
+    if instr:
+        emit("    c_nodes = 1")
+        emit("    c_hc = 1 if addrs is None else 0")
+        emit("    c_frames = 0")
+        emit("    c_slots = 0")
+        emit("    c_flush = 0")
+        emit("    c_plain = 1 if mode == 2 else 0")
+        emit("    c_maskrej = 0")
+        emit("    c_noderej = 0")
+        emit("    c_postdrop = 0")
+        emit("    c_entries = 0")
+        emit("")
+    emit("    stack = []")
+    emit("    pop = stack.pop")
+    emit("    push = stack.append")
+    emit("")
+    if instr:
+        emit("    try:")
+
+    body = []
+    b = body.append
+    b("while True:")
+    b("    if mode == 1:")
+    b("        if addrs is None:")
+    b("            if cur < 0:")
+    b("                if not stack:")
+    b("                    return")
+    b("                refs, addrs, cur, ml, mh, mode, limit = pop()")
+    b("                continue")
+    b("            a = cur")
+    b("            cur = -1 if a >= mh else ((((a | ~mh) + 1) & mh) | ml)")
+    b("            ref = refs[a]")
+    if instr:
+        b("            c_slots += 1")
+    b("            if not ref:")
+    b("                continue")
+    b("        else:")
+    b("            if cur >= limit:")
+    b("                if not stack:")
+    b("                    return")
+    b("                refs, addrs, cur, ml, mh, mode, limit = pop()")
+    b("                continue")
+    b("            a = addrs[cur]")
+    b("            if a > mh:")
+    b("                if not stack:")
+    b("                    return")
+    b("                refs, addrs, cur, ml, mh, mode, limit = pop()")
+    b("                continue")
+    b("            ref = refs[cur]")
+    b("            cur += 1")
+    if instr:
+        b("            c_slots += 1")
+    b("            if (a | ml) != a or (a & mh) != a:")
+    if instr:
+        b("                c_maskrej += 1")
+    b("                continue")
+    b("    else:")
+    b("        if cur >= limit:")
+    b("            if not stack:")
+    b("                return")
+    b("            refs, addrs, cur, ml, mh, mode, limit = pop()")
+    b("            continue")
+    b("        ref = refs[cur]")
+    b("        cur += 1")
+    if instr:
+        b("        c_slots += 1")
+    b("        if not ref:")
+    b("            continue")
+    b("")
+    b("    if ref & 1:")
+    b("        child = ref >> 1")
+    b("        f = cache.get(child)")
+    b("        if f is None:")
+    for ln in _plan_build_lines(k, "child", "            "):
+        b(ln)
+    b("        if mode == 0:")
+    b("            push((refs, addrs, cur, ml, mh, mode, limit))")
+    b(
+        f"            cpost, limit, refs, addrs, _lut, "
+        f"{_unpack_names('p', k)} = f"
+    )
+    b("            cur = 0")
+    if instr:
+        b("            if addrs is None:")
+        b("                c_hc += 1")
+        b("            c_frames += 1")
+        b("            c_nodes += 1")
+    b("            continue")
+    b(
+        f"        cpost, climit, crefs, caddrs, _lut, "
+        f"{_unpack_names('p', k)} = f"
+    )
+    b("        cfree = (1 << (cpost + 1)) - 1")
+    b(_classify_child(k, "        ", instr))
+    b("        push((refs, addrs, cur, ml, mh, mode, limit))")
+    b("        limit = climit")
+    b("        refs = crefs")
+    if instr:
+        b("        if caddrs is None:")
+        b("            c_hc += 1")
+        b("        c_frames += 1")
+        b("        c_nodes += 1")
+    b("        if inside or cpost < slack_bits:")
+    b("            addrs = caddrs")
+    b("            mode = 0")
+    b("            cur = 0")
+    if instr:
+        b("            c_flush += 1")
+    b("        elif caddrs is None:")
+    b("            addrs = None")
+    b(f"            if cml == 0 and cmh == {full}:")
+    b("                mode = 2")
+    b("                cur = 0")
+    if instr:
+        b("                c_plain += 1")
+    b("            else:")
+    b("                mode = 1")
+    b("                ml = cml")
+    b("                mh = cmh")
+    b("                cur = cml")
+    b("        else:")
+    b("            addrs = caddrs")
+    b(f"            if cml == 0 and cmh == {full}:")
+    b("                mode = 2")
+    b("                cur = 0")
+    if instr:
+        b("                c_plain += 1")
+    b("            else:")
+    b("                mode = 1")
+    b("                ml = cml")
+    b("                mh = cmh")
+    b("                cur = bisect_left(caddrs, cml)")
+    b("        continue")
+    b("")
+    b("    e = ref >> 1")
+    b("    if mode == 0:")
+    if instr:
+        b("        c_entries += 1")
+    b(f"        vref = entries[e + {k}]")
+    if k == 1:
+        b("        yield (entries[e],), values[vref]")
+    else:
+        # One Struct C call builds the key tuple; beats k boxed
+        # array subscripts on every flushed entry.
+        b("        yield uk(entries, e << 3), values[vref]")
+    b("    else:")
+    for d in range(k):
+        b(
+            f"        e{d} = entries[e + {d}]"
+            if d
+            else "        e0 = entries[e]"
+        )
+    b(
+        "        if "
+        + " or ".join(f"e{d} < cl{d} or e{d} > ch{d}" for d in range(k))
+        + ":"
+    )
+    if instr:
+        b("            c_postdrop += 1")
+        b("            pass")
+    else:
+        b("            pass")
+    b("        else:")
+    if instr:
+        b("            c_entries += 1")
+    b(f"            vref = entries[e + {k}]")
+    key_tuple = (
+        "(" + ", ".join(f"e{d}" for d in range(k))
+        + ("," if k == 1 else "") + ")"
+    )
+    b(
+        f"            yield {key_tuple}, ("
+        "values[vref])"
+    )
+
+    pad = "        " if instr else "    "
+    for chunk in body:
+        for line in chunk.split("\n"):
+            emit(pad + line if line else "")
+    if instr:
+        emit("    finally:")
+        emit("        _probes.record_range_scan(")
+        emit("            c_nodes, c_hc, c_frames, c_slots, c_flush,")
+        emit("            c_plain, c_maskrej, c_noderej, c_postdrop,")
+        emit("            c_entries,")
+        emit("        )")
+    return "\n".join(lines) + "\n"
+
+
+def _unpack_names(prefix: str, k: int) -> str:
+    return ", ".join(f"{prefix}{d}" for d in range(k))
+
+
+def _emit_arena_get_many(k: int, instr: bool) -> str:
+    """The unrolled slab twin of ``repro.core.batch.arena_get_many``:
+    the same z-sorted merge-join, but path frames *are* the cached node
+    plans of :func:`_plan_build_lines` -- an HC probe is one direct
+    list subscript, an LHC probe one C dict hash hit against the plan's
+    ``lut`` (cheaper than bisect + two subscripts + a compare), and on
+    a quiescent tree repeated batches skip header decoding altogether
+    via ``tree._plan_cache``.  Entry keys are read as one
+    ``Struct.unpack_from`` tuple (one C call instead of k boxed
+    ``array`` subscripts) and compared whole."""
+    name = (
+        "arena_get_many_instrumented" if instr else "arena_get_many_plain"
+    )
+    frame = "post, lim, refs, addrs, lut, " + ", ".join(
+        f"p{d}" for d in range(k)
+    )
+    lines = [f"def {name}(tree, keys, default=None, presorted=False):"]
+    emit = lines.append
+    emit("    checked, codes = _prepare(tree, keys, not presorted)")
+    emit("    n = len(checked)")
+    if instr:
+        emit("    _probes.ops_get_many.inc()")
+        emit("    _probes.batch_keys_get.inc(n)")
+    emit("    results = [default] * n")
+    emit("    root = tree._root_off")
+    emit("    if not root or n == 0:")
+    emit("        return results")
+    emit("    if presorted:")
+    emit("        order = range(n)")
+    emit("    else:")
+    emit("        order = sorted(range(n), key=codes.__getitem__)")
+    emit("")
+    emit("    arena = tree._arena")
+    emit("    words = arena.words")
+    emit("    entries = arena.entries")
+    emit("    values = arena.values")
+    if k > 1:
+        emit("    uk = _ukey")
+    _emit_cache_preamble(emit)
+    if instr:
+        emit("    c_nodes = 1")
+        emit("    c_slots = 0")
+    emit("    f = cache.get(root)")
+    emit("    if f is None:")
+    for ln in _plan_build_lines(k, "root", "        "):
+        emit(ln)
+    emit(f"    {frame} = f")
+    emit("    path = [f]")
+    emit("    push = path.append")
+    emit("    pop = path.pop")
+    emit("    for i in order:")
+    emit("        key = checked[i]")
+    emit(f"        {_unpack('v', 'key', k)}")
+    emit(f"        while {_mismatch_expr(k, 'post')} > 1:")
+    emit("            pop()")
+    emit(f"            {frame} = path[-1]")
+    emit("        while True:")
+    if instr:
+        emit("            c_slots += 1")
+    emit(f"            a = {_addr_expr(k, 'post')}")
+    emit("            if lut is None:")
+    emit("                ref = refs[a]")
+    emit("                if not ref:")
+    emit("                    break")
+    emit("            else:")
+    emit("                ref = lut.get(a)")
+    emit("                if ref is None:")
+    emit("                    break")
+    emit("            if ref & 1:")
+    emit("                child = ref >> 1")
+    emit("                f = cache.get(child)")
+    emit("                if f is None:")
+    for ln in _plan_build_lines(k, "child", "                    "):
+        emit(ln)
+    qs = ", ".join(f"q{d}" for d in range(k))
+    emit(f"                cpost, clim, crefs, caddrs, clut, {qs} = f")
+    emit(
+        "                if "
+        + _mismatch_expr(k, "cpost", "v", "q")
+        + " > 1:"
+    )
+    emit("                    break")
+    emit("                post = cpost")
+    emit("                lim = clim")
+    emit("                refs = crefs")
+    emit("                addrs = caddrs")
+    emit("                lut = clut")
+    for d in range(k):
+        emit(f"                p{d} = q{d}")
+    emit("                push(f)")
+    if instr:
+        emit("                c_nodes += 1")
+    emit("                continue")
+    emit("            e = ref >> 1")
+    if k == 1:
+        emit("            if entries[e] == v0:")
+    else:
+        emit("            if uk(entries, e << 3) == key:")
+    emit(f"                results[i] = values[entries[e + {k}]]")
+    emit("            break")
+    if instr:
+        emit("    _probes.batch_nodes_visited.inc(c_nodes)")
+        emit("    _probes.batch_slots_scanned.inc(c_slots)")
+    emit("    return results")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_arena_remove(k: int) -> str:
+    """Unrolled blind-descent delete over the arena slab layout: the
+    same PATRICIA discipline as ``arena_find`` (no per-level infix
+    checks; the full-key comparison at the reached entry settles
+    membership), tracking the parent chain needed by the in-slab
+    LHC shift/merge helpers.  On a hit the structural mutation is
+    delegated to ``tree._remove_hit`` (ref removal, free-list
+    recycling, underfull merge); a miss returns the shared ``_miss``
+    sentinel so the caller can apply its default/raise semantics."""
+    entry_test = " and ".join(
+        f"entries[eoff + {d}] == v{d}" if d else "entries[eoff] == v0"
+        for d in range(k)
+    )
+    return f"""\
+def arena_remove(tree, key):
+    {_unpack('v', 'key', k)}
+    off = tree._root_off
+    if not off:
+        return _miss
+    arena = tree._arena
+    words = arena.words
+    pidx = -1
+    poff = 0
+    pa = -1
+    ppidx = -1
+    h = words[off]
+    while True:
+        post = h & 63
+        a = {_addr_expr(k, 'post')}
+        if h >= 16384:
+            # LHC with cap >= 4; identity-table fast path (see
+            # ``arena_find``).
+            base = off + {2 + k}
+            cap = 1 << ((h >> 13) & 63)
+            end = base + cap
+            if words[end - 1] == cap - 1:
+                if a >= cap:
+                    return _miss
+                idx = end + a
+                ref = words[idx]
+            else:
+                pos = bisect_left(words, a, base, end)
+                if pos < end and words[pos] == a:
+                    idx = pos + cap
+                    ref = words[idx]
+                else:
+                    return _miss
+        elif h & 4096:
+            idx = off + {2 + k} + a
+            ref = words[idx]
+        else:
+            # cap_log == 1: the two-slot table every split starts with.
+            base = off + {2 + k}
+            if words[base] == a:
+                idx = base + 2
+            elif words[base + 1] == a:
+                idx = base + 3
+            else:
+                return _miss
+            ref = words[idx]
+        if not ref:
+            return _miss
+        if ref & 1:
+            poff = off
+            pa = a
+            ppidx = pidx
+            pidx = idx
+            off = ref >> 1
+            h = words[off]
+            continue
+        eoff = ref >> 1
+        entries = arena.entries
+        if {entry_test}:
+            return tree._remove_hit(off, pidx, eoff, idx, poff, pa, ppidx)
+        return _miss
+"""
+
+
+def _emit_arena_knn(k: int, width: int) -> str:
+    """Unrolled best-first kNN over the arena slabs: the expansion twin
+    of ``repro.core.knn.arena_knn_iter`` with the integer point/region
+    distance kernels and the Morton tiebreak inlined (no per-push
+    closure calls), each expanded node's ref run hoisted with one
+    slice.  Push order, distances and z-tiebreaks are identical to the
+    generic engine, so ties resolve identically; returns the
+    ``[(key, value), ...]`` list ``ArenaPHTree.knn`` materialises."""
+
+    def region_dist(pad: str, acc: str) -> str:
+        out = []
+        for d in range(k):
+            out.append(f"{pad}hi = p{d} | cfree")
+            out.append(f"{pad}if q{d} < p{d}:")
+            out.append(f"{pad}    t = p{d} - q{d}")
+            out.append(f"{pad}    {acc} += t * t")
+            out.append(f"{pad}elif q{d} > hi:")
+            out.append(f"{pad}    t = q{d} - hi")
+            out.append(f"{pad}    {acc} += t * t")
+        return "\n".join(out)
+
+    point_dist = "\n".join(
+        f"                    t = q{d} - e{d}\n"
+        f"                    cdist += t * t"
+        for d in range(k)
+    )
+    entry_loads = "\n".join(
+        f"                    e{d} = entries[e + {d}]"
+        if d
+        else "                    e0 = entries[e]"
+        for d in range(k)
+    )
+    out_tuple = (
+        "(" + ", ".join(f"entries[e + {d}]" if d else "entries[e]"
+                        for d in range(k))
+        + ("," if k == 1 else "") + ")"
+    )
+    return f"""\
+def arena_knn(tree, query, n):
+    out = []
+    root = tree._root_off
+    if n <= 0 or not root:
+        return out
+    {_unpack('q', 'query', k)}
+    arena = tree._arena
+    words = arena.words
+    entries = arena.entries
+    values = arena.values
+    cfree = (1 << ((words[root] & 63) + 1)) - 1
+{_unpack_prefix_lines(k, 'root', '    ')}
+    dist = 0
+{region_dist('    ', 'dist')}
+    heap = [(dist, {_morton_expr(k, width, 'p')}, 0, (root << 1) | 1)]
+    tb = 1
+    produced = 0
+    push = _heappush
+    pop = _heappop
+    while heap:
+        dist, _z, _t, ref = pop(heap)
+        if ref & 1:
+            off = ref >> 1
+            h = words[off]
+            base = off + {2 + k}
+            if h & 4096:
+                refs = words[base : base + {1 << k}].tolist()
+            else:
+                c = words[off + 1]
+                nslots = (c & 2097151) + ((c >> 21) & 2097151)
+                rbase = base + (1 << ((h >> 13) & 63))
+                refs = words[rbase : rbase + nslots].tolist()
+            for cref in refs:
+                if not cref:
+                    continue
+                if cref & 1:
+                    child = cref >> 1
+                    cfree = (1 << ((words[child] & 63) + 1)) - 1
+{_unpack_prefix_lines(k, 'child', '                    ')}
+                    cdist = 0
+{region_dist('                    ', 'cdist')}
+                    push(heap, (cdist, {_morton_expr(k, width, 'p')}, tb, cref))
+                else:
+                    e = cref >> 1
+{entry_loads}
+                    cdist = 0
+{point_dist}
+                    push(heap, (cdist, {_morton_expr(k, width, 'e')}, tb, cref))
+                tb += 1
+        else:
+            e = ref >> 1
+            vref = entries[e + {k}]
+            out.append(({out_tuple}, values[vref]))
+            produced += 1
+            if produced >= n:
+                return out
+    return out
+"""
+
+
+def _unpack_prefix_lines(k: int, off: str, pad: str) -> str:
+    """``p0 = words[off + 2]; ...`` prefix loads at indent ``pad``."""
+    return "\n".join(
+        f"{pad}p{d} = words[{off} + {2 + d}]" for d in range(k)
+    )
+
+
 # ---------------------------------------------------------------------------
 # The Specialization bundle and its factory
 # ---------------------------------------------------------------------------
@@ -887,10 +1516,16 @@ class Specialization:
         "put",
         "arena_find",
         "arena_put",
+        "arena_remove",
+        "arena_knn",
         "range_scan_plain",
         "range_scan_instrumented",
         "get_many_plain",
         "get_many_instrumented",
+        "arena_range_scan_plain",
+        "arena_range_scan_instrumented",
+        "arena_get_many_plain",
+        "arena_get_many_instrumented",
         "source",
     )
 
@@ -910,6 +1545,12 @@ class Specialization:
                 _emit_range_scan(k, instr=True),
                 _emit_get_many(k, instr=False),
                 _emit_get_many(k, instr=True),
+                _emit_arena_range_scan(k, instr=False),
+                _emit_arena_range_scan(k, instr=True),
+                _emit_arena_get_many(k, instr=False),
+                _emit_arena_get_many(k, instr=True),
+                _emit_arena_remove(k),
+                _emit_arena_knn(k, width),
             ]
         )
         self.source = source
@@ -920,6 +1561,13 @@ class Specialization:
             "_probes": _probes,
             "_st": spread_table(k),
             "_prepare": _batch_prepare,
+            "_heappush": heapq.heappush,
+            "_heappop": heapq.heappop,
+            "_miss": ARENA_REMOVE_MISS,
+            # One C call reads k (or k+1) consecutive slab words as a
+            # ready tuple; the slabs are native 64-bit arrays so "=Q"
+            # matches the array('Q') item layout exactly.
+            "_ukey": Struct(f"={k}Q").unpack_from,
         }
         for j, (_in, table, _out) in enumerate(compact_plan(k, width)):
             namespace[f"_ct{j}"] = table
@@ -934,10 +1582,20 @@ class Specialization:
         self.put = namespace["put"]
         self.arena_find = namespace["arena_find"]
         self.arena_put = namespace["arena_put"]
+        self.arena_remove = namespace["arena_remove"]
+        self.arena_knn = namespace["arena_knn"]
         self.range_scan_plain = namespace["range_scan_plain"]
         self.range_scan_instrumented = namespace["range_scan_instrumented"]
         self.get_many_plain = namespace["get_many_plain"]
         self.get_many_instrumented = namespace["get_many_instrumented"]
+        self.arena_range_scan_plain = namespace["arena_range_scan_plain"]
+        self.arena_range_scan_instrumented = namespace[
+            "arena_range_scan_instrumented"
+        ]
+        self.arena_get_many_plain = namespace["arena_get_many_plain"]
+        self.arena_get_many_instrumented = namespace[
+            "arena_get_many_instrumented"
+        ]
 
     def __repr__(self) -> str:
         return f"Specialization(k={self.k}, width={self.width})"

@@ -351,7 +351,12 @@ def cmd_check(args: argparse.Namespace) -> int:
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tool",
-        description="Index CSV point data with a PH-tree.",
+        description=(
+            "Index CSV point data with a PH-tree.  Mutable trees use "
+            "the packed-slab arena layout by default; set "
+            "REPRO_PHTREE_LAYOUT=object to fall back to the object "
+            "engine."
+        ),
     )
     parser.add_argument(
         "-v",

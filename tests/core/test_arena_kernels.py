@@ -1,0 +1,257 @@
+"""Arena-native specialized kernels: parity with the object engine for
+window scans, batched point lookups, kNN and deletes; plan-cache
+invalidation under mutation; the query_many sequential cutover; the
+freeze() slab fast path; and the arena-by-default layout flip."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PHTree, obs
+from repro.core.batch import QUERY_MANY_SEQ_CUTOVER
+from repro.core.frozen import freeze
+from repro.core.serialize import U64ValueCodec
+from repro.obs import probes
+
+WIDTH = 16
+
+
+@pytest.fixture
+def obs_enabled():
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+def _keys(rng, dims, n, width=WIDTH):
+    return list(
+        {
+            tuple(rng.randrange(1 << width) for _ in range(dims))
+            for _ in range(n)
+        }
+    )
+
+
+def _pair(dims, n=600, seed=None):
+    """An (object, arena) tree pair with identical contents."""
+    rng = random.Random(seed if seed is not None else dims)
+    keys = _keys(rng, dims, n)
+    obj = PHTree(dims=dims, width=WIDTH, layout="object")
+    arena = PHTree(dims=dims, width=WIDTH, layout="arena")
+    for i, key in enumerate(keys):
+        obj.put(key, i)
+        arena.put(key, i)
+    return obj, arena, keys, rng
+
+
+def _boxes(rng, dims, n=40):
+    out = []
+    for _ in range(n):
+        a = tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+        b = tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+        out.append(
+            (
+                tuple(min(x, y) for x, y in zip(a, b)),
+                tuple(max(x, y) for x, y in zip(a, b)),
+            )
+        )
+    return out
+
+
+class TestRangeScanParity:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 6])
+    def test_plain_matches_object_engine(self, dims):
+        obj, arena, _, rng = _pair(dims)
+        for lo, hi in _boxes(rng, dims):
+            assert list(arena.query(lo, hi)) == list(obj.query(lo, hi))
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_instrumented_matches_plain(self, dims, obs_enabled):
+        obj, arena, _, rng = _pair(dims)
+        boxes = _boxes(rng, dims)
+        expected = [list(obj.query(lo, hi)) for lo, hi in boxes]
+        got = [list(arena.query(lo, hi)) for lo, hi in boxes]
+        assert got == expected
+        assert probes.kernel_nodes_visited.value > 0
+        assert probes.kernel_entries_yielded.value >= sum(
+            len(r) for r in expected
+        )
+
+    @pytest.mark.parametrize("slack", [1, 3, 6])
+    def test_query_approx_superset(self, slack):
+        obj, arena, _, rng = _pair(3)
+        for lo, hi in _boxes(rng, 3, n=15):
+            exact = dict(obj.query(lo, hi))
+            approx = dict(arena.query_approx(lo, hi, slack))
+            assert set(exact) <= set(approx)
+            pad = (1 << slack) - 1
+            for key in approx:
+                assert all(
+                    max(0, l - pad) <= v <= h + pad
+                    for v, l, h in zip(key, lo, hi)
+                )
+
+
+class TestGetManyParity:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 6])
+    def test_hits_and_misses(self, dims):
+        obj, arena, keys, rng = _pair(dims)
+        probe = keys[::3] + _keys(rng, dims, 100)
+        rng.shuffle(probe)
+        assert arena.get_many(probe) == obj.get_many(probe)
+        assert arena.contains_many(probe) == obj.contains_many(probe)
+
+    def test_default_value(self):
+        _, arena, keys, rng = _pair(3)
+        missing = [k for k in _keys(rng, 3, 50) if k not in set(keys)]
+        out = arena.get_many(missing, default="absent")
+        assert out == ["absent"] * len(missing)
+
+
+class TestArenaRemove:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 6])
+    def test_interleaved_remove_reinsert(self, dims):
+        obj, arena, keys, rng = _pair(dims)
+        rng.shuffle(keys)
+        half = keys[: len(keys) // 2]
+        for key in half:
+            assert arena.remove(key) == obj.remove(key)
+        assert len(arena) == len(obj)
+        for i, key in enumerate(half[::2]):
+            obj.put(key, -i)
+            arena.put(key, -i)
+        for lo, hi in _boxes(rng, dims, n=10):
+            assert list(arena.query(lo, hi)) == list(obj.query(lo, hi))
+
+    def test_miss_raises_and_default(self):
+        _, arena, keys, rng = _pair(2)
+        present = set(keys)
+        miss = next(
+            k for k in iter(lambda: tuple(
+                rng.randrange(1 << WIDTH) for _ in range(2)
+            ), None) if k not in present
+        )
+        with pytest.raises(KeyError):
+            arena.remove(miss)
+        assert arena.remove(miss, None) is None
+        assert arena.remove(miss, "gone") == "gone"
+        assert len(arena) == len(keys)
+
+    def test_drain_to_empty(self):
+        _, arena, keys, _ = _pair(3, n=300)
+        for key in keys:
+            arena.remove(key)
+        assert len(arena) == 0
+        assert list(arena.items()) == []
+
+
+class TestKnnParity:
+    @pytest.mark.parametrize("dims", [2, 3, 6])
+    def test_matches_object_engine(self, dims):
+        obj, arena, _, rng = _pair(dims)
+        for _ in range(25):
+            q = tuple(rng.randrange(1 << WIDTH) for _ in range(dims))
+            n = rng.randrange(1, 12)
+            assert arena.knn(q, n) == obj.knn(q, n)
+
+
+class TestPlanCacheInvalidation:
+    def test_mutation_invalidates_cached_plans(self):
+        """A scan after put/remove must see the new structure, not a
+        stale cached slot window."""
+        obj, arena, keys, rng = _pair(3, n=200)
+        full = (0,) * 3, ((1 << WIDTH) - 1,) * 3
+        assert list(arena.query(*full)) == list(obj.query(*full))
+        # Mutate through every path that can reshape nodes.
+        fresh = _keys(rng, 3, 200, width=WIDTH)
+        for i, key in enumerate(fresh):
+            obj.put(key, 1000 + i)
+            arena.put(key, 1000 + i)
+        assert list(arena.query(*full)) == list(obj.query(*full))
+        for key in keys[::2]:
+            obj.remove(key)
+            arena.remove(key)
+        assert list(arena.query(*full)) == list(obj.query(*full))
+        probe = keys + fresh
+        assert arena.get_many(probe) == obj.get_many(probe)
+
+    def test_epoch_bumps_on_mutators(self):
+        tree = PHTree(dims=2, width=WIDTH, layout="arena")
+        inner = tree._tree if hasattr(tree, "_tree") else tree
+        e0 = inner._mut_epoch
+        tree.put((1, 2), "a")
+        assert inner._mut_epoch > e0
+        e1 = inner._mut_epoch
+        tree.remove((1, 2))
+        assert inner._mut_epoch > e1
+        e2 = inner._mut_epoch
+        tree.clear()
+        assert inner._mut_epoch > e2
+
+
+class TestQueryManyCutover:
+    def test_small_batch_matches_shared_walk(self):
+        obj, arena, _, rng = _pair(3)
+        small = _boxes(rng, 3, n=16)
+        assert len(small) <= QUERY_MANY_SEQ_CUTOVER
+        per_box = [list(obj.query(lo, hi)) for lo, hi in small]
+        assert obj.query_many(small) == per_box
+        assert arena.query_many(small) == per_box
+
+    def test_large_batch_above_cutover(self):
+        obj, arena, _, rng = _pair(2, n=250)
+        big = _boxes(rng, 2, n=QUERY_MANY_SEQ_CUTOVER + 8)
+        assert obj.query_many(big) == arena.query_many(big)
+
+    def test_inverted_box_yields_empty(self):
+        _, arena, _, _ = _pair(2, n=50)
+        boxes = [((5, 5), (3, 3)), ((0, 0), ((1 << WIDTH) - 1,) * 2)]
+        out = arena.query_many(boxes)
+        assert out[0] == []
+        assert len(out[1]) == 50
+
+
+class TestFreezeFastPath:
+    def test_probe_ticks_and_stream_bit_identical(self, obs_enabled):
+        """Satellite 2: freeze() on an arena tree must take the
+        straight-from-slab transcription (probe ticks) and produce the
+        exact byte stream the object engine writes."""
+        obj, arena, _, _ = _pair(3, n=400)
+        before = probes.freeze_arena_fast.value
+        frozen_arena = freeze(arena, U64ValueCodec())
+        assert probes.freeze_arena_fast.value == before + 1
+        frozen_obj = freeze(obj, U64ValueCodec())
+        assert frozen_arena == frozen_obj
+
+    def test_fast_path_after_churn(self, obs_enabled):
+        obj, arena, keys, rng = _pair(2, n=300)
+        for key in keys[::2]:
+            obj.remove(key)
+            arena.remove(key)
+        extra = _keys(rng, 2, 100)
+        for i, key in enumerate(extra):
+            obj.put(key, i)
+            arena.put(key, i)
+        before = probes.freeze_arena_fast.value
+        assert freeze(arena, U64ValueCodec()) == freeze(
+            obj, U64ValueCodec()
+        )
+        assert probes.freeze_arena_fast.value == before + 1
+
+
+class TestDefaultLayout:
+    def test_default_is_arena(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PHTREE_LAYOUT", raising=False)
+        assert PHTree(dims=3, width=WIDTH).layout == "arena"
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PHTREE_LAYOUT", "object")
+        assert PHTree(dims=3, width=WIDTH).layout == "object"
+
+    def test_wide_keys_fall_back_to_object(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PHTREE_LAYOUT", raising=False)
+        assert PHTree(dims=2, width=80).layout == "object"
