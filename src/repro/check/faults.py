@@ -28,12 +28,13 @@ import signal
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from types import SimpleNamespace
 from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.core.concurrent import LockTimeout
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
 
 __all__ = [
@@ -73,6 +74,9 @@ def publish_failures(count: int = 1) -> Iterator[Dict[str, int]]:
     def _shared_memory(*args: Any, **kwargs: Any) -> Any:
         if kwargs.get("create") and state["remaining"] > 0:
             state["remaining"] -= 1
+            _recorder.record(
+                "fault_injected", fault="publish_failure"
+            )
             raise OSError(28, "injected: no space left on device")
         return real.SharedMemory(*args, **kwargs)
 
@@ -108,6 +112,9 @@ def unlink_failures(
             if state["remaining"] > 0:
                 state["remaining"] -= 1
                 state["suppressed"].append(original)
+                _recorder.record(
+                    "fault_injected", fault="unlink_failure"
+                )
                 raise OSError(13, "injected: unlink denied")
             original()
 
@@ -142,6 +149,9 @@ def kill_one_worker(pool: Any, timeout_s: float = 10.0) -> int:
         raise RuntimeError("no worker processes to kill")
     victim = processes[0]
     os.kill(victim.pid, signal.SIGKILL)
+    _recorder.record(
+        "fault_injected", fault="worker_killed", pid=victim.pid
+    )
     deadline = time.monotonic() + timeout_s
     while victim.is_alive():
         if time.monotonic() > deadline:  # pragma: no cover
@@ -174,6 +184,9 @@ def slow_reader(
     camper.start()
     if not acquired.wait(timeout=10.0):  # pragma: no cover
         raise RuntimeError("slow reader never acquired the lock")
+    _recorder.record(
+        "fault_injected", fault="slow_reader", shard=shard
+    )
     try:
         yield release
     finally:
@@ -193,6 +206,9 @@ class FaultOutcome:
     fault: str
     passed: bool
     detail: str
+    #: Flight-recorder tail captured right after the scenario ran --
+    #: the black box a failing drill gets dumped with.
+    events: List[Any] = field(default_factory=list)
 
 
 def _counter_value(counter: Any) -> float:
@@ -243,6 +259,7 @@ def run_fault_drill(
                 result == expected and moved >= 1,
                 f"live fallback correct={result == expected}, "
                 f"snapshot_publish_failures +{moved:g}",
+                events=_recorder.dump(last=32),
             )
         )
 
@@ -267,6 +284,7 @@ def run_fault_drill(
                 f"killed pid {pid}; fallback correct="
                 f"{result == expected}, recovered pool correct="
                 f"{recovered == expected}, fanout_failures +{moved:g}",
+                events=_recorder.dump(last=32),
             )
         )
 
@@ -288,6 +306,7 @@ def run_fault_drill(
                 f"refresh survived, results correct="
                 f"{result == expected}, "
                 f"snapshot_discard_errors +{moved:g}",
+                events=_recorder.dump(last=32),
             )
         )
 
@@ -314,6 +333,7 @@ def run_fault_drill(
                 timed_out and moved >= 1,
                 f"writer timed out cleanly={timed_out}, "
                 f"lock_timeouts +{moved:g}, lock usable afterwards",
+                events=_recorder.dump(last=32),
             )
         )
         return outcomes

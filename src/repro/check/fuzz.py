@@ -39,6 +39,7 @@ from repro.check.model import ReferenceModel
 from repro.check.validate import InvariantViolation, validate_tree
 from repro.core.bulk import bulk_load
 from repro.core.phtree import PHTree
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
 from repro.parallel.sharded import ShardedPHTree
 
@@ -121,16 +122,24 @@ class FuzzFailure(AssertionError):
         index: int,
         subject: str,
         message: str,
+        events: Optional[List[Any]] = None,
     ) -> None:
         self.config = config
         self.ops = ops
         self.index = index
         self.subject = subject
         self.reason = message
+        #: Flight-recorder tail captured at the moment of divergence.
+        self.events = list(events or [])
+        tail = (
+            f"\n\n{_recorder.render_events(self.events)}"
+            if self.events
+            else ""
+        )
         super().__init__(
             f"[{subject}] op {index} {ops[index] if ops else '?'}: "
             f"{message}\n\nminimal repro "
-            f"({len(ops)} op(s)):\n\n{self.repro()}"
+            f"({len(ops)} op(s)):\n\n{self.repro()}{tail}"
         )
 
     def repro(self) -> str:
@@ -155,6 +164,8 @@ class _Divergence(Exception):
         self.index = index
         self.subject = subject
         self.message = message
+        #: Black-box tail: what the process was doing just before.
+        self.events = _recorder.dump(last=24)
         super().__init__(message)
 
 
@@ -486,6 +497,7 @@ def _execute(ops: List[Op], config: FuzzConfig) -> FuzzReport:
                     _rt.enable()
             kind = op[0]
             report.op_counts[kind] = report.op_counts.get(kind, 0) + 1
+            _recorder.record("fuzz_op", index=index, op=kind)
             if kind == "bulk_load":
                 for key, value in op[1]:
                     model.put(key, value)
@@ -615,7 +627,8 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         else:
             ops = ops[: div.index + 1]
         raise FuzzFailure(
-            config, ops, div.index, div.subject, div.message
+            config, ops, div.index, div.subject, div.message,
+            events=div.events,
         ) from None
 
 
@@ -626,5 +639,5 @@ def replay(ops: List[Op], config: FuzzConfig) -> FuzzReport:
     except _Divergence as div:
         raise FuzzFailure(
             config, list(ops[: div.index + 1]), div.index, div.subject,
-            div.message,
+            div.message, events=div.events,
         ) from None

@@ -55,6 +55,7 @@ lets ``0`` double as "empty slot" / "no node" / "end of free list".
 
 from __future__ import annotations
 
+import weakref
 from array import array
 from typing import Any, Dict, Iterator, List, Tuple
 
@@ -130,6 +131,11 @@ def hc_block_len(k: int) -> int:
     return 2 + k + (1 << k)
 
 
+#: Every live arena, tracked weakly so the health collector below can
+#: aggregate slab/free-list gauges without pinning trees in memory.
+_LIVE_ARENAS: "weakref.WeakSet[NodeArena]" = weakref.WeakSet()
+
+
 class NodeArena:
     """The two slabs plus the Python-object value pool of one tree."""
 
@@ -146,10 +152,12 @@ class NodeArena:
         "live_entries",
         "n_nodes",
         "_sent_arrays",
+        "__weakref__",
     )
 
     def __init__(self, k: int) -> None:
         self.k = k
+        _LIVE_ARENAS.add(self)
         # Fills unused LHC address slots; sorts after every real address
         # (addresses are k-bit), so bisect over the full capacity works.
         self.sentinel = 1 << k
@@ -368,3 +376,90 @@ class NodeArena:
                     ref = words[i]
                     if ref & 1:
                         stack.append(ref >> 1)
+
+
+# ---------------------------------------------------------------------------
+# Arena health gauges (registry collector)
+# ---------------------------------------------------------------------------
+#
+# Fragmentation used to require running ``memory/report.py``; these
+# gauges surface the same accounting through the metrics registry so
+# ``repro.tool metrics`` shows it on a live process.  The collector
+# only runs at exposition time (render/dump), so steady-state cost is
+# zero; the free-list walks are O(free blocks).
+
+
+def _collect_arena_health() -> None:
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    instances = registry.gauge(
+        "repro_arena_instances",
+        "Live NodeArena objects in this process.",
+    )
+    slab_bytes = registry.gauge(
+        "repro_arena_slab_bytes",
+        "Aggregate slab footprint across live arenas "
+        "(capacity = allocated, live = inside live blocks/records).",
+        labelnames=("kind",),
+    )
+    nodes = registry.gauge(
+        "repro_arena_nodes",
+        "Live node blocks across live arenas.",
+    )
+    entries_g = registry.gauge(
+        "repro_arena_entries",
+        "Entry records across live arenas, by state.",
+        labelnames=("state",),
+    )
+    free_blocks = registry.gauge(
+        "repro_arena_free_blocks",
+        "Node free-list length per block size class (words).",
+        labelnames=("block_len",),
+    )
+    free_values = registry.gauge(
+        "repro_arena_free_values",
+        "Recyclable slots in the value pools of live arenas.",
+    )
+
+    arenas = list(_LIVE_ARENAS)
+    capacity = live = n_nodes = live_entries = 0
+    free_entries = n_free_values = 0
+    per_len: Dict[int, int] = {}
+    for arena in arenas:
+        try:
+            capacity += arena.capacity_bytes()
+            live += arena.live_bytes()
+            n_nodes += arena.n_nodes
+            live_entries += arena.live_entries
+            free_entries += len(arena.free_entry_offsets())
+            n_free_values += len(arena.value_free)
+            for length, offs in arena.free_block_offsets().items():
+                per_len[length] = per_len.get(length, 0) + len(offs)
+        except Exception:
+            # An arena mutating on another thread can present a torn
+            # free list; skip it rather than fail the exposition.
+            continue
+
+    instances.set(len(arenas))
+    slab_bytes.labels("capacity").set(capacity)
+    slab_bytes.labels("live").set(live)
+    nodes.set(n_nodes)
+    entries_g.labels("live").set(live_entries)
+    entries_g.labels("free").set(free_entries)
+    free_values.set(n_free_values)
+    # Zero stale size classes (children persist across resets), then
+    # publish the current census.
+    for _, child in free_blocks.children():
+        child.set(0)
+    for length, count in sorted(per_len.items()):
+        free_blocks.labels(str(length)).set(count)
+
+
+def _register_arena_collector() -> None:
+    from repro.obs.metrics import get_registry
+
+    get_registry().add_collector("arena_health", _collect_arena_health)
+
+
+_register_arena_collector()

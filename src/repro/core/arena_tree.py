@@ -51,8 +51,11 @@ from repro.core.hypercube import (
 from repro.core.node import Entry, Node
 from repro.core.phtree import PHTree
 from repro.core.specialize import ARENA_REMOVE_MISS
+from repro.obs import heat as _heat
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
+from time import perf_counter as _perf_counter
 
 __all__ = ["ArenaPHTree"]
 
@@ -364,6 +367,7 @@ class ArenaPHTree(PHTree):
             words[noff] = (h & ~(63 << CAP_SHIFT)) | HC_BIT
             if _rt.enabled:
                 _probes.switch_to_hc.inc()
+                _recorder.record("hc_lhc_switch", to="hc")
             return noff
         cap_log = (n - 1).bit_length() if n > 2 else 1
         cap = 1 << cap_log
@@ -385,6 +389,7 @@ class ArenaPHTree(PHTree):
         )
         if _rt.enabled:
             _probes.switch_to_lhc.inc()
+            _recorder.record("hc_lhc_switch", to="lhc")
         return noff
 
     def _resize_lhc(
@@ -759,6 +764,7 @@ class ArenaPHTree(PHTree):
                 _probes.switch_to_hc.inc()
             if w2 != w1:
                 (_probes.switch_to_hc if w2 else _probes.switch_to_lhc).inc()
+            _recorder.record("split", level=conflict)
         infix_bits = ((h & 63) - 1 - conflict) << 6
         if w2:
             mid = arena.alloc_block(hc_block_len(k))
@@ -873,6 +879,7 @@ class ArenaPHTree(PHTree):
                 _probes.switch_to_hc.inc()
             if w2 != w1:
                 (_probes.switch_to_hc if w2 else _probes.switch_to_lhc).inc()
+            _recorder.record("split", level=conflict)
         infix_bits = (parent_post - 1 - conflict) << 6
         if w2:
             mid = arena.alloc_block(hc_block_len(k))
@@ -984,6 +991,7 @@ class ArenaPHTree(PHTree):
         obs = _rt.enabled
         if obs:
             _probes.ops_put.inc()
+            _heat.record(key, self._width, "put")
         arena = self._arena
         words = arena.words
         k = self._dims
@@ -1185,7 +1193,11 @@ class ArenaPHTree(PHTree):
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_get.inc()
+            t0 = _perf_counter()
             e = self._find_entry_counted_off(key)
+            _heat.record(
+                key, self._width, "get", _perf_counter() - t0
+            )
         else:
             e = self._find_entry_off(key)
         if e < 0:
@@ -1203,6 +1215,7 @@ class ArenaPHTree(PHTree):
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_contains.inc()
+            _heat.record(key, self._width, "contains")
             return self._find_entry_counted_off(key) >= 0
         return self._find_entry_off(key) >= 0
 
@@ -1225,6 +1238,7 @@ class ArenaPHTree(PHTree):
         obs = _rt.enabled
         if obs:
             _probes.ops_remove.inc()
+            _heat.record(key, self._width, "remove")
         arena = self._arena
         words = arena.words
         k = self._dims
@@ -1399,6 +1413,7 @@ class ArenaPHTree(PHTree):
                 self._root_off = 0
                 if _rt.enabled:
                     _probes.tree_nodes_merged.inc()
+                    _recorder.record("merge", root=True)
             return
         if n >= 2:
             return
@@ -1421,6 +1436,7 @@ class ArenaPHTree(PHTree):
             )
         if _rt.enabled:
             _probes.tree_nodes_merged.inc()
+            _recorder.record("merge")
         arena.free_block(off, arena.block_len(off))
         self._put_ref(parent_off, parent_pidx, parent_a, survivor)
 
@@ -1446,6 +1462,12 @@ class ArenaPHTree(PHTree):
         box_max = self._check_key(box_max)
         if _rt.enabled:
             _probes.ops_query.inc()
+            return _heat.timed_iter(
+                arena_range_scan(self, box_min, box_max, 0),
+                box_min,
+                self._width,
+                "query",
+            )
         # The mask-less ablation engine is object-layout only; the arena
         # scan is mask-guided either way (results are identical).
         return arena_range_scan(self, box_min, box_max, 0)
@@ -1464,6 +1486,12 @@ class ArenaPHTree(PHTree):
         box_max = self._check_key(box_max)
         if _rt.enabled:
             _probes.ops_query_approx.inc()
+            return _heat.timed_iter(
+                arena_range_scan(self, box_min, box_max, slack_bits),
+                box_min,
+                self._width,
+                "query",
+            )
         return arena_range_scan(self, box_min, box_max, slack_bits)
 
     def get_many(
@@ -1494,9 +1522,11 @@ class ArenaPHTree(PHTree):
                 checked = self._check_key(key)
             return spec.arena_knn(self, checked, n)
         key = self._check_key(key)
-        if _rt.enabled:
+        obs = _rt.enabled
+        if obs:
             _probes.ops_knn.inc()
-        return [
+            t0 = _perf_counter()
+        result = [
             (found_key, value)
             for _, found_key, value in knn_mod.arena_knn_iter(
                 self,
@@ -1506,6 +1536,11 @@ class ArenaPHTree(PHTree):
                 self._morton_key(),
             )
         ]
+        if obs:
+            _heat.record(
+                key, self._width, "knn", _perf_counter() - t0
+            )
+        return result
 
     def nearest_iter(
         self, key: Sequence[int]
@@ -1513,6 +1548,7 @@ class ArenaPHTree(PHTree):
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_knn.inc()
+            _heat.record(key, self._width, "knn")
         for _, found_key, value in knn_mod.arena_knn_iter(
             self,
             len(self),

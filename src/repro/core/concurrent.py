@@ -21,6 +21,7 @@ from time import monotonic
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
 
 __all__ = ["LockTimeout", "ReadWriteLock", "SynchronizedPHTree"]
@@ -117,6 +118,10 @@ class ReadWriteLock:
                     if remaining <= 0:
                         if _rt.enabled:
                             _probes.lock_timeouts_read.inc()
+                        _recorder.record(
+                            "lock_timeout", mode="read",
+                            timeout_s=timeout,
+                        )
                         raise LockTimeout(
                             f"read lock not acquired within "
                             f"{timeout:.3f}s"
@@ -182,6 +187,10 @@ class ReadWriteLock:
                     if remaining <= 0:
                         if _rt.enabled:
                             _probes.lock_timeouts_write.inc()
+                        _recorder.record(
+                            "lock_timeout", mode="write",
+                            timeout_s=timeout,
+                        )
                         raise LockTimeout(
                             f"write lock not acquired within "
                             f"{timeout:.3f}s"

@@ -26,6 +26,7 @@ from repro.core.hypercube import (
     prefer_hc,
 )
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
 
 __all__ = ["Entry", "Node", "hypercube_address"]
@@ -219,6 +220,9 @@ class Node:
                     _probes.switch_to_hc.inc()
                 else:
                     _probes.switch_to_lhc.inc()
+                _recorder.record(
+                    "hc_lhc_switch", to="hc" if want_hc else "lhc"
+                )
 
     # -- debugging ---------------------------------------------------------
 

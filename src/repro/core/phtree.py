@@ -38,8 +38,11 @@ from repro.core import specialize as spec_mod
 from repro.core.kernel import iter_subtree
 from repro.core.node import Entry, Node, masked_prefix
 from repro.core.range_query import naive_range_iter, range_iter
+from repro.obs import heat as _heat
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
+from time import perf_counter as _perf_counter
 
 __all__ = ["PHTree"]
 
@@ -294,6 +297,7 @@ class PHTree:
         obs = _rt.enabled
         if obs:
             _probes.ops_put.inc()
+            _heat.record(key, self._width, "put")
         if self._root is None:
             root = Node(
                 post_len=self._width - 1,
@@ -409,6 +413,8 @@ class PHTree:
         self, parent: Node, key: Tuple[int, ...], conflict_pos: int
     ) -> Node:
         """Create the sub-node splitting at bit position ``conflict_pos``."""
+        if _rt.enabled:
+            _recorder.record("split", level=conflict_pos)
         return Node(
             post_len=conflict_pos,
             infix_len=parent.post_len - 1 - conflict_pos,
@@ -430,7 +436,11 @@ class PHTree:
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_get.inc()
+            t0 = _perf_counter()
             entry = self._find_entry_counted(key)
+            _heat.record(
+                key, self._width, "get", _perf_counter() - t0
+            )
         else:
             entry = self._find_entry(key)
         if entry is None:
@@ -451,6 +461,7 @@ class PHTree:
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_contains.inc()
+            _heat.record(key, self._width, "contains")
             return self._find_entry_counted(key) is not None
         return self._find_entry(key) is not None
 
@@ -544,6 +555,7 @@ class PHTree:
         obs = _rt.enabled
         if obs:
             _probes.ops_remove.inc()
+            _heat.record(key, self._width, "remove")
         parent: Optional[Node] = None
         parent_address = -1
         depth = 1
@@ -590,6 +602,7 @@ class PHTree:
                 self._root = None
                 if _rt.enabled:
                     _probes.tree_nodes_merged.inc()
+                    _recorder.record("merge")
             return
         count = node.num_slots()
         if count >= 2:
@@ -603,6 +616,7 @@ class PHTree:
             survivor.infix_len += node.infix_len + 1
         if _rt.enabled:
             _probes.tree_nodes_merged.inc()
+            _recorder.record("merge")
         parent.put_slot(
             parent_address,
             survivor,
@@ -661,6 +675,15 @@ class PHTree:
         box_max = self._check_key(box_max)
         if _rt.enabled:
             _probes.ops_query.inc()
+            if use_masks:
+                it = range_iter(
+                    self._root, box_min, box_max, self._spec
+                )
+            else:
+                it = naive_range_iter(self._root, box_min, box_max)
+            return _heat.timed_iter(
+                it, box_min, self._width, "query"
+            )
         if use_masks:
             return range_iter(self._root, box_min, box_max, self._spec)
         return naive_range_iter(self._root, box_min, box_max)
@@ -690,6 +713,14 @@ class PHTree:
         box_max = self._check_key(box_max)
         if _rt.enabled:
             _probes.ops_query_approx.inc()
+            return _heat.timed_iter(
+                approx_range_iter(
+                    self._root, box_min, box_max, slack_bits, self._spec
+                ),
+                box_min,
+                self._width,
+                "query",
+            )
         return approx_range_iter(
             self._root, box_min, box_max, slack_bits, self._spec
         )
@@ -718,9 +749,11 @@ class PHTree:
         the stored key set).
         """
         key = self._check_key(key)
-        if _rt.enabled:
+        obs = _rt.enabled
+        if obs:
             _probes.ops_knn.inc()
-        return [
+            t0 = _perf_counter()
+        result = [
             (found_key, value)
             for _, found_key, value in knn_mod.knn_iter(
                 self._root,
@@ -730,6 +763,11 @@ class PHTree:
                 self._morton_key(),
             )
         ]
+        if obs:
+            _heat.record(
+                key, self._width, "knn", _perf_counter() - t0
+            )
+        return result
 
     def nearest_iter(
         self, key: Sequence[int]
@@ -739,6 +777,7 @@ class PHTree:
         key = self._check_key(key)
         if _rt.enabled:
             _probes.ops_knn.inc()
+            _heat.record(key, self._width, "knn")
         for _, found_key, value in knn_mod.knn_iter(
             self._root,
             len(self),

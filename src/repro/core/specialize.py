@@ -86,6 +86,54 @@ MAX_SPECIALIZED_DIMS = 32
 #: miss needs a private out-of-band token).
 ARENA_REMOVE_MISS = object()
 
+# ---------------------------------------------------------------------------
+# Plan-cache accounting (shared by every generated arena scan kernel)
+# ---------------------------------------------------------------------------
+
+#: ``[hits, misses, invalidations]`` per generated read kernel.  Misses
+#: and invalidations are counted unconditionally (both sit on cold
+#: paths); hits are counted only by the *instrumented* twins so the
+#: plain kernels stay increment-free per node visit.
+PLAN_CACHE_WINDOW = [0, 0, 0]
+PLAN_CACHE_GET_MANY = [0, 0, 0]
+
+_plan_cache_events = _probes.registry.gauge(
+    "repro_plan_cache_events",
+    "Plan-cache activity of the generated arena scan kernels "
+    "(hit counting needs obs enabled; misses/invalidations are "
+    "always counted).",
+    labelnames=("kernel", "event"),
+)
+
+
+def _collect_plan_cache() -> None:
+    for kernel, counts in (
+        ("window", PLAN_CACHE_WINDOW),
+        ("get_many", PLAN_CACHE_GET_MANY),
+    ):
+        for event, value in zip(
+            ("hit", "miss", "invalidation"), counts
+        ):
+            _plan_cache_events.labels(kernel, event).set(value)
+
+
+_probes.registry.add_collector("plan_cache", _collect_plan_cache)
+
+
+def reset_plan_cache_counts() -> None:
+    """Zero the plan-cache aggregates (``repro.obs.reset_all``)."""
+    for counts in (PLAN_CACHE_WINDOW, PLAN_CACHE_GET_MANY):
+        counts[0] = counts[1] = counts[2] = 0
+
+
+def _plan_invalidated(pc: list, entries: int) -> None:
+    """Epoch flush observed by a generated kernel: count it and leave a
+    flight-recorder breadcrumb (rare -- once per mutation batch)."""
+    pc[2] += 1
+    from repro.obs import recorder as _recorder
+
+    _recorder.record("plan_cache_invalidation", entries=entries)
+
 
 # ---------------------------------------------------------------------------
 # Source emission helpers (k-unrolled code fragments)
@@ -886,7 +934,7 @@ def _entry_tuple(k: int, e: str = "e") -> str:
     return "(" + ", ".join(parts) + ("," if k == 1 else "") + ")"
 
 
-def _plan_build_lines(k: int, off: str, pad: str) -> list:
+def _plan_build_lines(k: int, off: str, pad: str, pc: str) -> list:
     """Emit the cold-path node-plan build for ``off`` into ``f`` and
     memoise it in ``cache``.
 
@@ -927,15 +975,20 @@ def _plan_build_lines(k: int, off: str, pad: str) -> list:
         f"{pad}    aa = words[base : base + nn].tolist()",
         f"{pad}    f = (h & 63, nn, rr, aa, dict(zip(aa, rr)){lhc_tail}",
         f"{pad}cache[{off}] = f",
+        f"{pad}{pc}[1] += 1",
     ]
 
 
-def _emit_cache_preamble(emit) -> None:
+def _emit_cache_preamble(emit, pc: str) -> None:
     """Epoch check shared by the cached read kernels: any mutation since
-    the cache was filled invalidates every plan at once."""
+    the cache was filled invalidates every plan at once.  A non-empty
+    flush counts as one invalidation (``_plan_invalidated`` also drops
+    a flight-recorder event); the fast path stays one compare."""
     emit("    cache = tree._plan_cache")
     emit("    if tree._plan_epoch != tree._mut_epoch:")
-    emit("        cache.clear()")
+    emit("        if cache:")
+    emit(f"            _plan_invalidated({pc}, len(cache))")
+    emit("            cache.clear()")
     emit("        tree._plan_epoch = tree._mut_epoch")
 
 
@@ -986,11 +1039,14 @@ def _emit_arena_range_scan(k: int, instr: bool) -> str:
         emit(f"        cl{d} = bl{d}")
         emit(f"        ch{d} = bh{d}")
     emit("")
-    _emit_cache_preamble(emit)
+    _emit_cache_preamble(emit, "_pcw")
     emit("    f = cache.get(root)")
     emit("    if f is None:")
-    for ln in _plan_build_lines(k, "root", "        "):
+    for ln in _plan_build_lines(k, "root", "        ", "_pcw"):
         emit(ln)
+    if instr:
+        emit("    else:")
+        emit("        _pcw[0] += 1")
     frame_names = "post, limit, refs, addrs, _lut, " + ", ".join(
         f"p{d}" for d in range(k)
     )
@@ -1080,8 +1136,11 @@ def _emit_arena_range_scan(k: int, instr: bool) -> str:
     b("        child = ref >> 1")
     b("        f = cache.get(child)")
     b("        if f is None:")
-    for ln in _plan_build_lines(k, "child", "            "):
+    for ln in _plan_build_lines(k, "child", "            ", "_pcw"):
         b(ln)
+    if instr:
+        b("        else:")
+        b("            _pcw[0] += 1")
     b("        if mode == 0:")
     b("            push((refs, addrs, cur, ml, mh, mode, limit))")
     b(
@@ -1238,14 +1297,17 @@ def _emit_arena_get_many(k: int, instr: bool) -> str:
     emit("    values = arena.values")
     if k > 1:
         emit("    uk = _ukey")
-    _emit_cache_preamble(emit)
+    _emit_cache_preamble(emit, "_pcg")
     if instr:
         emit("    c_nodes = 1")
         emit("    c_slots = 0")
     emit("    f = cache.get(root)")
     emit("    if f is None:")
-    for ln in _plan_build_lines(k, "root", "        "):
+    for ln in _plan_build_lines(k, "root", "        ", "_pcg"):
         emit(ln)
+    if instr:
+        emit("    else:")
+        emit("        _pcg[0] += 1")
     emit(f"    {frame} = f")
     emit("    path = [f]")
     emit("    push = path.append")
@@ -1272,8 +1334,13 @@ def _emit_arena_get_many(k: int, instr: bool) -> str:
     emit("                child = ref >> 1")
     emit("                f = cache.get(child)")
     emit("                if f is None:")
-    for ln in _plan_build_lines(k, "child", "                    "):
+    for ln in _plan_build_lines(
+        k, "child", "                    ", "_pcg"
+    ):
         emit(ln)
+    if instr:
+        emit("                else:")
+        emit("                    _pcg[0] += 1")
     qs = ", ".join(f"q{d}" for d in range(k))
     emit(f"                cpost, clim, crefs, caddrs, clut, {qs} = f")
     emit(
@@ -1564,6 +1631,9 @@ class Specialization:
             "_heappush": heapq.heappush,
             "_heappop": heapq.heappop,
             "_miss": ARENA_REMOVE_MISS,
+            "_pcw": PLAN_CACHE_WINDOW,
+            "_pcg": PLAN_CACHE_GET_MANY,
+            "_plan_invalidated": _plan_invalidated,
             # One C call reads k (or k+1) consecutive slab words as a
             # ready tuple; the slabs are native 64-bit arrays so "=Q"
             # matches the array('Q') item layout exactly.

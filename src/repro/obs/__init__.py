@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.obs import metrics, probes, runtime
+from repro.obs import heat, metrics, probes, recorder, runtime, span
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -43,27 +43,38 @@ from repro.obs.metrics import (
     Registry,
     get_registry,
 )
+from repro.obs.recorder import FlightRecorder, get_recorder
 from repro.obs.runtime import disable, enable, is_enabled
+from repro.obs.span import Trace, current_trace, start_trace
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Registry",
+    "Trace",
     "configure_logging",
+    "current_trace",
     "disable",
     "dump_json",
     "enable",
     "explain_knn",
     "explain_query",
     "get_logger",
+    "get_recorder",
     "get_registry",
+    "heat",
     "is_enabled",
     "metrics",
     "probes",
+    "recorder",
     "render_prometheus",
     "reset",
+    "reset_all",
     "runtime",
+    "span",
+    "start_trace",
 ]
 
 
@@ -80,6 +91,21 @@ def dump_json() -> Dict[str, Any]:
 def reset() -> None:
     """Zero every metric in the process-global registry."""
     metrics.REGISTRY.reset()
+
+
+def reset_all() -> None:
+    """Reset *all* telemetry state: registry values, z-region heat
+    buckets, the flight recorder, and the plan-cache aggregates the
+    generated arena kernels count into.  This is what
+    ``repro.tool metrics --reset`` calls, and what makes repeated
+    in-process CLI runs idempotent."""
+    metrics.REGISTRY.reset()
+    heat.reset()
+    recorder.clear()
+    # Lazy: repro.core.specialize imports this package at import time.
+    from repro.core import specialize as _specialize
+
+    _specialize.reset_plan_cache_counts()
 
 
 def explain_query(tree: Any, box_min: Any, box_max: Any, **kw: Any):

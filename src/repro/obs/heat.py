@@ -1,0 +1,342 @@
+"""Z-region heat tracking: who is hammering which part of z-space.
+
+The PH-tree's z-ordering (paper §3.1) makes "where is the load" a
+prefix question: the top ``levels`` bits of every dimension name an
+axis-aligned region of key space, and the interleaved form of those
+bits is a z-prefix.  :class:`ZHeatMap` buckets operations by that
+prefix and keeps, per region:
+
+- a per-op **count** (put/get/remove/query/knn/...),
+- a **hotness score** with exponential half-life decay, so "hot right
+  now" and "hot last week" are different answers,
+- a **latency EWMA** for the ops that report a duration.
+
+Buckets are a sparse dict keyed by ``(dims, width, code)`` -- only
+regions that actually see traffic take memory.  Feeding sites sit
+behind ``runtime.enabled`` (or inside already-instrumented twins), so
+the disabled path pays nothing.  Updates are plain dict/attribute ops
+under the GIL; concurrent feeders may interleave, which is fine for
+telemetry.
+
+This is the data plane for the ROADMAP's elastic-sharding rebalancer
+and the learned z-address router: both consume "top-N hottest
+z-prefixes" snapshots.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.encoding.interleave import deinterleave, interleave
+
+__all__ = [
+    "DEFAULT_HALF_LIFE_S",
+    "DEFAULT_LEVELS",
+    "HEATMAP",
+    "ZHeatBucket",
+    "ZHeatMap",
+    "get_heatmap",
+    "record",
+    "record_region",
+    "render",
+    "reset",
+    "set_levels",
+    "snapshot",
+    "top",
+]
+
+#: Bits per dimension that name a region.  4 bits/dim keeps the bucket
+#: space small (<= 2^(4k) regions, sparse in practice) while still
+#: separating clusters that differ in their top hex digit.
+DEFAULT_LEVELS = 4
+
+#: Hotness half-life: a region untouched for this long keeps half its
+#: score.  Short enough that "hot" means *now*, long enough that a
+#: rebalancer polling every few seconds sees a stable ranking.
+DEFAULT_HALF_LIFE_S = 30.0
+
+#: EWMA weight for new latency samples.
+_LATENCY_ALPHA = 0.2
+
+
+class ZHeatBucket:
+    """Accumulated heat for one z-prefix region."""
+
+    __slots__ = (
+        "dims",
+        "width",
+        "levels",
+        "code",
+        "count",
+        "ops",
+        "score",
+        "last",
+        "latency_ewma_s",
+        "latency_count",
+    )
+
+    def __init__(
+        self, dims: int, width: int, levels: int, code: int
+    ) -> None:
+        self.dims = dims
+        self.width = width
+        self.levels = levels
+        self.code = code
+        self.count = 0
+        self.ops: Dict[str, int] = {}
+        self.score = 0.0
+        self.last = 0.0
+        self.latency_ewma_s = 0.0
+        self.latency_count = 0
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        """Per-dimension ``[lo, hi]`` bounds of this region, in encoded
+        (unsigned) key space."""
+        prefixes = deinterleave(self.code, self.dims, self.levels)
+        shift = self.width - self.levels
+        span = (1 << shift) - 1 if shift > 0 else 0
+        return [(p << shift, (p << shift) + span) for p in prefixes]
+
+    def contains(self, key: Sequence[int]) -> bool:
+        """Whether an encoded key falls inside this region."""
+        return all(
+            lo <= value <= hi
+            for value, (lo, hi) in zip(key, self.ranges())
+        )
+
+    def bits(self) -> str:
+        """The z-prefix as a bit string (``levels * dims`` bits)."""
+        return format(self.code, f"0{self.levels * self.dims}b")
+
+    def scored(self, now: float, half_life_s: float) -> float:
+        """Score decayed to ``now`` (read-only; does not mutate)."""
+        if self.score == 0.0:
+            return 0.0
+        return self.score * 0.5 ** ((now - self.last) / half_life_s)
+
+
+class ZHeatMap:
+    """Fixed-depth z-prefix heat buckets over encoded key space."""
+
+    __slots__ = ("levels", "half_life_s", "_buckets", "_clock")
+
+    def __init__(
+        self,
+        levels: int = DEFAULT_LEVELS,
+        half_life_s: float = DEFAULT_HALF_LIFE_S,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if levels <= 0:
+            raise ValueError(f"levels must be positive, got {levels}")
+        if half_life_s <= 0:
+            raise ValueError(
+                f"half_life_s must be positive, got {half_life_s}"
+            )
+        self.levels = levels
+        self.half_life_s = half_life_s
+        self._buckets: Dict[Tuple[int, int, int], ZHeatBucket] = {}
+        self._clock = clock
+
+    # -- feeding -----------------------------------------------------------
+
+    def record(
+        self,
+        key: Sequence[int],
+        width: int,
+        op: str,
+        seconds: Optional[float] = None,
+        count: int = 1,
+    ) -> None:
+        """Charge ``count`` ops of kind ``op`` to the region holding
+        ``key`` (an encoded, unsigned key of per-dim ``width`` bits).
+
+        ``seconds``, when given, feeds the region's latency EWMA.
+        """
+        levels = self.levels if width >= self.levels else width
+        shift = width - levels
+        k = len(key)
+        code = interleave([v >> shift for v in key], levels)
+        bkey = (k, width, code)
+        bucket = self._buckets.get(bkey)
+        if bucket is None:
+            bucket = ZHeatBucket(k, width, levels, code)
+            self._buckets[bkey] = bucket
+        now = self._clock()
+        if bucket.score:
+            bucket.score *= 0.5 ** (
+                (now - bucket.last) / self.half_life_s
+            )
+        bucket.score += count
+        bucket.last = now
+        bucket.count += count
+        bucket.ops[op] = bucket.ops.get(op, 0) + count
+        if seconds is not None:
+            if bucket.latency_count == 0:
+                bucket.latency_ewma_s = seconds
+            else:
+                bucket.latency_ewma_s += _LATENCY_ALPHA * (
+                    seconds - bucket.latency_ewma_s
+                )
+            bucket.latency_count += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def top(self, n: int = 10) -> List[ZHeatBucket]:
+        """The ``n`` hottest regions by decayed score, hottest first."""
+        now = self._clock()
+        hl = self.half_life_s
+        ranked = sorted(
+            self._buckets.values(),
+            key=lambda b: (b.scored(now, hl), b.count, b.code),
+            reverse=True,
+        )
+        return ranked[: max(0, n)]
+
+    def snapshot(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """JSON-friendly view of the top ``n`` (or all) regions."""
+        now = self._clock()
+        hl = self.half_life_s
+        buckets = self.top(n if n is not None else len(self._buckets))
+        return [
+            {
+                "z_prefix": b.bits(),
+                "code": b.code,
+                "dims": b.dims,
+                "width": b.width,
+                "levels": b.levels,
+                "ranges": [list(r) for r in b.ranges()],
+                "count": b.count,
+                "ops": dict(sorted(b.ops.items())),
+                "score": round(b.scored(now, hl), 3),
+                "latency_ewma_us": round(b.latency_ewma_s * 1e6, 3),
+                "latency_samples": b.latency_count,
+            }
+            for b in buckets
+        ]
+
+    def render(self, n: int = 10, bar_width: int = 32) -> str:
+        """Text histogram of the hottest regions, one line each."""
+        now = self._clock()
+        hl = self.half_life_s
+        buckets = self.top(n)
+        if not buckets:
+            return "heat map: (no traffic recorded)\n"
+        peak = max(b.scored(now, hl) for b in buckets) or 1.0
+        lines = [
+            f"heat map: top {len(buckets)} of {len(self._buckets)} "
+            f"z-regions ({self.levels} bits/dim, "
+            f"half-life {self.half_life_s:g}s)"
+        ]
+        for b in buckets:
+            score = b.scored(now, hl)
+            bar = "#" * max(1, round(bar_width * score / peak))
+            ops = " ".join(
+                f"{name}={b.ops[name]}" for name in sorted(b.ops)
+            )
+            lat = (
+                f" ~{b.latency_ewma_s * 1e6:.1f}us"
+                if b.latency_count
+                else ""
+            )
+            lines.append(
+                f"  z={b.bits()} {bar:<{bar_width}s} "
+                f"score={score:8.1f} n={b.count}{lat}  [{ops}]"
+            )
+            lines.append(
+                "    region "
+                + " x ".join(
+                    f"[{lo}, {hi}]" for lo, hi in b.ranges()
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every bucket."""
+        self._buckets.clear()
+
+    def set_levels(self, levels: int) -> None:
+        """Change the region depth; drops existing buckets (regions at
+        different depths are not comparable)."""
+        if levels <= 0:
+            raise ValueError(f"levels must be positive, got {levels}")
+        self.levels = levels
+        self._buckets.clear()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+#: The process-global heat map every feeding site reports into.
+HEATMAP = ZHeatMap()
+
+
+def get_heatmap() -> ZHeatMap:
+    """The process-global :class:`ZHeatMap`."""
+    return HEATMAP
+
+
+def record(
+    key: Sequence[int],
+    width: int,
+    op: str,
+    seconds: Optional[float] = None,
+) -> None:
+    """Charge one op at ``key`` to the process-global heat map."""
+    HEATMAP.record(key, width, op, seconds)
+
+
+def record_region(
+    key: Sequence[int],
+    width: int,
+    op: str,
+    count: int = 1,
+    seconds: Optional[float] = None,
+) -> None:
+    """Charge ``count`` ops at a representative ``key`` (e.g. a shard's
+    lower bound) to the process-global heat map."""
+    HEATMAP.record(key, width, op, seconds, count)
+
+
+def top(n: int = 10) -> List[ZHeatBucket]:
+    """Hottest regions of the process-global heat map."""
+    return HEATMAP.top(n)
+
+
+def snapshot(n: Optional[int] = None) -> List[Dict[str, Any]]:
+    """JSON snapshot of the process-global heat map."""
+    return HEATMAP.snapshot(n)
+
+
+def render(n: int = 10) -> str:
+    """Text histogram of the process-global heat map."""
+    return HEATMAP.render(n)
+
+
+def reset() -> None:
+    """Drop all buckets of the process-global heat map."""
+    HEATMAP.reset()
+
+
+def set_levels(levels: int) -> None:
+    """Re-depth the process-global heat map (drops buckets)."""
+    HEATMAP.set_levels(levels)
+
+
+def timed_iter(
+    it: Any, key: Sequence[int], width: int, op: str
+) -> Any:
+    """Wrap a scan iterator so that, once it finishes (or is dropped),
+    one ``op`` at ``key`` is charged with the wall time from first
+    ``next`` to exhaustion.  Consumer time between pulls is included --
+    this is request-level telemetry, not a kernel microbenchmark."""
+    from time import perf_counter
+
+    t0 = perf_counter()
+    try:
+        for item in it:
+            yield item
+    finally:
+        HEATMAP.record(key, width, op, perf_counter() - t0)

@@ -327,10 +327,11 @@ class MetricFamily:
 class Registry:
     """All metric families of one process, renderable as a whole."""
 
-    __slots__ = ("_families",)
+    __slots__ = ("_families", "_collectors")
 
     def __init__(self) -> None:
         self._families: Dict[str, MetricFamily] = {}
+        self._collectors: Dict[str, Any] = {}
 
     def _register(
         self,
@@ -388,14 +389,36 @@ class Registry:
             yield self._families[name]
 
     def reset(self) -> None:
-        """Zero every instrument in the registry."""
+        """Zero every instrument in the registry.
+
+        Families (and any pre-bound children probe modules hold) are
+        kept -- only values go to zero -- so resetting never orphans a
+        probe.
+        """
         for family in self._families.values():
             family.reset()
+
+    # -- collectors --------------------------------------------------------
+
+    def add_collector(self, name: str, fn: Any) -> None:
+        """Register a zero-argument callable that refreshes derived
+        metrics (e.g. gauges computed from live objects) just before
+        each exposition.  Re-registering the same ``name`` replaces the
+        previous collector, so modules can register at import time and
+        be re-imported freely."""
+        self._collectors[name] = fn
+
+    def collect(self) -> None:
+        """Run every registered collector (also called automatically by
+        :meth:`render_prometheus` / :meth:`dump_json`)."""
+        for fn in self._collectors.values():
+            fn()
 
     # -- exposition --------------------------------------------------------
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
+        self.collect()
         lines: List[str] = []
         for family in self.families():
             lines.append(f"# HELP {family.name} {family.help}")
@@ -407,6 +430,7 @@ class Registry:
 
     def dump_json(self) -> Dict[str, Any]:
         """JSON-friendly dump: ``{name: {type, help, values: [...]}}``."""
+        self.collect()
         out: Dict[str, Any] = {}
         for family in self.families():
             values = []

@@ -294,3 +294,29 @@ def record_knn(
 def record_shard_op(shard: int, op: str) -> None:
     """Count one operation against shard ``shard``."""
     shard_ops.labels(str(shard), op).inc()
+
+
+# -- derived telemetry (refreshed by registry collectors) ------------------
+
+heat_regions = registry.gauge(
+    "repro_heat_regions",
+    "Z-prefix regions currently tracked by the heat map.",
+)
+flight_recorder_events = registry.gauge(
+    "repro_flight_recorder_events",
+    "Events recorded by the flight recorder since its last clear "
+    "(only the newest `capacity` remain in the ring).",
+)
+
+
+def _collect_obs_state() -> None:
+    # Lazy imports: heat/recorder are siblings that may not be loaded
+    # yet when this module is first imported by a core hot path.
+    from repro.obs import heat as _heat
+    from repro.obs import recorder as _recorder
+
+    heat_regions.set(len(_heat.HEATMAP))
+    flight_recorder_events.set(_recorder.RECORDER.seq)
+
+
+registry.add_collector("obs_state", _collect_obs_state)

@@ -27,12 +27,14 @@ import uuid
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.frozen import FrozenPHTree, freeze
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
+from repro.obs import span as _span
 from repro.obs.log import get_logger
 from repro.parallel.errors import (
     SnapshotPublishError,
@@ -75,27 +77,63 @@ def _attach(name: str, value_codec: Any) -> FrozenPHTree:
 
 
 def _worker_window(
-    name: str, value_codec: Any, box_min: Key, box_max: Key
-) -> List[Tuple[Key, Any]]:
-    """One shard's window query, straight off the shared bytes."""
-    return list(_attach(name, value_codec).query(box_min, box_max))
+    name: str,
+    value_codec: Any,
+    box_min: Key,
+    box_max: Key,
+    want_spans: bool = False,
+) -> Any:
+    """One shard's window query, straight off the shared bytes.
+
+    With ``want_spans`` the worker also returns ``(name, t0, t1)``
+    span tuples timed on ``time.monotonic`` -- CLOCK_MONOTONIC is
+    system-wide on Linux, so the parent can splice them into its own
+    trace without clock translation.
+    """
+    if not want_spans:
+        return list(_attach(name, value_codec).query(box_min, box_max))
+    t0 = monotonic()
+    frozen = _attach(name, value_codec)
+    t1 = monotonic()
+    rows = list(frozen.query(box_min, box_max))
+    t2 = monotonic()
+    return rows, [("attach", t0, t1), ("scan", t1, t2)]
 
 
 def _worker_query_many(
     name: str,
     value_codec: Any,
     boxes: List[Tuple[Key, Key]],
-) -> List[List[Tuple[Key, Any]]]:
+    want_spans: bool = False,
+) -> Any:
     """One shard's slice of a batched window query."""
+    if not want_spans:
+        frozen = _attach(name, value_codec)
+        return [list(frozen.query(lo, hi)) for lo, hi in boxes]
+    t0 = monotonic()
     frozen = _attach(name, value_codec)
-    return [list(frozen.query(lo, hi)) for lo, hi in boxes]
+    t1 = monotonic()
+    rows = [list(frozen.query(lo, hi)) for lo, hi in boxes]
+    t2 = monotonic()
+    return rows, [("attach", t0, t1), ("scan", t1, t2)]
 
 
 def _worker_knn(
-    name: str, value_codec: Any, key: Key, n: int
-) -> List[Tuple[Key, Any]]:
+    name: str,
+    value_codec: Any,
+    key: Key,
+    n: int,
+    want_spans: bool = False,
+) -> Any:
     """One shard's k-nearest candidates (merged by the parent)."""
-    return _attach(name, value_codec).knn(key, n)
+    if not want_spans:
+        return _attach(name, value_codec).knn(key, n)
+    t0 = monotonic()
+    frozen = _attach(name, value_codec)
+    t1 = monotonic()
+    rows = frozen.knn(key, n)
+    t2 = monotonic()
+    return rows, [("attach", t0, t1), ("scan", t1, t2)]
 
 
 # ---------------------------------------------------------------------------
@@ -185,6 +223,9 @@ class SnapshotPool:
         except Exception as exc:
             if _rt.enabled:
                 _probes.snapshot_publish_failures.inc()
+            _recorder.record(
+                "snapshot_publish_failed", shard=shard, stage="allocate"
+            )
             _log.warning(
                 "failed to allocate snapshot segment for shard %d: %s",
                 shard,
@@ -198,6 +239,9 @@ class SnapshotPool:
         except BaseException as exc:
             if _rt.enabled:
                 _probes.snapshot_publish_failures.inc()
+            _recorder.record(
+                "snapshot_publish_failed", shard=shard, stage="fill"
+            )
             _log.warning(
                 "failed to fill snapshot segment for shard %d: %s",
                 shard,
@@ -237,6 +281,12 @@ class SnapshotPool:
             fresh = self._publish(shard)
             self._snapshots[shard] = fresh
             republished += 1
+            _recorder.record(
+                "snapshot_republish",
+                shard=shard,
+                generation=fresh.generation,
+                nbytes=fresh.nbytes,
+            )
             if _rt.enabled:
                 _probes.snapshot_republish.inc()
             if snapshot is not None:
@@ -297,6 +347,9 @@ class SnapshotPool:
         """
         if _rt.enabled:
             _probes.fanout_failures.labels(op).inc()
+        _recorder.record(
+            "pool_recycled", op=op, error=type(exc).__name__
+        )
         _log.warning(
             "%s fan-out failed (%s: %s); recycling the process pool",
             op,
@@ -313,7 +366,9 @@ class SnapshotPool:
     ) -> List[Tuple[Key, Any]]:
         """Window query fanned out over ``shards``; results arrive
         merged in z-order (= shard index order concatenation)."""
-        self.refresh()
+        trace = _span.current_trace()
+        with _span.maybe_span(trace, "refresh"):
+            self.refresh()
         pool = self._pool()
         obs = _rt.enabled
         if obs:
@@ -322,17 +377,30 @@ class SnapshotPool:
             for shard in shards:
                 _probes.record_shard_op(shard, "query")
         merged: List[Tuple[Key, Any]] = []
+        want_spans = trace is not None
+        t_fan = monotonic()
         try:
             futures = [
                 pool.submit(
-                    _worker_window, name, self._codec, box_min, box_max
+                    _worker_window,
+                    name,
+                    self._codec,
+                    box_min,
+                    box_max,
+                    want_spans,
                 )
                 for name in self._names(shards)
             ]
-            for future in futures:
-                merged.extend(future.result())
+            for shard, future in zip(shards, futures):
+                part = future.result()
+                if want_spans:
+                    part, wspans = part
+                    trace.add_remote(wspans, shard=shard)
+                merged.extend(part)
         except Exception as exc:
             self._fanout_failed("query", exc)
+        if want_spans:
+            trace.add("fanout", t_fan, monotonic(), shards=len(shards))
         if obs:
             _probes.fanout_latency.labels("query").observe(
                 perf_counter() - start
@@ -348,7 +416,9 @@ class SnapshotPool:
         """Batched window queries: ``per_shard`` maps shard -> indices
         into ``boxes`` that intersect it.  Per-box outputs concatenate
         shard results in shard order, which is z-order."""
-        self.refresh()
+        trace = _span.current_trace()
+        with _span.maybe_span(trace, "refresh"):
+            self.refresh()
         pool = self._pool()
         ordered = sorted(per_shard.items())
         obs = _rt.enabled
@@ -358,24 +428,34 @@ class SnapshotPool:
             for shard, _indices in ordered:
                 _probes.record_shard_op(shard, "query_many")
         results: List[List[Tuple[Key, Any]]] = [[] for _ in range(n_boxes)]
+        want_spans = trace is not None
+        t_fan = monotonic()
         try:
             futures = [
                 (
+                    shard,
                     indices,
                     pool.submit(
                         _worker_query_many,
                         self._snapshots[shard].segment.name,
                         self._codec,
                         [boxes[i] for i in indices],
+                        want_spans,
                     ),
                 )
                 for shard, indices in ordered
             ]
-            for indices, future in futures:
-                for index, part in zip(indices, future.result()):
+            for shard, indices, future in futures:
+                parts = future.result()
+                if want_spans:
+                    parts, wspans = parts
+                    trace.add_remote(wspans, shard=shard)
+                for index, part in zip(indices, parts):
                     results[index].extend(part)
         except Exception as exc:
             self._fanout_failed("query_many", exc)
+        if want_spans:
+            trace.add("fanout", t_fan, monotonic(), shards=len(ordered))
         if obs:
             _probes.fanout_latency.labels("query_many").observe(
                 perf_counter() - start
@@ -385,7 +465,9 @@ class SnapshotPool:
     def knn(self, key: Key, n: int) -> List[List[Tuple[Key, Any]]]:
         """Per-shard k-nearest candidate lists (every shard queried; the
         owning tree merges by ``(distance, z-code)``)."""
-        self.refresh()
+        trace = _span.current_trace()
+        with _span.maybe_span(trace, "refresh"):
+            self.refresh()
         pool = self._pool()
         shards = range(len(self._snapshots))
         obs = _rt.enabled
@@ -394,14 +476,26 @@ class SnapshotPool:
             _probes.fanout_tasks.labels("knn").inc(len(self._snapshots))
             for shard in shards:
                 _probes.record_shard_op(shard, "knn")
+        want_spans = trace is not None
+        t_fan = monotonic()
         try:
             futures = [
-                pool.submit(_worker_knn, name, self._codec, key, n)
+                pool.submit(
+                    _worker_knn, name, self._codec, key, n, want_spans
+                )
                 for name in self._names(shards)
             ]
-            results = [future.result() for future in futures]
+            results = []
+            for shard, future in zip(shards, futures):
+                part = future.result()
+                if want_spans:
+                    part, wspans = part
+                    trace.add_remote(wspans, shard=shard)
+                results.append(part)
         except Exception as exc:
             self._fanout_failed("knn", exc)
+        if want_spans:
+            trace.add("fanout", t_fan, monotonic(), shards=len(self._snapshots))
         if obs:
             _probes.fanout_latency.labels("knn").observe(
                 perf_counter() - start

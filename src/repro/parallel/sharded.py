@@ -34,7 +34,7 @@ from typing import (
     Tuple,
 )
 
-from time import perf_counter
+from time import monotonic, perf_counter
 
 from repro.core.bulk import bulk_load_sorted
 from repro.core.concurrent import SynchronizedPHTree
@@ -42,8 +42,11 @@ from repro.core.knn import squared_euclidean_region_int
 from repro.core.phtree import PHTree
 from repro.core.serialize import NoneValueCodec
 from repro.encoding.interleave import interleave
+from repro.obs import heat as _heat
 from repro.obs import probes as _probes
+from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
+from repro.obs import span as _span
 from repro.obs.log import get_logger
 from repro.parallel.errors import ParallelError
 from repro.parallel.router import ZShardRouter
@@ -58,22 +61,29 @@ Key = Tuple[int, ...]
 
 
 class _TimedGuard:
-    """Lock guard measuring acquisition wait into a histogram
-    (only constructed on the observability-enabled path)."""
+    """Lock guard measuring acquisition wait into a histogram and
+    dropping op begin/end events into the flight recorder (only
+    constructed on the observability-enabled path)."""
 
-    __slots__ = ("_guard", "_hist")
+    __slots__ = ("_guard", "_hist", "_shard", "_op")
 
-    def __init__(self, guard: Any, hist: Any) -> None:
+    def __init__(
+        self, guard: Any, hist: Any, shard: int, op: str
+    ) -> None:
         self._guard = guard
         self._hist = hist
+        self._shard = shard
+        self._op = op
 
     def __enter__(self) -> None:
+        _recorder.record("op_begin", shard=self._shard, op=self._op)
         start = perf_counter()
         self._guard.__enter__()
         self._hist.observe(perf_counter() - start)
 
     def __exit__(self, *exc_info: object) -> None:
         self._guard.__exit__(*exc_info)
+        _recorder.record("op_end", shard=self._shard, op=self._op)
 
 
 class ShardedPHTree:
@@ -249,11 +259,17 @@ class ShardedPHTree:
 
     def _write_guard(self, index: int, op: str) -> Any:
         """The shard's write lock; with observability enabled, also
-        counts the op against the shard and times the acquisition."""
+        counts the op against the shard, feeds the z-region heat map
+        at the shard's lower bound, and times the acquisition."""
         guard = self._shards[index].lock.write()
         if _rt.enabled:
             _probes.record_shard_op(index, op)
-            return _TimedGuard(guard, _probes.shard_lock_wait_write)
+            _heat.record_region(
+                self._router.bounds(index)[0], self._router.width, op
+            )
+            return _TimedGuard(
+                guard, _probes.shard_lock_wait_write, index, op
+            )
         return guard
 
     def _read_guard(self, index: int, op: str) -> Any:
@@ -261,7 +277,12 @@ class ShardedPHTree:
         guard = self._shards[index].lock.read()
         if _rt.enabled:
             _probes.record_shard_op(index, op)
-            return _TimedGuard(guard, _probes.shard_lock_wait_read)
+            _heat.record_region(
+                self._router.bounds(index)[0], self._router.width, op
+            )
+            return _TimedGuard(
+                guard, _probes.shard_lock_wait_read, index, op
+            )
         return guard
 
     def remove(self, key: Sequence[int], default: Any = _MISSING) -> Any:
@@ -392,11 +413,16 @@ class ShardedPHTree:
         live in-process engine -- same results, no infrastructure fault
         ever surfaces as a wrong or failed read.
         """
+        trace = _span.current_trace()
         box_min = self._check_key(box_min)
         box_max = self._check_key(box_max)
         if any(lo > hi for lo, hi in zip(box_min, box_max)):
             return []
-        shards = self._router.shards_for_box(box_min, box_max)
+        if trace is not None:
+            with trace.span("route"):
+                shards = self._router.shards_for_box(box_min, box_max)
+        else:
+            shards = self._router.shards_for_box(box_min, box_max)
         if self._workers:
             try:
                 return self._snapshot_pool().query(
@@ -415,14 +441,27 @@ class ShardedPHTree:
         self, shards: Sequence[int], box_min: Key, box_max: Key
     ) -> List[Tuple[Key, Any]]:
         merged: List[Tuple[Key, Any]] = []
-        if _rt.enabled:
+        trace = _span.current_trace()
+        if _rt.enabled or trace is not None:
             for index in shards:
-                with self._read_guard(index, "query"):
-                    merged.extend(
+                t0 = monotonic()
+                guard = (
+                    self._read_guard(index, "query")
+                    if _rt.enabled
+                    else self._shards[index].lock.read()
+                )
+                with guard:
+                    t1 = monotonic()
+                    part = list(
                         self._shards[index].unsafe_tree.query(
                             box_min, box_max
                         )
                     )
+                    t2 = monotonic()
+                if trace is not None:
+                    trace.add("lock_wait", t0, t1, shard=index)
+                    trace.add("scan", t1, t2, shard=index)
+                merged.extend(part)
             return merged
         for index in shards:
             merged.extend(self._shards[index].query(box_min, box_max))
@@ -460,13 +499,20 @@ class ShardedPHTree:
         use_masks: bool,
     ) -> List[List[Tuple[Key, Any]]]:
         results: List[List[Tuple[Key, Any]]] = [[] for _ in checked]
+        trace = _span.current_trace()
         for index in sorted(per_shard):
             positions = per_shard[index]
             locked = self._shards[index]
+            t0 = monotonic() if trace is not None else 0.0
             with self._read_guard(index, "query_many"):
+                t1 = monotonic() if trace is not None else 0.0
                 parts = locked.unsafe_tree.query_many(
                     [checked[p] for p in positions], use_masks=use_masks
                 )
+                t2 = monotonic() if trace is not None else 0.0
+            if trace is not None:
+                trace.add("lock_wait", t0, t1, shard=index)
+                trace.add("scan", t1, t2, shard=index)
             for position, part in zip(positions, parts):
                 results[position].extend(part)
         return results
@@ -503,6 +549,8 @@ class ShardedPHTree:
                 self._note_fallback("knn", exc)
         if candidate_lists is None:
             candidate_lists = self._knn_live_candidates(key, n)
+        trace = _span.current_trace()
+        t0 = monotonic() if trace is not None else 0.0
         merged = [
             (self._point_dist(key, candidate), interleave(candidate, width),
              candidate, value)
@@ -510,6 +558,8 @@ class ShardedPHTree:
             for candidate, value in part
         ]
         merged.sort(key=lambda item: (item[0], item[1]))
+        if trace is not None:
+            trace.add("merge", t0, monotonic())
         return [(candidate, value) for _, _, candidate, value in merged[:n]]
 
     def _knn_live_candidates(
@@ -536,9 +586,21 @@ class ShardedPHTree:
                     > distances[n - 1]
                 ):
                     break
-            if _rt.enabled:
-                with self._read_guard(index, "knn"):
+            trace = _span.current_trace()
+            if _rt.enabled or trace is not None:
+                t0 = monotonic()
+                guard = (
+                    self._read_guard(index, "knn")
+                    if _rt.enabled
+                    else self._shards[index].lock.read()
+                )
+                with guard:
+                    t1 = monotonic()
                     part = self._shards[index].unsafe_tree.knn(key, n)
+                    t2 = monotonic()
+                if trace is not None:
+                    trace.add("lock_wait", t0, t1, shard=index)
+                    trace.add("scan", t1, t2, shard=index)
             else:
                 part = self._shards[index].knn(key, n)
             candidate_lists.append(part)

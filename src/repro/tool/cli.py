@@ -108,10 +108,30 @@ def cmd_query(args: argparse.Namespace) -> int:
     index = load_index(Path(args.index))
     box_min, box_max = _parse_box(args.box, index.dims)
     lo, hi = encode_point(box_min), encode_point(box_max)
+    if args.explain and (args.shards > 1 or args.workers > 0):
+        # Request-scoped span waterfall across the shard fan-out:
+        # router -> per-shard lock wait -> scan (worker attach/scan
+        # when a process pool is used) -> merge.
+        from repro.core.serialize import U64ValueCodec
+        from repro.obs import span as span_mod
+        from repro.parallel import ShardedPHTree
+
+        with ShardedPHTree.build(
+            list(index.tree.items()),
+            dims=index.dims,
+            width=64,
+            shards=max(args.shards, 1),
+            workers=args.workers,
+            value_codec=U64ValueCodec,
+        ) as sharded:
+            with span_mod.start_trace() as trace:
+                results = sharded.query(lo, hi)
+        print(trace.render())
+        print(f"{len(results)} point(s) in box", file=sys.stderr)
+        return 0
     if args.explain:
-        # Per-node trace of the single-tree window traversal (the
-        # sharded fan-out, if requested, is bypassed: the trace
-        # explains the kernel's decisions, which are per-tree).
+        # Per-node trace of the single-tree window traversal: the
+        # trace explains the kernel's decisions, which are per-tree.
         from repro import obs
 
         trace = obs.explain_query(index.tree, lo, hi)
@@ -238,7 +258,11 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     sample = [key for key, _ in zip(index.tree.keys(), range(16))]
     domain_lo = (0,) * dims
     domain_hi = (_U64_MAX,) * dims
-    obs.reset()
+    # Full telemetry clear (registry + heat map + flight recorder +
+    # plan-cache counts): repeated in-process invocations must print
+    # the same workload picture, and the collector-backed gauges
+    # publish absolute values from those sources.
+    obs.reset_all()
     obs.enable()
     try:
         if args.shards > 1 or args.workers > 0:
@@ -283,7 +307,52 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print(json.dumps(obs.dump_json(), indent=2, sort_keys=True))
     else:
         print(obs.render_prometheus(), end="")
-    obs.reset()
+    if args.reset:
+        obs.reset_all()
+    return 0
+
+
+def cmd_heat(args: argparse.Namespace) -> int:
+    """Drive a read workload sampled from the index's own key
+    distribution and print the z-region heat map: where in key space
+    the data (and therefore the load) concentrates.
+
+    Every sampled key is probed with a point read, and a window probe
+    is fired around a spread of anchors, so the heat buckets carry
+    both op counts and scan-latency EWMAs."""
+    from repro import obs
+    from repro.obs import heat as heat_mod
+
+    index = load_index(Path(args.index))
+    tree = index.tree
+    keys = [key for key, _ in tree.items()]
+    heat_mod.set_levels(args.levels)  # also drops stale buckets
+    step = max(1, len(keys) // max(1, args.ops))
+    sample = keys[::step][: args.ops]
+    anchors = sample[:: max(1, len(sample) // 32)][:32]
+    pad = 1 << 44  # a few float ulps wide at 64-bit key width
+    obs.enable()
+    try:
+        for key in sample:
+            tree.contains(key)
+        for anchor in anchors:
+            lo = tuple(max(0, a - pad) for a in anchor)
+            hi = tuple(min(_U64_MAX, a + pad) for a in anchor)
+            list(tree.query(lo, hi))
+    finally:
+        obs.disable()
+    if args.json:
+        print(
+            json.dumps(
+                heat_mod.snapshot(args.top), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(heat_mod.render(args.top), end="")
+        print(
+            f"probed {len(sample)} key(s), {len(anchors)} window(s)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -333,11 +402,18 @@ def cmd_check(args: argparse.Namespace) -> int:
         ran_anything = True
         from repro.check.faults import run_fault_drill
 
+        from repro.obs import recorder as recorder_mod
+
         for outcome in run_fault_drill():
             status = "PASS" if outcome.passed else "FAIL"
             print(f"faults: {status} {outcome.fault}: {outcome.detail}")
             if not outcome.passed:
                 failed = True
+                print(
+                    recorder_mod.render_events(outcome.events),
+                    end="",
+                    file=sys.stderr,
+                )
     if not ran_anything:
         print(
             "error: nothing to do; pass --validate INDEX, --fuzz "
@@ -483,7 +559,48 @@ def _parser() -> argparse.ArgumentParser:
         default="prometheus",
         help="exposition format (default: %(default)s)",
     )
+    metrics.add_argument(
+        "--reset",
+        action="store_true",
+        help="clear all telemetry (registry, heat map, flight "
+        "recorder, plan-cache counts) after printing",
+    )
     metrics.set_defaults(func=cmd_metrics)
+
+    heat = sub.add_parser(
+        "heat",
+        help="drive a sampled read workload and print the z-region "
+        "heat map",
+        parents=[verbosity],
+    )
+    heat.add_argument("index", help="index file")
+    heat.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many of the hottest regions to print "
+        "(default: %(default)s)",
+    )
+    heat.add_argument(
+        "--levels",
+        type=int,
+        default=4,
+        help="z-prefix depth in bits per dimension "
+        "(default: %(default)s)",
+    )
+    heat.add_argument(
+        "--ops",
+        type=int,
+        default=4096,
+        help="point-read probes to sample from the index "
+        "(default: %(default)s)",
+    )
+    heat.add_argument(
+        "--json",
+        action="store_true",
+        help="print the heat snapshot as JSON instead of a histogram",
+    )
+    heat.set_defaults(func=cmd_heat)
 
     check = sub.add_parser(
         "check",

@@ -193,3 +193,41 @@ def test_config_rejects_bad_shapes():
         FuzzConfig(width=128)
     with pytest.raises(ValueError):
         FuzzConfig(obs_mode="sometimes")
+
+
+# ---------------------------------------------------------------------------
+# Flight-recorder dump on divergence (PR 8).
+# ---------------------------------------------------------------------------
+
+
+def test_fuzz_failure_carries_flight_recorder_tail(monkeypatch):
+    from repro.obs import recorder as recorder_mod
+
+    recorder_mod.clear()
+    # Sabotage the *model* so the first get diverges on every engine;
+    # the generator never calls model.get, so op generation is intact.
+    monkeypatch.setattr(
+        ReferenceModel, "get", lambda self, key, default=None: "wrong"
+    )
+    with pytest.raises(FuzzFailure) as excinfo:
+        run_fuzz(
+            FuzzConfig(dims=2, width=8, ops=200, seed=5, shrink=False)
+        )
+    failure = excinfo.value
+    # The black box travelled with the failure...
+    assert failure.events
+    kinds = [event[2] for event in failure.events]
+    assert "fuzz_op" in kinds
+    # ...and is rendered into the failure message for the operator.
+    assert "flight recorder" in str(failure)
+    recorder_mod.clear()
+
+
+def test_fuzz_records_ops_into_the_recorder():
+    from repro.obs import recorder as recorder_mod
+
+    recorder_mod.clear()
+    run_fuzz(FuzzConfig(dims=2, width=8, ops=60, seed=6))
+    kinds = {event[2] for event in recorder_mod.dump()}
+    assert "fuzz_op" in kinds
+    recorder_mod.clear()

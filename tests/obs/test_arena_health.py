@@ -1,0 +1,74 @@
+"""Arena health gauges: slab bytes, entry states and free lists of
+every live NodeArena, published through the registry collector."""
+
+from __future__ import annotations
+
+import gc
+
+from repro import obs
+from repro.core.phtree import PHTree
+
+
+def _values(payload, name):
+    return {
+        tuple(sorted(v["labels"].items())): v["value"]
+        for v in payload[name]["values"]
+    }
+
+
+def _live_instances():
+    gc.collect()  # drop arenas kept alive only by collection cycles
+    return _values(obs.dump_json(), "repro_arena_instances")[()]
+
+
+class TestArenaHealthGauges:
+    def test_gauges_track_a_live_arena(self):
+        baseline = _live_instances()
+        tree = PHTree(dims=2, width=16, layout="arena")
+        for i in range(64):
+            tree.put((i * 97 % 65536, i * 389 % 65536), i)
+        payload = obs.dump_json()
+        assert _values(payload, "repro_arena_instances")[()] >= (
+            baseline + 1
+        )
+        slab = _values(payload, "repro_arena_slab_bytes")
+        assert slab[(("kind", "capacity"),)] > 0
+        assert 0 < slab[(("kind", "live"),)] <= slab[(("kind", "capacity"),)]
+        assert _values(payload, "repro_arena_nodes")[()] >= 1
+        entries = _values(payload, "repro_arena_entries")
+        assert entries[(("state", "live"),)] >= 64
+
+    def test_removals_grow_the_free_lists(self):
+        tree = PHTree(dims=2, width=16, layout="arena")
+        keys = [(i * 97 % 65536, i * 389 % 65536) for i in range(128)]
+        for key in keys:
+            tree.put(key, None)
+        before = _values(obs.dump_json(), "repro_arena_entries")
+        for key in keys[:100]:
+            tree.remove(key)
+        after = _values(obs.dump_json(), "repro_arena_entries")
+        assert (
+            after[(("state", "free"),)] > before[(("state", "free"),)]
+        )
+        assert (
+            after[(("state", "live"),)] < before[(("state", "live"),)]
+        )
+        # Node collapses feed the per-size-class free-block census.
+        blocks = _values(obs.dump_json(), "repro_arena_free_blocks")
+        assert sum(blocks.values()) >= 1
+
+    def test_dead_arena_leaves_the_census(self):
+        tree = PHTree(dims=2, width=16, layout="arena")
+        tree.put((1, 2), None)
+        with_arena = _live_instances()
+        del tree
+        assert _live_instances() <= with_arena - 1
+
+    def test_gauges_in_prometheus_text(self):
+        tree = PHTree(dims=2, width=16, layout="arena")
+        tree.put((3, 4), None)
+        text = obs.render_prometheus()
+        assert "# TYPE repro_arena_slab_bytes gauge" in text
+        assert 'repro_arena_slab_bytes{kind="capacity"}' in text
+        assert "repro_arena_instances" in text
+        del tree

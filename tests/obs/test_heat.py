@@ -1,0 +1,183 @@
+"""Z-region heat map: bucketing, decay, feeding sites, CLUSTER skew."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.phtree import PHTree
+from repro.datasets.cluster import generate_cluster
+from repro.encoding.ieee import encode_point
+from repro.obs import heat as heat_mod
+from repro.obs.heat import DEFAULT_LEVELS, ZHeatMap
+
+
+@pytest.fixture(autouse=True)
+def clean_heatmap():
+    heat_mod.HEATMAP.set_levels(DEFAULT_LEVELS)
+    heat_mod.reset()
+    yield
+    heat_mod.HEATMAP.set_levels(DEFAULT_LEVELS)
+    heat_mod.reset()
+
+
+class TestZHeatMap:
+    def test_same_prefix_shares_a_bucket(self):
+        hm = ZHeatMap(levels=4)
+        # Top 4 bits of each 16-bit value decide the bucket.
+        hm.record((0x1234, 0x5678), 16, "get")
+        hm.record((0x1FFF, 0x5000), 16, "put")
+        hm.record((0x2000, 0x5000), 16, "get")  # differs in dim 0
+        assert len(hm) == 2
+        hottest = hm.top(1)[0]
+        assert hottest.count == 2
+        assert hottest.ops == {"get": 1, "put": 1}
+
+    def test_ranges_cover_the_recorded_key(self):
+        hm = ZHeatMap(levels=4)
+        key = (0xBEEF, 0x1234)
+        hm.record(key, 16, "get")
+        bucket = hm.top(1)[0]
+        assert bucket.contains(key)
+        for value, (lo, hi) in zip(key, bucket.ranges()):
+            assert lo <= value <= hi
+        assert len(bucket.bits()) == 4 * 2
+
+    def test_levels_clamped_to_width(self):
+        hm = ZHeatMap(levels=8)
+        hm.record((3, 1), 2, "get")  # width 2 < levels 8
+        bucket = hm.top(1)[0]
+        assert bucket.levels == 2
+        assert bucket.contains((3, 1))
+
+    def test_score_decays_with_half_life(self):
+        now = [0.0]
+        hm = ZHeatMap(levels=4, half_life_s=10.0, clock=lambda: now[0])
+        hm.record((0, 0), 16, "get")
+        assert hm.top(1)[0].scored(0.0, 10.0) == pytest.approx(1.0)
+        now[0] = 10.0  # one half-life
+        assert hm.top(1)[0].scored(10.0, 10.0) == pytest.approx(0.5)
+        # A fresh hit decays the old score before adding.
+        hm.record((0, 0), 16, "get")
+        assert hm.top(1)[0].score == pytest.approx(1.5)
+        assert hm.top(1)[0].count == 2
+
+    def test_decay_reorders_but_count_persists(self):
+        now = [0.0]
+        hm = ZHeatMap(levels=4, half_life_s=1.0, clock=lambda: now[0])
+        for _ in range(100):
+            hm.record((0, 0), 16, "get")
+        now[0] = 30.0  # ~2^-30 of the old score remains
+        for _ in range(5):
+            hm.record((0xFFFF, 0xFFFF), 16, "get")
+        hottest, cold = hm.top(2)
+        assert hottest.count == 5  # recent beats big-but-old
+        assert cold.count == 100
+
+    def test_latency_ewma(self):
+        hm = ZHeatMap(levels=4)
+        hm.record((0, 0), 16, "query", seconds=1.0)
+        bucket = hm.top(1)[0]
+        assert bucket.latency_ewma_s == pytest.approx(1.0)
+        hm.record((0, 0), 16, "query", seconds=0.0)
+        assert bucket.latency_ewma_s == pytest.approx(0.8)
+        assert bucket.latency_count == 2
+        # Ops without a duration leave the EWMA untouched.
+        hm.record((0, 0), 16, "get")
+        assert bucket.latency_count == 2
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        hm = ZHeatMap(levels=4)
+        hm.record((0xAB00, 0x1200), 16, "put", seconds=0.001)
+        snap = hm.snapshot()
+        assert len(snap) == 1
+        json.dumps(snap)  # must not raise
+        entry = snap[0]
+        assert entry["count"] == 1
+        assert entry["ops"] == {"put": 1}
+        assert entry["latency_samples"] == 1
+        assert entry["z_prefix"] == format(entry["code"], "08b")
+
+    def test_render_histogram(self):
+        hm = ZHeatMap(levels=4)
+        for _ in range(10):
+            hm.record((0, 0), 16, "get")
+        hm.record((0xFFFF, 0xFFFF), 16, "put")
+        text = hm.render(5)
+        assert "top 2 of 2 z-regions" in text
+        assert "#" in text
+        assert "get=10" in text
+        assert "region [" in text
+        assert hm.render(0) != ""
+
+    def test_render_empty(self):
+        assert "no traffic" in ZHeatMap().render()
+
+    def test_set_levels_drops_buckets(self):
+        hm = ZHeatMap(levels=4)
+        hm.record((0, 0), 16, "get")
+        hm.set_levels(2)
+        assert len(hm) == 0
+        assert hm.levels == 2
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ZHeatMap(levels=0)
+        with pytest.raises(ValueError):
+            ZHeatMap(half_life_s=0.0)
+        with pytest.raises(ValueError):
+            ZHeatMap().set_levels(-1)
+
+    def test_record_region_counts_in_bulk(self):
+        hm = ZHeatMap(levels=4)
+        hm.record((0, 0), 16, "query", count=7)
+        assert hm.top(1)[0].count == 7
+
+
+class TestTreeFeeding:
+    @pytest.mark.parametrize("layout", ["object", "arena"])
+    def test_ops_feed_the_heatmap_when_enabled(self, layout, obs_enabled):
+        heat_mod.reset()
+        tree = PHTree(dims=2, width=16, layout=layout)
+        key = (0x1234, 0x5678)
+        tree.put(key, "v")
+        tree.get(key)
+        tree.contains(key)
+        list(tree.query((0x1000, 0x5000), (0x1FFF, 0x5FFF)))
+        tree.knn(key, 1)
+        tree.remove(key)
+        assert len(heat_mod.HEATMAP) >= 1
+        ops = {}
+        for bucket in heat_mod.top(10):
+            for name, count in bucket.ops.items():
+                ops[name] = ops.get(name, 0) + count
+        for op in ("put", "get", "contains", "query", "knn", "remove"):
+            assert ops.get(op, 0) >= 1, op
+        # The query charged its wall time to the scanned region.
+        assert any(b.latency_count for b in heat_mod.top(10))
+
+    def test_disabled_ops_record_nothing(self):
+        assert not obs.is_enabled()
+        tree = PHTree(dims=2, width=16)
+        tree.put((1, 2), None)
+        tree.get((1, 2))
+        list(tree.query((0, 0), (10, 10)))
+        assert len(heat_mod.HEATMAP) == 0
+
+    def test_cluster_skew_is_identified(self, obs_enabled):
+        """The acceptance check: on the paper's CLUSTER distribution the
+        hottest z-region is the one holding the cluster line."""
+        heat_mod.reset()
+        points = generate_cluster(1000, 2, seed=0)
+        tree = PHTree(dims=2, width=64)
+        for point in points:
+            tree.put(encode_point(point), None)
+        for point in points:
+            tree.contains(encode_point(point))
+        hottest = heat_mod.top(1)[0]
+        centers = [
+            encode_point((x / 10, 0.5)) for x in range(11)
+        ]
+        assert any(hottest.contains(center) for center in centers)

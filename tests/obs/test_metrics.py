@@ -185,3 +185,31 @@ class TestRegistry:
         r.reset()
         assert r.get("a_total").value == 0
         assert r.get("g").value == 0
+
+
+class TestCollectors:
+    def test_collector_runs_before_render_and_dump(self):
+        r = Registry()
+        g = r.gauge("derived", "h")
+        state = {"value": 0}
+        r.add_collector("probe", lambda: g.set(state["value"]))
+        state["value"] = 7
+        assert "derived 7" in r.render_prometheus()
+        state["value"] = 9
+        assert r.dump_json()["derived"]["values"][0]["value"] == 9
+
+    def test_collector_replaced_by_name(self):
+        r = Registry()
+        g = r.gauge("derived", "h")
+        r.add_collector("probe", lambda: g.set(1))
+        r.add_collector("probe", lambda: g.set(2))  # replaces, no dup
+        r.collect()
+        assert g.value == 2
+
+    def test_collect_is_explicit_too(self):
+        r = Registry()
+        g = r.gauge("derived", "h")
+        r.add_collector("probe", lambda: g.set(5))
+        assert g.value == 0
+        r.collect()
+        assert g.value == 5

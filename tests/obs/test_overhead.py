@@ -123,3 +123,53 @@ def test_disabled_flag_is_a_module_attribute():
     finally:
         obs.disable()
     assert runtime.enabled is False
+
+
+@pytest.fixture(scope="module")
+def sharded_workload():
+    """A live sharded tree plus the boxes its span-instrumented query
+    path will be timed on (PR 8: heat/span/recorder wiring)."""
+    from repro.parallel.sharded import ShardedPHTree
+
+    rng = random.Random(62)
+    items = list(
+        {
+            tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS)): None
+            for _ in range(4000)
+        }.items()
+    )
+    tree = ShardedPHTree.build(
+        items, dims=DIMS, width=WIDTH, shards=4, workers=0
+    )
+    boxes = []
+    for _ in range(20):
+        lo = tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))
+        hi = tuple(min(v + (1 << (WIDTH - 1)), DOMAIN) for v in lo)
+        boxes.append((lo, hi))
+    yield tree, boxes
+    tree.close()
+
+
+def test_sharded_query_span_machinery_overhead_under_5_percent(
+    sharded_workload,
+):
+    """With obs disabled and no active trace, the span/heat/recorder
+    wiring on the sharded query path costs one ContextVar.get and one
+    flag test per call -- pinned against the bare per-shard loop."""
+    tree, boxes = sharded_workload
+
+    def dispatching():
+        total = 0
+        for lo, hi in boxes:
+            total += len(tree.query(lo, hi))
+        return total
+
+    def plain():
+        total = 0
+        for lo, hi in boxes:
+            for index in tree._router.shards_for_box(lo, hi):
+                total += len(tree._shards[index].query(lo, hi))
+        return total
+
+    assert dispatching() == plain()
+    _assert_overhead(dispatching, plain)

@@ -1,0 +1,105 @@
+"""Plan-cache probes for the arena engine's generated scan kernels:
+hits, misses and epoch invalidations, exposed through the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import specialize
+from repro.core.phtree import PHTree
+
+DOMAIN = ((0, 0), (65535, 65535))
+
+
+@pytest.fixture(autouse=True)
+def clean_counts():
+    specialize.reset_plan_cache_counts()
+    yield
+    specialize.reset_plan_cache_counts()
+
+
+def _arena_tree(n=48):
+    tree = PHTree(dims=2, width=16, layout="arena")
+    for i in range(n):
+        tree.put((i * 251 % 65536, i * 509 % 65536), i)
+    return tree
+
+
+class TestCounts:
+    def test_window_miss_then_invalidation(self):
+        tree = _arena_tree()
+        before = list(specialize.PLAN_CACHE_WINDOW)
+        list(tree.query(*DOMAIN))
+        after_first = list(specialize.PLAN_CACHE_WINDOW)
+        assert after_first[1] > before[1]  # misses: plans were built
+        assert after_first[2] == before[2]
+        tree.put((7, 7), None)  # epoch bump
+        list(tree.query(*DOMAIN))
+        after_mutation = list(specialize.PLAN_CACHE_WINDOW)
+        assert after_mutation[2] == after_first[2] + 1  # one clear
+        assert after_mutation[1] > after_first[1]  # plans rebuilt
+
+    def test_window_hits_counted_in_instrumented_twins(self, obs_enabled):
+        # The specialized fast path skips all counting; hit telemetry
+        # comes from the instrumented twins, i.e. with obs enabled.
+        tree = _arena_tree()
+        list(tree.query(*DOMAIN))  # warm the plan cache
+        before = list(specialize.PLAN_CACHE_WINDOW)
+        list(tree.query(*DOMAIN))
+        after = list(specialize.PLAN_CACHE_WINDOW)
+        assert after[0] > before[0]  # hits moved
+        assert after[1] == before[1]  # no rebuild
+
+    def test_get_many_counts(self, obs_enabled):
+        tree = _arena_tree()
+        keys = [(i * 251 % 65536, i * 509 % 65536) for i in range(16)]
+        tree.get_many(keys)
+        misses = specialize.PLAN_CACHE_GET_MANY[1]
+        assert misses >= 1
+        tree.get_many(keys)
+        assert specialize.PLAN_CACHE_GET_MANY[0] >= 1  # hits
+        assert specialize.PLAN_CACHE_GET_MANY[1] == misses
+
+    def test_no_invalidation_count_for_empty_cache(self):
+        tree = _arena_tree()
+        # First query after a mutation with an empty cache must not be
+        # counted as an invalidation -- there was nothing to discard.
+        before = specialize.PLAN_CACHE_WINDOW[2]
+        list(tree.query(*DOMAIN))
+        assert specialize.PLAN_CACHE_WINDOW[2] == before
+
+    def test_reset_zeroes_in_place(self):
+        window = specialize.PLAN_CACHE_WINDOW
+        window[0], window[1], window[2] = 3, 4, 5
+        specialize.reset_plan_cache_counts()
+        assert window == [0, 0, 0]  # same list object, zeroed
+        assert specialize.PLAN_CACHE_GET_MANY == [0, 0, 0]
+
+
+class TestRegistryExposure:
+    def test_gauge_published_via_collector(self, obs_enabled):
+        tree = _arena_tree()
+        list(tree.query(*DOMAIN))
+        payload = obs.dump_json()
+        family = payload["repro_plan_cache_events"]
+        assert family["type"] == "gauge"
+        values = {
+            (v["labels"]["kernel"], v["labels"]["event"]): v["value"]
+            for v in family["values"]
+        }
+        assert values[("window", "miss")] >= 1
+        assert set(k for k, _ in values) <= {"window", "get_many"}
+
+    def test_reset_all_clears_counts(self, obs_enabled):
+        tree = _arena_tree()
+        list(tree.query(*DOMAIN))
+        assert specialize.PLAN_CACHE_WINDOW[1] >= 1
+        obs.reset_all()
+        assert specialize.PLAN_CACHE_WINDOW == [0, 0, 0]
+        payload = obs.dump_json()
+        values = [
+            v["value"]
+            for v in payload["repro_plan_cache_events"]["values"]
+        ]
+        assert all(v == 0 for v in values)

@@ -1,0 +1,139 @@
+"""Flight recorder: ring semantics and the structural event sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phtree import PHTree
+from repro.obs import recorder as recorder_mod
+from repro.obs.recorder import FlightRecorder, render_events
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    recorder_mod.clear()
+    yield
+    recorder_mod.clear()
+
+
+class TestFlightRecorder:
+    def test_record_and_dump(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("split", level=3)
+        rec.record("merge")
+        events = rec.dump()
+        assert [e[2] for e in events] == ["split", "merge"]
+        assert events[0][3] == {"level": 3}
+        assert events[0][0] == 1 and events[1][0] == 2
+        assert events[1][1] >= events[0][1]
+
+    def test_ring_drops_oldest(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("op", i=i)
+        assert len(rec) == 4
+        assert rec.seq == 10
+        assert [e[3]["i"] for e in rec.dump()] == [6, 7, 8, 9]
+
+    def test_dump_last(self):
+        rec = FlightRecorder(capacity=16)
+        for i in range(6):
+            rec.record("op", i=i)
+        assert [e[3]["i"] for e in rec.dump(last=2)] == [4, 5]
+        assert len(rec.dump(last=100)) == 6
+        assert rec.dump(last=0) == []
+
+    def test_clear_resets_sequence(self):
+        rec = FlightRecorder()
+        rec.record("x")
+        rec.clear()
+        assert len(rec) == 0 and rec.seq == 0
+        rec.record("y")
+        assert rec.dump()[0][0] == 1
+
+    def test_render(self):
+        rec = FlightRecorder()
+        rec.record("split", level=7)
+        rec.record("lock_timeout", mode="write")
+        text = rec.render()
+        assert "last 2 of 2 events" in text
+        assert "split" in text and "level=7" in text
+        assert "mode='write'" in text
+        assert "+0.000s" in text  # newest event is the reference point
+
+    def test_render_empty(self):
+        assert "(empty)" in FlightRecorder().render()
+
+    def test_render_events_standalone(self):
+        rec = FlightRecorder()
+        rec.record("fault_injected", fault="worker_killed")
+        captured = rec.dump()
+        rec.clear()  # the live ring moves on; the capture must not
+        text = render_events(captured)
+        assert "worker_killed" in text
+        assert render_events([]) == "flight recorder: (empty)\n"
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestStructuralEventSites:
+    @pytest.mark.parametrize("layout", ["object", "arena"])
+    def test_splits_and_merges_recorded_when_enabled(
+        self, layout, obs_enabled
+    ):
+        recorder_mod.clear()
+        tree = PHTree(dims=2, width=16, layout=layout)
+        keys = [(i * 977 % 65536, i * 641 % 65536) for i in range(64)]
+        for key in keys:
+            tree.put(key, None)
+        for key in keys:
+            tree.remove(key)
+        kinds = {e[2] for e in recorder_mod.dump()}
+        assert "split" in kinds
+        assert "merge" in kinds
+
+    def test_disabled_hot_path_records_nothing(self):
+        tree = PHTree(dims=2, width=16)
+        for i in range(64):
+            tree.put((i * 977 % 65536, i * 641 % 65536), None)
+        assert len(recorder_mod.get_recorder()) == 0
+
+    def test_plan_cache_invalidation_recorded_unconditionally(self):
+        # A rare structural event: recorded even with obs disabled.
+        tree = PHTree(dims=2, width=16, layout="arena")
+        for i in range(32):
+            tree.put((i * 101 % 65536, i * 373 % 65536), None)
+        list(tree.query((0, 0), (65535, 65535)))  # builds plan cache
+        tree.put((9, 9), None)  # bumps the mutation epoch
+        list(tree.query((0, 0), (65535, 65535)))  # invalidates
+        kinds = [e[2] for e in recorder_mod.dump()]
+        assert "plan_cache_invalidation" in kinds
+
+    def test_lock_timeout_recorded(self):
+        import threading
+
+        from repro.core.concurrent import LockTimeout, ReadWriteLock
+
+        lock = ReadWriteLock()
+        held = threading.Event()
+        release = threading.Event()
+
+        def camper():
+            with lock.read():
+                held.set()
+                release.wait()
+
+        thread = threading.Thread(target=camper, daemon=True)
+        thread.start()
+        assert held.wait(5.0)
+        try:
+            with pytest.raises(LockTimeout):
+                with lock.write(timeout=0.01):
+                    pass
+        finally:
+            release.set()
+            thread.join(5.0)
+        events = [e for e in recorder_mod.dump() if e[2] == "lock_timeout"]
+        assert events and events[-1][3]["mode"] == "write"

@@ -58,7 +58,16 @@ def workload():
 
 
 def _counts():
-    return probes.registry.dump_json()
+    # Collector-backed families (arena census, plan cache, flight
+    # recorder, heat map) reflect process-lifetime structural state,
+    # not per-workload probe activity -- exclude them from parity.
+    state = ("repro_arena_", "repro_plan_cache_",
+             "repro_flight_recorder_", "repro_heat_")
+    return {
+        name: family
+        for name, family in probes.registry.dump_json().items()
+        if not name.startswith(state)
+    }
 
 
 class TestInstrumentedParity:

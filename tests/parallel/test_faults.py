@@ -213,3 +213,26 @@ def test_fault_drill_all_pass():
     assert all(o.passed for o in outcomes), [
         f"{o.fault}: {o.detail}" for o in outcomes if not o.passed
     ]
+
+
+def test_fault_drill_outcomes_carry_recorder_dumps():
+    """Every drill scenario ships a flight-recorder tail, and the
+    killed-worker scenario's dump includes the injected fault."""
+    from repro.obs import recorder as recorder_mod
+
+    recorder_mod.clear()
+    outcomes = {o.fault: o for o in run_fault_drill(entries=128)}
+    for outcome in outcomes.values():
+        assert outcome.events, outcome.fault
+    killed = outcomes["worker-death"].events
+    faults = [
+        event
+        for event in killed
+        if event[2] == "fault_injected"
+        and event[3].get("fault") == "worker_killed"
+    ]
+    assert faults, [event[2] for event in killed]
+    assert "pid" in faults[-1][3]
+    # The rendered dump names the fault for the operator.
+    assert "worker_killed" in recorder_mod.render_events(killed)
+    recorder_mod.clear()

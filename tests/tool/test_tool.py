@@ -330,3 +330,181 @@ class TestVerbosity:
         configure_logging(0, stream=io.StringIO())
         assert rc == 0
         assert "driving single-tree workload" in captured.err
+
+
+class TestHeatVerb:
+    @pytest.fixture
+    def cluster_index(self, tmp_path):
+        from repro.datasets.cluster import generate_cluster
+
+        csv_path = tmp_path / "cluster.csv"
+        rows = ["x,y"]
+        for point in generate_cluster(1500, 2, seed=0):
+            rows.append(f"{point[0]!r},{point[1]!r}")
+        csv_path.write_text("\n".join(rows) + "\n")
+        out = tmp_path / "cluster.pht"
+        assert main(
+            ["build", str(csv_path), "-c", "x,y", "-o", str(out)]
+        ) == 0
+        return out
+
+    def test_histogram_output(self, index_file, capsys):
+        rc = main(["heat", str(index_file), "--top", "3"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "heat map: top" in captured.out
+        assert "z=" in captured.out
+        assert "probed" in captured.err
+        from repro import obs
+
+        assert not obs.is_enabled()
+
+    def test_json_output_parses(self, index_file, capsys):
+        import json as json_mod
+
+        rc = main(["heat", str(index_file), "--json", "--top", "5"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        snapshot = json_mod.loads(captured.out)
+        assert snapshot
+        assert snapshot[0]["count"] >= 1
+
+    def test_cluster_centers_are_hottest(self, cluster_index, capsys):
+        """Acceptance: on the skewed CLUSTER workload (seed 0) the top
+        region contains the cluster line."""
+        import json as json_mod
+
+        from repro.encoding.ieee import encode_point
+
+        rc = main(
+            ["heat", str(cluster_index), "--top", "5", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        top = json_mod.loads(captured.out)[0]
+        centers = [encode_point((x / 10, 0.5)) for x in range(11)]
+        hit = any(
+            all(
+                lo <= value <= hi
+                for value, (lo, hi) in zip(center, top["ranges"])
+            )
+            for center in centers
+        )
+        assert hit, top["ranges"]
+
+    def test_levels_flag(self, index_file, capsys):
+        rc = main(["heat", str(index_file), "--levels", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "(2 bits/dim" in captured.out
+
+
+class TestMetricsReset:
+    def _json_run(self, index_file, capsys, *extra):
+        import json as json_mod
+
+        rc = main(
+            ["metrics", str(index_file), "--format", "json", *extra]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        return json_mod.loads(captured.out)
+
+    @staticmethod
+    def _counters(payload):
+        skip = ("latency", "wait", "depth", "duration")
+        return {
+            name: sorted(
+                (tuple(sorted(v["labels"].items())), v["value"])
+                for v in family["values"]
+            )
+            for name, family in payload.items()
+            if family["type"] in ("counter", "gauge")
+            and not any(part in name for part in skip)
+        }
+
+    def test_repeated_invocations_are_idempotent(
+        self, index_file, capsys
+    ):
+        first = self._counters(self._json_run(index_file, capsys))
+        second = self._counters(self._json_run(index_file, capsys))
+        assert first == second
+
+    def test_reset_flag_clears_all_telemetry(self, index_file, capsys):
+        from repro import obs
+        from repro.core import specialize
+        from repro.obs import heat as heat_mod
+        from repro.obs import recorder as recorder_mod
+
+        self._json_run(index_file, capsys, "--reset")
+        assert len(heat_mod.HEATMAP) == 0
+        assert len(recorder_mod.get_recorder()) == 0
+        assert specialize.PLAN_CACHE_WINDOW == [0, 0, 0]
+        ops = obs.dump_json().get("repro_ops_total")
+        assert all(v["value"] == 0 for v in ops["values"])
+
+    def test_default_leaves_metrics_scrapable(self, index_file, capsys):
+        from repro import obs
+
+        self._json_run(index_file, capsys)
+        ops = obs.dump_json()["repro_ops_total"]
+        assert any(v["value"] > 0 for v in ops["values"])
+        obs.reset_all()
+
+
+class TestExplainWaterfall:
+    def test_sharded_explain_prints_waterfall(self, index_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(index_file),
+                "-b",
+                "-10,40 : 10,50",
+                "--shards",
+                "4",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "span waterfall" in captured.out
+        assert "route" in captured.out
+        assert "scan" in captured.out
+        assert "301 point(s) in box" in captured.err
+
+    def test_worker_explain_includes_remote_spans(
+        self, index_file, capsys
+    ):
+        rc = main(
+            [
+                "query",
+                str(index_file),
+                "-b",
+                "-10,40 : 10,50",
+                "--shards",
+                "2",
+                "--workers",
+                "1",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "span waterfall" in captured.out
+        assert "fanout" in captured.out
+        assert "attach" in captured.out
+
+    def test_serial_explain_keeps_node_trace(self, index_file, capsys):
+        rc = main(
+            [
+                "query",
+                str(index_file),
+                "-b",
+                "-10,40 : 10,50",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "window query trace" in captured.out
+        assert "span waterfall" not in captured.out
