@@ -32,14 +32,23 @@ Measured (best of ``repeats`` runs each, CUBE-distributed integer keys):
   over the same workloads -- insert, delete, point (sequential and
   batched), window queries and ``freeze()`` -- against the object
   engine, plus a ``space`` section with real bytes-per-entry for both
-  mutable layouts (``repro.memory.report.arena_space_report``).
+  mutable layouts (``repro.memory.report.arena_space_report``),
+- ``frozen_point`` / ``frozen_window`` / ``frozen_knn`` against their
+  ``learned_*`` twins: the frozen snapshot's exact bit-stream descent
+  vs the model-seeded bisect over the *same* blob (the PHL1 learned
+  trailer from :mod:`repro.learned`, attached twice -- once with the
+  trailer ignored), with parity asserted before timing,
+- ``router_balance``: shard-population imbalance of the fixed z-prefix
+  router vs the learned CDF router on prefix-skewed CLUSTER keys.
 
 Derived speedups are the acceptance numbers: ``speedup_get_many`` /
 ``speedup_range_iter`` (batching and the iterative kernel against the
 seed engine), and ``speedup_spec_insert`` / ``speedup_spec_point`` /
 ``speedup_spec_window`` (the specialized kernels against the generic
 engines they replaced on the hot path -- every workload first asserts
-the two produce identical results).
+the two produce identical results), and ``speedup_learned_frozen_point``
+/ ``speedup_learned_window_seek`` / ``speedup_learned_frozen_knn`` (the
+learned z-address model against the exact frozen descent).
 
 Usage::
 
@@ -58,6 +67,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.batch import z_sort_key
+from repro.encoding.interleave import interleave as _z_interleave
 from repro.core.phtree import PHTree
 from repro.core.specialize import registry_cap as _registry_cap
 from repro.core.specialize import registry_size as _registry_size
@@ -154,6 +164,10 @@ def _instrument_pass(
     batch: List[Tuple[int, ...]],
     boxes: List[Tuple[Tuple[int, ...], Tuple[int, ...]]],
     knn_queries: List[Tuple[int, ...]],
+    frozen_learned: Any = None,
+    seek_boxes: Optional[
+        List[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+    ] = None,
 ) -> Dict[str, Any]:
     """Re-drive each benchmarked workload once with observability on and
     report its internal counters (nodes visited, slots scanned, ...).
@@ -232,6 +246,33 @@ def _instrument_pass(
                 },
             ),
         }
+        if frozen_learned is not None:
+            counts["learned_point"] = stage(
+                lambda: [frozen_learned.get(key) for key in batch],
+                {
+                    "model_lookups": probes.learned_lookups_point,
+                    "fallbacks": probes.learned_fallbacks_point,
+                    "segments_consulted": (
+                        probes.learned_segments_consulted
+                    ),
+                    "prediction_error": probes.learned_prediction_error,
+                },
+            )
+        if frozen_learned is not None and seek_boxes:
+            counts["learned_window"] = stage(
+                lambda: [
+                    sum(1 for _ in frozen_learned.query(lo, hi))
+                    for lo, hi in seek_boxes
+                ],
+                {
+                    "model_lookups": probes.learned_lookups_window,
+                    "fallbacks": probes.learned_fallbacks_window,
+                    "segments_consulted": (
+                        probes.learned_segments_consulted
+                    ),
+                    "prediction_error": probes.learned_prediction_error,
+                },
+            )
         # Write path, deleting side: drain a fresh tree (built outside
         # the stage so its put probes don't pollute the delete counts).
         victim = build()
@@ -437,6 +478,148 @@ def run_trajectory(
 
     t_knn = _best(run_knn, repeats)
 
+    # -- frozen reads: exact descent vs the learned z-address model ------
+    # One learned freeze serves both sides: the exact baseline attaches
+    # the same blob with the trailer ignored, so the byte streams (and
+    # cache behaviour) are identical and only the lookup path differs.
+    from repro.core.frozen import FrozenPHTree
+
+    t_fit_start = time.perf_counter()
+    blob_learned = freeze(tree_arena, _U64, learned=True)
+    t_learned_fit = time.perf_counter() - t_fit_start
+    frozen_exact = FrozenPHTree(blob_learned, _U64, learned=False)
+    frozen_learned = FrozenPHTree(blob_learned, _U64)
+    model = frozen_learned.learned_index
+    assert model is not None, "learned trailer failed to attach"
+
+    # Parity first: both frozen paths must agree with the live tree.
+    assert [frozen_exact.get(k) for k in batch] == [
+        tree.get(k) for k in batch
+    ]
+    assert [frozen_learned.get(k) for k in batch] == [
+        frozen_exact.get(k) for k in batch
+    ]
+
+    def frozen_point() -> None:
+        get = frozen_exact.get
+        for key in batch:
+            get(key)
+
+    def learned_point() -> None:
+        get = frozen_learned.get
+        for key in batch:
+            get(key)
+
+    t_frozen_point, t_learned_point = _best_group(
+        [frozen_point, learned_point], repeats
+    )
+
+    def run_window(frozen: FrozenPHTree) -> int:
+        total = 0
+        for lo, hi in boxes:
+            for _ in frozen.query(lo, hi):
+                total += 1
+        return total
+
+    assert run_window(frozen_exact) == returned
+    assert run_window(frozen_learned) == returned
+    t_frozen_window, t_learned_window = _best_group(
+        [
+            lambda: run_window(frozen_exact),
+            lambda: run_window(frozen_learned),
+        ],
+        repeats,
+    )
+
+    # Seek workload: narrow windows anchored at data keys (1/256 of the
+    # domain per dimension, >= 1 hit each).  These are the queries the
+    # model's predicted scan start accelerates; the fat Figure-9 boxes
+    # above mostly exceed the scan cap and fall back to the exact walk,
+    # so they gate no-regression rather than the seek win.
+    seek_extent = 1 << (WIDTH - 8)
+    seek_top = (1 << WIDTH) - 1
+    seek_boxes = [
+        (key, tuple(min(v + seek_extent, seek_top) for v in key))
+        for key in batch[: min(300, len(batch))]
+    ]
+    for lo, hi in seek_boxes[: min(32, len(seek_boxes))]:
+        assert list(frozen_learned.query(lo, hi)) == list(
+            frozen_exact.query(lo, hi)
+        )
+
+    def run_seek(frozen: FrozenPHTree) -> None:
+        query = frozen.query
+        for lo, hi in seek_boxes:
+            for _ in query(lo, hi):
+                pass
+
+    t_frozen_seek, t_learned_seek = _best_group(
+        [
+            lambda: run_seek(frozen_exact),
+            lambda: run_seek(frozen_learned),
+        ],
+        repeats,
+    )
+
+    for query in knn_queries[: min(8, len(knn_queries))]:
+        assert frozen_learned.knn(query, 10) == frozen_exact.knn(
+            query, 10
+        )
+
+    def run_frozen_knn(frozen: FrozenPHTree) -> None:
+        knn = frozen.knn
+        for query in knn_queries:
+            knn(query, 10)
+
+    t_frozen_knn, t_learned_knn = _best_group(
+        [
+            lambda: run_frozen_knn(frozen_exact),
+            lambda: run_frozen_knn(frozen_learned),
+        ],
+        repeats,
+    )
+    model_stats = model.stats()
+
+    # -- router balance: fixed z-prefix cuts vs the learned CDF ----------
+    # CLUSTER data squeezed into the lowest quarter of every dimension:
+    # all coordinates share their top two bits, so every key lands in
+    # prefix shard 0 while the learned equi-mass cuts stay balanced.
+    from repro.datasets.cluster import generate_cluster
+    from repro.learned.router import LearnedZRouter
+    from repro.parallel.router import ZShardRouter
+
+    n_shards = 8
+    scale_f = (1 << WIDTH) / 4.0
+    skew_seen = set()
+    skew_zs: List[int] = []
+    z_of = (lambda key: _z_interleave(key, WIDTH)) if spec is None \
+        else spec.interleave
+    for point in generate_cluster(
+        n // 2, DIMS, offset=0.25, seed=seed + 3
+    ):
+        key = tuple(
+            min(max(int(v * scale_f), 0), (1 << WIDTH) - 1)
+            for v in point
+        )
+        if key not in skew_seen:
+            skew_seen.add(key)
+            skew_zs.append(z_of(key))
+    skew_zs.sort()
+    prefix_router = ZShardRouter(DIMS, WIDTH, n_shards)
+    learned_router = LearnedZRouter.from_sorted_zcodes(
+        skew_zs, DIMS, WIDTH, n_shards
+    )
+    ideal = len(skew_zs) / n_shards
+
+    def imbalance(router: Any) -> float:
+        counts = [0] * n_shards
+        for z in skew_zs:
+            counts[router.shard_of_z(z)] += 1
+        return max(counts) / ideal
+
+    prefix_imbalance = imbalance(prefix_router)
+    learned_imbalance = imbalance(learned_router)
+
     # -- sharded fan-out: snapshot engine, 1 vs 4 workers ----------------
     from repro.core.serialize import U64ValueCodec
     from repro.parallel import ShardedPHTree
@@ -479,6 +662,42 @@ def run_trajectory(
         ),
         "query_many_us_per_entry": t_query_many * 1e6 / n_returned,
         "knn_us_per_query": t_knn * 1e6 / max(len(knn_queries), 1),
+        # Frozen reads: the exact bit-stream descent vs the learned
+        # model-seeded bisect over the SAME bytes (one blob, attached
+        # twice).  Windows and kNN use the model for the scan start /
+        # search seed and fall back to the exact walk past the bound.
+        "frozen_point_us_per_op": t_frozen_point * 1e6 / n_keys,
+        "learned_frozen_point_us_per_op": (
+            t_learned_point * 1e6 / n_keys
+        ),
+        "frozen_window_us_per_entry": (
+            t_frozen_window * 1e6 / n_returned
+        ),
+        "learned_window_us_per_entry": (
+            t_learned_window * 1e6 / n_returned
+        ),
+        "frozen_knn_us_per_query": (
+            t_frozen_knn * 1e6 / max(len(knn_queries), 1)
+        ),
+        "learned_frozen_knn_us_per_query": (
+            t_learned_knn * 1e6 / max(len(knn_queries), 1)
+        ),
+        "frozen_window_seek_us_per_query": (
+            t_frozen_seek * 1e6 / max(len(seek_boxes), 1)
+        ),
+        "learned_window_seek_us_per_query": (
+            t_learned_seek * 1e6 / max(len(seek_boxes), 1)
+        ),
+        "learned_fit_ms": t_learned_fit * 1e3,
+        "speedup_learned_frozen_point": t_frozen_point / t_learned_point,
+        "speedup_learned_window_seek": t_frozen_seek / t_learned_seek,
+        "speedup_learned_window": t_frozen_window / t_learned_window,
+        "speedup_learned_frozen_knn": t_frozen_knn / t_learned_knn,
+        # Shard routing balance on prefix-skewed CLUSTER data (keys in
+        # the lowest quarter of every dimension): 1.0 is perfect, the
+        # shard count is the worst case (everything in one shard).
+        "router_prefix_imbalance": prefix_imbalance,
+        "router_learned_imbalance": learned_imbalance,
         "speedup_get_many": t_point_seq / t_point_batch,
         "speedup_get_many_presorted": t_point_seq / t_point_batch_pre,
         "speedup_range_iter": t_range_generator / t_range_kernel,
@@ -569,6 +788,33 @@ def run_trajectory(
                 "single-core host it is ~1.0 by construction"
             ),
         },
+        "learned_index": dict(
+            model_stats,
+            fit_ms=round(t_learned_fit * 1e3, 3),
+            note=(
+                "PHL1 trailer fit at freeze() time over the z-sorted "
+                "entry stream (shrinking-cone PLA, per-segment measured "
+                "errors); lookups bisect a +-err window around the "
+                "model's predicted rank and fall back to the exact "
+                "descent when a segment's measured error exceeds "
+                "window_cap"
+            ),
+        ),
+        "router_balance": {
+            "distribution": "cluster-skew (offset 0.25, scaled to the "
+            "lowest quarter of each dimension)",
+            "n_keys": len(skew_zs),
+            "shards": n_shards,
+            "prefix_imbalance": round(prefix_imbalance, 4),
+            "learned_imbalance": round(learned_imbalance, 4),
+            "learned_cuts": len(learned_router.cuts),
+            "note": (
+                "max shard population over the ideal n/shards; the "
+                "fixed z-prefix router sends every key whose top bits "
+                "agree to one shard, the learned CDF router places its "
+                "cuts at equi-mass order statistics of the z-stream"
+            ),
+        },
         "space": dict(
             space,
             note=(
@@ -583,7 +829,13 @@ def run_trajectory(
     }
     if instrument:
         report["instrumentation"] = _instrument_pass(
-            tree, build, batch, boxes, knn_queries
+            tree,
+            build,
+            batch,
+            boxes,
+            knn_queries,
+            frozen_learned=frozen_learned,
+            seek_boxes=seek_boxes,
         )
     return report
 

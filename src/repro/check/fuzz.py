@@ -12,7 +12,10 @@ simultaneously against
   (``layout="arena"``: the packed flat-buffer engine, running the same
   ops in lockstep against the object engines),
 - a :class:`~repro.parallel.sharded.ShardedPHTree` (live, lock-per-shard
-  engine),
+  engine), and with ``FuzzConfig.learned`` a second sharded tree routed
+  by learned equi-mass z-cuts
+  (:class:`~repro.learned.router.LearnedZRouter`) instead of fixed
+  z-prefix splits,
 
 and a :class:`~repro.check.model.ReferenceModel` (a plain dict + brute
 force).  Every op's result -- value, result *order*, or raised exception
@@ -61,8 +64,12 @@ class FuzzConfig:
     width: int = 16
     ops: int = 2000
     seed: int = 0
-    #: Key distribution: "cube" (uniform) or "cluster" (Gaussian blobs
-    #: around seed-derived centres -- the paper's CLUSTER dataset shape).
+    #: Key distribution: "cube" (uniform), "cluster" (Gaussian blobs
+    #: around seed-derived centres -- the paper's CLUSTER dataset
+    #: shape), or "adversarial" (duplicate-heavy z-streams: most keys
+    #: collapse onto one tight blob plus a full-range diagonal, the
+    #: worst case for learned z-rank models -- dense packs of nearly
+    #: identical z-codes next to huge gaps).
     distribution: str = "cube"
     shards: int = 4
     #: Run the full structural validator every N ops (and at the end).
@@ -74,6 +81,12 @@ class FuzzConfig:
     #: towards removals so the brute-force oracle stays fast.
     max_keys: int = 1000
     shrink: bool = True
+    #: Run the learned engines in lockstep too: adds a
+    #: ``router="learned"`` sharded subject (equi-mass z-cuts instead
+    #: of fixed z-prefix splits; must stay op-for-op identical), on top
+    #: of the learned-frozen lockstep every deep validation already
+    #: performs.
+    learned: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.dims <= 16:
@@ -82,10 +95,10 @@ class FuzzConfig:
             raise ValueError(
                 f"width must be in [8, 64], got {self.width}"
             )
-        if self.distribution not in ("cube", "cluster"):
+        if self.distribution not in ("cube", "cluster", "adversarial"):
             raise ValueError(
-                f"distribution must be 'cube' or 'cluster', "
-                f"got {self.distribution!r}"
+                f"distribution must be 'cube', 'cluster' or "
+                f"'adversarial', got {self.distribution!r}"
             )
         if self.obs_mode not in ("alternate", "on", "off"):
             raise ValueError(
@@ -153,6 +166,8 @@ class FuzzFailure(AssertionError):
             f"replay(ops, FuzzConfig(dims={self.config.dims}, "
             f"width={self.config.width}, seed={self.config.seed}, "
             f"shards={self.config.shards}, "
+            f"distribution={self.config.distribution!r}, "
+            f"learned={self.config.learned}, "
             f"obs_mode={self.config.obs_mode!r}))\n"
         )
 
@@ -193,6 +208,27 @@ def generate_ops(config: FuzzConfig) -> List[Op]:
                 min(limit - 1, max(0, c + rng.randint(-spread, spread)))
                 for c in centre
             )
+
+    elif config.distribution == "adversarial":
+        # Duplicate-heavy z-stream: 70% of draws collapse onto one
+        # tight blob (long shared z-prefixes, ranks packed solid), 15%
+        # sit on the main diagonal (z-codes spanning the full range
+        # with huge gaps), the rest are uniform noise.  The blob keeps
+        # re-drawing the *same* keys, so the op stream is also heavy
+        # with duplicate puts/removes over identical z-codes.
+        blob = tuple(rng.randrange(limit) for _ in range(dims))
+
+        def random_key() -> Key:
+            draw = rng.random()
+            if draw < 0.7:
+                return tuple(
+                    min(limit - 1, max(0, c + rng.randint(-2, 2)))
+                    for c in blob
+                )
+            if draw < 0.85:
+                v = rng.randrange(limit)
+                return (v,) * dims
+            return tuple(rng.randrange(limit) for _ in range(dims))
 
     else:
 
@@ -351,12 +387,27 @@ def _build_subjects(
         shards=config.shards,
         workers=0,
     )
-    return [
+    subjects = [
         ("generic", generic),
         ("spec", spec),
         ("arena", arena),
         ("sharded", sharded),
     ]
+    if config.learned:
+        subjects.append(
+            (
+                "sharded-learned",
+                ShardedPHTree.build(
+                    list(items),
+                    dims=config.dims,
+                    width=config.width,
+                    shards=config.shards,
+                    workers=0,
+                    router="learned",
+                ),
+            )
+        )
+    return subjects
 
 
 def _apply(tree: Any, name: str, op: Op) -> Tuple[str, Any]:
@@ -504,8 +555,8 @@ def _execute(ops: List[Op], config: FuzzConfig) -> FuzzReport:
                 subjects = _build_subjects(config, model.items())
             elif kind == "query_approx":
                 for name, tree in subjects:
-                    if name == "sharded":
-                        continue  # no approx engine on the sharded tree
+                    if name.startswith("sharded"):
+                        continue  # no approx engine on the sharded trees
                     _check_query_approx(model, tree, name, op, index)
             else:
                 expected = _run_model_op(model, op)

@@ -27,7 +27,10 @@ every paper-level structural invariant:
   count matches ``len(tree)``,
 - the tree round-trips through the :mod:`repro.core.frozen` byte stream
   bit-exactly (same items, same order) whenever its values are
-  encodable.
+  encodable, and a learned-trailer freeze passes the model's structural
+  invariants (ranks replay the stream's z-order, stored per-segment
+  errors are the measured maxima) plus learned-vs-exact lockstep on
+  point, window and kNN reads.
 
 Violations raise :class:`InvariantViolation` (an ``AssertionError``
 subclass) carrying the node path from the root; a clean walk returns a
@@ -546,6 +549,123 @@ def _check_frozen_roundtrip(
                 f"frozen point query disagrees at {key}"
             )
     report.frozen_checked = True
+    _check_learned_frozen(tree, codec, live)
+
+
+def _check_learned_frozen(
+    tree: PHTree, codec: Any, live: List[Any]
+) -> None:
+    """Freeze with a learned trailer (small eps: multi-segment models
+    on any realistic key set) and hold the model to its contract:
+    trailer invariants, then learned-vs-exact lockstep on point,
+    window and kNN reads."""
+    from repro.core.frozen import FrozenPHTree, freeze
+
+    if not live:
+        return
+    learned = FrozenPHTree(
+        freeze(tree, codec, learned=True, eps=4), codec
+    )
+    model = learned.learned_index
+    if model is None:
+        raise InvariantViolation(
+            "learned freeze produced no attachable trailer"
+        )
+    _check_learned_trailer(learned, model)
+    step = max(1, len(live) // 16)
+    for key, value in live[::step]:
+        if learned.get(key, _MISSING) != value:
+            raise InvariantViolation(
+                f"learned frozen point query disagrees at {key}"
+            )
+        if not learned.contains(key):
+            raise InvariantViolation(
+                f"learned frozen contains() misses stored key {key}"
+            )
+    keys = [key for key, _ in live]
+    lo = tuple(min(k[d] for k in keys) for d in range(tree.dims))
+    hi = tuple(max(k[d] for k in keys) for d in range(tree.dims))
+    for box in ((lo, hi), (lo, lo), (hi, hi)):
+        if list(learned.query(*box)) != list(tree.query(*box)):
+            raise InvariantViolation(
+                f"learned frozen window query diverges on box {box}"
+            )
+    probe = live[len(live) // 2][0]
+    n = min(5, len(live))
+    if learned.knn(probe, n) != tree.knn(probe, n):
+        raise InvariantViolation(
+            f"learned frozen knn diverges at {probe}"
+        )
+
+
+def _check_learned_trailer(frozen: Any, model: Any) -> None:
+    """Structural invariants of an attached learned trailer: the rank
+    array replays the stream's z-order exactly, segment starts
+    partition it, stored per-segment errors are the *measured* ones,
+    and every stored z-code resolves through ``find``."""
+    from repro.encoding.interleave import interleave
+    from repro.learned.index import FALLBACK, FOUND
+    from repro.learned.pla import measure_errors
+
+    if model.n != len(frozen):
+        raise InvariantViolation(
+            f"learned trailer holds {model.n} entries, stream "
+            f"{len(frozen)}"
+        )
+    zs = [model.z_at(i) for i in range(model.n)]
+    for i in range(1, model.n):
+        if zs[i] <= zs[i - 1]:
+            raise InvariantViolation(
+                f"learned trailer z-codes not strictly ascending at "
+                f"rank {i}"
+            )
+        if model.value_pos(i) <= model.value_pos(i - 1):
+            raise InvariantViolation(
+                f"learned trailer value positions not ascending at "
+                f"rank {i}"
+            )
+    expected = [
+        interleave(key, frozen.width) for key, _ in frozen.items()
+    ]
+    if zs != expected:
+        raise InvariantViolation(
+            "learned trailer z-codes disagree with the frozen "
+            "stream's z-order"
+        )
+    starts = list(model._starts)
+    if starts[0] != 0:
+        raise InvariantViolation(
+            f"first learned segment starts at {starts[0]}, expected 0"
+        )
+    for j in range(1, len(starts)):
+        if starts[j] <= starts[j - 1] or starts[j] >= model.n:
+            raise InvariantViolation(
+                f"learned segment starts not ascending within the "
+                f"stream at segment {j}"
+            )
+    for j in range(len(starts)):
+        if model._segz[j] != zs[starts[j]]:
+            raise InvariantViolation(
+                f"segment {j} first-z {model._segz[j]} != z-code at "
+                f"its start rank"
+            )
+    measured = measure_errors(
+        zs, list(zip(starts, model._slopes))
+    )
+    if measured != list(model._errs):
+        raise InvariantViolation(
+            "stored per-segment errors are not the measured maxima"
+        )
+    step = max(1, model.n // 16)
+    for i in range(0, model.n, step):
+        status, rank, _err = model.find(zs[i])
+        if status == FALLBACK:
+            continue  # dead segment: the contract is the fallback
+        if status != FOUND or rank != i:
+            raise InvariantViolation(
+                f"learned find() resolves stored z at rank {i} to "
+                f"({status}, {rank})"
+            )
 
 
 _MISSING = object()
@@ -630,4 +750,7 @@ def _validate_frozen(tree: Any) -> ValidationReport:
         )
     report.entries = count
     _check_zorder(tree.items(), tree.width, "FrozenPHTree.items()")
+    model = getattr(tree, "learned_index", None)
+    if model is not None:
+        _check_learned_trailer(tree, model)
     return report

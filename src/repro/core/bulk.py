@@ -9,6 +9,16 @@ contiguous in z-order -- and recurse per group.  Each node is allocated
 exactly once with its final occupancy, so the HC/LHC representation is
 chosen once per node rather than re-evaluated per insert.
 
+The build is *z-code driven*: the interleaved codes computed for the
+sort are kept and threaded through the recursion, so per level each key
+costs one shift-and-compare (its hypercube address is bits
+``[post_len*k, post_len*k + k)`` of its z-code) and each group's
+divergence layer is one XOR of the run's end codes (sorted codes
+diverge highest between first and last).  The old form re-derived both
+from the coordinate tuples -- a ``k``-operation ``address_of`` call per
+key per level and an O(group * k) scan per node -- which is what made
+bulk load *lose* to sequential insert on pre-sorted input.
+
 The result is *identical* (bit-for-bit under serialisation) to the tree
 grown by repeated ``put`` calls -- the test suite uses this as the
 correctness oracle.
@@ -16,7 +26,7 @@ correctness oracle.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.arena import make_counts
 from repro.core.node import Entry, Node, masked_prefix
@@ -49,8 +59,10 @@ def bulk_load(
     if not deduped:
         return tree
     zcode = _z_coder(tree)
-    items = sorted(deduped.items(), key=lambda kv: zcode(kv[0]))
-    return _build_from_run(tree, items)
+    decorated = sorted((zcode(key), key) for key in deduped)
+    items = [(key, deduped[key]) for _, key in decorated]
+    zs = [z for z, _ in decorated]
+    return _build_from_run(tree, items, zs)
 
 
 def bulk_load_sorted(
@@ -60,6 +72,7 @@ def bulk_load_sorted(
     hc_mode: str = "auto",
     validate: bool = True,
     layout: "str | None" = None,
+    zcodes: "Optional[Sequence[int]]" = None,
 ) -> PHTree:
     """Build a PH-tree from an already z-sorted run of unique entries.
 
@@ -72,7 +85,10 @@ def bulk_load_sorted(
 
     With ``validate=True`` the run's keys are bounds-checked and the
     z-ordering is verified (O(n) interleavings); trusted callers pass
-    ``validate=False`` to skip both.
+    ``validate=False`` to skip both.  ``zcodes``, when given, must be
+    the items' interleaved codes (ascending, aligned with ``items``);
+    callers that sorted the batch themselves pass their sort keys back
+    in, skipping the re-interleave entirely.
 
     >>> run = [((1, 2), "a"), ((3, 4), "b")]
     >>> bulk_load_sorted(run, dims=2, width=8).get((3, 4))
@@ -81,6 +97,7 @@ def bulk_load_sorted(
     tree = PHTree(dims=dims, width=width, hc_mode=hc_mode, layout=layout)
     if validate:
         zcode = _z_coder(tree)
+        computed: List[int] = []
         previous = -1
         for key, _ in items:
             code = zcode(tree._check_key(key))
@@ -90,25 +107,37 @@ def bulk_load_sorted(
                     f"z-order keys; violated at {key}"
                 )
             previous = code
+            computed.append(code)
+        if zcodes is not None and list(zcodes) != computed:
+            raise ValueError(
+                "zcodes disagree with the items' interleaved codes"
+            )
+        zcodes = computed
     if not items:
         return tree
-    return _build_from_run(tree, items)
+    if zcodes is None:
+        zcode = _z_coder(tree)
+        zcodes = [zcode(key) for key, _ in items]
+    return _build_from_run(tree, items, zcodes)
 
 
 def _build_from_run(
-    tree: PHTree, items: "List[Tuple[Key, Any]]"
+    tree: PHTree,
+    items: "List[Tuple[Key, Any]]",
+    zs: Sequence[int],
 ) -> PHTree:
-    """Fill ``tree`` from a z-sorted, deduplicated run of entries."""
+    """Fill ``tree`` from a z-sorted, deduplicated run of entries and
+    their aligned interleaved codes."""
     if tree.layout == "arena":
         tree._root_off = _fill_arena_node(
-            tree, items, 0, len(items), tree.width - 1, 0
+            tree, items, zs, 0, len(items), tree.width - 1, 0
         )
         tree._size = len(items)
         return tree
     root = Node(
         post_len=tree.width - 1, infix_len=0, prefix=(0,) * tree.dims
     )
-    _fill_node(root, items, 0, len(items), tree.dims, tree)
+    _fill_node(root, items, zs, 0, len(items), tree.dims, tree)
     tree._root = root
     tree._size = len(items)
     return tree
@@ -132,29 +161,10 @@ def _z_coder(tree: PHTree):
     return lambda key: _z_code(key, width)
 
 
-def _divergence_pos(
-    items: List[Tuple[Key, Any]], lo: int, hi: int
-) -> int:
-    """Most significant bit position where keys in ``items[lo:hi]``
-    disagree in any dimension (-1 if all equal)."""
-    first = items[lo][0]
-    accumulated = [0] * len(first)
-    for i in range(lo + 1, hi):
-        key = items[i][0]
-        for dim, value in enumerate(key):
-            accumulated[dim] |= value ^ first[dim]
-    conflict = -1
-    for diff in accumulated:
-        if diff:
-            pos = diff.bit_length() - 1
-            if pos > conflict:
-                conflict = pos
-    return conflict
-
-
 def _fill_node(
     node: Node,
     items: List[Tuple[Key, Any]],
+    zs: Sequence[int],
     lo: int,
     hi: int,
     k: int,
@@ -165,42 +175,40 @@ def _fill_node(
     Slots arrive in ascending hypercube-address order (a property of the
     z-sort), so the container is appended to directly and the HC/LHC
     representation is decided exactly once, at the node's final
-    occupancy.
+    occupancy.  Addresses are bits ``[shift, shift + k)`` of each
+    z-code; a group's divergence layer is the XOR of its end codes.
     """
     post_len = node.post_len
     container = node.container  # fresh LHCContainer
     addresses = container._addresses
     slots = container._slots
-    spec = tree._spec
-    if spec is not None:
-        hc_addr = spec.hc_address
-        address_of = lambda key: hc_addr(key, post_len)  # noqa: E731
-    else:
-        address_of = node.address_of
+    shift = post_len * k
+    mask = (1 << k) - 1
     n_sub = 0
     n_post = 0
     group_start = lo
     while group_start < hi:
-        address = address_of(items[group_start][0])
+        high = zs[group_start] >> shift
         group_end = group_start + 1
-        while (
-            group_end < hi
-            and address_of(items[group_end][0]) == address
-        ):
+        while group_end < hi and (zs[group_end] >> shift) == high:
             group_end += 1
+        address = high & mask
         if group_end - group_start == 1:
             key, value = items[group_start]
             addresses.append(address)
             slots.append(Entry(key, value))
             n_post += 1
         else:
-            conflict = _divergence_pos(items, group_start, group_end)
+            conflict = (
+                zs[group_start] ^ zs[group_end - 1]
+            ).bit_length() - 1
+            conflict //= k
             child = Node(
                 post_len=conflict,
                 infix_len=post_len - 1 - conflict,
                 prefix=masked_prefix(items[group_start][0], conflict),
             )
-            _fill_node(child, items, group_start, group_end, k, tree)
+            _fill_node(child, items, zs, group_start, group_end, k, tree)
             addresses.append(address)
             slots.append(child)
             n_sub += 1
@@ -213,6 +221,7 @@ def _fill_node(
 def _fill_arena_node(
     tree: PHTree,
     items: List[Tuple[Key, Any]],
+    zs: Sequence[int],
     lo: int,
     hi: int,
     post_len: int,
@@ -228,30 +237,18 @@ def _fill_arena_node(
     """
     arena = tree._arena
     k = tree.dims
-    spec = tree._spec
-    if spec is not None:
-        hc_addr = spec.hc_address
-        address_of = lambda key: hc_addr(key, post_len)  # noqa: E731
-    else:
-
-        def address_of(key: Key) -> int:
-            a = 0
-            for v in key:
-                a = (a << 1) | ((v >> post_len) & 1)
-            return a
-
+    shift = post_len * k
+    mask = (1 << k) - 1
     pairs: List[Tuple[int, int]] = []
     n_sub = 0
     n_post = 0
     group_start = lo
     while group_start < hi:
-        address = address_of(items[group_start][0])
+        high = zs[group_start] >> shift
         group_end = group_start + 1
-        while (
-            group_end < hi
-            and address_of(items[group_end][0]) == address
-        ):
+        while group_end < hi and (zs[group_end] >> shift) == high:
             group_end += 1
+        address = high & mask
         if group_end - group_start == 1:
             key, value = items[group_start]
             pairs.append(
@@ -262,10 +259,14 @@ def _fill_arena_node(
             )
             n_post += 1
         else:
-            conflict = _divergence_pos(items, group_start, group_end)
+            conflict = (
+                zs[group_start] ^ zs[group_end - 1]
+            ).bit_length() - 1
+            conflict //= k
             child = _fill_arena_node(
                 tree,
                 items,
+                zs,
                 group_start,
                 group_end,
                 conflict,

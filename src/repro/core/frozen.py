@@ -20,6 +20,16 @@ Frozen layout (after the header)::
 Compared with :mod:`repro.core.serialize` (which optimises for canonical
 compactness), the frozen format spends 32 bits per sub-node to buy
 O(depth) navigation.
+
+``freeze(..., learned=True)`` appends an *optional trailer* after the
+node stream: a :class:`repro.learned.index.LearnedZIndex` mapping
+z-address -> entry rank / value-bit offset, fit in one pass over the
+just-frozen stream.  The trailer starts at the first 8-byte boundary
+past ``nbytes`` and is self-describing (magic ``PHL1``), so readers
+that predate it -- and buffers without it -- are unaffected, and
+:class:`FrozenPHTree` attaches it zero-copy when present.  Model-served
+reads fall back to the exact descent whenever the measured error bound
+is violated; see :mod:`repro.learned.index` for the contract.
 """
 
 from __future__ import annotations
@@ -30,7 +40,17 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro.core.node import Node
 from repro.core.phtree import PHTree
 from repro.core.serialize import NoneValueCodec
+from repro.core.specialize import get_spec
 from repro.encoding.bitbuffer import BitBuffer, BitReader
+from repro.encoding.interleave import deinterleave as _deinterleave
+from repro.encoding.interleave import interleave as _interleave
+from repro.learned.index import (
+    ABSENT,
+    DEFAULT_EPS,
+    DEFAULT_WINDOW_CAP,
+    FALLBACK,
+    LearnedZIndex,
+)
 from repro.obs import probes as _probes
 from repro.obs import runtime as _rt
 
@@ -39,14 +59,35 @@ __all__ = ["FrozenPHTree", "freeze"]
 _MAGIC = b"PHF1"
 _LEN_BITS = 32
 
+#: Learned window queries scan the z-code array directly; a predicted
+#: span longer than this falls back to the exact pruned tree walk.  The
+#: scan pays one deinterleave + box check per entry in the z-interval
+#: (hits and misses alike) while the walk prunes whole subtrees, so the
+#: crossover sits at a few hundred entries: sweeping the cap over
+#: 256..4096 on 3d/w20 CUBE data, 256 won at every box extent tried
+#: (fatter boxes simply fall back and the seek overhead is noise).
+_LEARNED_SCAN_CAP = 256
 
-def freeze(tree: PHTree, value_codec: Any = NoneValueCodec) -> bytes:
+
+def freeze(
+    tree: PHTree,
+    value_codec: Any = NoneValueCodec,
+    *,
+    learned: bool = False,
+    eps: int = DEFAULT_EPS,
+    window_cap: int = DEFAULT_WINDOW_CAP,
+) -> bytes:
     """Lay ``tree`` out as an immutable, skippable byte stream.
 
     Arena-backed trees (``layout="arena"``) serialise straight from
     their slabs -- no per-node object materialisation -- which is what
     makes snapshot republish in the parallel layer cheap.  Both paths
     emit identical bytes.
+
+    With ``learned=True`` a :class:`~repro.learned.index.LearnedZIndex`
+    trailer is fit over the stream and appended (see the module
+    docstring); ``eps`` is the PLA target error and ``window_cap`` the
+    measured-error ceiling past which a segment is dead.
     """
     if tree.width > 256:
         raise ValueError(
@@ -71,7 +112,29 @@ def freeze(tree: PHTree, value_codec: Any = NoneValueCodec) -> bytes:
     header = _MAGIC + struct.pack(
         ">HHQQ", tree.dims, tree.width, len(tree), buf.bit_length
     )
-    return header + buf.to_bytes()
+    blob = header + buf.to_bytes()
+    if not learned or len(tree) == 0:
+        return blob
+    frozen = FrozenPHTree(blob, value_codec, learned=False)
+    spec = get_spec(tree.dims, tree.width)
+    if spec is not None:
+        z_of = spec.interleave
+    else:
+        width = tree.width
+
+        def z_of(key: Tuple[int, ...]) -> int:
+            return _interleave(key, width)
+
+    zcodes: List[int] = []
+    valpos: List[int] = []
+    for key, vpos in frozen._iter_entry_positions():
+        zcodes.append(z_of(key))
+        valpos.append(vpos)
+    model = LearnedZIndex.fit(
+        zcodes, valpos, tree.dims * tree.width, eps=eps, window_cap=window_cap
+    )
+    pad = -len(blob) % 8
+    return blob + b"\x00" * pad + model.to_trailer()
 
 
 def _write_node(
@@ -216,7 +279,11 @@ class FrozenPHTree:
     """
 
     def __init__(
-        self, data: "bytes | bytearray | memoryview", value_codec: Any = NoneValueCodec
+        self,
+        data: "bytes | bytearray | memoryview",
+        value_codec: Any = NoneValueCodec,
+        *,
+        learned: bool = True,
     ) -> None:
         if not isinstance(data, bytes):
             # Zero-copy attach: flatten to unsigned bytes, never copy.
@@ -236,6 +303,45 @@ class FrozenPHTree:
             raise ValueError("truncated frozen PH-tree node stream")
         self._reader = BitReader(data[offset:], bit_length)
         self._codec = value_codec
+        # A learned trailer, if one follows the stream (zero-copy; the
+        # memoryview keeps the caller's buffer alive).  Shared-memory
+        # padding is zero-filled, so a missing trailer never false-
+        # positives on the magic check.
+        self._learned: Optional[LearnedZIndex] = None
+        self._zfns = None
+        if learned:
+            trailer_off = self._nbytes + (-self._nbytes % 8)
+            if len(data) > trailer_off:
+                view = (
+                    data
+                    if isinstance(data, memoryview)
+                    else memoryview(data)
+                )
+                self._learned = LearnedZIndex.from_buffer(view, trailer_off)
+
+    @property
+    def learned_index(self) -> Optional[LearnedZIndex]:
+        """The attached learned z-address model, if the stream carried
+        a trailer (and the attach wasn't disabled)."""
+        return self._learned
+
+    def _learned_fns(self):
+        """Lazy ``(interleave, deinterleave)`` pair for this shape --
+        specialised when available, generic otherwise.  Resolved on
+        first model-served read so plain attaches stay O(1)."""
+        fns = self._zfns
+        if fns is None:
+            spec = get_spec(self._dims, self._width)
+            if spec is not None:
+                fns = (spec.interleave, spec.deinterleave)
+            else:
+                k, width = self._dims, self._width
+                fns = (
+                    lambda key: _interleave(key, width),
+                    lambda code: _deinterleave(code, k, width),
+                )
+            self._zfns = fns
+        return fns
 
     # -- basics --------------------------------------------------------------
 
@@ -333,6 +439,35 @@ class FrozenPHTree:
             raise ValueError(
                 f"key has {len(key)} dimensions, tree has {self._dims}"
             )
+        model = self._learned
+        if model is not None:
+            width = self._width
+            for v in key:
+                if v < 0 or (v >> width):
+                    # Out of the key domain: interleave would wrap, so
+                    # the model could alias; the answer is simply "no".
+                    return None
+            z_of = self._learned_fns()[0]
+            status, rank, abs_err = model.find(z_of(key))
+            if status != FALLBACK:
+                if _rt.enabled:
+                    _probes.learned_lookups_point.inc()
+                    _probes.learned_segments_consulted.inc()
+                    _probes.learned_prediction_error.inc(abs_err)
+                if status == ABSENT:
+                    return None
+                value = self._codec.decode(
+                    self._reader.read(model.value_pos(rank), self._codec.bits)
+                )
+                return key, value
+            if _rt.enabled:
+                _probes.learned_lookups_point.inc()
+                _probes.learned_fallbacks_point.inc()
+        return self._find_exact(key)
+
+    def _find_exact(self, key: Tuple[int, ...]):
+        """The model-free descent over the node stream -- the engine
+        every learned probe falls back to (and is fuzzed against)."""
         reader = self._reader
         k = self._dims
         pos = 0
@@ -410,9 +545,60 @@ class FrozenPHTree:
             return
         if self._size == 0:
             return
+        if self._learned is not None:
+            scan = self._query_learned(box)
+            if scan is not None:
+                yield from scan
+                return
         yield from self._walk(
             0, self._width, (0,) * self._dims, 0, box
         )
+
+    def _query_learned(self, box):
+        """Model-predicted scan: locate the z-rank of ``z(box_min)``,
+        scan forward to ``z(box_max)`` filtering exactly.  Any entry in
+        the box has a z-code inside ``[z(box_min), z(box_max)]``, and
+        ranks are z-sorted, so the output (order included) is identical
+        to the pruned tree walk's.  Returns ``None`` -- caller walks
+        exactly -- when the predicted span exceeds the scan cap."""
+        model = self._learned
+        max_v = (1 << self._width) - 1
+        lo = tuple(min(max(v, 0), max_v) for v in box[0])
+        hi = tuple(min(max(v, 0), max_v) for v in box[1])
+        if any(a > b for a, b in zip(lo, hi)):
+            return iter(())
+        z_of, un_z = self._learned_fns()
+        start, err_lo, fb_lo = model.seek(z_of(lo))
+        end, err_hi, fb_hi = model.seek(z_of(hi) + 1)
+        if _rt.enabled:
+            _probes.learned_lookups_window.inc()
+            _probes.learned_segments_consulted.inc(2)
+            _probes.learned_prediction_error.inc(err_lo + err_hi)
+            if fb_lo or fb_hi:
+                _probes.learned_fallbacks_window.inc()
+        if end - start > _LEARNED_SCAN_CAP:
+            if _rt.enabled:
+                _probes.learned_fallbacks_window.inc()
+            return None
+        box_lo, box_hi = box
+        reader = self._reader
+        bits = self._codec.bits
+        decode = self._codec.decode
+
+        def scan():
+            for rank in range(start, end):
+                key = un_z(model.z_at(rank))
+                ok = True
+                for v, a, b in zip(key, box_lo, box_hi):
+                    if v < a or v > b:
+                        ok = False
+                        break
+                if ok:
+                    yield key, decode(
+                        reader.read(model.value_pos(rank), bits)
+                    )
+
+        return scan()
 
     def _walk(
         self,
@@ -465,14 +651,44 @@ class FrozenPHTree:
         """Number of entries in the inclusive box."""
         return sum(1 for _ in self.query(box_min, box_max))
 
+    def _knn_seed_bound(self, key: Tuple[int, ...], n: int) -> Optional[int]:
+        """Upper bound on the n-th nearest squared distance, seeded by
+        the learned model: jump to the query's z-rank, take the 2n
+        z-adjacent entries, and use their n-th smallest exact distance.
+        Admissible by construction (the bound is a real distance to n
+        real entries), so pruning strictly-greater candidates cannot
+        change the result set or its tie order."""
+        model = self._learned
+        if model is None or self._size < n:
+            return None
+        max_v = (1 << self._width) - 1
+        clamped = tuple(min(max(v, 0), max_v) for v in key)
+        z_of, un_z = self._learned_fns()
+        rank, _err, _fb = model.seek(z_of(clamped))
+        lo = rank - n if rank >= n else 0
+        hi = min(self._size, lo + 2 * n)
+        if hi - lo < n:
+            lo = max(0, hi - n)
+        if hi - lo < n:
+            return None
+        if _rt.enabled:
+            _probes.learned_lookups_knn.inc()
+            _probes.learned_segments_consulted.inc()
+        dists = sorted(
+            _point_dist_sq(key, un_z(model.z_at(i))) for i in range(lo, hi)
+        )
+        return dists[n - 1]
+
     def knn(
         self, key: Sequence[int], n: int = 1
     ) -> List[Tuple[Tuple[int, ...], Any]]:
         """``n`` nearest entries by Euclidean distance in key space,
         computed directly on the byte stream (best-first branch and
-        bound over node regions, like the live tree's search)."""
+        bound over node regions, like the live tree's search).  When a
+        learned trailer is attached, the search is seeded with an exact
+        distance bound from the query's z-neighbourhood, which prunes
+        most heap traffic without affecting results."""
         import heapq
-        import itertools
 
         key = tuple(key)
         if len(key) != self._dims:
@@ -482,38 +698,24 @@ class FrozenPHTree:
         if n <= 0 or self._size == 0:
             return []
 
-        def point_dist(candidate: Tuple[int, ...]) -> int:
-            total = 0
-            for q, v in zip(key, candidate):
-                d = q - v
-                total += d * d
-            return total
-
-        def region_dist(prefix: Tuple[int, ...], post_len: int) -> int:
-            free = (1 << (post_len + 1)) - 1
-            total = 0
-            for q, lo in zip(key, prefix):
-                hi = lo | free
-                if q < lo:
-                    d = lo - q
-                elif q > hi:
-                    d = q - hi
-                else:
-                    continue
-                total += d * d
-            return total
-
-        tiebreak = itertools.count()
-        # Heap items: (dist, seq, kind, payload); kind 0 = node (payload
-        # is its parse context), kind 1 = entry (payload is (key, value)).
+        bound = self._knn_seed_bound(key, n)
+        z_of = self._learned_fns()[0]
+        seq = 0
+        # Heap items: (dist, z, seq, kind, payload); kind 0 = node
+        # (payload is its parse context, z its region's lowest z-code),
+        # kind 1 = entry (payload is (key, value), z the key's z-code).
+        # The z component makes equidistant candidates pop in z-order --
+        # the live engine's tie contract (see repro.core.knn) -- because
+        # a region's lowest z-code never exceeds the z-code of any entry
+        # inside it, so a node always pops before a contained tie.
         heap: list = [
-            (0, next(tiebreak), 0, (0, self._width, (0,) * self._dims, 0))
+            (0, 0, seq, 0, (0, self._width, (0,) * self._dims, 0))
         ]
         reader = self._reader
         k = self._dims
         results: List[Tuple[Tuple[int, ...], Any]] = []
         while heap and len(results) < n:
-            dist, _, kind, payload = heapq.heappop(heap)
+            dist, _z, _, kind, payload = heapq.heappop(heap)
             if kind == 1:
                 results.append(payload)
                 continue
@@ -541,31 +743,39 @@ class FrozenPHTree:
                         )
                         for d, p in enumerate(prefix)
                     )
-                    heapq.heappush(
-                        heap,
-                        (
-                            region_dist(child_prefix, post_len - 1)
-                            if post_len
-                            else region_dist(child_prefix, 0),
-                            next(tiebreak),
-                            0,
-                            child_context,
-                        ),
+                    child_dist = _region_dist_sq(
+                        key, child_prefix, post_len - 1 if post_len else 0
                     )
+                    if bound is None or child_dist <= bound:
+                        seq += 1
+                        heapq.heappush(
+                            heap,
+                            (
+                                child_dist,
+                                z_of(child_prefix),
+                                seq,
+                                0,
+                                child_context,
+                            ),
+                        )
                     pos += body
                 else:
                     entry_key, value, pos = self._entry_at(
                         pos, post_len, prefix, address
                     )
-                    heapq.heappush(
-                        heap,
-                        (
-                            point_dist(entry_key),
-                            next(tiebreak),
-                            1,
-                            (entry_key, value),
-                        ),
-                    )
+                    entry_dist = _point_dist_sq(key, entry_key)
+                    if bound is None or entry_dist <= bound:
+                        seq += 1
+                        heapq.heappush(
+                            heap,
+                            (
+                                entry_dist,
+                                z_of(entry_key),
+                                seq,
+                                1,
+                                (entry_key, value),
+                            ),
+                        )
         return results
 
     # -- conversion ---------------------------------------------------------------
@@ -576,3 +786,83 @@ class FrozenPHTree:
         for key, value in self.items():
             tree.put(key, value)
         return tree
+
+    # -- learned-trailer support --------------------------------------------------
+
+    def _iter_entry_positions(
+        self,
+    ) -> Iterator[Tuple[Tuple[int, ...], int]]:
+        """Yield ``(key, value_bit_pos)`` for every entry in z-order --
+        the one-pass scan the learned trailer is fit from."""
+        if self._size == 0:
+            return
+        yield from self._walk_positions(
+            0, self._width, (0,) * self._dims, 0
+        )
+
+    def _walk_positions(
+        self,
+        pos: int,
+        parent_post_len: int,
+        parent_prefix: Tuple[int, ...],
+        parent_address: int,
+    ) -> Iterator[Tuple[Tuple[int, ...], int]]:
+        reader = self._reader
+        k = self._dims
+        value_bits = self._codec.bits
+        post_len, prefix, n_slots, pos = self._parse_header(
+            pos, parent_post_len, parent_prefix, parent_address
+        )
+        for _ in range(n_slots):
+            address = reader.read(pos, k)
+            pos += k
+            is_sub = reader.read(pos, 1)
+            pos += 1
+            if is_sub:
+                body = reader.read(pos, _LEN_BITS)
+                pos += _LEN_BITS
+                yield from self._walk_positions(
+                    pos, post_len, prefix, address
+                )
+                pos += body
+            else:
+                key = []
+                for dim in range(k):
+                    postfix = (
+                        reader.read(pos, post_len) if post_len else 0
+                    )
+                    pos += post_len
+                    bit = (address >> (k - 1 - dim)) & 1
+                    key.append(prefix[dim] | (bit << post_len) | postfix)
+                yield tuple(key), pos
+                pos += value_bits
+
+
+def _point_dist_sq(
+    query: Tuple[int, ...], candidate: Tuple[int, ...]
+) -> int:
+    """Exact squared Euclidean distance between two keys."""
+    total = 0
+    for q, v in zip(query, candidate):
+        d = q - v
+        total += d * d
+    return total
+
+
+def _region_dist_sq(
+    query: Tuple[int, ...], prefix: Tuple[int, ...], post_len: int
+) -> int:
+    """Squared distance from ``query`` to the axis-aligned region whose
+    per-dim range is ``[prefix, prefix | (2^(post_len+1) - 1)]``."""
+    free = (1 << (post_len + 1)) - 1
+    total = 0
+    for q, lo in zip(query, prefix):
+        hi = lo | free
+        if q < lo:
+            d = lo - q
+        elif q > hi:
+            d = q - hi
+        else:
+            continue
+        total += d * d
+    return total

@@ -16,6 +16,25 @@ Because slots are written in ascending address order and the tree's
 structure is determined only by its key set, two trees holding the same
 keys serialise to identical bytes regardless of their construction history
 -- the test suite uses this as the order-independence oracle.
+
+Three magic numbers share this byte-stream family:
+
+- ``PHT1`` (this module): mutable-tree round-trip via
+  :func:`serialize_tree` / :func:`deserialize_tree`,
+- ``PHF1`` (:mod:`repro.core.frozen`): the same node layout behind a
+  read-only header, queried in place without materialising nodes,
+- ``PHL1`` (:mod:`repro.learned.index`): an *optional* learned-index
+  trailer appended after the ``PHF1`` payload (zero-padded to an 8-byte
+  boundary).  ``freeze(..., learned=True)`` writes it;
+  ``FrozenPHTree`` attaches it zero-copy when present and ignores it
+  otherwise, so a ``PHF1`` stream with a trailer is still a valid plain
+  frozen stream to older readers -- the header's bit length bounds the
+  payload, and anything past it is opt-in.
+
+Value codecs (:class:`NoneValueCodec`, :class:`U64ValueCodec`) are shared
+across all three: the codec's ``bits`` contract is what lets the frozen
+reader and the learned trailer's value-position array skip entries
+without decoding them.
 """
 
 from __future__ import annotations

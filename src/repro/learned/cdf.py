@@ -1,0 +1,163 @@
+"""A z-space CDF model: where the mass actually sits on the z-curve.
+
+:class:`repro.parallel.router.ZShardRouter` cuts z-space at *fixed*
+z-prefix boundaries -- equal-volume, not equal-mass -- so a skewed key
+distribution (CLUSTER centers confined to a corner, a hot tenant, a
+time-ordered dimension) lands almost everything in a few shards.
+:class:`ZCdfModel` is the skew-aware replacement: a piecewise-linear
+cumulative distribution over one-dimensional z-space, built from
+whatever evidence is at hand --
+
+- an exact z-sorted sample (:meth:`from_sorted_zcodes`,
+  :meth:`from_keys`): every observed z-code is a point mass, which is
+  what ``ShardedPHTree.build`` feeds it (the bulk-load stream *is* the
+  distribution);
+- the observability layer's :class:`~repro.obs.heat.ZHeatMap`
+  (:meth:`from_heatmap`): each z-prefix bucket becomes a uniform mass
+  over its z-interval, so the router can re-cut from live traffic
+  without touching the data.
+
+The only question the router asks is :meth:`quantile`: "below which
+z-code does fraction ``q`` of the mass sit?"  Equi-mass shard cuts are
+then ``quantile(s / n_shards)`` for ``s = 1 .. n_shards - 1``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+from repro.encoding.interleave import interleave
+
+__all__ = ["ZCdfModel"]
+
+
+class ZCdfModel:
+    """Piecewise-linear CDF over ``[0, 2^zbits)`` z-space.
+
+    Stored as mass intervals ``(z_lo, z_hi_exclusive, weight)`` in
+    ascending z order plus their cumulative prefix sums; a point mass
+    is an interval of span 1.
+    """
+
+    __slots__ = ("zbits", "total", "_starts", "_intervals", "_cum")
+
+    def __init__(
+        self, zbits: int, intervals: Sequence[Tuple[int, int, float]]
+    ) -> None:
+        if zbits < 1:
+            raise ValueError(f"zbits must be >= 1, got {zbits}")
+        cleaned = [
+            (lo, hi, float(w))
+            for lo, hi, w in intervals
+            if w > 0 and hi > lo
+        ]
+        cleaned.sort()
+        self.zbits = zbits
+        self._intervals = cleaned
+        self._starts = [lo for lo, _, _ in cleaned]
+        cum: List[float] = []
+        running = 0.0
+        for _, _, w in cleaned:
+            running += w
+            cum.append(running)
+        self._cum = cum
+        self.total = running
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_sorted_zcodes(
+        cls, zcodes: Sequence[int], zbits: int
+    ) -> "ZCdfModel":
+        """Point-mass CDF from an ascending z-code stream (duplicates
+        allowed; each occurrence is one unit of mass)."""
+        intervals: List[Tuple[int, int, float]] = []
+        i, n = 0, len(zcodes)
+        while i < n:
+            z = zcodes[i]
+            j = i + 1
+            while j < n and zcodes[j] == z:
+                j += 1
+            intervals.append((z, z + 1, float(j - i)))
+            i = j
+        return cls(zbits, intervals)
+
+    @classmethod
+    def from_keys(
+        cls, keys: Sequence[Sequence[int]], dims: int, width: int
+    ) -> "ZCdfModel":
+        """Point-mass CDF from an (unsorted) key sample."""
+        zs = sorted(interleave(key, width) for key in keys)
+        return cls.from_sorted_zcodes(zs, dims * width)
+
+    @classmethod
+    def from_heatmap(
+        cls, heat, dims: int, width: int
+    ) -> "ZCdfModel":
+        """Mass CDF from a :class:`~repro.obs.heat.ZHeatMap`: every
+        bucket matching ``(dims, width)`` contributes its op count,
+        spread uniformly over the bucket's z-interval."""
+        intervals: List[Tuple[int, int, float]] = []
+        for (k, w, code), bucket in heat._buckets.items():
+            if k != dims or w != width:
+                continue
+            span_bits = (width - bucket.levels) * dims
+            lo = code << span_bits
+            intervals.append((lo, lo + (1 << span_bits), float(bucket.count)))
+        return cls(dims * width, intervals)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def mass_below(self, z: int) -> float:
+        """Total mass at z-codes strictly below ``z``."""
+        idx = bisect_right(self._starts, z) - 1
+        if idx < 0:
+            return 0.0
+        before = self._cum[idx - 1] if idx else 0.0
+        lo, hi, w = self._intervals[idx]
+        if z >= hi:
+            return self._cum[idx]
+        return before + w * (z - lo) / (hi - lo)
+
+    def quantile(self, q: float) -> int:
+        """Smallest z-code with at least fraction ``q`` of the mass
+        strictly below-or-at it (piecewise-linear interpolation inside
+        mass intervals).  Clamped to ``[0, 2^zbits)``."""
+        zmax = (1 << self.zbits) - 1
+        if not self._intervals:
+            return min(zmax, int(q * (zmax + 1)))
+        if q <= 0.0:
+            return self._intervals[0][0]
+        if q >= 1.0:
+            return min(zmax, self._intervals[-1][1])
+        target = q * self.total
+        # First interval whose cumulative mass reaches the target.
+        lo_i, hi_i = 0, len(self._cum)
+        while lo_i < hi_i:
+            mid = (lo_i + hi_i) // 2
+            if self._cum[mid] < target:
+                lo_i = mid + 1
+            else:
+                hi_i = mid
+        before = self._cum[lo_i - 1] if lo_i else 0.0
+        z_lo, z_hi, w = self._intervals[lo_i]
+        frac = (target - before) / w if w else 0.0
+        z = z_lo + int(frac * (z_hi - z_lo))
+        return min(zmax, max(0, z))
+
+    def cuts(self, n_shards: int) -> List[int]:
+        """``n_shards - 1`` ascending equi-mass z boundaries (the
+        learned router's split points)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        boundaries = [
+            self.quantile(s / n_shards) for s in range(1, n_shards)
+        ]
+        for i in range(1, len(boundaries)):
+            if boundaries[i] < boundaries[i - 1]:
+                boundaries[i] = boundaries[i - 1]
+        return boundaries

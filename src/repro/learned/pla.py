@@ -1,0 +1,148 @@
+"""Greedy bounded-error piecewise-linear fitting over sorted z-codes.
+
+FITing-Tree / A-Tree (PAPERS.md) observe that a sorted key stream is a
+monotone function ``key -> position`` whose graph can be covered by a
+handful of line segments if the data is anywhere near linear in key
+space.  The *shrinking cone* algorithm fits those segments greedily in
+one pass: a segment keeps absorbing points while some slope through its
+origin stays within ``eps`` positions of every absorbed point; the
+feasible slope interval (the cone) only ever shrinks, and when it
+empties the segment is closed and a new one starts.
+
+Two deviations from the textbook algorithm, both forced by arbitrary-
+precision z-codes:
+
+- Slopes are computed in *float* arithmetic over ``z - z0`` deltas.  A
+  z-code is up to ``dims * width`` bits (1024 for a 16d/64-bit tree),
+  so ``float(z)`` may overflow or round; overflow closes the segment,
+  rounding silently loosens the cone.
+- Because of that rounding, ``eps`` is only the *target* bound.  After
+  fitting, :func:`measure_errors` re-walks every segment with exact
+  integer comparisons and records the **true** maximum prediction error
+  per segment.  Readers size their local search window from the
+  measured error, so float noise can never produce a wrong answer --
+  only a wider window, or (past the reader's window cap) a dead segment
+  that falls back to the exact engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["fit_segments", "measure_errors", "predict"]
+
+_INF = float("inf")
+
+
+def _delta(z: int, z0: int) -> float:
+    """``float(z - z0)``, with overflow mapped to +inf (the caller
+    treats an unrepresentable delta as a cone break)."""
+    try:
+        return float(z - z0)
+    except OverflowError:
+        return _INF
+
+
+def fit_segments(
+    zcodes: Sequence[int], eps: int
+) -> List[Tuple[int, float]]:
+    """Shrinking-cone segmentation of a strictly ascending z-code
+    stream; returns ``[(start_index, slope), ...]``.
+
+    Every position ``i`` in segment ``j`` (spanning ``start_j`` to the
+    next segment's start) is *aimed* to satisfy
+    ``|start_j + slope_j * float(zcodes[i] - zcodes[start_j]) - i| <= eps``;
+    the guarantee that actually holds is whatever
+    :func:`measure_errors` reports, float rounding included.
+
+    >>> fit_segments([10, 20, 30, 40], eps=1)
+    [(0, 0.1)]
+    """
+    if eps < 1:
+        raise ValueError(f"eps must be >= 1, got {eps}")
+    n = len(zcodes)
+    segments: List[Tuple[int, float]] = []
+    i = 0
+    while i < n:
+        start = i
+        z0 = zcodes[i]
+        lo, hi = 0.0, _INF
+        i += 1
+        while i < n:
+            x = _delta(zcodes[i], z0)
+            if x == _INF:
+                break
+            y = i - start
+            if x == 0.0:
+                # Distinct z-codes collapsed to the same float delta
+                # (adversarially dense keys): the cone cannot see them,
+                # so the true error grows silently.  measure_errors
+                # catches it; keep absorbing.
+                i += 1
+                continue
+            slope_lo = (y - eps) / x
+            slope_hi = (y + eps) / x
+            new_lo = slope_lo if slope_lo > lo else lo
+            new_hi = slope_hi if slope_hi < hi else hi
+            if new_lo > new_hi:
+                # Reject the point *without* committing its bounds: the
+                # closed segment's cone must reflect only the points it
+                # actually covers, or the chosen slope drifts toward the
+                # breaking point and the measured error inflates past
+                # eps (costing window width downstream).
+                break
+            lo, hi = new_lo, new_hi
+            i += 1
+        if hi == _INF:
+            # Nothing bounded the cone from above (single-point segment
+            # or all-zero deltas): any slope "fits"; 0 keeps predictions
+            # pinned to the segment start.
+            slope = lo
+        else:
+            slope = (lo + hi) / 2.0
+        segments.append((start, slope))
+    return segments
+
+
+def predict(
+    start: int, slope: float, z0: int, z: int
+) -> "int | None":
+    """The model's position estimate for ``z`` in the segment anchored
+    at ``(z0 -> start)``; ``None`` when the delta -- or the slope *
+    delta product (a steep segment probed with a far-away 1024-bit z)
+    -- overflows float."""
+    x = _delta(z, z0)
+    if x == _INF:
+        return None
+    try:
+        return start + int(slope * x + 0.5)
+    except OverflowError:
+        return None
+
+
+def measure_errors(
+    zcodes: Sequence[int], segments: List[Tuple[int, float]]
+) -> List[int]:
+    """Exact per-segment maximum of ``|prediction - true position|``
+    over the fitted stream (integer comparison, no trust in the cone).
+
+    A segment whose predictions cannot be evaluated at all (float
+    overflow) gets an error of ``len(zcodes)`` -- larger than any
+    window cap, so readers treat it as dead.
+    """
+    n = len(zcodes)
+    errors: List[int] = []
+    for j, (start, slope) in enumerate(segments):
+        end = segments[j + 1][0] if j + 1 < len(segments) else n
+        z0 = zcodes[start]
+        worst = 0
+        for i in range(start, end):
+            guess = predict(start, slope, z0, zcodes[i])
+            if guess is None:
+                worst = n
+                break
+            err = guess - i if guess >= i else i - guess
+            if err > worst:
+                worst = err
+        errors.append(worst)
+    return errors

@@ -241,6 +241,37 @@ snapshot_publish_failures = registry.counter(
     "(allocation or copy errors; reads fall back to the live engine).",
 )
 
+# -- learned index (repro/learned + core/frozen.py) ------------------------
+
+learned_lookups = registry.counter(
+    "repro_learned_lookups_total",
+    "Frozen-tree reads that consulted the learned z-address model, by "
+    "operation (point / window seek / knn seed).",
+    labelnames=("op",),
+)
+learned_lookups_point = learned_lookups.labels("point")
+learned_lookups_window = learned_lookups.labels("window")
+learned_lookups_knn = learned_lookups.labels("knn")
+learned_fallbacks = registry.counter(
+    "repro_learned_fallbacks_total",
+    "Learned-model probes that exceeded the error-bound contract (dead "
+    "segment, float overflow or oversized scan span) and fell back to "
+    "the exact engine, by operation.",
+    labelnames=("op",),
+)
+learned_fallbacks_point = learned_fallbacks.labels("point")
+learned_fallbacks_window = learned_fallbacks.labels("window")
+learned_segments_consulted = registry.counter(
+    "repro_learned_segments_consulted_total",
+    "PLA segments the learned model binary-searched into (one per "
+    "model-served probe).",
+)
+learned_prediction_error = registry.counter(
+    "repro_learned_prediction_error_total",
+    "Sum of |predicted rank - resolved rank| across model-served "
+    "probes (divide by repro_learned_lookups_total for the mean).",
+)
+
 # -- lock health (core/concurrent.py) --------------------------------------
 
 lock_timeouts = registry.counter(

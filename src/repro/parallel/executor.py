@@ -213,7 +213,13 @@ class SnapshotPool:
         locked = self._sharded._shards[shard]
         with locked.lock.read():
             generation = self._sharded._generations[shard]
-            blob = freeze(locked.unsafe_tree, self._codec)
+            blob = freeze(
+                locked.unsafe_tree,
+                self._codec,
+                learned=getattr(
+                    self._sharded, "_learned_snapshots", False
+                ),
+            )
         try:
             segment = shared_memory.SharedMemory(
                 create=True,

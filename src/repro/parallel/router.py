@@ -138,6 +138,21 @@ class ZShardRouter:
             shift -= 1
         return code >> (k * nlayers - bits)
 
+    def shard_of_z(self, z: int) -> int:
+        """The shard owning an already-interleaved z-code: its top
+        ``bits`` (callers holding sort keys skip the re-interleave)."""
+        bits = self._bits
+        if not bits:
+            return 0
+        return z >> (self._dims * self._width - bits)
+
+    def z_interval(self, shard: int) -> Tuple[int, int]:
+        """Inclusive ``[z_lo, z_hi]`` z-code interval owned by
+        ``shard`` (prefix shards are contiguous z-intervals too)."""
+        span_bits = self._dims * self._width - self._bits
+        lo = shard << span_bits
+        return lo, lo | ((1 << span_bits) - 1)
+
     # -- shard -> geometry ----------------------------------------------------
 
     def _compute_bounds(self, shard: int) -> Tuple[Key, Key]:

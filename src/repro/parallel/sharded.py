@@ -107,6 +107,20 @@ class ShardedPHTree:
     value_codec:
         Codec used to freeze shard snapshots for the worker processes
         (default: the set-semantics ``NoneValueCodec``).
+    router:
+        ``"prefix"`` (default) keeps the fixed z-prefix
+        :class:`~repro.parallel.router.ZShardRouter`.  ``"learned"``
+        uses a :class:`~repro.learned.router.LearnedZRouter` with
+        skew-aware equi-mass z-cuts (seeded uniform here; :meth:`build`
+        fits the cuts to the data, :meth:`relearn_router` re-fits from
+        a sample or the live heat map).  A router *instance* (anything
+        with the same surface) is used as-is; ``shards`` is then taken
+        from it.  All routers keep the z-interval parity contract, so
+        results and their order are identical to the unsharded tree.
+    learned_snapshots:
+        When true, shard snapshots are frozen with a learned z-address
+        trailer (:func:`repro.core.frozen.freeze` ``learned=True``), so
+        snapshot-pool workers serve model-seeded reads zero-copy.
 
     >>> tree = ShardedPHTree(dims=2, width=8, shards=4)
     >>> tree.put((1, 2), None)
@@ -125,21 +139,46 @@ class ShardedPHTree:
         workers: int = 0,
         value_codec: Any = NoneValueCodec,
         hc_mode: str = "auto",
+        router: "str | Any" = "prefix",
+        learned_snapshots: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
-        self._shards: List[SynchronizedPHTree] = [
+        proto = PHTree(dims=dims, width=width, hc_mode=hc_mode)
+        if router == "prefix":
+            router = ZShardRouter(dims, proto.width, shards)
+        elif router == "learned":
+            from repro.learned.router import LearnedZRouter
+
+            router = LearnedZRouter.uniform(dims, proto.width, shards)
+        elif isinstance(router, str):
+            raise ValueError(
+                f"router must be 'prefix', 'learned' or a router "
+                f"instance, got {router!r}"
+            )
+        else:
+            if router.dims != dims or router.width != proto.width:
+                raise ValueError(
+                    f"router shape ({router.dims}d/w{router.width}) "
+                    f"does not match the tree "
+                    f"({dims}d/w{proto.width})"
+                )
+            shards = router.n_shards
+        shards = router.n_shards
+        self._shards = [SynchronizedPHTree(proto)] + [
             SynchronizedPHTree(
                 PHTree(dims=dims, width=width, hc_mode=hc_mode)
             )
-            for _ in range(shards)
+            for _ in range(shards - 1)
         ]
-        proto = self._shards[0].unsafe_tree
-        self._router = ZShardRouter(dims, proto.width, shards)
+        self._router = router
+        self._width_arg = width
+        self._hc_mode = hc_mode
         self._check_key = proto._check_key
         self._generations: List[int] = [0] * shards
         self._workers = workers
         self._codec = value_codec
+        self._learned_snapshots = learned_snapshots
         self._pool: Optional[Any] = None
 
     # -- construction -----------------------------------------------------------
@@ -155,12 +194,18 @@ class ShardedPHTree:
         value_codec: Any = NoneValueCodec,
         hc_mode: str = "auto",
         build_workers: int = 0,
+        router: "str | Any" = "prefix",
+        learned_snapshots: bool = False,
     ) -> "ShardedPHTree":
         """Bulk-build: one global z-sort, then a per-shard bottom-up
         :func:`~repro.core.bulk.bulk_load_sorted` over each contiguous
-        run (no re-sorting, no per-insert node splicing).
+        run (no re-sorting, no per-insert node splicing; the sort's
+        z-codes are handed straight to the per-shard builds).
 
         Duplicate keys keep the last value, matching repeated ``put``.
+        ``router="learned"`` fits equi-mass z-cuts to the sorted batch
+        itself -- the bulk stream *is* the distribution -- so a skewed
+        key set still spreads evenly over the shards.
         ``build_workers > 1`` builds the independent shard trees on a
         thread pool; under CPython's GIL that overlaps little compute,
         but the runs are fully independent, so the build parallelises
@@ -173,20 +218,51 @@ class ShardedPHTree:
             workers=workers,
             value_codec=value_codec,
             hc_mode=hc_mode,
+            router=router,
+            learned_snapshots=learned_snapshots,
         )
         check = tree._check_key
         deduped: Dict[Key, Any] = {}
         for key, value in entries:
             deduped[check(key)] = value
         w = tree._router.width
-        items = sorted(
-            deduped.items(), key=lambda kv: interleave(kv[0], w)
+        decorated = sorted(
+            (interleave(key, w), key) for key in deduped
         )
-        runs = list(tree._router.split_sorted(items))
+        items = [(key, deduped[key]) for _, key in decorated]
+        zs = [z for z, _ in decorated]
+        if router == "learned":
+            from repro.learned.router import LearnedZRouter
 
-        def install(shard: int, run: List[Tuple[Key, Any]]) -> None:
+            tree._router = LearnedZRouter.from_sorted_zcodes(
+                zs, dims, w, tree.n_shards
+            )
+        # Cut the sorted batch into per-shard runs straight from the
+        # z-codes (works for any contiguous-z-interval router).
+        shard_of_z = tree._router.shard_of_z
+        runs: List[Tuple[int, List[Tuple[Key, Any]], List[int]]] = []
+        start = 0
+        n = len(items)
+        while start < n:
+            shard = shard_of_z(zs[start])
+            end = start + 1
+            while end < n and shard_of_z(zs[end]) == shard:
+                end += 1
+            runs.append((shard, items[start:end], zs[start:end]))
+            start = end
+
+        def install(
+            shard: int,
+            run: List[Tuple[Key, Any]],
+            run_zs: List[int],
+        ) -> None:
             built = bulk_load_sorted(
-                run, dims, width, hc_mode=hc_mode, validate=False
+                run,
+                dims,
+                width,
+                hc_mode=hc_mode,
+                validate=False,
+                zcodes=run_zs,
             )
             locked = tree._shards[shard]
             with locked.lock.write():
@@ -198,12 +274,13 @@ class ShardedPHTree:
 
             with ThreadPoolExecutor(max_workers=build_workers) as pool:
                 for future in [
-                    pool.submit(install, shard, run) for shard, run in runs
+                    pool.submit(install, shard, run, run_zs)
+                    for shard, run, run_zs in runs
                 ]:
                     future.result()
         else:
-            for shard, run in runs:
-                install(shard, run)
+            for shard, run, run_zs in runs:
+                install(shard, run, run_zs)
         return tree
 
     # -- topology ----------------------------------------------------------------
@@ -224,14 +301,84 @@ class ShardedPHTree:
         return self._router.n_shards
 
     @property
-    def router(self) -> ZShardRouter:
-        """The z-prefix router (pure arithmetic, shareable)."""
+    def router(self) -> Any:
+        """The shard router -- a z-prefix
+        :class:`~repro.parallel.router.ZShardRouter` or a
+        :class:`~repro.learned.router.LearnedZRouter` (pure arithmetic,
+        shareable)."""
         return self._router
 
     @property
     def generations(self) -> Tuple[int, ...]:
         """Per-shard write generation counters (snapshot staleness)."""
         return tuple(self._generations)
+
+    def relearn_router(self, source: str = "contents") -> None:
+        """Re-fit learned equi-mass z-cuts and re-shard in place.
+
+        ``source="contents"`` derives exact order-statistic cuts from
+        the stored keys (the population itself); ``source="heatmap"``
+        fits to the observability layer's live z-region traffic
+        (:data:`repro.obs.heat.HEATMAP`), steering capacity toward hot
+        regions rather than dense ones.  The shard count is unchanged;
+        every shard tree is rebuilt bottom-up from its new z-interval
+        run under an exclusive lock over all shards (one consistent
+        re-partition, never a torn read).
+        """
+        from repro.learned.router import LearnedZRouter
+
+        dims, w = self.dims, self.width
+        guards = [locked.lock.write() for locked in self._shards]
+        for guard in guards:
+            guard.__enter__()
+        try:
+            # Shards are ascending z-intervals, so concatenating their
+            # z-ordered item streams is already the global z-sort.
+            items: List[Tuple[Key, Any]] = [
+                entry
+                for locked in self._shards
+                for entry in locked.unsafe_tree.items()
+            ]
+            zs = [interleave(key, w) for key, _ in items]
+            if source == "contents":
+                router = LearnedZRouter.from_sorted_zcodes(
+                    zs, dims, w, self.n_shards
+                )
+            elif source == "heatmap":
+                router = LearnedZRouter.from_heatmap(
+                    _heat.HEATMAP, dims, w, self.n_shards
+                )
+            else:
+                raise ValueError(
+                    f"source must be 'contents' or 'heatmap', "
+                    f"got {source!r}"
+                )
+            shard_of_z = router.shard_of_z
+            runs: Dict[int, Tuple[int, int]] = {}
+            start = 0
+            n = len(items)
+            while start < n:
+                shard = shard_of_z(zs[start])
+                end = start + 1
+                while end < n and shard_of_z(zs[end]) == shard:
+                    end += 1
+                runs[shard] = (start, end)
+                start = end
+            for index, locked in enumerate(self._shards):
+                lo, hi = runs.get(index, (0, 0))
+                locked._tree = bulk_load_sorted(
+                    items[lo:hi],
+                    dims,
+                    self._width_arg,
+                    hc_mode=self._hc_mode,
+                    validate=False,
+                    zcodes=zs[lo:hi],
+                )
+                self._generations[index] += 1
+            self._router = router
+        finally:
+            for guard in reversed(guards):
+                guard.__exit__(None, None, None)
 
     def shard_sizes(self) -> Dict[int, int]:
         """Entry count per shard index."""

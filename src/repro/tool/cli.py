@@ -108,6 +108,15 @@ def cmd_query(args: argparse.Namespace) -> int:
     index = load_index(Path(args.index))
     box_min, box_max = _parse_box(args.box, index.dims)
     lo, hi = encode_point(box_min), encode_point(box_max)
+    if args.learned:
+        if args.shards > 1 or args.workers > 0:
+            print(
+                "error: --learned serves from one frozen snapshot; "
+                "drop --shards/--workers",
+                file=sys.stderr,
+            )
+            return 2
+        return _query_learned(args, index, lo, hi)
     if args.explain and (args.shards > 1 or args.workers > 0):
         # Request-scoped span waterfall across the shard fan-out:
         # router -> per-shard lock wait -> scan (worker attach/scan
@@ -157,6 +166,76 @@ def cmd_query(args: argparse.Namespace) -> int:
             results = sharded.query(lo, hi)
     else:
         results = list(index.tree.query(lo, hi))
+    header = ",".join(index.columns) + ",row"
+    print(header)
+    for encoded, row_number in results[: args.limit]:
+        point = decode_point(encoded)
+        print(",".join(f"{v:.10g}" for v in point) + f",{row_number}")
+    if len(results) > args.limit:
+        print(
+            f"... {len(results) - args.limit} more "
+            f"(raise --limit to see them)",
+            file=sys.stderr,
+        )
+    print(f"{len(results)} point(s) in box", file=sys.stderr)
+    return 0
+
+
+def _query_learned(
+    args: argparse.Namespace, index: IndexFile, lo, hi
+) -> int:
+    """Serve the window from a learned-frozen snapshot of the index.
+
+    With ``--explain`` the row output is replaced by a model report:
+    the fitted segmentation, which reads the model served, the
+    prediction error it paid, and every fallback to the exact engine
+    -- read straight from the ``repro_learned_*`` probes."""
+    from repro import obs
+    from repro.core.frozen import FrozenPHTree, freeze
+    from repro.core.serialize import U64ValueCodec
+    from repro.obs import probes as probes_mod
+
+    started = time.perf_counter()
+    frozen = FrozenPHTree(
+        freeze(index.tree, U64ValueCodec, learned=True), U64ValueCodec
+    )
+    fit_elapsed = time.perf_counter() - started
+    model = frozen.learned_index
+    if model is None:
+        print("error: index is empty; nothing to fit", file=sys.stderr)
+        return 2
+    if args.explain:
+        obs.reset_all()
+        obs.enable()
+        try:
+            results = list(frozen.query(lo, hi))
+        finally:
+            obs.disable()
+        stats = model.stats()
+        print(
+            f"learned model: {stats['entries']} entries in "
+            f"{stats['segments']} segment(s), eps {stats['eps']}, "
+            f"max measured error {stats['max_measured_err']}, "
+            f"{stats['dead_segments']} dead segment(s), "
+            f"{stats['trailer_bytes']} trailer bytes "
+            f"(fit+freeze {fit_elapsed:.3f}s)"
+        )
+        served = probes_mod.learned_lookups_window.value
+        fallbacks = probes_mod.learned_fallbacks_window.value
+        consulted = probes_mod.learned_segments_consulted.value
+        error_sum = probes_mod.learned_prediction_error.value
+        print(
+            f"window probes: {served} model-served, "
+            f"{fallbacks} fell back to the exact walk"
+        )
+        mean_err = error_sum / served if served else 0.0
+        print(
+            f"segments consulted: {consulted}, prediction error: "
+            f"{error_sum} rank(s) total ({mean_err:.2f} mean)"
+        )
+        print(f"{len(results)} point(s) in box", file=sys.stderr)
+        return 0
+    results = list(frozen.query(lo, hi))
     header = ",".join(index.columns) + ",row"
     print(header)
     for encoded, row_number in results[: args.limit]:
@@ -379,6 +458,8 @@ def cmd_check(args: argparse.Namespace) -> int:
                 width=args.width,
                 ops=args.ops,
                 seed=args.seed,
+                distribution=args.distribution,
+                learned=args.learned,
             )
             started = time.perf_counter()
             try:
@@ -392,9 +473,12 @@ def cmd_check(args: argparse.Namespace) -> int:
                 print(failure.repro(), file=sys.stderr)
                 continue
             elapsed = time.perf_counter() - started
+            learned_tag = " learned" if args.learned else ""
             print(
                 f"fuzz: dims={dims} width={args.width} "
-                f"seed={args.seed}: {report.ops_run} ops, "
+                f"seed={args.seed} "
+                f"distribution={args.distribution}{learned_tag}: "
+                f"{report.ops_run} ops, "
                 f"{report.validations} validations, final size "
                 f"{report.final_size}, {elapsed:.1f}s: OK"
             )
@@ -498,6 +582,14 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-node trace of the window traversal instead "
         "of the matching rows",
+    )
+    query.add_argument(
+        "--learned",
+        action="store_true",
+        help="serve the window from a learned-frozen snapshot "
+        "(model-seeded rank scan); with --explain, report the model's "
+        "segmentation, prediction error and fallback counts instead "
+        "of rows",
     )
     query.set_defaults(func=cmd_query)
 
@@ -647,6 +739,21 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         help="key width in bits for fuzzing (default: %(default)s)",
+    )
+    check.add_argument(
+        "--learned",
+        action="store_true",
+        help="add the learned-router sharded engine to the fuzz "
+        "lockstep (learned-frozen reads are always checked by the "
+        "deep validations)",
+    )
+    check.add_argument(
+        "--distribution",
+        choices=("cube", "cluster", "adversarial"),
+        default="cube",
+        help="fuzz key distribution; 'adversarial' is the "
+        "duplicate-heavy z-stream stressing the learned error bound "
+        "(default: %(default)s)",
     )
     check.set_defaults(func=cmd_check)
     return parser

@@ -1,0 +1,201 @@
+"""FrozenPHTree with a learned trailer: exactness and fallback.
+
+Every learned-path answer is compared against the exact frozen descent
+and the live tree -- identical results, including iteration order and
+kNN tie-breaks, are the acceptance bar.  The adversarial cases force
+the model into its fallback so the exactness contract is exercised on
+both sides of the bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.frozen import FrozenPHTree, freeze
+from repro.core.phtree import PHTree
+from repro.core.serialize import U64ValueCodec
+from repro.obs import probes
+
+
+def _tree(keys, dims, width):
+    tree = PHTree(dims=dims, width=width)
+    for i, key in enumerate(keys):
+        tree.put(key, i)
+    return tree
+
+
+def _cube_keys(n, dims, width, seed=0):
+    rng = random.Random(seed)
+    top = 1 << width
+    return list({
+        tuple(rng.randrange(top) for _ in range(dims))
+        for _ in range(n)
+    })
+
+
+def _pair(tree, **freeze_kwargs):
+    blob = freeze(tree, U64ValueCodec, learned=True, **freeze_kwargs)
+    exact = FrozenPHTree(blob, U64ValueCodec, learned=False)
+    learned = FrozenPHTree(blob, U64ValueCodec)
+    assert exact.learned_index is None
+    assert learned.learned_index is not None
+    return exact, learned
+
+
+class TestPointParity:
+    @pytest.mark.parametrize(
+        "dims,width", [(2, 16), (3, 20), (6, 12), (14, 8)]
+    )
+    def test_get_contains_match_exact(self, dims, width):
+        keys = _cube_keys(600, dims, width, seed=dims)
+        tree = _tree(keys, dims, width)
+        exact, learned = _pair(tree)
+        rng = random.Random(99)
+        misses = [
+            tuple(rng.randrange(1 << width) for _ in range(dims))
+            for _ in range(300)
+        ]
+        for key in keys + misses:
+            assert learned.get(key) == exact.get(key) == tree.get(key)
+            assert (
+                learned.contains(key)
+                == exact.contains(key)
+                == (tree.get(key) is not None)
+            )
+
+    def test_items_order_unchanged(self):
+        keys = _cube_keys(400, 3, 16, seed=5)
+        tree = _tree(keys, 3, 16)
+        exact, learned = _pair(tree)
+        assert list(learned.items()) == list(exact.items())
+
+
+class TestWindowParity:
+    def test_windows_match_exact_order_included(self):
+        keys = _cube_keys(800, 2, 16, seed=8)
+        tree = _tree(keys, 2, 16)
+        exact, learned = _pair(tree)
+        rng = random.Random(21)
+        top = (1 << 16) - 1
+        for _ in range(150):
+            lo = tuple(rng.randrange(1 << 16) for _ in range(2))
+            ext = rng.choice((1, 16, 1 << 8, 1 << 12, 1 << 15))
+            hi = tuple(min(v + ext, top) for v in lo)
+            assert list(learned.query(lo, hi)) == list(
+                exact.query(lo, hi)
+            )
+
+    def test_degenerate_and_full_windows(self):
+        keys = _cube_keys(300, 3, 12, seed=2)
+        tree = _tree(keys, 3, 12)
+        exact, learned = _pair(tree)
+        top = (1 << 12) - 1
+        key = keys[0]
+        assert list(learned.query(key, key)) == list(
+            exact.query(key, key)
+        )
+        assert list(learned.query((0,) * 3, (top,) * 3)) == list(
+            exact.query((0,) * 3, (top,) * 3)
+        )
+
+
+class TestKnn:
+    def test_knn_matches_exact_on_random_data(self):
+        keys = _cube_keys(500, 3, 14, seed=31)
+        tree = _tree(keys, 3, 14)
+        exact, learned = _pair(tree)
+        rng = random.Random(37)
+        for _ in range(60):
+            probe = tuple(rng.randrange(1 << 14) for _ in range(3))
+            k = rng.choice((1, 3, 10))
+            assert learned.knn(probe, k) == exact.knn(probe, k)
+
+    def test_knn_tie_order_matches_live_engine(self):
+        # Regression: equidistant neighbours must surface in ascending
+        # z-code order, exactly like the live engine and the sharded
+        # merge -- the frozen heap once broke ties by push order.
+        keys = [(31191, 17096), (31190, 17093), (31190, 17095),
+                (31190, 17096)]
+        tree = PHTree(dims=2, width=16)
+        for key in keys:
+            tree.put(key, None)
+        frozen = FrozenPHTree(freeze(tree, learned=True))
+        for k in (1, 2, 3, 4):
+            assert frozen.knn((31190, 17096), k) == tree.knn(
+                (31190, 17096), k
+            )
+
+
+class TestFallback:
+    def test_adversarial_stream_forces_fallback_counter(self):
+        # Duplicate-heavy blob keys at eps=1 / window_cap=0: any
+        # segment with nonzero measured error is dead, so point reads
+        # must take the exact path -- and must still all be right.
+        rng = random.Random(43)
+        blob = tuple(1 << 14 for _ in range(2))
+        keys = list({
+            tuple(b + rng.randint(-2, 2) for b in blob)
+            for _ in range(200)
+        } | {
+            tuple(rng.randrange(1 << 16) for _ in range(2))
+            for _ in range(200)
+        })
+        tree = _tree(keys, 2, 16)
+        exact, learned = _pair(tree, eps=1, window_cap=0)
+        obs.reset_all()
+        obs.enable()
+        try:
+            for key in keys:
+                assert learned.get(key) == exact.get(key)
+            fallbacks = int(probes.learned_fallbacks_point.value)
+            lookups = int(probes.learned_lookups_point.value)
+        finally:
+            obs.disable()
+            obs.reset_all()
+        assert lookups == len(keys)
+        assert fallbacks > 0
+
+    def test_dead_model_still_exact_on_windows(self):
+        rng = random.Random(47)
+        keys = list({
+            (rng.randrange(64), rng.randrange(64)) for _ in range(300)
+        })
+        tree = _tree(keys, 2, 16)
+        exact, learned = _pair(tree, eps=1, window_cap=0)
+        for _ in range(50):
+            lo = (rng.randrange(64), rng.randrange(64))
+            hi = (lo[0] + rng.randrange(32), lo[1] + rng.randrange(32))
+            assert list(learned.query(lo, hi)) == list(
+                exact.query(lo, hi)
+            )
+
+
+class TestAttach:
+    def test_padded_shared_memory_buffer(self):
+        # A page-rounded shared-memory segment: zero slack after the
+        # trailer must not confuse the attach, and the plain stream
+        # without a trailer must attach model-less.
+        keys = _cube_keys(200, 2, 12, seed=3)
+        tree = _tree(keys, 2, 12)
+        blob = freeze(tree, U64ValueCodec, learned=True)
+        padded = FrozenPHTree(
+            memoryview(bytearray(blob + b"\x00" * 4096)), U64ValueCodec
+        )
+        assert padded.learned_index is not None
+        plain = freeze(tree, U64ValueCodec)
+        padded_plain = FrozenPHTree(
+            memoryview(bytearray(plain + b"\x00" * 4096)), U64ValueCodec
+        )
+        assert padded_plain.learned_index is None
+        for key in keys:
+            assert padded.get(key) == padded_plain.get(key)
+
+    def test_empty_tree_freezes_without_trailer(self):
+        tree = PHTree(dims=2, width=8)
+        blob = freeze(tree, learned=True)
+        frozen = FrozenPHTree(blob)
+        assert frozen.learned_index is None
+        assert len(frozen) == 0

@@ -1,0 +1,178 @@
+"""LearnedZIndex: fit, PHL1 trailer round-trip, lookup exactness.
+
+``find``/``seek`` answers are checked against ``bisect`` over the raw
+z-code list -- the model is only ever a faster route to the answer the
+bisect gives, including for probes far outside the fitted domain.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+import pytest
+
+from repro.learned.index import (
+    ABSENT,
+    FALLBACK,
+    FOUND,
+    LearnedZIndex,
+    TRAILER_MAGIC,
+)
+
+
+def _fit(zs, zbits, eps=64, window_cap=512):
+    valpos = [i * 17 for i in range(len(zs))]
+    return LearnedZIndex.fit(zs, valpos, zbits, eps, window_cap)
+
+
+def _random_zs(n, zbits, seed=0):
+    rng = random.Random(seed)
+    return sorted({rng.randrange(1 << zbits) for _ in range(n)})
+
+
+class TestFindSeek:
+    @pytest.mark.parametrize("eps", [1, 8, 64])
+    def test_every_member_found_or_fallback(self, eps):
+        zs = _random_zs(3000, 48, seed=eps)
+        model = _fit(zs, 48, eps=eps)
+        for i, z in enumerate(zs):
+            status, rank, abs_err = model.find(z)
+            if status == FALLBACK:
+                continue
+            assert status == FOUND
+            assert rank == i
+            assert abs_err <= model.window_cap + 2
+
+    def test_absent_probes_are_proven_absent(self):
+        zs = _random_zs(2000, 40, seed=3)
+        member = set(zs)
+        model = _fit(zs, 40)
+        rng = random.Random(7)
+        for _ in range(2000):
+            z = rng.randrange(1 << 40)
+            if z in member:
+                continue
+            status, _, _ = model.find(z)
+            assert status in (ABSENT, FALLBACK)
+
+    def test_seek_is_always_exact(self):
+        zs = _random_zs(2000, 40, seed=11)
+        model = _fit(zs, 40)
+        rng = random.Random(13)
+        probes = [rng.randrange(1 << 40) for _ in range(2000)]
+        # Out-of-domain probes, both sides -- the regression that once
+        # inverted the bisect window: the last segment's extrapolation
+        # predicted far past the array and seek indexed out of range.
+        probes += [0, zs[0], zs[-1], zs[-1] + 1, (1 << 40) - 1]
+        for z in probes:
+            rank, _, _ = model.seek(z)
+            assert rank == bisect_left(zs, z)
+
+    def test_dead_segments_fall_back_never_lie(self):
+        # window_cap=0 kills every segment whose measured error is
+        # nonzero; the survivors must still answer exactly.
+        zs = _random_zs(3000, 48, seed=17)
+        model = _fit(zs, 48, eps=64, window_cap=0)
+        fell_back = 0
+        for i, z in enumerate(zs):
+            status, rank, _ = model.find(z)
+            if status == FALLBACK:
+                fell_back += 1
+            else:
+                assert (status, rank) == (FOUND, i)
+            seek_rank, _, seek_fell = model.seek(z)
+            assert seek_rank == i  # leftmost: zs are unique
+        assert fell_back > 0
+
+    def test_duplicate_heavy_stream_survives(self):
+        # Near-vertical rank runs (tiny z-gaps) at tight eps: cone
+        # fitting degrades to many segments, answers stay exact.
+        rng = random.Random(23)
+        z = 0
+        zs = []
+        for _ in range(1500):
+            z += rng.choice((1, 1, 1, 1 << 30))
+            zs.append(z)
+        model = _fit(zs, 48, eps=2, window_cap=1)
+        for i, zz in enumerate(zs):
+            status, rank, _ = model.find(zz)
+            assert status in (FOUND, FALLBACK)
+            if status == FOUND:
+                assert rank == i
+
+
+class TestTrailerRoundTrip:
+    @pytest.mark.parametrize("zbits", [16, 48, 63])
+    def test_single_word_round_trip(self, zbits):
+        zs = _random_zs(500, zbits, seed=zbits)
+        model = _fit(zs, zbits)
+        blob = model.to_trailer()
+        assert blob[:4] == TRAILER_MAGIC
+        assert len(blob) == model.trailer_bytes
+        # Attach mid-buffer with trailing slack, like a shared-memory
+        # page: offset must be honoured, slack ignored.
+        buf = memoryview(b"\x00" * 64 + blob + b"\x00" * 128)
+        attached = LearnedZIndex.from_buffer(buf, 64)
+        assert attached is not None
+        assert attached.n == model.n
+        assert attached.n_segments == model.n_segments
+        assert attached.zwords == 1
+        for i in range(model.n):
+            assert attached.z_at(i) == zs[i]
+            assert attached.value_pos(i) == model.value_pos(i)
+        for z in zs[::7] + [zs[-1] + 1]:
+            assert attached.find(z) == model.find(z)
+
+    @pytest.mark.parametrize("zbits", [80, 180])
+    def test_multi_word_round_trip(self, zbits):
+        # z-codes wider than one u64 word (e.g. 3 dims x 60 bits): the
+        # trailer stores zwords words per code, MSW first, and the
+        # bisects run through the _MultiWordView shim.
+        zs = _random_zs(400, zbits, seed=zbits)
+        model = _fit(zs, zbits)
+        assert model.zwords == (zbits + 63) // 64
+        blob = model.to_trailer()
+        attached = LearnedZIndex.from_buffer(memoryview(blob), 0)
+        assert attached is not None
+        assert attached.zwords == model.zwords
+        for i in range(0, model.n, 3):
+            assert attached.z_at(i) == zs[i]
+        for i, z in enumerate(zs):
+            status, rank, _ = attached.find(z)
+            if status != FALLBACK:
+                assert (status, rank) == (FOUND, i)
+
+    def test_zero_padding_never_false_positives(self):
+        assert LearnedZIndex.from_buffer(memoryview(b"\x00" * 256), 0) is None
+        assert LearnedZIndex.from_buffer(memoryview(b""), 0) is None
+
+    def test_truncated_trailer_rejected(self):
+        zs = _random_zs(300, 40, seed=1)
+        blob = _fit(zs, 40).to_trailer()
+        for cut in (5, len(blob) // 2, len(blob) - 1):
+            assert (
+                LearnedZIndex.from_buffer(memoryview(blob[:cut]), 0)
+                is None
+            )
+
+    def test_stats_shape(self):
+        zs = _random_zs(1000, 40, seed=2)
+        stats = _fit(zs, 40, eps=16).stats()
+        assert stats["entries"] == 1000
+        assert stats["segments"] >= 1
+        assert stats["eps"] == 16
+        assert stats["max_measured_err"] <= 16
+        assert stats["dead_segments"] == 0
+        assert stats["zwords"] == 1
+        assert stats["trailer_bytes"] > 0
+
+
+class TestFitValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LearnedZIndex.fit([], [], 16)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LearnedZIndex.fit([1, 2], [0], 16)

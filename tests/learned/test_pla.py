@@ -1,0 +1,111 @@
+"""Shrinking-cone PLA fitter: the bounded-error contract.
+
+The learned layer's exactness hinges on two properties of
+``fit_segments`` / ``measure_errors``: segment starts tile the input,
+and the *measured* per-segment error really is the max |predicted -
+true| rank over the segment.  Everything downstream (the ±(err+2)
+bisect window, the dead-segment fallback) assumes exactly this.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.pla import fit_segments, measure_errors, predict
+
+
+def _ascending_zs(draw_values):
+    """Strictly ascending z-codes from arbitrary positive gaps."""
+    zs = []
+    z = 0
+    for gap in draw_values:
+        z += gap
+        zs.append(z)
+    return zs
+
+
+gaps = st.lists(
+    st.integers(min_value=1, max_value=1 << 40), min_size=1, max_size=400
+)
+
+
+class TestFitSegments:
+    @given(gaps, st.integers(min_value=1, max_value=128))
+    @settings(max_examples=100, deadline=None)
+    def test_starts_tile_the_input(self, gap_list, eps):
+        zs = _ascending_zs(gap_list)
+        segments = fit_segments(zs, eps)
+        starts = [s for s, _ in segments]
+        assert starts[0] == 0
+        assert starts == sorted(set(starts))
+        assert all(0 <= s < len(zs) for s in starts)
+
+    @given(gaps, st.integers(min_value=1, max_value=128))
+    @settings(max_examples=100, deadline=None)
+    def test_measured_error_is_exact(self, gap_list, eps):
+        zs = _ascending_zs(gap_list)
+        segments = fit_segments(zs, eps)
+        errors = measure_errors(zs, segments)
+        assert len(errors) == len(segments)
+        starts = [s for s, _ in segments] + [len(zs)]
+        for j, (start, slope) in enumerate(segments):
+            end = starts[j + 1]
+            z0 = zs[start]
+            worst = 0
+            for i in range(start, end):
+                guess = predict(start, slope, z0, zs[i])
+                assert guess is not None
+                worst = max(worst, abs(guess - i))
+            assert errors[j] == worst
+
+    @given(gaps)
+    @settings(max_examples=50, deadline=None)
+    def test_cone_bound_holds_within_segment(self, gap_list):
+        # The a-priori cone guarantee: with target eps, no point inside
+        # a segment predicts further than eps from its true rank (+1
+        # slack for float division/rounding; deltas here stay exactly
+        # representable, so only the slope arithmetic can round).
+        eps = 8
+        zs = _ascending_zs(gap_list)
+        errors = measure_errors(zs, fit_segments(zs, eps))
+        assert all(err <= eps + 1 for err in errors)
+
+    def test_single_entry_stream(self):
+        segments = fit_segments([42], 4)
+        assert [s for s, _ in segments] == [0]
+        assert measure_errors([42], segments) == [0]
+
+    def test_perfectly_linear_stream_is_one_segment(self):
+        zs = list(range(0, 10_000, 7))
+        segments = fit_segments(zs, 2)
+        assert len(segments) == 1
+        assert measure_errors(zs, segments) == [0]
+
+    def test_pathological_spacing_splits_segments(self):
+        # Exponential gaps defeat any single slope at tight eps.
+        zs = [1 << i for i in range(64)]
+        segments = fit_segments(zs, 1)
+        assert len(segments) > 1
+        errors = measure_errors(zs, segments)
+        assert all(err <= 2 for err in errors)
+
+    def test_random_stream_eps_one_stays_exactish(self):
+        rng = random.Random(5)
+        zs = sorted(rng.sample(range(1 << 30), 2000))
+        errors = measure_errors(zs, fit_segments(zs, 1))
+        assert all(err <= 2 for err in errors)
+
+
+class TestPredict:
+    def test_overflowing_extrapolation_returns_none_or_int(self):
+        # predict() must never raise on wild extrapolations; it either
+        # clamps into an int or signals FALLBACK with None.
+        result = predict(0, 1e300, 0, 1 << 512)
+        assert result is None or isinstance(result, int)
+
+    def test_exact_on_the_anchor(self):
+        assert predict(10, 0.5, 100, 100) == 10
