@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test fuzz bench bench-small bench-json examples results clean
+.PHONY: install test fuzz durable-smoke bench bench-small bench-json examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -15,6 +15,14 @@ test:
 # matrix plus the parallel-layer fault drill (the CI fuzz-smoke job).
 fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro.tool check --fuzz --seed 0 --ops 4000 --dims 2,6,14
+
+# Durable-store battery: the store unit suite (incl. the torn-WAL corpus
+# and the 100+-point crash-offset sweep), a durable differential fuzz
+# leg, and the seeded kill-during-flush drills (the CI durability-smoke job).
+durable-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/store -q
+	PYTHONPATH=src $(PYTHON) -m repro.tool check --fuzz --durable --learned --seed 0 --ops 1500 --dims 2,6
+	PYTHONPATH=src $(PYTHON) -m repro.tool check --fault-kinds disk-flush-kill,disk-compact-kill,disk-torn-wal
 	PYTHONPATH=src $(PYTHON) -m repro.tool check --faults
 
 bench:

@@ -13,12 +13,24 @@ a real seam of :mod:`repro.parallel`:
   writer timeouts (:class:`~repro.core.concurrent.LockTimeout`) and the
   bounded-batching fairness path.
 
+The durable store adds the disk fault class (``disk-*`` kinds):
+
+- ``disk-flush-kill`` / ``disk-compact-kill`` -- a driver subprocess
+  running a deterministic workload is SIGKILLed at a seeded byte offset
+  *inside* the flush / compaction I/O (armed through
+  :mod:`repro.store.io`'s ``REPRO_STORE_CRASH``); reopening the
+  directory must recover a validator-green store whose contents equal
+  the workload oracle exactly,
+- ``disk-torn-wal`` -- the WAL tail is truncated at a seeded offset and
+  a byte is flipped; recovery must land on a clean op-stream prefix.
+
 The contract under every fault: reads keep returning *correct* results
 (degrading to the live in-process engine) or raise a clean typed error,
-and the matching :mod:`repro.obs.probes` counter moves.
-:func:`run_fault_drill` drives all four scenarios end-to-end (the
+and the matching :mod:`repro.obs.probes` counter moves; after a disk
+fault, recovery restores exactly the durable contents.
+:func:`run_fault_drill` drives every scenario end-to-end (the
 ``repro.tool check --faults`` verb) and reports the observed
-result/counter for each.
+result/counter for each; ``kinds`` selects a subset.
 """
 
 from __future__ import annotations
@@ -38,13 +50,30 @@ from repro.obs import recorder as _recorder
 from repro.obs import runtime as _rt
 
 __all__ = [
+    "DISK_FAULTS",
     "FaultOutcome",
+    "PARALLEL_FAULTS",
     "kill_one_worker",
     "publish_failures",
     "run_fault_drill",
     "slow_reader",
     "unlink_failures",
 ]
+
+#: Drill scenarios against the live parallel stack.
+PARALLEL_FAULTS = (
+    "publish-failure",
+    "worker-death",
+    "unlink-failure",
+    "lock-timeout",
+)
+
+#: Drill scenarios against the durable store's crash contract.
+DISK_FAULTS = (
+    "disk-flush-kill",
+    "disk-compact-kill",
+    "disk-torn-wal",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -216,14 +245,54 @@ def _counter_value(counter: Any) -> float:
 
 
 def run_fault_drill(
-    dims: int = 2, width: int = 16, entries: int = 256
+    dims: int = 2,
+    width: int = 16,
+    entries: int = 256,
+    kinds: "List[str] | None" = None,
+    seed: int = 20140623,
 ) -> List[FaultOutcome]:
-    """Run every fault class against a live sharded tree with a worker
-    pool; returns one :class:`FaultOutcome` per scenario.
+    """Run the selected fault scenarios; returns one
+    :class:`FaultOutcome` per scenario, in canonical order
+    (``PARALLEL_FAULTS`` then ``DISK_FAULTS``; all of them when
+    ``kinds`` is None).
 
     Observability is enabled for the duration (restored afterwards) so
     the per-fault counters can be asserted to move.
     """
+    selected = (
+        list(PARALLEL_FAULTS + DISK_FAULTS)
+        if kinds is None
+        else list(kinds)
+    )
+    unknown = set(selected) - set(PARALLEL_FAULTS + DISK_FAULTS)
+    if unknown:
+        raise ValueError(
+            f"unknown fault kind(s) {sorted(unknown)}; choose from "
+            f"{PARALLEL_FAULTS + DISK_FAULTS}"
+        )
+    outcomes: List[FaultOutcome] = []
+    wanted = set(selected)
+    if wanted.intersection(PARALLEL_FAULTS):
+        outcomes.extend(
+            _run_parallel_drills(dims, width, entries, wanted)
+        )
+    if "disk-flush-kill" in wanted:
+        outcomes.append(
+            _disk_kill_drill("flush", dims, width, entries, seed)
+        )
+    if "disk-compact-kill" in wanted:
+        outcomes.append(
+            _disk_kill_drill("compact", dims, width, entries, seed)
+        )
+    if "disk-torn-wal" in wanted:
+        outcomes.append(_torn_wal_drill(dims, width, entries, seed))
+    return outcomes
+
+
+def _run_parallel_drills(
+    dims: int, width: int, entries: int, wanted: Any
+) -> List[FaultOutcome]:
+    """The four parallel-stack scenarios (shared live tree + pool)."""
     import random
 
     from repro.parallel.sharded import ShardedPHTree
@@ -249,93 +318,103 @@ def run_fault_drill(
 
         # 1. Publish failure: allocation dies; the read degrades to the
         #    live engine with identical results.
-        before = _counter_value(_probes.snapshot_publish_failures)
-        with publish_failures(count=1):
-            result = tree.query(box_lo, box_hi)
-        moved = _counter_value(_probes.snapshot_publish_failures) - before
-        outcomes.append(
-            FaultOutcome(
-                "publish-failure",
-                result == expected and moved >= 1,
-                f"live fallback correct={result == expected}, "
-                f"snapshot_publish_failures +{moved:g}",
-                events=_recorder.dump(last=32),
+        if "publish-failure" in wanted:
+            before = _counter_value(_probes.snapshot_publish_failures)
+            with publish_failures(count=1):
+                result = tree.query(box_lo, box_hi)
+            moved = (
+                _counter_value(_probes.snapshot_publish_failures) - before
             )
-        )
+            outcomes.append(
+                FaultOutcome(
+                    "publish-failure",
+                    result == expected and moved >= 1,
+                    f"live fallback correct={result == expected}, "
+                    f"snapshot_publish_failures +{moved:g}",
+                    events=_recorder.dump(last=32),
+                )
+            )
 
         # 2. Worker death: a broken pool is detected, typed, counted,
         #    recycled -- and the answer is still exactly right.
-        tree.query(box_lo, box_hi)  # publish snapshots, start the pool
-        pool = tree._snapshot_pool()
-        before = _counter_value(_probes.fanout_failures.labels("query"))
-        pid = kill_one_worker(pool)
-        result = tree.query(box_lo, box_hi)
-        moved = (
-            _counter_value(_probes.fanout_failures.labels("query"))
-            - before
-        )
-        recovered = tree.query(box_lo, box_hi)  # fresh pool fan-out
-        outcomes.append(
-            FaultOutcome(
-                "worker-death",
-                result == expected
-                and recovered == expected
-                and moved >= 1,
-                f"killed pid {pid}; fallback correct="
-                f"{result == expected}, recovered pool correct="
-                f"{recovered == expected}, fanout_failures +{moved:g}",
-                events=_recorder.dump(last=32),
+        if "worker-death" in wanted:
+            tree.query(box_lo, box_hi)  # publish snapshots, start pool
+            pool = tree._snapshot_pool()
+            before = _counter_value(
+                _probes.fanout_failures.labels("query")
             )
-        )
+            pid = kill_one_worker(pool)
+            result = tree.query(box_lo, box_hi)
+            moved = (
+                _counter_value(_probes.fanout_failures.labels("query"))
+                - before
+            )
+            recovered = tree.query(box_lo, box_hi)  # fresh pool fan-out
+            outcomes.append(
+                FaultOutcome(
+                    "worker-death",
+                    result == expected
+                    and recovered == expected
+                    and moved >= 1,
+                    f"killed pid {pid}; fallback correct="
+                    f"{result == expected}, recovered pool correct="
+                    f"{recovered == expected}, fanout_failures +{moved:g}",
+                    events=_recorder.dump(last=32),
+                )
+            )
 
         # 3. Unlink failure: discarding a superseded snapshot fails; the
         #    refresh survives, the error is counted.
-        tree.put(data[0], None)  # bump a generation: stale snapshot
-        expected = tree._query_live(
-            range(tree.n_shards), box_lo, box_hi
-        )
-        before = _counter_value(_probes.snapshot_discard_errors)
-        with unlink_failures(tree._snapshot_pool(), count=1):
-            tree.refresh_snapshots()
-        moved = _counter_value(_probes.snapshot_discard_errors) - before
-        result = tree.query(box_lo, box_hi)
-        outcomes.append(
-            FaultOutcome(
-                "unlink-failure",
-                result == expected and moved >= 1,
-                f"refresh survived, results correct="
-                f"{result == expected}, "
-                f"snapshot_discard_errors +{moved:g}",
-                events=_recorder.dump(last=32),
+        if "unlink-failure" in wanted:
+            tree.put(data[0], None)  # bump a generation: stale snapshot
+            expected = tree._query_live(
+                range(tree.n_shards), box_lo, box_hi
             )
-        )
+            before = _counter_value(_probes.snapshot_discard_errors)
+            with unlink_failures(tree._snapshot_pool(), count=1):
+                tree.refresh_snapshots()
+            moved = (
+                _counter_value(_probes.snapshot_discard_errors) - before
+            )
+            result = tree.query(box_lo, box_hi)
+            outcomes.append(
+                FaultOutcome(
+                    "unlink-failure",
+                    result == expected and moved >= 1,
+                    f"refresh survived, results correct="
+                    f"{result == expected}, "
+                    f"snapshot_discard_errors +{moved:g}",
+                    events=_recorder.dump(last=32),
+                )
+            )
 
         # 4. Slow reader: a camped read lock; a bounded writer times out
         #    cleanly (and is counted) instead of hanging.
-        before = _counter_value(_probes.lock_timeouts.labels("write"))
-        timed_out = False
-        with slow_reader(tree, shard=0):
-            try:
-                with tree._shards[0].lock.write(timeout=0.05):
-                    pass  # pragma: no cover - reader holds the lock
-            except LockTimeout:
-                timed_out = True
-        moved = (
-            _counter_value(_probes.lock_timeouts.labels("write"))
-            - before
-        )
-        # After the reader leaves, the same write must succeed.
-        with tree._shards[0].lock.write(timeout=1.0):
-            pass
-        outcomes.append(
-            FaultOutcome(
-                "lock-timeout",
-                timed_out and moved >= 1,
-                f"writer timed out cleanly={timed_out}, "
-                f"lock_timeouts +{moved:g}, lock usable afterwards",
-                events=_recorder.dump(last=32),
+        if "lock-timeout" in wanted:
+            before = _counter_value(_probes.lock_timeouts.labels("write"))
+            timed_out = False
+            with slow_reader(tree, shard=0):
+                try:
+                    with tree._shards[0].lock.write(timeout=0.05):
+                        pass  # pragma: no cover - reader holds the lock
+                except LockTimeout:
+                    timed_out = True
+            moved = (
+                _counter_value(_probes.lock_timeouts.labels("write"))
+                - before
             )
-        )
+            # After the reader leaves, the same write must succeed.
+            with tree._shards[0].lock.write(timeout=1.0):
+                pass
+            outcomes.append(
+                FaultOutcome(
+                    "lock-timeout",
+                    timed_out and moved >= 1,
+                    f"writer timed out cleanly={timed_out}, "
+                    f"lock_timeouts +{moved:g}, lock usable afterwards",
+                    events=_recorder.dump(last=32),
+                )
+            )
         return outcomes
     finally:
         tree.close()
@@ -343,3 +422,275 @@ def run_fault_drill(
             _rt.enable()
         else:
             _rt.disable()
+
+
+# ---------------------------------------------------------------------------
+# Disk drills (durable store crash contract)
+# ---------------------------------------------------------------------------
+
+
+def _learned_segments_ok(store: Any) -> bool:
+    """Every non-empty frozen segment of a learned store must carry an
+    attached PHL1 model after recovery."""
+    for seg in store.segments:
+        if seg.frozen is not None and len(seg.frozen):
+            if seg.frozen.learned_index is None:
+                return False
+    return True
+
+
+def _disk_kill_drill(
+    scenario: str, dims: int, width: int, entries: int, seed: int
+) -> FaultOutcome:
+    """SIGKILL a driver subprocess at a seeded byte offset inside the
+    ``scenario`` phase ("flush" or "compact"), then reopen and check
+    recovery against the workload oracle.
+
+    The offset is drawn uniformly over the phase's *real* charged I/O
+    volume, measured by replaying the identical deterministic workload
+    in-process first -- so every byte of the phase is a reachable crash
+    point across seeds.
+    """
+    import random
+    import subprocess
+    import sys
+    import tempfile
+
+    import repro
+    from repro.check.validate import validate_tree
+    from repro.core.serialize import U64ValueCodec
+    from repro.store import io as store_io
+    from repro.store.drill import (
+        build_ops,
+        expected_state,
+        run_scenario,
+    )
+    from repro.store.engine import DurablePHTree
+
+    fault = f"disk-{scenario}-kill"
+    with tempfile.TemporaryDirectory(
+        prefix="repro-fault-disk-"
+    ) as tmp:
+        # 1. Measure the phase's charged I/O volume on the identical
+        #    workload (no crash armed).
+        with store_io.measure() as totals:
+            probe = DurablePHTree.open(
+                os.path.join(tmp, "measure"),
+                dims=dims,
+                width=width,
+                shards=4,
+                value_codec=U64ValueCodec,
+                learned=True,
+            )
+            run_scenario(
+                probe, scenario, build_ops(dims, width, entries, seed)
+            )
+        volume = totals.get(scenario, 0)
+        offset = random.Random(f"{fault}:{seed}").randrange(
+            max(1, volume)
+        )
+
+        # 2. Re-run in a subprocess armed to SIGKILL itself at that
+        #    offset inside the target phase.
+        child_db = os.path.join(tmp, "db")
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env = dict(os.environ)
+        env[store_io.CRASH_ENV] = f"{scenario}:{offset}:kill"
+        extra = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + extra if extra else src_root
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.store.drill",
+                child_db,
+                "--scenario",
+                scenario,
+                "--dims",
+                str(dims),
+                "--width",
+                str(width),
+                "--entries",
+                str(entries),
+                "--seed",
+                str(seed),
+                "--learned",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        killed = proc.returncode == -signal.SIGKILL
+        _recorder.record(
+            "fault_injected",
+            fault=fault.replace("-", "_"),
+            offset=offset,
+            volume=volume,
+            returncode=proc.returncode,
+        )
+
+        # 3. Recovery: reopen must yield a validator-green store whose
+        #    contents equal the oracle exactly (every op in these
+        #    scenarios was WAL-durable before the final phase began).
+        valid = True
+        problem = ""
+        state_ok = False
+        learned_ok = False
+        replayed = -1
+        try:
+            recovered = DurablePHTree.open(
+                child_db, value_codec=U64ValueCodec
+            )
+        except Exception as exc:  # noqa: BLE001 - drill verdict
+            valid = False
+            problem = f"reopen failed: {exc!r}"
+        else:
+            try:
+                try:
+                    validate_tree(recovered)
+                except Exception as exc:  # noqa: BLE001
+                    valid = False
+                    problem = f"validator red: {exc!r}"
+                oracle = expected_state(dims, width, entries, seed)
+                state_ok = dict(recovered.items()) == oracle
+                learned_ok = _learned_segments_ok(recovered)
+                replayed = recovered.recovery_info.get("replayed", -1)
+            finally:
+                recovered.close()
+        passed = killed and valid and state_ok and learned_ok
+        detail = (
+            f"SIGKILL at offset {offset}/{volume} in {scenario!r}: "
+            f"child killed={killed}, validator green={valid}, "
+            f"contents==oracle={state_ok}, learned attached="
+            f"{learned_ok}, wal replayed={replayed}"
+        )
+        if problem:
+            detail += f"; {problem}"
+        return FaultOutcome(
+            fault, passed, detail, events=_recorder.dump(last=32)
+        )
+
+
+def _torn_wal_drill(
+    dims: int, width: int, entries: int, seed: int
+) -> FaultOutcome:
+    """Corrupt the WAL tail -- truncate at a seeded offset, then (in a
+    second identically built store) flip a bit inside a CRC-covered
+    region -- and require recovery to land on a clean op-stream prefix
+    at or past the flushed half, validator green both times.
+    """
+    import random
+    import tempfile
+
+    from repro.check.validate import validate_tree
+    from repro.core.serialize import U64ValueCodec
+    from repro.store.drill import build_ops, prefix_states
+    from repro.store.engine import DurablePHTree
+    from repro.store.manifest import load_manifest
+
+    ops = build_ops(dims, width, entries, seed)
+    half = len(ops) // 2
+    states = prefix_states(dims, width, entries, seed)
+    rng = random.Random(f"disk-torn-wal:{seed}")
+
+    def _build(path: str) -> str:
+        """First half flushed into segments, second half WAL-only;
+        returns the live WAL path."""
+        store = DurablePHTree.open(
+            path,
+            dims=dims,
+            width=width,
+            shards=4,
+            value_codec=U64ValueCodec,
+            learned=True,
+        )
+        for i, (op, key, value) in enumerate(ops):
+            if op == "put":
+                store.put(key, value)
+            else:
+                store.remove(key, None)
+            if i == half - 1:
+                store.flush()
+        store.close()
+        manifest = load_manifest(path)
+        assert manifest is not None
+        return os.path.join(path, manifest.wal)
+
+    def _check(path: str) -> Tuple[bool, str]:
+        recovered = DurablePHTree.open(
+            path, value_codec=U64ValueCodec
+        )
+        try:
+            try:
+                validate_tree(recovered)
+            except Exception as exc:  # noqa: BLE001 - drill verdict
+                return False, f"validator red: {exc!r}"
+            if not _learned_segments_ok(recovered):
+                return False, "learned trailer missing"
+            contents = dict(recovered.items())
+            torn = recovered.recovery_info.get("torn_bytes", 0)
+            for i in range(half, len(states)):
+                if contents == states[i]:
+                    return True, (
+                        f"prefix {i}/{len(ops)} ops, "
+                        f"torn_bytes={torn}"
+                    )
+            return False, (
+                f"contents match no op prefix >= {half} "
+                f"(torn_bytes={torn})"
+            )
+        finally:
+            recovered.close()
+
+    results: List[str] = []
+    passed = True
+    with tempfile.TemporaryDirectory(
+        prefix="repro-fault-torn-"
+    ) as tmp:
+        # Case A: truncate the WAL mid-stream (torn final write).
+        db = os.path.join(tmp, "truncate")
+        wal_path = _build(db)
+        size = os.path.getsize(wal_path)
+        cut = rng.randrange(1, max(2, size))
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(cut)
+        _recorder.record(
+            "fault_injected",
+            fault="torn_wal_truncate",
+            offset=cut,
+            size=size,
+        )
+        ok, note = _check(db)
+        passed = passed and ok
+        results.append(f"truncate@{cut}/{size}: {note}")
+
+        # Case B: flip one bit inside a CRC-covered byte (silent
+        # corruption); recovery must stop at the damaged record.
+        db = os.path.join(tmp, "bitflip")
+        wal_path = _build(db)
+        blob = bytearray(open(wal_path, "rb").read())
+        pos = rng.randrange(len(blob))
+        blob[pos] ^= 0x40
+        with open(wal_path, "wb") as fh:
+            fh.write(bytes(blob))
+        _recorder.record(
+            "fault_injected",
+            fault="torn_wal_bitflip",
+            offset=pos,
+            size=len(blob),
+        )
+        ok, note = _check(db)
+        passed = passed and ok
+        results.append(f"bitflip@{pos}/{len(blob)}: {note}")
+
+    return FaultOutcome(
+        "disk-torn-wal",
+        passed,
+        "; ".join(results),
+        events=_recorder.dump(last=32),
+    )

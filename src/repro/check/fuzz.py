@@ -87,6 +87,13 @@ class FuzzConfig:
     #: of the learned-frozen lockstep every deep validation already
     #: performs.
     learned: bool = False
+    #: Add a :class:`~repro.store.engine.DurablePHTree` subject backed
+    #: by a temporary directory, and interleave random ``flush()`` /
+    #: ``compact()`` / close-and-reopen cycles into the op stream; each
+    #: reopen immediately diffs the recovered contents against the
+    #: reference model.  With ``learned`` the store also persists
+    #: ``PHL1`` trailers in its segment files.
+    durable: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.dims <= 16:
@@ -168,6 +175,7 @@ class FuzzFailure(AssertionError):
             f"shards={self.config.shards}, "
             f"distribution={self.config.distribution!r}, "
             f"learned={self.config.learned}, "
+            f"durable={self.config.durable}, "
             f"obs_mode={self.config.obs_mode!r}))\n"
         )
 
@@ -278,6 +286,11 @@ def generate_ops(config: FuzzConfig) -> List[Op]:
         + ["knn_burst"] * 2
         + ["bulk_load"] * 1
     )
+    if config.durable:
+        # Persistence lifecycle ops: flushes dominate (the common
+        # background event), reopens force full recovery mid-stream,
+        # compactions exercise the merge path.
+        kinds = kinds + ["d_flush"] * 3 + ["d_reopen"] * 2 + ["d_compact"]
     ops: List[Op] = []
     value_counter = 0
     for _ in range(config.ops):
@@ -332,6 +345,8 @@ def generate_ops(config: FuzzConfig) -> List[Op]:
                 for _ in range(rng.randrange(2, 6))
             )
             ops.append(("knn_burst", burst))
+        elif kind in ("d_flush", "d_compact", "d_reopen"):
+            ops.append((kind,))
         else:  # bulk_load: rebuild every engine from scratch + a batch
             batch = tuple(
                 (random_key(), value_counter + i)
@@ -360,8 +375,79 @@ def _outcome(callable_, *args: Any) -> Tuple[str, Any]:
         return _RAISED, type(exc).__name__
 
 
+class _DurableEnv:
+    """The fuzzer's durable subject: a :class:`DurablePHTree` over a
+    temporary directory, with ``bulk_load`` modelled as wipe-and-reload
+    into a fresh store and ``reopen()`` as full crash-free recovery.
+
+    Reads and mutations delegate to the current store, so
+    :func:`_apply` drives it exactly like every other engine.  Opened
+    with ``sync=False``: the fuzzer checks logical parity, not fsync
+    discipline (the crash drills in :mod:`repro.check.faults` and
+    ``tests/store`` cover that), and skipping the per-op fsync keeps
+    lockstep runs fast.
+    """
+
+    def __init__(self, config: FuzzConfig) -> None:
+        import tempfile
+
+        self._tmp = tempfile.TemporaryDirectory(
+            prefix="repro-fuzz-durable-"
+        )
+        self._config = config
+        self._era = 0
+        self.store: Any = None
+        self.rebuild([])
+
+    def _open(self, path: str) -> Any:
+        from repro.core.serialize import U64ValueCodec
+        from repro.store.engine import DurablePHTree
+
+        return DurablePHTree.open(
+            path,
+            dims=self._config.dims,
+            width=self._config.width,
+            shards=self._config.shards,
+            value_codec=U64ValueCodec,
+            learned=self._config.learned,
+            sync=False,
+        )
+
+    def rebuild(self, items: Sequence[Tuple[Key, Any]]) -> None:
+        """A fresh store (new directory era) group-loaded with
+        ``items`` -- the durable analogue of a bulk build."""
+        import os
+
+        if self.store is not None:
+            self.store.close()
+        self._era += 1
+        path = os.path.join(self._tmp.name, f"db-{self._era}")
+        self.store = self._open(path)
+        if items:
+            self.store.put_all(list(items))
+
+    def reopen(self) -> None:
+        """Close and recover from disk -- the clean-shutdown drill."""
+        path = self.store.path
+        self.store.close()
+        self.store = self._open(path)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.store, name)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def cleanup(self) -> None:
+        if self.store is not None and not self.store.closed:
+            self.store.close()
+        self._tmp.cleanup()
+
+
 def _build_subjects(
-    config: FuzzConfig, items: Sequence[Tuple[Key, Any]]
+    config: FuzzConfig,
+    items: Sequence[Tuple[Key, Any]],
+    durable_env: Optional[_DurableEnv] = None,
 ) -> List[Tuple[str, Any]]:
     """Fresh engines pre-loaded with ``items``.
 
@@ -407,6 +493,9 @@ def _build_subjects(
                 ),
             )
         )
+    if durable_env is not None:
+        durable_env.rebuild(items)
+        subjects.append(("durable", durable_env))
     return subjects
 
 
@@ -529,7 +618,8 @@ def _execute(ops: List[Op], config: FuzzConfig) -> FuzzReport:
     """Run ``ops`` against model + all engines; raise _Divergence on the
     first mismatch or invariant violation."""
     model = ReferenceModel(config.dims, config.width)
-    subjects = _build_subjects(config, [])
+    durable_env = _DurableEnv(config) if config.durable else None
+    subjects = _build_subjects(config, [], durable_env)
     report = FuzzReport(config=config)
     obs_before = _rt.enabled
     if config.obs_mode == "on":
@@ -552,11 +642,31 @@ def _execute(ops: List[Op], config: FuzzConfig) -> FuzzReport:
             if kind == "bulk_load":
                 for key, value in op[1]:
                     model.put(key, value)
-                subjects = _build_subjects(config, model.items())
+                subjects = _build_subjects(
+                    config, model.items(), durable_env
+                )
+            elif kind in ("d_flush", "d_compact", "d_reopen"):
+                assert durable_env is not None
+                if kind == "d_flush":
+                    durable_env.store.flush()
+                elif kind == "d_compact":
+                    durable_env.store.compact()
+                else:
+                    durable_env.reopen()
+                    got = dict(durable_env.store.items())
+                    want = dict(model.items())
+                    if got != want:
+                        raise _Divergence(
+                            index,
+                            "durable",
+                            f"reopen parity broke: recovered "
+                            f"{len(got)} entries, model holds "
+                            f"{len(want)}",
+                        )
             elif kind == "query_approx":
                 for name, tree in subjects:
-                    if name.startswith("sharded"):
-                        continue  # no approx engine on the sharded trees
+                    if name.startswith(("sharded", "durable")):
+                        continue  # no approx engine on these subjects
                     _check_query_approx(model, tree, name, op, index)
             else:
                 expected = _run_model_op(model, op)
@@ -585,6 +695,8 @@ def _execute(ops: List[Op], config: FuzzConfig) -> FuzzReport:
         report.final_size = len(model)
         return report
     finally:
+        if durable_env is not None:
+            durable_env.cleanup()
         if obs_before:
             _rt.enable()
         else:
@@ -597,7 +709,9 @@ def _validate_all(
     expected_items = model.items()
     for name, tree in subjects:
         try:
-            validate_tree(tree)
+            validate_tree(
+                tree.store if isinstance(tree, _DurableEnv) else tree
+            )
         except InvariantViolation as exc:
             raise _Divergence(
                 index, name, f"invariant violation: {exc}"

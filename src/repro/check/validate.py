@@ -133,6 +133,12 @@ def validate_tree(
         ShardedPHTree = None
     if ShardedPHTree is not None and isinstance(tree, ShardedPHTree):
         return _validate_sharded(tree, frozen_roundtrip)
+    try:
+        from repro.store.engine import DurablePHTree
+    except Exception:  # pragma: no cover - store layer always ships
+        DurablePHTree = None
+    if DurablePHTree is not None and isinstance(tree, DurablePHTree):
+        return _validate_durable(tree, frozen_roundtrip)
     from repro.core.concurrent import SynchronizedPHTree
 
     if isinstance(tree, SynchronizedPHTree):
@@ -715,6 +721,95 @@ def _validate_sharded(
     # Shard regions are z-contiguous, so concatenated iteration must be
     # exactly the unsharded global z-order.
     _check_zorder(tree.items(), tree.width, "ShardedPHTree.items()")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Durable stores
+# ---------------------------------------------------------------------------
+
+
+def _validate_durable(
+    store: Any, frozen_roundtrip: bool
+) -> ValidationReport:
+    """The durable contract on top of the live sharded invariants:
+    every mmap-attached segment is a valid frozen tree, and the
+    segment chain folded with the pending (unflushed) delta equals
+    the live tree's contents exactly."""
+    report = ValidationReport("DurablePHTree")
+    live = _validate_sharded(store.live, frozen_roundtrip)
+    live.engine = "live"
+    report.sub_reports.append(live)
+    report.nodes = live.nodes
+    report.entries = live.entries
+    report.hc_nodes = live.hc_nodes
+    report.lhc_nodes = live.lhc_nodes
+    report.max_depth = live.max_depth
+    report.frozen_checked = live.frozen_checked
+
+    manifest = store.manifest
+    if manifest is None:
+        raise InvariantViolation("open durable store carries no manifest")
+    if manifest.wal_seq > store._next_seq - 1:
+        raise InvariantViolation(
+            f"manifest wal_seq {manifest.wal_seq} ahead of the engine's "
+            f"last sequence {store._next_seq - 1}"
+        )
+    overlap = set(store._pending_puts).intersection(store._pending_dels)
+    if overlap:
+        raise InvariantViolation(
+            f"pending puts and deletes overlap on {sorted(overlap)[:5]}"
+        )
+
+    import os as _os
+
+    state: dict = {}
+    for seg in store.segments:
+        if seg.record.tombstones is not None:
+            for key in seg.tombstones:
+                state.pop(key, None)
+            continue
+        if seg.record.file is None or seg.frozen is None:
+            raise InvariantViolation(
+                "segment chain record carries neither a frozen stream "
+                "nor tombstones"
+            )
+        if not _os.path.exists(
+            _os.path.join(store.path, seg.record.file)
+        ):
+            raise InvariantViolation(
+                f"manifest references missing file {seg.record.file!r}"
+            )
+        sub = _validate_frozen(seg.frozen)
+        sub.engine = f"segment[{seg.record.file}]"
+        report.sub_reports.append(sub)
+        if len(seg.frozen) != seg.record.entries:
+            raise InvariantViolation(
+                f"segment {seg.record.file} holds {len(seg.frozen)} "
+                f"entries, manifest says {seg.record.entries}"
+            )
+        if manifest.learned and len(seg.frozen) > 0:
+            if seg.frozen.learned_index is None:
+                raise InvariantViolation(
+                    f"learned store segment {seg.record.file} carries "
+                    "no attachable PHL1 trailer"
+                )
+        for key, value in seg.frozen.items():
+            state[key] = value
+
+    for key in store._pending_dels:
+        state.pop(key, None)
+    state.update(store._pending_puts)
+    live_items = dict(store.live.items())
+    if state != live_items:
+        missing = sorted(set(live_items) - set(state))[:5]
+        extra = sorted(set(state) - set(live_items))[:5]
+        raise InvariantViolation(
+            "durable view (segments + pending delta) diverges from the "
+            f"live tree: {len(live_items)} live vs {len(state)} "
+            f"durable entries (live-only {missing}, durable-only "
+            f"{extra})"
+        )
     return report
 
 

@@ -272,6 +272,42 @@ learned_prediction_error = registry.counter(
     "probes (divide by repro_learned_lookups_total for the mean).",
 )
 
+# -- durable store (store/engine.py) ---------------------------------------
+
+store_wal_appends = registry.counter(
+    "repro_store_wal_appends_total",
+    "Group commits appended to the write-ahead log.",
+)
+store_wal_bytes = registry.counter(
+    "repro_store_wal_bytes_total",
+    "Framed bytes appended to the write-ahead log.",
+)
+store_flushes = registry.counter(
+    "repro_store_flushes_total",
+    "Memtable flushes (pending mutations frozen to segment files).",
+)
+store_compactions = registry.counter(
+    "repro_store_compactions_total",
+    "Segment-chain compactions (merge to one segment per shard).",
+)
+store_recoveries = registry.counter(
+    "repro_store_recoveries_total",
+    "Store opens that replayed an existing manifest + WAL.",
+)
+store_wal_replayed = registry.counter(
+    "repro_store_wal_replayed_total",
+    "WAL records replayed onto the segment set during recovery.",
+)
+store_torn_bytes = registry.counter(
+    "repro_store_torn_bytes_total",
+    "Torn or corrupt WAL tail bytes discarded during recovery.",
+)
+store_segments_live = registry.gauge(
+    "repro_store_segments_live",
+    "Segment-chain records referenced by the newest manifest.",
+)
+
+
 # -- lock health (core/concurrent.py) --------------------------------------
 
 lock_timeouts = registry.counter(

@@ -835,6 +835,34 @@ class ShardedPHTree:
         except Exception:
             pass
 
+    # -- snapshots ----------------------------------------------------------------
+
+    def freeze_shards(
+        self,
+        value_codec: Any = NoneValueCodec,
+        learned: "bool | None" = None,
+    ) -> List[bytes]:
+        """Freeze every shard to its packed byte stream, each under its
+        read lock; index ``i`` of the result is shard ``i``'s stream
+        (header-only when the shard is empty).
+
+        This is the whole-tree snapshot primitive: the durable store's
+        checkpoint writes these streams verbatim as segment files and
+        later mmap-attaches them zero-copy.  ``learned`` defaults to
+        this tree's ``learned_snapshots`` setting.
+        """
+        from repro.core.frozen import freeze
+
+        if learned is None:
+            learned = self._learned_snapshots
+        blobs: List[bytes] = []
+        for locked in self._shards:
+            with locked.lock.read():
+                blobs.append(
+                    freeze(locked.unsafe_tree, value_codec, learned=learned)
+                )
+        return blobs
+
     # -- validation ----------------------------------------------------------------
 
     def check_invariants(self) -> None:

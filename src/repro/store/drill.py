@@ -1,0 +1,140 @@
+"""Subprocess driver for kill-during-X crash drills.
+
+``python -m repro.store.drill DIR --scenario flush`` runs a
+deterministic seeded workload against a :class:`DurablePHTree` in
+``DIR`` and prints ``COMPLETE`` when it survives.  The parent drill
+(:func:`repro.check.faults.run_fault_drill`) arms a real ``SIGKILL``
+at a seeded byte offset via the ``REPRO_STORE_CRASH`` environment
+variable, expects the process to die mid-phase, then reopens the
+directory and checks recovery against :func:`expected_state` -- the
+same pure function of ``(dims, width, entries, seed)`` the workload
+is generated from, so parent and child agree on the oracle without
+any channel between them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Any, Dict, List, Tuple
+
+Key = Tuple[int, ...]
+
+#: Workload shape: PUT_RATIO of ops insert, the rest delete a
+#: previously inserted key (when one exists).
+_PUT_RATIO = 0.75
+
+SCENARIOS = ("wal", "flush", "compact")
+
+
+def build_ops(
+    dims: int, width: int, entries: int, seed: int
+) -> List[Tuple[str, Key, Any]]:
+    """The deterministic op stream: ``(op, key, value)`` triples."""
+    rng = random.Random(seed)
+    mask = (1 << width) - 1
+    live: List[Key] = []
+    ops: List[Tuple[str, Key, Any]] = []
+    for i in range(entries):
+        if live and rng.random() > _PUT_RATIO:
+            key = live.pop(rng.randrange(len(live)))
+            ops.append(("del", key, None))
+        else:
+            key = tuple(rng.randrange(mask + 1) for _ in range(dims))
+            live.append(key)
+            ops.append(("put", key, (i * 2654435761) & ((1 << 64) - 1)))
+    return ops
+
+
+def expected_state(
+    dims: int, width: int, entries: int, seed: int
+) -> Dict[Key, Any]:
+    """Final contents after the full op stream (the recovery oracle
+    for scenarios whose ops were all WAL-durable before the kill)."""
+    state: Dict[Key, Any] = {}
+    for op, key, value in build_ops(dims, width, entries, seed):
+        if op == "put":
+            state[key] = value
+        else:
+            state.pop(key, None)
+    return state
+
+
+def prefix_states(
+    dims: int, width: int, entries: int, seed: int
+) -> List[Dict[Key, Any]]:
+    """Contents after every op-stream prefix (oracle for kills inside
+    the WAL append itself: recovery must land on exactly one)."""
+    state: Dict[Key, Any] = {}
+    out = [dict(state)]
+    for op, key, value in build_ops(dims, width, entries, seed):
+        if op == "put":
+            state[key] = value
+        else:
+            state.pop(key, None)
+        out.append(dict(state))
+    return out
+
+
+def run_scenario(store: Any, scenario: str, ops: List) -> None:
+    """Drive the store through ``scenario``; the armed crash decides
+    where it dies."""
+    def apply(chunk: List) -> None:
+        for op, key, value in chunk:
+            if op == "put":
+                store.put(key, value)
+            else:
+                store.remove(key, None)
+
+    if scenario == "wal":
+        apply(ops)
+    elif scenario == "flush":
+        apply(ops)
+        store.flush()
+    elif scenario == "compact":
+        # Two flushed deltas plus a live tail make the compaction merge
+        # a real multi-segment chain.
+        third = max(1, len(ops) // 3)
+        apply(ops[:third])
+        store.flush()
+        apply(ops[third : 2 * third])
+        store.flush()
+        apply(ops[2 * third :])
+        store.compact()
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    store.close()
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.store.drill")
+    parser.add_argument("dir")
+    parser.add_argument("--scenario", choices=SCENARIOS, required=True)
+    parser.add_argument("--dims", type=int, default=2)
+    parser.add_argument("--width", type=int, default=16)
+    parser.add_argument("--entries", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--learned", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.core.serialize import U64ValueCodec
+    from repro.store.engine import DurablePHTree
+
+    store = DurablePHTree.open(
+        args.dir,
+        dims=args.dims,
+        width=args.width,
+        shards=args.shards,
+        value_codec=U64ValueCodec,
+        learned=args.learned,
+    )
+    ops = build_ops(args.dims, args.width, args.entries, args.seed)
+    run_scenario(store, args.scenario, ops)
+    print("COMPLETE")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

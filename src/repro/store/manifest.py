@@ -1,0 +1,155 @@
+"""The store manifest: the single commit point of the durable engine.
+
+``MANIFEST.json`` names everything that is live -- the segment chain
+(in application order), the active WAL file, and the last sequence
+number already captured by segments -- plus the tree geometry needed
+to reopen without arguments.  A CRC over the canonical body rejects
+half-written or bit-flipped manifests.
+
+Updates follow the classic atomic-swap protocol: write the new body to
+``MANIFEST.tmp``, fsync it, ``rename(2)`` over ``MANIFEST.json``, then
+fsync the directory.  A crash at any byte offset leaves either the old
+or the new manifest fully intact, never a blend; every flush and
+compaction commits (or vanishes) at exactly the rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.store import io as store_io
+
+__all__ = ["Manifest", "SegmentRecord", "load_manifest", "write_manifest"]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_TMP = "MANIFEST.tmp"
+FORMAT = "repro-store-1"
+
+
+@dataclass
+class SegmentRecord:
+    """One entry in the segment chain.
+
+    Either a frozen-tree segment (``file`` set, the verbatim
+    ``freeze()`` stream for one shard) or a tombstone batch
+    (``tombstones`` set, keys deleted from everything older in the
+    chain).  Replay order is chain order, oldest first.
+    """
+
+    file: Optional[str] = None
+    tombstones: Optional[str] = None
+    shard: int = -1
+    entries: int = 0
+    removals: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.file,
+            "tombstones": self.tombstones,
+            "shard": self.shard,
+            "entries": self.entries,
+            "removals": self.removals,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "SegmentRecord":
+        return cls(
+            file=obj.get("file"),
+            tombstones=obj.get("tombstones"),
+            shard=int(obj.get("shard", -1)),
+            entries=int(obj.get("entries", 0)),
+            removals=int(obj.get("removals", 0)),
+        )
+
+
+@dataclass
+class Manifest:
+    dims: int
+    width: int
+    value_bits: int
+    shards: int
+    learned: bool
+    wal: str
+    #: Highest mutation sequence number already folded into segments;
+    #: recovery replays only WAL records with ``seq`` greater than it.
+    wal_seq: int = 0
+    next_file_id: int = 0
+    generation: int = 0
+    segments: List[SegmentRecord] = field(default_factory=list)
+
+    def _body(self) -> dict:
+        return {
+            "format": FORMAT,
+            "dims": self.dims,
+            "width": self.width,
+            "value_bits": self.value_bits,
+            "shards": self.shards,
+            "learned": self.learned,
+            "wal": self.wal,
+            "wal_seq": self.wal_seq,
+            "next_file_id": self.next_file_id,
+            "generation": self.generation,
+            "segments": [s.to_json() for s in self.segments],
+        }
+
+    def to_bytes(self) -> bytes:
+        body = self._body()
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        body["crc"] = zlib.crc32(canonical.encode("utf-8"))
+        return (json.dumps(body, indent=1, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Manifest":
+        obj = json.loads(data.decode("utf-8"))
+        crc = obj.pop("crc", None)
+        canonical = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+        if crc != zlib.crc32(canonical.encode("utf-8")):
+            raise ValueError("manifest CRC mismatch")
+        if obj.get("format") != FORMAT:
+            raise ValueError(f"unknown manifest format {obj.get('format')!r}")
+        return cls(
+            dims=int(obj["dims"]),
+            width=int(obj["width"]),
+            value_bits=int(obj["value_bits"]),
+            shards=int(obj["shards"]),
+            learned=bool(obj["learned"]),
+            wal=obj["wal"],
+            wal_seq=int(obj["wal_seq"]),
+            next_file_id=int(obj["next_file_id"]),
+            generation=int(obj["generation"]),
+            segments=[
+                SegmentRecord.from_json(s) for s in obj.get("segments", [])
+            ],
+        )
+
+
+def write_manifest(directory: str, manifest: Manifest) -> None:
+    """Commit ``manifest`` via the tmp-write / fsync / rename / dir-fsync
+    protocol.  This is the only mutation of ``MANIFEST.json``."""
+    tmp = os.path.join(directory, MANIFEST_TMP)
+    fd = store_io.open_fresh(tmp)
+    try:
+        store_io.write(fd, manifest.to_bytes())
+        store_io.fsync(fd)
+    finally:
+        os.close(fd)
+    store_io.replace(tmp, os.path.join(directory, MANIFEST_NAME))
+    store_io.fsync_dir(directory)
+
+
+def load_manifest(directory: str) -> Optional[Manifest]:
+    """Read and verify the current manifest; ``None`` when the
+    directory has never committed one (fresh store)."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except FileNotFoundError:
+        return None
+    return Manifest.from_bytes(data)

@@ -435,6 +435,173 @@ def cmd_heat(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Operate a durable WAL+segment store directory: ingest CSV rows,
+    compact the segment chain, query windows, report stats.
+
+    The store survives ``kill -9`` at any byte: every mutation is WAL-
+    durable when it returns, and reopening the directory recovers the
+    committed segments plus the WAL tail."""
+    from repro.core.serialize import U64ValueCodec
+    from repro.store import DurablePHTree, StoreError
+
+    dims = None
+    columns: List[str] = []
+    if args.ingest is not None:
+        if not args.columns:
+            print(
+                "error: --ingest needs --columns", file=sys.stderr
+            )
+            return 2
+        columns = [
+            c.strip() for c in args.columns.split(",") if c.strip()
+        ]
+        dims = len(columns)
+    if args.ingest is None and not (
+        args.compact or args.query or args.stats
+    ):
+        print(
+            "error: nothing to do; pass --ingest CSV, --compact, "
+            "--query BOX and/or --stats",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = DurablePHTree.open(
+            args.dir,
+            dims=dims,
+            width=64,
+            shards=args.shards,
+            value_codec=U64ValueCodec,
+            learned=args.learned,
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        info = store.recovery_info
+        if not info.get("created"):
+            _log.info(
+                "recovered %d segment(s), replayed %d WAL record(s), "
+                "discarded %d torn byte(s)",
+                info.get("segments", 0),
+                info.get("replayed", 0),
+                info.get("torn_bytes", 0),
+            )
+        if args.ingest is not None:
+            code = _store_ingest(args, store, columns)
+            if code:
+                return code
+        if args.compact:
+            started = time.perf_counter()
+            merged = store.compact()
+            print(
+                f"compacted chain into {merged} segment(s) in "
+                f"{time.perf_counter() - started:.2f}s"
+            )
+        if args.query is not None:
+            box_min, box_max = _parse_box(args.query, store.dims)
+            lo, hi = encode_point(box_min), encode_point(box_max)
+            results = store.query(lo, hi)
+            print("point,row" if not columns else
+                  ",".join(columns) + ",row")
+            for encoded, row_number in results[: args.limit]:
+                point = decode_point(encoded)
+                print(
+                    ",".join(f"{v:.10g}" for v in point)
+                    + f",{row_number}"
+                )
+            if len(results) > args.limit:
+                print(
+                    f"... {len(results) - args.limit} more "
+                    f"(raise --limit to see them)",
+                    file=sys.stderr,
+                )
+            print(f"{len(results)} point(s) in box", file=sys.stderr)
+        if args.stats:
+            stats = store.stats()
+            print(f"path:           {stats['path']}")
+            print(f"dims/width:     {stats['dims']}/{stats['width']}")
+            print(
+                f"shards:         {stats['shards']}"
+                f"{' (learned segments)' if stats['learned'] else ''}"
+            )
+            print(f"entries:        {stats['entries']}")
+            print(f"generation:     {stats['generation']}")
+            print(
+                f"segments:       {stats['segments']} "
+                f"({stats['segment_bytes']} bytes)"
+            )
+            print(
+                f"wal:            {stats['wal_bytes']} bytes, "
+                f"seq {stats['wal_seq']}"
+            )
+            print(
+                f"pending:        {stats['pending_puts']} put(s), "
+                f"{stats['pending_dels']} delete(s)"
+            )
+            recovery = stats["recovery"]
+            if recovery.get("created"):
+                last_open = "created fresh"
+            else:
+                last_open = (
+                    f"replayed {recovery.get('replayed', 0)} WAL "
+                    f"record(s), {recovery.get('torn_bytes', 0)} torn "
+                    f"byte(s) discarded"
+                )
+            print(f"last open:      {last_open}")
+    finally:
+        store.close()
+    return 0
+
+
+def _store_ingest(
+    args: argparse.Namespace, store: "Any", columns: List[str]
+) -> int:
+    """Bulk-load CSV rows into the store: group-committed WAL batches,
+    then a checkpoint so reopening needs no replay."""
+    source = Path(args.ingest)
+    batch: List[Tuple[Tuple[int, ...], int]] = []
+    n_rows = 0
+    started = time.perf_counter()
+    with source.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = [
+            c for c in columns if c not in (reader.fieldnames or [])
+        ]
+        if missing:
+            print(
+                f"error: column(s) {missing} not in CSV header "
+                f"{reader.fieldnames}",
+                file=sys.stderr,
+            )
+            return 2
+        for row_number, row in enumerate(reader, start=1):
+            try:
+                point = tuple(float(row[c]) for c in columns)
+            except ValueError:
+                print(
+                    f"warning: skipping row {row_number}: "
+                    f"non-numeric value",
+                    file=sys.stderr,
+                )
+                continue
+            batch.append((encode_point(point), row_number))
+            n_rows += 1
+            if len(batch) >= 1024:
+                store.put_all(batch)
+                batch.clear()
+    if batch:
+        store.put_all(batch)
+    segments = store.checkpoint()
+    print(
+        f"ingested {n_rows} row(s) ({len(store)} live) into "
+        f"{segments} segment(s) in "
+        f"{time.perf_counter() - started:.2f}s"
+    )
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Run the correctness harness: validate a saved index, fuzz the
     engines against the reference model, and/or drill the parallel
@@ -460,6 +627,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 distribution=args.distribution,
                 learned=args.learned,
+                durable=args.durable,
             )
             started = time.perf_counter()
             try:
@@ -474,21 +642,28 @@ def cmd_check(args: argparse.Namespace) -> int:
                 continue
             elapsed = time.perf_counter() - started
             learned_tag = " learned" if args.learned else ""
+            durable_tag = " durable" if args.durable else ""
             print(
                 f"fuzz: dims={dims} width={args.width} "
                 f"seed={args.seed} "
-                f"distribution={args.distribution}{learned_tag}: "
+                f"distribution={args.distribution}{learned_tag}"
+                f"{durable_tag}: "
                 f"{report.ops_run} ops, "
                 f"{report.validations} validations, final size "
                 f"{report.final_size}, {elapsed:.1f}s: OK"
             )
-    if args.faults:
+    if args.faults or args.fault_kinds:
         ran_anything = True
         from repro.check.faults import run_fault_drill
 
         from repro.obs import recorder as recorder_mod
 
-        for outcome in run_fault_drill():
+        kinds = (
+            [k.strip() for k in args.fault_kinds.split(",") if k.strip()]
+            if args.fault_kinds
+            else None
+        )
+        for outcome in run_fault_drill(kinds=kinds):
             status = "PASS" if outcome.passed else "FAIL"
             print(f"faults: {status} {outcome.fault}: {outcome.detail}")
             if not outcome.passed:
@@ -501,7 +676,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     if not ran_anything:
         print(
             "error: nothing to do; pass --validate INDEX, --fuzz "
-            "and/or --faults",
+            "and/or --faults (optionally --fault-kinds)",
             file=sys.stderr,
         )
         return 2
@@ -755,7 +930,71 @@ def _parser() -> argparse.ArgumentParser:
         "duplicate-heavy z-stream stressing the learned error bound "
         "(default: %(default)s)",
     )
+    check.add_argument(
+        "--durable",
+        action="store_true",
+        help="add a DurablePHTree to the fuzz lockstep: random "
+        "flush/compact/close-and-reopen are interleaved and reopen "
+        "parity vs the reference model is asserted",
+    )
+    check.add_argument(
+        "--fault-kinds",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated subset of fault scenarios to drill "
+        "(implies --faults); e.g. 'disk-flush-kill,disk-torn-wal'",
+    )
     check.set_defaults(func=cmd_check)
+
+    store = sub.add_parser(
+        "store",
+        help="durable WAL+segment store: ingest, compact, query, "
+        "stats on a crash-safe directory",
+        parents=[verbosity],
+    )
+    store.add_argument("dir", help="store directory (created on first use)")
+    store.add_argument(
+        "--ingest",
+        metavar="CSV",
+        default=None,
+        help="bulk-load rows from a CSV file (needs --columns)",
+    )
+    store.add_argument(
+        "--columns",
+        "-c",
+        default=None,
+        help="comma-separated numeric column names to index",
+    )
+    store.add_argument(
+        "--learned",
+        action="store_true",
+        help="embed PHL1 learned models in flushed segments",
+    )
+    store.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="z-order shards of the live tree (power of two; "
+        "default: %(default)s)",
+    )
+    store.add_argument(
+        "--compact",
+        action="store_true",
+        help="merge the whole segment chain (one segment per shard)",
+    )
+    store.add_argument(
+        "--query",
+        metavar="BOX",
+        default=None,
+        help="inclusive window 'x1,y1 : x2,y2' in source coordinates",
+    )
+    store.add_argument("--limit", "-l", type=int, default=20)
+    store.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the store's manifest/WAL/segment statistics",
+    )
+    store.set_defaults(func=cmd_store)
     return parser
 
 

@@ -90,6 +90,33 @@ def test_fuzz_cluster_distribution():
     assert report.ops_run == 400
 
 
+def test_fuzz_durable_mode():
+    """Durable mode folds a DurablePHTree into the lockstep: random
+    flush/compact/close-and-reopen get interleaved and the reopened
+    store must stay bit-identical to the reference model."""
+    config = FuzzConfig(
+        dims=2, width=16, ops=400, seed=33, durable=True, learned=True
+    )
+    ops = generate_ops(config)
+    kinds = {op[0] for op in ops}
+    assert kinds >= {"d_flush", "d_reopen", "d_compact"}
+    report = run_fuzz(config)
+    assert report.ops_run == 400
+
+
+def test_fuzz_durable_repro_names_the_flag():
+    from repro.check.fuzz import FuzzFailure as Failure
+
+    failure = Failure(
+        config=FuzzConfig(dims=2, width=16, ops=10, seed=1, durable=True),
+        ops=[("put", (1, 1), 2)],
+        index=0,
+        subject="durable",
+        message="boom",
+    )
+    assert "durable=True" in failure.repro()
+
+
 @pytest.mark.parametrize("obs_mode", ["on", "off"])
 def test_fuzz_fixed_obs_modes(obs_mode):
     run_fuzz(FuzzConfig(dims=2, width=16, ops=200, seed=8, obs_mode=obs_mode))

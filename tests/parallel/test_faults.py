@@ -209,10 +209,51 @@ def test_fault_drill_all_pass():
         "worker-death",
         "unlink-failure",
         "lock-timeout",
+        "disk-flush-kill",
+        "disk-compact-kill",
+        "disk-torn-wal",
     ]
     assert all(o.passed for o in outcomes), [
         f"{o.fault}: {o.detail}" for o in outcomes if not o.passed
     ]
+
+
+def test_fault_drill_kind_selection():
+    outcomes = run_fault_drill(
+        entries=64, kinds=["lock-timeout", "disk-torn-wal"]
+    )
+    assert [o.fault for o in outcomes] == [
+        "lock-timeout",
+        "disk-torn-wal",
+    ]
+    assert all(o.passed for o in outcomes), [
+        f"{o.fault}: {o.detail}" for o in outcomes if not o.passed
+    ]
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        run_fault_drill(kinds=["no-such-fault"])
+
+
+def test_disk_kill_drill_recovers_to_oracle():
+    """A seeded SIGKILL inside the flush I/O leaves a directory that
+    reopens validator-green with exactly the workload's contents."""
+    (outcome,) = run_fault_drill(
+        entries=96, kinds=["disk-flush-kill"]
+    )
+    assert outcome.passed, outcome.detail
+    assert "child killed=True" in outcome.detail
+    assert "contents==oracle=True" in outcome.detail
+    # The flight-recorder tail carries the injection record with the
+    # seeded offset and the phase's measured I/O volume.
+    injected = [
+        event
+        for event in outcome.events
+        if event[2] == "fault_injected"
+        and event[3].get("fault") == "disk_flush_kill"
+    ]
+    assert injected, [event[2] for event in outcome.events]
+    detail = injected[-1][3]
+    assert 0 <= detail["offset"] < detail["volume"]
+    assert detail["returncode"] < 0  # died by signal
 
 
 def test_fault_drill_outcomes_carry_recorder_dumps():
@@ -235,4 +276,12 @@ def test_fault_drill_outcomes_carry_recorder_dumps():
     assert "pid" in faults[-1][3]
     # The rendered dump names the fault for the operator.
     assert "worker_killed" in recorder_mod.render_events(killed)
+    # Disk drills carry their own black box: the torn-WAL outcome's
+    # tail names both corruption injections.
+    torn_faults = {
+        event[3].get("fault")
+        for event in outcomes["disk-torn-wal"].events
+        if event[2] == "fault_injected"
+    }
+    assert {"torn_wal_truncate", "torn_wal_bitflip"} <= torn_faults
     recorder_mod.clear()

@@ -1,0 +1,139 @@
+"""PHL1 trailer persistence: learned models round-trip through
+segment files and re-attach zero-copy from the mmap (closing PR 9's
+"persist the trailer" note)."""
+
+from __future__ import annotations
+
+import mmap
+import os
+import random
+
+import pytest
+
+from repro.core.frozen import FrozenPHTree
+from repro.core.serialize import U64ValueCodec
+from repro.store.engine import DurablePHTree
+
+DIMS, WIDTH = 2, 16
+
+
+def _items(n=300, seed=17):
+    rng = random.Random(seed)
+    out = {}
+    while len(out) < n:
+        out[tuple(rng.randrange(1 << WIDTH) for _ in range(DIMS))] = (
+            rng.randrange(1 << 40)
+        )
+    return out
+
+
+@pytest.fixture
+def learned_store(tmp_path):
+    store = DurablePHTree.open(
+        str(tmp_path / "db"),
+        dims=DIMS,
+        width=WIDTH,
+        shards=4,
+        value_codec=U64ValueCodec,
+        learned=True,
+    )
+    yield store, _items()
+    store.close()
+
+
+def test_flushed_segments_carry_phl1(learned_store):
+    store, items = learned_store
+    store.put_all(list(items.items()))
+    store.flush()
+    data_segments = [s for s in store.segments if s.frozen is not None]
+    assert data_segments
+    for seg in data_segments:
+        model = seg.frozen.learned_index
+        assert model is not None
+        assert model.n == len(seg.frozen)
+        assert model.trailer_bytes > 0
+
+
+def test_segment_file_reattaches_model_from_mmap(learned_store, tmp_path):
+    store, items = learned_store
+    store.put_all(list(items.items()))
+    store.flush()
+    seg = max(
+        (s for s in store.segments if s.frozen is not None),
+        key=lambda s: len(s.frozen),
+    )
+    seg_path = os.path.join(store.path, seg.record.file)
+    expected = dict(seg.frozen.items())
+
+    # Attach the raw on-disk bytes by hand: the trailer is part of the
+    # file, not engine state.
+    with open(seg_path, "rb") as f:
+        mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        frozen = FrozenPHTree(mapped, U64ValueCodec, learned=True)
+        model = frozen.learned_index
+        assert model is not None
+        assert dict(frozen.items()) == expected
+        # Model-served point reads agree with the data.
+        for key, value in list(expected.items())[:20]:
+            assert frozen.get(key) == value
+        assert frozen.get((0, 0), default=-1) in (-1, expected.get((0, 0)))
+        # Window queries through the learned path agree with a scan.
+        lo = (1 << (WIDTH - 2),) * DIMS
+        hi = (3 << (WIDTH - 2),) * DIMS
+        window = {
+            k: v
+            for k, v in expected.items()
+            if all(lo[d] <= k[d] <= hi[d] for d in range(DIMS))
+        }
+        assert dict(frozen.query(lo, hi)) == window
+        del frozen, model
+    finally:
+        mapped.close()
+
+    # Attaching with learned=False ignores the trailer but reads the
+    # same data -- the trailer never corrupts the stream.
+    blob = open(seg_path, "rb").read()
+    plain = FrozenPHTree(blob, U64ValueCodec, learned=False)
+    assert plain.learned_index is None
+    assert dict(plain.items()) == expected
+
+
+def test_recovery_reattaches_models_after_reopen(learned_store, tmp_path):
+    store, items = learned_store
+    store.put_all(list(items.items()))
+    store.flush()
+    path = store.path
+    store.close()
+
+    reopened = DurablePHTree.open(path, value_codec=U64ValueCodec)
+    try:
+        assert reopened.learned
+        data_segments = [
+            s for s in reopened.segments if s.frozen is not None
+        ]
+        assert data_segments
+        for seg in data_segments:
+            assert seg.frozen.learned_index is not None
+        assert dict(reopened.items()) == items
+    finally:
+        reopened.close()
+
+
+def test_unlearned_store_writes_no_trailer(tmp_path):
+    store = DurablePHTree.open(
+        str(tmp_path / "plain"),
+        dims=DIMS,
+        width=WIDTH,
+        shards=2,
+        value_codec=U64ValueCodec,
+        learned=False,
+    )
+    try:
+        store.put_all(list(_items(100).items()))
+        store.flush()
+        for seg in store.segments:
+            if seg.frozen is not None:
+                assert seg.frozen.learned_index is None
+    finally:
+        store.close()
